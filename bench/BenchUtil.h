@@ -1,0 +1,53 @@
+//===- BenchUtil.h - Shared helpers for the relaxc benchmarks ------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_BENCH_BENCHUTIL_H
+#define RELAXC_BENCH_BENCHUTIL_H
+
+#include "parser/Parser.h"
+
+#include <memory>
+#include <string>
+
+namespace relax {
+namespace bench {
+
+/// A parsed example program plus everything it needs to stay alive.
+struct Loaded {
+  std::unique_ptr<AstContext> Ctx;
+  SourceManager SM;
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog;
+};
+
+/// Loads one of the repository's example programs by file name.
+inline Loaded loadExample(const std::string &Name) {
+  Loaded L;
+  L.Ctx = std::make_unique<AstContext>();
+  std::string Path = std::string(RELAXC_EXAMPLES_DIR) + "/" + Name;
+  if (!L.SM.loadFile(Path).ok())
+    return L;
+  L.Diags.setFileName(Path);
+  Parser P(*L.Ctx, L.SM, L.Diags);
+  L.Prog = P.parseProgram();
+  return L;
+}
+
+/// Parses a program from a source string.
+inline Loaded loadSource(const std::string &Source) {
+  Loaded L;
+  L.Ctx = std::make_unique<AstContext>();
+  L.SM.setBuffer("<bench>", Source);
+  Parser P(*L.Ctx, L.SM, L.Diags);
+  L.Prog = P.parseProgram();
+  return L;
+}
+
+} // namespace bench
+} // namespace relax
+
+#endif // RELAXC_BENCH_BENCHUTIL_H

@@ -1,0 +1,120 @@
+//===- approx_memory.cpp - LU pivot under approximate memory -------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 5.3 case study as an application: the SciMark2 LU pivot
+/// search with its column stored in low-power approximate memory whose
+/// reads may be off by at most `e`. The verified relate statement is the
+/// Lipschitz bound |max<o> - max<r>| <= e.
+///
+/// This example verifies examples/programs/lu.rlx, then sweeps the
+/// hardware error bound e and, for each setting, runs many
+/// original/relaxed execution pairs with random columns, measuring the
+/// observed pivot error against the verified bound.
+///
+//===----------------------------------------------------------------------===//
+
+#include "eval/PairRunner.h"
+#include "parser/Parser.h"
+#include "sema/Sema.h"
+#include "solver/CachingSolver.h"
+#include "solver/Z3Solver.h"
+#include "support/Random.h"
+#include "vcgen/Verifier.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace relax;
+
+int main(int Argc, char **Argv) {
+  std::string Path = Argc > 1 ? Argv[1] : "examples/programs/lu.rlx";
+
+  SourceManager SM;
+  if (Status S = SM.loadFile(Path); !S.ok()) {
+    std::fprintf(stderr, "error: %s\n", S.message().c_str());
+    return 2;
+  }
+  DiagnosticEngine Diags;
+  Diags.setFileName(Path);
+  AstContext Ctx;
+  Parser P(Ctx, SM, Diags);
+  std::optional<Program> Prog = P.parseProgram();
+  if (!Prog) {
+    std::fprintf(stderr, "%s", Diags.render().c_str());
+    return 2;
+  }
+
+  Z3Solver Backend(Ctx.symbols());
+  CachingSolver Solver(Backend);
+  Verifier V(Ctx, *Prog, Solver, Diags);
+  VerifyReport Report = V.run();
+  std::printf("verification: %s (%zu VCs)\n",
+              Report.verified() ? "VERIFIED" : "FAILED", Report.totalVCs());
+  if (!Report.verified()) {
+    std::printf("%s", renderReport(Report, Ctx.symbols()).c_str());
+    return 1;
+  }
+
+  DiagnosticEngine SemaDiags;
+  Sema SemaPass(*Prog, SemaDiags);
+  auto Info = SemaPass.run();
+  if (!Info)
+    return 1;
+  RelateMap Gamma(Info->relateMap().begin(), Info->relateMap().end());
+  PairRunner Runner(*Prog, Ctx.symbols(), Gamma);
+
+  const size_t N = 12;     // column length
+  const unsigned Runs = 8; // pairs per error level
+  SplitMix64 Rng(2026);
+
+  std::printf("\n%6s %8s %12s %12s %10s\n", "e", "pairs", "max|err|",
+              "bound-ok", "compat");
+  for (int64_t E : {0, 1, 2, 4, 8}) {
+    int64_t WorstErr = 0;
+    bool AllWithinBound = true, AllCompatible = true;
+    for (unsigned R = 0; R != Runs; ++R) {
+      // Random matrix column in approximate memory.
+      ArrayValue Col(N);
+      for (int64_t &X : Col)
+        X = Rng.nextInRange(-100, 100);
+      State Init = Interp::zeroState(*Prog, N);
+      Init[Ctx.sym("A")] = Value(Col);
+      Init[Ctx.sym("N")] = Value(static_cast<int64_t>(N));
+      Init[Ctx.sym("e")] = Value(E);
+      Init[Ctx.sym("max")] = Value(Col[0]);
+
+      SolverOracle::Options OO;
+      OO.Seed = 100 * static_cast<uint64_t>(E + 1) + R;
+      SolverOracle OrigOracle(Ctx, Solver, OO);
+      SolverOracle::Options RO;
+      RO.Seed = 7919 * static_cast<uint64_t>(E + 1) + R;
+      SolverOracle RelOracle(Ctx, Solver, RO);
+      PairOutcome Pair = Runner.run(Init, OrigOracle, RelOracle);
+      if (!Pair.Orig.ok() || !Pair.Rel.ok()) {
+        std::fprintf(stderr, "execution failed: %s\n",
+                     (Pair.Orig.ok() ? Pair.Rel : Pair.Orig).Reason.c_str());
+        return 1;
+      }
+      int64_t MaxO = Pair.Orig.FinalState.at(Ctx.sym("max")).asInt();
+      int64_t MaxR = Pair.Rel.FinalState.at(Ctx.sym("max")).asInt();
+      int64_t Err = std::abs(MaxO - MaxR);
+      WorstErr = std::max(WorstErr, Err);
+      AllWithinBound &= Err <= E;
+      AllCompatible &= Pair.Compat.Compatible;
+    }
+    std::printf("%6lld %8u %12lld %12s %10s\n", static_cast<long long>(E),
+                Runs, static_cast<long long>(WorstErr),
+                AllWithinBound ? "yes" : "NO",
+                AllCompatible ? "yes" : "NO");
+    if (!AllWithinBound || !AllCompatible)
+      return 1;
+  }
+  std::printf("\nthe observed pivot error never exceeded the verified "
+              "Lipschitz bound\n");
+  return 0;
+}

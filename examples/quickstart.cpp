@@ -1,0 +1,130 @@
+//===- quickstart.cpp - relaxc library quickstart ------------------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The five-minute tour of the library:
+///
+///   1. build a relaxed program with the AstContext builder API,
+///   2. verify it under both axiomatic semantics (|-o and |-r),
+///   3. execute the dynamic original and relaxed semantics,
+///   4. check observational compatibility of the execution pair.
+///
+/// The program is the paper's running idea in miniature: a computation
+/// whose result may be relaxed within an error bound, with a relate
+/// statement asserting the bound as the acceptability property.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Printer.h"
+#include "eval/PairRunner.h"
+#include "sema/Sema.h"
+#include "solver/CachingSolver.h"
+#include "solver/Z3Solver.h"
+#include "vcgen/Verifier.h"
+
+#include <cstdio>
+
+using namespace relax;
+
+int main() {
+  AstContext Ctx;
+
+  // -- 1. Build the program ------------------------------------------------
+  //
+  //   int result, budget;
+  //   requires (result >= 0 && budget >= 0);
+  //   {
+  //     relax (result) st (result >= 0 &&
+  //                        result - budget <= result_orig <= ...);
+  //   }
+  //
+  // In surface syntax this is examples/programs/*.rlx; here we use the
+  // builder API directly.
+  Program Prog;
+  Symbol Result = Ctx.sym("result");
+  Symbol Budget = Ctx.sym("budget");
+  Symbol Saved = Ctx.sym("saved");
+  Prog.declare(Result, VarKind::Int);
+  Prog.declare(Budget, VarKind::Int);
+  Prog.declare(Saved, VarKind::Int);
+
+  // requires (result >= 0 && budget >= 0 && budget <= 10)
+  Prog.setRequires(Ctx.conj({
+      Ctx.ge(Ctx.var(Result), Ctx.intLit(0)),
+      Ctx.ge(Ctx.var(Budget), Ctx.intLit(0)),
+      Ctx.le(Ctx.var(Budget), Ctx.intLit(10)),
+  }));
+
+  // saved = result;
+  // relax (result) st (saved - budget <= result && result <= saved + budget);
+  // assert result >= 0 - 10;   (transferred to the relaxed execution)
+  // relate quality : |result<o> - result<r>| <= budget<o>
+  const BoolExpr *RelaxPred = Ctx.conj({
+      Ctx.le(Ctx.sub(Ctx.var(Saved), Ctx.var(Budget)), Ctx.var(Result)),
+      Ctx.le(Ctx.var(Result), Ctx.add(Ctx.var(Saved), Ctx.var(Budget))),
+  });
+  const BoolExpr *Quality = Ctx.conj({
+      Ctx.le(Ctx.sub(Ctx.varO("result"), Ctx.varR("result")),
+             Ctx.varO("budget")),
+      Ctx.le(Ctx.sub(Ctx.varR("result"), Ctx.varO("result")),
+             Ctx.varO("budget")),
+  });
+  Prog.setBody(Ctx.seq({
+      Ctx.assign(Saved, Ctx.var(Result)),
+      Ctx.relax({Result}, RelaxPred),
+      Ctx.assert_(Ctx.ge(Ctx.var(Result), Ctx.sub(Ctx.intLit(0),
+                                                  Ctx.intLit(10)))),
+      Ctx.relate("quality", Quality),
+  }));
+
+  Printer P(Ctx.symbols());
+  std::printf("== Program ==\n%s\n", P.print(Prog).c_str());
+
+  // -- 2. Verify -------------------------------------------------------------
+  DiagnosticEngine Diags;
+  Z3Solver Backend(Ctx.symbols());
+  CachingSolver Solver(Backend);
+  Verifier V(Ctx, Prog, Solver, Diags);
+  VerifyReport Report = V.run();
+  std::printf("== Verification ==\n%s\n",
+              renderReport(Report, Ctx.symbols()).c_str());
+  if (!Report.verified())
+    return 1;
+
+  // -- 3. Execute both dynamic semantics -------------------------------------
+  State Init;
+  Init[Result] = Value(int64_t(42));
+  Init[Budget] = Value(int64_t(5));
+  Init[Saved] = Value(int64_t(0));
+
+  SolverOracle OrigOracle(Ctx, Solver);
+  Interp OrigInterp(Prog, Ctx.symbols(), OrigOracle);
+  Outcome Orig = OrigInterp.run(SemanticsMode::Original, Init);
+
+  SolverOracle::Options RelOpts;
+  RelOpts.Seed = 2026;
+  SolverOracle RelOracle(Ctx, Solver, RelOpts);
+  Interp RelInterp(Prog, Ctx.symbols(), RelOracle);
+  Outcome Rel = RelInterp.run(SemanticsMode::Relaxed, Init);
+
+  std::printf("== Execution ==\noriginal: %s  %s\nrelaxed:  %s  %s\n",
+              outcomeKindName(Orig.Kind),
+              formatState(Ctx.symbols(), Orig.FinalState).c_str(),
+              outcomeKindName(Rel.Kind),
+              formatState(Ctx.symbols(), Rel.FinalState).c_str());
+
+  // -- 4. Check observational compatibility (Theorem 6, dynamically) --------
+  RelateMap Gamma;
+  Gamma[Ctx.sym("quality")] = Quality;
+  CompatResult Compat = checkObservationalCompatibility(
+      Gamma, Orig.Observations, Rel.Observations, Ctx.symbols());
+  std::printf("== Compatibility ==\n%s\n",
+              Compat.Compatible ? "the execution pair satisfies every "
+                                  "relate statement"
+                                : Compat.Reason.c_str());
+  return Compat.Compatible ? 0 : 1;
+}

@@ -1,0 +1,305 @@
+//===- AstContext.cpp - AST ownership and factory ----------------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/AstContext.h"
+
+#include "support/Casting.h"
+
+#include <cassert>
+
+using namespace relax;
+
+const char *relax::varTagSuffix(VarTag Tag) {
+  switch (Tag) {
+  case VarTag::Plain:
+    return "";
+  case VarTag::Orig:
+    return "<o>";
+  case VarTag::Rel:
+    return "<r>";
+  }
+  return "";
+}
+
+const char *relax::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Mod:
+    return "%";
+  }
+  return "?";
+}
+
+const char *relax::cmpOpSpelling(CmpOp Op) {
+  switch (Op) {
+  case CmpOp::Lt:
+    return "<";
+  case CmpOp::Le:
+    return "<=";
+  case CmpOp::Gt:
+    return ">";
+  case CmpOp::Ge:
+    return ">=";
+  case CmpOp::Eq:
+    return "==";
+  case CmpOp::Ne:
+    return "!=";
+  }
+  return "?";
+}
+
+bool relax::evalCmpOp(CmpOp Op, int64_t L, int64_t R) {
+  switch (Op) {
+  case CmpOp::Lt:
+    return L < R;
+  case CmpOp::Le:
+    return L <= R;
+  case CmpOp::Gt:
+    return L > R;
+  case CmpOp::Ge:
+    return L >= R;
+  case CmpOp::Eq:
+    return L == R;
+  case CmpOp::Ne:
+    return L != R;
+  }
+  return false;
+}
+
+CmpOp relax::negateCmpOp(CmpOp Op) {
+  switch (Op) {
+  case CmpOp::Lt:
+    return CmpOp::Ge;
+  case CmpOp::Le:
+    return CmpOp::Gt;
+  case CmpOp::Gt:
+    return CmpOp::Le;
+  case CmpOp::Ge:
+    return CmpOp::Lt;
+  case CmpOp::Eq:
+    return CmpOp::Ne;
+  case CmpOp::Ne:
+    return CmpOp::Eq;
+  }
+  return Op;
+}
+
+const char *relax::logicalOpSpelling(LogicalOp Op) {
+  switch (Op) {
+  case LogicalOp::And:
+    return "&&";
+  case LogicalOp::Or:
+    return "||";
+  case LogicalOp::Implies:
+    return "==>";
+  case LogicalOp::Iff:
+    return "<==>";
+  }
+  return "?";
+}
+
+AstContext::AstContext() {
+  CachedTrue = Mem.make<BoolLitExpr>(true, SourceLoc());
+  CachedFalse = Mem.make<BoolLitExpr>(false, SourceLoc());
+}
+
+//===----------------------------------------------------------------------===//
+// Integer expressions
+//===----------------------------------------------------------------------===//
+
+const Expr *AstContext::intLit(int64_t Value, SourceLoc Loc) {
+  return Mem.make<IntLitExpr>(Value, Loc);
+}
+
+const Expr *AstContext::var(Symbol Name, VarTag Tag, SourceLoc Loc) {
+  assert(Name.isValid() && "variable needs a valid symbol");
+  return Mem.make<VarExpr>(Name, Tag, Loc);
+}
+
+const ArrayExpr *AstContext::arrayRef(Symbol Name, VarTag Tag, SourceLoc Loc) {
+  assert(Name.isValid() && "array needs a valid symbol");
+  return Mem.make<ArrayRefExpr>(Name, Tag, Loc);
+}
+
+const ArrayExpr *AstContext::arrayStore(const ArrayExpr *Base,
+                                        const Expr *Index, const Expr *Value,
+                                        SourceLoc Loc) {
+  return Mem.make<ArrayStoreExpr>(Base, Index, Value, Loc);
+}
+
+const Expr *AstContext::arrayRead(const ArrayExpr *Base, const Expr *Index,
+                                  SourceLoc Loc) {
+  return Mem.make<ArrayReadExpr>(Base, Index, Loc);
+}
+
+const Expr *AstContext::arrayLen(const ArrayExpr *Base, SourceLoc Loc) {
+  return Mem.make<ArrayLenExpr>(Base, Loc);
+}
+
+const Expr *AstContext::binary(BinaryOp Op, const Expr *LHS, const Expr *RHS,
+                               SourceLoc Loc) {
+  return Mem.make<BinaryExpr>(Op, LHS, RHS, Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Boolean expressions
+//===----------------------------------------------------------------------===//
+
+const BoolExpr *AstContext::boolLit(bool Value, SourceLoc Loc) {
+  if (!Loc.isValid())
+    return Value ? CachedTrue : CachedFalse;
+  return Mem.make<BoolLitExpr>(Value, Loc);
+}
+
+const BoolExpr *AstContext::cmp(CmpOp Op, const Expr *LHS, const Expr *RHS,
+                                SourceLoc Loc) {
+  return Mem.make<CmpExpr>(Op, LHS, RHS, Loc);
+}
+
+const BoolExpr *AstContext::arrayCmp(bool Equal, const ArrayExpr *LHS,
+                                     const ArrayExpr *RHS, SourceLoc Loc) {
+  return Mem.make<ArrayCmpExpr>(Equal, LHS, RHS, Loc);
+}
+
+const BoolExpr *AstContext::logical(LogicalOp Op, const BoolExpr *LHS,
+                                    const BoolExpr *RHS, SourceLoc Loc) {
+  return Mem.make<LogicalExpr>(Op, LHS, RHS, Loc);
+}
+
+const BoolExpr *AstContext::notExpr(const BoolExpr *Sub, SourceLoc Loc) {
+  return Mem.make<NotExpr>(Sub, Loc);
+}
+
+const BoolExpr *
+AstContext::conj(std::initializer_list<const BoolExpr *> Parts) {
+  return conj(std::vector<const BoolExpr *>(Parts));
+}
+
+const BoolExpr *AstContext::conj(const std::vector<const BoolExpr *> &Parts) {
+  const BoolExpr *Acc = nullptr;
+  for (const BoolExpr *P : Parts) {
+    if (!P)
+      continue;
+    if (const auto *Lit = dyn_cast<BoolLitExpr>(P); Lit && Lit->value())
+      continue; // `true` is the unit of conjunction
+    Acc = Acc ? andExpr(Acc, P) : P;
+  }
+  return Acc ? Acc : trueExpr();
+}
+
+const BoolExpr *
+AstContext::disj(std::initializer_list<const BoolExpr *> Parts) {
+  return disj(std::vector<const BoolExpr *>(Parts));
+}
+
+const BoolExpr *AstContext::disj(const std::vector<const BoolExpr *> &Parts) {
+  const BoolExpr *Acc = nullptr;
+  for (const BoolExpr *P : Parts) {
+    if (!P)
+      continue;
+    if (const auto *Lit = dyn_cast<BoolLitExpr>(P); Lit && !Lit->value())
+      continue; // `false` is the unit of disjunction
+    Acc = Acc ? orExpr(Acc, P) : P;
+  }
+  return Acc ? Acc : falseExpr();
+}
+
+const BoolExpr *AstContext::exists(Symbol Var, VarTag Tag, VarKind VK,
+                                   const BoolExpr *Body, SourceLoc Loc) {
+  return Mem.make<ExistsExpr>(Var, Tag, VK, Body, Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+const Stmt *AstContext::skip(SourceLoc Loc) { return Mem.make<SkipStmt>(Loc); }
+
+const Stmt *AstContext::assign(Symbol Var, const Expr *Value, SourceLoc Loc) {
+  return Mem.make<AssignStmt>(Var, Value, Loc);
+}
+
+const Stmt *AstContext::arrayAssign(Symbol Array, const Expr *Index,
+                                    const Expr *Value, SourceLoc Loc) {
+  return Mem.make<ArrayAssignStmt>(Array, Index, Value, Loc);
+}
+
+const Stmt *AstContext::havoc(const std::vector<Symbol> &Vars,
+                              const BoolExpr *Pred, SourceLoc Loc) {
+  assert(!Vars.empty() && "havoc needs at least one variable");
+  Symbol *Copy = Mem.copyArray(Vars.data(), Vars.size());
+  return Mem.make<HavocStmt>(Copy, Vars.size(), Pred, Loc);
+}
+
+const Stmt *AstContext::relax(const std::vector<Symbol> &Vars,
+                              const BoolExpr *Pred, SourceLoc Loc) {
+  assert(!Vars.empty() && "relax needs at least one variable");
+  Symbol *Copy = Mem.copyArray(Vars.data(), Vars.size());
+  return Mem.make<RelaxStmt>(Copy, Vars.size(), Pred, Loc);
+}
+
+const Stmt *AstContext::ifStmt(const BoolExpr *Cond, const Stmt *Then,
+                               const Stmt *Else,
+                               const DivergeAnnotation *Diverge,
+                               SourceLoc Loc) {
+  if (!Else)
+    Else = skip(Loc);
+  return Mem.make<IfStmt>(Cond, Then, Else, Diverge, Loc);
+}
+
+const Stmt *AstContext::whileStmt(const BoolExpr *Cond, const Stmt *Body,
+                                  LoopAnnotations Annotations,
+                                  const DivergeAnnotation *Diverge,
+                                  SourceLoc Loc) {
+  const auto *Ann = Mem.make<LoopAnnotations>(Annotations);
+  return Mem.make<WhileStmt>(Cond, Body, Ann, Diverge, Loc);
+}
+
+const Stmt *AstContext::assume(const BoolExpr *Pred, SourceLoc Loc) {
+  return Mem.make<AssumeStmt>(Pred, Loc);
+}
+
+const Stmt *AstContext::assert_(const BoolExpr *Pred, SourceLoc Loc) {
+  return Mem.make<AssertStmt>(Pred, Loc);
+}
+
+const Stmt *AstContext::relate(Symbol Label, const BoolExpr *Pred,
+                               SourceLoc Loc) {
+  return Mem.make<RelateStmt>(Label, Pred, Loc);
+}
+
+const Stmt *AstContext::seq(const Stmt *First, const Stmt *Second,
+                            SourceLoc Loc) {
+  return Mem.make<SeqStmt>(First, Second, Loc);
+}
+
+const Stmt *AstContext::seq(std::initializer_list<const Stmt *> Stmts) {
+  return seq(std::vector<const Stmt *>(Stmts));
+}
+
+const Stmt *AstContext::seq(const std::vector<const Stmt *> &Stmts) {
+  const Stmt *Acc = nullptr;
+  // Right-nest so execution order matches list order.
+  for (auto It = Stmts.rbegin(), E = Stmts.rend(); It != E; ++It) {
+    if (!*It)
+      continue;
+    Acc = Acc ? seq(*It, Acc) : *It;
+  }
+  return Acc ? Acc : skip();
+}
+
+const DivergeAnnotation *
+AstContext::divergeAnnotation(DivergeAnnotation A) {
+  return Mem.make<DivergeAnnotation>(A);
+}

@@ -1,0 +1,200 @@
+//===- AstContext.h - AST ownership and factory --------------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AstContext owns every AST node (arena) and every identifier (interner)
+/// for one compilation, and exposes factory methods that double as a
+/// builder DSL for constructing programs directly from C++ (used by the
+/// examples, the tests, and the synthetic-workload generators).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_AST_ASTCONTEXT_H
+#define RELAXC_AST_ASTCONTEXT_H
+
+#include "ast/Program.h"
+#include "support/Arena.h"
+
+#include <initializer_list>
+#include <string_view>
+#include <vector>
+
+namespace relax {
+
+/// Owns AST nodes and interned symbols; provides node factories.
+///
+/// All factory methods return arena-allocated, immutable nodes. Formula
+/// factories apply *no* simplification (the logic library has an explicit
+/// simplifier) except the `conj`/`disj` list helpers, which fold their
+/// neutral elements to keep generated VCs readable.
+class AstContext {
+public:
+  AstContext();
+  AstContext(const AstContext &) = delete;
+  AstContext &operator=(const AstContext &) = delete;
+
+  Interner &symbols() { return Syms; }
+  const Interner &symbols() const { return Syms; }
+  Arena &arena() { return Mem; }
+
+  /// Interns \p Name.
+  Symbol sym(std::string_view Name) { return Syms.intern(Name); }
+  /// Returns the text of \p S.
+  std::string_view text(Symbol S) const { return Syms.text(S); }
+  /// Returns a symbol fresh with respect to everything interned so far.
+  Symbol freshSym(Symbol Base) { return Syms.fresh(Base); }
+
+  //===--------------------------------------------------------------------===//
+  // Integer expressions
+  //===--------------------------------------------------------------------===//
+
+  const Expr *intLit(int64_t Value, SourceLoc Loc = SourceLoc());
+  const Expr *var(Symbol Name, VarTag Tag = VarTag::Plain,
+                  SourceLoc Loc = SourceLoc());
+  const Expr *var(std::string_view Name, VarTag Tag = VarTag::Plain) {
+    return var(sym(Name), Tag);
+  }
+  /// `x<o>` / `x<r>` shorthands.
+  const Expr *varO(std::string_view Name) { return var(sym(Name), VarTag::Orig); }
+  const Expr *varR(std::string_view Name) { return var(sym(Name), VarTag::Rel); }
+
+  const ArrayExpr *arrayRef(Symbol Name, VarTag Tag = VarTag::Plain,
+                            SourceLoc Loc = SourceLoc());
+  const ArrayExpr *arrayRef(std::string_view Name,
+                            VarTag Tag = VarTag::Plain) {
+    return arrayRef(sym(Name), Tag);
+  }
+  const ArrayExpr *arrayStore(const ArrayExpr *Base, const Expr *Index,
+                              const Expr *Value, SourceLoc Loc = SourceLoc());
+
+  const Expr *arrayRead(const ArrayExpr *Base, const Expr *Index,
+                        SourceLoc Loc = SourceLoc());
+  const Expr *arrayLen(const ArrayExpr *Base, SourceLoc Loc = SourceLoc());
+
+  const Expr *binary(BinaryOp Op, const Expr *LHS, const Expr *RHS,
+                     SourceLoc Loc = SourceLoc());
+  const Expr *add(const Expr *L, const Expr *R) {
+    return binary(BinaryOp::Add, L, R);
+  }
+  const Expr *sub(const Expr *L, const Expr *R) {
+    return binary(BinaryOp::Sub, L, R);
+  }
+  const Expr *mul(const Expr *L, const Expr *R) {
+    return binary(BinaryOp::Mul, L, R);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Boolean expressions / formulas
+  //===--------------------------------------------------------------------===//
+
+  const BoolExpr *boolLit(bool Value, SourceLoc Loc = SourceLoc());
+  const BoolExpr *trueExpr() { return CachedTrue; }
+  const BoolExpr *falseExpr() { return CachedFalse; }
+
+  const BoolExpr *cmp(CmpOp Op, const Expr *LHS, const Expr *RHS,
+                      SourceLoc Loc = SourceLoc());
+  const BoolExpr *eq(const Expr *L, const Expr *R) {
+    return cmp(CmpOp::Eq, L, R);
+  }
+  const BoolExpr *ne(const Expr *L, const Expr *R) {
+    return cmp(CmpOp::Ne, L, R);
+  }
+  const BoolExpr *lt(const Expr *L, const Expr *R) {
+    return cmp(CmpOp::Lt, L, R);
+  }
+  const BoolExpr *le(const Expr *L, const Expr *R) {
+    return cmp(CmpOp::Le, L, R);
+  }
+  const BoolExpr *gt(const Expr *L, const Expr *R) {
+    return cmp(CmpOp::Gt, L, R);
+  }
+  const BoolExpr *ge(const Expr *L, const Expr *R) {
+    return cmp(CmpOp::Ge, L, R);
+  }
+
+  const BoolExpr *arrayCmp(bool Equal, const ArrayExpr *LHS,
+                           const ArrayExpr *RHS, SourceLoc Loc = SourceLoc());
+  const BoolExpr *arrayEq(const ArrayExpr *L, const ArrayExpr *R) {
+    return arrayCmp(true, L, R);
+  }
+
+  const BoolExpr *logical(LogicalOp Op, const BoolExpr *LHS,
+                          const BoolExpr *RHS, SourceLoc Loc = SourceLoc());
+  const BoolExpr *andExpr(const BoolExpr *L, const BoolExpr *R) {
+    return logical(LogicalOp::And, L, R);
+  }
+  const BoolExpr *orExpr(const BoolExpr *L, const BoolExpr *R) {
+    return logical(LogicalOp::Or, L, R);
+  }
+  const BoolExpr *implies(const BoolExpr *L, const BoolExpr *R) {
+    return logical(LogicalOp::Implies, L, R);
+  }
+  const BoolExpr *notExpr(const BoolExpr *Sub, SourceLoc Loc = SourceLoc());
+
+  /// Conjunction of a list, folding `true` units: conj({}) == true.
+  const BoolExpr *conj(std::initializer_list<const BoolExpr *> Parts);
+  const BoolExpr *conj(const std::vector<const BoolExpr *> &Parts);
+  /// Disjunction of a list, folding `false` units: disj({}) == false.
+  const BoolExpr *disj(std::initializer_list<const BoolExpr *> Parts);
+  const BoolExpr *disj(const std::vector<const BoolExpr *> &Parts);
+
+  const BoolExpr *exists(Symbol Var, VarTag Tag, VarKind VK,
+                         const BoolExpr *Body, SourceLoc Loc = SourceLoc());
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  const Stmt *skip(SourceLoc Loc = SourceLoc());
+  const Stmt *assign(Symbol Var, const Expr *Value,
+                     SourceLoc Loc = SourceLoc());
+  const Stmt *assign(std::string_view Var, const Expr *Value) {
+    return assign(sym(Var), Value);
+  }
+  const Stmt *arrayAssign(Symbol Array, const Expr *Index, const Expr *Value,
+                          SourceLoc Loc = SourceLoc());
+  const Stmt *arrayAssign(std::string_view Array, const Expr *Index,
+                          const Expr *Value) {
+    return arrayAssign(sym(Array), Index, Value);
+  }
+  const Stmt *havoc(const std::vector<Symbol> &Vars, const BoolExpr *Pred,
+                    SourceLoc Loc = SourceLoc());
+  const Stmt *relax(const std::vector<Symbol> &Vars, const BoolExpr *Pred,
+                    SourceLoc Loc = SourceLoc());
+  const Stmt *ifStmt(const BoolExpr *Cond, const Stmt *Then, const Stmt *Else,
+                     const DivergeAnnotation *Diverge = nullptr,
+                     SourceLoc Loc = SourceLoc());
+  const Stmt *whileStmt(const BoolExpr *Cond, const Stmt *Body,
+                        LoopAnnotations Annotations = LoopAnnotations(),
+                        const DivergeAnnotation *Diverge = nullptr,
+                        SourceLoc Loc = SourceLoc());
+  const Stmt *assume(const BoolExpr *Pred, SourceLoc Loc = SourceLoc());
+  const Stmt *assert_(const BoolExpr *Pred, SourceLoc Loc = SourceLoc());
+  const Stmt *relate(Symbol Label, const BoolExpr *Pred,
+                     SourceLoc Loc = SourceLoc());
+  const Stmt *relate(std::string_view Label, const BoolExpr *Pred) {
+    return relate(sym(Label), Pred);
+  }
+  const Stmt *seq(const Stmt *First, const Stmt *Second,
+                  SourceLoc Loc = SourceLoc());
+  /// Right-nested sequence of a statement list; seq({}) == skip.
+  const Stmt *seq(std::initializer_list<const Stmt *> Stmts);
+  const Stmt *seq(const std::vector<const Stmt *> &Stmts);
+
+  /// Arena-allocates a DivergeAnnotation.
+  const DivergeAnnotation *divergeAnnotation(DivergeAnnotation A);
+
+private:
+  Arena Mem;
+  Interner Syms;
+  const BoolExpr *CachedTrue = nullptr;
+  const BoolExpr *CachedFalse = nullptr;
+};
+
+} // namespace relax
+
+#endif // RELAXC_AST_ASTCONTEXT_H

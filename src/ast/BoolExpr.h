@@ -1,0 +1,179 @@
+//===- BoolExpr.h - Boolean expressions and formulas --------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Boolean expressions B / B* and assertion-logic formulas P / P* (Figures
+/// 1 and 5 of the paper) share one AST. The formula syntax strictly extends
+/// the program boolean syntax with existential quantification, so program
+/// positions simply require quantifier-free nodes (checked by sema), and the
+/// unary/relational split is carried by the VarTags of the variables inside
+/// (see Expr.h). Extensional array comparison supports noninterference
+/// predicates such as `RS<o> == RS<r>` from the Water case study.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_AST_BOOLEXPR_H
+#define RELAXC_AST_BOOLEXPR_H
+
+#include "ast/Expr.h"
+
+namespace relax {
+
+/// Integer comparison operators (cmp in Figure 1).
+enum class CmpOp : uint8_t { Lt, Le, Gt, Ge, Eq, Ne };
+
+/// Returns the surface syntax for \p Op.
+const char *cmpOpSpelling(CmpOp Op);
+
+/// Evaluates `L cmp R` on concrete integers.
+bool evalCmpOp(CmpOp Op, int64_t L, int64_t R);
+
+/// Negates a comparison (Lt <-> Ge, etc.), used by the simplifier.
+CmpOp negateCmpOp(CmpOp Op);
+
+/// Binary logical operators (lop in Figure 1, plus implication and
+/// equivalence, which the proof rules use pervasively in side conditions).
+enum class LogicalOp : uint8_t { And, Or, Implies, Iff };
+
+/// Returns the surface syntax for \p Op.
+const char *logicalOpSpelling(LogicalOp Op);
+
+/// A boolean-valued expression / logic formula.
+class BoolExpr {
+public:
+  enum class Kind : uint8_t { BoolLit, Cmp, ArrayCmp, Logical, Not, Exists };
+
+  Kind kind() const { return K; }
+  SourceLoc loc() const { return Loc; }
+
+  BoolExpr(const BoolExpr &) = delete;
+  BoolExpr &operator=(const BoolExpr &) = delete;
+
+protected:
+  BoolExpr(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+
+private:
+  Kind K;
+  SourceLoc Loc;
+};
+
+/// `true` or `false`.
+class BoolLitExpr : public BoolExpr {
+public:
+  BoolLitExpr(bool Value, SourceLoc Loc)
+      : BoolExpr(Kind::BoolLit, Loc), Value(Value) {}
+
+  bool value() const { return Value; }
+
+  static bool classof(const BoolExpr *B) { return B->kind() == Kind::BoolLit; }
+
+private:
+  bool Value;
+};
+
+/// A comparison `e1 cmp e2` of integer expressions.
+class CmpExpr : public BoolExpr {
+public:
+  CmpExpr(CmpOp Op, const Expr *LHS, const Expr *RHS, SourceLoc Loc)
+      : BoolExpr(Kind::Cmp, Loc), Op(Op), LHS(LHS), RHS(RHS) {}
+
+  CmpOp op() const { return Op; }
+  const Expr *lhs() const { return LHS; }
+  const Expr *rhs() const { return RHS; }
+
+  static bool classof(const BoolExpr *B) { return B->kind() == Kind::Cmp; }
+
+private:
+  CmpOp Op;
+  const Expr *LHS;
+  const Expr *RHS;
+};
+
+/// Extensional equality / disequality of whole arrays (`a == b`). Two
+/// arrays are equal when they have the same length and the same contents at
+/// every index in bounds.
+class ArrayCmpExpr : public BoolExpr {
+public:
+  ArrayCmpExpr(bool Equal, const ArrayExpr *LHS, const ArrayExpr *RHS,
+               SourceLoc Loc)
+      : BoolExpr(Kind::ArrayCmp, Loc), Equal(Equal), LHS(LHS), RHS(RHS) {}
+
+  /// True for `==`, false for `!=`.
+  bool isEquality() const { return Equal; }
+  const ArrayExpr *lhs() const { return LHS; }
+  const ArrayExpr *rhs() const { return RHS; }
+
+  static bool classof(const BoolExpr *B) {
+    return B->kind() == Kind::ArrayCmp;
+  }
+
+private:
+  bool Equal;
+  const ArrayExpr *LHS;
+  const ArrayExpr *RHS;
+};
+
+/// A binary connective `b1 lop b2`.
+class LogicalExpr : public BoolExpr {
+public:
+  LogicalExpr(LogicalOp Op, const BoolExpr *LHS, const BoolExpr *RHS,
+              SourceLoc Loc)
+      : BoolExpr(Kind::Logical, Loc), Op(Op), LHS(LHS), RHS(RHS) {}
+
+  LogicalOp op() const { return Op; }
+  const BoolExpr *lhs() const { return LHS; }
+  const BoolExpr *rhs() const { return RHS; }
+
+  static bool classof(const BoolExpr *B) { return B->kind() == Kind::Logical; }
+
+private:
+  LogicalOp Op;
+  const BoolExpr *LHS;
+  const BoolExpr *RHS;
+};
+
+/// Negation `!b`.
+class NotExpr : public BoolExpr {
+public:
+  NotExpr(const BoolExpr *Sub, SourceLoc Loc)
+      : BoolExpr(Kind::Not, Loc), Sub(Sub) {}
+
+  const BoolExpr *sub() const { return Sub; }
+
+  static bool classof(const BoolExpr *B) { return B->kind() == Kind::Not; }
+
+private:
+  const BoolExpr *Sub;
+};
+
+/// Existential quantification `exists x . P` (Figure 5), over a scalar or a
+/// whole array, with the bound variable tagged by execution
+/// (`exists x<o> . P*`, `exists x<r> . P*`). Only appears in assertion-logic
+/// positions (annotations, generated VCs), never in program booleans.
+class ExistsExpr : public BoolExpr {
+public:
+  ExistsExpr(Symbol Var, VarTag Tag, VarKind VK, const BoolExpr *Body,
+             SourceLoc Loc)
+      : BoolExpr(Kind::Exists, Loc), Var(Var), Tag(Tag), VK(VK), Body(Body) {}
+
+  Symbol var() const { return Var; }
+  VarTag tag() const { return Tag; }
+  VarKind varKind() const { return VK; }
+  const BoolExpr *body() const { return Body; }
+
+  static bool classof(const BoolExpr *B) { return B->kind() == Kind::Exists; }
+
+private:
+  Symbol Var;
+  VarTag Tag;
+  VarKind VK;
+  const BoolExpr *Body;
+};
+
+} // namespace relax
+
+#endif // RELAXC_AST_BOOLEXPR_H

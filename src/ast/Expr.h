@@ -1,0 +1,220 @@
+//===- Expr.h - Integer and array expressions ---------------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Integer expressions E and relational integer expressions E* (Figure 1 of
+/// the paper) share one AST: a variable reference carries a VarTag saying
+/// whether it denotes the current execution (`x`, Plain), the original
+/// execution (`x<o>`, Orig), or the relaxed execution (`x<r>`, Rel).
+/// Program expressions use only Plain variables; relational predicates use
+/// only Orig/Rel variables. Sema enforces the discipline that the paper's
+/// separate syntactic categories E and E* provide.
+///
+/// Arrays are the paper's footnote-2 extension, needed by the Water and LU
+/// case studies. Array-valued expressions form a small separate hierarchy
+/// (a named array or a McCarthy `store`), so that the verification-condition
+/// generator can model element assignment precisely; `a[e]` reads an element
+/// and `len(a)` is the (execution-invariant) array length.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_AST_EXPR_H
+#define RELAXC_AST_EXPR_H
+
+#include "support/Interner.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+
+namespace relax {
+
+/// Which execution a variable reference denotes.
+enum class VarTag : uint8_t {
+  Plain, ///< current execution (program text, unary predicates)
+  Orig,  ///< `x<o>`: the original execution, first state component
+  Rel,   ///< `x<r>`: the relaxed execution, second state component
+};
+
+/// Returns "", "<o>", or "<r>" for printing.
+const char *varTagSuffix(VarTag Tag);
+
+/// The type of a program variable.
+enum class VarKind : uint8_t { Int, Array };
+
+/// Binary integer operators (iop in Figure 1).
+enum class BinaryOp : uint8_t { Add, Sub, Mul, Div, Mod };
+
+/// Returns the surface syntax for \p Op.
+const char *binaryOpSpelling(BinaryOp Op);
+
+class Expr;
+
+//===----------------------------------------------------------------------===//
+// Array-valued expressions
+//===----------------------------------------------------------------------===//
+
+/// An array-valued expression: a named array or a functional update of one.
+class ArrayExpr {
+public:
+  enum class Kind : uint8_t { Ref, Store };
+
+  Kind kind() const { return K; }
+  SourceLoc loc() const { return Loc; }
+
+  ArrayExpr(const ArrayExpr &) = delete;
+  ArrayExpr &operator=(const ArrayExpr &) = delete;
+
+protected:
+  ArrayExpr(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+
+private:
+  Kind K;
+  SourceLoc Loc;
+};
+
+/// A named array `a`, `a<o>`, or `a<r>`.
+class ArrayRefExpr : public ArrayExpr {
+public:
+  ArrayRefExpr(Symbol Name, VarTag Tag, SourceLoc Loc)
+      : ArrayExpr(Kind::Ref, Loc), Name(Name), Tag(Tag) {}
+
+  Symbol name() const { return Name; }
+  VarTag tag() const { return Tag; }
+
+  static bool classof(const ArrayExpr *A) { return A->kind() == Kind::Ref; }
+
+private:
+  Symbol Name;
+  VarTag Tag;
+};
+
+/// A functional array update `store(a, i, v)`: the array equal to \p base
+/// except that index \p i maps to \p v. Only appears in generated
+/// verification conditions, never in program text.
+class ArrayStoreExpr : public ArrayExpr {
+public:
+  ArrayStoreExpr(const ArrayExpr *Base, const Expr *Index, const Expr *Value,
+                 SourceLoc Loc)
+      : ArrayExpr(Kind::Store, Loc), Base(Base), Index(Index), Value(Value) {}
+
+  const ArrayExpr *base() const { return Base; }
+  const Expr *index() const { return Index; }
+  const Expr *value() const { return Value; }
+
+  static bool classof(const ArrayExpr *A) { return A->kind() == Kind::Store; }
+
+private:
+  const ArrayExpr *Base;
+  const Expr *Index;
+  const Expr *Value;
+};
+
+//===----------------------------------------------------------------------===//
+// Integer-valued expressions
+//===----------------------------------------------------------------------===//
+
+/// An integer-valued expression.
+class Expr {
+public:
+  enum class Kind : uint8_t { IntLit, Var, ArrayRead, ArrayLen, Binary };
+
+  Kind kind() const { return K; }
+  SourceLoc loc() const { return Loc; }
+
+  Expr(const Expr &) = delete;
+  Expr &operator=(const Expr &) = delete;
+
+protected:
+  Expr(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+
+private:
+  Kind K;
+  SourceLoc Loc;
+};
+
+/// An integer literal `n`.
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(int64_t Value, SourceLoc Loc)
+      : Expr(Kind::IntLit, Loc), Value(Value) {}
+
+  int64_t value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::IntLit; }
+
+private:
+  int64_t Value;
+};
+
+/// A scalar variable reference `x`, `x<o>`, or `x<r>`.
+class VarExpr : public Expr {
+public:
+  VarExpr(Symbol Name, VarTag Tag, SourceLoc Loc)
+      : Expr(Kind::Var, Loc), Name(Name), Tag(Tag) {}
+
+  Symbol name() const { return Name; }
+  VarTag tag() const { return Tag; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Var; }
+
+private:
+  Symbol Name;
+  VarTag Tag;
+};
+
+/// An array element read `a[e]`.
+class ArrayReadExpr : public Expr {
+public:
+  ArrayReadExpr(const ArrayExpr *Base, const Expr *Index, SourceLoc Loc)
+      : Expr(Kind::ArrayRead, Loc), Base(Base), Index(Index) {}
+
+  const ArrayExpr *base() const { return Base; }
+  const Expr *index() const { return Index; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::ArrayRead; }
+
+private:
+  const ArrayExpr *Base;
+  const Expr *Index;
+};
+
+/// The length of an array, `len(a)`. Lengths are fixed for a whole
+/// execution: assignment, havoc, and relax preserve them.
+class ArrayLenExpr : public Expr {
+public:
+  ArrayLenExpr(const ArrayExpr *Base, SourceLoc Loc)
+      : Expr(Kind::ArrayLen, Loc), Base(Base) {}
+
+  const ArrayExpr *base() const { return Base; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::ArrayLen; }
+
+private:
+  const ArrayExpr *Base;
+};
+
+/// A binary arithmetic expression `e1 iop e2`.
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOp Op, const Expr *LHS, const Expr *RHS, SourceLoc Loc)
+      : Expr(Kind::Binary, Loc), Op(Op), LHS(LHS), RHS(RHS) {}
+
+  BinaryOp op() const { return Op; }
+  const Expr *lhs() const { return LHS; }
+  const Expr *rhs() const { return RHS; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+
+private:
+  BinaryOp Op;
+  const Expr *LHS;
+  const Expr *RHS;
+};
+
+} // namespace relax
+
+#endif // RELAXC_AST_EXPR_H

@@ -1,0 +1,428 @@
+//===- Printer.cpp - AST pretty printing -------------------------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Printer.h"
+
+#include "support/Casting.h"
+#include "support/Interner.h"
+
+using namespace relax;
+
+namespace {
+
+// Expression precedence levels; higher binds tighter.
+constexpr int PrecAtom = 10;
+constexpr int PrecMul = 5;
+constexpr int PrecAdd = 4;
+
+// Boolean precedence levels.
+constexpr int PrecNot = 6;
+constexpr int PrecCmp = 5; // comparisons are atoms of the boolean grammar
+constexpr int PrecAnd = 4;
+constexpr int PrecOr = 3;
+constexpr int PrecImplies = 2;
+constexpr int PrecIff = 1;
+constexpr int PrecExists = 0;
+
+int exprPrec(const Expr *E) {
+  if (const auto *B = dyn_cast<BinaryExpr>(E)) {
+    switch (B->op()) {
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+    case BinaryOp::Mod:
+      return PrecMul;
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+      return PrecAdd;
+    }
+  }
+  return PrecAtom;
+}
+
+int boolPrec(const BoolExpr *B) {
+  switch (B->kind()) {
+  case BoolExpr::Kind::BoolLit:
+  case BoolExpr::Kind::Cmp:
+  case BoolExpr::Kind::ArrayCmp:
+    return PrecCmp;
+  case BoolExpr::Kind::Not:
+    return PrecNot;
+  case BoolExpr::Kind::Logical:
+    switch (cast<LogicalExpr>(B)->op()) {
+    case LogicalOp::And:
+      return PrecAnd;
+    case LogicalOp::Or:
+      return PrecOr;
+    case LogicalOp::Implies:
+      return PrecImplies;
+    case LogicalOp::Iff:
+      return PrecIff;
+    }
+    return PrecAnd;
+  case BoolExpr::Kind::Exists:
+    return PrecExists;
+  }
+  return PrecCmp;
+}
+
+void indentTo(unsigned Indent, std::string &Out) {
+  Out.append(Indent * 2, ' ');
+}
+
+} // namespace
+
+void Printer::printExpr(const Expr *E, int ParentPrec, std::string &Out) const {
+  int Prec = exprPrec(E);
+  bool NeedParens = Prec < ParentPrec;
+  if (NeedParens)
+    Out += '(';
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    Out += std::to_string(cast<IntLitExpr>(E)->value());
+    break;
+  case Expr::Kind::Var: {
+    const auto *V = cast<VarExpr>(E);
+    Out += Syms.text(V->name());
+    Out += varTagSuffix(V->tag());
+    break;
+  }
+  case Expr::Kind::ArrayRead: {
+    const auto *R = cast<ArrayReadExpr>(E);
+    printArray(R->base(), Out);
+    Out += '[';
+    printExpr(R->index(), 0, Out);
+    Out += ']';
+    break;
+  }
+  case Expr::Kind::ArrayLen: {
+    Out += "len(";
+    printArray(cast<ArrayLenExpr>(E)->base(), Out);
+    Out += ')';
+    break;
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    // Left-associative: the right operand needs strictly higher precedence.
+    printExpr(B->lhs(), Prec, Out);
+    Out += ' ';
+    Out += binaryOpSpelling(B->op());
+    Out += ' ';
+    printExpr(B->rhs(), Prec + 1, Out);
+    break;
+  }
+  }
+  if (NeedParens)
+    Out += ')';
+}
+
+void Printer::printArray(const ArrayExpr *A, std::string &Out) const {
+  switch (A->kind()) {
+  case ArrayExpr::Kind::Ref: {
+    const auto *R = cast<ArrayRefExpr>(A);
+    Out += Syms.text(R->name());
+    Out += varTagSuffix(R->tag());
+    break;
+  }
+  case ArrayExpr::Kind::Store: {
+    const auto *S = cast<ArrayStoreExpr>(A);
+    Out += "store(";
+    printArray(S->base(), Out);
+    Out += ", ";
+    printExpr(S->index(), 0, Out);
+    Out += ", ";
+    printExpr(S->value(), 0, Out);
+    Out += ')';
+    break;
+  }
+  }
+}
+
+void Printer::printBool(const BoolExpr *B, int ParentPrec,
+                        std::string &Out) const {
+  int Prec = boolPrec(B);
+  bool NeedParens = Prec < ParentPrec;
+  if (NeedParens)
+    Out += '(';
+  switch (B->kind()) {
+  case BoolExpr::Kind::BoolLit:
+    Out += cast<BoolLitExpr>(B)->value() ? "true" : "false";
+    break;
+  case BoolExpr::Kind::Cmp: {
+    const auto *C = cast<CmpExpr>(B);
+    printExpr(C->lhs(), 0, Out);
+    Out += ' ';
+    Out += cmpOpSpelling(C->op());
+    Out += ' ';
+    printExpr(C->rhs(), 0, Out);
+    break;
+  }
+  case BoolExpr::Kind::ArrayCmp: {
+    const auto *C = cast<ArrayCmpExpr>(B);
+    printArray(C->lhs(), Out);
+    Out += C->isEquality() ? " == " : " != ";
+    printArray(C->rhs(), Out);
+    break;
+  }
+  case BoolExpr::Kind::Logical: {
+    const auto *L = cast<LogicalExpr>(B);
+    // And/Or associate; Implies is right-associative; Iff non-associative.
+    bool RightAssoc = L->op() == LogicalOp::Implies;
+    printBool(L->lhs(), RightAssoc ? Prec + 1 : Prec, Out);
+    Out += ' ';
+    Out += logicalOpSpelling(L->op());
+    Out += ' ';
+    printBool(L->rhs(), RightAssoc ? Prec : Prec + 1, Out);
+    break;
+  }
+  case BoolExpr::Kind::Not: {
+    Out += '!';
+    printBool(cast<NotExpr>(B)->sub(), PrecNot + 1, Out);
+    break;
+  }
+  case BoolExpr::Kind::Exists: {
+    const auto *E = cast<ExistsExpr>(B);
+    Out += "exists ";
+    if (E->varKind() == VarKind::Array)
+      Out += "array ";
+    Out += Syms.text(E->var());
+    Out += varTagSuffix(E->tag());
+    Out += " . ";
+    printBool(E->body(), PrecExists, Out);
+    break;
+  }
+  }
+  if (NeedParens)
+    Out += ')';
+}
+
+void Printer::printBlock(const Stmt *S, unsigned Indent,
+                         std::string &Out) const {
+  Out += "{\n";
+  printStmt(S, Indent + 1, Out);
+  indentTo(Indent, Out);
+  Out += "}";
+}
+
+void Printer::printStmt(const Stmt *S, unsigned Indent,
+                        std::string &Out) const {
+  // Flatten sequences: each component on its own line.
+  if (const auto *Seq = dyn_cast<SeqStmt>(S)) {
+    printStmt(Seq->first(), Indent, Out);
+    printStmt(Seq->second(), Indent, Out);
+    return;
+  }
+
+  indentTo(Indent, Out);
+  switch (S->kind()) {
+  case Stmt::Kind::Skip:
+    Out += "skip;\n";
+    break;
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    Out += Syms.text(A->var());
+    Out += " = ";
+    printExpr(A->value(), 0, Out);
+    Out += ";\n";
+    break;
+  }
+  case Stmt::Kind::ArrayAssign: {
+    const auto *A = cast<ArrayAssignStmt>(S);
+    Out += Syms.text(A->array());
+    Out += '[';
+    printExpr(A->index(), 0, Out);
+    Out += "] = ";
+    printExpr(A->value(), 0, Out);
+    Out += ";\n";
+    break;
+  }
+  case Stmt::Kind::Havoc:
+  case Stmt::Kind::Relax: {
+    const auto *C = cast<ChoiceStmtBase>(S);
+    Out += S->kind() == Stmt::Kind::Havoc ? "havoc (" : "relax (";
+    for (size_t I = 0, E = C->varCount(); I != E; ++I) {
+      if (I)
+        Out += ", ";
+      Out += Syms.text(C->var(I));
+    }
+    Out += ") st (";
+    printBool(C->pred(), 0, Out);
+    Out += ");\n";
+    break;
+  }
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    Out += "if (";
+    printBool(I->cond(), 0, Out);
+    Out += ")";
+    if (const DivergeAnnotation *D = I->diverge()) {
+      Out += "\n";
+      indentTo(Indent + 1, Out);
+      Out += "diverge";
+      if (D->CaseAnalysis)
+        Out += " cases";
+      auto Clause = [&](const char *Name, const BoolExpr *P) {
+        if (!P)
+          return;
+        Out += ' ';
+        Out += Name;
+        Out += " (";
+        printBool(P, 0, Out);
+        Out += ')';
+      };
+      Clause("pre_orig", D->PreOrig);
+      Clause("pre_rel", D->PreRel);
+      Clause("post_orig", D->PostOrig);
+      Clause("post_rel", D->PostRel);
+      Clause("frame", D->Frame);
+      Out += "\n";
+      indentTo(Indent, Out);
+    } else {
+      Out += ' ';
+    }
+    printBlock(I->thenStmt(), Indent, Out);
+    // Omit empty else branches.
+    if (!isa<SkipStmt>(I->elseStmt())) {
+      Out += " else ";
+      printBlock(I->elseStmt(), Indent, Out);
+    }
+    Out += "\n";
+    break;
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    Out += "while (";
+    printBool(W->cond(), 0, Out);
+    Out += ")";
+    auto Clause = [&](const char *Name, const BoolExpr *P) {
+      if (!P)
+        return;
+      Out += "\n";
+      indentTo(Indent + 1, Out);
+      Out += Name;
+      Out += " (";
+      printBool(P, 0, Out);
+      Out += ')';
+    };
+    const LoopAnnotations *Ann = W->annotations();
+    Clause("invariant", Ann->Invariant);
+    Clause("iinvariant", Ann->IntermediateInvariant);
+    Clause("rinvariant", Ann->RelInvariant);
+    if (Ann->Variant) {
+      Out += "\n";
+      indentTo(Indent + 1, Out);
+      Out += "decreases (";
+      printExpr(Ann->Variant, 0, Out);
+      Out += ')';
+    }
+    if (const DivergeAnnotation *D = W->diverge()) {
+      Out += "\n";
+      indentTo(Indent + 1, Out);
+      Out += "diverge";
+      if (D->CaseAnalysis)
+        Out += " cases";
+      auto DClause = [&](const char *Name, const BoolExpr *P) {
+        if (!P)
+          return;
+        Out += ' ';
+        Out += Name;
+        Out += " (";
+        printBool(P, 0, Out);
+        Out += ')';
+      };
+      DClause("pre_orig", D->PreOrig);
+      DClause("pre_rel", D->PreRel);
+      DClause("post_orig", D->PostOrig);
+      DClause("post_rel", D->PostRel);
+      DClause("frame", D->Frame);
+    }
+    bool HasClauses = Ann->Invariant || Ann->IntermediateInvariant ||
+                      Ann->RelInvariant || Ann->Variant || W->diverge();
+    if (HasClauses) {
+      Out += "\n";
+      indentTo(Indent, Out);
+    } else {
+      Out += ' ';
+    }
+    printBlock(W->body(), Indent, Out);
+    Out += "\n";
+    break;
+  }
+  case Stmt::Kind::Assume: {
+    Out += "assume ";
+    printBool(cast<AssumeStmt>(S)->pred(), 0, Out);
+    Out += ";\n";
+    break;
+  }
+  case Stmt::Kind::Assert: {
+    Out += "assert ";
+    printBool(cast<AssertStmt>(S)->pred(), 0, Out);
+    Out += ";\n";
+    break;
+  }
+  case Stmt::Kind::Relate: {
+    const auto *R = cast<RelateStmt>(S);
+    Out += "relate ";
+    Out += Syms.text(R->label());
+    Out += " : ";
+    printBool(R->pred(), 0, Out);
+    Out += ";\n";
+    break;
+  }
+  case Stmt::Kind::Seq:
+    break; // handled above
+  }
+}
+
+std::string Printer::print(const Expr *E) const {
+  std::string Out;
+  printExpr(E, 0, Out);
+  return Out;
+}
+
+std::string Printer::print(const ArrayExpr *A) const {
+  std::string Out;
+  printArray(A, Out);
+  return Out;
+}
+
+std::string Printer::print(const BoolExpr *B) const {
+  std::string Out;
+  printBool(B, 0, Out);
+  return Out;
+}
+
+std::string Printer::print(const Stmt *S, unsigned Indent) const {
+  std::string Out;
+  printStmt(S, Indent, Out);
+  return Out;
+}
+
+std::string Printer::print(const Program &P) const {
+  std::string Out;
+  for (const VarDecl &D : P.decls()) {
+    Out += D.Kind == VarKind::Int ? "int " : "array ";
+    Out += Syms.text(D.Name);
+    Out += ";\n";
+  }
+  auto Clause = [&](const char *Name, const BoolExpr *B) {
+    if (!B)
+      return;
+    Out += Name;
+    Out += " (";
+    printBool(B, 0, Out);
+    Out += ");\n";
+  };
+  Clause("requires", P.requiresClause());
+  Clause("ensures", P.ensuresClause());
+  Clause("rrequires", P.relRequiresClause());
+  Clause("rensures", P.relEnsuresClause());
+  Out += "{\n";
+  if (P.body())
+    printStmt(P.body(), 1, Out);
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,49 @@
+//===- Printer.h - AST pretty printing ----------------------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders expressions, formulas, statements, and whole programs back into
+/// the `.rlx` concrete syntax. Printing is precedence-aware (minimal
+/// parentheses) and round-trips through the parser (tested).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_AST_PRINTER_H
+#define RELAXC_AST_PRINTER_H
+
+#include "ast/Program.h"
+
+#include <string>
+
+namespace relax {
+
+class Interner;
+
+/// Pretty-prints AST nodes using \p Syms to resolve identifiers.
+class Printer {
+public:
+  explicit Printer(const Interner &Syms) : Syms(Syms) {}
+
+  std::string print(const Expr *E) const;
+  std::string print(const ArrayExpr *A) const;
+  std::string print(const BoolExpr *B) const;
+  std::string print(const Stmt *S, unsigned Indent = 0) const;
+  std::string print(const Program &P) const;
+
+private:
+  const Interner &Syms;
+
+  void printExpr(const Expr *E, int ParentPrec, std::string &Out) const;
+  void printArray(const ArrayExpr *A, std::string &Out) const;
+  void printBool(const BoolExpr *B, int ParentPrec, std::string &Out) const;
+  void printStmt(const Stmt *S, unsigned Indent, std::string &Out) const;
+  void printBlock(const Stmt *S, unsigned Indent, std::string &Out) const;
+};
+
+} // namespace relax
+
+#endif // RELAXC_AST_PRINTER_H

@@ -1,0 +1,91 @@
+//===- Program.h - Top-level program container --------------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Program packages the statement under verification with its variable
+/// declarations and its contracts: the unary pre/postcondition for the
+/// axiomatic original semantics |-o {P} s {Q} and the relational
+/// pre/postcondition for the axiomatic relaxed semantics |-r {P*} s {Q*}.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_AST_PROGRAM_H
+#define RELAXC_AST_PROGRAM_H
+
+#include "ast/Stmt.h"
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace relax {
+
+/// One declared program variable.
+struct VarDecl {
+  Symbol Name;
+  VarKind Kind = VarKind::Int;
+  SourceLoc Loc;
+};
+
+/// A complete annotated program.
+class Program {
+public:
+  Program() = default;
+
+  /// Adds a declaration. Returns false when \p Name was already declared.
+  bool declare(Symbol Name, VarKind Kind, SourceLoc Loc = SourceLoc()) {
+    if (KindMap.count(Name))
+      return false;
+    Decls.push_back(VarDecl{Name, Kind, Loc});
+    KindMap.emplace(Name, Kind);
+    return true;
+  }
+
+  const std::vector<VarDecl> &decls() const { return Decls; }
+
+  /// Returns the kind of \p Name, or nullopt when undeclared.
+  std::optional<VarKind> kindOf(Symbol Name) const {
+    auto It = KindMap.find(Name);
+    if (It == KindMap.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  bool isDeclared(Symbol Name) const { return KindMap.count(Name) != 0; }
+
+  void setBody(const Stmt *S) { Body = S; }
+  const Stmt *body() const { return Body; }
+
+  /// Unary contract {P} s {Q}; null components mean `true`.
+  void setRequires(const BoolExpr *P) { RequiresClause = P; }
+  void setEnsures(const BoolExpr *Q) { EnsuresClause = Q; }
+  const BoolExpr *requiresClause() const { return RequiresClause; }
+  const BoolExpr *ensuresClause() const { return EnsuresClause; }
+
+  /// Relational contract {P*} s {Q*}; null components mean `true` for the
+  /// postcondition. A null relational precondition means "all declared
+  /// variables agree between the original and relaxed executions", the
+  /// canonical starting relation (both executions start from the same
+  /// state); the verifier materializes it on demand.
+  void setRelRequires(const BoolExpr *P) { RelRequiresClause = P; }
+  void setRelEnsures(const BoolExpr *Q) { RelEnsuresClause = Q; }
+  const BoolExpr *relRequiresClause() const { return RelRequiresClause; }
+  const BoolExpr *relEnsuresClause() const { return RelEnsuresClause; }
+
+private:
+  std::vector<VarDecl> Decls;
+  std::unordered_map<Symbol, VarKind> KindMap;
+  const Stmt *Body = nullptr;
+  const BoolExpr *RequiresClause = nullptr;
+  const BoolExpr *EnsuresClause = nullptr;
+  const BoolExpr *RelRequiresClause = nullptr;
+  const BoolExpr *RelEnsuresClause = nullptr;
+};
+
+} // namespace relax
+
+#endif // RELAXC_AST_PROGRAM_H

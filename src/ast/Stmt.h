@@ -1,0 +1,323 @@
+//===- Stmt.h - Statements ----------------------------------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statements S of Figure 1: skip, assignment, havoc, relax, if, while,
+/// assume, assert, relate, and sequential composition, extended with array
+/// element assignment (footnote 2) and with the proof annotations a
+/// verification-condition generator needs in place of interactive Coq
+/// proofs: loop invariants (unary, intermediate, and relational) and
+/// diverge annotations (the premises of the `diverge` rule of Figure 8 plus
+/// the relational frame the paper mentions in Section 3.3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_AST_STMT_H
+#define RELAXC_AST_STMT_H
+
+#include "ast/BoolExpr.h"
+
+#include <cstddef>
+
+namespace relax {
+
+/// Proof annotations attached to a `while` loop.
+///
+/// `Invariant` serves the axiomatic original semantics |-o; the axiomatic
+/// intermediate semantics |-i uses `IntermediateInvariant` when present and
+/// falls back to `Invariant` otherwise; `RelInvariant` (a relational
+/// formula) serves the lockstep `while` rule of the axiomatic relaxed
+/// semantics |-r. Any of them may be null, in which case the corresponding
+/// VC generator defaults to `true` (and will typically fail to verify
+/// anything interesting — but stays sound).
+struct LoopAnnotations {
+  const BoolExpr *Invariant = nullptr;
+  const BoolExpr *IntermediateInvariant = nullptr;
+  const BoolExpr *RelInvariant = nullptr;
+
+  /// Termination variant (`decreases` clause), the paper's Section 6
+  /// future-work direction: a unary integer expression that is bounded
+  /// below by zero while the loop runs and strictly decreases across each
+  /// iteration. Checked in every judgment that proves the loop: |-o and
+  /// |-i obtain ordinary termination; the convergent |-r while rule
+  /// obtains *relative termination* (the paper's anticipated notion — the
+  /// two executions take the same trip count, so the original's variant
+  /// bounds the relaxed execution too); diverge-annotated loops obtain
+  /// relaxed-side termination through the |-i sub-proof.
+  const Expr *Variant = nullptr;
+};
+
+/// The premises of the `diverge` rule (Figure 8), written down by the
+/// developer at a control-flow construct where original and relaxed
+/// executions may branch differently:
+///
+///   P* |=o PreOrig    P* |=r PreRel
+///   |-o {PreOrig} s {PostOrig}    |-i {PreRel} s {PostRel}    no_rel(s)
+///   ------------------------------------------------------------------
+///   |-r {P*} s {<PostOrig . PostRel> /\ Frame}
+///
+/// `Frame` is an optional relational formula over variables not modified by
+/// the statement; it is carried across the divergent region by the
+/// relational frame rule (the VC generator checks free(Frame) is disjoint
+/// from the statement's modified-variable set and that P* implies Frame).
+struct DivergeAnnotation {
+  const BoolExpr *PreOrig = nullptr;  ///< Po (unary); null means `true`
+  const BoolExpr *PreRel = nullptr;   ///< Pr (unary); null means `true`
+  const BoolExpr *PostOrig = nullptr; ///< Qo (unary); null means `true`
+  const BoolExpr *PostRel = nullptr;  ///< Qr (unary); null means `true`
+  const BoolExpr *Frame = nullptr;    ///< F* (relational); may be null
+
+  /// `diverge cases`: instead of dropping cross-execution relations, the
+  /// relational VC generator case-splits on the four branch combinations
+  /// and computes one-sided strongest postconditions, keeping full
+  /// relational precision across a divergent `if` (the Benton-style
+  /// asymmetric rules of the paper's supplementary-material control-flow
+  /// formalization; required by the LU pivot example, whose Lipschitz
+  /// relate predicate mentions a variable the divergent branch modifies).
+  /// Only valid on `if` with loop-free, relate-free branches; the other
+  /// annotation fields must be absent.
+  bool CaseAnalysis = false;
+};
+
+/// A statement.
+class Stmt {
+public:
+  enum class Kind : uint8_t {
+    Skip,
+    Assign,
+    ArrayAssign,
+    Havoc,
+    Relax,
+    If,
+    While,
+    Assume,
+    Assert,
+    Relate,
+    Seq,
+  };
+
+  Kind kind() const { return K; }
+  SourceLoc loc() const { return Loc; }
+
+  Stmt(const Stmt &) = delete;
+  Stmt &operator=(const Stmt &) = delete;
+
+protected:
+  Stmt(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+
+private:
+  Kind K;
+  SourceLoc Loc;
+};
+
+/// `skip`.
+class SkipStmt : public Stmt {
+public:
+  explicit SkipStmt(SourceLoc Loc) : Stmt(Kind::Skip, Loc) {}
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Skip; }
+};
+
+/// Scalar assignment `x = e`.
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(Symbol Var, const Expr *Value, SourceLoc Loc)
+      : Stmt(Kind::Assign, Loc), Var(Var), Value(Value) {}
+
+  Symbol var() const { return Var; }
+  const Expr *value() const { return Value; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Assign; }
+
+private:
+  Symbol Var;
+  const Expr *Value;
+};
+
+/// Array element assignment `a[i] = e`.
+class ArrayAssignStmt : public Stmt {
+public:
+  ArrayAssignStmt(Symbol Array, const Expr *Index, const Expr *Value,
+                  SourceLoc Loc)
+      : Stmt(Kind::ArrayAssign, Loc), Array(Array), Index(Index),
+        Value(Value) {}
+
+  Symbol array() const { return Array; }
+  const Expr *index() const { return Index; }
+  const Expr *value() const { return Value; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::ArrayAssign; }
+
+private:
+  Symbol Array;
+  const Expr *Index;
+  const Expr *Value;
+};
+
+/// Common shape of `havoc (X) st (e)` and `relax (X) st (e)`: a set of
+/// modified variables and a predicate the new values must satisfy.
+class ChoiceStmtBase : public Stmt {
+public:
+  /// The modified variable set X.
+  const Symbol *varsBegin() const { return Vars; }
+  size_t varCount() const { return NumVars; }
+  Symbol var(size_t I) const { return Vars[I]; }
+
+  /// The constraint e over the post-state.
+  const BoolExpr *pred() const { return Pred; }
+
+  static bool classof(const Stmt *S) {
+    return S->kind() == Kind::Havoc || S->kind() == Kind::Relax;
+  }
+
+protected:
+  ChoiceStmtBase(Kind K, const Symbol *Vars, size_t NumVars,
+                 const BoolExpr *Pred, SourceLoc Loc)
+      : Stmt(K, Loc), Vars(Vars), NumVars(NumVars), Pred(Pred) {}
+
+private:
+  const Symbol *Vars; ///< arena-owned array
+  size_t NumVars;
+  const BoolExpr *Pred;
+};
+
+/// `havoc (X) st (e)`: nondeterministic in *both* semantics.
+class HavocStmt : public ChoiceStmtBase {
+public:
+  HavocStmt(const Symbol *Vars, size_t NumVars, const BoolExpr *Pred,
+            SourceLoc Loc)
+      : ChoiceStmtBase(Kind::Havoc, Vars, NumVars, Pred, Loc) {}
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Havoc; }
+};
+
+/// `relax (X) st (e)`: asserts e in the original semantics,
+/// nondeterministically reassigns X subject to e in the relaxed semantics.
+class RelaxStmt : public ChoiceStmtBase {
+public:
+  RelaxStmt(const Symbol *Vars, size_t NumVars, const BoolExpr *Pred,
+            SourceLoc Loc)
+      : ChoiceStmtBase(Kind::Relax, Vars, NumVars, Pred, Loc) {}
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Relax; }
+};
+
+/// `if (b) {s1} else {s2}`.
+class IfStmt : public Stmt {
+public:
+  IfStmt(const BoolExpr *Cond, const Stmt *Then, const Stmt *Else,
+         const DivergeAnnotation *Diverge, SourceLoc Loc)
+      : Stmt(Kind::If, Loc), Cond(Cond), Then(Then), Else(Else),
+        Diverge(Diverge) {}
+
+  const BoolExpr *cond() const { return Cond; }
+  const Stmt *thenStmt() const { return Then; }
+  const Stmt *elseStmt() const { return Else; }
+
+  /// Non-null when the developer marked this construct as a divergence
+  /// point for the axiomatic relaxed semantics.
+  const DivergeAnnotation *diverge() const { return Diverge; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::If; }
+
+private:
+  const BoolExpr *Cond;
+  const Stmt *Then;
+  const Stmt *Else;
+  const DivergeAnnotation *Diverge;
+};
+
+/// `while (b) {s}` with proof annotations.
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(const BoolExpr *Cond, const Stmt *Body,
+            const LoopAnnotations *Annotations,
+            const DivergeAnnotation *Diverge, SourceLoc Loc)
+      : Stmt(Kind::While, Loc), Cond(Cond), Body(Body),
+        Annotations(Annotations), Diverge(Diverge) {}
+
+  const BoolExpr *cond() const { return Cond; }
+  const Stmt *body() const { return Body; }
+
+  /// Never null (an all-null LoopAnnotations is synthesized when absent).
+  const LoopAnnotations *annotations() const { return Annotations; }
+  const DivergeAnnotation *diverge() const { return Diverge; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::While; }
+
+private:
+  const BoolExpr *Cond;
+  const Stmt *Body;
+  const LoopAnnotations *Annotations;
+  const DivergeAnnotation *Diverge;
+};
+
+/// `assume e`: unverified developer belief; failing it yields `ba`.
+class AssumeStmt : public Stmt {
+public:
+  AssumeStmt(const BoolExpr *Pred, SourceLoc Loc)
+      : Stmt(Kind::Assume, Loc), Pred(Pred) {}
+
+  const BoolExpr *pred() const { return Pred; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Assume; }
+
+private:
+  const BoolExpr *Pred;
+};
+
+/// `assert e`: verified obligation; failing it yields `wr`.
+class AssertStmt : public Stmt {
+public:
+  AssertStmt(const BoolExpr *Pred, SourceLoc Loc)
+      : Stmt(Kind::Assert, Loc), Pred(Pred) {}
+
+  const BoolExpr *pred() const { return Pred; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Assert; }
+
+private:
+  const BoolExpr *Pred;
+};
+
+/// `relate l : e*`: a labeled relational assertion. Executions emit the
+/// observation (l, σ); pairs of original/relaxed executions must satisfy e*
+/// (Theorem 6, observational compatibility).
+class RelateStmt : public Stmt {
+public:
+  RelateStmt(Symbol Label, const BoolExpr *Pred, SourceLoc Loc)
+      : Stmt(Kind::Relate, Loc), Label(Label), Pred(Pred) {}
+
+  Symbol label() const { return Label; }
+  const BoolExpr *pred() const { return Pred; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Relate; }
+
+private:
+  Symbol Label;
+  const BoolExpr *Pred;
+};
+
+/// Sequential composition `s1 ; s2`.
+class SeqStmt : public Stmt {
+public:
+  SeqStmt(const Stmt *First, const Stmt *Second, SourceLoc Loc)
+      : Stmt(Kind::Seq, Loc), First(First), Second(Second) {}
+
+  const Stmt *first() const { return First; }
+  const Stmt *second() const { return Second; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Seq; }
+
+private:
+  const Stmt *First;
+  const Stmt *Second;
+};
+
+} // namespace relax
+
+#endif // RELAXC_AST_STMT_H

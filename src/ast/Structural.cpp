@@ -1,0 +1,185 @@
+//===- Structural.cpp - Structural equality and hashing ----------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Structural.h"
+
+#include "support/Casting.h"
+#include "support/Hashing.h"
+
+using namespace relax;
+
+bool relax::structurallyEqual(const Expr *A, const Expr *B) {
+  if (A == B)
+    return true;
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case Expr::Kind::IntLit:
+    return cast<IntLitExpr>(A)->value() == cast<IntLitExpr>(B)->value();
+  case Expr::Kind::Var: {
+    const auto *VA = cast<VarExpr>(A), *VB = cast<VarExpr>(B);
+    return VA->name() == VB->name() && VA->tag() == VB->tag();
+  }
+  case Expr::Kind::ArrayRead: {
+    const auto *RA = cast<ArrayReadExpr>(A), *RB = cast<ArrayReadExpr>(B);
+    return structurallyEqual(RA->base(), RB->base()) &&
+           structurallyEqual(RA->index(), RB->index());
+  }
+  case Expr::Kind::ArrayLen:
+    return structurallyEqual(cast<ArrayLenExpr>(A)->base(),
+                             cast<ArrayLenExpr>(B)->base());
+  case Expr::Kind::Binary: {
+    const auto *BA = cast<BinaryExpr>(A), *BB = cast<BinaryExpr>(B);
+    return BA->op() == BB->op() && structurallyEqual(BA->lhs(), BB->lhs()) &&
+           structurallyEqual(BA->rhs(), BB->rhs());
+  }
+  }
+  return false;
+}
+
+bool relax::structurallyEqual(const ArrayExpr *A, const ArrayExpr *B) {
+  if (A == B)
+    return true;
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case ArrayExpr::Kind::Ref: {
+    const auto *RA = cast<ArrayRefExpr>(A), *RB = cast<ArrayRefExpr>(B);
+    return RA->name() == RB->name() && RA->tag() == RB->tag();
+  }
+  case ArrayExpr::Kind::Store: {
+    const auto *SA = cast<ArrayStoreExpr>(A), *SB = cast<ArrayStoreExpr>(B);
+    return structurallyEqual(SA->base(), SB->base()) &&
+           structurallyEqual(SA->index(), SB->index()) &&
+           structurallyEqual(SA->value(), SB->value());
+  }
+  }
+  return false;
+}
+
+bool relax::structurallyEqual(const BoolExpr *A, const BoolExpr *B) {
+  if (A == B)
+    return true;
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case BoolExpr::Kind::BoolLit:
+    return cast<BoolLitExpr>(A)->value() == cast<BoolLitExpr>(B)->value();
+  case BoolExpr::Kind::Cmp: {
+    const auto *CA = cast<CmpExpr>(A), *CB = cast<CmpExpr>(B);
+    return CA->op() == CB->op() && structurallyEqual(CA->lhs(), CB->lhs()) &&
+           structurallyEqual(CA->rhs(), CB->rhs());
+  }
+  case BoolExpr::Kind::ArrayCmp: {
+    const auto *CA = cast<ArrayCmpExpr>(A), *CB = cast<ArrayCmpExpr>(B);
+    return CA->isEquality() == CB->isEquality() &&
+           structurallyEqual(CA->lhs(), CB->lhs()) &&
+           structurallyEqual(CA->rhs(), CB->rhs());
+  }
+  case BoolExpr::Kind::Logical: {
+    const auto *LA = cast<LogicalExpr>(A), *LB = cast<LogicalExpr>(B);
+    return LA->op() == LB->op() && structurallyEqual(LA->lhs(), LB->lhs()) &&
+           structurallyEqual(LA->rhs(), LB->rhs());
+  }
+  case BoolExpr::Kind::Not:
+    return structurallyEqual(cast<NotExpr>(A)->sub(), cast<NotExpr>(B)->sub());
+  case BoolExpr::Kind::Exists: {
+    const auto *EA = cast<ExistsExpr>(A), *EB = cast<ExistsExpr>(B);
+    // Nominal comparison (no alpha-equivalence); fresh-name generation keeps
+    // generated binders distinct anyway.
+    return EA->var() == EB->var() && EA->tag() == EB->tag() &&
+           EA->varKind() == EB->varKind() &&
+           structurallyEqual(EA->body(), EB->body());
+  }
+  }
+  return false;
+}
+
+namespace {
+
+uint64_t tagSeed(VarTag Tag) { return static_cast<uint64_t>(Tag) + 11; }
+
+} // namespace
+
+uint64_t relax::structuralHash(const Expr *E) {
+  uint64_t H = hashMix(static_cast<uint64_t>(E->kind()) + 101);
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    return hashCombine(H, static_cast<uint64_t>(cast<IntLitExpr>(E)->value()));
+  case Expr::Kind::Var: {
+    const auto *V = cast<VarExpr>(E);
+    return hashCombine(hashCombine(H, V->name().id()), tagSeed(V->tag()));
+  }
+  case Expr::Kind::ArrayRead: {
+    const auto *R = cast<ArrayReadExpr>(E);
+    return hashCombine(hashCombine(H, structuralHash(R->base())),
+                       structuralHash(R->index()));
+  }
+  case Expr::Kind::ArrayLen:
+    return hashCombine(H, structuralHash(cast<ArrayLenExpr>(E)->base()));
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    H = hashCombine(H, static_cast<uint64_t>(B->op()));
+    H = hashCombine(H, structuralHash(B->lhs()));
+    return hashCombine(H, structuralHash(B->rhs()));
+  }
+  }
+  return H;
+}
+
+uint64_t relax::structuralHash(const ArrayExpr *A) {
+  uint64_t H = hashMix(static_cast<uint64_t>(A->kind()) + 211);
+  switch (A->kind()) {
+  case ArrayExpr::Kind::Ref: {
+    const auto *R = cast<ArrayRefExpr>(A);
+    return hashCombine(hashCombine(H, R->name().id()), tagSeed(R->tag()));
+  }
+  case ArrayExpr::Kind::Store: {
+    const auto *S = cast<ArrayStoreExpr>(A);
+    H = hashCombine(H, structuralHash(S->base()));
+    H = hashCombine(H, structuralHash(S->index()));
+    return hashCombine(H, structuralHash(S->value()));
+  }
+  }
+  return H;
+}
+
+uint64_t relax::structuralHash(const BoolExpr *B) {
+  uint64_t H = hashMix(static_cast<uint64_t>(B->kind()) + 307);
+  switch (B->kind()) {
+  case BoolExpr::Kind::BoolLit:
+    return hashCombine(H, cast<BoolLitExpr>(B)->value() ? 1 : 0);
+  case BoolExpr::Kind::Cmp: {
+    const auto *C = cast<CmpExpr>(B);
+    H = hashCombine(H, static_cast<uint64_t>(C->op()));
+    H = hashCombine(H, structuralHash(C->lhs()));
+    return hashCombine(H, structuralHash(C->rhs()));
+  }
+  case BoolExpr::Kind::ArrayCmp: {
+    const auto *C = cast<ArrayCmpExpr>(B);
+    H = hashCombine(H, C->isEquality() ? 1 : 0);
+    H = hashCombine(H, structuralHash(C->lhs()));
+    return hashCombine(H, structuralHash(C->rhs()));
+  }
+  case BoolExpr::Kind::Logical: {
+    const auto *L = cast<LogicalExpr>(B);
+    H = hashCombine(H, static_cast<uint64_t>(L->op()));
+    H = hashCombine(H, structuralHash(L->lhs()));
+    return hashCombine(H, structuralHash(L->rhs()));
+  }
+  case BoolExpr::Kind::Not:
+    return hashCombine(H, structuralHash(cast<NotExpr>(B)->sub()));
+  case BoolExpr::Kind::Exists: {
+    const auto *E = cast<ExistsExpr>(B);
+    H = hashCombine(H, E->var().id());
+    H = hashCombine(H, tagSeed(E->tag()));
+    H = hashCombine(H, static_cast<uint64_t>(E->varKind()));
+    return hashCombine(H, structuralHash(E->body()));
+  }
+  }
+  return H;
+}

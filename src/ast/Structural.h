@@ -1,0 +1,36 @@
+//===- Structural.h - Structural equality and hashing -------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural (source-location-insensitive) equality and hashing over
+/// expressions and formulas. Used by the solver result cache, the
+/// simplifier, and the test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_AST_STRUCTURAL_H
+#define RELAXC_AST_STRUCTURAL_H
+
+#include "ast/BoolExpr.h"
+
+#include <cstdint>
+
+namespace relax {
+
+/// Returns true when the two expressions are structurally identical.
+bool structurallyEqual(const Expr *A, const Expr *B);
+bool structurallyEqual(const ArrayExpr *A, const ArrayExpr *B);
+bool structurallyEqual(const BoolExpr *A, const BoolExpr *B);
+
+/// Deterministic structural hash (stable across runs and platforms).
+uint64_t structuralHash(const Expr *E);
+uint64_t structuralHash(const ArrayExpr *A);
+uint64_t structuralHash(const BoolExpr *B);
+
+} // namespace relax
+
+#endif // RELAXC_AST_STRUCTURAL_H

@@ -1,0 +1,322 @@
+//===- main.cpp - The relaxc command-line tool --------------------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// relaxc <command> <file.rlx> [options]
+///
+/// Commands:
+///   verify    run sema + |-o + |-r and report the verification verdict
+///   run       execute one dynamic semantics with a chosen oracle
+///   monitor   run original/relaxed pairs and check the paper's theorems
+///   dump-vcs  print every generated verification condition
+///   print     parse and pretty-print (round-trip check)
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Printer.h"
+#include "eval/PairRunner.h"
+#include "parser/Parser.h"
+#include "solver/BoundedSolver.h"
+#include "solver/CachingSolver.h"
+#include "solver/Z3Solver.h"
+#include "vcgen/Verifier.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+using namespace relax;
+
+namespace {
+
+struct CliOptions {
+  std::string Command;
+  std::string File;
+  std::string SolverName = "z3";
+  std::string OracleName = "solver";
+  std::string Semantics = "relaxed";
+  uint64_t Seed = 1;
+  unsigned Runs = 16;
+  size_t ArrayLen = 8;
+  bool Verbose = false;
+  bool NoSafety = false;
+  bool OriginalOnly = false;
+  bool SmtLib = false;
+};
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: relaxc <verify|run|monitor|dump-vcs|print> <file.rlx> "
+      "[options]\n"
+      "\n"
+      "options:\n"
+      "  --solver=<z3|bounded>     VC discharge backend (default z3)\n"
+      "  --oracle=<solver|random|identity>\n"
+      "                            havoc/relax resolution strategy\n"
+      "  --semantics=<original|relaxed>   for `run` (default relaxed)\n"
+      "  --seed=<n>                oracle randomness seed (default 1)\n"
+      "  --runs=<n>                pair runs for `monitor` (default 16)\n"
+      "  --array-len=<n>           initial array length (default 8)\n"
+      "  --no-safety               skip division/bounds trap obligations\n"
+      "  --original-only           verify only the |-o judgment\n"
+      "  --smtlib                  dump-vcs: emit SMT-LIB 2 scripts\n"
+      "  --verbose                 print every VC, not just failures\n");
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  if (Argc < 3)
+    return false;
+  Opts.Command = Argv[1];
+  Opts.File = Argv[2];
+  for (int I = 3; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Value = [&](const char *Prefix) -> const char * {
+      size_t N = std::strlen(Prefix);
+      return A.compare(0, N, Prefix) == 0 ? A.c_str() + N : nullptr;
+    };
+    if (const char *V = Value("--solver="))
+      Opts.SolverName = V;
+    else if (const char *V = Value("--oracle="))
+      Opts.OracleName = V;
+    else if (const char *V = Value("--semantics="))
+      Opts.Semantics = V;
+    else if (const char *V = Value("--seed="))
+      Opts.Seed = std::strtoull(V, nullptr, 10);
+    else if (const char *V = Value("--runs="))
+      Opts.Runs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    else if (const char *V = Value("--array-len="))
+      Opts.ArrayLen = static_cast<size_t>(std::strtoul(V, nullptr, 10));
+    else if (A == "--verbose")
+      Opts.Verbose = true;
+    else if (A == "--no-safety")
+      Opts.NoSafety = true;
+    else if (A == "--original-only")
+      Opts.OriginalOnly = true;
+    else if (A == "--smtlib")
+      Opts.SmtLib = true;
+    else {
+      std::fprintf(stderr, "relaxc: error: unknown option '%s'\n", A.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<Solver> makeSolver(const CliOptions &Opts, AstContext &Ctx) {
+  if (Opts.SolverName == "bounded")
+    return std::make_unique<BoundedSolver>();
+  return std::make_unique<Z3Solver>(Ctx.symbols());
+}
+
+std::unique_ptr<Oracle> makeOracle(const CliOptions &Opts, AstContext &Ctx,
+                                   Solver &S) {
+  if (Opts.OracleName == "identity")
+    return std::make_unique<IdentityOracle>();
+  if (Opts.OracleName == "random") {
+    RandomSearchOracle::Options O;
+    O.Seed = Opts.Seed;
+    return std::make_unique<RandomSearchOracle>(O);
+  }
+  SolverOracle::Options O;
+  O.Seed = Opts.Seed;
+  return std::make_unique<SolverOracle>(Ctx, S, O);
+}
+
+void printOutcome(const Interner &Syms, const char *Title, const Outcome &O) {
+  std::printf("%s: %s", Title, outcomeKindName(O.Kind));
+  if (O.ok())
+    std::printf(", final state %s, %zu observation(s)\n",
+                formatState(Syms, O.FinalState).c_str(),
+                O.Observations.size());
+  else
+    std::printf(" at line %u: %s\n", O.ErrorLoc.Line, O.Reason.c_str());
+}
+
+int runVerify(const CliOptions &Opts, AstContext &Ctx, Program &Prog,
+              DiagnosticEngine &Diags) {
+  std::unique_ptr<Solver> Backend = makeSolver(Opts, Ctx);
+  CachingSolver Cached(*Backend);
+  Verifier V(Ctx, Prog, Cached, Diags);
+  Verifier::Options VO;
+  VO.GenOpts.CheckSafety = !Opts.NoSafety;
+  VO.RunRelaxed = !Opts.OriginalOnly;
+  VerifyReport Report = V.run(VO);
+  if (Diags.hasErrors())
+    std::fprintf(stderr, "%s", Diags.render().c_str());
+  std::printf("%s", renderReport(Report, Ctx.symbols(), Opts.Verbose).c_str());
+  return Report.verified() ? 0 : 1;
+}
+
+int runExecute(const CliOptions &Opts, AstContext &Ctx, Program &Prog,
+               DiagnosticEngine &Diags) {
+  Sema SemaPass(Prog, Diags);
+  auto Info = SemaPass.run();
+  if (!Info) {
+    std::fprintf(stderr, "%s", Diags.render().c_str());
+    return 1;
+  }
+  std::unique_ptr<Solver> Backend = makeSolver(Opts, Ctx);
+  std::unique_ptr<Oracle> O = makeOracle(Opts, Ctx, *Backend);
+  Interp I(Prog, Ctx.symbols(), *O);
+  State Init = Interp::zeroState(Prog, Opts.ArrayLen);
+  SemanticsMode Mode = Opts.Semantics == "original" ? SemanticsMode::Original
+                                                    : SemanticsMode::Relaxed;
+  Outcome Out = I.run(Mode, Init);
+  printOutcome(Ctx.symbols(), semanticsModeName(Mode), Out);
+  return Out.ok() ? 0 : 1;
+}
+
+int runMonitor(const CliOptions &Opts, AstContext &Ctx, Program &Prog,
+               DiagnosticEngine &Diags) {
+  Sema SemaPass(Prog, Diags);
+  auto Info = SemaPass.run();
+  if (!Info) {
+    std::fprintf(stderr, "%s", Diags.render().c_str());
+    return 1;
+  }
+  std::unique_ptr<Solver> Backend = makeSolver(Opts, Ctx);
+
+  RelateMap Gamma(Info->relateMap().begin(), Info->relateMap().end());
+  PairRunner Runner(Prog, Ctx.symbols(), Gamma);
+
+  unsigned CompatOk = 0, CompatBad = 0, OrigErr = 0, RelErr = 0, Stuck = 0;
+  for (unsigned RunIdx = 0; RunIdx != Opts.Runs; ++RunIdx) {
+    SolverOracle::Options OO;
+    OO.Seed = Opts.Seed + RunIdx;
+    SolverOracle OrigOracle(Ctx, *Backend, OO);
+    SolverOracle::Options RO;
+    RO.Seed = Opts.Seed + 7919 * (RunIdx + 1);
+    SolverOracle RelOracle(Ctx, *Backend, RO);
+    Result<State> Init = randomInitialState(Ctx, Prog, *Backend,
+                                            Opts.Seed + 31 * RunIdx,
+                                            Opts.ArrayLen);
+    if (!Init.ok()) {
+      std::fprintf(stderr, "run %u: %s\n", RunIdx, Init.message().c_str());
+      ++Stuck;
+      continue;
+    }
+    PairOutcome P = Runner.run(*Init, OrigOracle, RelOracle);
+    if (P.Orig.Kind == OutcomeKind::Stuck ||
+        P.Rel.Kind == OutcomeKind::Stuck) {
+      ++Stuck;
+      continue;
+    }
+    OrigErr += P.origErred() ? 1 : 0;
+    RelErr += P.relErred() ? 1 : 0;
+    if (P.Orig.ok() && P.Rel.ok()) {
+      if (P.Compat.Compatible)
+        ++CompatOk;
+      else {
+        ++CompatBad;
+        std::printf("run %u: INCOMPATIBLE — %s\n", RunIdx,
+                    P.Compat.Reason.c_str());
+      }
+    }
+  }
+  std::printf("monitor: %u runs, %u compatible pairs, %u incompatible, "
+              "%u original errors, %u relaxed errors, %u stuck\n",
+              Opts.Runs, CompatOk, CompatBad, OrigErr, RelErr, Stuck);
+  return CompatBad == 0 ? 0 : 1;
+}
+
+int runDumpVCs(const CliOptions &Opts, AstContext &Ctx, Program &Prog,
+               DiagnosticEngine &Diags) {
+  Sema SemaPass(Prog, Diags);
+  if (!SemaPass.run()) {
+    std::fprintf(stderr, "%s", Diags.render().c_str());
+    return 1;
+  }
+  VCGenOptions GO;
+  GO.CheckSafety = !Opts.NoSafety;
+  Printer P(Ctx.symbols());
+
+  const BoolExpr *Pre =
+      Prog.requiresClause() ? Prog.requiresClause() : Ctx.trueExpr();
+  const BoolExpr *Post =
+      Prog.ensuresClause() ? Prog.ensuresClause() : Ctx.trueExpr();
+  UnaryVCGen OGen(Ctx, Prog, JudgmentKind::Original, Diags, GO);
+  OGen.genTriple(Pre, Prog.body(), Post);
+  VCSet OSet = OGen.take();
+
+  std::unique_ptr<Solver> Backend = makeSolver(Opts, Ctx);
+  CachingSolver Cached(*Backend);
+  Verifier V(Ctx, Prog, Cached, Diags);
+  RelationalVCGen RGen(Ctx, Prog, Diags, GO);
+  RGen.genTriple(V.effectiveRelRequires(), Prog.body(),
+                 Prog.relEnsuresClause() ? Prog.relEnsuresClause()
+                                         : Ctx.trueExpr());
+  VCSet RSet = RGen.take();
+
+  Z3Solver SmtPrinter(Ctx.symbols());
+  auto Dump = [&](const char *Title, const VCSet &Set) {
+    std::printf("== %s: %zu VCs ==\n", Title, Set.VCs.size());
+    for (const VC &C : Set.VCs) {
+      std::printf("[%s/%s] %s (line %u): %s\n  %s\n",
+                  judgmentKindName(C.Judgment),
+                  C.Kind == VCKind::Validity ? "valid" : "sat",
+                  C.Rule.c_str(), C.Loc.Line, C.Description.c_str(),
+                  P.print(C.Formula).c_str());
+      if (Opts.SmtLib) {
+        // Validity VCs are emitted negated, so `unsat` means proved —
+        // the conventional SMT-LIB phrasing of a proof obligation.
+        std::vector<const BoolExpr *> Query = {
+            C.Kind == VCKind::Validity ? Ctx.notExpr(C.Formula) : C.Formula};
+        Result<std::string> Script = SmtPrinter.toSmtLib(Query);
+        if (Script.ok())
+          std::printf("  ; SMT-LIB (%s expected)\n%s\n",
+                      C.Kind == VCKind::Validity ? "unsat" : "sat",
+                      Script->c_str());
+      }
+    }
+  };
+  Dump("|-o", OSet);
+  Dump("|-r", RSet);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    printUsage();
+    return 2;
+  }
+
+  SourceManager SM;
+  if (Status S = SM.loadFile(Opts.File); !S.ok()) {
+    std::fprintf(stderr, "relaxc: error: %s\n", S.message().c_str());
+    return 2;
+  }
+  DiagnosticEngine Diags;
+  Diags.setFileName(Opts.File);
+  AstContext Ctx;
+  Parser P(Ctx, SM, Diags);
+  std::optional<Program> Prog = P.parseProgram();
+  if (!Prog) {
+    std::fprintf(stderr, "%s", Diags.render().c_str());
+    return 2;
+  }
+
+  if (Opts.Command == "verify")
+    return runVerify(Opts, Ctx, *Prog, Diags);
+  if (Opts.Command == "run")
+    return runExecute(Opts, Ctx, *Prog, Diags);
+  if (Opts.Command == "monitor")
+    return runMonitor(Opts, Ctx, *Prog, Diags);
+  if (Opts.Command == "dump-vcs")
+    return runDumpVCs(Opts, Ctx, *Prog, Diags);
+  if (Opts.Command == "print") {
+    Printer Pr(Ctx.symbols());
+    std::printf("%s", Pr.print(*Prog).c_str());
+    return 0;
+  }
+  printUsage();
+  return 2;
+}

@@ -1,0 +1,416 @@
+//===- Interp.cpp - Dynamic original and relaxed semantics --------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Interp.h"
+
+#include "solver/FormulaEval.h"
+#include "support/Casting.h"
+
+#include <cassert>
+
+using namespace relax;
+
+const char *relax::semanticsModeName(SemanticsMode M) {
+  return M == SemanticsMode::Original ? "original" : "relaxed";
+}
+
+//===----------------------------------------------------------------------===//
+// Trapping expression evaluation (dynamic semantics of Figure 2 + arrays)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+EvalResult<const ArrayValue *> evalDynArray(const ArrayExpr *A,
+                                            const State &S) {
+  // Program array expressions are always plain references (stores only
+  // appear in generated formulas).
+  const auto *R = dyn_cast<ArrayRefExpr>(A);
+  if (!R)
+    return EvalResult<const ArrayValue *>::trap(
+        A->loc(), "array store expressions cannot appear in program text");
+  auto It = S.find(R->name());
+  if (It == S.end() || !It->second.isArray())
+    return EvalResult<const ArrayValue *>::trap(
+        A->loc(), "unbound or non-array variable in array position");
+  return EvalResult<const ArrayValue *>::ok(&It->second.asArray());
+}
+
+} // namespace
+
+EvalResult<int64_t> relax::evalDynExpr(const Expr *E, const State &S) {
+  using R = EvalResult<int64_t>;
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    return R::ok(cast<IntLitExpr>(E)->value());
+  case Expr::Kind::Var: {
+    const auto *V = cast<VarExpr>(E);
+    auto It = S.find(V->name());
+    if (It == S.end() || !It->second.isInt())
+      return R::trap(E->loc(), "unbound or non-integer variable");
+    return R::ok(It->second.asInt());
+  }
+  case Expr::Kind::ArrayRead: {
+    const auto *Rd = cast<ArrayReadExpr>(E);
+    auto Arr = evalDynArray(Rd->base(), S);
+    if (Arr.Trapped)
+      return R::trap(Arr.TrapLoc, Arr.TrapReason);
+    auto Idx = evalDynExpr(Rd->index(), S);
+    if (Idx.Trapped)
+      return Idx;
+    if (Idx.Val < 0 || Idx.Val >= static_cast<int64_t>(Arr.Val->size()))
+      return R::trap(E->loc(), "array index " + std::to_string(Idx.Val) +
+                                   " out of bounds [0, " +
+                                   std::to_string(Arr.Val->size()) + ")");
+    return R::ok((*Arr.Val)[static_cast<size_t>(Idx.Val)]);
+  }
+  case Expr::Kind::ArrayLen: {
+    auto Arr = evalDynArray(cast<ArrayLenExpr>(E)->base(), S);
+    if (Arr.Trapped)
+      return R::trap(Arr.TrapLoc, Arr.TrapReason);
+    return R::ok(static_cast<int64_t>(Arr.Val->size()));
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    auto L = evalDynExpr(B->lhs(), S);
+    if (L.Trapped)
+      return L;
+    auto Rr = evalDynExpr(B->rhs(), S);
+    if (Rr.Trapped)
+      return Rr;
+    switch (B->op()) {
+    case BinaryOp::Add:
+      return R::ok(L.Val + Rr.Val);
+    case BinaryOp::Sub:
+      return R::ok(L.Val - Rr.Val);
+    case BinaryOp::Mul:
+      return R::ok(L.Val * Rr.Val);
+    case BinaryOp::Div:
+      if (Rr.Val == 0)
+        return R::trap(E->loc(), "division by zero");
+      return R::ok(euclideanDiv(L.Val, Rr.Val));
+    case BinaryOp::Mod:
+      if (Rr.Val == 0)
+        return R::trap(E->loc(), "modulo by zero");
+      return R::ok(euclideanMod(L.Val, Rr.Val));
+    }
+    return R::trap(E->loc(), "unknown binary operator");
+  }
+  }
+  return R::trap(E->loc(), "unknown expression kind");
+}
+
+EvalResult<bool> relax::evalDynBool(const BoolExpr *B, const State &S) {
+  using R = EvalResult<bool>;
+  switch (B->kind()) {
+  case BoolExpr::Kind::BoolLit:
+    return R::ok(cast<BoolLitExpr>(B)->value());
+  case BoolExpr::Kind::Cmp: {
+    const auto *C = cast<CmpExpr>(B);
+    auto L = evalDynExpr(C->lhs(), S);
+    if (L.Trapped)
+      return R::trap(L.TrapLoc, L.TrapReason);
+    auto Rr = evalDynExpr(C->rhs(), S);
+    if (Rr.Trapped)
+      return R::trap(Rr.TrapLoc, Rr.TrapReason);
+    return R::ok(evalCmpOp(C->op(), L.Val, Rr.Val));
+  }
+  case BoolExpr::Kind::ArrayCmp: {
+    const auto *C = cast<ArrayCmpExpr>(B);
+    auto L = evalDynArray(C->lhs(), S);
+    if (L.Trapped)
+      return R::trap(L.TrapLoc, L.TrapReason);
+    auto Rr = evalDynArray(C->rhs(), S);
+    if (Rr.Trapped)
+      return R::trap(Rr.TrapLoc, Rr.TrapReason);
+    bool Equal = *L.Val == *Rr.Val;
+    return R::ok(C->isEquality() ? Equal : !Equal);
+  }
+  case BoolExpr::Kind::Logical: {
+    const auto *Lo = cast<LogicalExpr>(B);
+    // Strict evaluation: both operands evaluate (Figure 2 is denotational).
+    auto L = evalDynBool(Lo->lhs(), S);
+    if (L.Trapped)
+      return L;
+    auto Rr = evalDynBool(Lo->rhs(), S);
+    if (Rr.Trapped)
+      return Rr;
+    switch (Lo->op()) {
+    case LogicalOp::And:
+      return R::ok(L.Val && Rr.Val);
+    case LogicalOp::Or:
+      return R::ok(L.Val || Rr.Val);
+    case LogicalOp::Implies:
+      return R::ok(!L.Val || Rr.Val);
+    case LogicalOp::Iff:
+      return R::ok(L.Val == Rr.Val);
+    }
+    return R::trap(B->loc(), "unknown logical operator");
+  }
+  case BoolExpr::Kind::Not: {
+    auto Sub = evalDynBool(cast<NotExpr>(B)->sub(), S);
+    if (Sub.Trapped)
+      return Sub;
+    return R::ok(!Sub.Val);
+  }
+  case BoolExpr::Kind::Exists:
+    return R::trap(B->loc(),
+                   "quantifiers cannot appear in program expressions");
+  }
+  return R::trap(B->loc(), "unknown boolean kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter
+//===----------------------------------------------------------------------===//
+
+Outcome Interp::wrOutcome(SourceLoc Loc, std::string Reason) const {
+  Outcome O;
+  O.Kind = OutcomeKind::Wr;
+  O.ErrorLoc = Loc;
+  O.Reason = std::move(Reason);
+  return O;
+}
+
+Outcome Interp::baOutcome(SourceLoc Loc, std::string Reason) const {
+  Outcome O;
+  O.Kind = OutcomeKind::Ba;
+  O.ErrorLoc = Loc;
+  O.Reason = std::move(Reason);
+  return O;
+}
+
+Outcome Interp::stuckOutcome(SourceLoc Loc, std::string Reason) const {
+  Outcome O;
+  O.Kind = OutcomeKind::Stuck;
+  O.ErrorLoc = Loc;
+  O.Reason = std::move(Reason);
+  return O;
+}
+
+State Interp::zeroState(const Program &P, size_t DefaultArrayLen) {
+  State S;
+  for (const VarDecl &D : P.decls()) {
+    if (D.Kind == VarKind::Int)
+      S[D.Name] = Value(int64_t(0));
+    else
+      S[D.Name] = Value(ArrayValue(DefaultArrayLen, 0));
+  }
+  return S;
+}
+
+Outcome Interp::run(SemanticsMode RunMode, const State &Initial) {
+  return runStmt(RunMode, Prog.body(), Initial);
+}
+
+Outcome Interp::runStmt(SemanticsMode RunMode, const Stmt *S,
+                        const State &Initial) {
+  Mode = RunMode;
+  StepsLeft = Opts.MaxSteps;
+
+  // Validate the initial state against the declarations.
+  for (const VarDecl &D : Prog.decls()) {
+    auto It = Initial.find(D.Name);
+    if (It == Initial.end())
+      return stuckOutcome(D.Loc, "initial state does not bind '" +
+                                     std::string(Syms.text(D.Name)) + "'");
+    if (It->second.kind() != D.Kind)
+      return stuckOutcome(D.Loc, "initial state binds '" +
+                                     std::string(Syms.text(D.Name)) +
+                                     "' with the wrong kind");
+  }
+  if (Initial.size() != Prog.decls().size())
+    return stuckOutcome(SourceLoc(),
+                        "initial state binds undeclared variables");
+
+  return evalStmt(S, Initial);
+}
+
+Outcome Interp::evalAssertLike(const BoolExpr *Pred, SourceLoc Loc,
+                               bool IsAssume, State Sigma) {
+  auto V = evalDynBool(Pred, Sigma);
+  if (V.Trapped)
+    return wrOutcome(V.TrapLoc, "runtime trap in predicate: " + V.TrapReason);
+  if (!V.Val) {
+    if (IsAssume)
+      return baOutcome(Loc, "assume predicate is false");
+    return wrOutcome(Loc, "assert predicate is false");
+  }
+  Outcome O;
+  O.FinalState = std::move(Sigma);
+  return O;
+}
+
+Outcome Interp::evalChoice(const ChoiceStmtBase *S, State Sigma) {
+  ChoiceRequest Req;
+  Req.Choice = S;
+  Req.Current = &Sigma;
+  Req.Prog = &Prog;
+  ChoiceResult R = TheOracle.choose(Req);
+
+  switch (R.Status) {
+  case ChoiceStatus::Unsat:
+    // havoc-f: no satisfying assignment exists.
+    return wrOutcome(S->loc(), "no assignment satisfies the predicate");
+  case ChoiceStatus::Unknown:
+    return stuckOutcome(S->loc(), std::string("oracle '") +
+                                      TheOracle.name() +
+                                      "' could not resolve the choice");
+  case ChoiceStatus::Found:
+    break;
+  }
+
+  // Re-validate the oracle's answer: the semantics only admits post-states
+  // that satisfy the predicate and agree with σ outside X.
+  std::set<Symbol> Modified;
+  for (size_t I = 0, E = S->varCount(); I != E; ++I)
+    Modified.insert(S->var(I));
+  for (const auto &[Name, V] : Sigma) {
+    auto It = R.NewState.find(Name);
+    if (It == R.NewState.end())
+      return stuckOutcome(S->loc(), "oracle dropped a variable");
+    if (!Modified.count(Name) && It->second != V)
+      return stuckOutcome(S->loc(),
+                          "oracle modified a variable outside the havoc set");
+    if (V.isArray() && It->second.isArray() &&
+        V.asArray().size() != It->second.asArray().size())
+      return stuckOutcome(S->loc(), "oracle changed an array length");
+  }
+  if (R.NewState.size() != Sigma.size())
+    return stuckOutcome(S->loc(), "oracle introduced new variables");
+
+  auto Holds = evalDynBool(S->pred(), R.NewState);
+  if (Holds.Trapped)
+    return wrOutcome(Holds.TrapLoc,
+                     "runtime trap in predicate: " + Holds.TrapReason);
+  if (!Holds.Val)
+    return stuckOutcome(S->loc(),
+                        "oracle returned a state violating the predicate");
+
+  Outcome O;
+  O.FinalState = std::move(R.NewState);
+  return O;
+}
+
+Outcome Interp::evalStmt(const Stmt *S, State Sigma) {
+  if (StepsLeft == 0)
+    return stuckOutcome(S->loc(), "fuel exhausted (nonterminating loop?)");
+  --StepsLeft;
+
+  switch (S->kind()) {
+  case Stmt::Kind::Skip: {
+    Outcome O;
+    O.FinalState = std::move(Sigma);
+    return O;
+  }
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    auto V = evalDynExpr(A->value(), Sigma);
+    if (V.Trapped)
+      return wrOutcome(V.TrapLoc, "runtime trap: " + V.TrapReason);
+    Sigma[A->var()] = Value(V.Val);
+    Outcome O;
+    O.FinalState = std::move(Sigma);
+    return O;
+  }
+  case Stmt::Kind::ArrayAssign: {
+    const auto *A = cast<ArrayAssignStmt>(S);
+    auto Idx = evalDynExpr(A->index(), Sigma);
+    if (Idx.Trapped)
+      return wrOutcome(Idx.TrapLoc, "runtime trap: " + Idx.TrapReason);
+    auto Val = evalDynExpr(A->value(), Sigma);
+    if (Val.Trapped)
+      return wrOutcome(Val.TrapLoc, "runtime trap: " + Val.TrapReason);
+    auto It = Sigma.find(A->array());
+    if (It == Sigma.end() || !It->second.isArray())
+      return wrOutcome(S->loc(), "store to unbound or non-array variable");
+    ArrayValue &Arr = It->second.asArray();
+    if (Idx.Val < 0 || Idx.Val >= static_cast<int64_t>(Arr.size()))
+      return wrOutcome(S->loc(),
+                       "array store index " + std::to_string(Idx.Val) +
+                           " out of bounds [0, " + std::to_string(Arr.size()) +
+                           ")");
+    Arr[static_cast<size_t>(Idx.Val)] = Val.Val;
+    Outcome O;
+    O.FinalState = std::move(Sigma);
+    return O;
+  }
+  case Stmt::Kind::Havoc:
+    return evalChoice(cast<ChoiceStmtBase>(S), std::move(Sigma));
+  case Stmt::Kind::Relax: {
+    const auto *R = cast<RelaxStmt>(S);
+    if (Mode == SemanticsMode::Original)
+      // Figure 3: the original execution must satisfy the relaxation
+      // predicate (rule `relax` reuses `assert`).
+      return evalAssertLike(R->pred(), S->loc(), /*IsAssume=*/false,
+                            std::move(Sigma));
+    // Figure 4: the relaxed execution havocs the variables.
+    return evalChoice(R, std::move(Sigma));
+  }
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    auto C = evalDynBool(I->cond(), Sigma);
+    if (C.Trapped)
+      return wrOutcome(C.TrapLoc, "runtime trap in condition: " + C.TrapReason);
+    return evalStmt(C.Val ? I->thenStmt() : I->elseStmt(), std::move(Sigma));
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    ObservationList Obs;
+    State Cur = std::move(Sigma);
+    for (;;) {
+      if (StepsLeft == 0)
+        return stuckOutcome(S->loc(), "fuel exhausted (nonterminating loop?)");
+      --StepsLeft;
+      auto C = evalDynBool(W->cond(), Cur);
+      if (C.Trapped)
+        return wrOutcome(C.TrapLoc,
+                         "runtime trap in condition: " + C.TrapReason);
+      if (!C.Val)
+        break;
+      Outcome Body = evalStmt(W->body(), std::move(Cur));
+      if (!Body.ok()) {
+        // Propagate errors; keep observations gathered so far prepended.
+        Body.Observations.insert(Body.Observations.begin(), Obs.begin(),
+                                 Obs.end());
+        return Body;
+      }
+      Obs.insert(Obs.end(), Body.Observations.begin(),
+                 Body.Observations.end());
+      Cur = std::move(Body.FinalState);
+    }
+    Outcome O;
+    O.FinalState = std::move(Cur);
+    O.Observations = std::move(Obs);
+    return O;
+  }
+  case Stmt::Kind::Assume:
+    return evalAssertLike(cast<AssumeStmt>(S)->pred(), S->loc(),
+                          /*IsAssume=*/true, std::move(Sigma));
+  case Stmt::Kind::Assert:
+    return evalAssertLike(cast<AssertStmt>(S)->pred(), S->loc(),
+                          /*IsAssume=*/false, std::move(Sigma));
+  case Stmt::Kind::Relate: {
+    const auto *R = cast<RelateStmt>(S);
+    Outcome O;
+    O.Observations.push_back(Observation{R->label(), Sigma});
+    O.FinalState = std::move(Sigma);
+    return O;
+  }
+  case Stmt::Kind::Seq: {
+    const auto *Q = cast<SeqStmt>(S);
+    Outcome First = evalStmt(Q->first(), std::move(Sigma));
+    if (!First.ok())
+      return First;
+    Outcome Second = evalStmt(Q->second(), std::move(First.FinalState));
+    Second.Observations.insert(Second.Observations.begin(),
+                               First.Observations.begin(),
+                               First.Observations.end());
+    return Second;
+  }
+  }
+  return stuckOutcome(S->loc(), "unknown statement kind");
+}

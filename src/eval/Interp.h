@@ -1,0 +1,117 @@
+//===- Interp.h - Dynamic original and relaxed semantics -----------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Big-step interpreter implementing the dynamic original semantics
+/// (Figure 3) and the dynamic relaxed semantics (Figure 4). The two differ
+/// in exactly one rule: `relax (X) st (e)` evaluates as `assert e` in the
+/// original semantics and as `havoc (X) st (e)` in the relaxed semantics.
+///
+/// Dynamic expression evaluation *traps*: division/modulo by zero and
+/// out-of-bounds array access yield `wr`, extending the paper's error model
+/// to the array extension. Division follows the SMT-LIB Euclidean
+/// convention so the dynamic and axiomatic semantics agree. Boolean
+/// connectives are strict (both operands evaluate), matching the
+/// denotational style of Figure 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_EVAL_INTERP_H
+#define RELAXC_EVAL_INTERP_H
+
+#include "eval/Oracle.h"
+
+namespace relax {
+
+/// Which dynamic semantics to run.
+enum class SemanticsMode : uint8_t {
+  Original, ///< ⇓o: relax statements assert their predicates
+  Relaxed,  ///< ⇓r: relax statements havoc their variables
+};
+
+/// Returns "original" or "relaxed".
+const char *semanticsModeName(SemanticsMode M);
+
+/// Interpreter limits.
+struct InterpOptions {
+  /// Statement-evaluation fuel; exhaustion yields a Stuck outcome. The
+  /// paper restricts its results to terminating executions; fuel makes
+  /// that decidable for the tool.
+  uint64_t MaxSteps = 1'000'000;
+};
+
+/// Outcome of a trapping expression evaluation.
+template <typename T> struct EvalResult {
+  bool Trapped = false;
+  T Val{};
+  SourceLoc TrapLoc;
+  std::string TrapReason;
+
+  static EvalResult ok(T V) {
+    EvalResult R;
+    R.Val = std::move(V);
+    return R;
+  }
+  static EvalResult trap(SourceLoc Loc, std::string Reason) {
+    EvalResult R;
+    R.Trapped = true;
+    R.TrapLoc = Loc;
+    R.TrapReason = std::move(Reason);
+    return R;
+  }
+};
+
+/// Evaluates a program integer expression under the dynamic (trapping)
+/// semantics. \p S must bind every variable the expression references.
+EvalResult<int64_t> evalDynExpr(const Expr *E, const State &S);
+
+/// Evaluates a program boolean expression (quantifier-free, Plain-tagged).
+EvalResult<bool> evalDynBool(const BoolExpr *B, const State &S);
+
+/// Big-step interpreter for one program.
+class Interp {
+public:
+  Interp(const Program &P, const Interner &Syms, Oracle &O,
+         InterpOptions Opts = InterpOptions())
+      : Prog(P), Syms(Syms), TheOracle(O), Opts(Opts) {}
+
+  /// Evaluates the program body from \p Initial under \p Mode.
+  /// \p Initial must bind exactly the declared variables with matching
+  /// kinds; otherwise a Stuck outcome describes the mismatch.
+  Outcome run(SemanticsMode Mode, const State &Initial);
+
+  /// Evaluates an arbitrary statement of the program (used by the proof
+  /// checker to validate individual derivation steps). Same initial-state
+  /// validation as run().
+  Outcome runStmt(SemanticsMode Mode, const Stmt *S, const State &Initial);
+
+  /// Builds an all-zero initial state (arrays get \p DefaultArrayLen
+  /// zeroed elements).
+  static State zeroState(const Program &P, size_t DefaultArrayLen = 0);
+
+private:
+  const Program &Prog;
+  const Interner &Syms;
+  Oracle &TheOracle;
+  InterpOptions Opts;
+
+  SemanticsMode Mode = SemanticsMode::Original;
+  uint64_t StepsLeft = 0;
+
+  Outcome evalStmt(const Stmt *S, State Sigma);
+  Outcome evalChoice(const ChoiceStmtBase *S, State Sigma);
+  Outcome evalAssertLike(const BoolExpr *Pred, SourceLoc Loc, bool IsAssume,
+                         State Sigma);
+
+  Outcome wrOutcome(SourceLoc Loc, std::string Reason) const;
+  Outcome baOutcome(SourceLoc Loc, std::string Reason) const;
+  Outcome stuckOutcome(SourceLoc Loc, std::string Reason) const;
+};
+
+} // namespace relax
+
+#endif // RELAXC_EVAL_INTERP_H

@@ -1,0 +1,177 @@
+//===- Oracle.cpp - Nondeterminism resolution ---------------------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Oracle.h"
+
+#include "eval/Interp.h"
+#include "solver/Solver.h"
+#include "support/Casting.h"
+
+using namespace relax;
+
+Oracle::~Oracle() = default;
+
+RandomSearchOracle::RandomSearchOracle()
+    : RandomSearchOracle(Options()) {}
+
+SolverOracle::SolverOracle(AstContext &Ctx, Solver &S)
+    : SolverOracle(Ctx, S, Options()) {}
+
+//===----------------------------------------------------------------------===//
+// IdentityOracle
+//===----------------------------------------------------------------------===//
+
+ChoiceResult IdentityOracle::choose(const ChoiceRequest &Req) {
+  auto Holds = evalDynBool(Req.Choice->pred(), *Req.Current);
+  if (Holds.Trapped || !Holds.Val)
+    return ChoiceResult{ChoiceStatus::Unknown, State()};
+  return ChoiceResult{ChoiceStatus::Found, *Req.Current};
+}
+
+//===----------------------------------------------------------------------===//
+// RandomSearchOracle
+//===----------------------------------------------------------------------===//
+
+ChoiceResult RandomSearchOracle::choose(const ChoiceRequest &Req) {
+  const ChoiceStmtBase *C = Req.Choice;
+  for (unsigned Try = 0; Try != Opts.MaxTries; ++Try) {
+    State Candidate = *Req.Current;
+    for (size_t I = 0, E = C->varCount(); I != E; ++I) {
+      auto It = Candidate.find(C->var(I));
+      if (It == Candidate.end())
+        return ChoiceResult{ChoiceStatus::Unknown, State()};
+      if (It->second.isInt()) {
+        int64_t Cur = It->second.asInt();
+        It->second =
+            Value(Rng.nextInRange(Cur - Opts.Window, Cur + Opts.Window));
+      } else {
+        for (int64_t &Elem : It->second.asArray())
+          Elem = Rng.nextInRange(Elem - Opts.Window, Elem + Opts.Window);
+      }
+    }
+    auto Holds = evalDynBool(C->pred(), Candidate);
+    if (!Holds.Trapped && Holds.Val)
+      return ChoiceResult{ChoiceStatus::Found, std::move(Candidate)};
+  }
+  return ChoiceResult{ChoiceStatus::Unknown, State()};
+}
+
+//===----------------------------------------------------------------------===//
+// SolverOracle
+//===----------------------------------------------------------------------===//
+
+void SolverOracle::buildQuery(const ChoiceRequest &Req,
+                              std::vector<const BoolExpr *> &Formulas,
+                              VarRefSet &Wanted) {
+  const ChoiceStmtBase *C = Req.Choice;
+  std::set<Symbol> Modified;
+  for (size_t I = 0, E = C->varCount(); I != E; ++I)
+    Modified.insert(C->var(I));
+
+  for (const auto &[Name, V] : *Req.Current) {
+    bool InX = Modified.count(Name) != 0;
+    if (V.isInt()) {
+      if (InX) {
+        Wanted.insert(VarRef{Name, VarTag::Plain, VarKind::Int});
+      } else {
+        Formulas.push_back(
+            Ctx.eq(Ctx.var(Name, VarTag::Plain), Ctx.intLit(V.asInt())));
+      }
+      continue;
+    }
+    // Arrays: lengths are invariant either way; frame variables also pin
+    // their contents.
+    const ArrayValue &Arr = V.asArray();
+    const ArrayExpr *Ref = Ctx.arrayRef(Name, VarTag::Plain);
+    Formulas.push_back(Ctx.eq(Ctx.arrayLen(Ref),
+                              Ctx.intLit(static_cast<int64_t>(Arr.size()))));
+    if (InX) {
+      Wanted.insert(VarRef{Name, VarTag::Plain, VarKind::Array});
+      continue;
+    }
+    for (size_t I = 0, E = Arr.size(); I != E; ++I)
+      Formulas.push_back(
+          Ctx.eq(Ctx.arrayRead(Ref, Ctx.intLit(static_cast<int64_t>(I))),
+                 Ctx.intLit(Arr[I])));
+  }
+  Formulas.push_back(C->pred());
+}
+
+ChoiceResult SolverOracle::choose(const ChoiceRequest &Req) {
+  std::vector<const BoolExpr *> Base;
+  VarRefSet Wanted;
+  buildQuery(Req, Base, Wanted);
+
+  auto ExtractState = [&](const Model &M) {
+    State Out = *Req.Current;
+    for (const VarRef &V : Wanted) {
+      if (V.Kind == VarKind::Int) {
+        auto It = M.Ints.find(V);
+        if (It != M.Ints.end())
+          Out[V.Name] = Value(It->second);
+      } else {
+        auto It = M.Arrays.find(V);
+        if (It != M.Arrays.end())
+          Out[V.Name] = Value(It->second.Elems);
+      }
+    }
+    return Out;
+  };
+
+  // Diversity probes: additionally pin one random scalar choice variable to
+  // a random value near its current one, so repeated runs explore the
+  // relaxation space instead of always taking Z3's canonical model.
+  std::vector<VarRef> ScalarChoices;
+  for (const VarRef &V : Wanted)
+    if (V.Kind == VarKind::Int)
+      ScalarChoices.push_back(V);
+
+  for (unsigned Probe = 0;
+       Probe != Opts.DiversityProbes && !ScalarChoices.empty(); ++Probe) {
+    const VarRef &V = ScalarChoices[static_cast<size_t>(
+        Rng.nextInRange(0, static_cast<int64_t>(ScalarChoices.size()) - 1))];
+    auto CurIt = Req.Current->find(V.Name);
+    int64_t Cur =
+        CurIt != Req.Current->end() && CurIt->second.isInt()
+            ? CurIt->second.asInt()
+            : 0;
+    int64_t Target =
+        Rng.nextInRange(Cur - Opts.ProbeWindow, Cur + Opts.ProbeWindow);
+    std::vector<const BoolExpr *> Probed = Base;
+    Probed.push_back(
+        Ctx.eq(Ctx.var(V.Name, VarTag::Plain), Ctx.intLit(Target)));
+    Model M;
+    Result<SatResult> R = TheSolver.checkSatWithModel(Probed, Wanted, M);
+    if (R.ok() && *R == SatResult::Sat)
+      return ChoiceResult{ChoiceStatus::Found, ExtractState(M)};
+    // Probe failed; fall through to the next probe / the base query.
+  }
+
+  Model M;
+  Result<SatResult> R = TheSolver.checkSatWithModel(Base, Wanted, M);
+  if (!R.ok())
+    return ChoiceResult{ChoiceStatus::Unknown, State()};
+  switch (*R) {
+  case SatResult::Sat:
+    return ChoiceResult{ChoiceStatus::Found, ExtractState(M)};
+  case SatResult::Unsat:
+    return ChoiceResult{ChoiceStatus::Unsat, State()};
+  case SatResult::Unknown:
+    return ChoiceResult{ChoiceStatus::Unknown, State()};
+  }
+  return ChoiceResult{ChoiceStatus::Unknown, State()};
+}
+
+//===----------------------------------------------------------------------===//
+// ReplayOracle
+//===----------------------------------------------------------------------===//
+
+ChoiceResult ReplayOracle::choose(const ChoiceRequest &) {
+  if (Next >= Script.size())
+    return ChoiceResult{ChoiceStatus::Unknown, State()};
+  return ChoiceResult{ChoiceStatus::Found, Script[Next++]};
+}

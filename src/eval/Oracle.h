@@ -1,0 +1,164 @@
+//===- Oracle.h - Nondeterminism resolution -------------------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic semantics of `havoc (X) st (e)` (and `relax` in the relaxed
+/// semantics) nondeterministically picks any post-state satisfying e. An
+/// Oracle is the interpreter's strategy for making that pick. Oracles must
+/// be faithful to the semantics:
+///
+///  * `Found` states must (a) satisfy the predicate and (b) differ from the
+///    current state only on the statement's variable set X (the interpreter
+///    re-validates both — a buggy oracle cannot corrupt an execution);
+///  * `Unsat` may only be answered when *no* satisfying choice exists
+///    (this is what makes the statement evaluate to `wr` per havoc-f);
+///  * `Unknown` means the strategy failed; the interpreter reports a
+///    tool-level `stuck` outcome rather than mis-reporting `wr`.
+///
+/// Array lengths are execution-invariant, so choices preserve the length of
+/// every array in X.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_EVAL_ORACLE_H
+#define RELAXC_EVAL_ORACLE_H
+
+#include "eval/Value.h"
+#include "support/Random.h"
+
+namespace relax {
+
+class Solver;
+
+/// A request to resolve one havoc/relax choice.
+struct ChoiceRequest {
+  const ChoiceStmtBase *Choice = nullptr; ///< the statement (vars + pred)
+  const State *Current = nullptr;         ///< σ before the statement
+  const Program *Prog = nullptr;          ///< for variable kinds
+};
+
+/// Status of an oracle answer.
+enum class ChoiceStatus { Found, Unsat, Unknown };
+
+/// An oracle answer.
+struct ChoiceResult {
+  ChoiceStatus Status = ChoiceStatus::Unknown;
+  State NewState; ///< valid when Status == Found
+};
+
+/// Strategy interface for resolving nondeterminism.
+class Oracle {
+public:
+  virtual ~Oracle();
+
+  /// A short name for reports.
+  virtual const char *name() const = 0;
+
+  /// Picks a post-state for \p Req.
+  virtual ChoiceResult choose(const ChoiceRequest &Req) = 0;
+};
+
+/// Prefers to change nothing: answers the current state when it already
+/// satisfies the predicate (always true for `relax` reached by an original
+/// execution of a verified program), otherwise Unknown. Makes the relaxed
+/// semantics coincide with the original — the "zero relaxation" point of
+/// the trade-off space.
+class IdentityOracle : public Oracle {
+public:
+  const char *name() const override { return "identity"; }
+  ChoiceResult choose(const ChoiceRequest &Req) override;
+};
+
+/// Randomized search: samples assignments for X uniformly from a window
+/// around the current values; first satisfying sample wins. Never answers
+/// Unsat (it cannot prove absence).
+class RandomSearchOracle : public Oracle {
+public:
+  struct Options {
+    uint64_t Seed = 1;
+    unsigned MaxTries = 256;
+    int64_t Window = 64; ///< samples come from [cur-Window, cur+Window]
+  };
+
+  RandomSearchOracle();
+  explicit RandomSearchOracle(Options Opts) : Opts(Opts), Rng(Opts.Seed) {}
+
+  const char *name() const override { return "random"; }
+  ChoiceResult choose(const ChoiceRequest &Req) override;
+
+private:
+  Options Opts;
+  SplitMix64 Rng;
+};
+
+/// Solver-backed oracle: encodes "frame variables keep their current
+/// values, X free, predicate holds" and asks the solver for a model —
+/// giving definite Unsat answers (the havoc-f rule) and witness diversity
+/// via a few random pin-one-variable probes before the unconstrained query.
+class SolverOracle : public Oracle {
+public:
+  struct Options {
+    uint64_t Seed = 1;
+    /// Number of randomized probe queries before the unconstrained one.
+    unsigned DiversityProbes = 2;
+    int64_t ProbeWindow = 32;
+  };
+
+  SolverOracle(AstContext &Ctx, Solver &S);
+  SolverOracle(AstContext &Ctx, Solver &S, Options Opts)
+      : Ctx(Ctx), TheSolver(S), Opts(Opts), Rng(Opts.Seed) {}
+
+  const char *name() const override { return "solver"; }
+  ChoiceResult choose(const ChoiceRequest &Req) override;
+
+private:
+  AstContext &Ctx;
+  Solver &TheSolver;
+  Options Opts;
+  SplitMix64 Rng;
+
+  /// Builds the frame/length constraints and the choice-variable set.
+  void buildQuery(const ChoiceRequest &Req,
+                  std::vector<const BoolExpr *> &Formulas, VarRefSet &Wanted);
+};
+
+/// Replays a fixed sequence of post-states (for tests and for reproducing
+/// monitored executions). Answers Unknown when the script runs out.
+class ReplayOracle : public Oracle {
+public:
+  explicit ReplayOracle(std::vector<State> Script)
+      : Script(std::move(Script)) {}
+
+  const char *name() const override { return "replay"; }
+  ChoiceResult choose(const ChoiceRequest &Req) override;
+
+private:
+  std::vector<State> Script;
+  size_t Next = 0;
+};
+
+/// Tries a primary oracle, then a fallback (e.g. identity then solver).
+class ChainOracle : public Oracle {
+public:
+  ChainOracle(Oracle &First, Oracle &Second) : First(First), Second(Second) {}
+
+  const char *name() const override { return "chain"; }
+  ChoiceResult choose(const ChoiceRequest &Req) override {
+    ChoiceResult R = First.choose(Req);
+    if (R.Status != ChoiceStatus::Unknown)
+      return R;
+    return Second.choose(Req);
+  }
+
+private:
+  Oracle &First;
+  Oracle &Second;
+};
+
+} // namespace relax
+
+#endif // RELAXC_EVAL_ORACLE_H

@@ -1,0 +1,118 @@
+//===- PairRunner.cpp - Lockstep pair execution and compatibility -------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/PairRunner.h"
+
+#include "solver/FormulaEval.h"
+#include "support/Casting.h"
+
+using namespace relax;
+
+CompatResult relax::checkObservationalCompatibility(
+    const RelateMap &Gamma, const ObservationList &Psi1,
+    const ObservationList &Psi2, const Interner &Syms) {
+  CompatResult R;
+  if (Psi1.size() != Psi2.size()) {
+    R.Compatible = false;
+    R.ViolationIndex = std::min(Psi1.size(), Psi2.size());
+    R.Reason = "observation lists have different lengths (" +
+               std::to_string(Psi1.size()) + " vs " +
+               std::to_string(Psi2.size()) + ")";
+    return R;
+  }
+  for (size_t I = 0, E = Psi1.size(); I != E; ++I) {
+    const Observation &O1 = Psi1[I];
+    const Observation &O2 = Psi2[I];
+    if (O1.Label != O2.Label) {
+      R.Compatible = false;
+      R.ViolationIndex = I;
+      R.Reason = "observation " + std::to_string(I) +
+                 " has mismatched labels ('" +
+                 std::string(Syms.text(O1.Label)) + "' vs '" +
+                 std::string(Syms.text(O2.Label)) + "')";
+      return R;
+    }
+    auto It = Gamma.find(O1.Label);
+    if (It == Gamma.end()) {
+      R.Compatible = false;
+      R.ViolationIndex = I;
+      R.Reason = "label '" + std::string(Syms.text(O1.Label)) +
+                 "' has no relate predicate in Γ";
+      return R;
+    }
+    // Relate predicates are quantifier-free, so the bounded quantifier
+    // domains of evalFormula are irrelevant: evaluation is exact.
+    Model Pair = pairToModel(O1.Snapshot, O2.Snapshot);
+    if (!evalFormula(It->second, Pair)) {
+      R.Compatible = false;
+      R.ViolationIndex = I;
+      R.Reason = "relate '" + std::string(Syms.text(O1.Label)) +
+                 "' violated: original state " +
+                 formatState(Syms, O1.Snapshot) + ", relaxed state " +
+                 formatState(Syms, O2.Snapshot);
+      return R;
+    }
+  }
+  return R;
+}
+
+Result<State> relax::randomInitialState(AstContext &Ctx, const Program &P,
+                                        Solver &S, uint64_t Seed,
+                                        size_t ArrayLen) {
+  const BoolExpr *Req =
+      P.requiresClause() ? P.requiresClause() : Ctx.trueExpr();
+  std::vector<Symbol> AllVars;
+  for (const VarDecl &D : P.decls())
+    AllVars.push_back(D.Name);
+  if (AllVars.empty())
+    return State();
+
+  // A synthetic `havoc (all vars) st (requires)` resolved by the solver
+  // oracle: its diversity probes randomize the drawn state.
+  const Stmt *Choice = Ctx.havoc(AllVars, Req);
+  State Zero = Interp::zeroState(P, ArrayLen);
+
+  SolverOracle::Options Opts;
+  Opts.Seed = Seed;
+  Opts.DiversityProbes = 4;
+  SolverOracle O(Ctx, S, Opts);
+  ChoiceRequest ReqChoice;
+  const auto *ChoiceStmt = cast<ChoiceStmtBase>(Choice);
+  ReqChoice.Choice = ChoiceStmt;
+  ReqChoice.Current = &Zero;
+  ReqChoice.Prog = &P;
+  ChoiceResult R = O.choose(ReqChoice);
+  switch (R.Status) {
+  case ChoiceStatus::Found: {
+    // Re-validate: the state must satisfy the requires clause dynamically.
+    auto Holds = evalDynBool(Req, R.NewState);
+    if (Holds.Trapped || !Holds.Val)
+      return Result<State>::error(
+          "generated initial state does not satisfy the requires clause");
+    return R.NewState;
+  }
+  case ChoiceStatus::Unsat:
+    return Result<State>::error("the requires clause is unsatisfiable");
+  case ChoiceStatus::Unknown:
+    return Result<State>::error("solver could not draw an initial state");
+  }
+  return Result<State>::error("unreachable");
+}
+
+PairOutcome PairRunner::run(const State &Initial, Oracle &OrigOracle,
+                            Oracle &RelOracle) {
+  PairOutcome Out;
+  Interp OrigInterp(Prog, Syms, OrigOracle, Opts);
+  Out.Orig = OrigInterp.run(SemanticsMode::Original, Initial);
+  Interp RelInterp(Prog, Syms, RelOracle, Opts);
+  Out.Rel = RelInterp.run(SemanticsMode::Relaxed, Initial);
+
+  if (Out.Orig.ok() && Out.Rel.ok())
+    Out.Compat = checkObservationalCompatibility(
+        Gamma, Out.Orig.Observations, Out.Rel.Observations, Syms);
+  return Out;
+}

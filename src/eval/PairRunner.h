@@ -1,0 +1,87 @@
+//===- PairRunner.h - Lockstep pair execution and compatibility ----*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs an original execution and a relaxed execution of the same program
+/// and checks the observational-compatibility relation Γ |- ψ1 ∼ ψ2 of
+/// Theorem 6: the two observation lists must pair up label-for-label, and
+/// each relate predicate must hold on the corresponding state pair. This is
+/// the dynamic counterpart of the static guarantee — the property tests use
+/// it to validate the paper's metatheorems on thousands of executions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_EVAL_PAIRRUNNER_H
+#define RELAXC_EVAL_PAIRRUNNER_H
+
+#include "eval/Interp.h"
+
+#include <unordered_map>
+
+namespace relax {
+
+/// Γ: the label-to-relational-predicate map built by sema.
+using RelateMap = std::unordered_map<Symbol, const BoolExpr *>;
+
+/// Result of an observational-compatibility check.
+struct CompatResult {
+  bool Compatible = true;
+  size_t ViolationIndex = 0; ///< index into the observation lists
+  std::string Reason;
+};
+
+/// Checks Γ |- ψ1 ∼ ψ2 (Section 4, Theorem 6). ψ1 comes from the original
+/// execution, ψ2 from the relaxed one.
+CompatResult checkObservationalCompatibility(const RelateMap &Gamma,
+                                             const ObservationList &Psi1,
+                                             const ObservationList &Psi2,
+                                             const Interner &Syms);
+
+/// The outcome of one original/relaxed execution pair.
+struct PairOutcome {
+  Outcome Orig;
+  Outcome Rel;
+  /// Valid when both executions terminated successfully.
+  CompatResult Compat;
+
+  /// err(φo) / err(φr) in the sense of Section 4.
+  bool origErred() const { return Orig.isError(); }
+  bool relErred() const { return Rel.isError(); }
+};
+
+/// Draws a pseudo-random initial state that satisfies the program's
+/// requires clause, by havocking every declared variable subject to the
+/// clause through a SolverOracle (so different seeds explore the input
+/// space). Arrays get length \p ArrayLen. Fails when the requires clause
+/// is unsatisfiable or the solver gives up.
+Result<State> randomInitialState(AstContext &Ctx, const Program &P,
+                                 Solver &S, uint64_t Seed,
+                                 size_t ArrayLen = 8);
+
+/// Executes the program under both dynamic semantics from one initial
+/// state.
+class PairRunner {
+public:
+  PairRunner(const Program &P, const Interner &Syms, const RelateMap &Gamma,
+             InterpOptions Opts = InterpOptions())
+      : Prog(P), Syms(Syms), Gamma(Gamma), Opts(Opts) {}
+
+  /// Runs ⇓o with \p OrigOracle and ⇓r with \p RelOracle from \p Initial,
+  /// then checks compatibility when both succeed.
+  PairOutcome run(const State &Initial, Oracle &OrigOracle,
+                  Oracle &RelOracle);
+
+private:
+  const Program &Prog;
+  const Interner &Syms;
+  const RelateMap &Gamma;
+  InterpOptions Opts;
+};
+
+} // namespace relax
+
+#endif // RELAXC_EVAL_PAIRRUNNER_H

@@ -1,0 +1,72 @@
+//===- Value.cpp - Runtime values, states, outcomes ---------------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Value.h"
+
+using namespace relax;
+
+const char *relax::outcomeKindName(OutcomeKind K) {
+  switch (K) {
+  case OutcomeKind::Ok:
+    return "ok";
+  case OutcomeKind::Wr:
+    return "wr";
+  case OutcomeKind::Ba:
+    return "ba";
+  case OutcomeKind::Stuck:
+    return "stuck";
+  }
+  return "?";
+}
+
+Model relax::stateToModel(const State &S, VarTag Tag) {
+  Model M;
+  for (const auto &[Name, V] : S) {
+    if (V.isInt()) {
+      M.Ints[VarRef{Name, Tag, VarKind::Int}] = V.asInt();
+    } else {
+      ArrayModelValue A;
+      A.Length = static_cast<int64_t>(V.asArray().size());
+      A.Elems = V.asArray();
+      M.Arrays[VarRef{Name, Tag, VarKind::Array}] = std::move(A);
+    }
+  }
+  return M;
+}
+
+Model relax::pairToModel(const State &Orig, const State &Rel) {
+  Model M = stateToModel(Orig, VarTag::Orig);
+  Model R = stateToModel(Rel, VarTag::Rel);
+  M.Ints.insert(R.Ints.begin(), R.Ints.end());
+  M.Arrays.insert(R.Arrays.begin(), R.Arrays.end());
+  return M;
+}
+
+std::string relax::formatState(const Interner &Syms, const State &S) {
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[Name, V] : S) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += Syms.text(Name);
+    Out += " = ";
+    if (V.isInt()) {
+      Out += std::to_string(V.asInt());
+    } else {
+      Out += "[";
+      for (size_t I = 0, E = V.asArray().size(); I != E; ++I) {
+        if (I)
+          Out += ", ";
+        Out += std::to_string(V.asArray()[I]);
+      }
+      Out += "]";
+    }
+  }
+  Out += "}";
+  return Out;
+}

@@ -1,0 +1,114 @@
+//===- Value.h - Runtime values, states, outcomes ------------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime representations for the dynamic semantics: values (integers and
+/// fixed-length arrays), states σ (finite maps from variables to values),
+/// observations (l, σ) emitted by `relate`, and output configurations
+/// Φ = wr | ba | (σ, ψ) from Figure 3, extended with a tool-level `stuck`
+/// outcome for oracle failure and fuel exhaustion (the paper's semantics is
+/// a relation; an interpreter must answer even when it cannot decide which
+/// rule applies).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_EVAL_VALUE_H
+#define RELAXC_EVAL_VALUE_H
+
+#include "ast/Program.h"
+#include "solver/Solver.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace relax {
+
+/// A runtime array value: fixed length, int64 elements.
+using ArrayValue = std::vector<int64_t>;
+
+/// A runtime value.
+class Value {
+public:
+  Value() : Data(int64_t(0)) {}
+  /*implicit*/ Value(int64_t V) : Data(V) {}
+  /*implicit*/ Value(ArrayValue V) : Data(std::move(V)) {}
+
+  bool isInt() const { return std::holds_alternative<int64_t>(Data); }
+  bool isArray() const { return !isInt(); }
+  VarKind kind() const { return isInt() ? VarKind::Int : VarKind::Array; }
+
+  int64_t asInt() const { return std::get<int64_t>(Data); }
+  const ArrayValue &asArray() const { return std::get<ArrayValue>(Data); }
+  ArrayValue &asArray() { return std::get<ArrayValue>(Data); }
+
+  friend bool operator==(const Value &A, const Value &B) {
+    return A.Data == B.Data;
+  }
+  friend bool operator!=(const Value &A, const Value &B) { return !(A == B); }
+
+private:
+  std::variant<int64_t, ArrayValue> Data;
+};
+
+/// A state σ: finite map from variables to values. std::map keeps
+/// iteration deterministic for printing and hashing.
+using State = std::map<Symbol, Value>;
+
+/// One observation (l, σ) emitted by a relate statement.
+struct Observation {
+  Symbol Label;
+  State Snapshot;
+};
+
+/// ψ: the observation list, in chronological order. (The paper's lists are
+/// built head-most-recent; the compatibility relation only compares the
+/// two executions' lists pointwise, so a consistent order is all that
+/// matters.)
+using ObservationList = std::vector<Observation>;
+
+/// Output configuration kinds.
+enum class OutcomeKind {
+  Ok,    ///< ⟨σ, ψ⟩: successful termination
+  Wr,    ///< wr: assertion failure, unsatisfiable havoc, or runtime trap
+  Ba,    ///< ba: assume failure
+  Stuck, ///< tool-level: oracle gave up or fuel ran out (not part of Φ)
+};
+
+/// Returns "ok" / "wr" / "ba" / "stuck".
+const char *outcomeKindName(OutcomeKind K);
+
+/// The result of evaluating a statement.
+struct Outcome {
+  OutcomeKind Kind = OutcomeKind::Ok;
+  State FinalState;          ///< valid when Kind == Ok
+  ObservationList Observations;
+  SourceLoc ErrorLoc;        ///< where the error arose (Wr/Ba/Stuck)
+  std::string Reason;        ///< human-readable error description
+
+  bool ok() const { return Kind == OutcomeKind::Ok; }
+  /// err(φ) from Section 4: φ = wr or φ = ba.
+  bool isError() const {
+    return Kind == OutcomeKind::Wr || Kind == OutcomeKind::Ba;
+  }
+};
+
+/// Builds a solver Model viewing \p S through execution tag \p Tag
+/// (Plain for unary formulas, Orig/Rel for the two components of a pair).
+Model stateToModel(const State &S, VarTag Tag);
+
+/// Builds the two-state model (σo, σr) for relational formula evaluation.
+Model pairToModel(const State &Orig, const State &Rel);
+
+/// Renders a state for diagnostics: `{x = 3, A = [1, 2]}`.
+std::string formatState(const Interner &Syms, const State &S);
+
+} // namespace relax
+
+#endif // RELAXC_EVAL_VALUE_H

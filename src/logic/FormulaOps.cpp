@@ -1,0 +1,410 @@
+//===- FormulaOps.cpp - Operations on formulas --------------------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/FormulaOps.h"
+
+#include "support/Casting.h"
+
+#include <cassert>
+
+using namespace relax;
+
+//===----------------------------------------------------------------------===//
+// Free variables
+//===----------------------------------------------------------------------===//
+
+void relax::collectFreeVars(const Expr *E, VarRefSet &Out) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    return;
+  case Expr::Kind::Var: {
+    const auto *V = cast<VarExpr>(E);
+    Out.insert(VarRef{V->name(), V->tag(), VarKind::Int});
+    return;
+  }
+  case Expr::Kind::ArrayRead: {
+    const auto *R = cast<ArrayReadExpr>(E);
+    collectFreeVars(R->base(), Out);
+    collectFreeVars(R->index(), Out);
+    return;
+  }
+  case Expr::Kind::ArrayLen:
+    collectFreeVars(cast<ArrayLenExpr>(E)->base(), Out);
+    return;
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    collectFreeVars(B->lhs(), Out);
+    collectFreeVars(B->rhs(), Out);
+    return;
+  }
+  }
+}
+
+void relax::collectFreeVars(const ArrayExpr *A, VarRefSet &Out) {
+  switch (A->kind()) {
+  case ArrayExpr::Kind::Ref: {
+    const auto *R = cast<ArrayRefExpr>(A);
+    Out.insert(VarRef{R->name(), R->tag(), VarKind::Array});
+    return;
+  }
+  case ArrayExpr::Kind::Store: {
+    const auto *S = cast<ArrayStoreExpr>(A);
+    collectFreeVars(S->base(), Out);
+    collectFreeVars(S->index(), Out);
+    collectFreeVars(S->value(), Out);
+    return;
+  }
+  }
+}
+
+void relax::collectFreeVars(const BoolExpr *B, VarRefSet &Out) {
+  switch (B->kind()) {
+  case BoolExpr::Kind::BoolLit:
+    return;
+  case BoolExpr::Kind::Cmp: {
+    const auto *C = cast<CmpExpr>(B);
+    collectFreeVars(C->lhs(), Out);
+    collectFreeVars(C->rhs(), Out);
+    return;
+  }
+  case BoolExpr::Kind::ArrayCmp: {
+    const auto *C = cast<ArrayCmpExpr>(B);
+    collectFreeVars(C->lhs(), Out);
+    collectFreeVars(C->rhs(), Out);
+    return;
+  }
+  case BoolExpr::Kind::Logical: {
+    const auto *L = cast<LogicalExpr>(B);
+    collectFreeVars(L->lhs(), Out);
+    collectFreeVars(L->rhs(), Out);
+    return;
+  }
+  case BoolExpr::Kind::Not:
+    collectFreeVars(cast<NotExpr>(B)->sub(), Out);
+    return;
+  case BoolExpr::Kind::Exists: {
+    const auto *E = cast<ExistsExpr>(B);
+    VarRefSet Body;
+    collectFreeVars(E->body(), Body);
+    Body.erase(VarRef{E->var(), E->tag(), E->varKind()});
+    Out.insert(Body.begin(), Body.end());
+    return;
+  }
+  }
+}
+
+VarRefSet relax::freeVars(const Expr *E) {
+  VarRefSet Out;
+  collectFreeVars(E, Out);
+  return Out;
+}
+
+VarRefSet relax::freeVars(const BoolExpr *B) {
+  VarRefSet Out;
+  collectFreeVars(B, Out);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Classification
+//===----------------------------------------------------------------------===//
+
+bool relax::isQuantifierFree(const BoolExpr *B) {
+  switch (B->kind()) {
+  case BoolExpr::Kind::BoolLit:
+  case BoolExpr::Kind::Cmp:
+  case BoolExpr::Kind::ArrayCmp:
+    return true;
+  case BoolExpr::Kind::Logical: {
+    const auto *L = cast<LogicalExpr>(B);
+    return isQuantifierFree(L->lhs()) && isQuantifierFree(L->rhs());
+  }
+  case BoolExpr::Kind::Not:
+    return isQuantifierFree(cast<NotExpr>(B)->sub());
+  case BoolExpr::Kind::Exists:
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Checks whether every variable occurrence (free *or* bound, since binders
+/// also carry tags) satisfies \p Pred.
+template <typename Fn> bool allTags(const BoolExpr *B, Fn Pred) {
+  VarRefSet Vars;
+  collectFreeVars(B, Vars);
+  bool Ok = true;
+  for (const VarRef &V : Vars)
+    Ok &= Pred(V.Tag);
+  // Bound variables: walk quantifiers.
+  if (const auto *E = dyn_cast<ExistsExpr>(B))
+    Ok &= Pred(E->tag()) && allTags(E->body(), Pred);
+  else if (const auto *L = dyn_cast<LogicalExpr>(B))
+    Ok &= allTags(L->lhs(), Pred) && allTags(L->rhs(), Pred);
+  else if (const auto *N = dyn_cast<NotExpr>(B))
+    Ok &= allTags(N->sub(), Pred);
+  return Ok;
+}
+
+} // namespace
+
+bool relax::isUnary(const BoolExpr *B) {
+  return allTags(B, [](VarTag T) { return T == VarTag::Plain; });
+}
+
+bool relax::isRelational(const BoolExpr *B) {
+  return allTags(B, [](VarTag T) { return T != VarTag::Plain; });
+}
+
+//===----------------------------------------------------------------------===//
+// Substitution
+//===----------------------------------------------------------------------===//
+
+VarRefSet Subst::replacementFreeVars() const {
+  VarRefSet Out;
+  for (const auto &[Key, Repl] : Scalars)
+    collectFreeVars(Repl, Out);
+  for (const auto &[Key, Repl] : Arrays)
+    collectFreeVars(Repl, Out);
+  return Out;
+}
+
+const Expr *relax::substitute(AstContext &Ctx, const Expr *E, const Subst &S) {
+  if (S.empty())
+    return E;
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    return E;
+  case Expr::Kind::Var: {
+    const auto *V = cast<VarExpr>(E);
+    if (const Expr *Repl = S.lookupVar(V->name(), V->tag()))
+      return Repl;
+    return E;
+  }
+  case Expr::Kind::ArrayRead: {
+    const auto *R = cast<ArrayReadExpr>(E);
+    const ArrayExpr *Base = substitute(Ctx, R->base(), S);
+    const Expr *Index = substitute(Ctx, R->index(), S);
+    if (Base == R->base() && Index == R->index())
+      return E;
+    return Ctx.arrayRead(Base, Index, E->loc());
+  }
+  case Expr::Kind::ArrayLen: {
+    const auto *L = cast<ArrayLenExpr>(E);
+    const ArrayExpr *Base = substitute(Ctx, L->base(), S);
+    if (Base == L->base())
+      return E;
+    return Ctx.arrayLen(Base, E->loc());
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    const Expr *L = substitute(Ctx, B->lhs(), S);
+    const Expr *R = substitute(Ctx, B->rhs(), S);
+    if (L == B->lhs() && R == B->rhs())
+      return E;
+    return Ctx.binary(B->op(), L, R, E->loc());
+  }
+  }
+  return E;
+}
+
+const ArrayExpr *relax::substitute(AstContext &Ctx, const ArrayExpr *A,
+                                   const Subst &S) {
+  if (S.empty())
+    return A;
+  switch (A->kind()) {
+  case ArrayExpr::Kind::Ref: {
+    const auto *R = cast<ArrayRefExpr>(A);
+    if (const ArrayExpr *Repl = S.lookupArray(R->name(), R->tag()))
+      return Repl;
+    return A;
+  }
+  case ArrayExpr::Kind::Store: {
+    const auto *St = cast<ArrayStoreExpr>(A);
+    const ArrayExpr *Base = substitute(Ctx, St->base(), S);
+    const Expr *Index = substitute(Ctx, St->index(), S);
+    const Expr *Value = substitute(Ctx, St->value(), S);
+    if (Base == St->base() && Index == St->index() && Value == St->value())
+      return A;
+    return Ctx.arrayStore(Base, Index, Value, A->loc());
+  }
+  }
+  return A;
+}
+
+const BoolExpr *relax::substitute(AstContext &Ctx, const BoolExpr *B,
+                                  const Subst &S) {
+  if (S.empty())
+    return B;
+  switch (B->kind()) {
+  case BoolExpr::Kind::BoolLit:
+    return B;
+  case BoolExpr::Kind::Cmp: {
+    const auto *C = cast<CmpExpr>(B);
+    const Expr *L = substitute(Ctx, C->lhs(), S);
+    const Expr *R = substitute(Ctx, C->rhs(), S);
+    if (L == C->lhs() && R == C->rhs())
+      return B;
+    return Ctx.cmp(C->op(), L, R, B->loc());
+  }
+  case BoolExpr::Kind::ArrayCmp: {
+    const auto *C = cast<ArrayCmpExpr>(B);
+    const ArrayExpr *L = substitute(Ctx, C->lhs(), S);
+    const ArrayExpr *R = substitute(Ctx, C->rhs(), S);
+    if (L == C->lhs() && R == C->rhs())
+      return B;
+    return Ctx.arrayCmp(C->isEquality(), L, R, B->loc());
+  }
+  case BoolExpr::Kind::Logical: {
+    const auto *Lo = cast<LogicalExpr>(B);
+    const BoolExpr *L = substitute(Ctx, Lo->lhs(), S);
+    const BoolExpr *R = substitute(Ctx, Lo->rhs(), S);
+    if (L == Lo->lhs() && R == Lo->rhs())
+      return B;
+    return Ctx.logical(Lo->op(), L, R, B->loc());
+  }
+  case BoolExpr::Kind::Not: {
+    const auto *N = cast<NotExpr>(B);
+    const BoolExpr *Sub = substitute(Ctx, N->sub(), S);
+    if (Sub == N->sub())
+      return B;
+    return Ctx.notExpr(Sub, B->loc());
+  }
+  case BoolExpr::Kind::Exists: {
+    const auto *E = cast<ExistsExpr>(B);
+    VarRef Bound{E->var(), E->tag(), E->varKind()};
+
+    // Shadowing: remove the bound variable from the substitution.
+    Subst Inner = S;
+    Inner.erase(Bound.Name, Bound.Tag, Bound.Kind);
+
+    // Capture: if the bound variable occurs free in some replacement,
+    // alpha-rename the binder first.
+    VarRefSet ReplFree = Inner.replacementFreeVars();
+    if (ReplFree.count(Bound)) {
+      Symbol Fresh = Ctx.freshSym(Bound.Name);
+      Subst Rename;
+      if (Bound.Kind == VarKind::Int)
+        Rename.mapVar(Bound.Name, Bound.Tag, Ctx.var(Fresh, Bound.Tag));
+      else
+        Rename.mapArray(Bound.Name, Bound.Tag, Ctx.arrayRef(Fresh, Bound.Tag));
+      const BoolExpr *RenamedBody = substitute(Ctx, E->body(), Rename);
+      return Ctx.exists(Fresh, Bound.Tag, Bound.Kind,
+                        substitute(Ctx, RenamedBody, Inner), B->loc());
+    }
+
+    const BoolExpr *Body = substitute(Ctx, E->body(), Inner);
+    if (Body == E->body())
+      return B;
+    return Ctx.exists(Bound.Name, Bound.Tag, Bound.Kind, Body, B->loc());
+  }
+  }
+  return B;
+}
+
+//===----------------------------------------------------------------------===//
+// Injection
+//===----------------------------------------------------------------------===//
+
+const Expr *relax::inject(AstContext &Ctx, const Expr *E, VarTag Target) {
+  assert(Target != VarTag::Plain && "injection target must be Orig or Rel");
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    return E;
+  case Expr::Kind::Var: {
+    const auto *V = cast<VarExpr>(E);
+    if (V->tag() != VarTag::Plain)
+      return E;
+    return Ctx.var(V->name(), Target, E->loc());
+  }
+  case Expr::Kind::ArrayRead: {
+    const auto *R = cast<ArrayReadExpr>(E);
+    return Ctx.arrayRead(inject(Ctx, R->base(), Target),
+                         inject(Ctx, R->index(), Target), E->loc());
+  }
+  case Expr::Kind::ArrayLen:
+    return Ctx.arrayLen(inject(Ctx, cast<ArrayLenExpr>(E)->base(), Target),
+                        E->loc());
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    return Ctx.binary(B->op(), inject(Ctx, B->lhs(), Target),
+                      inject(Ctx, B->rhs(), Target), E->loc());
+  }
+  }
+  return E;
+}
+
+const ArrayExpr *relax::inject(AstContext &Ctx, const ArrayExpr *A,
+                               VarTag Target) {
+  switch (A->kind()) {
+  case ArrayExpr::Kind::Ref: {
+    const auto *R = cast<ArrayRefExpr>(A);
+    if (R->tag() != VarTag::Plain)
+      return A;
+    return Ctx.arrayRef(R->name(), Target, A->loc());
+  }
+  case ArrayExpr::Kind::Store: {
+    const auto *S = cast<ArrayStoreExpr>(A);
+    return Ctx.arrayStore(inject(Ctx, S->base(), Target),
+                          inject(Ctx, S->index(), Target),
+                          inject(Ctx, S->value(), Target), A->loc());
+  }
+  }
+  return A;
+}
+
+const BoolExpr *relax::inject(AstContext &Ctx, const BoolExpr *B,
+                              VarTag Target) {
+  switch (B->kind()) {
+  case BoolExpr::Kind::BoolLit:
+    return B;
+  case BoolExpr::Kind::Cmp: {
+    const auto *C = cast<CmpExpr>(B);
+    return Ctx.cmp(C->op(), inject(Ctx, C->lhs(), Target),
+                   inject(Ctx, C->rhs(), Target), B->loc());
+  }
+  case BoolExpr::Kind::ArrayCmp: {
+    const auto *C = cast<ArrayCmpExpr>(B);
+    return Ctx.arrayCmp(C->isEquality(), inject(Ctx, C->lhs(), Target),
+                        inject(Ctx, C->rhs(), Target), B->loc());
+  }
+  case BoolExpr::Kind::Logical: {
+    const auto *L = cast<LogicalExpr>(B);
+    return Ctx.logical(L->op(), inject(Ctx, L->lhs(), Target),
+                       inject(Ctx, L->rhs(), Target), B->loc());
+  }
+  case BoolExpr::Kind::Not:
+    return Ctx.notExpr(inject(Ctx, cast<NotExpr>(B)->sub(), Target), B->loc());
+  case BoolExpr::Kind::Exists: {
+    const auto *E = cast<ExistsExpr>(B);
+    VarTag BinderTag = E->tag() == VarTag::Plain ? Target : E->tag();
+    return Ctx.exists(E->var(), BinderTag, E->varKind(),
+                      inject(Ctx, E->body(), Target), B->loc());
+  }
+  }
+  return B;
+}
+
+const BoolExpr *relax::pairPredicate(AstContext &Ctx, const BoolExpr *P1,
+                                     const BoolExpr *P2) {
+  return Ctx.conj(
+      {inject(Ctx, P1, VarTag::Orig), inject(Ctx, P2, VarTag::Rel)});
+}
+
+const BoolExpr *relax::identityRelation(AstContext &Ctx, const Program &P) {
+  std::vector<const BoolExpr *> Parts;
+  for (const VarDecl &D : P.decls()) {
+    if (D.Kind == VarKind::Int)
+      Parts.push_back(Ctx.eq(Ctx.var(D.Name, VarTag::Orig),
+                             Ctx.var(D.Name, VarTag::Rel)));
+    else
+      Parts.push_back(Ctx.arrayEq(Ctx.arrayRef(D.Name, VarTag::Orig),
+                                  Ctx.arrayRef(D.Name, VarTag::Rel)));
+  }
+  return Ctx.conj(Parts);
+}

@@ -1,0 +1,134 @@
+//===- FormulaOps.h - Operations on formulas -----------------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The assertion-logic toolbox of Section 3.1: free variables,
+/// capture-avoiding (multi-)substitution P[e1,...,en/x1,...,xn], the
+/// injections injo/injr that lift a unary formula P into a relational
+/// formula over the original or relaxed state component, and classification
+/// predicates (quantifier-free, unary, relational) that sema uses to
+/// enforce the paper's syntactic categories.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_LOGIC_FORMULAOPS_H
+#define RELAXC_LOGIC_FORMULAOPS_H
+
+#include "ast/AstContext.h"
+
+#include <map>
+#include <set>
+
+namespace relax {
+
+/// A (name, execution-tag, kind) triple identifying one logical variable.
+struct VarRef {
+  Symbol Name;
+  VarTag Tag = VarTag::Plain;
+  VarKind Kind = VarKind::Int;
+
+  friend bool operator==(const VarRef &A, const VarRef &B) {
+    return A.Name == B.Name && A.Tag == B.Tag && A.Kind == B.Kind;
+  }
+  friend bool operator<(const VarRef &A, const VarRef &B) {
+    if (A.Name != B.Name)
+      return A.Name < B.Name;
+    if (A.Tag != B.Tag)
+      return A.Tag < B.Tag;
+    return A.Kind < B.Kind;
+  }
+};
+
+/// Deterministically ordered variable set.
+using VarRefSet = std::set<VarRef>;
+
+/// Collects the free variables of a node into \p Out.
+void collectFreeVars(const Expr *E, VarRefSet &Out);
+void collectFreeVars(const ArrayExpr *A, VarRefSet &Out);
+void collectFreeVars(const BoolExpr *B, VarRefSet &Out);
+
+/// Convenience wrappers returning a fresh set.
+VarRefSet freeVars(const Expr *E);
+VarRefSet freeVars(const BoolExpr *B);
+
+/// True when \p B contains no quantifier (i.e. is program boolean syntax).
+bool isQuantifierFree(const BoolExpr *B);
+
+/// True when every variable in \p B is Plain-tagged (syntactic category
+/// P / B of the paper).
+bool isUnary(const BoolExpr *B);
+
+/// True when no variable in \p B is Plain-tagged (syntactic category
+/// P* / B* of the paper; note `true` is both unary and relational).
+bool isRelational(const BoolExpr *B);
+
+/// A simultaneous substitution of expressions for scalar variables and
+/// array expressions for array variables, keyed by (name, tag).
+class Subst {
+public:
+  void mapVar(Symbol Name, VarTag Tag, const Expr *Replacement) {
+    Scalars[{Name, Tag}] = Replacement;
+  }
+  void mapArray(Symbol Name, VarTag Tag, const ArrayExpr *Replacement) {
+    Arrays[{Name, Tag}] = Replacement;
+  }
+
+  bool empty() const { return Scalars.empty() && Arrays.empty(); }
+
+  const Expr *lookupVar(Symbol Name, VarTag Tag) const {
+    auto It = Scalars.find({Name, Tag});
+    return It == Scalars.end() ? nullptr : It->second;
+  }
+  const ArrayExpr *lookupArray(Symbol Name, VarTag Tag) const {
+    auto It = Arrays.find({Name, Tag});
+    return It == Arrays.end() ? nullptr : It->second;
+  }
+
+  /// Removes any mapping for (Name, Tag) of the given kind.
+  void erase(Symbol Name, VarTag Tag, VarKind Kind) {
+    if (Kind == VarKind::Int)
+      Scalars.erase({Name, Tag});
+    else
+      Arrays.erase({Name, Tag});
+  }
+
+  /// The free variables of every replacement (for capture checks).
+  VarRefSet replacementFreeVars() const;
+
+private:
+  using Key = std::pair<Symbol, VarTag>;
+  std::map<Key, const Expr *> Scalars;
+  std::map<Key, const ArrayExpr *> Arrays;
+};
+
+/// Applies \p S to a node, avoiding capture by alpha-renaming binders when
+/// needed (fresh names come from \p Ctx).
+const Expr *substitute(AstContext &Ctx, const Expr *E, const Subst &S);
+const ArrayExpr *substitute(AstContext &Ctx, const ArrayExpr *A,
+                            const Subst &S);
+const BoolExpr *substitute(AstContext &Ctx, const BoolExpr *B, const Subst &S);
+
+/// injo / injr (Section 3.1.2): retags every Plain variable (free or bound)
+/// of the unary formula \p B to \p Target, producing a relational formula.
+/// [[injo(P)]] = {(s1,s2) | s1 in [[P]]} and symmetrically for injr.
+const BoolExpr *inject(AstContext &Ctx, const BoolExpr *B, VarTag Target);
+const Expr *inject(AstContext &Ctx, const Expr *E, VarTag Target);
+const ArrayExpr *inject(AstContext &Ctx, const ArrayExpr *A, VarTag Target);
+
+/// The paper's <P1 . P2> notation: injo(P1) /\ injr(P2).
+const BoolExpr *pairPredicate(AstContext &Ctx, const BoolExpr *P1,
+                              const BoolExpr *P2);
+
+/// Builds the canonical identity relation for the declared variables of a
+/// program: /\_x x<o> == x<r> (extensional equality for arrays). This is
+/// the default relational precondition: both executions start in the same
+/// state.
+const BoolExpr *identityRelation(AstContext &Ctx, const Program &P);
+
+} // namespace relax
+
+#endif // RELAXC_LOGIC_FORMULAOPS_H

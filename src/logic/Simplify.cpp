@@ -1,0 +1,303 @@
+//===- Simplify.cpp - Formula simplification ----------------------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Simplify.h"
+
+#include "ast/Structural.h"
+#include "logic/FormulaOps.h"
+#include "support/Casting.h"
+
+#include <optional>
+
+using namespace relax;
+
+namespace {
+
+std::optional<int64_t> litValue(const Expr *E) {
+  if (const auto *L = dyn_cast<IntLitExpr>(E))
+    return L->value();
+  return std::nullopt;
+}
+
+std::optional<bool> litValue(const BoolExpr *B) {
+  if (const auto *L = dyn_cast<BoolLitExpr>(B))
+    return L->value();
+  return std::nullopt;
+}
+
+// Euclidean folding matching the logic/evaluator semantics. (The solver
+// library, which exports euclideanDiv/euclideanMod for general use, sits
+// above logic in the layering, so the two-liners are duplicated here; the
+// test suite checks they agree.)
+int64_t euclideanDivFold(int64_t L, int64_t R) {
+  int64_t Rem = L % R;
+  if (Rem < 0)
+    Rem += R > 0 ? R : -R;
+  return (L - Rem) / R;
+}
+
+int64_t euclideanModFold(int64_t L, int64_t R) {
+  int64_t Rem = L % R;
+  if (Rem < 0)
+    Rem += R > 0 ? R : -R;
+  return Rem;
+}
+
+/// Folds `L op R` when safe. Division/modulo by zero stays unfolded: the
+/// evaluator traps it as `wr`, so folding would change program behavior.
+std::optional<int64_t> foldBinary(BinaryOp Op, int64_t L, int64_t R) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return L + R;
+  case BinaryOp::Sub:
+    return L - R;
+  case BinaryOp::Mul:
+    return L * R;
+  case BinaryOp::Div:
+    if (R == 0)
+      return std::nullopt;
+    return euclideanDivFold(L, R);
+  case BinaryOp::Mod:
+    if (R == 0)
+      return std::nullopt;
+    return euclideanModFold(L, R);
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+const Expr *Simplifier::simplify(const Expr *E) {
+  auto It = ExprCache.find(E);
+  if (It != ExprCache.end())
+    return It->second;
+
+  const Expr *Out = E;
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::Var:
+  case Expr::Kind::ArrayLen:
+    break;
+  case Expr::Kind::ArrayRead: {
+    const auto *R = cast<ArrayReadExpr>(E);
+    const Expr *Index = simplify(R->index());
+    if (Index != R->index())
+      Out = Ctx.arrayRead(R->base(), Index, E->loc());
+    break;
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    const Expr *L = simplify(B->lhs());
+    const Expr *R = simplify(B->rhs());
+    auto LV = litValue(L), RV = litValue(R);
+    if (LV && RV) {
+      if (auto Folded = foldBinary(B->op(), *LV, *RV)) {
+        Out = Ctx.intLit(*Folded, E->loc());
+        break;
+      }
+    }
+    // Additive and multiplicative units.
+    if (B->op() == BinaryOp::Add && LV == 0) {
+      Out = R;
+      break;
+    }
+    if (B->op() == BinaryOp::Add && RV == 0) {
+      Out = L;
+      break;
+    }
+    if (B->op() == BinaryOp::Sub && RV == 0) {
+      Out = L;
+      break;
+    }
+    if (B->op() == BinaryOp::Mul && LV == 1) {
+      Out = R;
+      break;
+    }
+    if (B->op() == BinaryOp::Mul && RV == 1) {
+      Out = L;
+      break;
+    }
+    if (L != B->lhs() || R != B->rhs())
+      Out = Ctx.binary(B->op(), L, R, E->loc());
+    break;
+  }
+  }
+  ExprCache.emplace(E, Out);
+  if (Out != E)
+    ExprCache.emplace(Out, Out); // already in simplest form
+  return Out;
+}
+
+const BoolExpr *Simplifier::simplify(const BoolExpr *B) {
+  auto It = BoolCache.find(B);
+  if (It != BoolCache.end())
+    return It->second;
+
+  const BoolExpr *Out = B;
+  switch (B->kind()) {
+  case BoolExpr::Kind::BoolLit:
+    break;
+  case BoolExpr::Kind::Cmp: {
+    const auto *C = cast<CmpExpr>(B);
+    const Expr *L = simplify(C->lhs());
+    const Expr *R = simplify(C->rhs());
+    auto LV = litValue(L), RV = litValue(R);
+    if (LV && RV) {
+      Out = Ctx.boolLit(evalCmpOp(C->op(), *LV, *RV));
+      break;
+    }
+    // Identical operands decide reflexive comparisons. Pointer equality
+    // suffices here (the memoized simplifier canonicalizes shared
+    // subterms); structural equality on distinct nodes is only attempted
+    // for cheap shapes via hashing-free shortcuts.
+    if (L == R || structurallyEqual(L, R)) {
+      switch (C->op()) {
+      case CmpOp::Eq:
+      case CmpOp::Le:
+      case CmpOp::Ge:
+        Out = Ctx.trueExpr();
+        break;
+      case CmpOp::Ne:
+      case CmpOp::Lt:
+      case CmpOp::Gt:
+        Out = Ctx.falseExpr();
+        break;
+      }
+      break;
+    }
+    if (L != C->lhs() || R != C->rhs())
+      Out = Ctx.cmp(C->op(), L, R, B->loc());
+    break;
+  }
+  case BoolExpr::Kind::ArrayCmp: {
+    const auto *C = cast<ArrayCmpExpr>(B);
+    if (structurallyEqual(C->lhs(), C->rhs()))
+      Out = Ctx.boolLit(C->isEquality());
+    break;
+  }
+  case BoolExpr::Kind::Logical: {
+    const auto *Lo = cast<LogicalExpr>(B);
+    const BoolExpr *L = simplify(Lo->lhs());
+    const BoolExpr *R = simplify(Lo->rhs());
+    auto LV = litValue(L), RV = litValue(R);
+    switch (Lo->op()) {
+    case LogicalOp::And:
+      if (LV) {
+        Out = *LV ? R : Ctx.falseExpr();
+        goto done;
+      }
+      if (RV) {
+        Out = *RV ? L : Ctx.falseExpr();
+        goto done;
+      }
+      if (L == R) {
+        Out = L;
+        goto done;
+      }
+      break;
+    case LogicalOp::Or:
+      if (LV) {
+        Out = *LV ? Ctx.trueExpr() : R;
+        goto done;
+      }
+      if (RV) {
+        Out = *RV ? Ctx.trueExpr() : L;
+        goto done;
+      }
+      if (L == R) {
+        Out = L;
+        goto done;
+      }
+      break;
+    case LogicalOp::Implies:
+      if (LV) {
+        Out = *LV ? R : Ctx.trueExpr();
+        goto done;
+      }
+      if (RV && *RV) {
+        Out = Ctx.trueExpr();
+        goto done;
+      }
+      if (RV && !*RV) {
+        Out = simplify(Ctx.notExpr(L));
+        goto done;
+      }
+      if (L == R) {
+        Out = Ctx.trueExpr();
+        goto done;
+      }
+      break;
+    case LogicalOp::Iff:
+      if (LV) {
+        Out = *LV ? R : simplify(Ctx.notExpr(R));
+        goto done;
+      }
+      if (RV) {
+        Out = *RV ? L : simplify(Ctx.notExpr(L));
+        goto done;
+      }
+      if (L == R) {
+        Out = Ctx.trueExpr();
+        goto done;
+      }
+      break;
+    }
+    if (L != Lo->lhs() || R != Lo->rhs())
+      Out = Ctx.logical(Lo->op(), L, R, B->loc());
+    break;
+  }
+  case BoolExpr::Kind::Not: {
+    const BoolExpr *Sub = simplify(cast<NotExpr>(B)->sub());
+    if (auto V = litValue(Sub)) {
+      Out = Ctx.boolLit(!*V);
+      break;
+    }
+    if (const auto *N = dyn_cast<NotExpr>(Sub)) {
+      Out = N->sub(); // double negation
+      break;
+    }
+    if (const auto *C = dyn_cast<CmpExpr>(Sub)) {
+      Out = Ctx.cmp(negateCmpOp(C->op()), C->lhs(), C->rhs(), B->loc());
+      break;
+    }
+    if (Sub != cast<NotExpr>(B)->sub())
+      Out = Ctx.notExpr(Sub, B->loc());
+    break;
+  }
+  case BoolExpr::Kind::Exists: {
+    const auto *E = cast<ExistsExpr>(B);
+    const BoolExpr *Body = simplify(E->body());
+    if (auto V = litValue(Body)) {
+      Out = Ctx.boolLit(*V); // domain Z is nonempty
+      break;
+    }
+    VarRefSet Free = freeVars(Body);
+    if (!Free.count(VarRef{E->var(), E->tag(), E->varKind()})) {
+      Out = Body; // vacuous binder
+      break;
+    }
+    if (Body != E->body())
+      Out = Ctx.exists(E->var(), E->tag(), E->varKind(), Body, B->loc());
+    break;
+  }
+  }
+done:
+  BoolCache.emplace(B, Out);
+  if (Out != B)
+    BoolCache.emplace(Out, Out);
+  return Out;
+}
+
+const BoolExpr *relax::simplify(AstContext &Ctx, const BoolExpr *B) {
+  Simplifier S(Ctx);
+  return S.simplify(B);
+}
+
+const Expr *relax::simplify(AstContext &Ctx, const Expr *E) {
+  Simplifier S(Ctx);
+  return S.simplify(E);
+}

@@ -1,0 +1,52 @@
+//===- Simplify.h - Formula simplification -------------------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A validity-preserving simplifier for generated verification conditions:
+/// constant folding, boolean identities, double-negation elimination,
+/// duplicate-conjunct removal, and vacuous-quantifier elimination. Keeps VC
+/// dumps readable and reduces solver load; soundness is property-tested
+/// against random formulas and states.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_LOGIC_SIMPLIFY_H
+#define RELAXC_LOGIC_SIMPLIFY_H
+
+#include "ast/AstContext.h"
+
+#include <unordered_map>
+
+namespace relax {
+
+/// Returns a formula logically equivalent to \p B (under every state /
+/// state pair), structurally no larger.
+const BoolExpr *simplify(AstContext &Ctx, const BoolExpr *B);
+
+/// Returns an expression that evaluates identically to \p E.
+const Expr *simplify(AstContext &Ctx, const Expr *E);
+
+/// A memoizing simplifier. AST nodes are immutable and arena-allocated, so
+/// results can be cached by node identity; the strongest-postcondition
+/// generators re-simplify ever-growing formulas whose subterms were already
+/// simplified, and the cache turns that from quadratic into linear work.
+class Simplifier {
+public:
+  explicit Simplifier(AstContext &Ctx) : Ctx(Ctx) {}
+
+  const BoolExpr *simplify(const BoolExpr *B);
+  const Expr *simplify(const Expr *E);
+
+private:
+  AstContext &Ctx;
+  std::unordered_map<const BoolExpr *, const BoolExpr *> BoolCache;
+  std::unordered_map<const Expr *, const Expr *> ExprCache;
+};
+
+} // namespace relax
+
+#endif // RELAXC_LOGIC_SIMPLIFY_H

@@ -1,0 +1,362 @@
+//===- Lexer.cpp - Tokenizer for the .rlx surface syntax ---------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace relax;
+
+const char *relax::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of file";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::Integer:
+    return "integer literal";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwArray:
+    return "'array'";
+  case TokenKind::KwRequires:
+    return "'requires'";
+  case TokenKind::KwEnsures:
+    return "'ensures'";
+  case TokenKind::KwRRequires:
+    return "'rrequires'";
+  case TokenKind::KwREnsures:
+    return "'rensures'";
+  case TokenKind::KwSkip:
+    return "'skip'";
+  case TokenKind::KwHavoc:
+    return "'havoc'";
+  case TokenKind::KwRelax:
+    return "'relax'";
+  case TokenKind::KwSt:
+    return "'st'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwAssume:
+    return "'assume'";
+  case TokenKind::KwAssert:
+    return "'assert'";
+  case TokenKind::KwRelate:
+    return "'relate'";
+  case TokenKind::KwInvariant:
+    return "'invariant'";
+  case TokenKind::KwIInvariant:
+    return "'iinvariant'";
+  case TokenKind::KwRInvariant:
+    return "'rinvariant'";
+  case TokenKind::KwDecreases:
+    return "'decreases'";
+  case TokenKind::KwDiverge:
+    return "'diverge'";
+  case TokenKind::KwCases:
+    return "'cases'";
+  case TokenKind::KwPreOrig:
+    return "'pre_orig'";
+  case TokenKind::KwPreRel:
+    return "'pre_rel'";
+  case TokenKind::KwPostOrig:
+    return "'post_orig'";
+  case TokenKind::KwPostRel:
+    return "'post_rel'";
+  case TokenKind::KwFrame:
+    return "'frame'";
+  case TokenKind::KwExists:
+    return "'exists'";
+  case TokenKind::KwLen:
+    return "'len'";
+  case TokenKind::KwStore:
+    return "'store'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Lt:
+    return "'<'";
+  case TokenKind::Le:
+    return "'<='";
+  case TokenKind::Gt:
+    return "'>'";
+  case TokenKind::Ge:
+    return "'>='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::ImpliesArrow:
+    return "'==>'";
+  case TokenKind::IffArrow:
+    return "'<==>'";
+  }
+  return "token";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind> &keywordTable() {
+  static const std::unordered_map<std::string_view, TokenKind> Table = {
+      {"int", TokenKind::KwInt},
+      {"array", TokenKind::KwArray},
+      {"requires", TokenKind::KwRequires},
+      {"ensures", TokenKind::KwEnsures},
+      {"rrequires", TokenKind::KwRRequires},
+      {"rensures", TokenKind::KwREnsures},
+      {"skip", TokenKind::KwSkip},
+      {"havoc", TokenKind::KwHavoc},
+      {"relax", TokenKind::KwRelax},
+      {"st", TokenKind::KwSt},
+      {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},
+      {"assume", TokenKind::KwAssume},
+      {"assert", TokenKind::KwAssert},
+      {"relate", TokenKind::KwRelate},
+      {"invariant", TokenKind::KwInvariant},
+      {"iinvariant", TokenKind::KwIInvariant},
+      {"rinvariant", TokenKind::KwRInvariant},
+      {"decreases", TokenKind::KwDecreases},
+      {"diverge", TokenKind::KwDiverge},
+      {"cases", TokenKind::KwCases},
+      {"pre_orig", TokenKind::KwPreOrig},
+      {"pre_rel", TokenKind::KwPreRel},
+      {"post_orig", TokenKind::KwPostOrig},
+      {"post_rel", TokenKind::KwPostRel},
+      {"frame", TokenKind::KwFrame},
+      {"exists", TokenKind::KwExists},
+      {"len", TokenKind::KwLen},
+      {"store", TokenKind::KwStore},
+      {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},
+  };
+  return Table;
+}
+
+bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+bool isIdentCont(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+} // namespace
+
+char Lexer::peek(size_t Ahead) const {
+  std::string_view Buf = SM.buffer();
+  return Pos + Ahead < Buf.size() ? Buf[Pos + Ahead] : '\0';
+}
+
+bool Lexer::atEnd() const { return Pos >= SM.buffer().size(); }
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = loc();
+      Pos += 2;
+      while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+        ++Pos;
+      if (atEnd()) {
+        Diags.error(Start, "unterminated block comment");
+        return;
+      }
+      Pos += 2;
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  size_t Start = Pos;
+  SourceLoc Loc = loc();
+  while (isIdentCont(peek()))
+    ++Pos;
+  std::string_view Text = SM.buffer().substr(Start, Pos - Start);
+
+  const auto &Keywords = keywordTable();
+  if (auto It = Keywords.find(Text); It != Keywords.end())
+    return Token{It->second, Loc, Text, 0, VarTag::Plain};
+
+  // Tagged identifier: `x<o>` / `x<r>` with no intervening whitespace.
+  VarTag Tag = VarTag::Plain;
+  if (peek() == '<' && (peek(1) == 'o' || peek(1) == 'r') && peek(2) == '>') {
+    Tag = peek(1) == 'o' ? VarTag::Orig : VarTag::Rel;
+    Pos += 3;
+  }
+  return Token{TokenKind::Identifier, Loc, Text, 0, Tag};
+}
+
+Token Lexer::lexNumber() {
+  size_t Start = Pos;
+  SourceLoc Loc = loc();
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    ++Pos;
+  std::string_view Text = SM.buffer().substr(Start, Pos - Start);
+  int64_t Value = 0;
+  bool Overflow = false;
+  for (char C : Text) {
+    if (Value > (INT64_MAX - (C - '0')) / 10) {
+      Overflow = true;
+      break;
+    }
+    Value = Value * 10 + (C - '0');
+  }
+  if (Overflow)
+    Diags.error(Loc, "integer literal too large");
+  return Token{TokenKind::Integer, Loc, Text, Value, VarTag::Plain};
+}
+
+Token Lexer::lexToken() {
+  skipTrivia();
+  SourceLoc Loc = loc();
+  if (atEnd())
+    return Token{TokenKind::Eof, Loc, {}, 0, VarTag::Plain};
+
+  char C = peek();
+  if (isIdentStart(C))
+    return lexIdentifierOrKeyword();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+
+  auto Make = [&](TokenKind Kind, size_t Len) {
+    std::string_view Text = SM.buffer().substr(Pos, Len);
+    Pos += Len;
+    return Token{Kind, Loc, Text, 0, VarTag::Plain};
+  };
+
+  switch (C) {
+  case '(':
+    return Make(TokenKind::LParen, 1);
+  case ')':
+    return Make(TokenKind::RParen, 1);
+  case '{':
+    return Make(TokenKind::LBrace, 1);
+  case '}':
+    return Make(TokenKind::RBrace, 1);
+  case '[':
+    return Make(TokenKind::LBracket, 1);
+  case ']':
+    return Make(TokenKind::RBracket, 1);
+  case ';':
+    return Make(TokenKind::Semi, 1);
+  case ':':
+    return Make(TokenKind::Colon, 1);
+  case ',':
+    return Make(TokenKind::Comma, 1);
+  case '.':
+    return Make(TokenKind::Dot, 1);
+  case '+':
+    return Make(TokenKind::Plus, 1);
+  case '-':
+    return Make(TokenKind::Minus, 1);
+  case '*':
+    return Make(TokenKind::Star, 1);
+  case '/':
+    return Make(TokenKind::Slash, 1);
+  case '%':
+    return Make(TokenKind::Percent, 1);
+  case '!':
+    if (peek(1) == '=')
+      return Make(TokenKind::NotEq, 2);
+    return Make(TokenKind::Bang, 1);
+  case '&':
+    if (peek(1) == '&')
+      return Make(TokenKind::AmpAmp, 2);
+    break;
+  case '|':
+    if (peek(1) == '|')
+      return Make(TokenKind::PipePipe, 2);
+    break;
+  case '=':
+    if (peek(1) == '=' && peek(2) == '>')
+      return Make(TokenKind::ImpliesArrow, 3);
+    if (peek(1) == '=')
+      return Make(TokenKind::EqEq, 2);
+    return Make(TokenKind::Assign, 1);
+  case '<':
+    if (peek(1) == '=' && peek(2) == '=' && peek(3) == '>')
+      return Make(TokenKind::IffArrow, 4);
+    if (peek(1) == '=')
+      return Make(TokenKind::Le, 2);
+    return Make(TokenKind::Lt, 1);
+  case '>':
+    if (peek(1) == '=')
+      return Make(TokenKind::Ge, 2);
+    return Make(TokenKind::Gt, 1);
+  default:
+    break;
+  }
+
+  Diags.error(Loc, std::string("unexpected character '") + C + "'");
+  ++Pos;
+  return lexToken();
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Tokens.push_back(lexToken());
+    if (Tokens.back().is(TokenKind::Eof))
+      return Tokens;
+  }
+}

@@ -1,0 +1,143 @@
+//===- Lexer.h - Tokenizer for the .rlx surface syntax ------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizes `.rlx` source. Identifiers immediately followed by `<o>` or
+/// `<r>` lex as single tagged-identifier tokens (`x<o>`), matching the
+/// paper's notation for relational expressions; write a space before `<`
+/// to compare against variables literally named `o` or `r`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_PARSER_LEXER_H
+#define RELAXC_PARSER_LEXER_H
+
+#include "ast/Expr.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace relax {
+
+class Interner;
+
+/// Token discriminator.
+enum class TokenKind : uint8_t {
+  Eof,
+  Identifier, ///< possibly tagged; see Token::Tag
+  Integer,
+
+  // Keywords.
+  KwInt,
+  KwArray,
+  KwRequires,
+  KwEnsures,
+  KwRRequires,
+  KwREnsures,
+  KwSkip,
+  KwHavoc,
+  KwRelax,
+  KwSt,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwAssume,
+  KwAssert,
+  KwRelate,
+  KwInvariant,
+  KwIInvariant,
+  KwRInvariant,
+  KwDecreases,
+  KwDiverge,
+  KwCases,
+  KwPreOrig,
+  KwPreRel,
+  KwPostOrig,
+  KwPostRel,
+  KwFrame,
+  KwExists,
+  KwLen,
+  KwStore,
+  KwTrue,
+  KwFalse,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Colon,
+  Comma,
+  Dot,
+  Assign,  ///< =
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  NotEq,
+  AmpAmp,
+  PipePipe,
+  Bang,
+  ImpliesArrow, ///< ==>
+  IffArrow,     ///< <==>
+};
+
+/// Returns a human-readable name for \p Kind (used in diagnostics).
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string_view Text;       ///< slice of the source buffer
+  int64_t IntValue = 0;        ///< for Integer
+  VarTag Tag = VarTag::Plain;  ///< for tagged Identifier tokens
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+/// Converts a source buffer into a token vector. Lexing never fails hard:
+/// unknown characters produce diagnostics and are skipped, so the parser
+/// always sees a well-terminated stream.
+class Lexer {
+public:
+  Lexer(const SourceManager &SM, DiagnosticEngine &Diags)
+      : SM(SM), Diags(Diags) {}
+
+  /// Lexes the whole buffer. The result always ends with an Eof token.
+  std::vector<Token> lexAll();
+
+private:
+  const SourceManager &SM;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+
+  char peek(size_t Ahead = 0) const;
+  bool atEnd() const;
+  SourceLoc loc() const { return SM.locForOffset(Pos); }
+
+  void skipTrivia();
+  Token lexToken();
+  Token lexIdentifierOrKeyword();
+  Token lexNumber();
+};
+
+} // namespace relax
+
+#endif // RELAXC_PARSER_LEXER_H

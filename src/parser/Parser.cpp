@@ -1,0 +1,760 @@
+//===- Parser.cpp - Recursive-descent parser for .rlx ------------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+#include <cassert>
+
+using namespace relax;
+
+Parser::Parser(AstContext &Ctx, const SourceManager &SM,
+               DiagnosticEngine &Diags)
+    : Ctx(Ctx), Diags(Diags) {
+  Lexer Lex(SM, Diags);
+  Tokens = Lex.lexAll();
+}
+
+//===----------------------------------------------------------------------===//
+// Token plumbing
+//===----------------------------------------------------------------------===//
+
+const Token &Parser::tok(size_t Ahead) const {
+  size_t I = Index + Ahead;
+  if (I >= Tokens.size())
+    I = Tokens.size() - 1; // Eof
+  return Tokens[I];
+}
+
+Token Parser::consume() {
+  Token T = tok();
+  if (Index + 1 < Tokens.size())
+    ++Index;
+  return T;
+}
+
+bool Parser::accept(TokenKind Kind) {
+  if (!at(Kind))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind) {
+  if (accept(Kind))
+    return true;
+  Diags.error(tok().Loc, std::string("expected ") + tokenKindName(Kind) +
+                             " but found " + tokenKindName(tok().Kind));
+  return false;
+}
+
+void Parser::synchronizeToStmtBoundary() {
+  while (!at(TokenKind::Eof) && !at(TokenKind::RBrace)) {
+    if (accept(TokenKind::Semi))
+      return;
+    consume();
+  }
+}
+
+std::optional<VarKind> Parser::lookupKind(Symbol Name) const {
+  for (auto It = BinderScopes.rbegin(), E = BinderScopes.rend(); It != E; ++It)
+    if (It->first == Name)
+      return It->second;
+  auto It = DeclKinds.find(Name);
+  if (It == DeclKinds.end())
+    return std::nullopt;
+  return It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+std::optional<Program> Parser::parseProgram() {
+  Program P;
+  if (!parseDecls(P))
+    return std::nullopt;
+  if (!parseContracts(P))
+    return std::nullopt;
+  const Stmt *Body = parseBlock();
+  if (!at(TokenKind::Eof))
+    Diags.error(tok().Loc, "trailing tokens after program body");
+  if (!Body || Diags.hasErrors())
+    return std::nullopt;
+  P.setBody(Body);
+  return P;
+}
+
+bool Parser::parseDecls(Program &P) {
+  while (at(TokenKind::KwInt) || at(TokenKind::KwArray)) {
+    VarKind Kind =
+        consume().Kind == TokenKind::KwInt ? VarKind::Int : VarKind::Array;
+    do {
+      if (!at(TokenKind::Identifier)) {
+        Diags.error(tok().Loc, "expected variable name in declaration");
+        return false;
+      }
+      Token Name = consume();
+      if (Name.Tag != VarTag::Plain) {
+        Diags.error(Name.Loc, "declarations use untagged names");
+        return false;
+      }
+      Symbol S = Ctx.sym(Name.Text);
+      if (!P.declare(S, Kind, Name.Loc)) {
+        Diags.error(Name.Loc,
+                    "redeclaration of '" + std::string(Name.Text) + "'");
+        return false;
+      }
+      DeclKinds.emplace(S, Kind);
+    } while (accept(TokenKind::Comma));
+    if (!expect(TokenKind::Semi))
+      return false;
+  }
+  return true;
+}
+
+bool Parser::parseContracts(Program &P) {
+  for (;;) {
+    TokenKind K = tok().Kind;
+    if (K != TokenKind::KwRequires && K != TokenKind::KwEnsures &&
+        K != TokenKind::KwRRequires && K != TokenKind::KwREnsures)
+      return true;
+    Token Kw = consume();
+    const BoolExpr *F = parseParenFormula();
+    if (!F || !expect(TokenKind::Semi))
+      return false;
+    switch (Kw.Kind) {
+    case TokenKind::KwRequires:
+      P.setRequires(F);
+      break;
+    case TokenKind::KwEnsures:
+      P.setEnsures(F);
+      break;
+    case TokenKind::KwRRequires:
+      P.setRelRequires(F);
+      break;
+    case TokenKind::KwREnsures:
+      P.setRelEnsures(F);
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+const Stmt *Parser::parseBlock() {
+  SourceLoc Loc = tok().Loc;
+  if (!expect(TokenKind::LBrace))
+    return nullptr;
+  std::vector<const Stmt *> Stmts;
+  while (!at(TokenKind::RBrace) && !at(TokenKind::Eof)) {
+    if (const Stmt *S = parseStmt())
+      Stmts.push_back(S);
+    else
+      synchronizeToStmtBoundary();
+  }
+  expect(TokenKind::RBrace);
+  if (Stmts.empty())
+    return Ctx.skip(Loc);
+  return Ctx.seq(Stmts);
+}
+
+const Stmt *Parser::parseStmt() {
+  SourceLoc Loc = tok().Loc;
+  switch (tok().Kind) {
+  case TokenKind::KwSkip: {
+    consume();
+    if (!expect(TokenKind::Semi))
+      return nullptr;
+    return Ctx.skip(Loc);
+  }
+  case TokenKind::KwHavoc:
+    return parseHavocOrRelax(/*IsRelax=*/false);
+  case TokenKind::KwRelax:
+    return parseHavocOrRelax(/*IsRelax=*/true);
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwAssume: {
+    consume();
+    const BoolExpr *F = parseFormula();
+    if (!F || !expect(TokenKind::Semi))
+      return nullptr;
+    return Ctx.assume(F, Loc);
+  }
+  case TokenKind::KwAssert: {
+    consume();
+    const BoolExpr *F = parseFormula();
+    if (!F || !expect(TokenKind::Semi))
+      return nullptr;
+    return Ctx.assert_(F, Loc);
+  }
+  case TokenKind::KwRelate: {
+    consume();
+    if (!at(TokenKind::Identifier)) {
+      Diags.error(tok().Loc, "expected label after 'relate'");
+      return nullptr;
+    }
+    Token Label = consume();
+    if (!expect(TokenKind::Colon))
+      return nullptr;
+    const BoolExpr *F = parseFormula();
+    if (!F || !expect(TokenKind::Semi))
+      return nullptr;
+    return Ctx.relate(Ctx.sym(Label.Text), F, Loc);
+  }
+  case TokenKind::Identifier: {
+    Token Name = consume();
+    if (Name.Tag != VarTag::Plain) {
+      Diags.error(Name.Loc, "cannot assign to a tagged variable");
+      return nullptr;
+    }
+    Symbol S = Ctx.sym(Name.Text);
+    if (!lookupKind(S)) {
+      Diags.error(Name.Loc,
+                  "use of undeclared variable '" + std::string(Name.Text) +
+                      "'");
+      return nullptr;
+    }
+    if (accept(TokenKind::LBracket)) {
+      const Expr *Index = parseExpr();
+      if (!Index || !expect(TokenKind::RBracket) ||
+          !expect(TokenKind::Assign))
+        return nullptr;
+      const Expr *Value = parseExpr();
+      if (!Value || !expect(TokenKind::Semi))
+        return nullptr;
+      return Ctx.arrayAssign(S, Index, Value, Loc);
+    }
+    if (!expect(TokenKind::Assign))
+      return nullptr;
+    const Expr *Value = parseExpr();
+    if (!Value || !expect(TokenKind::Semi))
+      return nullptr;
+    return Ctx.assign(S, Value, Loc);
+  }
+  default:
+    Diags.error(Loc, std::string("expected a statement but found ") +
+                         tokenKindName(tok().Kind));
+    return nullptr;
+  }
+}
+
+const Stmt *Parser::parseHavocOrRelax(bool IsRelax) {
+  SourceLoc Loc = consume().Loc;
+  if (!expect(TokenKind::LParen))
+    return nullptr;
+  std::vector<Symbol> Vars;
+  do {
+    if (!at(TokenKind::Identifier)) {
+      Diags.error(tok().Loc, "expected variable name");
+      return nullptr;
+    }
+    Token Name = consume();
+    if (Name.Tag != VarTag::Plain) {
+      Diags.error(Name.Loc, "modified variables are untagged");
+      return nullptr;
+    }
+    Vars.push_back(Ctx.sym(Name.Text));
+  } while (accept(TokenKind::Comma));
+  if (!expect(TokenKind::RParen) || !expect(TokenKind::KwSt))
+    return nullptr;
+  const BoolExpr *Pred = parseParenFormula();
+  if (!Pred || !expect(TokenKind::Semi))
+    return nullptr;
+  return IsRelax ? Ctx.relax(Vars, Pred, Loc) : Ctx.havoc(Vars, Pred, Loc);
+}
+
+const BoolExpr *Parser::parseParenFormula() {
+  if (!expect(TokenKind::LParen))
+    return nullptr;
+  const BoolExpr *F = parseFormula();
+  if (!F)
+    return nullptr;
+  if (!expect(TokenKind::RParen))
+    return nullptr;
+  return F;
+}
+
+const DivergeAnnotation *Parser::parseDivergeClause() {
+  assert(at(TokenKind::KwDiverge) && "caller checks");
+  consume();
+  DivergeAnnotation A;
+  if (accept(TokenKind::KwCases))
+    A.CaseAnalysis = true;
+  for (;;) {
+    const BoolExpr **Slot = nullptr;
+    switch (tok().Kind) {
+    case TokenKind::KwPreOrig:
+      Slot = &A.PreOrig;
+      break;
+    case TokenKind::KwPreRel:
+      Slot = &A.PreRel;
+      break;
+    case TokenKind::KwPostOrig:
+      Slot = &A.PostOrig;
+      break;
+    case TokenKind::KwPostRel:
+      Slot = &A.PostRel;
+      break;
+    case TokenKind::KwFrame:
+      Slot = &A.Frame;
+      break;
+    default:
+      return Ctx.divergeAnnotation(A);
+    }
+    Token Kw = consume();
+    if (*Slot) {
+      Diags.error(Kw.Loc, std::string("duplicate ") + tokenKindName(Kw.Kind) +
+                              " clause");
+      return nullptr;
+    }
+    const BoolExpr *F = parseParenFormula();
+    if (!F)
+      return nullptr;
+    *Slot = F;
+  }
+}
+
+const Stmt *Parser::parseIf() {
+  SourceLoc Loc = consume().Loc;
+  const BoolExpr *Cond = parseParenFormula();
+  if (!Cond)
+    return nullptr;
+  const DivergeAnnotation *Diverge = nullptr;
+  if (at(TokenKind::KwDiverge)) {
+    Diverge = parseDivergeClause();
+    if (!Diverge)
+      return nullptr;
+  }
+  const Stmt *Then = parseBlock();
+  if (!Then)
+    return nullptr;
+  const Stmt *Else = nullptr;
+  if (accept(TokenKind::KwElse)) {
+    Else = parseBlock();
+    if (!Else)
+      return nullptr;
+  }
+  return Ctx.ifStmt(Cond, Then, Else, Diverge, Loc);
+}
+
+const Stmt *Parser::parseWhile() {
+  SourceLoc Loc = consume().Loc;
+  const BoolExpr *Cond = parseParenFormula();
+  if (!Cond)
+    return nullptr;
+  LoopAnnotations Ann;
+  const DivergeAnnotation *Diverge = nullptr;
+  for (;;) {
+    const BoolExpr **Slot = nullptr;
+    const char *Name = nullptr;
+    switch (tok().Kind) {
+    case TokenKind::KwInvariant:
+      Slot = &Ann.Invariant;
+      Name = "invariant";
+      break;
+    case TokenKind::KwIInvariant:
+      Slot = &Ann.IntermediateInvariant;
+      Name = "iinvariant";
+      break;
+    case TokenKind::KwRInvariant:
+      Slot = &Ann.RelInvariant;
+      Name = "rinvariant";
+      break;
+    case TokenKind::KwDecreases: {
+      Token Kw = consume();
+      if (Ann.Variant) {
+        Diags.error(Kw.Loc, "duplicate decreases clause");
+        return nullptr;
+      }
+      if (!expect(TokenKind::LParen))
+        return nullptr;
+      const Expr *E = parseExpr();
+      if (!E || !expect(TokenKind::RParen))
+        return nullptr;
+      Ann.Variant = E;
+      continue;
+    }
+    case TokenKind::KwDiverge: {
+      if (Diverge) {
+        Diags.error(tok().Loc, "duplicate diverge clause");
+        return nullptr;
+      }
+      Diverge = parseDivergeClause();
+      if (!Diverge)
+        return nullptr;
+      continue;
+    }
+    default:
+      Slot = nullptr;
+      break;
+    }
+    if (!Slot)
+      break;
+    Token Kw = consume();
+    if (*Slot) {
+      Diags.error(Kw.Loc, std::string("duplicate ") + Name + " clause");
+      return nullptr;
+    }
+    const BoolExpr *F = parseParenFormula();
+    if (!F)
+      return nullptr;
+    *Slot = F;
+  }
+  const Stmt *Body = parseBlock();
+  if (!Body)
+    return nullptr;
+  return Ctx.whileStmt(Cond, Body, Ann, Diverge, Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Formulas
+//===----------------------------------------------------------------------===//
+
+const BoolExpr *Parser::parseFormula() { return parseIff(); }
+
+const BoolExpr *Parser::parseIff() {
+  const BoolExpr *L = parseImplies();
+  if (!L)
+    return nullptr;
+  while (at(TokenKind::IffArrow)) {
+    SourceLoc Loc = consume().Loc;
+    const BoolExpr *R = parseImplies();
+    if (!R)
+      return nullptr;
+    L = Ctx.logical(LogicalOp::Iff, L, R, Loc);
+  }
+  return L;
+}
+
+const BoolExpr *Parser::parseImplies() {
+  const BoolExpr *L = parseOr();
+  if (!L)
+    return nullptr;
+  if (at(TokenKind::ImpliesArrow)) {
+    SourceLoc Loc = consume().Loc;
+    const BoolExpr *R = parseImplies(); // right-associative
+    if (!R)
+      return nullptr;
+    return Ctx.logical(LogicalOp::Implies, L, R, Loc);
+  }
+  return L;
+}
+
+const BoolExpr *Parser::parseOr() {
+  const BoolExpr *L = parseAnd();
+  if (!L)
+    return nullptr;
+  while (at(TokenKind::PipePipe)) {
+    SourceLoc Loc = consume().Loc;
+    const BoolExpr *R = parseAnd();
+    if (!R)
+      return nullptr;
+    L = Ctx.logical(LogicalOp::Or, L, R, Loc);
+  }
+  return L;
+}
+
+const BoolExpr *Parser::parseAnd() {
+  const BoolExpr *L = parseUnaryFormula();
+  if (!L)
+    return nullptr;
+  while (at(TokenKind::AmpAmp)) {
+    SourceLoc Loc = consume().Loc;
+    const BoolExpr *R = parseUnaryFormula();
+    if (!R)
+      return nullptr;
+    L = Ctx.logical(LogicalOp::And, L, R, Loc);
+  }
+  return L;
+}
+
+const BoolExpr *Parser::parseUnaryFormula() {
+  if (at(TokenKind::Bang)) {
+    SourceLoc Loc = consume().Loc;
+    const BoolExpr *Sub = parseUnaryFormula();
+    if (!Sub)
+      return nullptr;
+    return Ctx.notExpr(Sub, Loc);
+  }
+  if (at(TokenKind::KwExists)) {
+    SourceLoc Loc = consume().Loc;
+    VarKind Kind = accept(TokenKind::KwArray) ? VarKind::Array : VarKind::Int;
+    if (!at(TokenKind::Identifier)) {
+      Diags.error(tok().Loc, "expected bound variable after 'exists'");
+      return nullptr;
+    }
+    Token Name = consume();
+    Symbol S = Ctx.sym(Name.Text);
+    if (!expect(TokenKind::Dot))
+      return nullptr;
+    BinderScopes.emplace_back(S, Kind);
+    const BoolExpr *Body = parseFormula();
+    BinderScopes.pop_back();
+    if (!Body)
+      return nullptr;
+    return Ctx.exists(S, Name.Tag, Kind, Body, Loc);
+  }
+  return parseAtomFormula();
+}
+
+bool Parser::atArrayExpr() const {
+  if (at(TokenKind::KwStore))
+    return true;
+  if (!at(TokenKind::Identifier))
+    return false;
+  // An identifier of array kind NOT followed by '[' is an array value;
+  // with '[' it is an element read (an integer expression).
+  if (tok(1).is(TokenKind::LBracket))
+    return false;
+  Symbol S;
+  // lookupKind needs a Symbol; interning in a const method is fine because
+  // the interner is owned by the non-const context — do a read-only scan.
+  // (The token text was produced by the lexer from source, so interning it
+  // cannot alias a binder unexpectedly.)
+  Parser *Self = const_cast<Parser *>(this);
+  S = Self->Ctx.sym(tok().Text);
+  auto Kind = lookupKind(S);
+  return Kind && *Kind == VarKind::Array;
+}
+
+const BoolExpr *Parser::parseAtomFormula() {
+  SourceLoc Loc = tok().Loc;
+  if (accept(TokenKind::KwTrue))
+    return Ctx.boolLit(true, Loc);
+  if (accept(TokenKind::KwFalse))
+    return Ctx.boolLit(false, Loc);
+
+  // Array comparison: arrayexpr (== | !=) arrayexpr.
+  if (atArrayExpr()) {
+    const ArrayExpr *L = parseArrayExpr();
+    if (!L)
+      return nullptr;
+    bool Equal;
+    if (accept(TokenKind::EqEq))
+      Equal = true;
+    else if (accept(TokenKind::NotEq))
+      Equal = false;
+    else {
+      Diags.error(tok().Loc, "expected '==' or '!=' after array expression");
+      return nullptr;
+    }
+    const ArrayExpr *R = parseArrayExpr();
+    if (!R)
+      return nullptr;
+    return Ctx.arrayCmp(Equal, L, R, Loc);
+  }
+
+  // Speculative parse: integer comparison first; fall back to a
+  // parenthesized formula.
+  size_t SavedIndex = Index;
+  size_t SavedDiags = Diags.checkpoint();
+  if (const Expr *L = parseExpr()) {
+    CmpOp Op;
+    bool HaveOp = true;
+    switch (tok().Kind) {
+    case TokenKind::Lt:
+      Op = CmpOp::Lt;
+      break;
+    case TokenKind::Le:
+      Op = CmpOp::Le;
+      break;
+    case TokenKind::Gt:
+      Op = CmpOp::Gt;
+      break;
+    case TokenKind::Ge:
+      Op = CmpOp::Ge;
+      break;
+    case TokenKind::EqEq:
+      Op = CmpOp::Eq;
+      break;
+    case TokenKind::NotEq:
+      Op = CmpOp::Ne;
+      break;
+    default:
+      HaveOp = false;
+      break;
+    }
+    if (HaveOp) {
+      SourceLoc OpLoc = consume().Loc;
+      const Expr *R = parseExpr();
+      if (!R)
+        return nullptr;
+      return Ctx.cmp(Op, L, R, OpLoc);
+    }
+  }
+
+  // Rewind; when the atom starts with '(', retry as a parenthesized
+  // formula, discarding the speculative diagnostics. Otherwise keep the
+  // speculative diagnostics (they are more precise than a generic error).
+  Index = SavedIndex;
+  if (at(TokenKind::LParen)) {
+    Diags.rollback(SavedDiags);
+    consume();
+    const BoolExpr *F = parseFormula();
+    if (!F)
+      return nullptr;
+    if (!expect(TokenKind::RParen))
+      return nullptr;
+    return F;
+  }
+  if (Diags.checkpoint() == SavedDiags)
+    Diags.error(Loc, "expected a comparison operator after the integer "
+                     "expression");
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Integer and array expressions
+//===----------------------------------------------------------------------===//
+
+const Expr *Parser::parseExpr() {
+  const Expr *L = parseTerm();
+  if (!L)
+    return nullptr;
+  for (;;) {
+    BinaryOp Op;
+    if (at(TokenKind::Plus))
+      Op = BinaryOp::Add;
+    else if (at(TokenKind::Minus))
+      Op = BinaryOp::Sub;
+    else
+      return L;
+    SourceLoc Loc = consume().Loc;
+    const Expr *R = parseTerm();
+    if (!R)
+      return nullptr;
+    L = Ctx.binary(Op, L, R, Loc);
+  }
+}
+
+const Expr *Parser::parseTerm() {
+  const Expr *L = parseFactor();
+  if (!L)
+    return nullptr;
+  for (;;) {
+    BinaryOp Op;
+    if (at(TokenKind::Star))
+      Op = BinaryOp::Mul;
+    else if (at(TokenKind::Slash))
+      Op = BinaryOp::Div;
+    else if (at(TokenKind::Percent))
+      Op = BinaryOp::Mod;
+    else
+      return L;
+    SourceLoc Loc = consume().Loc;
+    const Expr *R = parseFactor();
+    if (!R)
+      return nullptr;
+    L = Ctx.binary(Op, L, R, Loc);
+  }
+}
+
+const Expr *Parser::parseFactor() {
+  SourceLoc Loc = tok().Loc;
+  if (at(TokenKind::Integer))
+    return Ctx.intLit(consume().IntValue, Loc);
+  if (accept(TokenKind::Minus)) {
+    const Expr *Sub = parseFactor();
+    if (!Sub)
+      return nullptr;
+    return Ctx.binary(BinaryOp::Sub, Ctx.intLit(0, Loc), Sub, Loc);
+  }
+  if (accept(TokenKind::KwLen)) {
+    if (!expect(TokenKind::LParen))
+      return nullptr;
+    const ArrayExpr *A = parseArrayExpr();
+    if (!A || !expect(TokenKind::RParen))
+      return nullptr;
+    return Ctx.arrayLen(A, Loc);
+  }
+  if (at(TokenKind::Identifier)) {
+    Token Name = consume();
+    Symbol S = Ctx.sym(Name.Text);
+    auto Kind = lookupKind(S);
+    if (!Kind) {
+      Diags.error(Name.Loc, "use of undeclared variable '" +
+                                std::string(Name.Text) + "'");
+      return nullptr;
+    }
+    if (*Kind == VarKind::Array) {
+      const ArrayExpr *Base = Ctx.arrayRef(S, Name.Tag, Name.Loc);
+      if (!expect(TokenKind::LBracket))
+        return nullptr;
+      const Expr *Index = parseExpr();
+      if (!Index || !expect(TokenKind::RBracket))
+        return nullptr;
+      return Ctx.arrayRead(Base, Index, Loc);
+    }
+    if (at(TokenKind::LBracket)) {
+      Diags.error(tok().Loc,
+                  "'" + std::string(Name.Text) + "' is not an array");
+      return nullptr;
+    }
+    return Ctx.var(S, Name.Tag, Name.Loc);
+  }
+  if (accept(TokenKind::LParen)) {
+    const Expr *E = parseExpr();
+    if (!E || !expect(TokenKind::RParen))
+      return nullptr;
+    return E;
+  }
+  Diags.error(Loc, std::string("expected an integer expression but found ") +
+                       tokenKindName(tok().Kind));
+  return nullptr;
+}
+
+const ArrayExpr *Parser::parseArrayExpr() {
+  SourceLoc Loc = tok().Loc;
+  if (accept(TokenKind::KwStore)) {
+    if (!expect(TokenKind::LParen))
+      return nullptr;
+    const ArrayExpr *Base = parseArrayExpr();
+    if (!Base || !expect(TokenKind::Comma))
+      return nullptr;
+    const Expr *Index = parseExpr();
+    if (!Index || !expect(TokenKind::Comma))
+      return nullptr;
+    const Expr *Value = parseExpr();
+    if (!Value || !expect(TokenKind::RParen))
+      return nullptr;
+    return Ctx.arrayStore(Base, Index, Value, Loc);
+  }
+  if (!at(TokenKind::Identifier)) {
+    Diags.error(Loc, "expected an array expression");
+    return nullptr;
+  }
+  Token Name = consume();
+  Symbol S = Ctx.sym(Name.Text);
+  auto Kind = lookupKind(S);
+  if (!Kind || *Kind != VarKind::Array) {
+    Diags.error(Name.Loc,
+                "'" + std::string(Name.Text) + "' is not an array");
+    return nullptr;
+  }
+  return Ctx.arrayRef(S, Name.Tag, Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Standalone formulas
+//===----------------------------------------------------------------------===//
+
+const BoolExpr *Parser::parseStandaloneFormula(
+    const std::unordered_map<Symbol, VarKind> &Kinds) {
+  DeclKinds = Kinds;
+  const BoolExpr *F = parseFormula();
+  if (F && !at(TokenKind::Eof)) {
+    Diags.error(tok().Loc, "trailing tokens after formula");
+    return nullptr;
+  }
+  return F;
+}

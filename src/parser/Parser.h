@@ -1,0 +1,115 @@
+//===- Parser.h - Recursive-descent parser for .rlx ---------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the `.rlx` surface syntax into an annotated Program:
+///
+/// \code
+///   int x; array A;                       // declarations
+///   requires (x >= 0);                    // optional contracts
+///   rrequires (x<o> == x<r>);
+///   {
+///     relax (x) st (x >= 0);
+///     while (x < 10)
+///       invariant (x <= 10)
+///       rinvariant (x<o> == x<r>)
+///     { x = x + 1; }
+///     relate l1 : x<o> == x<r>;
+///   }
+/// \endcode
+///
+/// The parser tracks declared variable kinds so array-valued and
+/// integer-valued expressions parse unambiguously, and recovers at
+/// statement boundaries so one file can report multiple diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_PARSER_PARSER_H
+#define RELAXC_PARSER_PARSER_H
+
+#include "ast/AstContext.h"
+#include "parser/Lexer.h"
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+namespace relax {
+
+/// Parses one source buffer into a Program.
+class Parser {
+public:
+  Parser(AstContext &Ctx, const SourceManager &SM, DiagnosticEngine &Diags);
+
+  /// Parses the whole buffer. Returns nullopt when any syntax error was
+  /// reported (partial ASTs are discarded).
+  std::optional<Program> parseProgram();
+
+  /// Parses a standalone formula (used by tests and the driver's
+  /// `--filter` option). Requires declarations via \p Kinds for array
+  /// variables.
+  const BoolExpr *
+  parseStandaloneFormula(const std::unordered_map<Symbol, VarKind> &Kinds);
+
+private:
+  AstContext &Ctx;
+  DiagnosticEngine &Diags;
+  std::vector<Token> Tokens;
+  size_t Index = 0;
+
+  // Declared variable kinds plus a scope stack for quantifier binders.
+  std::unordered_map<Symbol, VarKind> DeclKinds;
+  std::vector<std::pair<Symbol, VarKind>> BinderScopes;
+
+  //===--------------------------------------------------------------------===//
+  // Token plumbing
+  //===--------------------------------------------------------------------===//
+
+  const Token &tok(size_t Ahead = 0) const;
+  bool at(TokenKind Kind) const { return tok().is(Kind); }
+  Token consume();
+  bool accept(TokenKind Kind);
+  bool expect(TokenKind Kind);
+  void synchronizeToStmtBoundary();
+
+  /// Resolves the kind of an identifier (binder scopes shadow decls).
+  std::optional<VarKind> lookupKind(Symbol Name) const;
+
+  //===--------------------------------------------------------------------===//
+  // Grammar productions
+  //===--------------------------------------------------------------------===//
+
+  bool parseDecls(Program &P);
+  bool parseContracts(Program &P);
+  const Stmt *parseBlock();
+  const Stmt *parseStmt();
+  const Stmt *parseIf();
+  const Stmt *parseWhile();
+  const Stmt *parseHavocOrRelax(bool IsRelax);
+  const DivergeAnnotation *parseDivergeClause();
+  const BoolExpr *parseParenFormula();
+
+  const BoolExpr *parseFormula();
+  const BoolExpr *parseIff();
+  const BoolExpr *parseImplies();
+  const BoolExpr *parseOr();
+  const BoolExpr *parseAnd();
+  const BoolExpr *parseUnaryFormula();
+  const BoolExpr *parseAtomFormula();
+
+  const Expr *parseExpr();
+  const Expr *parseTerm();
+  const Expr *parseFactor();
+  const ArrayExpr *parseArrayExpr();
+
+  /// True when the next tokens begin an array-valued expression.
+  bool atArrayExpr() const;
+};
+
+} // namespace relax
+
+#endif // RELAXC_PARSER_PARSER_H

@@ -1,0 +1,385 @@
+//===- Sema.cpp - Well-formedness analysis -----------------------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/Sema.h"
+
+#include "support/Casting.h"
+
+using namespace relax;
+
+//===----------------------------------------------------------------------===//
+// Free analyses
+//===----------------------------------------------------------------------===//
+
+bool relax::containsRelate(const Stmt *S) {
+  switch (S->kind()) {
+  case Stmt::Kind::Relate:
+    return true;
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    return containsRelate(I->thenStmt()) || containsRelate(I->elseStmt());
+  }
+  case Stmt::Kind::While:
+    return containsRelate(cast<WhileStmt>(S)->body());
+  case Stmt::Kind::Seq: {
+    const auto *Q = cast<SeqStmt>(S);
+    return containsRelate(Q->first()) || containsRelate(Q->second());
+  }
+  default:
+    return false;
+  }
+}
+
+bool relax::containsLoop(const Stmt *S) {
+  switch (S->kind()) {
+  case Stmt::Kind::While:
+    return true;
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    return containsLoop(I->thenStmt()) || containsLoop(I->elseStmt());
+  }
+  case Stmt::Kind::Seq: {
+    const auto *Q = cast<SeqStmt>(S);
+    return containsLoop(Q->first()) || containsLoop(Q->second());
+  }
+  default:
+    return false;
+  }
+}
+
+namespace {
+
+void collectModified(const Stmt *S, const Program &P, VarRefSet &Out) {
+  switch (S->kind()) {
+  case Stmt::Kind::Assign:
+    Out.insert(VarRef{cast<AssignStmt>(S)->var(), VarTag::Plain,
+                      VarKind::Int});
+    return;
+  case Stmt::Kind::ArrayAssign:
+    Out.insert(VarRef{cast<ArrayAssignStmt>(S)->array(), VarTag::Plain,
+                      VarKind::Array});
+    return;
+  case Stmt::Kind::Havoc:
+  case Stmt::Kind::Relax: {
+    const auto *C = cast<ChoiceStmtBase>(S);
+    for (size_t I = 0, E = C->varCount(); I != E; ++I) {
+      VarKind Kind = P.kindOf(C->var(I)).value_or(VarKind::Int);
+      Out.insert(VarRef{C->var(I), VarTag::Plain, Kind});
+    }
+    return;
+  }
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    collectModified(I->thenStmt(), P, Out);
+    collectModified(I->elseStmt(), P, Out);
+    return;
+  }
+  case Stmt::Kind::While:
+    collectModified(cast<WhileStmt>(S)->body(), P, Out);
+    return;
+  case Stmt::Kind::Seq: {
+    const auto *Q = cast<SeqStmt>(S);
+    collectModified(Q->first(), P, Out);
+    collectModified(Q->second(), P, Out);
+    return;
+  }
+  case Stmt::Kind::Skip:
+  case Stmt::Kind::Assume:
+  case Stmt::Kind::Assert:
+  case Stmt::Kind::Relate:
+    return;
+  }
+}
+
+} // namespace
+
+VarRefSet relax::modifiedVars(const Stmt *S, const Program &P) {
+  VarRefSet Out;
+  collectModified(S, P, Out);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Sema proper
+//===----------------------------------------------------------------------===//
+
+void Sema::checkVarsDeclared(const Expr *E,
+                             const std::vector<VarRef> &BoundVars) {
+  VarRefSet Free;
+  collectFreeVars(E, Free);
+  for (const VarRef &V : Free) {
+    bool Bound = false;
+    for (const VarRef &B : BoundVars)
+      Bound |= B.Name == V.Name && B.Tag == V.Tag && B.Kind == V.Kind;
+    if (Bound)
+      continue;
+    auto Kind = Prog.kindOf(V.Name);
+    if (!Kind)
+      Diags.error(E->loc(), "use of undeclared variable");
+    else if (*Kind != V.Kind)
+      Diags.error(E->loc(), "variable used with the wrong kind");
+  }
+}
+
+void Sema::checkVarsDeclared(const ArrayExpr *A,
+                             const std::vector<VarRef> &BoundVars) {
+  VarRefSet Free;
+  collectFreeVars(A, Free);
+  for (const VarRef &V : Free) {
+    bool Bound = false;
+    for (const VarRef &B : BoundVars)
+      Bound |= B.Name == V.Name && B.Tag == V.Tag && B.Kind == V.Kind;
+    if (Bound)
+      continue;
+    auto Kind = Prog.kindOf(V.Name);
+    if (!Kind)
+      Diags.error(A->loc(), "use of undeclared variable");
+    else if (*Kind != V.Kind)
+      Diags.error(A->loc(), "variable used with the wrong kind");
+  }
+}
+
+void Sema::checkVarsDeclared(const BoolExpr *B,
+                             std::vector<VarRef> &BoundVars) {
+  switch (B->kind()) {
+  case BoolExpr::Kind::BoolLit:
+    return;
+  case BoolExpr::Kind::Cmp: {
+    const auto *C = cast<CmpExpr>(B);
+    checkVarsDeclared(C->lhs(), BoundVars);
+    checkVarsDeclared(C->rhs(), BoundVars);
+    return;
+  }
+  case BoolExpr::Kind::ArrayCmp: {
+    const auto *C = cast<ArrayCmpExpr>(B);
+    checkVarsDeclared(C->lhs(), BoundVars);
+    checkVarsDeclared(C->rhs(), BoundVars);
+    return;
+  }
+  case BoolExpr::Kind::Logical: {
+    const auto *L = cast<LogicalExpr>(B);
+    checkVarsDeclared(L->lhs(), BoundVars);
+    checkVarsDeclared(L->rhs(), BoundVars);
+    return;
+  }
+  case BoolExpr::Kind::Not:
+    checkVarsDeclared(cast<NotExpr>(B)->sub(), BoundVars);
+    return;
+  case BoolExpr::Kind::Exists: {
+    const auto *E = cast<ExistsExpr>(B);
+    BoundVars.push_back(VarRef{E->var(), E->tag(), E->varKind()});
+    checkVarsDeclared(E->body(), BoundVars);
+    BoundVars.pop_back();
+    return;
+  }
+  }
+}
+
+void Sema::requireProgramBool(const BoolExpr *B, const char *What) {
+  if (!isQuantifierFree(B))
+    Diags.error(B->loc(),
+                std::string(What) + " must not contain quantifiers");
+  if (!isUnary(B))
+    Diags.error(B->loc(), std::string(What) +
+                              " must not reference <o>/<r> tagged variables");
+  std::vector<VarRef> Bound;
+  checkVarsDeclared(B, Bound);
+}
+
+void Sema::requireUnaryFormula(const BoolExpr *B, const char *What) {
+  if (!isUnary(B))
+    Diags.error(B->loc(), std::string(What) +
+                              " must not reference <o>/<r> tagged variables");
+  std::vector<VarRef> Bound;
+  checkVarsDeclared(B, Bound);
+}
+
+void Sema::requireRelationalFormula(const BoolExpr *B, const char *What) {
+  if (!isRelational(B))
+    Diags.error(B->loc(),
+                std::string(What) +
+                    " is a relational formula: every variable must carry an "
+                    "<o> or <r> tag");
+  std::vector<VarRef> Bound;
+  checkVarsDeclared(B, Bound);
+}
+
+void Sema::checkStmt(const Stmt *S) {
+  switch (S->kind()) {
+  case Stmt::Kind::Skip:
+    return;
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    auto Kind = Prog.kindOf(A->var());
+    if (!Kind)
+      Diags.error(S->loc(), "assignment to undeclared variable");
+    else if (*Kind != VarKind::Int)
+      Diags.error(S->loc(), "cannot assign an integer to an array variable");
+    // The right-hand side is a program expression: Plain variables only.
+    VarRefSet Free = freeVars(A->value());
+    for (const VarRef &V : Free)
+      if (V.Tag != VarTag::Plain)
+        Diags.error(S->loc(),
+                    "program expressions must not reference tagged variables");
+    std::vector<VarRef> Bound;
+    checkVarsDeclared(A->value(), Bound);
+    return;
+  }
+  case Stmt::Kind::ArrayAssign: {
+    const auto *A = cast<ArrayAssignStmt>(S);
+    auto Kind = Prog.kindOf(A->array());
+    if (!Kind)
+      Diags.error(S->loc(), "assignment to undeclared array");
+    else if (*Kind != VarKind::Array)
+      Diags.error(S->loc(), "indexed assignment requires an array variable");
+    std::vector<VarRef> Bound;
+    checkVarsDeclared(A->index(), Bound);
+    checkVarsDeclared(A->value(), Bound);
+    for (const Expr *E : {A->index(), A->value()})
+      for (const VarRef &V : freeVars(E))
+        if (V.Tag != VarTag::Plain)
+          Diags.error(S->loc(), "program expressions must not reference "
+                                "tagged variables");
+    return;
+  }
+  case Stmt::Kind::Havoc:
+  case Stmt::Kind::Relax: {
+    const auto *C = cast<ChoiceStmtBase>(S);
+    const char *Name = S->kind() == Stmt::Kind::Havoc ? "havoc" : "relax";
+    for (size_t I = 0, E = C->varCount(); I != E; ++I)
+      if (!Prog.kindOf(C->var(I)))
+        Diags.error(S->loc(), std::string(Name) +
+                                  " of undeclared variable");
+    requireProgramBool(C->pred(), S->kind() == Stmt::Kind::Havoc
+                                      ? "a havoc predicate"
+                                      : "a relax predicate");
+    return;
+  }
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    requireProgramBool(I->cond(), "a branch condition");
+    if (const DivergeAnnotation *D = I->diverge()) {
+      if (containsRelate(I->thenStmt()) || containsRelate(I->elseStmt()))
+        Diags.error(S->loc(),
+                    "a diverge-annotated statement must not contain relate "
+                    "statements (no_rel side condition)");
+      if (D->CaseAnalysis) {
+        if (D->PreOrig || D->PreRel || D->PostOrig || D->PostRel || D->Frame)
+          Diags.error(S->loc(),
+                      "'diverge cases' takes no pre/post/frame annotations");
+        if (containsLoop(I->thenStmt()) || containsLoop(I->elseStmt()))
+          Diags.error(S->loc(),
+                      "'diverge cases' requires loop-free branches");
+      }
+      if (D->PreOrig)
+        requireUnaryFormula(D->PreOrig, "a diverge pre_orig annotation");
+      if (D->PreRel)
+        requireUnaryFormula(D->PreRel, "a diverge pre_rel annotation");
+      if (D->PostOrig)
+        requireUnaryFormula(D->PostOrig, "a diverge post_orig annotation");
+      if (D->PostRel)
+        requireUnaryFormula(D->PostRel, "a diverge post_rel annotation");
+      if (D->Frame)
+        requireRelationalFormula(D->Frame, "a diverge frame");
+    }
+    checkStmt(I->thenStmt());
+    checkStmt(I->elseStmt());
+    return;
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    requireProgramBool(W->cond(), "a loop condition");
+    const LoopAnnotations *Ann = W->annotations();
+    if (Ann->Invariant)
+      requireUnaryFormula(Ann->Invariant, "a loop invariant");
+    if (Ann->IntermediateInvariant)
+      requireUnaryFormula(Ann->IntermediateInvariant,
+                          "an intermediate loop invariant");
+    if (Ann->RelInvariant)
+      requireRelationalFormula(Ann->RelInvariant,
+                               "a relational loop invariant");
+    if (Ann->Variant) {
+      for (const VarRef &V : freeVars(Ann->Variant))
+        if (V.Tag != VarTag::Plain)
+          Diags.error(S->loc(), "a decreases clause must not reference "
+                                "<o>/<r> tagged variables");
+      std::vector<VarRef> Bound;
+      checkVarsDeclared(Ann->Variant, Bound);
+    }
+    if (const DivergeAnnotation *D = W->diverge()) {
+      if (containsRelate(W->body()))
+        Diags.error(S->loc(),
+                    "a diverge-annotated statement must not contain relate "
+                    "statements (no_rel side condition)");
+      if (D->CaseAnalysis)
+        Diags.error(S->loc(),
+                    "'diverge cases' applies only to if statements; annotate "
+                    "the loop with pre/post/frame clauses instead");
+      if (D->PreOrig)
+        requireUnaryFormula(D->PreOrig, "a diverge pre_orig annotation");
+      if (D->PreRel)
+        requireUnaryFormula(D->PreRel, "a diverge pre_rel annotation");
+      if (D->PostOrig)
+        requireUnaryFormula(D->PostOrig, "a diverge post_orig annotation");
+      if (D->PostRel)
+        requireUnaryFormula(D->PostRel, "a diverge post_rel annotation");
+      if (D->Frame)
+        requireRelationalFormula(D->Frame, "a diverge frame");
+    }
+    checkStmt(W->body());
+    return;
+  }
+  case Stmt::Kind::Assume:
+    requireProgramBool(cast<AssumeStmt>(S)->pred(), "an assume predicate");
+    return;
+  case Stmt::Kind::Assert:
+    requireProgramBool(cast<AssertStmt>(S)->pred(), "an assert predicate");
+    return;
+  case Stmt::Kind::Relate: {
+    const auto *R = cast<RelateStmt>(S);
+    if (!isQuantifierFree(R->pred()))
+      Diags.error(S->loc(), "a relate predicate must not contain quantifiers");
+    requireRelationalFormula(R->pred(), "a relate predicate");
+    if (Info.RelateMap.count(R->label()))
+      Diags.error(S->loc(), "duplicate relate label (labels must be unique "
+                            "for observational compatibility)");
+    else {
+      Info.RelateMap.emplace(R->label(), R->pred());
+      Info.RelateLabels.push_back(R->label());
+    }
+    return;
+  }
+  case Stmt::Kind::Seq: {
+    const auto *Q = cast<SeqStmt>(S);
+    checkStmt(Q->first());
+    checkStmt(Q->second());
+    return;
+  }
+  }
+}
+
+std::optional<SemaInfo> Sema::run() {
+  if (!Prog.body()) {
+    Diags.error(SourceLoc(), "program has no body");
+    return std::nullopt;
+  }
+
+  if (Prog.requiresClause())
+    requireUnaryFormula(Prog.requiresClause(), "a requires clause");
+  if (Prog.ensuresClause())
+    requireUnaryFormula(Prog.ensuresClause(), "an ensures clause");
+  if (Prog.relRequiresClause())
+    requireRelationalFormula(Prog.relRequiresClause(), "a rrequires clause");
+  if (Prog.relEnsuresClause())
+    requireRelationalFormula(Prog.relEnsuresClause(), "a rensures clause");
+
+  checkStmt(Prog.body());
+
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return std::move(Info);
+}

@@ -1,0 +1,99 @@
+//===- Sema.h - Well-formedness analysis ---------------------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Enforces the well-formedness rules that the paper builds into its
+/// syntactic categories and side conditions:
+///
+///  * program expressions (conditions, assignment right-hand sides,
+///    havoc/relax predicates, assert/assume predicates) are quantifier-free
+///    and reference only untagged (Plain) variables — category B;
+///  * `relate` predicates are quantifier-free and reference only tagged
+///    variables — category B* — and their labels are unique (required by
+///    the observational-compatibility map Γ);
+///  * loop invariants and diverge pre/post annotations are unary formulas;
+///    relational invariants, frames, and relational contracts are
+///    relational formulas;
+///  * every referenced variable is declared with the right kind;
+///  * statements carrying a diverge annotation contain no `relate`
+///    (the no_rel(s) side condition of the diverge rule).
+///
+/// Also computes the analyses other stages consume: the Γ label map and
+/// modified-variable sets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_SEMA_SEMA_H
+#define RELAXC_SEMA_SEMA_H
+
+#include "ast/Program.h"
+#include "logic/FormulaOps.h"
+#include "support/Diagnostics.h"
+
+#include <unordered_map>
+
+namespace relax {
+
+/// Results of semantic analysis over one program.
+class SemaInfo {
+public:
+  /// Γ: relate label -> relational predicate (Theorem 6).
+  const std::unordered_map<Symbol, const BoolExpr *> &relateMap() const {
+    return RelateMap;
+  }
+
+  /// All relate labels in program order.
+  const std::vector<Symbol> &relateLabels() const { return RelateLabels; }
+
+private:
+  friend class Sema;
+  std::unordered_map<Symbol, const BoolExpr *> RelateMap;
+  std::vector<Symbol> RelateLabels;
+};
+
+/// Runs all well-formedness checks.
+class Sema {
+public:
+  Sema(const Program &P, DiagnosticEngine &Diags) : Prog(P), Diags(Diags) {}
+
+  /// Returns the analysis results, or nullopt after reporting diagnostics.
+  std::optional<SemaInfo> run();
+
+private:
+  const Program &Prog;
+  DiagnosticEngine &Diags;
+  SemaInfo Info;
+
+  void checkStmt(const Stmt *S);
+  /// Checks that every variable of \p B is declared with matching kind.
+  /// \p BoundVars tracks quantifier binders in scope.
+  void checkVarsDeclared(const BoolExpr *B, std::vector<VarRef> &BoundVars);
+  void checkVarsDeclared(const Expr *E,
+                         const std::vector<VarRef> &BoundVars);
+  void checkVarsDeclared(const ArrayExpr *A,
+                         const std::vector<VarRef> &BoundVars);
+
+  /// Category checks with diagnostics.
+  void requireProgramBool(const BoolExpr *B, const char *What);
+  void requireUnaryFormula(const BoolExpr *B, const char *What);
+  void requireRelationalFormula(const BoolExpr *B, const char *What);
+};
+
+/// True when \p S contains a `relate` statement (the paper's ¬no_rel(s)).
+bool containsRelate(const Stmt *S);
+
+/// True when \p S contains a `while` loop (case-analysis divergence
+/// requires loop-free branches).
+bool containsLoop(const Stmt *S);
+
+/// The set of variables \p S may modify: assignment targets, arrays stored
+/// into, and havoc/relax variable lists. Tags are always Plain.
+VarRefSet modifiedVars(const Stmt *S, const Program &P);
+
+} // namespace relax
+
+#endif // RELAXC_SEMA_SEMA_H

@@ -1,0 +1,127 @@
+//===- BoundedSolver.cpp - Exhaustive small-domain backend --------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/BoundedSolver.h"
+
+#include <cassert>
+
+using namespace relax;
+
+namespace {
+
+/// Odometer over the assignment space: scalars range over [IntLo, IntHi];
+/// arrays range over lengths 0..MaxArrayLen with elements in
+/// [ArrayElemLo, ArrayElemHi].
+class AssignmentEnumerator {
+public:
+  AssignmentEnumerator(const std::vector<VarRef> &Vars,
+                       const BoundedSolverOptions &Opts)
+      : Vars(Vars), Opts(Opts) {
+    for (const VarRef &V : Vars) {
+      if (V.Kind == VarKind::Int) {
+        Current.Ints[V] = Opts.IntLo;
+      } else {
+        Current.Arrays[V] = ArrayModelValue(); // length 0
+      }
+    }
+  }
+
+  const Model &current() const { return Current; }
+
+  /// Advances to the next assignment; returns false when wrapped around.
+  bool advance() {
+    for (const VarRef &V : Vars) {
+      if (V.Kind == VarKind::Int) {
+        int64_t &Val = Current.Ints[V];
+        if (Val < Opts.IntHi) {
+          ++Val;
+          return true;
+        }
+        Val = Opts.IntLo; // carry
+        continue;
+      }
+      if (advanceArray(Current.Arrays[V]))
+        return true;
+      Current.Arrays[V] = ArrayModelValue(); // carry
+    }
+    return false;
+  }
+
+private:
+  const std::vector<VarRef> &Vars;
+  const BoundedSolverOptions &Opts;
+  Model Current;
+
+  bool advanceArray(ArrayModelValue &A) {
+    // Advance elements as digits; then grow the length.
+    for (int64_t &E : A.Elems) {
+      if (E < Opts.ArrayElemHi) {
+        ++E;
+        return true;
+      }
+      E = Opts.ArrayElemLo;
+    }
+    if (A.Length < Opts.MaxArrayLen) {
+      ++A.Length;
+      A.Elems.assign(static_cast<size_t>(A.Length), Opts.ArrayElemLo);
+      return true;
+    }
+    return false;
+  }
+};
+
+} // namespace
+
+SatResult BoundedSolver::search(const std::vector<const BoolExpr *> &Formulas,
+                                const VarRefSet &ExtraVars, Model *ModelOut) {
+  VarRefSet VarSet = ExtraVars;
+  for (const BoolExpr *F : Formulas)
+    collectFreeVars(F, VarSet);
+  std::vector<VarRef> Vars(VarSet.begin(), VarSet.end());
+
+  FormulaEvalOptions EvalOpts;
+  EvalOpts.IntLo = Opts.IntLo;
+  EvalOpts.IntHi = Opts.IntHi;
+  EvalOpts.MaxArrayLen = Opts.MaxArrayLen;
+  EvalOpts.ArrayElemLo = Opts.ArrayElemLo;
+  EvalOpts.ArrayElemHi = Opts.ArrayElemHi;
+
+  AssignmentEnumerator Enum(Vars, Opts);
+  uint64_t Candidates = 0;
+  do {
+    if (++Candidates > Opts.MaxCandidates)
+      return SatResult::Unknown;
+    const Model &M = Enum.current();
+    bool AllHold = true;
+    for (const BoolExpr *F : Formulas) {
+      if (!evalFormula(F, M, EvalOpts)) {
+        AllHold = false;
+        break;
+      }
+    }
+    if (AllHold) {
+      if (ModelOut)
+        *ModelOut = M;
+      return SatResult::Sat;
+    }
+  } while (Enum.advance());
+
+  return Opts.ExhaustionMeansUnsat ? SatResult::Unsat : SatResult::Unknown;
+}
+
+Result<SatResult>
+BoundedSolver::checkSat(const std::vector<const BoolExpr *> &Formulas) {
+  ++Queries;
+  return search(Formulas, VarRefSet(), nullptr);
+}
+
+Result<SatResult>
+BoundedSolver::checkSatWithModel(const std::vector<const BoolExpr *> &Formulas,
+                                 const VarRefSet &Vars, Model &ModelOut) {
+  ++Queries;
+  return search(Formulas, Vars, &ModelOut);
+}

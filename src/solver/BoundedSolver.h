@@ -1,0 +1,66 @@
+//===- BoundedSolver.h - Exhaustive small-domain backend -----------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A pure-C++ decision procedure that enumerates models over small bounded
+/// domains. `Sat` answers are definite (a concrete witness was found);
+/// `Unsat` answers mean "no model in the bounded domain" and are therefore
+/// only approximate — they are exact for formulas whose models, if any,
+/// must lie in the domain (the case for the generated test workloads).
+///
+/// This backend exists (a) as the Z3 ablation baseline (experiment A1),
+/// (b) as a differential-testing partner for the Z3 translation, and
+/// (c) as a fallback when Z3 is unavailable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_SOLVER_BOUNDEDSOLVER_H
+#define RELAXC_SOLVER_BOUNDEDSOLVER_H
+
+#include "solver/FormulaEval.h"
+#include "solver/Solver.h"
+
+namespace relax {
+
+/// Configuration for the bounded search.
+struct BoundedSolverOptions {
+  int64_t IntLo = -6;
+  int64_t IntHi = 6;
+  int64_t MaxArrayLen = 3;
+  int64_t ArrayElemLo = -2;
+  int64_t ArrayElemHi = 2;
+  /// Abort with Unknown after this many candidate models.
+  uint64_t MaxCandidates = 4'000'000;
+  /// When false, domain exhaustion reports Unknown instead of Unsat.
+  bool ExhaustionMeansUnsat = true;
+};
+
+/// Exhaustive-enumeration solver.
+class BoundedSolver : public Solver {
+public:
+  explicit BoundedSolver(BoundedSolverOptions Opts = BoundedSolverOptions())
+      : Opts(Opts) {}
+
+  const char *name() const override { return "bounded"; }
+
+  Result<SatResult>
+  checkSat(const std::vector<const BoolExpr *> &Formulas) override;
+
+  Result<SatResult>
+  checkSatWithModel(const std::vector<const BoolExpr *> &Formulas,
+                    const VarRefSet &Vars, Model &ModelOut) override;
+
+private:
+  BoundedSolverOptions Opts;
+
+  SatResult search(const std::vector<const BoolExpr *> &Formulas,
+                   const VarRefSet &Vars, Model *ModelOut);
+};
+
+} // namespace relax
+
+#endif // RELAXC_SOLVER_BOUNDEDSOLVER_H

@@ -1,0 +1,172 @@
+//===- FormulaEval.cpp - Total formula evaluation -----------------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/FormulaEval.h"
+
+#include "support/Casting.h"
+
+using namespace relax;
+
+int64_t relax::euclideanDiv(int64_t L, int64_t R) {
+  if (R == 0)
+    return 0;
+  // The unique q with L = q*R + r and 0 <= r < |R|.
+  int64_t Rem = L % R; // truncated toward zero
+  if (Rem < 0)
+    Rem += R > 0 ? R : -R;
+  return (L - Rem) / R;
+}
+
+int64_t relax::euclideanMod(int64_t L, int64_t R) {
+  if (R == 0)
+    return 0;
+  int64_t Rem = L % R; // truncated
+  if (Rem < 0)
+    Rem += R > 0 ? R : -R;
+  return Rem;
+}
+
+int64_t relax::evalExpr(const Expr *E, const Model &M) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    return cast<IntLitExpr>(E)->value();
+  case Expr::Kind::Var: {
+    const auto *V = cast<VarExpr>(E);
+    auto It = M.Ints.find(VarRef{V->name(), V->tag(), VarKind::Int});
+    return It == M.Ints.end() ? 0 : It->second;
+  }
+  case Expr::Kind::ArrayRead: {
+    const auto *R = cast<ArrayReadExpr>(E);
+    ArrayModelValue A = evalArrayExpr(R->base(), M);
+    int64_t I = evalExpr(R->index(), M);
+    if (I < 0 || I >= static_cast<int64_t>(A.Elems.size()))
+      return 0; // logic semantics: total, default 0 out of range
+    return A.Elems[static_cast<size_t>(I)];
+  }
+  case Expr::Kind::ArrayLen:
+    return evalArrayExpr(cast<ArrayLenExpr>(E)->base(), M).Length;
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    int64_t L = evalExpr(B->lhs(), M);
+    int64_t R = evalExpr(B->rhs(), M);
+    switch (B->op()) {
+    case BinaryOp::Add:
+      return L + R;
+    case BinaryOp::Sub:
+      return L - R;
+    case BinaryOp::Mul:
+      return L * R;
+    case BinaryOp::Div:
+      return euclideanDiv(L, R);
+    case BinaryOp::Mod:
+      return euclideanMod(L, R);
+    }
+    return 0;
+  }
+  }
+  return 0;
+}
+
+ArrayModelValue relax::evalArrayExpr(const ArrayExpr *A, const Model &M) {
+  switch (A->kind()) {
+  case ArrayExpr::Kind::Ref: {
+    const auto *R = cast<ArrayRefExpr>(A);
+    auto It = M.Arrays.find(VarRef{R->name(), R->tag(), VarKind::Array});
+    return It == M.Arrays.end() ? ArrayModelValue() : It->second;
+  }
+  case ArrayExpr::Kind::Store: {
+    const auto *S = cast<ArrayStoreExpr>(A);
+    ArrayModelValue Base = evalArrayExpr(S->base(), M);
+    int64_t I = evalExpr(S->index(), M);
+    int64_t V = evalExpr(S->value(), M);
+    if (I >= 0 && I < static_cast<int64_t>(Base.Elems.size()))
+      Base.Elems[static_cast<size_t>(I)] = V;
+    // Out-of-range stores change only unobservable content; drop them.
+    return Base;
+  }
+  }
+  return ArrayModelValue();
+}
+
+namespace {
+
+/// Enumerates assignments for one quantified variable.
+bool existsWitness(const ExistsExpr *E, const Model &M,
+                   const FormulaEvalOptions &Opts) {
+  VarRef Bound{E->var(), E->tag(), E->varKind()};
+  if (E->varKind() == VarKind::Int) {
+    for (int64_t V = Opts.IntLo; V <= Opts.IntHi; ++V) {
+      Model Ext = M;
+      Ext.Ints[Bound] = V;
+      if (evalFormula(E->body(), Ext, Opts))
+        return true;
+    }
+    return false;
+  }
+  // Arrays: enumerate lengths, then element tuples in a small domain.
+  int64_t Span = Opts.ArrayElemHi - Opts.ArrayElemLo + 1;
+  for (int64_t Len = 0; Len <= Opts.MaxArrayLen; ++Len) {
+    uint64_t Combos = 1;
+    for (int64_t I = 0; I < Len; ++I)
+      Combos *= static_cast<uint64_t>(Span);
+    for (uint64_t C = 0; C != Combos; ++C) {
+      ArrayModelValue A;
+      A.Length = Len;
+      uint64_t Rest = C;
+      for (int64_t I = 0; I < Len; ++I) {
+        A.Elems.push_back(Opts.ArrayElemLo +
+                          static_cast<int64_t>(Rest % Span));
+        Rest /= static_cast<uint64_t>(Span);
+      }
+      Model Ext = M;
+      Ext.Arrays[Bound] = A;
+      if (evalFormula(E->body(), Ext, Opts))
+        return true;
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+bool relax::evalFormula(const BoolExpr *B, const Model &M,
+                        const FormulaEvalOptions &Opts) {
+  switch (B->kind()) {
+  case BoolExpr::Kind::BoolLit:
+    return cast<BoolLitExpr>(B)->value();
+  case BoolExpr::Kind::Cmp: {
+    const auto *C = cast<CmpExpr>(B);
+    return evalCmpOp(C->op(), evalExpr(C->lhs(), M), evalExpr(C->rhs(), M));
+  }
+  case BoolExpr::Kind::ArrayCmp: {
+    const auto *C = cast<ArrayCmpExpr>(B);
+    bool Equal = evalArrayExpr(C->lhs(), M) == evalArrayExpr(C->rhs(), M);
+    return C->isEquality() ? Equal : !Equal;
+  }
+  case BoolExpr::Kind::Logical: {
+    const auto *L = cast<LogicalExpr>(B);
+    bool A = evalFormula(L->lhs(), M, Opts);
+    bool R = evalFormula(L->rhs(), M, Opts);
+    switch (L->op()) {
+    case LogicalOp::And:
+      return A && R;
+    case LogicalOp::Or:
+      return A || R;
+    case LogicalOp::Implies:
+      return !A || R;
+    case LogicalOp::Iff:
+      return A == R;
+    }
+    return false;
+  }
+  case BoolExpr::Kind::Not:
+    return !evalFormula(cast<NotExpr>(B)->sub(), M, Opts);
+  case BoolExpr::Kind::Exists:
+    return existsWitness(cast<ExistsExpr>(B), M, Opts);
+  }
+  return false;
+}

@@ -1,0 +1,52 @@
+//===- FormulaEval.h - Total formula evaluation --------------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluates expressions and formulas under a concrete Model using the
+/// *logic* semantics (total functions: Euclidean division, division by zero
+/// yields 0, out-of-range array reads yield 0). Quantifiers are evaluated
+/// by bounded enumeration. Used by the bounded solver backend and by the
+/// property tests that validate the simplifier and the Z3 translation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_SOLVER_FORMULAEVAL_H
+#define RELAXC_SOLVER_FORMULAEVAL_H
+
+#include "solver/Solver.h"
+
+namespace relax {
+
+/// Evaluation options for quantifier enumeration.
+struct FormulaEvalOptions {
+  int64_t IntLo = -8;         ///< scalar quantifier domain lower bound
+  int64_t IntHi = 8;          ///< scalar quantifier domain upper bound
+  int64_t MaxArrayLen = 3;    ///< array quantifier length bound
+  int64_t ArrayElemLo = -2;   ///< array quantifier element domain
+  int64_t ArrayElemHi = 2;
+};
+
+/// Euclidean division/modulo (SMT-LIB semantics): the unique (q, r) with
+/// L = q*R + r and 0 <= r < |R|. Division by zero yields 0 in the logic.
+int64_t euclideanDiv(int64_t L, int64_t R);
+int64_t euclideanMod(int64_t L, int64_t R);
+
+/// Evaluates \p E under \p M. Unmapped variables default to 0 / empty.
+int64_t evalExpr(const Expr *E, const Model &M);
+
+/// Evaluates an array expression to a concrete array value.
+ArrayModelValue evalArrayExpr(const ArrayExpr *A, const Model &M);
+
+/// Evaluates \p B under \p M; quantifiers are decided over the bounded
+/// domains of \p Opts (an under-approximation of the true Z semantics,
+/// which is what makes the bounded backend incomplete).
+bool evalFormula(const BoolExpr *B, const Model &M,
+                 const FormulaEvalOptions &Opts = FormulaEvalOptions());
+
+} // namespace relax
+
+#endif // RELAXC_SOLVER_FORMULAEVAL_H

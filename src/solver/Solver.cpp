@@ -1,0 +1,82 @@
+//===- Solver.cpp - Decision procedure interface ------------------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Solver.h"
+
+using namespace relax;
+
+Solver::~Solver() = default;
+
+std::string relax::formatModel(const Interner &Syms, const Model &M) {
+  std::string Out;
+  auto Sep = [&] {
+    if (!Out.empty())
+      Out += ", ";
+  };
+  for (const auto &[V, Value] : M.Ints) {
+    Sep();
+    Out += std::string(Syms.text(V.Name)) + varTagSuffix(V.Tag) + " = " +
+           std::to_string(Value);
+  }
+  for (const auto &[V, A] : M.Arrays) {
+    Sep();
+    Out += std::string(Syms.text(V.Name)) + varTagSuffix(V.Tag) + " = [";
+    for (size_t I = 0, E = A.Elems.size(); I != E; ++I) {
+      if (I)
+        Out += ", ";
+      Out += std::to_string(A.Elems[I]);
+    }
+    Out += "]";
+  }
+  return Out.empty() ? "(empty model)" : Out;
+}
+
+const char *relax::satResultName(SatResult R) {
+  switch (R) {
+  case SatResult::Sat:
+    return "sat";
+  case SatResult::Unsat:
+    return "unsat";
+  case SatResult::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}
+
+Result<bool> Solver::isValid(AstContext &Ctx, const BoolExpr *F) {
+  Result<SatResult> R = checkSat({Ctx.notExpr(F)});
+  if (!R.ok())
+    return R.status();
+  switch (*R) {
+  case SatResult::Unsat:
+    return true;
+  case SatResult::Sat:
+    return false;
+  case SatResult::Unknown:
+    return Result<bool>::error(std::string(name()) +
+                               " returned unknown for a validity query");
+  }
+  return false;
+}
+
+Result<bool> Solver::entails(AstContext &Ctx, const BoolExpr *P,
+                             const BoolExpr *Q) {
+  // P |= Q  iff  P /\ ¬Q unsatisfiable.
+  Result<SatResult> R = checkSat({P, Ctx.notExpr(Q)});
+  if (!R.ok())
+    return R.status();
+  switch (*R) {
+  case SatResult::Unsat:
+    return true;
+  case SatResult::Sat:
+    return false;
+  case SatResult::Unknown:
+    return Result<bool>::error(std::string(name()) +
+                               " returned unknown for an entailment query");
+  }
+  return false;
+}

@@ -1,0 +1,108 @@
+//===- Solver.h - Decision procedure interface ---------------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decision-procedure interface the verifier and the solver-backed
+/// oracles program against, together with the model representation.
+///
+/// Logic semantics notes (shared by every backend and by the formula
+/// evaluator, and matched by the dynamic semantics where observable):
+///  * integers are unbounded in the logic; the evaluator uses int64 and the
+///    workloads stay far from the edges (checked by tests);
+///  * `/` and `%` follow the SMT-LIB Euclidean convention (the remainder is
+///    always non-negative); the interpreter implements the same convention;
+///  * arrays are total integer functions paired with a length constant;
+///    array equality is function equality plus length equality. Dynamic
+///    array values only expose indices in [0, len); out-of-bounds access is
+///    a dynamic `wr` error, and the VC generator emits bounds obligations,
+///    so the difference between total and in-bounds equality is never
+///    observable in verified programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_SOLVER_SOLVER_H
+#define RELAXC_SOLVER_SOLVER_H
+
+#include "logic/FormulaOps.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace relax {
+
+/// Outcome of a satisfiability query.
+enum class SatResult { Sat, Unsat, Unknown };
+
+/// Returns "sat" / "unsat" / "unknown".
+const char *satResultName(SatResult R);
+
+/// A concrete array value in a model.
+struct ArrayModelValue {
+  int64_t Length = 0;
+  std::vector<int64_t> Elems; ///< Elems.size() == Length
+
+  friend bool operator==(const ArrayModelValue &A,
+                         const ArrayModelValue &B) {
+    return A.Length == B.Length && A.Elems == B.Elems;
+  }
+};
+
+/// A (partial) assignment of concrete values to logical variables.
+struct Model {
+  std::map<VarRef, int64_t> Ints;
+  std::map<VarRef, ArrayModelValue> Arrays;
+
+  bool empty() const { return Ints.empty() && Arrays.empty(); }
+};
+
+/// Renders a model for diagnostics: `x<o> = 3, A<r> = [1, 2]`.
+std::string formatModel(const Interner &Syms, const Model &M);
+
+/// Abstract decision procedure over the assertion logic.
+class Solver {
+public:
+  virtual ~Solver();
+
+  /// A short backend name for reports ("z3", "bounded").
+  virtual const char *name() const = 0;
+
+  /// Decides satisfiability of the conjunction of \p Formulas.
+  virtual Result<SatResult>
+  checkSat(const std::vector<const BoolExpr *> &Formulas) = 0;
+
+  /// Like checkSat; on Sat additionally extracts values for \p Vars into
+  /// \p ModelOut (variables absent from the formula get default values).
+  virtual Result<SatResult>
+  checkSatWithModel(const std::vector<const BoolExpr *> &Formulas,
+                    const VarRefSet &Vars, Model &ModelOut) = 0;
+
+  /// Number of checkSat queries served (statistics; includes cache misses
+  /// only when wrapped in a CachingSolver).
+  uint64_t queryCount() const { return Queries; }
+
+  //===--------------------------------------------------------------------===//
+  // Derived helpers
+  //===--------------------------------------------------------------------===//
+
+  /// Decides validity of \p F: valid iff ¬F is unsatisfiable. Unknown
+  /// satisfiability maps to an error (the verifier treats it as "not
+  /// proved").
+  Result<bool> isValid(AstContext &Ctx, const BoolExpr *F);
+
+  /// Decides the entailment P |= Q, i.e. validity of P ==> Q, as
+  /// unsatisfiability of P /\ ¬Q.
+  Result<bool> entails(AstContext &Ctx, const BoolExpr *P, const BoolExpr *Q);
+
+protected:
+  uint64_t Queries = 0;
+};
+
+} // namespace relax
+
+#endif // RELAXC_SOLVER_SOLVER_H

@@ -1,0 +1,301 @@
+//===- Z3Solver.cpp - Z3 backend ----------------------------------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Z3Solver.h"
+
+#include "support/Casting.h"
+
+#include <z3++.h>
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+using namespace relax;
+
+namespace {
+
+/// Mangles a VarRef into a Z3 constant name.
+std::string mangle(const Interner &Syms, Symbol Name, VarTag Tag,
+                   const char *Suffix = "") {
+  std::string Out(Syms.text(Name));
+  Out += Suffix;
+  switch (Tag) {
+  case VarTag::Plain:
+    break;
+  case VarTag::Orig:
+    Out += "!o";
+    break;
+  case VarTag::Rel:
+    Out += "!r";
+    break;
+  }
+  return Out;
+}
+
+/// Per-query translation state.
+class Translator {
+public:
+  Translator(z3::context &C, const Interner &Syms) : C(C), Syms(Syms) {}
+
+  /// The `len >= 0` axioms for every array mentioned so far.
+  const std::vector<z3::expr> &lengthAxioms() const { return LenAxioms; }
+
+  z3::expr intConst(Symbol Name, VarTag Tag) {
+    return C.int_const(mangle(Syms, Name, Tag).c_str());
+  }
+
+  z3::expr arrayConst(Symbol Name, VarTag Tag) {
+    z3::sort ArrSort = C.array_sort(C.int_sort(), C.int_sort());
+    return C.constant(mangle(Syms, Name, Tag, "!arr").c_str(), ArrSort);
+  }
+
+  z3::expr lenConst(Symbol Name, VarTag Tag) {
+    std::string N = mangle(Syms, Name, Tag, "!len");
+    z3::expr L = C.int_const(N.c_str());
+    if (SeenLens.insert(N).second)
+      LenAxioms.push_back(L >= 0);
+    return L;
+  }
+
+  z3::expr trExpr(const Expr *E) {
+    switch (E->kind()) {
+    case Expr::Kind::IntLit:
+      return C.int_val(cast<IntLitExpr>(E)->value());
+    case Expr::Kind::Var: {
+      const auto *V = cast<VarExpr>(E);
+      return intConst(V->name(), V->tag());
+    }
+    case Expr::Kind::ArrayRead: {
+      const auto *R = cast<ArrayReadExpr>(E);
+      return z3::select(trArray(R->base()), trExpr(R->index()));
+    }
+    case Expr::Kind::ArrayLen:
+      return trArrayLen(cast<ArrayLenExpr>(E)->base());
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      z3::expr L = trExpr(B->lhs());
+      z3::expr R = trExpr(B->rhs());
+      switch (B->op()) {
+      case BinaryOp::Add:
+        return L + R;
+      case BinaryOp::Sub:
+        return L - R;
+      case BinaryOp::Mul:
+        return L * R;
+      case BinaryOp::Div:
+        return L / R; // SMT-LIB div (Euclidean)
+      case BinaryOp::Mod:
+        return z3::mod(L, R);
+      }
+      break;
+    }
+    }
+    return C.int_val(0);
+  }
+
+  z3::expr trArray(const ArrayExpr *A) {
+    switch (A->kind()) {
+    case ArrayExpr::Kind::Ref: {
+      const auto *R = cast<ArrayRefExpr>(A);
+      // Touch the length so its axiom is emitted.
+      (void)lenConst(R->name(), R->tag());
+      return arrayConst(R->name(), R->tag());
+    }
+    case ArrayExpr::Kind::Store: {
+      const auto *S = cast<ArrayStoreExpr>(A);
+      return z3::store(trArray(S->base()), trExpr(S->index()),
+                       trExpr(S->value()));
+    }
+    }
+    return arrayConst(Symbol(), VarTag::Plain); // unreachable
+  }
+
+  /// Lengths are preserved by store, so the length of any array expression
+  /// is the length of the root reference.
+  z3::expr trArrayLen(const ArrayExpr *A) {
+    const ArrayExpr *Root = A;
+    while (const auto *S = dyn_cast<ArrayStoreExpr>(Root))
+      Root = S->base();
+    const auto *R = cast<ArrayRefExpr>(Root);
+    return lenConst(R->name(), R->tag());
+  }
+
+  z3::expr trFormula(const BoolExpr *B) {
+    switch (B->kind()) {
+    case BoolExpr::Kind::BoolLit:
+      return C.bool_val(cast<BoolLitExpr>(B)->value());
+    case BoolExpr::Kind::Cmp: {
+      const auto *Cm = cast<CmpExpr>(B);
+      z3::expr L = trExpr(Cm->lhs());
+      z3::expr R = trExpr(Cm->rhs());
+      switch (Cm->op()) {
+      case CmpOp::Lt:
+        return L < R;
+      case CmpOp::Le:
+        return L <= R;
+      case CmpOp::Gt:
+        return L > R;
+      case CmpOp::Ge:
+        return L >= R;
+      case CmpOp::Eq:
+        return L == R;
+      case CmpOp::Ne:
+        return L != R;
+      }
+      break;
+    }
+    case BoolExpr::Kind::ArrayCmp: {
+      const auto *Cm = cast<ArrayCmpExpr>(B);
+      z3::expr Contents = trArray(Cm->lhs()) == trArray(Cm->rhs());
+      z3::expr Lens = trArrayLen(Cm->lhs()) == trArrayLen(Cm->rhs());
+      z3::expr Eq = Contents && Lens;
+      return Cm->isEquality() ? Eq : !Eq;
+    }
+    case BoolExpr::Kind::Logical: {
+      const auto *L = cast<LogicalExpr>(B);
+      z3::expr A = trFormula(L->lhs());
+      z3::expr R = trFormula(L->rhs());
+      switch (L->op()) {
+      case LogicalOp::And:
+        return A && R;
+      case LogicalOp::Or:
+        return A || R;
+      case LogicalOp::Implies:
+        return z3::implies(A, R);
+      case LogicalOp::Iff:
+        return A == R;
+      }
+      break;
+    }
+    case BoolExpr::Kind::Not:
+      return !trFormula(cast<NotExpr>(B)->sub());
+    case BoolExpr::Kind::Exists: {
+      const auto *E = cast<ExistsExpr>(B);
+      if (E->varKind() == VarKind::Int) {
+        z3::expr V = intConst(E->var(), E->tag());
+        return z3::exists(V, trFormula(E->body()));
+      }
+      // Arrays: bind both the content map and the length.
+      z3::expr Arr = arrayConst(E->var(), E->tag());
+      z3::expr Len = C.int_const(
+          mangle(Syms, E->var(), E->tag(), "!len").c_str());
+      z3::expr Body = Len >= 0 && trFormula(E->body());
+      z3::expr_vector Bound(C);
+      Bound.push_back(Arr);
+      Bound.push_back(Len);
+      return z3::exists(Bound, Body);
+    }
+    }
+    return C.bool_val(false);
+  }
+
+private:
+  z3::context &C;
+  const Interner &Syms;
+  std::vector<z3::expr> LenAxioms;
+  std::set<std::string> SeenLens;
+};
+
+std::optional<int64_t> evalInt(z3::model &M, const z3::expr &E) {
+  z3::expr V = M.eval(E, /*model_completion=*/true);
+  int64_t Out = 0;
+  if (V.is_numeral_i64(Out))
+    return Out;
+  return std::nullopt;
+}
+
+} // namespace
+
+struct Z3Solver::Impl {
+  const Interner &Syms;
+  Z3SolverOptions Opts;
+
+  Impl(const Interner &Syms, Z3SolverOptions Opts) : Syms(Syms), Opts(Opts) {}
+};
+
+Z3Solver::Z3Solver(const Interner &Syms, Z3SolverOptions Opts)
+    : P(std::make_unique<Impl>(Syms, Opts)) {}
+Z3Solver::~Z3Solver() = default;
+
+Result<std::string>
+Z3Solver::toSmtLib(const std::vector<const BoolExpr *> &Formulas) {
+  try {
+    z3::context C;
+    z3::solver S(C);
+    Translator T(C, P->Syms);
+    for (const BoolExpr *F : Formulas)
+      S.add(T.trFormula(F));
+    for (const z3::expr &Axiom : T.lengthAxioms())
+      S.add(Axiom);
+    return std::string(S.to_smt2());
+  } catch (const z3::exception &E) {
+    return Result<std::string>::error(std::string("z3 error: ") + E.msg());
+  }
+}
+
+Result<SatResult>
+Z3Solver::checkSat(const std::vector<const BoolExpr *> &Formulas) {
+  Model Ignored;
+  return checkSatWithModel(Formulas, VarRefSet(), Ignored);
+}
+
+Result<SatResult>
+Z3Solver::checkSatWithModel(const std::vector<const BoolExpr *> &Formulas,
+                            const VarRefSet &Vars, Model &ModelOut) {
+  ++Queries;
+  try {
+    z3::context C;
+    z3::solver S(C);
+    z3::params Params(C);
+    Params.set("timeout", P->Opts.TimeoutMs);
+    S.set(Params);
+
+    Translator T(C, P->Syms);
+    for (const BoolExpr *F : Formulas)
+      S.add(T.trFormula(F));
+    for (const z3::expr &Axiom : T.lengthAxioms())
+      S.add(Axiom);
+
+    switch (S.check()) {
+    case z3::unsat:
+      return SatResult::Unsat;
+    case z3::unknown:
+      return SatResult::Unknown;
+    case z3::sat:
+      break;
+    }
+
+    z3::model M = S.get_model();
+    ModelOut = Model();
+    for (const VarRef &V : Vars) {
+      if (V.Kind == VarKind::Int) {
+        z3::expr E = T.intConst(V.Name, V.Tag);
+        ModelOut.Ints[V] = evalInt(M, E).value_or(0);
+        continue;
+      }
+      z3::expr Arr = T.arrayConst(V.Name, V.Tag);
+      z3::expr Len = T.lenConst(V.Name, V.Tag);
+      int64_t N = evalInt(M, Len).value_or(0);
+      if (N < 0)
+        N = 0;
+      if (N > P->Opts.MaxExtractedArrayLen)
+        N = P->Opts.MaxExtractedArrayLen;
+      ArrayModelValue AV;
+      AV.Length = N;
+      AV.Elems.reserve(static_cast<size_t>(N));
+      for (int64_t I = 0; I != N; ++I)
+        AV.Elems.push_back(
+            evalInt(M, z3::select(Arr, C.int_val(I))).value_or(0));
+      ModelOut.Arrays[V] = AV;
+    }
+    return SatResult::Sat;
+  } catch (const z3::exception &E) {
+    return Result<SatResult>::error(std::string("z3 error: ") + E.msg());
+  }
+}

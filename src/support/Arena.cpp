@@ -1,0 +1,36 @@
+//===- Arena.cpp - Bump-pointer allocation --------------------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace relax;
+
+void Arena::newSlab(size_t MinSize) {
+  size_t Size = std::max(SlabSize, MinSize);
+  Slabs.push_back(std::make_unique<char[]>(Size));
+  Cur = Slabs.back().get();
+  End = Cur + Size;
+}
+
+void *Arena::allocate(size_t Size, size_t Align) {
+  assert(Align != 0 && (Align & (Align - 1)) == 0 &&
+         "alignment must be a power of two");
+  uintptr_t P = reinterpret_cast<uintptr_t>(Cur);
+  uintptr_t Aligned = (P + Align - 1) & ~uintptr_t(Align - 1);
+  size_t Needed = (Aligned - P) + Size;
+  if (Cur == nullptr || static_cast<size_t>(End - Cur) < Needed) {
+    newSlab(Size + Align);
+    P = reinterpret_cast<uintptr_t>(Cur);
+    Aligned = (P + Align - 1) & ~uintptr_t(Align - 1);
+  }
+  Cur = reinterpret_cast<char *>(Aligned) + Size;
+  BytesAllocated += Size;
+  return reinterpret_cast<void *>(Aligned);
+}

@@ -1,0 +1,72 @@
+//===- Arena.h - Bump-pointer allocation -------------------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bump-pointer arena that owns AST nodes and logic formulas. Nodes are
+/// trivially freed all at once when the arena dies; destructors of allocated
+/// objects are *not* run, so arena types must be trivially destructible or
+/// must not own resources (our AST nodes store only Symbols, ints, and
+/// pointers into the same arena).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_SUPPORT_ARENA_H
+#define RELAXC_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace relax {
+
+/// A monotonically growing bump allocator.
+class Arena {
+public:
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Allocates \p Size bytes aligned to \p Align.
+  void *allocate(size_t Size, size_t Align);
+
+  /// Constructs a T in the arena. T's destructor will not run.
+  template <typename T, typename... Args> T *make(Args &&...As) {
+    void *Mem = allocate(sizeof(T), alignof(T));
+    return ::new (Mem) T(std::forward<Args>(As)...);
+  }
+
+  /// Copies an array of T into the arena and returns its start.
+  template <typename T> T *copyArray(const T *Data, size_t Count) {
+    if (Count == 0)
+      return nullptr;
+    void *Mem = allocate(sizeof(T) * Count, alignof(T));
+    T *Out = static_cast<T *>(Mem);
+    for (size_t I = 0; I != Count; ++I)
+      ::new (static_cast<void *>(Out + I)) T(Data[I]);
+    return Out;
+  }
+
+  /// Total bytes handed out so far (for statistics).
+  size_t bytesAllocated() const { return BytesAllocated; }
+
+private:
+  static constexpr size_t SlabSize = 64 * 1024;
+
+  std::vector<std::unique_ptr<char[]>> Slabs;
+  char *Cur = nullptr;
+  char *End = nullptr;
+  size_t BytesAllocated = 0;
+
+  void newSlab(size_t MinSize);
+};
+
+} // namespace relax
+
+#endif // RELAXC_SUPPORT_ARENA_H

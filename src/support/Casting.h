@@ -1,0 +1,49 @@
+//===- Casting.h - isa/cast/dyn_cast without RTTI -----------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-style checked casting built on each class's `classof` predicate.
+/// AST nodes carry a Kind discriminator instead of C++ RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_SUPPORT_CASTING_H
+#define RELAXC_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace relax {
+
+/// Returns true if \p Val dynamically is a To. \p Val must be non-null.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts that \p Val really is a To.
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checking downcast; returns null when \p Val is not a To.
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+} // namespace relax
+
+#endif // RELAXC_SUPPORT_CASTING_H

@@ -1,0 +1,50 @@
+//===- Diagnostics.cpp - Diagnostic reporting -------------------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace relax;
+
+void DiagnosticEngine::report(DiagSeverity Severity, SourceLoc Loc,
+                              std::string Message) {
+  if (Severity == DiagSeverity::Error)
+    ++NumErrors;
+  Diags.push_back(Diagnostic{Severity, Loc, std::move(Message)});
+}
+
+static const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "error";
+}
+
+std::string DiagnosticEngine::render(const Diagnostic &D) const {
+  std::string Out = FileName;
+  if (D.Loc.isValid()) {
+    Out += ":" + std::to_string(D.Loc.Line) + ":" + std::to_string(D.Loc.Column);
+  }
+  Out += ": ";
+  Out += severityName(D.Severity);
+  Out += ": ";
+  Out += D.Message;
+  return Out;
+}
+
+std::string DiagnosticEngine::render() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += render(D);
+    Out += '\n';
+  }
+  return Out;
+}

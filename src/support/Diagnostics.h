@@ -1,0 +1,89 @@
+//===- Diagnostics.h - Diagnostic reporting ----------------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collects parser/sema/verifier diagnostics with source locations and
+/// renders them in the conventional `file:line:col: severity: message`
+/// format (messages start lowercase and carry no trailing period, per the
+/// LLVM error-message style).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_SUPPORT_DIAGNOSTICS_H
+#define RELAXC_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace relax {
+
+/// Severity of a diagnostic.
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One reported problem.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Accumulates diagnostics for one compilation/verification.
+class DiagnosticEngine {
+public:
+  /// Sets the file name used when rendering diagnostics.
+  void setFileName(std::string Name) { FileName = std::move(Name); }
+  const std::string &fileName() const { return FileName; }
+
+  void report(DiagSeverity Severity, SourceLoc Loc, std::string Message);
+  void error(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Error, Loc, std::move(Message));
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Warning, Loc, std::move(Message));
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Note, Loc, std::move(Message));
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics, one per line.
+  std::string render() const;
+
+  /// Renders a single diagnostic.
+  std::string render(const Diagnostic &D) const;
+
+  /// Drops all collected diagnostics.
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+  /// Checkpoint/rollback support for speculative parsing: rollback removes
+  /// every diagnostic reported after the checkpoint was taken.
+  size_t checkpoint() const { return Diags.size(); }
+  void rollback(size_t Checkpoint) {
+    while (Diags.size() > Checkpoint) {
+      if (Diags.back().Severity == DiagSeverity::Error)
+        --NumErrors;
+      Diags.pop_back();
+    }
+  }
+
+private:
+  std::string FileName = "<input>";
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace relax
+
+#endif // RELAXC_SUPPORT_DIAGNOSTICS_H

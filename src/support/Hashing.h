@@ -1,0 +1,39 @@
+//===- Hashing.h - Hash combinators -------------------------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small deterministic hash-combining helpers used for structural hashing of
+/// AST nodes and formulas (solver result caching keys).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_SUPPORT_HASHING_H
+#define RELAXC_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace relax {
+
+/// Mixes \p Value into \p Seed (boost::hash_combine-style, 64-bit).
+inline uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
+  // Constant is 2^64 / golden ratio.
+  Seed ^= Value + 0x9e3779b97f4a7c15ULL + (Seed << 12) + (Seed >> 4);
+  return Seed;
+}
+
+/// Finalizer from SplitMix64; spreads low-entropy inputs.
+inline uint64_t hashMix(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+} // namespace relax
+
+#endif // RELAXC_SUPPORT_HASHING_H

@@ -1,0 +1,41 @@
+//===- Interner.cpp - String interning -------------------------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Interner.h"
+
+#include <cassert>
+
+using namespace relax;
+
+Symbol Interner::intern(std::string_view Text) {
+  auto It = Map.find(std::string(Text));
+  if (It != Map.end())
+    return Symbol(It->second);
+  Texts.emplace_back(Text);
+  uint32_t Id = static_cast<uint32_t>(Texts.size()); // ids start at 1
+  Map.emplace(Texts.back(), Id);
+  return Symbol(Id);
+}
+
+std::string_view Interner::text(Symbol S) const {
+  assert(S.isValid() && "resolving an invalid symbol");
+  assert(S.id() <= Texts.size() && "symbol from another interner");
+  return Texts[S.id() - 1];
+}
+
+Symbol Interner::fresh(Symbol Base) {
+  assert(Base.isValid() && "fresh() needs a valid base symbol");
+  std::string BaseText(text(Base));
+  // Strip a previous freshness suffix so repeated freshening stays short.
+  if (size_t Pos = BaseText.find('\''); Pos != std::string::npos)
+    BaseText.resize(Pos);
+  for (;;) {
+    std::string Candidate = BaseText + "'" + std::to_string(++FreshCounter);
+    if (Map.find(Candidate) == Map.end())
+      return intern(Candidate);
+  }
+}

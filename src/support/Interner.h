@@ -1,0 +1,81 @@
+//===- Interner.h - String interning ------------------------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbols are interned identifiers (variable names, relate labels). They
+/// compare and hash as integers, which keeps AST/formula comparison cheap,
+/// and they make fresh-name generation trivial.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_SUPPORT_INTERNER_H
+#define RELAXC_SUPPORT_INTERNER_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace relax {
+
+/// An interned string. Only meaningful relative to the Interner that
+/// produced it. The default-constructed Symbol is invalid.
+class Symbol {
+public:
+  Symbol() = default;
+
+  bool isValid() const { return Id != 0; }
+  uint32_t id() const { return Id; }
+
+  friend bool operator==(Symbol A, Symbol B) { return A.Id == B.Id; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Id != B.Id; }
+  friend bool operator<(Symbol A, Symbol B) { return A.Id < B.Id; }
+
+private:
+  friend class Interner;
+  explicit Symbol(uint32_t Id) : Id(Id) {}
+
+  uint32_t Id = 0;
+};
+
+/// Interns strings into Symbols and resolves them back.
+class Interner {
+public:
+  Interner() = default;
+  Interner(const Interner &) = delete;
+  Interner &operator=(const Interner &) = delete;
+
+  /// Returns the unique Symbol for \p Text, creating one if needed.
+  Symbol intern(std::string_view Text);
+
+  /// Returns the text of \p S. S must have come from this interner.
+  std::string_view text(Symbol S) const;
+
+  /// Creates a symbol whose name does not collide with any interned so far,
+  /// derived from \p Base (e.g. "x" -> "x'1").
+  Symbol fresh(Symbol Base);
+
+  /// Number of distinct symbols interned.
+  size_t size() const { return Texts.size(); }
+
+private:
+  std::unordered_map<std::string, uint32_t> Map;
+  std::vector<std::string> Texts;
+  uint32_t FreshCounter = 0;
+};
+
+} // namespace relax
+
+template <> struct std::hash<relax::Symbol> {
+  size_t operator()(relax::Symbol S) const noexcept {
+    return std::hash<uint32_t>()(S.id());
+  }
+};
+
+#endif // RELAXC_SUPPORT_INTERNER_H

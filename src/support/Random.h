@@ -1,0 +1,57 @@
+//===- Random.h - Deterministic pseudo-random engine --------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64: a tiny, fast, seedable PRNG used by the random oracles and
+/// the property-test workload generators. Deterministic across platforms so
+/// test failures reproduce.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_SUPPORT_RANDOM_H
+#define RELAXC_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace relax {
+
+/// SplitMix64 PRNG (public-domain algorithm by Sebastiano Vigna).
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed = 0x243f6a8885a308d3ULL) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [Lo, Hi] (inclusive). Requires Lo <= Hi.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+    if (Span == 0) // full 64-bit range
+      return static_cast<int64_t>(next());
+    return Lo + static_cast<int64_t>(next() % Span);
+  }
+
+  /// Bernoulli draw with probability Num/Den.
+  bool nextBool(uint64_t Num = 1, uint64_t Den = 2) {
+    assert(Den != 0 && Num <= Den && "probability out of range");
+    return next() % Den < Num;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace relax
+
+#endif // RELAXC_SUPPORT_RANDOM_H

@@ -1,0 +1,61 @@
+//===- SourceLoc.h - Source locations and ranges ----------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight source coordinates attached to tokens, AST nodes, formulas,
+/// verification conditions, and diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_SUPPORT_SOURCELOC_H
+#define RELAXC_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+
+namespace relax {
+
+/// A position in a source buffer: 1-based line and column.
+///
+/// An invalid (default-constructed) location has Line == 0 and is used for
+/// synthesized constructs (builder-constructed ASTs, generated formulas).
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  constexpr SourceLoc() = default;
+  constexpr SourceLoc(uint32_t Line, uint32_t Column)
+      : Line(Line), Column(Column) {}
+
+  constexpr bool isValid() const { return Line != 0; }
+
+  friend constexpr bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Line == B.Line && A.Column == B.Column;
+  }
+  friend constexpr bool operator!=(SourceLoc A, SourceLoc B) {
+    return !(A == B);
+  }
+  friend constexpr bool operator<(SourceLoc A, SourceLoc B) {
+    return A.Line != B.Line ? A.Line < B.Line : A.Column < B.Column;
+  }
+};
+
+/// A half-open range of source positions [Begin, End).
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+
+  constexpr SourceRange() = default;
+  constexpr SourceRange(SourceLoc Begin, SourceLoc End)
+      : Begin(Begin), End(End) {}
+  explicit constexpr SourceRange(SourceLoc Loc) : Begin(Loc), End(Loc) {}
+
+  constexpr bool isValid() const { return Begin.isValid(); }
+};
+
+} // namespace relax
+
+#endif // RELAXC_SUPPORT_SOURCELOC_H

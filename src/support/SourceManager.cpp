@@ -1,0 +1,62 @@
+//===- SourceManager.cpp - Source buffer ownership --------------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SourceManager.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace relax;
+
+void SourceManager::setBuffer(std::string NewName, std::string NewText) {
+  Name = std::move(NewName);
+  Text = std::move(NewText);
+  indexLines();
+}
+
+Status SourceManager::loadFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Status::error("cannot open file '" + Path + "'");
+  std::string Data;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Data.append(Buf, N);
+  std::fclose(F);
+  setBuffer(Path, std::move(Data));
+  return Status::success();
+}
+
+void SourceManager::indexLines() {
+  LineStarts.clear();
+  LineStarts.push_back(0);
+  for (size_t I = 0, E = Text.size(); I != E; ++I)
+    if (Text[I] == '\n')
+      LineStarts.push_back(I + 1);
+}
+
+SourceLoc SourceManager::locForOffset(size_t Offset) const {
+  if (LineStarts.empty())
+    return SourceLoc(1, 1);
+  Offset = std::min(Offset, Text.size());
+  auto It = std::upper_bound(LineStarts.begin(), LineStarts.end(), Offset);
+  size_t Line = static_cast<size_t>(It - LineStarts.begin()); // 1-based
+  size_t LineStart = LineStarts[Line - 1];
+  return SourceLoc(static_cast<uint32_t>(Line),
+                   static_cast<uint32_t>(Offset - LineStart + 1));
+}
+
+std::string_view SourceManager::lineText(uint32_t Line) const {
+  if (Line == 0 || Line > LineStarts.size())
+    return {};
+  size_t Begin = LineStarts[Line - 1];
+  size_t End = Line < LineStarts.size() ? LineStarts[Line] : Text.size();
+  while (End > Begin && (Text[End - 1] == '\n' || Text[End - 1] == '\r'))
+    --End;
+  return std::string_view(Text).substr(Begin, End - Begin);
+}

@@ -1,0 +1,55 @@
+//===- SourceManager.h - Source buffer ownership -----------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns the text of the file being compiled and maps byte offsets to
+/// line/column SourceLocs for diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_SUPPORT_SOURCEMANAGER_H
+#define RELAXC_SUPPORT_SOURCEMANAGER_H
+
+#include "support/SourceLoc.h"
+#include "support/Status.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace relax {
+
+/// Holds one source buffer and its line-start index.
+class SourceManager {
+public:
+  /// Adopts \p Text as the buffer for \p Name.
+  void setBuffer(std::string Name, std::string Text);
+
+  /// Reads \p Path from disk into the buffer.
+  Status loadFile(const std::string &Path);
+
+  std::string_view buffer() const { return Text; }
+  const std::string &name() const { return Name; }
+
+  /// Converts a byte offset into a 1-based line/column location.
+  SourceLoc locForOffset(size_t Offset) const;
+
+  /// Returns the full text of 1-based line \p Line (without newline), or an
+  /// empty view when out of range. Useful for caret diagnostics.
+  std::string_view lineText(uint32_t Line) const;
+
+private:
+  std::string Name = "<input>";
+  std::string Text;
+  std::vector<size_t> LineStarts; // byte offset of each line start
+
+  void indexLines();
+};
+
+} // namespace relax
+
+#endif // RELAXC_SUPPORT_SOURCEMANAGER_H

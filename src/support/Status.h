@@ -1,0 +1,103 @@
+//===- Status.h - Error propagation without exceptions ----------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Status and Result<T>: lightweight success/error carriers used throughout
+/// the library instead of exceptions. The Z3 backend catches z3::exception
+/// at the boundary and converts it into a Status.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_SUPPORT_STATUS_H
+#define RELAXC_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace relax {
+
+/// The outcome of an operation that can fail with a message.
+class Status {
+public:
+  /// Creates a success value.
+  static Status success() { return Status(); }
+
+  /// Creates an error carrying a human-readable message.
+  static Status error(std::string Message) {
+    Status S;
+    S.Message = std::move(Message);
+    return S;
+  }
+
+  bool ok() const { return !Message.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Returns the error message. Only valid when !ok().
+  const std::string &message() const {
+    assert(!ok() && "no message on a success Status");
+    return *Message;
+  }
+
+private:
+  std::optional<std::string> Message;
+};
+
+/// Either a value of type T or an error message.
+template <typename T> class Result {
+public:
+  /// Constructs a success result (implicit so `return Value;` works).
+  Result(T Value) : Value(std::move(Value)) {}
+
+  /// Constructs an error result from a failed Status.
+  Result(Status S) : Err(std::move(S)) {
+    assert(!Err.ok() && "Result constructed from a success Status");
+  }
+
+  /// Creates an error result carrying \p Message.
+  static Result<T> error(std::string Message) {
+    return Result<T>(Status::error(std::move(Message)));
+  }
+
+  bool ok() const { return Value.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T &value() const & {
+    assert(ok() && "accessing value of an error Result");
+    return *Value;
+  }
+  T &value() & {
+    assert(ok() && "accessing value of an error Result");
+    return *Value;
+  }
+  T take() && {
+    assert(ok() && "taking value of an error Result");
+    return std::move(*Value);
+  }
+
+  const T &operator*() const & { return value(); }
+  T &operator*() & { return value(); }
+  const T *operator->() const { return &value(); }
+  T *operator->() { return &value(); }
+
+  const std::string &message() const { return Err.message(); }
+
+  /// Returns the error as a Status (only valid when !ok()).
+  const Status &status() const {
+    assert(!ok() && "status() on a success Result");
+    return Err;
+  }
+
+private:
+  std::optional<T> Value;
+  Status Err = Status::success();
+};
+
+} // namespace relax
+
+#endif // RELAXC_SUPPORT_STATUS_H

@@ -1,0 +1,291 @@
+//===- ProofChecker.cpp - Independent derivation validation -------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vcgen/ProofChecker.h"
+
+#include "support/Random.h"
+
+using namespace relax;
+
+std::vector<const BoolExpr *> ProofChecker::bindState(const State &S,
+                                                      VarTag Tag) {
+  std::vector<const BoolExpr *> Out;
+  for (const auto &[Name, V] : S) {
+    if (V.isInt()) {
+      Out.push_back(Ctx.eq(Ctx.var(Name, Tag), Ctx.intLit(V.asInt())));
+      continue;
+    }
+    const ArrayExpr *Ref = Ctx.arrayRef(Name, Tag);
+    const ArrayValue &Arr = V.asArray();
+    Out.push_back(Ctx.eq(Ctx.arrayLen(Ref),
+                         Ctx.intLit(static_cast<int64_t>(Arr.size()))));
+    for (size_t I = 0, E = Arr.size(); I != E; ++I)
+      Out.push_back(
+          Ctx.eq(Ctx.arrayRead(Ref, Ctx.intLit(static_cast<int64_t>(I))),
+                 Ctx.intLit(Arr[I])));
+  }
+  return Out;
+}
+
+Result<bool> ProofChecker::holds(const BoolExpr *F, const State &S,
+                                 VarTag Tag) {
+  std::vector<const BoolExpr *> Query = bindState(S, Tag);
+  Query.push_back(F);
+  Result<SatResult> R = TheSolver.checkSat(Query);
+  if (!R.ok())
+    return R.status();
+  if (*R == SatResult::Unknown)
+    return Result<bool>::error("solver returned unknown");
+  return *R == SatResult::Sat;
+}
+
+Result<bool> ProofChecker::holdsPair(const BoolExpr *F, const State &O,
+                                     const State &R) {
+  std::vector<const BoolExpr *> Query = bindState(O, VarTag::Orig);
+  std::vector<const BoolExpr *> RBind = bindState(R, VarTag::Rel);
+  Query.insert(Query.end(), RBind.begin(), RBind.end());
+  Query.push_back(F);
+  Result<SatResult> Res = TheSolver.checkSat(Query);
+  if (!Res.ok())
+    return Res.status();
+  if (*Res == SatResult::Unknown)
+    return Result<bool>::error("solver returned unknown");
+  return *Res == SatResult::Sat;
+}
+
+namespace {
+
+/// Converts a solver model restricted to \p Tag into an interpreter state;
+/// variables missing from the model default to zero / a small zero array.
+State modelToState(const Program &Prog, const Model &M, VarTag Tag,
+                   size_t DefaultArrayLen) {
+  State Out;
+  for (const VarDecl &D : Prog.decls()) {
+    if (D.Kind == VarKind::Int) {
+      auto It = M.Ints.find(VarRef{D.Name, Tag, VarKind::Int});
+      Out[D.Name] = Value(It == M.Ints.end() ? 0 : It->second);
+    } else {
+      auto It = M.Arrays.find(VarRef{D.Name, Tag, VarKind::Array});
+      Out[D.Name] = It == M.Arrays.end()
+                        ? Value(ArrayValue(DefaultArrayLen, 0))
+                        : Value(It->second.Elems);
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::optional<State> ProofChecker::sampleState(const BoolExpr *Pre,
+                                               VarTag Tag, uint64_t Seed) {
+  VarRefSet Wanted;
+  for (const VarDecl &D : Prog.decls())
+    Wanted.insert(VarRef{D.Name, Tag, D.Kind});
+
+  // Diversity: try pinning one scalar to a random small value first.
+  SplitMix64 Rng(Seed);
+  std::vector<Symbol> Scalars;
+  for (const VarDecl &D : Prog.decls())
+    if (D.Kind == VarKind::Int)
+      Scalars.push_back(D.Name);
+  if (!Scalars.empty()) {
+    Symbol Pin = Scalars[static_cast<size_t>(
+        Rng.nextInRange(0, static_cast<int64_t>(Scalars.size()) - 1))];
+    const BoolExpr *PinEq =
+        Ctx.eq(Ctx.var(Pin, Tag), Ctx.intLit(Rng.nextInRange(-16, 16)));
+    Model M;
+    Result<SatResult> R = TheSolver.checkSatWithModel({Pre, PinEq}, Wanted, M);
+    if (R.ok() && *R == SatResult::Sat)
+      return modelToState(Prog, M, Tag, 4);
+  }
+  Model M;
+  Result<SatResult> R = TheSolver.checkSatWithModel({Pre}, Wanted, M);
+  if (!R.ok() || *R != SatResult::Sat)
+    return std::nullopt;
+  return modelToState(Prog, M, Tag, 4);
+}
+
+std::optional<std::pair<State, State>>
+ProofChecker::samplePair(const BoolExpr *Pre, uint64_t Seed) {
+  VarRefSet Wanted;
+  for (const VarDecl &D : Prog.decls()) {
+    Wanted.insert(VarRef{D.Name, VarTag::Orig, D.Kind});
+    Wanted.insert(VarRef{D.Name, VarTag::Rel, D.Kind});
+  }
+  SplitMix64 Rng(Seed);
+  std::vector<Symbol> Scalars;
+  for (const VarDecl &D : Prog.decls())
+    if (D.Kind == VarKind::Int)
+      Scalars.push_back(D.Name);
+  std::vector<const BoolExpr *> Query = {Pre};
+  if (!Scalars.empty()) {
+    Symbol Pin = Scalars[static_cast<size_t>(
+        Rng.nextInRange(0, static_cast<int64_t>(Scalars.size()) - 1))];
+    Query.push_back(Ctx.eq(Ctx.var(Pin, VarTag::Orig),
+                           Ctx.intLit(Rng.nextInRange(-16, 16))));
+  }
+  Model M;
+  Result<SatResult> R = TheSolver.checkSatWithModel(Query, Wanted, M);
+  if (!R.ok() || *R != SatResult::Sat) {
+    Model M2;
+    R = TheSolver.checkSatWithModel({Pre}, Wanted, M2);
+    if (!R.ok() || *R != SatResult::Sat)
+      return std::nullopt;
+    M = M2;
+  }
+  return std::make_pair(modelToState(Prog, M, VarTag::Orig, 4),
+                        modelToState(Prog, M, VarTag::Rel, 4));
+}
+
+void ProofChecker::checkUnaryStep(const DerivationStep &Step, size_t Index,
+                                  ProofCheckReport &Report) {
+  SemanticsMode Mode = Step.Judgment == JudgmentKind::Original
+                           ? SemanticsMode::Original
+                           : SemanticsMode::Relaxed;
+  for (unsigned Sample = 0; Sample != Opts.SamplesPerStep; ++Sample) {
+    uint64_t Seed = Opts.Seed + 131 * Index + Sample;
+    std::optional<State> Init = sampleState(Step.Pre, VarTag::Plain, Seed);
+    if (!Init) {
+      ++Report.StepsSkipped;
+      return; // unsatisfiable precondition: the step is vacuous
+    }
+    SolverOracle::Options OO;
+    OO.Seed = Seed * 3 + 1;
+    SolverOracle O(Ctx, TheSolver, OO);
+    Interp I(Prog, Ctx.symbols(), O, InterpOptions{Opts.MaxSteps});
+    Outcome Out = I.runStmt(Mode, Step.S, *Init);
+    ++Report.SamplesRun;
+
+    switch (Out.Kind) {
+    case OutcomeKind::Stuck:
+      ++Report.StepsSkipped;
+      continue;
+    case OutcomeKind::Ba:
+      if (Step.Judgment == JudgmentKind::Original)
+        continue; // original executions may violate assumptions (Lemma 2)
+      Report.Violations.push_back(
+          {ProofCheckViolation::Kind::UnexpectedWr, Index,
+           "intermediate-semantics step reached ba: " + Out.Reason});
+      continue;
+    case OutcomeKind::Wr:
+      Report.Violations.push_back(
+          {ProofCheckViolation::Kind::UnexpectedWr, Index,
+           "step reached wr from a precondition model: " + Out.Reason});
+      continue;
+    case OutcomeKind::Ok:
+      break;
+    }
+    Result<bool> PostHolds = holds(Step.Post, Out.FinalState, VarTag::Plain);
+    if (!PostHolds.ok()) {
+      ++Report.StepsSkipped;
+      continue;
+    }
+    if (!*PostHolds)
+      Report.Violations.push_back(
+          {ProofCheckViolation::Kind::UnsoundPost, Index,
+           "rule '" + Step.Rule + "': dynamic execution escaped the " +
+               "recorded postcondition; final state " +
+               formatState(Ctx.symbols(), Out.FinalState)});
+  }
+}
+
+void ProofChecker::checkRelationalStep(const DerivationStep &Step,
+                                       size_t Index,
+                                       ProofCheckReport &Report) {
+  for (unsigned Sample = 0; Sample != Opts.SamplesPerStep; ++Sample) {
+    uint64_t Seed = Opts.Seed + 257 * Index + Sample;
+    auto Pair = samplePair(Step.Pre, Seed);
+    if (!Pair) {
+      ++Report.StepsSkipped;
+      return;
+    }
+    SolverOracle::Options OO;
+    OO.Seed = Seed * 5 + 3;
+    SolverOracle OrigOracle(Ctx, TheSolver, OO);
+    SolverOracle::Options RO;
+    RO.Seed = Seed * 7 + 5;
+    SolverOracle RelOracle(Ctx, TheSolver, RO);
+
+    Interp OrigInterp(Prog, Ctx.symbols(), OrigOracle,
+                      InterpOptions{Opts.MaxSteps});
+    Outcome Orig =
+        OrigInterp.runStmt(SemanticsMode::Original, Step.S, Pair->first);
+    Interp RelInterp(Prog, Ctx.symbols(), RelOracle,
+                     InterpOptions{Opts.MaxSteps});
+    Outcome Rel =
+        RelInterp.runStmt(SemanticsMode::Relaxed, Step.S, Pair->second);
+    ++Report.SamplesRun;
+
+    if (Orig.Kind == OutcomeKind::Stuck || Rel.Kind == OutcomeKind::Stuck) {
+      ++Report.StepsSkipped;
+      continue;
+    }
+    if (Orig.Kind == OutcomeKind::Wr) {
+      Report.Violations.push_back(
+          {ProofCheckViolation::Kind::UnexpectedWr, Index,
+           "original side reached wr: " + Orig.Reason});
+      continue;
+    }
+    if (Orig.Kind == OutcomeKind::Ba)
+      continue; // pairs whose original run fails an assumption are exempt
+    if (Rel.isError()) {
+      Report.Violations.push_back(
+          {ProofCheckViolation::Kind::UnexpectedWr, Index,
+           "relaxed side erred while the original succeeded (violates "
+           "relative progress): " +
+               Rel.Reason});
+      continue;
+    }
+    Result<bool> PostHolds =
+        holdsPair(Step.Post, Orig.FinalState, Rel.FinalState);
+    if (!PostHolds.ok()) {
+      ++Report.StepsSkipped;
+      continue;
+    }
+    if (!*PostHolds)
+      Report.Violations.push_back(
+          {ProofCheckViolation::Kind::UnsoundPost, Index,
+           "rule '" + Step.Rule + "': execution pair escaped the recorded " +
+               "relational postcondition"});
+  }
+}
+
+ProofCheckReport ProofChecker::check(const VCSet &Set) {
+  ProofCheckReport Report;
+
+  // 1. Re-discharge every VC.
+  for (size_t I = 0, E = Set.VCs.size(); I != E; ++I) {
+    const VC &C = Set.VCs[I];
+    Result<SatResult> R =
+        C.Kind == VCKind::Validity
+            ? TheSolver.checkSat({Ctx.notExpr(C.Formula)})
+            : TheSolver.checkSat({C.Formula});
+    if (!R.ok() || *R == SatResult::Unknown) {
+      ++Report.StepsSkipped;
+      continue;
+    }
+    bool Proved = C.Kind == VCKind::Validity ? *R == SatResult::Unsat
+                                             : *R == SatResult::Sat;
+    if (!Proved)
+      Report.Violations.push_back({ProofCheckViolation::Kind::VCRejected, I,
+                                   "VC '" + C.Rule + "' rejected: " +
+                                       C.Description});
+  }
+
+  // 2. Differentially test every derivation step against the interpreter.
+  for (size_t I = 0, E = Set.Derivation.size(); I != E; ++I) {
+    const DerivationStep &Step = Set.Derivation[I];
+    if (!Step.S || !Step.Pre || !Step.Post)
+      continue;
+    ++Report.StepsChecked;
+    if (Step.Judgment == JudgmentKind::Relaxed)
+      checkRelationalStep(Step, I, Report);
+    else
+      checkUnaryStep(Step, I, Report);
+  }
+  return Report;
+}

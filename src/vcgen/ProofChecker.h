@@ -1,0 +1,104 @@
+//===- ProofChecker.h - Independent derivation validation ----------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper machine-checks its proof rules against the dynamic semantics
+/// in Coq (Lemmas 1, 3, 5). This checker plays the analogous role for the
+/// implementation: it re-validates a recorded derivation *against the
+/// interpreter*, independently of the VC generator that produced it.
+///
+/// For every recorded step {P} s {Q} (or {P*} s {Q*}):
+///   1. draw satisfying models of the precondition with the solver,
+///   2. execute s under the step's dynamic semantics (⇓o for |-o steps;
+///      ⇓r for |-i steps; an (⇓o, ⇓r) pair for |-r steps),
+///   3. check the resulting state (pair) satisfies the postcondition —
+///      decided by the solver, so quantified postconditions are exact.
+///
+/// A violation means the generator assigned an unsound postcondition — a
+/// bug in a proof rule's implementation, precisely what Coq soundness
+/// lemmas rule out for the paper. The checker also re-discharges every VC,
+/// optionally with a different backend (cross-checking the Z3 translation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_VCGEN_PROOFCHECKER_H
+#define RELAXC_VCGEN_PROOFCHECKER_H
+
+#include "eval/Interp.h"
+#include "vcgen/Verifier.h"
+
+namespace relax {
+
+/// One detected problem.
+struct ProofCheckViolation {
+  enum class Kind {
+    UnsoundPost,   ///< dynamic execution escaped the postcondition
+    UnexpectedWr,  ///< a proved step still reached wr dynamically
+    VCRejected,    ///< a VC failed under the checking solver
+  };
+  Kind ViolationKind = Kind::UnsoundPost;
+  size_t StepIndex = 0; ///< index into derivation / VC list
+  std::string Detail;
+};
+
+/// Result of checking one derivation.
+struct ProofCheckReport {
+  size_t StepsChecked = 0;
+  size_t SamplesRun = 0;
+  size_t StepsSkipped = 0; ///< unsatisfiable pre / solver unknown / stuck
+  std::vector<ProofCheckViolation> Violations;
+
+  bool ok() const { return Violations.empty(); }
+};
+
+/// Re-validates derivations against the dynamic semantics.
+class ProofChecker {
+public:
+  struct Options {
+    unsigned SamplesPerStep = 3;
+    uint64_t Seed = 1;
+    uint64_t MaxSteps = 200'000; ///< interpreter fuel per sample
+  };
+
+  ProofChecker(AstContext &Ctx, const Program &Prog, Solver &S)
+      : Ctx(Ctx), Prog(Prog), TheSolver(S) {}
+  ProofChecker(AstContext &Ctx, const Program &Prog, Solver &S, Options Opts)
+      : Ctx(Ctx), Prog(Prog), TheSolver(S), Opts(Opts) {}
+
+  /// Checks every step of \p Set's derivation and re-discharges its VCs.
+  ProofCheckReport check(const VCSet &Set);
+
+private:
+  AstContext &Ctx;
+  const Program &Prog;
+  Solver &TheSolver;
+  Options Opts;
+
+  /// Draws a model of \p Pre restricted to the given tag's variables and
+  /// converts it into an interpreter state (missing variables default to
+  /// zero / empty arrays of a small length).
+  std::optional<State> sampleState(const BoolExpr *Pre, VarTag Tag,
+                                   uint64_t Seed);
+  std::optional<std::pair<State, State>> samplePair(const BoolExpr *Pre,
+                                                    uint64_t Seed);
+
+  /// Solver-decided state satisfaction: σ (or the pair) ⊨ F.
+  Result<bool> holds(const BoolExpr *F, const State &S, VarTag Tag);
+  Result<bool> holdsPair(const BoolExpr *F, const State &O, const State &R);
+
+  void checkUnaryStep(const DerivationStep &Step, size_t Index,
+                      ProofCheckReport &Report);
+  void checkRelationalStep(const DerivationStep &Step, size_t Index,
+                           ProofCheckReport &Report);
+
+  /// Builds formulas binding every program variable to its value in \p S.
+  std::vector<const BoolExpr *> bindState(const State &S, VarTag Tag);
+};
+
+} // namespace relax
+
+#endif // RELAXC_VCGEN_PROOFCHECKER_H

@@ -1,0 +1,650 @@
+//===- RelationalVCGen.cpp - Axiomatic relaxed semantics ----------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vcgen/RelationalVCGen.h"
+
+#include "logic/Simplify.h"
+#include "sema/Sema.h"
+#include "support/Casting.h"
+#include "vcgen/Safety.h"
+
+#include <cassert>
+
+using namespace relax;
+
+RelationalVCGen::RelationalVCGen(AstContext &Ctx, const Program &Prog,
+                                 DiagnosticEngine &Diags, VCGenOptions Opts)
+    : Ctx(Ctx), Prog(Prog), Diags(Diags), Opts(Opts), Simp(Ctx) {}
+
+const BoolExpr *RelationalVCGen::maybeSimplify(const BoolExpr *B) {
+  return Opts.Simplify ? Simp.simplify(B) : B;
+}
+
+void RelationalVCGen::emitValidity(const BoolExpr *F, const char *Rule,
+                                   SourceLoc Loc, std::string Description) {
+  VC V;
+  V.Kind = VCKind::Validity;
+  V.Judgment = JudgmentKind::Relaxed;
+  V.Formula = maybeSimplify(F);
+  V.Rule = Rule;
+  V.Loc = Loc;
+  V.Description = std::move(Description);
+  Out.VCs.push_back(std::move(V));
+}
+
+void RelationalVCGen::emitSat(const BoolExpr *F, const char *Rule,
+                              SourceLoc Loc, std::string Description) {
+  VC V;
+  V.Kind = VCKind::Satisfiability;
+  V.Judgment = JudgmentKind::Relaxed;
+  V.Formula = maybeSimplify(F);
+  V.Rule = Rule;
+  V.Loc = Loc;
+  V.Description = std::move(Description);
+  Out.VCs.push_back(std::move(V));
+}
+
+void RelationalVCGen::emitSafetyBoth(const BoolExpr *Pre,
+                                     const BoolExpr *ProgramBool,
+                                     const char *Rule, SourceLoc Loc) {
+  if (!Opts.CheckSafety)
+    return;
+  const BoolExpr *Safe = safetyCondition(Ctx, ProgramBool);
+  if (const auto *Lit = dyn_cast<BoolLitExpr>(Safe); Lit && Lit->value())
+    return;
+  // The original side's safety is re-established here (it also follows from
+  // the |-o pass); the relaxed side is the genuinely new obligation.
+  emitValidity(Ctx.implies(Pre, Ctx.andExpr(inject(Ctx, Safe, VarTag::Orig),
+                                            inject(Ctx, Safe, VarTag::Rel))),
+               Rule, Loc, "evaluation cannot trap in either execution");
+}
+
+void RelationalVCGen::emitSafetyBoth(const BoolExpr *Pre,
+                                     const Expr *ProgramExpr,
+                                     const char *Rule, SourceLoc Loc) {
+  if (!Opts.CheckSafety)
+    return;
+  const BoolExpr *Safe = safetyCondition(Ctx, ProgramExpr);
+  if (const auto *Lit = dyn_cast<BoolLitExpr>(Safe); Lit && Lit->value())
+    return;
+  emitValidity(Ctx.implies(Pre, Ctx.andExpr(inject(Ctx, Safe, VarTag::Orig),
+                                            inject(Ctx, Safe, VarTag::Rel))),
+               Rule, Loc, "evaluation cannot trap in either execution");
+}
+
+void RelationalVCGen::record(const char *Rule, const Stmt *S,
+                             const BoolExpr *Pre, const BoolExpr *Post) {
+  DerivationStep Step;
+  Step.Rule = Rule;
+  Step.Judgment = JudgmentKind::Relaxed;
+  Step.Loc = S->loc();
+  Step.S = S;
+  Step.Pre = Pre;
+  Step.Post = Post;
+  Out.Derivation.push_back(std::move(Step));
+}
+
+const BoolExpr *RelationalVCGen::bothTrue(const BoolExpr *B) {
+  return Ctx.andExpr(inject(Ctx, B, VarTag::Orig),
+                     inject(Ctx, B, VarTag::Rel));
+}
+
+const BoolExpr *RelationalVCGen::bothFalse(const BoolExpr *B) {
+  return Ctx.andExpr(Ctx.notExpr(inject(Ctx, B, VarTag::Orig)),
+                     Ctx.notExpr(inject(Ctx, B, VarTag::Rel)));
+}
+
+void RelationalVCGen::emitConvergence(const BoolExpr *Pre,
+                                      const BoolExpr *Cond, const char *Rule,
+                                      SourceLoc Loc) {
+  emitValidity(
+      Ctx.implies(Pre, Ctx.orExpr(bothTrue(Cond), bothFalse(Cond))), Rule,
+      Loc,
+      "control flow is convergent: both executions take the same branch "
+      "(add a `diverge` annotation if they may not)");
+}
+
+const BoolExpr *RelationalVCGen::freshenSide(const ChoiceStmtBase *S,
+                                             const BoolExpr *Pre,
+                                             VarTag Tag) {
+  Subst Rename;
+  std::vector<std::pair<Symbol, VarKind>> Fresh;
+  for (size_t I = 0, E = S->varCount(); I != E; ++I) {
+    Symbol V = S->var(I);
+    VarKind Kind = Prog.kindOf(V).value_or(VarKind::Int);
+    Symbol F = Ctx.freshSym(V);
+    Fresh.emplace_back(F, Kind);
+    if (Kind == VarKind::Int)
+      Rename.mapVar(V, Tag, Ctx.var(F, Tag));
+    else
+      Rename.mapArray(V, Tag, Ctx.arrayRef(F, Tag));
+  }
+  const BoolExpr *Renamed = substitute(Ctx, Pre, Rename);
+
+  std::vector<const BoolExpr *> LenLinks;
+  for (size_t I = 0, E = S->varCount(); I != E; ++I) {
+    Symbol V = S->var(I);
+    if (Prog.kindOf(V).value_or(VarKind::Int) != VarKind::Array)
+      continue;
+    LenLinks.push_back(Ctx.eq(Ctx.arrayLen(Ctx.arrayRef(V, Tag)),
+                              Ctx.arrayLen(Ctx.arrayRef(Fresh[I].first, Tag))));
+  }
+  const BoolExpr *Body = Ctx.conj({Renamed, Ctx.conj(LenLinks)});
+
+  const BoolExpr *Quantified = Body;
+  for (const auto &[F, Kind] : Fresh)
+    Quantified = Ctx.exists(F, Tag, Kind, Quantified);
+  return Quantified;
+}
+
+const BoolExpr *RelationalVCGen::genAssertOrAssume(const BoolExpr *Pred,
+                                                   SourceLoc Loc,
+                                                   const BoolExpr *Pre,
+                                                   const char *Rule) {
+  const BoolExpr *InjO = inject(Ctx, Pred, VarTag::Orig);
+  const BoolExpr *InjR = inject(Ctx, Pred, VarTag::Rel);
+  // Relational transfer: assuming the original execution satisfied the
+  // predicate (established by |-o for assert; assumed for assume), the
+  // relation must establish it for the relaxed execution.
+  emitValidity(Ctx.implies(Ctx.andExpr(Pre, InjO), InjR), Rule, Loc,
+               "the predicate transfers from the original to the relaxed "
+               "execution");
+  if (Opts.CheckSafety) {
+    const BoolExpr *Safe = safetyCondition(Ctx, Pred);
+    if (const auto *Lit = dyn_cast<BoolLitExpr>(Safe); !Lit || !Lit->value())
+      emitValidity(
+          Ctx.implies(Ctx.conj({Pre, InjO, inject(Ctx, Safe, VarTag::Orig)}),
+                      inject(Ctx, Safe, VarTag::Rel)),
+          Rule, Loc, "relaxed-side evaluation cannot trap");
+  }
+  return maybeSimplify(Ctx.conj({Pre, InjO, InjR}));
+}
+
+const BoolExpr *RelationalVCGen::genDiverge(const Stmt *S,
+                                            const DivergeAnnotation *D,
+                                            const BoolExpr *Pre) {
+  const BoolExpr *Po = D->PreOrig ? D->PreOrig : Ctx.trueExpr();
+  const BoolExpr *Pr = D->PreRel ? D->PreRel : Ctx.trueExpr();
+  const BoolExpr *Qo = D->PostOrig ? D->PostOrig : Ctx.trueExpr();
+  const BoolExpr *Qr = D->PostRel ? D->PostRel : Ctx.trueExpr();
+
+  // no_rel(s): relate statements have no meaning without lockstep.
+  if (containsRelate(S)) {
+    Diags.error(S->loc(), "diverge rule applied to a statement containing "
+                          "relate (no_rel violated)");
+    return Ctx.falseExpr();
+  }
+
+  // P* |=o Po and P* |=r Pr (projection entailments, Section 3.1.2).
+  emitValidity(Ctx.implies(Pre, inject(Ctx, Po, VarTag::Orig)), "diverge",
+               S->loc(),
+               "the original projection of the precondition implies the "
+               "diverge pre_orig annotation");
+  emitValidity(Ctx.implies(Pre, inject(Ctx, Pr, VarTag::Rel)), "diverge",
+               S->loc(),
+               "the relaxed projection of the precondition implies the "
+               "diverge pre_rel annotation");
+
+  // |-o {Po} s {Qo}: the original execution runs solo.
+  {
+    UnaryVCGen Sub(Ctx, Prog, JudgmentKind::Original, Diags, Opts);
+    Sub.genTriple(Po, S, Qo);
+    VCSet SubSet = Sub.take();
+    for (VC &V : SubSet.VCs)
+      V.Rule = "diverge/" + V.Rule;
+    for (DerivationStep &St : SubSet.Derivation)
+      St.Rule = "diverge/" + St.Rule;
+    Out.append(std::move(SubSet));
+  }
+  // |-i {Pr} s {Qr}: the relaxed execution runs solo and must be
+  // inherently error free (Lemma 4 powers Theorem 7 here).
+  {
+    UnaryVCGen Sub(Ctx, Prog, JudgmentKind::Intermediate, Diags, Opts);
+    Sub.genTriple(Pr, S, Qr);
+    VCSet SubSet = Sub.take();
+    for (VC &V : SubSet.VCs)
+      V.Rule = "diverge/" + V.Rule;
+    for (DerivationStep &St : SubSet.Derivation)
+      St.Rule = "diverge/" + St.Rule;
+    Out.append(std::move(SubSet));
+  }
+
+  // Relational frame rule: a relational formula over variables the
+  // statement does not modify survives the divergence.
+  const BoolExpr *Frame = Ctx.trueExpr();
+  if (D->Frame) {
+    VarRefSet Mod = modifiedVars(S, Prog);
+    VarRefSet FrameVars = freeVars(D->Frame);
+    for (const VarRef &V : FrameVars) {
+      // Frame variables are tagged; compare by name against the (Plain)
+      // modified set.
+      if (Mod.count(VarRef{V.Name, VarTag::Plain, V.Kind})) {
+        Diags.error(S->loc(),
+                    "diverge frame references a variable the statement "
+                    "modifies");
+        return Ctx.falseExpr();
+      }
+    }
+    emitValidity(Ctx.implies(Pre, D->Frame), "diverge", S->loc(),
+                 "the precondition establishes the frame");
+    Frame = D->Frame;
+  }
+
+  // Automatic semantic frame: the statement modifies only mod(s), so the
+  // precondition with those variables existentially rebound on *both*
+  // sides persists across the divergence (the relational frame rule
+  // applied to all of P* at once; it subsumes the explicit Frame, which
+  // remains useful as a cheaper-to-instantiate hint for the solver).
+  // Array lengths are execution-invariant, so length links are kept.
+  const BoolExpr *AutoFrame;
+  {
+    VarRefSet Mod = modifiedVars(S, Prog);
+    Subst Rename;
+    std::vector<std::tuple<Symbol, VarKind, VarTag>> Fresh;
+    std::vector<const BoolExpr *> LenLinks;
+    for (const VarRef &V : Mod) {
+      for (VarTag Tag : {VarTag::Orig, VarTag::Rel}) {
+        Symbol F = Ctx.freshSym(V.Name);
+        Fresh.emplace_back(F, V.Kind, Tag);
+        if (V.Kind == VarKind::Int) {
+          Rename.mapVar(V.Name, Tag, Ctx.var(F, Tag));
+        } else {
+          Rename.mapArray(V.Name, Tag, Ctx.arrayRef(F, Tag));
+          LenLinks.push_back(Ctx.eq(Ctx.arrayLen(Ctx.arrayRef(V.Name, Tag)),
+                                    Ctx.arrayLen(Ctx.arrayRef(F, Tag))));
+        }
+      }
+    }
+    const BoolExpr *Body =
+        Ctx.conj({substitute(Ctx, Pre, Rename), Ctx.conj(LenLinks)});
+    for (const auto &[F, Kind, Tag] : Fresh)
+      Body = Ctx.exists(F, Tag, Kind, Body);
+    AutoFrame = Body;
+  }
+
+  const BoolExpr *Post = maybeSimplify(
+      Ctx.conj({inject(Ctx, Qo, VarTag::Orig), inject(Ctx, Qr, VarTag::Rel),
+                Frame, AutoFrame}));
+  record("diverge", S, Pre, Post);
+  return Post;
+}
+
+void RelationalVCGen::emitSafetyOneSided(const BoolExpr *Pre,
+                                         const BoolExpr *Safe, VarTag Side,
+                                         const char *Rule, SourceLoc Loc) {
+  if (!Opts.CheckSafety)
+    return;
+  if (const auto *Lit = dyn_cast<BoolLitExpr>(Safe); Lit && Lit->value())
+    return;
+  emitValidity(Ctx.implies(Pre, inject(Ctx, Safe, Side)), Rule, Loc,
+               std::string("evaluation cannot trap in the ") +
+                   (Side == VarTag::Orig ? "original" : "relaxed") +
+                   " execution");
+}
+
+const BoolExpr *RelationalVCGen::genStmtOneSided(const Stmt *S,
+                                                 const BoolExpr *Pre,
+                                                 VarTag Side) {
+  const char *RulePrefix =
+      Side == VarTag::Orig ? "cases/orig" : "cases/rel";
+  switch (S->kind()) {
+  case Stmt::Kind::Skip:
+    return Pre;
+
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    emitSafetyOneSided(Pre, safetyCondition(Ctx, A->value()), Side,
+                       RulePrefix, S->loc());
+    Symbol X = A->var();
+    Symbol X0 = Ctx.freshSym(X);
+    Subst Rename;
+    Rename.mapVar(X, Side, Ctx.var(X0, Side));
+    const BoolExpr *Renamed = substitute(Ctx, Pre, Rename);
+    const Expr *RHS = substitute(Ctx, inject(Ctx, A->value(), Side), Rename);
+    return maybeSimplify(Ctx.exists(
+        X0, Side, VarKind::Int,
+        Ctx.andExpr(Renamed, Ctx.eq(Ctx.var(X, Side), RHS))));
+  }
+
+  case Stmt::Kind::ArrayAssign: {
+    const auto *A = cast<ArrayAssignStmt>(S);
+    emitSafetyOneSided(Pre, safetyCondition(Ctx, A->index()), Side,
+                       RulePrefix, S->loc());
+    emitSafetyOneSided(Pre, safetyCondition(Ctx, A->value()), Side,
+                       RulePrefix, S->loc());
+    if (Opts.CheckSafety) {
+      const ArrayExpr *Arr = Ctx.arrayRef(A->array(), VarTag::Plain);
+      const BoolExpr *InBounds =
+          Ctx.andExpr(Ctx.ge(A->index(), Ctx.intLit(0)),
+                      Ctx.lt(A->index(), Ctx.arrayLen(Arr)));
+      emitValidity(Ctx.implies(Pre, inject(Ctx, InBounds, Side)), RulePrefix,
+                   S->loc(), "array store index is in bounds");
+    }
+    Symbol X = A->array();
+    Symbol X0 = Ctx.freshSym(X);
+    Subst Rename;
+    Rename.mapArray(X, Side, Ctx.arrayRef(X0, Side));
+    const BoolExpr *Renamed = substitute(Ctx, Pre, Rename);
+    const Expr *Idx = substitute(Ctx, inject(Ctx, A->index(), Side), Rename);
+    const Expr *Val = substitute(Ctx, inject(Ctx, A->value(), Side), Rename);
+    const ArrayExpr *NewVal = Ctx.arrayStore(Ctx.arrayRef(X0, Side), Idx, Val);
+    return maybeSimplify(Ctx.exists(
+        X0, Side, VarKind::Array,
+        Ctx.andExpr(Renamed, Ctx.arrayEq(Ctx.arrayRef(X, Side), NewVal))));
+  }
+
+  case Stmt::Kind::Havoc: {
+    const auto *H = cast<HavocStmt>(S);
+    emitSat(Ctx.andExpr(freshenSide(H, Pre, Side),
+                        inject(Ctx, H->pred(), Side)),
+            RulePrefix, S->loc(), "the havoc predicate is satisfiable");
+    return maybeSimplify(Ctx.andExpr(freshenSide(H, Pre, Side),
+                                     inject(Ctx, H->pred(), Side)));
+  }
+
+  case Stmt::Kind::Relax: {
+    const auto *R = cast<RelaxStmt>(S);
+    if (Side == VarTag::Orig)
+      // The original semantics executes relax as an assert of e (proved by
+      // the |-o pass); a successful original execution establishes e.
+      return maybeSimplify(
+          Ctx.andExpr(Pre, inject(Ctx, R->pred(), VarTag::Orig)));
+    emitSat(Ctx.andExpr(freshenSide(R, Pre, VarTag::Rel),
+                        inject(Ctx, R->pred(), VarTag::Rel)),
+            RulePrefix, S->loc(), "the relaxation predicate is satisfiable");
+    return maybeSimplify(Ctx.andExpr(freshenSide(R, Pre, VarTag::Rel),
+                                     inject(Ctx, R->pred(), VarTag::Rel)));
+  }
+
+  case Stmt::Kind::Assert:
+  case Stmt::Kind::Assume: {
+    const BoolExpr *Pred = S->kind() == Stmt::Kind::Assert
+                               ? cast<AssertStmt>(S)->pred()
+                               : cast<AssumeStmt>(S)->pred();
+    if (Side == VarTag::Orig)
+      // Established (assert) or assumed (assume) by the original pass.
+      return maybeSimplify(Ctx.andExpr(Pre, inject(Ctx, Pred, VarTag::Orig)));
+    // The relaxed execution runs without an original counterpart, so both
+    // assert and assume carry full obligations (as in |-i, Figure 9).
+    emitSafetyOneSided(Pre, safetyCondition(Ctx, Pred), Side, RulePrefix,
+                       S->loc());
+    emitValidity(Ctx.implies(Pre, inject(Ctx, Pred, VarTag::Rel)), RulePrefix,
+                 S->loc(),
+                 "the predicate holds for the relaxed execution in this "
+                 "branch combination");
+    return maybeSimplify(Ctx.andExpr(Pre, inject(Ctx, Pred, VarTag::Rel)));
+  }
+
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    emitSafetyOneSided(Pre, safetyCondition(Ctx, I->cond()), Side, RulePrefix,
+                       S->loc());
+    const BoolExpr *B = inject(Ctx, I->cond(), Side);
+    const BoolExpr *ThenPost = genStmtOneSided(
+        I->thenStmt(), maybeSimplify(Ctx.andExpr(Pre, B)), Side);
+    const BoolExpr *ElsePost = genStmtOneSided(
+        I->elseStmt(), maybeSimplify(Ctx.andExpr(Pre, Ctx.notExpr(B))), Side);
+    return maybeSimplify(Ctx.orExpr(ThenPost, ElsePost));
+  }
+
+  case Stmt::Kind::Seq: {
+    const auto *Q = cast<SeqStmt>(S);
+    const BoolExpr *Mid = genStmtOneSided(Q->first(), Pre, Side);
+    return genStmtOneSided(Q->second(), Mid, Side);
+  }
+
+  case Stmt::Kind::While:
+  case Stmt::Kind::Relate:
+    Diags.error(S->loc(), "loops and relate statements cannot appear inside "
+                          "a 'diverge cases' region");
+    return Ctx.falseExpr();
+  }
+  return Pre;
+}
+
+const BoolExpr *RelationalVCGen::genIfCases(const IfStmt *I,
+                                            const BoolExpr *Pre) {
+  emitSafetyBoth(Pre, I->cond(), "cases", I->loc());
+  const BoolExpr *Bo = inject(Ctx, I->cond(), VarTag::Orig);
+  const BoolExpr *Br = inject(Ctx, I->cond(), VarTag::Rel);
+
+  std::vector<const BoolExpr *> CasePosts;
+  struct Combo {
+    bool OrigTaken;
+    bool RelTaken;
+  };
+  for (Combo C : {Combo{true, true}, Combo{true, false}, Combo{false, true},
+                  Combo{false, false}}) {
+    const BoolExpr *CasePre = maybeSimplify(Ctx.conj(
+        {Pre, C.OrigTaken ? Bo : Ctx.notExpr(Bo),
+         C.RelTaken ? Br : Ctx.notExpr(Br)}));
+    const Stmt *OrigStmt = C.OrigTaken ? I->thenStmt() : I->elseStmt();
+    const Stmt *RelStmt = C.RelTaken ? I->thenStmt() : I->elseStmt();
+    const BoolExpr *AfterOrig =
+        genStmtOneSided(OrigStmt, CasePre, VarTag::Orig);
+    const BoolExpr *AfterBoth =
+        genStmtOneSided(RelStmt, AfterOrig, VarTag::Rel);
+    CasePosts.push_back(AfterBoth);
+  }
+  const BoolExpr *Post = maybeSimplify(Ctx.disj(CasePosts));
+  record("diverge-cases", I, Pre, Post);
+  return Post;
+}
+
+const BoolExpr *RelationalVCGen::genStmt(const Stmt *S, const BoolExpr *Pre) {
+  switch (S->kind()) {
+  case Stmt::Kind::Skip:
+    record("skip", S, Pre, Pre);
+    return Pre;
+
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    emitSafetyBoth(Pre, A->value(), "assign", S->loc());
+    Symbol X = A->var();
+    const BoolExpr *Post = Pre;
+    // Both executions perform the assignment in lockstep; rename each
+    // side's target and conjoin its defining equation.
+    for (VarTag Tag : {VarTag::Orig, VarTag::Rel}) {
+      Symbol X0 = Ctx.freshSym(X);
+      Subst Rename;
+      Rename.mapVar(X, Tag, Ctx.var(X0, Tag));
+      const BoolExpr *Renamed = substitute(Ctx, Post, Rename);
+      const Expr *RHS =
+          substitute(Ctx, inject(Ctx, A->value(), Tag), Rename);
+      Post = Ctx.exists(X0, Tag, VarKind::Int,
+                        Ctx.andExpr(Renamed, Ctx.eq(Ctx.var(X, Tag), RHS)));
+    }
+    Post = maybeSimplify(Post);
+    record("assign", S, Pre, Post);
+    return Post;
+  }
+
+  case Stmt::Kind::ArrayAssign: {
+    const auto *A = cast<ArrayAssignStmt>(S);
+    emitSafetyBoth(Pre, A->index(), "array-assign", S->loc());
+    emitSafetyBoth(Pre, A->value(), "array-assign", S->loc());
+    if (Opts.CheckSafety) {
+      const ArrayExpr *Arr = Ctx.arrayRef(A->array(), VarTag::Plain);
+      const BoolExpr *InBounds =
+          Ctx.andExpr(Ctx.ge(A->index(), Ctx.intLit(0)),
+                      Ctx.lt(A->index(), Ctx.arrayLen(Arr)));
+      emitValidity(Ctx.implies(Pre, Ctx.andExpr(
+                                        inject(Ctx, InBounds, VarTag::Orig),
+                                        inject(Ctx, InBounds, VarTag::Rel))),
+                   "array-assign", S->loc(),
+                   "array store index is in bounds in both executions");
+    }
+    Symbol X = A->array();
+    const BoolExpr *Post = Pre;
+    for (VarTag Tag : {VarTag::Orig, VarTag::Rel}) {
+      Symbol X0 = Ctx.freshSym(X);
+      Subst Rename;
+      Rename.mapArray(X, Tag, Ctx.arrayRef(X0, Tag));
+      const BoolExpr *Renamed = substitute(Ctx, Post, Rename);
+      const Expr *Idx = substitute(Ctx, inject(Ctx, A->index(), Tag), Rename);
+      const Expr *Val = substitute(Ctx, inject(Ctx, A->value(), Tag), Rename);
+      const ArrayExpr *NewVal =
+          Ctx.arrayStore(Ctx.arrayRef(X0, Tag), Idx, Val);
+      Post = Ctx.exists(X0, Tag, VarKind::Array,
+                        Ctx.andExpr(Renamed,
+                                    Ctx.arrayEq(Ctx.arrayRef(X, Tag),
+                                                NewVal)));
+    }
+    Post = maybeSimplify(Post);
+    record("array-assign", S, Pre, Post);
+    return Post;
+  }
+
+  case Stmt::Kind::Havoc: {
+    const auto *H = cast<HavocStmt>(S);
+    // Both executions choose independently, each subject to e.
+    emitSat(Ctx.andExpr(freshenSide(H, Pre, VarTag::Orig),
+                        inject(Ctx, H->pred(), VarTag::Orig)),
+            "havoc", S->loc(),
+            "the original execution's havoc predicate is satisfiable");
+    emitSat(Ctx.andExpr(freshenSide(H, Pre, VarTag::Rel),
+                        inject(Ctx, H->pred(), VarTag::Rel)),
+            "havoc", S->loc(),
+            "the relaxed execution's havoc predicate is satisfiable");
+    const BoolExpr *Fresh =
+        freshenSide(H, freshenSide(H, Pre, VarTag::Orig), VarTag::Rel);
+    const BoolExpr *Post = maybeSimplify(
+        Ctx.conj({Fresh, inject(Ctx, H->pred(), VarTag::Orig),
+                  inject(Ctx, H->pred(), VarTag::Rel)}));
+    record("havoc", S, Pre, Post);
+    return Post;
+  }
+
+  case Stmt::Kind::Relax: {
+    const auto *R = cast<RelaxStmt>(S);
+    // Figure 8 relax rule: only the relaxed side re-chooses X; the
+    // original side keeps its values (relax is a no-op under ⇓o).
+    emitSat(Ctx.andExpr(freshenSide(R, Pre, VarTag::Rel),
+                        inject(Ctx, R->pred(), VarTag::Rel)),
+            "relax", S->loc(),
+            "the relaxation predicate is satisfiable for the relaxed "
+            "execution");
+    const BoolExpr *Fresh = freshenSide(R, Pre, VarTag::Rel);
+    // <e . e>: the original execution satisfied e as an assert (so it is
+    // available), and the relaxed execution's new values satisfy e.
+    const BoolExpr *Post = maybeSimplify(
+        Ctx.conj({Fresh, inject(Ctx, R->pred(), VarTag::Orig),
+                  inject(Ctx, R->pred(), VarTag::Rel)}));
+    record("relax", S, Pre, Post);
+    return Post;
+  }
+
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    if (const DivergeAnnotation *D = I->diverge()) {
+      if (D->CaseAnalysis)
+        return genIfCases(I, Pre);
+      return genDiverge(S, D, Pre);
+    }
+    emitSafetyBoth(Pre, I->cond(), "if", S->loc());
+    emitConvergence(Pre, I->cond(), "if", S->loc());
+    const BoolExpr *ThenPre = maybeSimplify(Ctx.andExpr(Pre, bothTrue(I->cond())));
+    const BoolExpr *ElsePre =
+        maybeSimplify(Ctx.andExpr(Pre, bothFalse(I->cond())));
+    const BoolExpr *ThenPost = genStmt(I->thenStmt(), ThenPre);
+    const BoolExpr *ElsePost = genStmt(I->elseStmt(), ElsePre);
+    const BoolExpr *Post = maybeSimplify(Ctx.orExpr(ThenPost, ElsePost));
+    record("if", S, Pre, Post);
+    return Post;
+  }
+
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    if (const DivergeAnnotation *D = W->diverge())
+      return genDiverge(S, D, Pre);
+    const BoolExpr *Inv = W->annotations()->RelInvariant;
+    if (!Inv) {
+      Diags.warning(S->loc(), "while loop has no relational invariant; "
+                              "defaulting to 'true'");
+      Inv = Ctx.trueExpr();
+    }
+    emitValidity(Ctx.implies(Pre, Inv), "while", S->loc(),
+                 "the relational loop invariant holds on entry");
+    emitConvergence(Inv, W->cond(), "while", S->loc());
+    emitSafetyBoth(Inv, W->cond(), "while", S->loc());
+    const BoolExpr *BodyPre =
+        maybeSimplify(Ctx.andExpr(Inv, bothTrue(W->cond())));
+
+    // Relative termination (the paper's Section 6 anticipation): control
+    // flow is convergent, so both executions take the same trip count. A
+    // variant on the *original* side therefore bounds both executions: if
+    // the original loop terminates, the relaxed loop terminates with it.
+    const Expr *Variant = W->annotations()->Variant;
+    Symbol Snapshot;
+    if (Variant) {
+      const Expr *VariantO = inject(Ctx, Variant, VarTag::Orig);
+      emitValidity(Ctx.implies(BodyPre, Ctx.ge(VariantO, Ctx.intLit(0))),
+                   "while:variant", S->loc(),
+                   "the original execution's variant is bounded below");
+      Snapshot = Ctx.freshSym(Ctx.sym("variant"));
+      BodyPre = maybeSimplify(Ctx.andExpr(
+          BodyPre, Ctx.eq(VariantO, Ctx.var(Snapshot, VarTag::Orig))));
+    }
+
+    const BoolExpr *BodyPost = genStmt(W->body(), BodyPre);
+    emitValidity(Ctx.implies(BodyPost, Inv), "while", S->loc(),
+                 "the relational loop invariant is preserved by the body");
+    if (Variant)
+      emitValidity(
+          Ctx.implies(BodyPost, Ctx.lt(inject(Ctx, Variant, VarTag::Orig),
+                                       Ctx.var(Snapshot, VarTag::Orig))),
+          "while:variant", S->loc(),
+          "the original execution's variant strictly decreases (relative "
+          "termination)");
+    const BoolExpr *Post =
+        maybeSimplify(Ctx.andExpr(Inv, bothFalse(W->cond())));
+    record("while", S, Pre, Post);
+    return Post;
+  }
+
+  case Stmt::Kind::Assume: {
+    const auto *A = cast<AssumeStmt>(S);
+    const BoolExpr *Post =
+        genAssertOrAssume(A->pred(), S->loc(), Pre, "assume");
+    record("assume", S, Pre, Post);
+    return Post;
+  }
+
+  case Stmt::Kind::Assert: {
+    const auto *A = cast<AssertStmt>(S);
+    const BoolExpr *Post =
+        genAssertOrAssume(A->pred(), S->loc(), Pre, "assert");
+    record("assert", S, Pre, Post);
+    return Post;
+  }
+
+  case Stmt::Kind::Relate: {
+    const auto *R = cast<RelateStmt>(S);
+    emitValidity(Ctx.implies(Pre, R->pred()), "relate", S->loc(),
+                 "the relate predicate holds for all lockstep pairs "
+                 "reaching this point");
+    const BoolExpr *Post = maybeSimplify(Ctx.andExpr(Pre, R->pred()));
+    record("relate", S, Pre, Post);
+    return Post;
+  }
+
+  case Stmt::Kind::Seq: {
+    const auto *Q = cast<SeqStmt>(S);
+    const BoolExpr *Mid = genStmt(Q->first(), Pre);
+    return genStmt(Q->second(), Mid);
+  }
+  }
+  return Pre;
+}
+
+void RelationalVCGen::genTriple(const BoolExpr *Pre, const Stmt *S,
+                                const BoolExpr *Post) {
+  const BoolExpr *SP = genStmt(S, Pre);
+  emitValidity(Ctx.implies(SP, Post), "consequence", S->loc(),
+               "the relational postcondition follows from the strongest "
+               "postcondition");
+}

@@ -1,0 +1,101 @@
+//===- Safety.cpp - Runtime-trap safety preconditions -------------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vcgen/Safety.h"
+
+#include "support/Casting.h"
+
+using namespace relax;
+
+namespace {
+
+void collect(AstContext &Ctx, const Expr *E,
+             std::vector<const BoolExpr *> &Out);
+
+void collectArray(AstContext &Ctx, const ArrayExpr *A,
+                  std::vector<const BoolExpr *> &Out) {
+  if (const auto *S = dyn_cast<ArrayStoreExpr>(A)) {
+    collectArray(Ctx, S->base(), Out);
+    collect(Ctx, S->index(), Out);
+    collect(Ctx, S->value(), Out);
+  }
+}
+
+void collect(AstContext &Ctx, const Expr *E,
+             std::vector<const BoolExpr *> &Out) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::Var:
+    return;
+  case Expr::Kind::ArrayRead: {
+    const auto *R = cast<ArrayReadExpr>(E);
+    collectArray(Ctx, R->base(), Out);
+    collect(Ctx, R->index(), Out);
+    Out.push_back(Ctx.ge(R->index(), Ctx.intLit(0)));
+    Out.push_back(Ctx.lt(R->index(), Ctx.arrayLen(R->base())));
+    return;
+  }
+  case Expr::Kind::ArrayLen:
+    collectArray(Ctx, cast<ArrayLenExpr>(E)->base(), Out);
+    return;
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    collect(Ctx, B->lhs(), Out);
+    collect(Ctx, B->rhs(), Out);
+    if (B->op() == BinaryOp::Div || B->op() == BinaryOp::Mod)
+      Out.push_back(Ctx.ne(B->rhs(), Ctx.intLit(0)));
+    return;
+  }
+  }
+}
+
+void collectBool(AstContext &Ctx, const BoolExpr *B,
+                 std::vector<const BoolExpr *> &Out) {
+  switch (B->kind()) {
+  case BoolExpr::Kind::BoolLit:
+    return;
+  case BoolExpr::Kind::Cmp: {
+    const auto *C = cast<CmpExpr>(B);
+    collect(Ctx, C->lhs(), Out);
+    collect(Ctx, C->rhs(), Out);
+    return;
+  }
+  case BoolExpr::Kind::ArrayCmp: {
+    const auto *C = cast<ArrayCmpExpr>(B);
+    collectArray(Ctx, C->lhs(), Out);
+    collectArray(Ctx, C->rhs(), Out);
+    return;
+  }
+  case BoolExpr::Kind::Logical: {
+    const auto *L = cast<LogicalExpr>(B);
+    collectBool(Ctx, L->lhs(), Out);
+    collectBool(Ctx, L->rhs(), Out);
+    return;
+  }
+  case BoolExpr::Kind::Not:
+    collectBool(Ctx, cast<NotExpr>(B)->sub(), Out);
+    return;
+  case BoolExpr::Kind::Exists:
+    // Program expressions are quantifier-free (sema); formulas in
+    // annotations use the total logic semantics and never trap.
+    return;
+  }
+}
+
+} // namespace
+
+const BoolExpr *relax::safetyCondition(AstContext &Ctx, const Expr *E) {
+  std::vector<const BoolExpr *> Parts;
+  collect(Ctx, E, Parts);
+  return Ctx.conj(Parts);
+}
+
+const BoolExpr *relax::safetyCondition(AstContext &Ctx, const BoolExpr *B) {
+  std::vector<const BoolExpr *> Parts;
+  collectBool(Ctx, B, Parts);
+  return Ctx.conj(Parts);
+}

@@ -1,0 +1,33 @@
+//===- Safety.h - Runtime-trap safety preconditions -----------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic semantics traps division/modulo by zero and out-of-bounds
+/// array accesses as `wr`. The paper's progress theorems say verified
+/// programs never reach `wr`, so the VC generators must rule the traps out:
+/// safe(e) is the weakest (conjunction of) conditions under which
+/// evaluating e cannot trap. Evaluation is strict, so every subexpression
+/// contributes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_VCGEN_SAFETY_H
+#define RELAXC_VCGEN_SAFETY_H
+
+#include "ast/AstContext.h"
+
+namespace relax {
+
+/// Conjunction of no-trap conditions for evaluating \p E.
+const BoolExpr *safetyCondition(AstContext &Ctx, const Expr *E);
+
+/// Conjunction of no-trap conditions for evaluating \p B (strictly).
+const BoolExpr *safetyCondition(AstContext &Ctx, const BoolExpr *B);
+
+} // namespace relax
+
+#endif // RELAXC_VCGEN_SAFETY_H

@@ -1,0 +1,343 @@
+//===- UnaryVCGen.cpp - Axiomatic original/intermediate semantics -------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vcgen/UnaryVCGen.h"
+
+#include "logic/FormulaOps.h"
+#include "logic/Simplify.h"
+#include "support/Casting.h"
+#include "vcgen/Safety.h"
+
+#include <cassert>
+
+using namespace relax;
+
+const char *relax::judgmentKindName(JudgmentKind K) {
+  switch (K) {
+  case JudgmentKind::Original:
+    return "original";
+  case JudgmentKind::Intermediate:
+    return "intermediate";
+  case JudgmentKind::Relaxed:
+    return "relaxed";
+  }
+  return "?";
+}
+
+UnaryVCGen::UnaryVCGen(AstContext &Ctx, const Program &Prog, JudgmentKind J,
+                       DiagnosticEngine &Diags, VCGenOptions Opts)
+    : Ctx(Ctx), Prog(Prog), Judgment(J), Diags(Diags), Opts(Opts),
+      Simp(Ctx) {
+  assert(J != JudgmentKind::Relaxed &&
+         "UnaryVCGen handles |-o and |-i only; use RelationalVCGen for |-r");
+}
+
+const BoolExpr *UnaryVCGen::maybeSimplify(const BoolExpr *B) {
+  return Opts.Simplify ? Simp.simplify(B) : B;
+}
+
+void UnaryVCGen::emitValidity(const BoolExpr *F, const char *Rule,
+                              SourceLoc Loc, std::string Description) {
+  VC V;
+  V.Kind = VCKind::Validity;
+  V.Judgment = Judgment;
+  V.Formula = maybeSimplify(F);
+  V.Rule = Rule;
+  V.Loc = Loc;
+  V.Description = std::move(Description);
+  Out.VCs.push_back(std::move(V));
+}
+
+void UnaryVCGen::emitSat(const BoolExpr *F, const char *Rule, SourceLoc Loc,
+                         std::string Description) {
+  VC V;
+  V.Kind = VCKind::Satisfiability;
+  V.Judgment = Judgment;
+  V.Formula = maybeSimplify(F);
+  V.Rule = Rule;
+  V.Loc = Loc;
+  V.Description = std::move(Description);
+  Out.VCs.push_back(std::move(V));
+}
+
+void UnaryVCGen::emitSafety(const BoolExpr *Pre, const BoolExpr *ProgramBool,
+                            const char *Rule, SourceLoc Loc) {
+  if (!Opts.CheckSafety)
+    return;
+  const BoolExpr *Safe = safetyCondition(Ctx, ProgramBool);
+  if (const auto *Lit = dyn_cast<BoolLitExpr>(Safe); Lit && Lit->value())
+    return;
+  emitValidity(Ctx.implies(Pre, Safe), Rule, Loc,
+               "predicate evaluation cannot trap (division, array bounds)");
+}
+
+void UnaryVCGen::emitSafety(const BoolExpr *Pre, const Expr *ProgramExpr,
+                            const char *Rule, SourceLoc Loc) {
+  if (!Opts.CheckSafety)
+    return;
+  const BoolExpr *Safe = safetyCondition(Ctx, ProgramExpr);
+  if (const auto *Lit = dyn_cast<BoolLitExpr>(Safe); Lit && Lit->value())
+    return;
+  emitValidity(Ctx.implies(Pre, Safe), Rule, Loc,
+               "expression evaluation cannot trap (division, array bounds)");
+}
+
+void UnaryVCGen::record(const char *Rule, const Stmt *S, const BoolExpr *Pre,
+                        const BoolExpr *Post) {
+  DerivationStep Step;
+  Step.Rule = Rule;
+  Step.Judgment = Judgment;
+  Step.Loc = S->loc();
+  Step.S = S;
+  Step.Pre = Pre;
+  Step.Post = Post;
+  Out.Derivation.push_back(std::move(Step));
+}
+
+const BoolExpr *UnaryVCGen::genAssertLike(const BoolExpr *Pred, SourceLoc Loc,
+                                          const BoolExpr *Pre,
+                                          const char *Rule, const char *What) {
+  emitSafety(Pre, Pred, Rule, Loc);
+  emitValidity(Ctx.implies(Pre, Pred), Rule, Loc,
+               std::string("the ") + What + " predicate holds");
+  return maybeSimplify(Ctx.andExpr(Pre, Pred));
+}
+
+const BoolExpr *UnaryVCGen::genHavocLike(const ChoiceStmtBase *S,
+                                         const BoolExpr *Pre,
+                                         const char *Rule) {
+  // Rename X to fresh X' in Pre, existentially quantify X', conjoin e.
+  Subst Rename;
+  std::vector<std::pair<Symbol, VarKind>> Fresh;
+  for (size_t I = 0, E = S->varCount(); I != E; ++I) {
+    Symbol V = S->var(I);
+    VarKind Kind = Prog.kindOf(V).value_or(VarKind::Int);
+    Symbol F = Ctx.freshSym(V);
+    Fresh.emplace_back(F, Kind);
+    if (Kind == VarKind::Int)
+      Rename.mapVar(V, VarTag::Plain, Ctx.var(F, VarTag::Plain));
+    else
+      Rename.mapArray(V, VarTag::Plain, Ctx.arrayRef(F, VarTag::Plain));
+  }
+  const BoolExpr *Renamed = substitute(Ctx, Pre, Rename);
+
+  // Array lengths are execution-invariant: the new array has the length of
+  // the old one. Without this, bounds facts in Pre would be lost.
+  std::vector<const BoolExpr *> LenLinks;
+  for (size_t I = 0, E = S->varCount(); I != E; ++I) {
+    Symbol V = S->var(I);
+    if (Prog.kindOf(V).value_or(VarKind::Int) != VarKind::Array)
+      continue;
+    LenLinks.push_back(
+        Ctx.eq(Ctx.arrayLen(Ctx.arrayRef(V, VarTag::Plain)),
+               Ctx.arrayLen(Ctx.arrayRef(Fresh[I].first, VarTag::Plain))));
+  }
+
+  const BoolExpr *Body = Ctx.conj({Renamed, Ctx.conj(LenLinks)});
+
+  // The satisfiability premise of the havoc rule (Figure 7): some choice of
+  // X must satisfy e. X' (the old values) stay free in the query.
+  emitSat(Ctx.conj({Body, S->pred()}), Rule, S->loc(),
+          "some assignment to the havoc/relax variables satisfies the "
+          "predicate");
+
+  const BoolExpr *Quantified = Body;
+  for (const auto &[F, Kind] : Fresh)
+    Quantified = Ctx.exists(F, VarTag::Plain, Kind, Quantified);
+
+  emitSafety(Quantified, S->pred(), Rule, S->loc());
+  return maybeSimplify(Ctx.andExpr(Quantified, S->pred()));
+}
+
+const BoolExpr *UnaryVCGen::genStmt(const Stmt *S, const BoolExpr *Pre) {
+  switch (S->kind()) {
+  case Stmt::Kind::Skip:
+    record("skip", S, Pre, Pre);
+    return Pre;
+
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    emitSafety(Pre, A->value(), "assign", S->loc());
+    Symbol X = A->var();
+    Symbol X0 = Ctx.freshSym(X);
+    Subst Rename;
+    Rename.mapVar(X, VarTag::Plain, Ctx.var(X0, VarTag::Plain));
+    const BoolExpr *Renamed = substitute(Ctx, Pre, Rename);
+    const Expr *RenamedRHS = substitute(Ctx, A->value(), Rename);
+    const BoolExpr *Post = Ctx.exists(
+        X0, VarTag::Plain, VarKind::Int,
+        Ctx.andExpr(Renamed,
+                    Ctx.eq(Ctx.var(X, VarTag::Plain), RenamedRHS)));
+    Post = maybeSimplify(Post);
+    record("assign", S, Pre, Post);
+    return Post;
+  }
+
+  case Stmt::Kind::ArrayAssign: {
+    const auto *A = cast<ArrayAssignStmt>(S);
+    emitSafety(Pre, A->index(), "array-assign", S->loc());
+    emitSafety(Pre, A->value(), "array-assign", S->loc());
+    // The store itself must be in bounds.
+    if (Opts.CheckSafety) {
+      const ArrayExpr *Arr = Ctx.arrayRef(A->array(), VarTag::Plain);
+      emitValidity(
+          Ctx.implies(Pre, Ctx.andExpr(Ctx.ge(A->index(), Ctx.intLit(0)),
+                                       Ctx.lt(A->index(),
+                                              Ctx.arrayLen(Arr)))),
+          "array-assign", S->loc(), "array store index is in bounds");
+    }
+    Symbol X = A->array();
+    Symbol X0 = Ctx.freshSym(X);
+    Subst Rename;
+    Rename.mapArray(X, VarTag::Plain, Ctx.arrayRef(X0, VarTag::Plain));
+    const BoolExpr *Renamed = substitute(Ctx, Pre, Rename);
+    const Expr *RenamedIdx = substitute(Ctx, A->index(), Rename);
+    const Expr *RenamedVal = substitute(Ctx, A->value(), Rename);
+    const ArrayExpr *NewVal = Ctx.arrayStore(
+        Ctx.arrayRef(X0, VarTag::Plain), RenamedIdx, RenamedVal);
+    const BoolExpr *Post = Ctx.exists(
+        X0, VarTag::Plain, VarKind::Array,
+        Ctx.andExpr(Renamed,
+                    Ctx.arrayEq(Ctx.arrayRef(X, VarTag::Plain), NewVal)));
+    Post = maybeSimplify(Post);
+    record("array-assign", S, Pre, Post);
+    return Post;
+  }
+
+  case Stmt::Kind::Havoc: {
+    const BoolExpr *Post = genHavocLike(cast<ChoiceStmtBase>(S), Pre, "havoc");
+    record("havoc", S, Pre, Post);
+    return Post;
+  }
+
+  case Stmt::Kind::Relax: {
+    const auto *R = cast<RelaxStmt>(S);
+    if (Judgment == JudgmentKind::Original) {
+      // Figure 7: relax is an assert of its predicate; the original
+      // execution must remain one of the allowed relaxed executions.
+      const BoolExpr *Post =
+          genAssertLike(R->pred(), S->loc(), Pre, "relax", "relax");
+      record("relax(assert)", S, Pre, Post);
+      return Post;
+    }
+    // Figure 9: relax may apply any modification satisfying e.
+    const BoolExpr *Post = genHavocLike(R, Pre, "relax");
+    record("relax(havoc)", S, Pre, Post);
+    return Post;
+  }
+
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    emitSafety(Pre, I->cond(), "if", S->loc());
+    const BoolExpr *ThenPre = maybeSimplify(Ctx.andExpr(Pre, I->cond()));
+    const BoolExpr *ElsePre =
+        maybeSimplify(Ctx.andExpr(Pre, Ctx.notExpr(I->cond())));
+    const BoolExpr *ThenPost = genStmt(I->thenStmt(), ThenPre);
+    const BoolExpr *ElsePost = genStmt(I->elseStmt(), ElsePre);
+    const BoolExpr *Post = maybeSimplify(Ctx.orExpr(ThenPost, ElsePost));
+    record("if", S, Pre, Post);
+    return Post;
+  }
+
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    const LoopAnnotations *Ann = W->annotations();
+    const BoolExpr *Inv = Ann->Invariant;
+    if (Judgment == JudgmentKind::Intermediate && Ann->IntermediateInvariant)
+      Inv = Ann->IntermediateInvariant;
+    if (!Inv) {
+      Diags.warning(S->loc(),
+                    std::string("while loop has no ") +
+                        (Judgment == JudgmentKind::Intermediate
+                             ? "intermediate invariant"
+                             : "invariant") +
+                        "; defaulting to 'true'");
+      Inv = Ctx.trueExpr();
+    }
+    emitValidity(Ctx.implies(Pre, Inv), "while", S->loc(),
+                 "the loop invariant holds on entry");
+    emitSafety(Inv, W->cond(), "while", S->loc());
+    const BoolExpr *BodyPre = maybeSimplify(Ctx.andExpr(Inv, W->cond()));
+
+    // Termination variant (Section 6 extension): snapshot the variant in a
+    // fresh variable before the body; it must be bounded below and must
+    // strictly decrease. The snapshot rides along the single body SP so no
+    // obligations are generated twice.
+    const Expr *Variant = Ann->Variant;
+    Symbol Snapshot;
+    if (Variant) {
+      emitSafety(BodyPre, Variant, "while:variant", S->loc());
+      emitValidity(Ctx.implies(BodyPre, Ctx.ge(Variant, Ctx.intLit(0))),
+                   "while:variant", S->loc(),
+                   "the termination variant is bounded below while the "
+                   "loop runs");
+      Snapshot = Ctx.freshSym(Ctx.sym("variant"));
+      BodyPre = maybeSimplify(Ctx.andExpr(
+          BodyPre, Ctx.eq(Variant, Ctx.var(Snapshot, VarTag::Plain))));
+    }
+
+    const BoolExpr *BodyPost = genStmt(W->body(), BodyPre);
+    emitValidity(Ctx.implies(BodyPost, Inv), "while", S->loc(),
+                 "the loop invariant is preserved by the body");
+    if (Variant)
+      emitValidity(
+          Ctx.implies(BodyPost,
+                      Ctx.lt(Variant, Ctx.var(Snapshot, VarTag::Plain))),
+          "while:variant", S->loc(),
+          "the termination variant strictly decreases across the body");
+    const BoolExpr *Post =
+        maybeSimplify(Ctx.andExpr(Inv, Ctx.notExpr(W->cond())));
+    record("while", S, Pre, Post);
+    return Post;
+  }
+
+  case Stmt::Kind::Assume: {
+    const auto *A = cast<AssumeStmt>(S);
+    if (Judgment == JudgmentKind::Original) {
+      // Figure 7: no obligation; the assumption lands in the postcondition
+      // (the execution may dynamically fail with ba).
+      emitSafety(Pre, A->pred(), "assume", S->loc());
+      const BoolExpr *Post = maybeSimplify(Ctx.andExpr(Pre, A->pred()));
+      record("assume", S, Pre, Post);
+      return Post;
+    }
+    // Figure 9: the relaxed execution must not violate assumptions either,
+    // so assume carries an assert-strength obligation (Lemma 4).
+    const BoolExpr *Post =
+        genAssertLike(A->pred(), S->loc(), Pre, "assume", "assume");
+    record("assume(assert)", S, Pre, Post);
+    return Post;
+  }
+
+  case Stmt::Kind::Assert: {
+    const auto *A = cast<AssertStmt>(S);
+    const BoolExpr *Post =
+        genAssertLike(A->pred(), S->loc(), Pre, "assert", "assert");
+    record("assert", S, Pre, Post);
+    return Post;
+  }
+
+  case Stmt::Kind::Relate:
+    // Figure 7: relate is a skip for the unary semantics.
+    record("relate(skip)", S, Pre, Pre);
+    return Pre;
+
+  case Stmt::Kind::Seq: {
+    const auto *Q = cast<SeqStmt>(S);
+    const BoolExpr *Mid = genStmt(Q->first(), Pre);
+    return genStmt(Q->second(), Mid);
+  }
+  }
+  return Pre;
+}
+
+void UnaryVCGen::genTriple(const BoolExpr *Pre, const Stmt *S,
+                           const BoolExpr *Post) {
+  const BoolExpr *SP = genStmt(S, Pre);
+  emitValidity(Ctx.implies(SP, Post), "consequence", S->loc(),
+               "the postcondition follows from the strongest postcondition");
+}

@@ -1,0 +1,79 @@
+//===- VC.h - Verification conditions -------------------------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A verification condition is one logical side condition of one proof-rule
+/// application, tagged with enough provenance to report failures precisely
+/// and to regenerate the paper's per-example proof-effort statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_VCGEN_VC_H
+#define RELAXC_VCGEN_VC_H
+
+#include "ast/BoolExpr.h"
+
+#include <string>
+#include <vector>
+
+namespace relax {
+
+class Stmt;
+
+/// How a VC must be discharged.
+enum class VCKind : uint8_t {
+  Validity,       ///< the formula must be valid (true in every state)
+  Satisfiability, ///< the formula must be satisfiable (havoc/relax premise)
+};
+
+/// Which judgment generated a VC.
+enum class JudgmentKind : uint8_t {
+  Original,     ///< |-o (Figure 7)
+  Intermediate, ///< |-i (Figure 9)
+  Relaxed,      ///< |-r (Figure 8)
+};
+
+/// Returns "original" / "intermediate" / "relaxed".
+const char *judgmentKindName(JudgmentKind K);
+
+/// One generated verification condition.
+struct VC {
+  VCKind Kind = VCKind::Validity;
+  JudgmentKind Judgment = JudgmentKind::Original;
+  const BoolExpr *Formula = nullptr;
+  /// The proof rule that produced this VC, e.g. "assert", "while:inv-preserved".
+  std::string Rule;
+  SourceLoc Loc;
+  std::string Description;
+};
+
+/// One rule application, recorded for the proof checker: the statement, the
+/// rule name, and the pre/postcondition the generator assigned.
+struct DerivationStep {
+  std::string Rule;
+  JudgmentKind Judgment = JudgmentKind::Original;
+  SourceLoc Loc;
+  const Stmt *S = nullptr;
+  const BoolExpr *Pre = nullptr;
+  const BoolExpr *Post = nullptr;
+};
+
+/// The full output of a VC generator run.
+struct VCSet {
+  std::vector<VC> VCs;
+  std::vector<DerivationStep> Derivation;
+
+  void append(VCSet Other) {
+    VCs.insert(VCs.end(), Other.VCs.begin(), Other.VCs.end());
+    Derivation.insert(Derivation.end(), Other.Derivation.begin(),
+                      Other.Derivation.end());
+  }
+};
+
+} // namespace relax
+
+#endif // RELAXC_VCGEN_VC_H

@@ -1,0 +1,195 @@
+//===- Verifier.cpp - End-to-end verification driver --------------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vcgen/Verifier.h"
+
+#include "ast/Printer.h"
+
+#include <chrono>
+
+using namespace relax;
+
+const char *relax::vcStatusName(VCStatus S) {
+  switch (S) {
+  case VCStatus::Proved:
+    return "proved";
+  case VCStatus::Failed:
+    return "failed";
+  case VCStatus::Unknown:
+    return "unknown";
+  case VCStatus::SolverError:
+    return "error";
+  }
+  return "?";
+}
+
+const BoolExpr *Verifier::effectiveRelRequires() {
+  if (Prog.relRequiresClause())
+    return Prog.relRequiresClause();
+  std::vector<const BoolExpr *> Parts;
+  Parts.push_back(identityRelation(Ctx, Prog));
+  if (const BoolExpr *Req = Prog.requiresClause()) {
+    Parts.push_back(inject(Ctx, Req, VarTag::Orig));
+    Parts.push_back(inject(Ctx, Req, VarTag::Rel));
+  }
+  return Ctx.conj(Parts);
+}
+
+void Verifier::discharge(VCSet Set, JudgmentReport &Report) {
+  Report.Derivation = std::move(Set.Derivation);
+  for (VC &Condition : Set.VCs) {
+    VCOutcome Out;
+    Out.Condition = Condition;
+
+    auto Start = std::chrono::steady_clock::now();
+    if (Condition.Kind == VCKind::Validity) {
+      Result<SatResult> R = TheSolver.checkSat({Ctx.notExpr(
+          Condition.Formula)});
+      if (!R.ok()) {
+        Out.Status = VCStatus::SolverError;
+        Out.Detail = R.message();
+      } else {
+        switch (*R) {
+        case SatResult::Unsat:
+          Out.Status = VCStatus::Proved;
+          break;
+        case SatResult::Sat: {
+          Out.Status = VCStatus::Failed;
+          // Re-query with model extraction so the report shows a concrete
+          // witness state (pair) falsifying the obligation.
+          Model Counterexample;
+          Result<SatResult> WithModel = TheSolver.checkSatWithModel(
+              {Ctx.notExpr(Condition.Formula)}, freeVars(Condition.Formula),
+              Counterexample);
+          if (WithModel.ok() && *WithModel == SatResult::Sat)
+            Out.Detail = "counterexample: " +
+                         formatModel(Ctx.symbols(), Counterexample);
+          else
+            Out.Detail = "counterexample exists";
+          break;
+        }
+        case SatResult::Unknown:
+          Out.Status = VCStatus::Unknown;
+          Out.Detail = "solver returned unknown";
+          break;
+        }
+      }
+    } else {
+      Result<SatResult> R = TheSolver.checkSat({Condition.Formula});
+      if (!R.ok()) {
+        Out.Status = VCStatus::SolverError;
+        Out.Detail = R.message();
+      } else {
+        switch (*R) {
+        case SatResult::Sat:
+          Out.Status = VCStatus::Proved;
+          break;
+        case SatResult::Unsat:
+          Out.Status = VCStatus::Failed;
+          Out.Detail = "the choice predicate admits no assignment";
+          break;
+        case SatResult::Unknown:
+          Out.Status = VCStatus::Unknown;
+          Out.Detail = "solver returned unknown";
+          break;
+        }
+      }
+    }
+    auto End = std::chrono::steady_clock::now();
+    Out.Millis =
+        std::chrono::duration<double, std::milli>(End - Start).count();
+    Report.TotalMillis += Out.Millis;
+    Report.Outcomes.push_back(std::move(Out));
+  }
+}
+
+VerifyReport Verifier::run(Options Opts) {
+  VerifyReport Report;
+
+  Sema SemaPass(Prog, Diags);
+  std::optional<SemaInfo> Info = SemaPass.run();
+  if (!Info)
+    return Report;
+  Report.SemaOk = true;
+
+  unsigned ErrorsBeforeGen = Diags.errorCount();
+
+  const BoolExpr *Pre =
+      Prog.requiresClause() ? Prog.requiresClause() : Ctx.trueExpr();
+  const BoolExpr *Post =
+      Prog.ensuresClause() ? Prog.ensuresClause() : Ctx.trueExpr();
+
+  if (Opts.RunOriginal) {
+    UnaryVCGen Gen(Ctx, Prog, JudgmentKind::Original, Diags, Opts.GenOpts);
+    Gen.genTriple(Pre, Prog.body(), Post);
+    Report.Original.Judgment = JudgmentKind::Original;
+    discharge(Gen.take(), Report.Original);
+  }
+
+  if (Opts.RunRelaxed) {
+    const BoolExpr *RelPre = effectiveRelRequires();
+    const BoolExpr *RelPost = Prog.relEnsuresClause()
+                                  ? Prog.relEnsuresClause()
+                                  : Ctx.trueExpr();
+    RelationalVCGen Gen(Ctx, Prog, Diags, Opts.GenOpts);
+    Gen.genTriple(RelPre, Prog.body(), RelPost);
+    Report.Relaxed.Judgment = JudgmentKind::Relaxed;
+    discharge(Gen.take(), Report.Relaxed);
+  }
+
+  Report.GenErrors = Diags.errorCount() > ErrorsBeforeGen;
+  return Report;
+}
+
+std::string relax::renderReport(const VerifyReport &Report,
+                                const Interner &Syms, bool Verbose) {
+  Printer P(Syms);
+  std::string Out;
+  auto RenderJudgment = [&](const JudgmentReport &J, const char *Title) {
+    Out += Title;
+    Out += ": ";
+    Out += std::to_string(J.Outcomes.size()) + " VCs, " +
+           std::to_string(J.count(VCStatus::Proved)) + " proved, " +
+           std::to_string(J.count(VCStatus::Failed)) + " failed, " +
+           std::to_string(J.count(VCStatus::Unknown) +
+                          J.count(VCStatus::SolverError)) +
+           " undecided";
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), " (%.1f ms)", J.TotalMillis);
+    Out += Buf;
+    Out += "\n";
+    for (const VCOutcome &O : J.Outcomes) {
+      bool Bad = O.Status != VCStatus::Proved;
+      if (!Bad && !Verbose)
+        continue;
+      Out += "  [";
+      Out += vcStatusName(O.Status);
+      Out += "] ";
+      Out += O.Condition.Rule;
+      if (O.Condition.Loc.isValid())
+        Out += " at line " + std::to_string(O.Condition.Loc.Line);
+      Out += ": " + O.Condition.Description;
+      if (!O.Detail.empty())
+        Out += " — " + O.Detail;
+      Out += "\n";
+      if (Bad || Verbose) {
+        Out += "      " + P.print(O.Condition.Formula) + "\n";
+      }
+    }
+  };
+  if (!Report.SemaOk) {
+    Out += "semantic analysis failed; verification not attempted\n";
+    return Out;
+  }
+  RenderJudgment(Report.Original, "|-o (axiomatic original semantics)");
+  RenderJudgment(Report.Relaxed, "|-r (axiomatic relaxed semantics)");
+  Out += Report.verified()
+             ? "VERIFIED: the relaxed program satisfies its acceptability "
+               "properties\n"
+             : "NOT VERIFIED\n";
+  return Out;
+}

@@ -1,0 +1,124 @@
+//===- Verifier.h - End-to-end verification driver ------------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs the full pipeline for one annotated program: sema, the |-o VC pass,
+/// the |-r VC pass (which internally re-proves diverge bodies under |-o and
+/// |-i), and solver discharging. A program whose two passes both verify
+/// enjoys the paper's end-to-end guarantees:
+///
+///  * Original Progress Modulo Assumptions (Lemma 2),
+///  * Soundness of Relational Assertions   (Theorem 6),
+///  * Relative Relaxed Progress            (Theorem 7),
+///  * Relaxed Progress                     (Theorem 8),
+///  * Relaxed Progress Modulo Original Assumptions (Corollary 9).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_VCGEN_VERIFIER_H
+#define RELAXC_VCGEN_VERIFIER_H
+
+#include "sema/Sema.h"
+#include "solver/Solver.h"
+#include "vcgen/RelationalVCGen.h"
+
+namespace relax {
+
+/// Discharge status of one VC.
+enum class VCStatus : uint8_t {
+  Proved,
+  Failed,      ///< solver found a counterexample / found the premise unsat
+  Unknown,     ///< solver gave up
+  SolverError, ///< backend error (timeout conversion, translation, ...)
+};
+
+/// Returns "proved" / "failed" / "unknown" / "error".
+const char *vcStatusName(VCStatus S);
+
+/// One VC with its discharge result.
+struct VCOutcome {
+  VC Condition;
+  VCStatus Status = VCStatus::Unknown;
+  std::string Detail;
+  double Millis = 0;
+};
+
+/// All VCs of one judgment pass.
+struct JudgmentReport {
+  JudgmentKind Judgment = JudgmentKind::Original;
+  std::vector<VCOutcome> Outcomes;
+  std::vector<DerivationStep> Derivation;
+  double TotalMillis = 0;
+
+  size_t count(VCStatus S) const {
+    size_t N = 0;
+    for (const VCOutcome &O : Outcomes)
+      N += O.Status == S ? 1 : 0;
+    return N;
+  }
+  bool allProved() const { return count(VCStatus::Proved) == Outcomes.size(); }
+};
+
+/// The full verification report for a program.
+struct VerifyReport {
+  bool SemaOk = false;
+  /// Structural rule violations found during VC generation (e.g. a diverge
+  /// frame over a modified variable); reported via the DiagnosticEngine.
+  bool GenErrors = false;
+  JudgmentReport Original; ///< |-o pass over {requires} body {ensures}
+  JudgmentReport Relaxed;  ///< |-r pass over {rrequires} body {rensures}
+
+  /// Theorem 8 preconditions: both passes verified.
+  bool verified() const {
+    return SemaOk && !GenErrors && Original.allProved() &&
+           Relaxed.allProved();
+  }
+
+  size_t totalVCs() const {
+    return Original.Outcomes.size() + Relaxed.Outcomes.size();
+  }
+};
+
+/// Verification pipeline driver.
+class Verifier {
+public:
+  struct Options {
+    VCGenOptions GenOpts;
+    bool RunOriginal = true;
+    bool RunRelaxed = true;
+  };
+
+  Verifier(AstContext &Ctx, const Program &Prog, Solver &S,
+           DiagnosticEngine &Diags)
+      : Ctx(Ctx), Prog(Prog), TheSolver(S), Diags(Diags) {}
+
+  /// Runs sema + both passes + discharging.
+  VerifyReport run(Options Opts);
+  VerifyReport run() { return run(Options{}); }
+
+  /// The relational precondition actually used: the program's rrequires
+  /// clause, or (by default) "both executions start from the same state
+  /// satisfying the unary precondition":
+  /// identity /\ injo(requires) /\ injr(requires).
+  const BoolExpr *effectiveRelRequires();
+
+private:
+  AstContext &Ctx;
+  const Program &Prog;
+  Solver &TheSolver;
+  DiagnosticEngine &Diags;
+
+  void discharge(VCSet Set, JudgmentReport &Report);
+};
+
+/// Renders a human-readable report.
+std::string renderReport(const VerifyReport &Report, const Interner &Syms,
+                         bool Verbose = false);
+
+} // namespace relax
+
+#endif // RELAXC_VCGEN_VERIFIER_H

@@ -1,0 +1,75 @@
+//===- TestUtil.h - Shared helpers for the relaxc test suite -------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_TESTS_TESTUTIL_H
+#define RELAXC_TESTS_TESTUTIL_H
+
+#include "ast/Printer.h"
+#include "parser/Parser.h"
+#include "solver/CachingSolver.h"
+#include "solver/Z3Solver.h"
+#include "vcgen/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace relax {
+namespace test {
+
+/// Bundles everything needed to parse and check one source string.
+struct ParsedProgram {
+  std::unique_ptr<AstContext> Ctx;
+  SourceManager SM;
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog;
+
+  bool ok() const { return Prog.has_value() && !Diags.hasErrors(); }
+  std::string diagnostics() const { return Diags.render(); }
+};
+
+/// Parses \p Source as a full program.
+inline ParsedProgram parseProgram(const std::string &Source) {
+  ParsedProgram Out;
+  Out.Ctx = std::make_unique<AstContext>();
+  Out.SM.setBuffer("<test>", Source);
+  Parser P(*Out.Ctx, Out.SM, Out.Diags);
+  Out.Prog = P.parseProgram();
+  return Out;
+}
+
+/// Parses and fully verifies \p Source with Z3; returns the report.
+/// Asserts that parsing succeeded.
+inline VerifyReport verifySource(const std::string &Source,
+                                 bool CheckSafety = true) {
+  ParsedProgram P = parseProgram(Source);
+  EXPECT_TRUE(P.ok()) << P.diagnostics();
+  if (!P.ok())
+    return VerifyReport();
+  Z3Solver Backend(P.Ctx->symbols());
+  CachingSolver Cached(Backend);
+  Verifier V(*P.Ctx, *P.Prog, Cached, P.Diags);
+  Verifier::Options Opts;
+  Opts.GenOpts.CheckSafety = CheckSafety;
+  return V.run(Opts);
+}
+
+/// Renders a failure explanation for a report.
+inline std::string explain(const VerifyReport &R, const ParsedProgram &P) {
+  return renderReport(R, P.Ctx->symbols()) + P.diagnostics();
+}
+
+/// Path to the repository's example programs (set by CMake).
+inline std::string examplePath(const std::string &Name) {
+  return std::string(RELAXC_EXAMPLES_DIR) + "/" + Name;
+}
+
+} // namespace test
+} // namespace relax
+
+#endif // RELAXC_TESTS_TESTUTIL_H

@@ -1,0 +1,243 @@
+//===- ast_tests.cpp - Unit tests for the AST library -------------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/AstContext.h"
+#include "ast/Printer.h"
+#include "ast/Structural.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace relax;
+
+namespace {
+
+class AstTest : public ::testing::Test {
+protected:
+  AstContext Ctx;
+  Printer P{Ctx.symbols()};
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Factories and casting
+//===----------------------------------------------------------------------===//
+
+TEST_F(AstTest, IntLitRoundTrips) {
+  const Expr *E = Ctx.intLit(-7);
+  ASSERT_TRUE(isa<IntLitExpr>(E));
+  EXPECT_EQ(cast<IntLitExpr>(E)->value(), -7);
+}
+
+TEST_F(AstTest, VarCarriesTag) {
+  const Expr *O = Ctx.varO("x");
+  const Expr *R = Ctx.varR("x");
+  EXPECT_EQ(cast<VarExpr>(O)->tag(), VarTag::Orig);
+  EXPECT_EQ(cast<VarExpr>(R)->tag(), VarTag::Rel);
+  EXPECT_EQ(cast<VarExpr>(O)->name(), cast<VarExpr>(R)->name());
+}
+
+TEST_F(AstTest, DynCastFiltersKinds) {
+  const Expr *E = Ctx.intLit(1);
+  EXPECT_EQ(dyn_cast<VarExpr>(E), nullptr);
+  EXPECT_NE(dyn_cast<IntLitExpr>(E), nullptr);
+}
+
+TEST_F(AstTest, BoolLitsAreCached) {
+  EXPECT_EQ(Ctx.trueExpr(), Ctx.boolLit(true));
+  EXPECT_EQ(Ctx.falseExpr(), Ctx.boolLit(false));
+}
+
+TEST_F(AstTest, ConjFoldsUnits) {
+  const BoolExpr *A = Ctx.lt(Ctx.var("x"), Ctx.intLit(3));
+  EXPECT_EQ(Ctx.conj({}), Ctx.trueExpr());
+  EXPECT_EQ(Ctx.conj({Ctx.trueExpr(), A, nullptr}), A);
+  const BoolExpr *Two = Ctx.conj({A, A});
+  ASSERT_TRUE(isa<LogicalExpr>(Two));
+  EXPECT_EQ(cast<LogicalExpr>(Two)->op(), LogicalOp::And);
+}
+
+TEST_F(AstTest, DisjFoldsUnits) {
+  const BoolExpr *A = Ctx.lt(Ctx.var("x"), Ctx.intLit(3));
+  EXPECT_EQ(Ctx.disj({}), Ctx.falseExpr());
+  EXPECT_EQ(Ctx.disj({Ctx.falseExpr(), A}), A);
+}
+
+TEST_F(AstTest, SeqListNestsInOrder) {
+  const Stmt *S1 = Ctx.assign("x", Ctx.intLit(1));
+  const Stmt *S2 = Ctx.assign("y", Ctx.intLit(2));
+  const Stmt *S3 = Ctx.assign("z", Ctx.intLit(3));
+  const Stmt *Seq = Ctx.seq({S1, S2, S3});
+  ASSERT_TRUE(isa<SeqStmt>(Seq));
+  EXPECT_EQ(cast<SeqStmt>(Seq)->first(), S1);
+  const Stmt *Rest = cast<SeqStmt>(Seq)->second();
+  ASSERT_TRUE(isa<SeqStmt>(Rest));
+  EXPECT_EQ(cast<SeqStmt>(Rest)->first(), S2);
+  EXPECT_EQ(cast<SeqStmt>(Rest)->second(), S3);
+}
+
+TEST_F(AstTest, EmptySeqIsSkip) {
+  EXPECT_TRUE(isa<SkipStmt>(Ctx.seq({})));
+}
+
+TEST_F(AstTest, IfWithNullElseGetsSkip) {
+  const Stmt *I = Ctx.ifStmt(Ctx.trueExpr(), Ctx.skip(), nullptr);
+  EXPECT_TRUE(isa<SkipStmt>(cast<IfStmt>(I)->elseStmt()));
+}
+
+TEST_F(AstTest, ProgramDeclarationTracking) {
+  Program Prog;
+  Symbol X = Ctx.sym("x"), A = Ctx.sym("A");
+  EXPECT_TRUE(Prog.declare(X, VarKind::Int));
+  EXPECT_TRUE(Prog.declare(A, VarKind::Array));
+  EXPECT_FALSE(Prog.declare(X, VarKind::Array)) << "redeclaration";
+  EXPECT_EQ(Prog.kindOf(X), VarKind::Int);
+  EXPECT_EQ(Prog.kindOf(A), VarKind::Array);
+  EXPECT_FALSE(Prog.kindOf(Ctx.sym("missing")).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Structural equality and hashing
+//===----------------------------------------------------------------------===//
+
+TEST_F(AstTest, StructuralEqualityIgnoresIdentity) {
+  const Expr *A = Ctx.add(Ctx.var("x"), Ctx.intLit(1));
+  const Expr *B = Ctx.add(Ctx.var("x"), Ctx.intLit(1));
+  EXPECT_NE(A, B);
+  EXPECT_TRUE(structurallyEqual(A, B));
+  EXPECT_EQ(structuralHash(A), structuralHash(B));
+}
+
+TEST_F(AstTest, StructuralEqualityDistinguishesTags) {
+  EXPECT_FALSE(structurallyEqual(Ctx.var("x"), Ctx.varO("x")));
+  EXPECT_NE(structuralHash(Ctx.var("x")), structuralHash(Ctx.varO("x")));
+}
+
+TEST_F(AstTest, StructuralEqualityDistinguishesOps) {
+  const Expr *A = Ctx.add(Ctx.var("x"), Ctx.var("y"));
+  const Expr *B = Ctx.sub(Ctx.var("x"), Ctx.var("y"));
+  EXPECT_FALSE(structurallyEqual(A, B));
+}
+
+TEST_F(AstTest, StructuralEqualityOnFormulas) {
+  const BoolExpr *A = Ctx.andExpr(Ctx.lt(Ctx.var("x"), Ctx.intLit(2)),
+                                  Ctx.trueExpr());
+  const BoolExpr *B = Ctx.andExpr(Ctx.lt(Ctx.var("x"), Ctx.intLit(2)),
+                                  Ctx.trueExpr());
+  EXPECT_TRUE(structurallyEqual(A, B));
+  const BoolExpr *C = Ctx.orExpr(Ctx.lt(Ctx.var("x"), Ctx.intLit(2)),
+                                 Ctx.trueExpr());
+  EXPECT_FALSE(structurallyEqual(A, C));
+}
+
+TEST_F(AstTest, StructuralEqualityOnArrays) {
+  const ArrayExpr *A = Ctx.arrayStore(Ctx.arrayRef("A"), Ctx.intLit(0),
+                                      Ctx.var("v"));
+  const ArrayExpr *B = Ctx.arrayStore(Ctx.arrayRef("A"), Ctx.intLit(0),
+                                      Ctx.var("v"));
+  EXPECT_TRUE(structurallyEqual(A, B));
+  const ArrayExpr *C = Ctx.arrayStore(Ctx.arrayRef("A"), Ctx.intLit(1),
+                                      Ctx.var("v"));
+  EXPECT_FALSE(structurallyEqual(A, C));
+}
+
+TEST_F(AstTest, ExistsEqualityIsNominal) {
+  Symbol X = Ctx.sym("x");
+  const BoolExpr *Body = Ctx.lt(Ctx.var(X), Ctx.intLit(3));
+  const BoolExpr *E1 = Ctx.exists(X, VarTag::Plain, VarKind::Int, Body);
+  const BoolExpr *E2 = Ctx.exists(X, VarTag::Plain, VarKind::Int, Body);
+  EXPECT_TRUE(structurallyEqual(E1, E2));
+  const BoolExpr *E3 =
+      Ctx.exists(X, VarTag::Orig, VarKind::Int,
+                 Ctx.lt(Ctx.var(X, VarTag::Orig), Ctx.intLit(3)));
+  EXPECT_FALSE(structurallyEqual(E1, E3));
+}
+
+//===----------------------------------------------------------------------===//
+// Printer
+//===----------------------------------------------------------------------===//
+
+TEST_F(AstTest, PrintsPrecedenceMinimally) {
+  // (x + 1) * y needs parens; x + 1 * y does not.
+  const Expr *A = Ctx.mul(Ctx.add(Ctx.var("x"), Ctx.intLit(1)), Ctx.var("y"));
+  EXPECT_EQ(P.print(A), "(x + 1) * y");
+  const Expr *B = Ctx.add(Ctx.var("x"), Ctx.mul(Ctx.intLit(1), Ctx.var("y")));
+  EXPECT_EQ(P.print(B), "x + 1 * y");
+}
+
+TEST_F(AstTest, PrintsLeftAssociativeSubtraction) {
+  // (x - y) - z prints without parens; x - (y - z) needs them.
+  const Expr *L = Ctx.sub(Ctx.sub(Ctx.var("x"), Ctx.var("y")), Ctx.var("z"));
+  EXPECT_EQ(P.print(L), "x - y - z");
+  const Expr *R = Ctx.sub(Ctx.var("x"), Ctx.sub(Ctx.var("y"), Ctx.var("z")));
+  EXPECT_EQ(P.print(R), "x - (y - z)");
+}
+
+TEST_F(AstTest, PrintsTaggedVariables) {
+  EXPECT_EQ(P.print(Ctx.varO("num_r")), "num_r<o>");
+  EXPECT_EQ(P.print(Ctx.varR("num_r")), "num_r<r>");
+}
+
+TEST_F(AstTest, PrintsBooleanPrecedence) {
+  const BoolExpr *F = Ctx.orExpr(
+      Ctx.andExpr(Ctx.lt(Ctx.var("x"), Ctx.intLit(1)),
+                  Ctx.gt(Ctx.var("y"), Ctx.intLit(2))),
+      Ctx.eq(Ctx.var("z"), Ctx.intLit(3)));
+  EXPECT_EQ(P.print(F), "x < 1 && y > 2 || z == 3");
+}
+
+TEST_F(AstTest, PrintsImplicationRightAssociative) {
+  const BoolExpr *A = Ctx.lt(Ctx.var("x"), Ctx.intLit(1));
+  const BoolExpr *B = Ctx.lt(Ctx.var("y"), Ctx.intLit(2));
+  const BoolExpr *C = Ctx.lt(Ctx.var("z"), Ctx.intLit(3));
+  EXPECT_EQ(P.print(Ctx.implies(A, Ctx.implies(B, C))),
+            "x < 1 ==> y < 2 ==> z < 3");
+  EXPECT_EQ(P.print(Ctx.implies(Ctx.implies(A, B), C)),
+            "(x < 1 ==> y < 2) ==> z < 3");
+}
+
+TEST_F(AstTest, PrintsExists) {
+  Symbol X = Ctx.sym("x");
+  const BoolExpr *E = Ctx.exists(X, VarTag::Rel, VarKind::Int,
+                                 Ctx.lt(Ctx.var(X, VarTag::Rel),
+                                        Ctx.intLit(3)));
+  EXPECT_EQ(P.print(E), "exists x<r> . x<r> < 3");
+}
+
+TEST_F(AstTest, PrintsArrayOperations) {
+  const ArrayExpr *A = Ctx.arrayRef("A");
+  EXPECT_EQ(P.print(Ctx.arrayRead(A, Ctx.var("i"))), "A[i]");
+  EXPECT_EQ(P.print(Ctx.arrayLen(A)), "len(A)");
+  EXPECT_EQ(P.print(Ctx.arrayStore(A, Ctx.intLit(0), Ctx.var("v"))),
+            "store(A, 0, v)");
+}
+
+TEST_F(AstTest, PrintsStatements) {
+  const Stmt *S = Ctx.seq({
+      Ctx.assign("x", Ctx.intLit(0)),
+      Ctx.relax({Ctx.sym("x")}, Ctx.ge(Ctx.var("x"), Ctx.intLit(0))),
+      Ctx.assert_(Ctx.ge(Ctx.var("x"), Ctx.intLit(0))),
+  });
+  std::string Text = P.print(S);
+  EXPECT_NE(Text.find("x = 0;"), std::string::npos);
+  EXPECT_NE(Text.find("relax (x) st (x >= 0);"), std::string::npos);
+  EXPECT_NE(Text.find("assert x >= 0;"), std::string::npos);
+}
+
+TEST_F(AstTest, PrintsWhileAnnotations) {
+  LoopAnnotations Ann;
+  Ann.Invariant = Ctx.le(Ctx.var("i"), Ctx.var("n"));
+  Ann.RelInvariant = Ctx.eq(Ctx.varO("i"), Ctx.varR("i"));
+  const Stmt *W = Ctx.whileStmt(Ctx.lt(Ctx.var("i"), Ctx.var("n")),
+                                Ctx.assign("i", Ctx.add(Ctx.var("i"),
+                                                        Ctx.intLit(1))),
+                                Ann);
+  std::string Text = P.print(W);
+  EXPECT_NE(Text.find("invariant (i <= n)"), std::string::npos);
+  EXPECT_NE(Text.find("rinvariant (i<o> == i<r>)"), std::string::npos);
+}

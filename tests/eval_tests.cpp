@@ -1,0 +1,304 @@
+//===- eval_tests.cpp - Tests for the dynamic semantics ------------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+// One test per evaluation rule of Figures 3 and 4, plus trap behavior and
+// oracle re-validation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "eval/Interp.h"
+#include "solver/Z3Solver.h"
+
+using namespace relax;
+using namespace relax::test;
+
+namespace {
+
+/// Fixture that runs source programs under a chosen oracle and semantics.
+class InterpTest : public ::testing::Test {
+protected:
+  ParsedProgram P;
+  std::unique_ptr<Z3Solver> Backend;
+  std::unique_ptr<SolverOracle> DefaultOracle;
+
+  void load(const std::string &Source) {
+    P = parseProgram(Source);
+    ASSERT_TRUE(P.ok()) << P.diagnostics();
+    Backend = std::make_unique<Z3Solver>(P.Ctx->symbols());
+    DefaultOracle = std::make_unique<SolverOracle>(*P.Ctx, *Backend);
+  }
+
+  Outcome run(SemanticsMode Mode, State Init = State(),
+              Oracle *O = nullptr) {
+    if (Init.empty())
+      Init = Interp::zeroState(*P.Prog, 4);
+    Interp I(*P.Prog, P.Ctx->symbols(), O ? *O : *DefaultOracle);
+    return I.run(Mode, Init);
+  }
+
+  int64_t intOf(const Outcome &O, const char *Name) {
+    return O.FinalState.at(P.Ctx->sym(Name)).asInt();
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Expression evaluation (dynamic, trapping)
+//===----------------------------------------------------------------------===//
+
+TEST_F(InterpTest, AssignEvaluatesRhs) {
+  load("int x; { x = 2 * 3 + 1; }");
+  Outcome O = run(SemanticsMode::Original);
+  ASSERT_TRUE(O.ok()) << O.Reason;
+  EXPECT_EQ(intOf(O, "x"), 7);
+}
+
+TEST_F(InterpTest, DivisionIsEuclidean) {
+  load("int q, m; { q = (0 - 7) / 2; m = (0 - 7) % 2; }");
+  Outcome O = run(SemanticsMode::Original);
+  ASSERT_TRUE(O.ok()) << O.Reason;
+  EXPECT_EQ(intOf(O, "q"), -4);
+  EXPECT_EQ(intOf(O, "m"), 1);
+}
+
+TEST_F(InterpTest, DivisionByZeroTrapsAsWr) {
+  load("int x, y; { x = 1 / y; }");
+  Outcome O = run(SemanticsMode::Original);
+  EXPECT_EQ(O.Kind, OutcomeKind::Wr);
+  EXPECT_NE(O.Reason.find("division by zero"), std::string::npos);
+}
+
+TEST_F(InterpTest, ArrayReadOutOfBoundsTrapsAsWr) {
+  load("array A; int x; { x = A[9]; }");
+  Outcome O = run(SemanticsMode::Original);
+  EXPECT_EQ(O.Kind, OutcomeKind::Wr);
+  EXPECT_NE(O.Reason.find("out of bounds"), std::string::npos);
+}
+
+TEST_F(InterpTest, ArrayStoreOutOfBoundsTrapsAsWr) {
+  load("array A; { A[0 - 1] = 5; }");
+  Outcome O = run(SemanticsMode::Original);
+  EXPECT_EQ(O.Kind, OutcomeKind::Wr);
+}
+
+TEST_F(InterpTest, ArrayReadWriteRoundTrip) {
+  load("array A; int x; { A[2] = 42; x = A[2] + len(A); }");
+  Outcome O = run(SemanticsMode::Original);
+  ASSERT_TRUE(O.ok()) << O.Reason;
+  EXPECT_EQ(intOf(O, "x"), 46); // 42 + len 4
+}
+
+//===----------------------------------------------------------------------===//
+// Statement rules
+//===----------------------------------------------------------------------===//
+
+TEST_F(InterpTest, SkipPreservesState) {
+  load("int x; { skip; }");
+  State Init;
+  Init[P.Ctx->sym("x")] = Value(int64_t(5));
+  Outcome O = run(SemanticsMode::Original, Init);
+  ASSERT_TRUE(O.ok());
+  EXPECT_EQ(intOf(O, "x"), 5);
+}
+
+TEST_F(InterpTest, AssertTrueContinues) {
+  load("int x; { assert x == 0; x = 1; }");
+  Outcome O = run(SemanticsMode::Original);
+  ASSERT_TRUE(O.ok());
+  EXPECT_EQ(intOf(O, "x"), 1);
+}
+
+TEST_F(InterpTest, AssertFalseIsWr) {
+  load("int x; { assert x == 1; }");
+  Outcome O = run(SemanticsMode::Original);
+  EXPECT_EQ(O.Kind, OutcomeKind::Wr);
+}
+
+TEST_F(InterpTest, AssumeFalseIsBa) {
+  load("int x; { assume x == 1; }");
+  Outcome O = run(SemanticsMode::Original);
+  EXPECT_EQ(O.Kind, OutcomeKind::Ba);
+}
+
+TEST_F(InterpTest, IfTakesCorrectBranch) {
+  load("int x, y; { if (x == 0) { y = 1; } else { y = 2; } }");
+  Outcome O = run(SemanticsMode::Original);
+  ASSERT_TRUE(O.ok());
+  EXPECT_EQ(intOf(O, "y"), 1);
+  State Init = Interp::zeroState(*P.Prog);
+  Init[P.Ctx->sym("x")] = Value(int64_t(3));
+  Outcome O2 = run(SemanticsMode::Original, Init);
+  ASSERT_TRUE(O2.ok());
+  EXPECT_EQ(intOf(O2, "y"), 2);
+}
+
+TEST_F(InterpTest, WhileIterates) {
+  load("int i, acc; { while (i < 5) { acc = acc + i; i = i + 1; } }");
+  Outcome O = run(SemanticsMode::Original);
+  ASSERT_TRUE(O.ok());
+  EXPECT_EQ(intOf(O, "i"), 5);
+  EXPECT_EQ(intOf(O, "acc"), 10);
+}
+
+TEST_F(InterpTest, NonterminatingLoopExhaustsFuel) {
+  load("int x; { while (x == 0) { skip; } }");
+  Interp I(*P.Prog, P.Ctx->symbols(), *DefaultOracle, InterpOptions{1000});
+  Outcome O = I.run(SemanticsMode::Original, Interp::zeroState(*P.Prog));
+  EXPECT_EQ(O.Kind, OutcomeKind::Stuck);
+  EXPECT_NE(O.Reason.find("fuel"), std::string::npos);
+}
+
+TEST_F(InterpTest, HavocSatisfiesPredicate) {
+  load("int x; { havoc (x) st (x > 10 && x < 13); }");
+  Outcome O = run(SemanticsMode::Original);
+  ASSERT_TRUE(O.ok()) << O.Reason;
+  EXPECT_GT(intOf(O, "x"), 10);
+  EXPECT_LT(intOf(O, "x"), 13);
+}
+
+TEST_F(InterpTest, HavocUnsatisfiableIsWr) {
+  load("int x; { havoc (x) st (x > 0 && x < 0); }");
+  Outcome O = run(SemanticsMode::Original);
+  EXPECT_EQ(O.Kind, OutcomeKind::Wr) << "havoc-f rule";
+}
+
+TEST_F(InterpTest, HavocPreservesFrame) {
+  load("int x, y; { havoc (x) st (x == 7); }");
+  State Init = Interp::zeroState(*P.Prog);
+  Init[P.Ctx->sym("y")] = Value(int64_t(99));
+  Outcome O = run(SemanticsMode::Original, Init);
+  ASSERT_TRUE(O.ok());
+  EXPECT_EQ(intOf(O, "x"), 7);
+  EXPECT_EQ(intOf(O, "y"), 99);
+}
+
+TEST_F(InterpTest, RelaxIsAssertInOriginalSemantics) {
+  // x = 0 does not satisfy x > 0, so the original execution is wr.
+  load("int x; { relax (x) st (x > 0); }");
+  Outcome O = run(SemanticsMode::Original);
+  EXPECT_EQ(O.Kind, OutcomeKind::Wr);
+}
+
+TEST_F(InterpTest, RelaxIsNoOpWhenPredicateHolds) {
+  load("int x; { x = 5; relax (x) st (x >= 0); }");
+  Outcome O = run(SemanticsMode::Original);
+  ASSERT_TRUE(O.ok());
+  EXPECT_EQ(intOf(O, "x"), 5) << "original semantics must not modify x";
+}
+
+TEST_F(InterpTest, RelaxChoosesInRelaxedSemantics) {
+  load("int x; { x = 5; relax (x) st (x == 77); }");
+  Outcome O = run(SemanticsMode::Relaxed);
+  ASSERT_TRUE(O.ok()) << O.Reason;
+  EXPECT_EQ(intOf(O, "x"), 77);
+}
+
+TEST_F(InterpTest, RelaxOverArrayPreservesLength) {
+  load("array A; { relax (A) st (true); }");
+  Outcome O = run(SemanticsMode::Relaxed);
+  ASSERT_TRUE(O.ok()) << O.Reason;
+  EXPECT_EQ(O.FinalState.at(P.Ctx->sym("A")).asArray().size(), 4u);
+}
+
+TEST_F(InterpTest, RelateEmitsObservation) {
+  load("int x; { x = 3; relate l : x<o> == x<r>; x = 4; "
+       "relate m : x<o> <= x<r>; }");
+  Outcome O = run(SemanticsMode::Original);
+  ASSERT_TRUE(O.ok());
+  ASSERT_EQ(O.Observations.size(), 2u);
+  EXPECT_EQ(P.Ctx->text(O.Observations[0].Label), "l");
+  EXPECT_EQ(O.Observations[0].Snapshot.at(P.Ctx->sym("x")).asInt(), 3);
+  EXPECT_EQ(P.Ctx->text(O.Observations[1].Label), "m");
+  EXPECT_EQ(O.Observations[1].Snapshot.at(P.Ctx->sym("x")).asInt(), 4);
+}
+
+TEST_F(InterpTest, ObservationsInsideLoopsAccumulateInOrder) {
+  load("int i; { while (i < 3) { relate l : i<o> == i<r>; i = i + 1; } }");
+  // Labels must be unique program-wide for Γ, but the dynamic semantics
+  // happily emits one observation per execution of the statement.
+  Outcome O = run(SemanticsMode::Original);
+  ASSERT_TRUE(O.ok());
+  ASSERT_EQ(O.Observations.size(), 3u);
+  for (int64_t I = 0; I != 3; ++I)
+    EXPECT_EQ(O.Observations[static_cast<size_t>(I)]
+                  .Snapshot.at(P.Ctx->sym("i"))
+                  .asInt(),
+              I);
+}
+
+TEST_F(InterpTest, ErrorsPropagateThroughSeq) {
+  load("int x; { assert x == 1; x = 99; }");
+  Outcome O = run(SemanticsMode::Original);
+  EXPECT_EQ(O.Kind, OutcomeKind::Wr);
+  EXPECT_EQ(O.FinalState.size(), 0u) << "no final state on error";
+}
+
+TEST_F(InterpTest, ObservationsSurviveErrorPropagation) {
+  load("int x; { relate l : x<o> == x<r>; assert x == 1; }");
+  Outcome O = run(SemanticsMode::Original);
+  EXPECT_EQ(O.Kind, OutcomeKind::Wr);
+  EXPECT_EQ(O.Observations.size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Initial-state validation and oracle re-validation
+//===----------------------------------------------------------------------===//
+
+TEST_F(InterpTest, RejectsMissingVariable) {
+  load("int x, y; { skip; }");
+  State Bad;
+  Bad[P.Ctx->sym("x")] = Value(int64_t(0));
+  Outcome O = run(SemanticsMode::Original, Bad);
+  EXPECT_EQ(O.Kind, OutcomeKind::Stuck);
+}
+
+TEST_F(InterpTest, RejectsWrongKind) {
+  load("array A; { skip; }");
+  State Bad;
+  Bad[P.Ctx->sym("A")] = Value(int64_t(3));
+  Outcome O = run(SemanticsMode::Original, Bad);
+  EXPECT_EQ(O.Kind, OutcomeKind::Stuck);
+}
+
+TEST_F(InterpTest, MaliciousOracleIsCaught) {
+  load("int x, y; { havoc (x) st (x > 0); }");
+  // This oracle modifies y, which is outside the havoc set.
+  State Evil = Interp::zeroState(*P.Prog);
+  Evil[P.Ctx->sym("x")] = Value(int64_t(1));
+  Evil[P.Ctx->sym("y")] = Value(int64_t(666));
+  ReplayOracle O({Evil});
+  Outcome Out = run(SemanticsMode::Original, State(), &O);
+  EXPECT_EQ(Out.Kind, OutcomeKind::Stuck);
+  EXPECT_NE(Out.Reason.find("outside the havoc set"), std::string::npos);
+}
+
+TEST_F(InterpTest, OracleViolatingPredicateIsCaught) {
+  load("int x; { havoc (x) st (x > 10); }");
+  State Bad = Interp::zeroState(*P.Prog);
+  Bad[P.Ctx->sym("x")] = Value(int64_t(3));
+  ReplayOracle O({Bad});
+  Outcome Out = run(SemanticsMode::Original, State(), &O);
+  EXPECT_EQ(Out.Kind, OutcomeKind::Stuck);
+  EXPECT_NE(Out.Reason.find("violating"), std::string::npos);
+}
+
+TEST_F(InterpTest, OracleChangingArrayLengthIsCaught) {
+  load("array A; { relax (A) st (true); }");
+  State Bad = Interp::zeroState(*P.Prog, 4);
+  Bad[P.Ctx->sym("A")] = Value(ArrayValue(2, 0));
+  ReplayOracle O({Bad});
+  Outcome Out = run(SemanticsMode::Relaxed, State(), &O);
+  EXPECT_EQ(Out.Kind, OutcomeKind::Stuck);
+}
+
+TEST_F(InterpTest, ZeroStateMatchesDeclarations) {
+  load("int x; array A; { skip; }");
+  State Z = Interp::zeroState(*P.Prog, 6);
+  EXPECT_EQ(Z.at(P.Ctx->sym("x")).asInt(), 0);
+  EXPECT_EQ(Z.at(P.Ctx->sym("A")).asArray().size(), 6u);
+}

@@ -1,0 +1,166 @@
+//===- lexer_tests.cpp - Unit tests for the lexer ------------------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace relax;
+
+namespace {
+
+/// Token::Text views into the SourceManager's buffer, so the buffer must
+/// outlive the returned tokens: a function-local static keeps the most
+/// recent buffer alive for the duration of each test body.
+std::vector<Token> lex(const std::string &Text,
+                       DiagnosticEngine *DiagsOut = nullptr) {
+  static SourceManager SM; // kept alive for Text views within one test
+  SM.setBuffer("<t>", Text);
+  DiagnosticEngine Local;
+  DiagnosticEngine &D = DiagsOut ? *DiagsOut : Local;
+  Lexer L(SM, D);
+  return L.lexAll();
+}
+
+std::vector<TokenKind> kinds(const std::string &Text) {
+  std::vector<TokenKind> Out;
+  for (const Token &T : lex(Text))
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+} // namespace
+
+TEST(Lexer, EmptyBufferIsEof) {
+  auto K = kinds("");
+  ASSERT_EQ(K.size(), 1u);
+  EXPECT_EQ(K[0], TokenKind::Eof);
+}
+
+TEST(Lexer, IdentifiersAndIntegers) {
+  auto Toks = lex("foo 42 _bar9");
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Toks[0].Text, "foo");
+  EXPECT_EQ(Toks[1].Kind, TokenKind::Integer);
+  EXPECT_EQ(Toks[1].IntValue, 42);
+  EXPECT_EQ(Toks[2].Text, "_bar9");
+}
+
+TEST(Lexer, TaggedIdentifiers) {
+  auto Toks = lex("x<o> y<r> z");
+  EXPECT_EQ(Toks[0].Tag, VarTag::Orig);
+  EXPECT_EQ(Toks[0].Text, "x");
+  EXPECT_EQ(Toks[1].Tag, VarTag::Rel);
+  EXPECT_EQ(Toks[2].Tag, VarTag::Plain);
+}
+
+TEST(Lexer, TagRequiresAdjacency) {
+  // `x < o >` is four tokens, not a tagged identifier.
+  auto K = kinds("x < o >");
+  ASSERT_EQ(K.size(), 5u);
+  EXPECT_EQ(K[0], TokenKind::Identifier);
+  EXPECT_EQ(K[1], TokenKind::Lt);
+  EXPECT_EQ(K[2], TokenKind::Identifier);
+  EXPECT_EQ(K[3], TokenKind::Gt);
+}
+
+TEST(Lexer, KeywordsAreNotIdentifiers) {
+  auto Toks = lex("relax relate relaxx");
+  EXPECT_EQ(Toks[0].Kind, TokenKind::KwRelax);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::KwRelate);
+  EXPECT_EQ(Toks[2].Kind, TokenKind::Identifier);
+}
+
+TEST(Lexer, AnnotationKeywords) {
+  auto K = kinds("invariant iinvariant rinvariant decreases diverge cases "
+                 "pre_orig pre_rel post_orig post_rel frame");
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwInvariant, TokenKind::KwIInvariant,
+      TokenKind::KwRInvariant, TokenKind::KwDecreases,
+      TokenKind::KwDiverge,   TokenKind::KwCases,
+      TokenKind::KwPreOrig,   TokenKind::KwPreRel,
+      TokenKind::KwPostOrig,  TokenKind::KwPostRel,
+      TokenKind::KwFrame,     TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, AllOperators) {
+  auto K = kinds("+ - * / % < <= > >= == != && || ! = ==> <==>");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Plus,    TokenKind::Minus,      TokenKind::Star,
+      TokenKind::Slash,   TokenKind::Percent,    TokenKind::Lt,
+      TokenKind::Le,      TokenKind::Gt,         TokenKind::Ge,
+      TokenKind::EqEq,    TokenKind::NotEq,      TokenKind::AmpAmp,
+      TokenKind::PipePipe, TokenKind::Bang,      TokenKind::Assign,
+      TokenKind::ImpliesArrow, TokenKind::IffArrow, TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, Punctuation) {
+  auto K = kinds("( ) { } [ ] ; : , .");
+  std::vector<TokenKind> Expected = {
+      TokenKind::LParen,   TokenKind::RParen, TokenKind::LBrace,
+      TokenKind::RBrace,   TokenKind::LBracket, TokenKind::RBracket,
+      TokenKind::Semi,     TokenKind::Colon,  TokenKind::Comma,
+      TokenKind::Dot,      TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, LineCommentsSkipped) {
+  auto K = kinds("x // comment with relax keyword\ny");
+  ASSERT_EQ(K.size(), 3u);
+  EXPECT_EQ(K[0], TokenKind::Identifier);
+  EXPECT_EQ(K[1], TokenKind::Identifier);
+}
+
+TEST(Lexer, BlockCommentsSkipped) {
+  auto K = kinds("x /* multi\nline */ y");
+  ASSERT_EQ(K.size(), 3u);
+}
+
+TEST(Lexer, UnterminatedBlockCommentDiagnosed) {
+  DiagnosticEngine D;
+  lex("x /* never closed", &D);
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(Lexer, UnknownCharacterDiagnosedAndSkipped) {
+  DiagnosticEngine D;
+  auto Toks = lex("x @ y", &D);
+  EXPECT_TRUE(D.hasErrors());
+  ASSERT_EQ(Toks.size(), 3u) << "lexing continues after the bad character";
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto Toks = lex("ab\n  cd");
+  EXPECT_EQ(Toks[0].Loc, SourceLoc(1, 1));
+  EXPECT_EQ(Toks[1].Loc, SourceLoc(2, 3));
+}
+
+TEST(Lexer, HugeIntegerDiagnosed) {
+  DiagnosticEngine D;
+  lex("99999999999999999999999999", &D);
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(Lexer, ImpliesVsEqualsDisambiguation) {
+  auto K = kinds("a == b ==> c = d");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Identifier, TokenKind::EqEq, TokenKind::Identifier,
+      TokenKind::ImpliesArrow, TokenKind::Identifier, TokenKind::Assign,
+      TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, IffVsLeDisambiguation) {
+  auto K = kinds("a <==> b <= c");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Identifier, TokenKind::IffArrow, TokenKind::Identifier,
+      TokenKind::Le, TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}

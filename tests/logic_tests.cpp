@@ -1,0 +1,235 @@
+//===- logic_tests.cpp - Unit tests for formula operations --------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Printer.h"
+#include "ast/Structural.h"
+#include "logic/FormulaOps.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace relax;
+
+namespace {
+
+class LogicTest : public ::testing::Test {
+protected:
+  AstContext Ctx;
+  Printer P{Ctx.symbols()};
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Free variables
+//===----------------------------------------------------------------------===//
+
+TEST_F(LogicTest, FreeVarsOfExpression) {
+  const Expr *E = Ctx.add(Ctx.var("x"), Ctx.mul(Ctx.varO("y"), Ctx.intLit(2)));
+  VarRefSet FV = freeVars(E);
+  EXPECT_EQ(FV.size(), 2u);
+  EXPECT_TRUE(FV.count(VarRef{Ctx.sym("x"), VarTag::Plain, VarKind::Int}));
+  EXPECT_TRUE(FV.count(VarRef{Ctx.sym("y"), VarTag::Orig, VarKind::Int}));
+}
+
+TEST_F(LogicTest, FreeVarsOfArrayNodes) {
+  const ArrayExpr *A = Ctx.arrayStore(Ctx.arrayRef("A"), Ctx.var("i"),
+                                      Ctx.var("v"));
+  const BoolExpr *B = Ctx.arrayEq(A, Ctx.arrayRef("B", VarTag::Rel));
+  VarRefSet FV = freeVars(B);
+  EXPECT_TRUE(FV.count(VarRef{Ctx.sym("A"), VarTag::Plain, VarKind::Array}));
+  EXPECT_TRUE(FV.count(VarRef{Ctx.sym("B"), VarTag::Rel, VarKind::Array}));
+  EXPECT_TRUE(FV.count(VarRef{Ctx.sym("i"), VarTag::Plain, VarKind::Int}));
+  EXPECT_TRUE(FV.count(VarRef{Ctx.sym("v"), VarTag::Plain, VarKind::Int}));
+}
+
+TEST_F(LogicTest, BoundVariableIsNotFree) {
+  Symbol X = Ctx.sym("x");
+  const BoolExpr *E =
+      Ctx.exists(X, VarTag::Plain, VarKind::Int,
+                 Ctx.lt(Ctx.var(X), Ctx.var("y")));
+  VarRefSet FV = freeVars(E);
+  EXPECT_EQ(FV.size(), 1u);
+  EXPECT_TRUE(FV.count(VarRef{Ctx.sym("y"), VarTag::Plain, VarKind::Int}));
+}
+
+TEST_F(LogicTest, ShadowedOccurrenceDistinctByTag) {
+  // exists x<o> . x<o> < x<r> — x<r> stays free.
+  Symbol X = Ctx.sym("x");
+  const BoolExpr *E = Ctx.exists(
+      X, VarTag::Orig, VarKind::Int,
+      Ctx.lt(Ctx.var(X, VarTag::Orig), Ctx.var(X, VarTag::Rel)));
+  VarRefSet FV = freeVars(E);
+  EXPECT_EQ(FV.size(), 1u);
+  EXPECT_TRUE(FV.count(VarRef{X, VarTag::Rel, VarKind::Int}));
+}
+
+//===----------------------------------------------------------------------===//
+// Classification
+//===----------------------------------------------------------------------===//
+
+TEST_F(LogicTest, QuantifierFree) {
+  const BoolExpr *QF = Ctx.andExpr(Ctx.lt(Ctx.var("x"), Ctx.intLit(1)),
+                                   Ctx.trueExpr());
+  EXPECT_TRUE(isQuantifierFree(QF));
+  const BoolExpr *Q =
+      Ctx.notExpr(Ctx.exists(Ctx.sym("x"), VarTag::Plain, VarKind::Int, QF));
+  EXPECT_FALSE(isQuantifierFree(Q));
+}
+
+TEST_F(LogicTest, UnaryVsRelational) {
+  const BoolExpr *U = Ctx.lt(Ctx.var("x"), Ctx.intLit(1));
+  const BoolExpr *R = Ctx.lt(Ctx.varO("x"), Ctx.varR("x"));
+  const BoolExpr *Mixed = Ctx.andExpr(U, R);
+  EXPECT_TRUE(isUnary(U));
+  EXPECT_FALSE(isRelational(U));
+  EXPECT_FALSE(isUnary(R));
+  EXPECT_TRUE(isRelational(R));
+  EXPECT_FALSE(isUnary(Mixed));
+  EXPECT_FALSE(isRelational(Mixed));
+  // `true` belongs to both categories.
+  EXPECT_TRUE(isUnary(Ctx.trueExpr()));
+  EXPECT_TRUE(isRelational(Ctx.trueExpr()));
+}
+
+//===----------------------------------------------------------------------===//
+// Substitution
+//===----------------------------------------------------------------------===//
+
+TEST_F(LogicTest, SubstitutesScalars) {
+  Subst S;
+  S.mapVar(Ctx.sym("x"), VarTag::Plain, Ctx.intLit(5));
+  const BoolExpr *B = Ctx.lt(Ctx.var("x"), Ctx.var("y"));
+  const BoolExpr *Out = substitute(Ctx, B, S);
+  EXPECT_EQ(P.print(Out), "5 < y");
+}
+
+TEST_F(LogicTest, SubstitutionIsTagSensitive) {
+  Subst S;
+  S.mapVar(Ctx.sym("x"), VarTag::Orig, Ctx.intLit(5));
+  const BoolExpr *B = Ctx.lt(Ctx.varO("x"), Ctx.varR("x"));
+  EXPECT_EQ(P.print(substitute(Ctx, B, S)), "5 < x<r>");
+}
+
+TEST_F(LogicTest, SimultaneousSubstitution) {
+  // [y/x, x/y] swaps, it does not chain.
+  Subst S;
+  S.mapVar(Ctx.sym("x"), VarTag::Plain, Ctx.var("y"));
+  S.mapVar(Ctx.sym("y"), VarTag::Plain, Ctx.var("x"));
+  const Expr *E = Ctx.sub(Ctx.var("x"), Ctx.var("y"));
+  EXPECT_EQ(P.print(substitute(Ctx, E, S)), "y - x");
+}
+
+TEST_F(LogicTest, SubstitutesArrays) {
+  Subst S;
+  S.mapArray(Ctx.sym("A"), VarTag::Plain,
+             Ctx.arrayStore(Ctx.arrayRef("A"), Ctx.intLit(0), Ctx.intLit(9)));
+  const Expr *E = Ctx.arrayRead(Ctx.arrayRef("A"), Ctx.var("i"));
+  EXPECT_EQ(P.print(substitute(Ctx, E, S)), "store(A, 0, 9)[i]");
+}
+
+TEST_F(LogicTest, ShadowingStopsSubstitution) {
+  Symbol X = Ctx.sym("x");
+  Subst S;
+  S.mapVar(X, VarTag::Plain, Ctx.intLit(1));
+  const BoolExpr *E = Ctx.exists(X, VarTag::Plain, VarKind::Int,
+                                 Ctx.lt(Ctx.var(X), Ctx.var("y")));
+  // The bound x is untouched.
+  EXPECT_EQ(P.print(substitute(Ctx, E, S)), "exists x . x < y");
+}
+
+TEST_F(LogicTest, CaptureAvoidance) {
+  // (exists x . x < y)[x/y]: the free y is replaced by x, which must not be
+  // captured by the binder.
+  Symbol X = Ctx.sym("x");
+  Subst S;
+  S.mapVar(Ctx.sym("y"), VarTag::Plain, Ctx.var(X));
+  const BoolExpr *E = Ctx.exists(X, VarTag::Plain, VarKind::Int,
+                                 Ctx.lt(Ctx.var(X), Ctx.var("y")));
+  const BoolExpr *Out = substitute(Ctx, E, S);
+  const auto *Ex = cast<ExistsExpr>(Out);
+  EXPECT_NE(Ex->var(), X) << "binder must have been renamed: " << P.print(Out);
+  VarRefSet FV = freeVars(Out);
+  EXPECT_TRUE(FV.count(VarRef{X, VarTag::Plain, VarKind::Int}))
+      << "substituted x stays free: " << P.print(Out);
+}
+
+TEST_F(LogicTest, CaptureAvoidanceForArrays) {
+  Symbol A = Ctx.sym("A");
+  Subst S;
+  S.mapArray(Ctx.sym("B"), VarTag::Plain, Ctx.arrayRef(A));
+  const BoolExpr *E = Ctx.exists(
+      A, VarTag::Plain, VarKind::Array,
+      Ctx.arrayEq(Ctx.arrayRef(A), Ctx.arrayRef("B")));
+  const BoolExpr *Out = substitute(Ctx, E, S);
+  const auto *Ex = cast<ExistsExpr>(Out);
+  EXPECT_NE(Ex->var(), A) << P.print(Out);
+}
+
+TEST_F(LogicTest, EmptySubstitutionReturnsSameNode) {
+  Subst S;
+  const BoolExpr *B = Ctx.lt(Ctx.var("x"), Ctx.intLit(1));
+  EXPECT_EQ(substitute(Ctx, B, S), B);
+}
+
+//===----------------------------------------------------------------------===//
+// Injection
+//===----------------------------------------------------------------------===//
+
+TEST_F(LogicTest, InjectionRetagsPlainVariables) {
+  const BoolExpr *B = Ctx.lt(Ctx.var("x"), Ctx.add(Ctx.var("y"), Ctx.intLit(1)));
+  EXPECT_EQ(P.print(inject(Ctx, B, VarTag::Orig)), "x<o> < y<o> + 1");
+  EXPECT_EQ(P.print(inject(Ctx, B, VarTag::Rel)), "x<r> < y<r> + 1");
+}
+
+TEST_F(LogicTest, InjectionPreservesExistingTags) {
+  const BoolExpr *B = Ctx.lt(Ctx.varO("x"), Ctx.var("y"));
+  EXPECT_EQ(P.print(inject(Ctx, B, VarTag::Rel)), "x<o> < y<r>");
+}
+
+TEST_F(LogicTest, InjectionRetagsBinders) {
+  Symbol X = Ctx.sym("x");
+  const BoolExpr *E = Ctx.exists(X, VarTag::Plain, VarKind::Int,
+                                 Ctx.lt(Ctx.var(X), Ctx.var("y")));
+  const BoolExpr *Out = inject(Ctx, E, VarTag::Rel);
+  EXPECT_EQ(P.print(Out), "exists x<r> . x<r> < y<r>");
+  EXPECT_TRUE(isRelational(Out));
+}
+
+TEST_F(LogicTest, InjectionOnArrays) {
+  const BoolExpr *B = Ctx.arrayEq(Ctx.arrayRef("A"), Ctx.arrayRef("B"));
+  EXPECT_EQ(P.print(inject(Ctx, B, VarTag::Orig)), "A<o> == B<o>");
+}
+
+TEST_F(LogicTest, PairPredicateCombinesInjections) {
+  const BoolExpr *P1 = Ctx.gt(Ctx.var("x"), Ctx.intLit(0));
+  const BoolExpr *P2 = Ctx.lt(Ctx.var("x"), Ctx.intLit(9));
+  EXPECT_EQ(P.print(pairPredicate(Ctx, P1, P2)), "x<o> > 0 && x<r> < 9");
+}
+
+TEST_F(LogicTest, IdentityRelationCoversAllDecls) {
+  Program Prog;
+  Prog.declare(Ctx.sym("x"), VarKind::Int);
+  Prog.declare(Ctx.sym("A"), VarKind::Array);
+  const BoolExpr *Id = identityRelation(Ctx, Prog);
+  EXPECT_EQ(P.print(Id), "x<o> == x<r> && A<o> == A<r>");
+  EXPECT_TRUE(isRelational(Id));
+}
+
+TEST_F(LogicTest, InjectionCommutesWithSubstitutionOnFreshNames) {
+  // injo(P[e/x]) == injo(P)[injo(e)/x<o>] for plain P, e.
+  const BoolExpr *B = Ctx.lt(Ctx.var("x"), Ctx.var("y"));
+  const Expr *E = Ctx.add(Ctx.var("z"), Ctx.intLit(1));
+  Subst S1;
+  S1.mapVar(Ctx.sym("x"), VarTag::Plain, E);
+  const BoolExpr *Left = inject(Ctx, substitute(Ctx, B, S1), VarTag::Orig);
+  Subst S2;
+  S2.mapVar(Ctx.sym("x"), VarTag::Orig, inject(Ctx, E, VarTag::Orig));
+  const BoolExpr *Right = substitute(Ctx, inject(Ctx, B, VarTag::Orig), S2);
+  EXPECT_TRUE(structurallyEqual(Left, Right))
+      << P.print(Left) << " vs " << P.print(Right);
+}

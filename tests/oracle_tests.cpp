@@ -1,0 +1,195 @@
+//===- oracle_tests.cpp - Tests for the nondeterminism oracles ----------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "eval/Interp.h"
+#include "solver/Z3Solver.h"
+#include "support/Casting.h"
+
+#include <set>
+
+using namespace relax;
+using namespace relax::test;
+
+namespace {
+
+class OracleTest : public ::testing::Test {
+protected:
+  ParsedProgram P;
+  const ChoiceStmtBase *Choice = nullptr;
+  State Current;
+
+  /// Loads a program whose body is a single havoc/relax statement.
+  void load(const std::string &Source, size_t ArrayLen = 4) {
+    P = parseProgram(Source);
+    ASSERT_TRUE(P.ok()) << P.diagnostics();
+    Choice = dyn_cast<ChoiceStmtBase>(P.Prog->body());
+    ASSERT_NE(Choice, nullptr) << "body must be one havoc/relax statement";
+    Current = Interp::zeroState(*P.Prog, ArrayLen);
+  }
+
+  ChoiceRequest request() {
+    ChoiceRequest R;
+    R.Choice = Choice;
+    R.Current = &Current;
+    R.Prog = &*P.Prog;
+    return R;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// IdentityOracle
+//===----------------------------------------------------------------------===//
+
+TEST_F(OracleTest, IdentityAcceptsSatisfiedPredicate) {
+  load("int x; { havoc (x) st (x == 0); }");
+  IdentityOracle O;
+  ChoiceResult R = O.choose(request());
+  ASSERT_EQ(R.Status, ChoiceStatus::Found);
+  EXPECT_EQ(R.NewState, Current);
+}
+
+TEST_F(OracleTest, IdentityGivesUpWhenPredicateFails) {
+  load("int x; { havoc (x) st (x == 5); }");
+  IdentityOracle O;
+  EXPECT_EQ(O.choose(request()).Status, ChoiceStatus::Unknown);
+}
+
+//===----------------------------------------------------------------------===//
+// RandomSearchOracle
+//===----------------------------------------------------------------------===//
+
+TEST_F(OracleTest, RandomSearchFindsEasyTargets) {
+  load("int x; { havoc (x) st (x > 0); }");
+  RandomSearchOracle O;
+  ChoiceResult R = O.choose(request());
+  ASSERT_EQ(R.Status, ChoiceStatus::Found);
+  EXPECT_GT(R.NewState.at(P.Ctx->sym("x")).asInt(), 0);
+}
+
+TEST_F(OracleTest, RandomSearchNeverClaimsUnsat) {
+  load("int x; { havoc (x) st (x > 0 && x < 0); }");
+  RandomSearchOracle O;
+  EXPECT_EQ(O.choose(request()).Status, ChoiceStatus::Unknown)
+      << "random search cannot prove absence";
+}
+
+TEST_F(OracleTest, RandomSearchIsSeedDeterministic) {
+  load("int x; { havoc (x) st (x > 0); }");
+  RandomSearchOracle::Options Opts;
+  Opts.Seed = 42;
+  RandomSearchOracle A(Opts), B(Opts);
+  EXPECT_EQ(A.choose(request()).NewState, B.choose(request()).NewState);
+}
+
+TEST_F(OracleTest, RandomSearchRandomizesArrays) {
+  load("array A; { relax (A) st (A[0] > 0); }");
+  RandomSearchOracle O;
+  ChoiceResult R = O.choose(request());
+  ASSERT_EQ(R.Status, ChoiceStatus::Found);
+  const ArrayValue &Arr = R.NewState.at(P.Ctx->sym("A")).asArray();
+  ASSERT_EQ(Arr.size(), 4u) << "length preserved";
+  EXPECT_GT(Arr[0], 0);
+}
+
+//===----------------------------------------------------------------------===//
+// SolverOracle
+//===----------------------------------------------------------------------===//
+
+TEST_F(OracleTest, SolverOracleSolvesNarrowPredicates) {
+  load("int x, y; { havoc (x, y) st (x + y == 100 && x - y == 2); }");
+  Z3Solver S(P.Ctx->symbols());
+  SolverOracle O(*P.Ctx, S);
+  ChoiceResult R = O.choose(request());
+  ASSERT_EQ(R.Status, ChoiceStatus::Found);
+  EXPECT_EQ(R.NewState.at(P.Ctx->sym("x")).asInt(), 51);
+  EXPECT_EQ(R.NewState.at(P.Ctx->sym("y")).asInt(), 49);
+}
+
+TEST_F(OracleTest, SolverOracleReportsUnsat) {
+  load("int x; { havoc (x) st (x > 0 && x < 0); }");
+  Z3Solver S(P.Ctx->symbols());
+  SolverOracle O(*P.Ctx, S);
+  EXPECT_EQ(O.choose(request()).Status, ChoiceStatus::Unsat);
+}
+
+TEST_F(OracleTest, SolverOraclePinsFrameVariables) {
+  load("int x, y; { havoc (x) st (x > y); }");
+  Current[P.Ctx->sym("y")] = Value(int64_t(41));
+  Z3Solver S(P.Ctx->symbols());
+  SolverOracle O(*P.Ctx, S);
+  ChoiceResult R = O.choose(request());
+  ASSERT_EQ(R.Status, ChoiceStatus::Found);
+  EXPECT_EQ(R.NewState.at(P.Ctx->sym("y")).asInt(), 41);
+  EXPECT_GT(R.NewState.at(P.Ctx->sym("x")).asInt(), 41);
+}
+
+TEST_F(OracleTest, SolverOracleRespectsPredicateOverArrayContents) {
+  load("array A; { relax (A) st (A[0] + A[1] == 9); }");
+  Z3Solver S(P.Ctx->symbols());
+  SolverOracle O(*P.Ctx, S);
+  ChoiceResult R = O.choose(request());
+  ASSERT_EQ(R.Status, ChoiceStatus::Found);
+  const ArrayValue &Arr = R.NewState.at(P.Ctx->sym("A")).asArray();
+  ASSERT_EQ(Arr.size(), 4u);
+  EXPECT_EQ(Arr[0] + Arr[1], 9);
+}
+
+TEST_F(OracleTest, SolverOracleDiversityAcrossSeeds) {
+  load("int x; { havoc (x) st (x >= 0 && x <= 1000); }");
+  Z3Solver S(P.Ctx->symbols());
+  std::set<int64_t> Seen;
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    SolverOracle::Options Opts;
+    Opts.Seed = Seed;
+    SolverOracle O(*P.Ctx, S, Opts);
+    ChoiceResult R = O.choose(request());
+    ASSERT_EQ(R.Status, ChoiceStatus::Found);
+    Seen.insert(R.NewState.at(P.Ctx->sym("x")).asInt());
+  }
+  EXPECT_GT(Seen.size(), 1u) << "different seeds should explore the space";
+}
+
+//===----------------------------------------------------------------------===//
+// ReplayOracle and ChainOracle
+//===----------------------------------------------------------------------===//
+
+TEST_F(OracleTest, ReplayFollowsScriptThenGivesUp) {
+  load("int x; { havoc (x) st (x > 0); }");
+  State S1 = Current, S2 = Current;
+  S1[P.Ctx->sym("x")] = Value(int64_t(1));
+  S2[P.Ctx->sym("x")] = Value(int64_t(2));
+  ReplayOracle O({S1, S2});
+  EXPECT_EQ(O.choose(request()).NewState, S1);
+  EXPECT_EQ(O.choose(request()).NewState, S2);
+  EXPECT_EQ(O.choose(request()).Status, ChoiceStatus::Unknown);
+}
+
+TEST_F(OracleTest, ChainFallsThroughOnUnknown) {
+  load("int x; { havoc (x) st (x == 5); }");
+  IdentityOracle First; // fails: current x is 0
+  Z3Solver S(P.Ctx->symbols());
+  SolverOracle Second(*P.Ctx, S);
+  ChainOracle O(First, Second);
+  ChoiceResult R = O.choose(request());
+  ASSERT_EQ(R.Status, ChoiceStatus::Found);
+  EXPECT_EQ(R.NewState.at(P.Ctx->sym("x")).asInt(), 5);
+}
+
+TEST_F(OracleTest, ChainPrefersFirstOracle) {
+  load("int x; { havoc (x) st (x == 0); }");
+  IdentityOracle First; // succeeds: keeps x == 0
+  Z3Solver S(P.Ctx->symbols());
+  SolverOracle Second(*P.Ctx, S);
+  ChainOracle O(First, Second);
+  ChoiceResult R = O.choose(request());
+  ASSERT_EQ(R.Status, ChoiceStatus::Found);
+  EXPECT_EQ(R.NewState, Current);
+}

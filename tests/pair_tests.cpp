@@ -1,0 +1,216 @@
+//===- pair_tests.cpp - Tests for pair execution and compatibility -------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "eval/PairRunner.h"
+#include "sema/Sema.h"
+#include "solver/Z3Solver.h"
+
+using namespace relax;
+using namespace relax::test;
+
+namespace {
+
+class PairTest : public ::testing::Test {
+protected:
+  ParsedProgram P;
+  std::unique_ptr<Z3Solver> Backend;
+  RelateMap Gamma;
+
+  void load(const std::string &Source) {
+    P = parseProgram(Source);
+    ASSERT_TRUE(P.ok()) << P.diagnostics();
+    Backend = std::make_unique<Z3Solver>(P.Ctx->symbols());
+    DiagnosticEngine D;
+    Sema S(*P.Prog, D);
+    auto Info = S.run();
+    ASSERT_TRUE(Info.has_value()) << D.render();
+    Gamma = RelateMap(Info->relateMap().begin(), Info->relateMap().end());
+  }
+
+  PairOutcome runPair(uint64_t Seed = 1, size_t ArrayLen = 4) {
+    PairRunner Runner(*P.Prog, P.Ctx->symbols(), Gamma);
+    SolverOracle::Options OO;
+    OO.Seed = Seed;
+    SolverOracle OrigOracle(*P.Ctx, *Backend, OO);
+    SolverOracle::Options RO;
+    RO.Seed = Seed + 1000;
+    SolverOracle RelOracle(*P.Ctx, *Backend, RO);
+    return Runner.run(Interp::zeroState(*P.Prog, ArrayLen), OrigOracle,
+                      RelOracle);
+  }
+};
+
+Observation obs(AstContext &Ctx, const char *Label, const char *Var,
+                int64_t V) {
+  Observation O;
+  O.Label = Ctx.sym(Label);
+  O.Snapshot[Ctx.sym(Var)] = Value(V);
+  return O;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Observational compatibility (Theorem 6's relation, checked dynamically)
+//===----------------------------------------------------------------------===//
+
+TEST(Compat, EmptyListsAreCompatible) {
+  AstContext Ctx;
+  RelateMap Gamma;
+  CompatResult R = checkObservationalCompatibility(Gamma, {}, {},
+                                                   Ctx.symbols());
+  EXPECT_TRUE(R.Compatible);
+}
+
+TEST(Compat, LengthMismatchIsIncompatible) {
+  AstContext Ctx;
+  RelateMap Gamma;
+  Gamma[Ctx.sym("l")] = Ctx.eq(Ctx.varO("x"), Ctx.varR("x"));
+  CompatResult R = checkObservationalCompatibility(
+      Gamma, {obs(Ctx, "l", "x", 1)}, {}, Ctx.symbols());
+  EXPECT_FALSE(R.Compatible);
+  EXPECT_NE(R.Reason.find("lengths"), std::string::npos);
+}
+
+TEST(Compat, LabelMismatchIsIncompatible) {
+  AstContext Ctx;
+  RelateMap Gamma;
+  Gamma[Ctx.sym("l")] = Ctx.trueExpr();
+  Gamma[Ctx.sym("m")] = Ctx.trueExpr();
+  CompatResult R = checkObservationalCompatibility(
+      Gamma, {obs(Ctx, "l", "x", 1)}, {obs(Ctx, "m", "x", 1)},
+      Ctx.symbols());
+  EXPECT_FALSE(R.Compatible);
+  EXPECT_NE(R.Reason.find("labels"), std::string::npos);
+}
+
+TEST(Compat, PredicateEvaluatedOnStatePair) {
+  AstContext Ctx;
+  RelateMap Gamma;
+  Gamma[Ctx.sym("l")] = Ctx.le(Ctx.varO("x"), Ctx.varR("x"));
+  // 1 <= 2: compatible.
+  CompatResult Ok = checkObservationalCompatibility(
+      Gamma, {obs(Ctx, "l", "x", 1)}, {obs(Ctx, "l", "x", 2)},
+      Ctx.symbols());
+  EXPECT_TRUE(Ok.Compatible);
+  // 3 <= 2 fails.
+  CompatResult Bad = checkObservationalCompatibility(
+      Gamma, {obs(Ctx, "l", "x", 3)}, {obs(Ctx, "l", "x", 2)},
+      Ctx.symbols());
+  EXPECT_FALSE(Bad.Compatible);
+  EXPECT_EQ(Bad.ViolationIndex, 0u);
+}
+
+TEST(Compat, FirstViolationIndexReported) {
+  AstContext Ctx;
+  RelateMap Gamma;
+  Gamma[Ctx.sym("l")] = Ctx.eq(Ctx.varO("x"), Ctx.varR("x"));
+  CompatResult R = checkObservationalCompatibility(
+      Gamma,
+      {obs(Ctx, "l", "x", 1), obs(Ctx, "l", "x", 5)},
+      {obs(Ctx, "l", "x", 1), obs(Ctx, "l", "x", 6)}, Ctx.symbols());
+  EXPECT_FALSE(R.Compatible);
+  EXPECT_EQ(R.ViolationIndex, 1u);
+}
+
+TEST(Compat, MissingGammaEntryIsAnError) {
+  AstContext Ctx;
+  RelateMap Gamma;
+  CompatResult R = checkObservationalCompatibility(
+      Gamma, {obs(Ctx, "l", "x", 1)}, {obs(Ctx, "l", "x", 1)},
+      Ctx.symbols());
+  EXPECT_FALSE(R.Compatible);
+}
+
+//===----------------------------------------------------------------------===//
+// PairRunner
+//===----------------------------------------------------------------------===//
+
+TEST_F(PairTest, DeterministicProgramProducesIdenticalRuns) {
+  load("int x; { x = x + 1; relate l : x<o> == x<r>; }");
+  PairOutcome O = runPair();
+  ASSERT_TRUE(O.Orig.ok());
+  ASSERT_TRUE(O.Rel.ok());
+  EXPECT_TRUE(O.Compat.Compatible);
+  EXPECT_EQ(O.Orig.FinalState, O.Rel.FinalState);
+}
+
+TEST_F(PairTest, RelaxationCanViolateAnUnverifiableRelate) {
+  // The relate requires equality but the relaxation allows drift: some
+  // seeds must expose the incompatibility, demonstrating the checker has
+  // teeth (this program would NOT verify).
+  load("int x; { relax (x) st (x >= 0 && x <= 50); "
+       "relate l : x<o> == x<r>; }");
+  bool SawViolation = false;
+  for (uint64_t Seed = 1; Seed <= 10 && !SawViolation; ++Seed) {
+    PairOutcome O = runPair(Seed);
+    ASSERT_TRUE(O.Orig.ok()) << O.Orig.Reason;
+    ASSERT_TRUE(O.Rel.ok()) << O.Rel.Reason;
+    SawViolation = !O.Compat.Compatible;
+  }
+  EXPECT_TRUE(SawViolation);
+}
+
+TEST_F(PairTest, RelaxationWithinBoundsStaysCompatible) {
+  load("int x; { relax (x) st (x >= 0 && x <= 50); "
+       "relate l : x<r> >= 0 && x<r> <= 50 && x<o> == 0; }");
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    PairOutcome O = runPair(Seed);
+    ASSERT_TRUE(O.Orig.ok());
+    ASSERT_TRUE(O.Rel.ok());
+    EXPECT_TRUE(O.Compat.Compatible) << O.Compat.Reason;
+  }
+}
+
+TEST_F(PairTest, OriginalErrorIsReportedSeparately) {
+  load("int x; { assert x == 1; }");
+  PairOutcome O = runPair();
+  EXPECT_TRUE(O.origErred());
+  EXPECT_TRUE(O.relErred());
+}
+
+//===----------------------------------------------------------------------===//
+// randomInitialState
+//===----------------------------------------------------------------------===//
+
+TEST_F(PairTest, RandomInitialStateSatisfiesRequires) {
+  load("int x, y; requires (x > 10 && y < x); { skip; }");
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    Result<State> S =
+        randomInitialState(*P.Ctx, *P.Prog, *Backend, Seed, 4);
+    ASSERT_TRUE(S.ok()) << S.message();
+    EXPECT_GT(S->at(P.Ctx->sym("x")).asInt(), 10);
+    EXPECT_LT(S->at(P.Ctx->sym("y")).asInt(), S->at(P.Ctx->sym("x")).asInt());
+  }
+}
+
+TEST_F(PairTest, RandomInitialStateVariesWithSeed) {
+  load("int x; requires (x >= 0 && x <= 1000); { skip; }");
+  std::set<int64_t> Seen;
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    Result<State> S =
+        randomInitialState(*P.Ctx, *P.Prog, *Backend, Seed, 4);
+    ASSERT_TRUE(S.ok());
+    Seen.insert(S->at(P.Ctx->sym("x")).asInt());
+  }
+  EXPECT_GT(Seen.size(), 1u);
+}
+
+TEST_F(PairTest, RandomInitialStateRejectsUnsatRequires) {
+  load("int x; requires (x > 0 && x < 0); { skip; }");
+  Result<State> S = randomInitialState(*P.Ctx, *P.Prog, *Backend, 1, 4);
+  EXPECT_FALSE(S.ok());
+}
+
+TEST_F(PairTest, RandomInitialStateHonorsArrayConstraints) {
+  load("array A; requires (A[0] > 5 && len(A) >= 2); { skip; }");
+  Result<State> S = randomInitialState(*P.Ctx, *P.Prog, *Backend, 3, 4);
+  ASSERT_TRUE(S.ok()) << S.message();
+  EXPECT_GT(S->at(P.Ctx->sym("A")).asArray()[0], 5);
+}

@@ -1,0 +1,321 @@
+//===- parser_tests.cpp - Unit tests for the parser ----------------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "ast/Printer.h"
+#include "support/Casting.h"
+
+using namespace relax;
+using namespace relax::test;
+
+namespace {
+
+/// Parses a program that must succeed and returns it.
+ParsedProgram mustParse(const std::string &Source) {
+  ParsedProgram P = parseProgram(Source);
+  EXPECT_TRUE(P.ok()) << P.diagnostics();
+  return P;
+}
+
+/// Expects a parse failure whose diagnostics mention \p Needle.
+void expectParseError(const std::string &Source, const std::string &Needle) {
+  ParsedProgram P = parseProgram(Source);
+  EXPECT_FALSE(P.ok());
+  EXPECT_NE(P.diagnostics().find(Needle), std::string::npos)
+      << "diagnostics were:\n"
+      << P.diagnostics();
+}
+
+} // namespace
+
+TEST(Parser, MinimalProgram) {
+  ParsedProgram P = mustParse("{ skip; }");
+  ASSERT_TRUE(P.ok());
+  EXPECT_TRUE(isa<SkipStmt>(P.Prog->body()));
+}
+
+TEST(Parser, DeclarationsAndKinds) {
+  ParsedProgram P = mustParse("int x, y; array A; { x = y + A[0]; }");
+  ASSERT_TRUE(P.ok());
+  EXPECT_EQ(P.Prog->kindOf(P.Ctx->sym("x")), VarKind::Int);
+  EXPECT_EQ(P.Prog->kindOf(P.Ctx->sym("A")), VarKind::Array);
+  EXPECT_EQ(P.Prog->decls().size(), 3u);
+}
+
+TEST(Parser, ContractClauses) {
+  ParsedProgram P = mustParse("int x;\n"
+                              "requires (x >= 0);\n"
+                              "ensures (x >= 1);\n"
+                              "rrequires (x<o> == x<r>);\n"
+                              "rensures (x<o> <= x<r>);\n"
+                              "{ x = x + 1; }");
+  ASSERT_TRUE(P.ok());
+  EXPECT_NE(P.Prog->requiresClause(), nullptr);
+  EXPECT_NE(P.Prog->ensuresClause(), nullptr);
+  EXPECT_NE(P.Prog->relRequiresClause(), nullptr);
+  EXPECT_NE(P.Prog->relEnsuresClause(), nullptr);
+}
+
+TEST(Parser, ArithmeticPrecedence) {
+  ParsedProgram P = mustParse("int x, y; { x = 1 + 2 * y; }");
+  const auto *A = cast<AssignStmt>(P.Prog->body());
+  const auto *Add = cast<BinaryExpr>(A->value());
+  EXPECT_EQ(Add->op(), BinaryOp::Add);
+  EXPECT_EQ(cast<BinaryExpr>(Add->rhs())->op(), BinaryOp::Mul);
+}
+
+TEST(Parser, UnaryMinusDesugarsToSubtraction) {
+  ParsedProgram P = mustParse("int x; { x = -5; }");
+  const auto *A = cast<AssignStmt>(P.Prog->body());
+  const auto *Sub = cast<BinaryExpr>(A->value());
+  EXPECT_EQ(Sub->op(), BinaryOp::Sub);
+  EXPECT_EQ(cast<IntLitExpr>(Sub->lhs())->value(), 0);
+  EXPECT_EQ(cast<IntLitExpr>(Sub->rhs())->value(), 5);
+}
+
+TEST(Parser, ParenthesizedComparisonOperand) {
+  // Requires the speculative-parse path: '(' starts an arithmetic factor.
+  ParsedProgram P = mustParse("int x; { assert (x + 1) * 2 > 0; }");
+  EXPECT_TRUE(P.ok());
+}
+
+TEST(Parser, ParenthesizedFormula) {
+  // Requires the formula fallback path.
+  ParsedProgram P = mustParse("int x, y; { assert (x > 0 || y > 0) && x < 9; }");
+  const auto *A = cast<AssertStmt>(P.Prog->body());
+  EXPECT_EQ(cast<LogicalExpr>(A->pred())->op(), LogicalOp::And);
+}
+
+TEST(Parser, BooleanPrecedenceAndOverOr) {
+  ParsedProgram P = mustParse("int x; { assert x > 0 && x < 5 || x == 9; }");
+  const auto *A = cast<AssertStmt>(P.Prog->body());
+  EXPECT_EQ(cast<LogicalExpr>(A->pred())->op(), LogicalOp::Or);
+}
+
+TEST(Parser, ImpliesIsRightAssociative) {
+  ParsedProgram P =
+      mustParse("int x; { assert x > 0 ==> x > 1 ==> x > 2; }");
+  const auto *A = cast<AssertStmt>(P.Prog->body());
+  const auto *Top = cast<LogicalExpr>(A->pred());
+  EXPECT_EQ(Top->op(), LogicalOp::Implies);
+  EXPECT_TRUE(isa<CmpExpr>(Top->lhs()));
+  EXPECT_EQ(cast<LogicalExpr>(Top->rhs())->op(), LogicalOp::Implies);
+}
+
+TEST(Parser, HavocAndRelaxStatements) {
+  ParsedProgram P = mustParse(
+      "int x, y; { havoc (x, y) st (x < y); relax (x) st (x >= 0); }");
+  const auto *Q = cast<SeqStmt>(P.Prog->body());
+  const auto *H = cast<HavocStmt>(Q->first());
+  EXPECT_EQ(H->varCount(), 2u);
+  const auto *R = cast<RelaxStmt>(Q->second());
+  EXPECT_EQ(R->varCount(), 1u);
+}
+
+TEST(Parser, RelateStatement) {
+  ParsedProgram P =
+      mustParse("int x; { relate l1 : x<o> == x<r>; }");
+  const auto *R = cast<RelateStmt>(P.Prog->body());
+  EXPECT_EQ(P.Ctx->text(R->label()), "l1");
+  EXPECT_TRUE(isa<CmpExpr>(R->pred()));
+}
+
+TEST(Parser, WhileWithAllAnnotationKinds) {
+  ParsedProgram P = mustParse(
+      "int i, n;\n"
+      "{ while (i < n)\n"
+      "    invariant (i <= n)\n"
+      "    iinvariant (i <= n + 1)\n"
+      "    rinvariant (i<o> == i<r>)\n"
+      "  { i = i + 1; } }");
+  const auto *W = cast<WhileStmt>(P.Prog->body());
+  EXPECT_NE(W->annotations()->Invariant, nullptr);
+  EXPECT_NE(W->annotations()->IntermediateInvariant, nullptr);
+  EXPECT_NE(W->annotations()->RelInvariant, nullptr);
+}
+
+TEST(Parser, DivergeAnnotationOnWhile) {
+  ParsedProgram P = mustParse(
+      "int i, n;\n"
+      "{ while (i < n)\n"
+      "    invariant (i <= n)\n"
+      "    diverge pre_orig (i == 0) pre_rel (i == 0)\n"
+      "            post_orig (i == n) post_rel (i == n)\n"
+      "            frame (n<o> == n<r>)\n"
+      "  { i = i + 1; } }");
+  const auto *W = cast<WhileStmt>(P.Prog->body());
+  ASSERT_NE(W->diverge(), nullptr);
+  EXPECT_NE(W->diverge()->PreOrig, nullptr);
+  EXPECT_NE(W->diverge()->Frame, nullptr);
+  EXPECT_FALSE(W->diverge()->CaseAnalysis);
+}
+
+TEST(Parser, DivergeCasesOnIf) {
+  ParsedProgram P = mustParse("int x; { if (x > 0) diverge cases { x = 1; } }");
+  const auto *I = cast<IfStmt>(P.Prog->body());
+  ASSERT_NE(I->diverge(), nullptr);
+  EXPECT_TRUE(I->diverge()->CaseAnalysis);
+}
+
+TEST(Parser, IfElse) {
+  ParsedProgram P =
+      mustParse("int x; { if (x > 0) { x = 1; } else { x = 2; } }");
+  const auto *I = cast<IfStmt>(P.Prog->body());
+  EXPECT_TRUE(isa<AssignStmt>(I->thenStmt()));
+  EXPECT_TRUE(isa<AssignStmt>(I->elseStmt()));
+}
+
+TEST(Parser, ArrayReadWriteAndLen) {
+  ParsedProgram P = mustParse(
+      "array A; int i; { A[i] = A[i + 1] + len(A); }");
+  const auto *W = cast<ArrayAssignStmt>(P.Prog->body());
+  EXPECT_TRUE(isa<VarExpr>(W->index()));
+  EXPECT_TRUE(isa<BinaryExpr>(W->value()));
+}
+
+TEST(Parser, ArrayComparisonInFormula) {
+  ParsedProgram P = mustParse(
+      "array A, B; { assume A == B; assume A != store(B, 0, 1); }");
+  const auto *Q = cast<SeqStmt>(P.Prog->body());
+  const auto *First = cast<AssumeStmt>(Q->first());
+  EXPECT_TRUE(cast<ArrayCmpExpr>(First->pred())->isEquality());
+  const auto *Second = cast<AssumeStmt>(Q->second());
+  EXPECT_FALSE(cast<ArrayCmpExpr>(Second->pred())->isEquality());
+}
+
+TEST(Parser, TaggedArraysInRelationalFormulas) {
+  ParsedProgram P = mustParse(
+      "array A; rrequires (A<o> == A<r> && len(A<o>) == len(A<r>)); "
+      "{ skip; }");
+  EXPECT_TRUE(P.ok());
+}
+
+TEST(Parser, ExistsQuantifierScalarAndArray) {
+  ParsedProgram P = mustParse(
+      "int x; requires (exists y . y > x); "
+      "ensures (exists array B . len(B) == x); { skip; }");
+  ASSERT_TRUE(P.ok());
+  EXPECT_TRUE(isa<ExistsExpr>(P.Prog->requiresClause()));
+  const auto *E = cast<ExistsExpr>(P.Prog->ensuresClause());
+  EXPECT_EQ(E->varKind(), VarKind::Array);
+}
+
+TEST(Parser, ExistsBinderShadowsDeclaration) {
+  // `x` is an int; the binder introduces an array named x inside only.
+  ParsedProgram P = mustParse(
+      "int x; requires (exists array x . len(x) > 0); { skip; }");
+  EXPECT_TRUE(P.ok());
+}
+
+//===----------------------------------------------------------------------===//
+// Errors and recovery
+//===----------------------------------------------------------------------===//
+
+TEST(ParserError, UndeclaredVariable) {
+  expectParseError("{ x = 1; }", "undeclared");
+}
+
+TEST(ParserError, Redeclaration) {
+  expectParseError("int x; array x; { skip; }", "redeclaration");
+}
+
+TEST(ParserError, TaggedAssignmentTarget) {
+  expectParseError("int x; { x<o> = 1; }", "tagged");
+}
+
+TEST(ParserError, MissingSemicolon) {
+  expectParseError("int x; { x = 1 }", "expected ';'");
+}
+
+TEST(ParserError, DuplicateDivergeClause) {
+  expectParseError("int x, n;\n"
+                   "{ while (x < n) diverge pre_orig (x == 0) pre_orig (x == 1)"
+                   " { x = x + 1; } }",
+                   "duplicate");
+}
+
+TEST(ParserError, DuplicateInvariantClause) {
+  expectParseError(
+      "int x, n; { while (x < n) invariant (x <= n) invariant (x >= 0) "
+      "{ x = x + 1; } }",
+      "duplicate");
+}
+
+TEST(ParserError, NonArraySubscripted) {
+  expectParseError("int x; { x = x[0]; }", "is not an array");
+}
+
+TEST(ParserError, ArrayUsedAsScalarInComparison) {
+  expectParseError("array A; int x; { assert x == A; }", "");
+}
+
+TEST(ParserError, RecoveryProducesMultipleDiagnostics) {
+  ParsedProgram P = parseProgram("int x; { x = ; y = 2; x = 3; }");
+  EXPECT_FALSE(P.ok());
+  EXPECT_GE(P.Diags.errorCount(), 2u) << P.diagnostics();
+}
+
+TEST(ParserError, MissingComparisonOperator) {
+  expectParseError("int x; { assert x + 1; }", "comparison");
+}
+
+TEST(ParserError, TrailingTokens) {
+  expectParseError("int x; { skip; } garbage", "trailing");
+}
+
+//===----------------------------------------------------------------------===//
+// Round-trip: print -> parse -> print is a fixpoint
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void expectRoundTrip(const std::string &Source) {
+  ParsedProgram P1 = mustParse(Source);
+  ASSERT_TRUE(P1.ok());
+  Printer Pr1(P1.Ctx->symbols());
+  std::string Printed1 = Pr1.print(*P1.Prog);
+
+  ParsedProgram P2 = mustParse(Printed1);
+  ASSERT_TRUE(P2.ok()) << "printed form failed to parse:\n" << Printed1;
+  Printer Pr2(P2.Ctx->symbols());
+  EXPECT_EQ(Printed1, Pr2.print(*P2.Prog));
+}
+
+} // namespace
+
+TEST(ParserRoundTrip, Simple) {
+  expectRoundTrip("int x; requires (x >= 0); { x = x * 2 + 1; }");
+}
+
+TEST(ParserRoundTrip, ControlFlowAndAnnotations) {
+  expectRoundTrip(
+      "int i, n;\n"
+      "{ while (i < n) invariant (i <= n) rinvariant (i<o> == i<r>) "
+      "{ if (i % 2 == 0) { i = i + 2; } else { i = i + 1; } } }");
+}
+
+TEST(ParserRoundTrip, RelaxHavocRelate) {
+  expectRoundTrip(
+      "int x, y;\n"
+      "{ havoc (x) st (x > 0); relax (y) st (y > x); "
+      "relate l : x<o> == x<r>; assume y > 0; assert x > 0; }");
+}
+
+TEST(ParserRoundTrip, Arrays) {
+  expectRoundTrip("array A; int i;\n"
+                  "requires (len(A) > 0);\n"
+                  "{ A[0] = A[len(A) - 1]; relax (A) st (true); }");
+}
+
+TEST(ParserRoundTrip, ExampleFilesParse) {
+  for (const char *Name : {"swish.rlx", "water.rlx", "lu.rlx"}) {
+    SourceManager SM;
+    ASSERT_TRUE(SM.loadFile(examplePath(Name)).ok()) << Name;
+    expectRoundTrip(std::string(SM.buffer()));
+  }
+}

@@ -1,0 +1,186 @@
+//===- proofcheck_tests.cpp - Tests for the derivation checker -----------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+// The ProofChecker plays the role of the paper's Coq soundness lemmas for
+// this implementation: it differentially tests recorded derivations
+// against the interpreter. These tests validate it on correct derivations
+// (no violations) and on fabricated unsound ones (violations found).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "vcgen/ProofChecker.h"
+
+using namespace relax;
+using namespace relax::test;
+
+namespace {
+
+struct CheckedProgram {
+  ParsedProgram P;
+  std::unique_ptr<Z3Solver> Backend;
+  std::unique_ptr<CachingSolver> Solver;
+  VCSet Original;
+  VCSet Relaxed;
+};
+
+CheckedProgram generate(const std::string &Source) {
+  CheckedProgram Out;
+  Out.P = parseProgram(Source);
+  EXPECT_TRUE(Out.P.ok()) << Out.P.diagnostics();
+  if (!Out.P.ok())
+    return Out;
+  Out.Backend = std::make_unique<Z3Solver>(Out.P.Ctx->symbols());
+  Out.Solver = std::make_unique<CachingSolver>(*Out.Backend);
+
+  DiagnosticEngine D;
+  const Program &Prog = *Out.P.Prog;
+  AstContext &Ctx = *Out.P.Ctx;
+  const BoolExpr *Pre =
+      Prog.requiresClause() ? Prog.requiresClause() : Ctx.trueExpr();
+  UnaryVCGen OGen(Ctx, Prog, JudgmentKind::Original, D);
+  OGen.genTriple(Pre, Prog.body(), Prog.ensuresClause()
+                                       ? Prog.ensuresClause()
+                                       : Ctx.trueExpr());
+  Out.Original = OGen.take();
+
+  Verifier V(Ctx, Prog, *Out.Solver, D);
+  RelationalVCGen RGen(Ctx, Prog, D);
+  RGen.genTriple(V.effectiveRelRequires(), Prog.body(), Ctx.trueExpr());
+  Out.Relaxed = RGen.take();
+  return Out;
+}
+
+ProofCheckReport runChecker(CheckedProgram &CP, const VCSet &Set) {
+  ProofChecker Checker(*CP.P.Ctx, *CP.P.Prog, *CP.Solver);
+  return Checker.check(Set);
+}
+
+} // namespace
+
+TEST(ProofCheck, AcceptsSoundUnaryDerivation) {
+  CheckedProgram CP = generate(
+      "int x, y; requires (x >= 0 && x <= 5);\n"
+      "{ y = x * 2; if (y > 4) { y = y - 1; } assert y >= 0; }");
+  ASSERT_TRUE(CP.P.ok());
+  ProofCheckReport R = runChecker(CP, CP.Original);
+  EXPECT_TRUE(R.ok()) << (R.Violations.empty() ? ""
+                                               : R.Violations[0].Detail);
+  EXPECT_GT(R.StepsChecked, 3u);
+  EXPECT_GT(R.SamplesRun, 0u);
+}
+
+TEST(ProofCheck, AcceptsSoundRelationalDerivation) {
+  CheckedProgram CP = generate(
+      "int x; requires (x >= 0 && x <= 5);\n"
+      "{ relax (x) st (x >= 0 && x <= 9); assert x >= 0; }");
+  ASSERT_TRUE(CP.P.ok());
+  ProofCheckReport R = runChecker(CP, CP.Relaxed);
+  EXPECT_TRUE(R.ok()) << (R.Violations.empty() ? ""
+                                               : R.Violations[0].Detail);
+  EXPECT_GT(R.StepsChecked, 1u);
+}
+
+TEST(ProofCheck, AcceptsLoopDerivations) {
+  CheckedProgram CP = generate(
+      "int i, n; requires (i == 0 && n >= 0 && n <= 6);\n"
+      "{ while (i < n) invariant (i <= n)\n"
+      "  rinvariant (i<o> == i<r> && n<o> == n<r>) { i = i + 1; } }");
+  ASSERT_TRUE(CP.P.ok());
+  EXPECT_TRUE(runChecker(CP, CP.Original).ok());
+  EXPECT_TRUE(runChecker(CP, CP.Relaxed).ok());
+}
+
+TEST(ProofCheck, AcceptsHavocAndArrays) {
+  CheckedProgram CP = generate(
+      "array A; int x;\n"
+      "requires (len(A) >= 1 && x >= 0 && x <= 3);\n"
+      "{ A[0] = x; havoc (x) st (x >= 1 && x <= 4); assert x >= 1; }");
+  ASSERT_TRUE(CP.P.ok());
+  EXPECT_TRUE(runChecker(CP, CP.Original).ok());
+}
+
+TEST(ProofCheck, FlagsFabricatedUnsoundPostcondition) {
+  // Hand-build a derivation claiming {true} x = x + 1 {x == 0}: the
+  // checker must catch it dynamically even though no generator would
+  // produce it.
+  CheckedProgram CP = generate("int x; requires (x >= 0 && x <= 3); "
+                               "{ x = x + 1; }");
+  ASSERT_TRUE(CP.P.ok());
+  AstContext &Ctx = *CP.P.Ctx;
+  VCSet Fabricated;
+  DerivationStep Bogus;
+  Bogus.Rule = "assign";
+  Bogus.Judgment = JudgmentKind::Original;
+  Bogus.S = CP.P.Prog->body();
+  Bogus.Pre = Ctx.ge(Ctx.var("x"), Ctx.intLit(0));
+  Bogus.Post = Ctx.eq(Ctx.var("x"), Ctx.intLit(0)); // unsound
+  Fabricated.Derivation.push_back(Bogus);
+  ProofCheckReport R = runChecker(CP, Fabricated);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.Violations[0].ViolationKind,
+            ProofCheckViolation::Kind::UnsoundPost);
+}
+
+TEST(ProofCheck, FlagsFabricatedRelationalPostcondition) {
+  CheckedProgram CP = generate(
+      "int x; requires (x >= 0 && x <= 3); "
+      "{ relax (x) st (x >= 0 && x <= 9); }");
+  ASSERT_TRUE(CP.P.ok());
+  AstContext &Ctx = *CP.P.Ctx;
+  VCSet Fabricated;
+  DerivationStep Bogus;
+  Bogus.Rule = "relax";
+  Bogus.Judgment = JudgmentKind::Relaxed;
+  Bogus.S = CP.P.Prog->body();
+  Bogus.Pre = Ctx.eq(Ctx.varO("x"), Ctx.varR("x"));
+  Bogus.Post = Ctx.eq(Ctx.varO("x"), Ctx.varR("x")); // relax breaks equality
+  Fabricated.Derivation.push_back(Bogus);
+  ProofCheckReport R = runChecker(CP, Fabricated);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.Violations[0].ViolationKind,
+            ProofCheckViolation::Kind::UnsoundPost);
+}
+
+TEST(ProofCheck, FlagsRejectedVCs) {
+  CheckedProgram CP = generate("int x; { assert x > 0; }");
+  ASSERT_TRUE(CP.P.ok());
+  ProofCheckReport R = runChecker(CP, CP.Original);
+  bool SawRejected = false;
+  for (const ProofCheckViolation &V : R.Violations)
+    SawRejected |= V.ViolationKind == ProofCheckViolation::Kind::VCRejected;
+  EXPECT_TRUE(SawRejected);
+}
+
+TEST(ProofCheck, WrFromUnprovenAssertIsFlagged) {
+  // The derivation's assert step can reach wr dynamically because the
+  // predicate does not hold — the checker reports both the rejected VC and
+  // the dynamic wr.
+  CheckedProgram CP = generate(
+      "int x; requires (x >= 0 && x <= 3); { assert x >= 1; }");
+  ASSERT_TRUE(CP.P.ok());
+  ProofCheckReport R = runChecker(CP, CP.Original);
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(ProofCheck, CaseStudiesPassTheChecker) {
+  for (const char *Name : {"swish.rlx", "lu.rlx"}) {
+    SourceManager SM;
+    ASSERT_TRUE(SM.loadFile(examplePath(Name)).ok());
+    CheckedProgram CP = generate(std::string(SM.buffer()));
+    ASSERT_TRUE(CP.P.ok()) << Name;
+    ProofCheckReport RO = runChecker(CP, CP.Original);
+    EXPECT_TRUE(RO.ok()) << Name << ": "
+                         << (RO.Violations.empty()
+                                 ? ""
+                                 : RO.Violations[0].Detail);
+    ProofCheckReport RR = runChecker(CP, CP.Relaxed);
+    EXPECT_TRUE(RR.ok()) << Name << ": "
+                         << (RR.Violations.empty()
+                                 ? ""
+                                 : RR.Violations[0].Detail);
+  }
+}

@@ -1,0 +1,438 @@
+//===- relational_vcgen_tests.cpp - Tests for |-r VC generation ----------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+// One test (at least) per rule of Figure 8, including the convergent
+// if/while rules, the diverge rule with its frame, and the case-analysis
+// extension.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace relax;
+using namespace relax::test;
+
+namespace {
+
+/// Verifies both judgments; returns whether everything proved.
+bool proves(const std::string &Source) {
+  VerifyReport R = verifySource(Source);
+  return R.verified();
+}
+
+/// Runs the full pipeline and returns the relaxed-judgment report.
+JudgmentReport relaxedReport(const std::string &Source) {
+  return verifySource(Source).Relaxed;
+}
+
+/// True when some failed VC's rule name contains \p Rule.
+bool failedRuleContains(const JudgmentReport &R, const std::string &Rule) {
+  for (const VCOutcome &O : R.Outcomes)
+    if (O.Status != VCStatus::Proved &&
+        O.Condition.Rule.find(Rule) != std::string::npos)
+      return true;
+  return false;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lockstep statements
+//===----------------------------------------------------------------------===//
+
+TEST(RelationalVC, LockstepAssignPreservesIdentity) {
+  EXPECT_TRUE(proves("int x; rensures (x<o> == x<r>); { x = x * 2 + 1; }"));
+}
+
+TEST(RelationalVC, RelationalContractsRespected) {
+  EXPECT_TRUE(proves("int x;\n"
+                     "rrequires (x<o> <= x<r>);\n"
+                     "rensures (x<o> <= x<r>);\n"
+                     "{ x = x + 1; }"));
+  EXPECT_FALSE(proves("int x;\n"
+                      "rrequires (x<o> <= x<r>);\n"
+                      "rensures (x<o> == x<r>);\n"
+                      "{ x = x + 1; }"));
+}
+
+TEST(RelationalVC, DefaultRelationalPreconditionIsIdentity) {
+  // Without rrequires, both executions start in the same state satisfying
+  // the unary requires.
+  EXPECT_TRUE(proves(
+      "int x; requires (x > 0); rensures (x<o> == x<r> && x<o> > 1); "
+      "{ x = x + 1; }"));
+}
+
+TEST(RelationalVC, ArrayAssignLockstep) {
+  EXPECT_TRUE(proves("array A; int i;\n"
+                     "requires (0 <= i && i < len(A));\n"
+                     "rensures (A<o> == A<r>);\n"
+                     "{ A[i] = 7; }"));
+}
+
+//===----------------------------------------------------------------------===//
+// relax (Figure 8)
+//===----------------------------------------------------------------------===//
+
+TEST(RelationalVC, RelaxOnlyTouchesRelaxedSide) {
+  // The original side keeps its value; the relaxed side gets the predicate.
+  EXPECT_TRUE(proves("int x;\n"
+                     "requires (x == 5);\n"
+                     "rensures (x<o> == 5 && x<r> >= 0);\n"
+                     "{ relax (x) st (x >= 0); }"));
+  // Claiming the relaxed side keeps the value must fail.
+  EXPECT_FALSE(proves("int x;\n"
+                      "requires (x == 5);\n"
+                      "rensures (x<r> == 5);\n"
+                      "{ relax (x) st (x >= 0); }"));
+}
+
+TEST(RelationalVC, RelaxPredicateAvailableOnBothSides) {
+  EXPECT_TRUE(proves("int x;\n"
+                     "requires (x >= 1);\n"
+                     "rensures (x<o> >= 1 && x<r> >= 1);\n"
+                     "{ relax (x) st (x >= 1); }"));
+}
+
+TEST(RelationalVC, RelaxSatisfiabilityChecked) {
+  JudgmentReport R = relaxedReport(
+      "int x; requires (x > 0 && x < 0); { relax (x) st (x > 0 && x < 0); }");
+  EXPECT_TRUE(failedRuleContains(R, "relax"));
+}
+
+TEST(RelationalVC, RelaxReferencingFrameVariables) {
+  // The paper's approximate-memory idiom: bounds relative to a saved copy.
+  EXPECT_TRUE(proves(
+      "int a, orig, e;\n"
+      "requires (e >= 0);\n"
+      "rensures (a<r> - a<o> <= e<o> && a<o> - a<r> <= e<o>);\n"
+      "{ orig = a; relax (a) st (orig - e <= a && a <= orig + e); }"));
+}
+
+//===----------------------------------------------------------------------===//
+// havoc under |-r
+//===----------------------------------------------------------------------===//
+
+TEST(RelationalVC, HavocBreaksTheRelationButKeepsThePredicate) {
+  EXPECT_FALSE(proves("int x; rensures (x<o> == x<r>); "
+                      "{ havoc (x) st (x > 0); }"))
+      << "both sides choose independently";
+  EXPECT_TRUE(proves("int x; rensures (x<o> > 0 && x<r> > 0); "
+                     "{ havoc (x) st (x > 0); }"));
+}
+
+//===----------------------------------------------------------------------===//
+// assert/assume transfer (Figure 8)
+//===----------------------------------------------------------------------===//
+
+TEST(RelationalVC, AssertTransfersViaNoninterference) {
+  // x<o> == x<r> lets the |-o-proved assert transfer for free.
+  EXPECT_TRUE(proves("int x; requires (x > 1); { assert x > 0; }"));
+}
+
+TEST(RelationalVC, AssertTransferFailsWhenRelaxationInterferes) {
+  VerifyReport R = verifySource(
+      "int x; requires (x > 0); { relax (x) st (true); assert x > 0; }");
+  EXPECT_TRUE(R.Original.allProved()) << "fine in the original semantics";
+  EXPECT_FALSE(R.Relaxed.allProved()) << "relaxation interferes";
+}
+
+TEST(RelationalVC, AssertTransferSucceedsWhenRelaxationPreservesIt) {
+  EXPECT_TRUE(proves(
+      "int x; requires (x > 0); { relax (x) st (x > 0); assert x > 0; }"));
+}
+
+TEST(RelationalVC, AssumeTransferMirrorsAssert) {
+  // Assumes are free under |-o but must transfer under |-r.
+  VerifyReport R = verifySource(
+      "int x; { relax (x) st (true); assume x == 3; }");
+  EXPECT_TRUE(R.Original.allProved());
+  EXPECT_FALSE(R.Relaxed.allProved());
+  EXPECT_TRUE(proves("int x; { assume x == 3; assert x == 3; }"))
+      << "noninterference transfers the assumption";
+}
+
+TEST(RelationalVC, AssumeStrengthensDownstreamRelation) {
+  EXPECT_TRUE(proves("int x, y;\n"
+                     "rensures (y<o> == y<r> && y<o> > 2);\n"
+                     "{ assume x > 2; y = x; }"));
+}
+
+//===----------------------------------------------------------------------===//
+// relate (Figure 8)
+//===----------------------------------------------------------------------===//
+
+TEST(RelationalVC, RelateRequiresTheRelation) {
+  EXPECT_TRUE(proves("int x; { x = x + 1; relate l : x<o> == x<r>; }"));
+  JudgmentReport R = relaxedReport(
+      "int x; { relax (x) st (true); relate l : x<o> == x<r>; }");
+  EXPECT_TRUE(failedRuleContains(R, "relate"));
+}
+
+TEST(RelationalVC, ProvedRelateStrengthensDownstreamRelation) {
+  // The original side keeps x >= 0 too (relax asserts its predicate), but
+  // x<o> <= x<r> is not implied: x<o> may exceed the re-chosen x<r>.
+  EXPECT_FALSE(proves("int x;\n"
+                      "rensures (x<o> <= x<r>);\n"
+                      "{ relax (x) st (x >= 0); relate l : x<o> <= x<r>; }"));
+  // With a relaxation predicate that only increases x, the relate proves
+  // and its relation is available for the relational postcondition.
+  EXPECT_TRUE(proves(
+      "int x, orig;\n"
+      "rensures (x<o> <= x<r>);\n"
+      "{ orig = x; relax (x) st (x >= orig); relate l : x<o> <= x<r>; }"));
+}
+
+//===----------------------------------------------------------------------===//
+// Convergent control flow (Figure 8 if/while)
+//===----------------------------------------------------------------------===//
+
+TEST(RelationalVC, ConvergentIfVerifies) {
+  EXPECT_TRUE(proves(
+      "int x, y; { if (x > 0) { y = 1; } else { y = 2; } "
+      "relate l : y<o> == y<r>; }"));
+}
+
+TEST(RelationalVC, DivergentIfWithoutAnnotationFails) {
+  JudgmentReport R = relaxedReport(
+      "int x, y; { relax (x) st (true); "
+      "if (x > 0) { y = 1; } else { y = 2; } }");
+  EXPECT_TRUE(failedRuleContains(R, "if"))
+      << "the convergence side condition must fail";
+}
+
+TEST(RelationalVC, ConvergentWhileUsesRelationalInvariant) {
+  EXPECT_TRUE(proves(
+      "int i, n;\n"
+      "requires (i == 0 && n >= 0);\n"
+      "{ while (i < n)\n"
+      "    invariant (i <= n)\n"
+      "    rinvariant (i<o> == i<r> && n<o> == n<r>)\n"
+      "  { i = i + 1; }\n"
+      "  relate l : i<o> == i<r>; }"));
+}
+
+TEST(RelationalVC, WhileRelationalInvariantEntryChecked) {
+  JudgmentReport R = relaxedReport(
+      "int i, n;\n"
+      "rrequires (i<o> == 0 && i<r> == 1 && n<o> == n<r>);\n"
+      "{ while (i < n)\n"
+      "    invariant (true)\n"
+      "    rinvariant (i<o> == i<r>)\n"
+      "  { i = i + 1; } }");
+  EXPECT_TRUE(failedRuleContains(R, "while"));
+}
+
+TEST(RelationalVC, WhileConvergenceSideCondition) {
+  // The loop condition diverges because the bound was relaxed.
+  JudgmentReport R = relaxedReport(
+      "int i, n;\n"
+      "requires (i == 0 && n >= 0);\n"
+      "{ relax (n) st (n >= 0);\n"
+      "  while (i < n)\n"
+      "    invariant (true)\n"
+      "    rinvariant (i<o> == i<r>)\n"
+      "  { i = i + 1; } }");
+  EXPECT_TRUE(failedRuleContains(R, "while"));
+}
+
+//===----------------------------------------------------------------------===//
+// The diverge rule
+//===----------------------------------------------------------------------===//
+
+TEST(RelationalVC, DivergeRuleDropsRelationsButKeepsUnaryPosts) {
+  EXPECT_TRUE(proves(
+      "int x, y;\n"
+      "rensures (y<o> >= 0 && y<r> >= 0);\n"
+      "{ relax (x) st (true);\n"
+      "  if (x > 0)\n"
+      "    diverge post_orig (y >= 0) post_rel (y >= 0)\n"
+      "  { y = 1; } else { y = 2; } }"));
+}
+
+TEST(RelationalVC, DivergeRuleCannotConcludeRelations) {
+  EXPECT_FALSE(proves(
+      "int x, y;\n"
+      "rensures (y<o> == y<r>);\n"
+      "{ relax (x) st (true);\n"
+      "  if (x > 0)\n"
+      "    diverge post_orig (y >= 0) post_rel (y >= 0)\n"
+      "  { y = 1; } else { y = 1; } }"))
+      << "cross-execution equality is lost through plain diverge";
+}
+
+TEST(RelationalVC, DivergeFrameCarriesUnmodifiedRelations) {
+  EXPECT_TRUE(proves(
+      "int x, y, z;\n"
+      "requires (z == 4);\n"
+      "rensures (z<o> == z<r>);\n"
+      "{ relax (x) st (true);\n"
+      "  if (x > 0)\n"
+      "    diverge frame (z<o> == z<r>)\n"
+      "  { y = 1; } else { y = 2; } }"));
+}
+
+TEST(RelationalVC, AutomaticFramePreservesUnmodifiedRelations) {
+  // No explicit frame clause: the automatic semantic frame (P* with the
+  // modified variables existentially rebound on both sides) carries the
+  // z relation across the divergence by itself.
+  EXPECT_TRUE(proves(
+      "int x, y, z;\n"
+      "requires (z == 4);\n"
+      "rensures (z<o> == z<r>);\n"
+      "{ relax (x) st (true);\n"
+      "  if (x > 0)\n"
+      "    diverge\n"
+      "  { y = 1; } else { y = 2; } }"));
+  // But relations over variables the statement modifies are still lost.
+  EXPECT_FALSE(proves(
+      "int x, y;\n"
+      "requires (y == 4);\n"
+      "rensures (y<o> == y<r>);\n"
+      "{ relax (x) st (true);\n"
+      "  if (x > 0)\n"
+      "    diverge\n"
+      "  { y = 1; } else { y = 1; } }"));
+}
+
+TEST(RelationalVC, AutomaticFramePreservesArrayLengths) {
+  // FF is modified inside the divergence, but its length is invariant and
+  // the auto-frame keeps the length links.
+  EXPECT_TRUE(proves(
+      "array FF; int x;\n"
+      "requires (len(FF) >= 1);\n"
+      "rensures (len(FF<o>) == len(FF<r>));\n"
+      "{ relax (x) st (true);\n"
+      "  if (x > 0)\n"
+      "    diverge pre_orig (len(FF) >= 1) pre_rel (len(FF) >= 1)\n"
+      "  { FF[0] = 1; } else { FF[0] = 2; } }"));
+}
+
+TEST(RelationalVC, DivergeFrameOverModifiedVariableRejected) {
+  ParsedProgram P = parseProgram(
+      "int x, y;\n"
+      "{ relax (x) st (true);\n"
+      "  if (x > 0)\n"
+      "    diverge frame (y<o> == y<r>)\n"
+      "  { y = 1; } else { y = 2; } }");
+  ASSERT_TRUE(P.ok());
+  Z3Solver Backend(P.Ctx->symbols());
+  Verifier V(*P.Ctx, *P.Prog, Backend, P.Diags);
+  VerifyReport R = V.run();
+  EXPECT_FALSE(R.verified());
+  EXPECT_TRUE(P.Diags.hasErrors());
+  EXPECT_NE(P.Diags.render().find("frame"), std::string::npos);
+}
+
+TEST(RelationalVC, DivergePreconditionsEntailmentChecked) {
+  JudgmentReport R = relaxedReport(
+      "int x, y;\n"
+      "{ relax (x) st (true);\n"
+      "  if (x > 0)\n"
+      "    diverge pre_orig (y == 1)\n" // not implied: y is 0-or-anything
+      "  { y = 1; } else { y = 2; } }");
+  EXPECT_TRUE(failedRuleContains(R, "diverge"));
+}
+
+TEST(RelationalVC, DivergeSubProofsUseIntermediateSemantics) {
+  // Inside the diverged region, the relaxed side must re-prove assumes
+  // (|-i), so an unsupported assume fails even though |-o accepts it.
+  JudgmentReport R = relaxedReport(
+      "int x, y;\n"
+      "{ relax (x) st (true);\n"
+      "  if (x > 0)\n"
+      "    diverge\n"
+      "  { assume y == 5; } else { y = 2; } }");
+  EXPECT_TRUE(failedRuleContains(R, "diverge"));
+}
+
+TEST(RelationalVC, DivergedWhileWithUnaryInvariants) {
+  // The Swish++ shape in miniature: a loop whose trip count differs. The
+  // |-o side proves i <= n from the zero start; the |-i side only knows
+  // i >= 0 (the relaxed entry value may already exceed n).
+  EXPECT_TRUE(proves(
+      "int i, n;\n"
+      "requires (n >= 0 && i == 0);\n"
+      "rensures (i<o> <= n<o> && i<r> >= 0);\n"
+      "{ relax (i) st (i >= 0);\n"
+      "  while (i < n)\n"
+      "    invariant (i <= n)\n"
+      "    iinvariant (i >= 0)\n"
+      "    diverge pre_orig (i == 0 && n >= 0) pre_rel (i >= 0 && n >= 0)\n"
+      "            post_orig (i <= n) post_rel (i >= 0)\n"
+      "  { i = i + 1; } }"));
+}
+
+//===----------------------------------------------------------------------===//
+// diverge cases (relational case analysis)
+//===----------------------------------------------------------------------===//
+
+TEST(RelationalVC, CasesKeepRelationsAcrossDivergence) {
+  // The LU shape in miniature: |max<o> - max<r>| <= e survives the
+  // divergent update. The plain diverge rule cannot prove this.
+  EXPECT_TRUE(proves(
+      "int a, max, orig, e;\n"
+      "requires (e >= 0);\n"
+      "rensures (max<o> - max<r> <= e<o> && max<r> - max<o> <= e<o>);\n"
+      "{ orig = a;\n"
+      "  relax (a) st (orig - e <= a && a <= orig + e);\n"
+      "  if (a > max)\n"
+      "    diverge cases\n"
+      "  { max = a; } }"));
+}
+
+TEST(RelationalVC, CasesStillRejectWrongRelations) {
+  EXPECT_FALSE(proves(
+      "int a, max, orig, e;\n"
+      "requires (e >= 0);\n"
+      "rensures (max<o> == max<r>);\n"
+      "{ orig = a;\n"
+      "  relax (a) st (orig - e <= a && a <= orig + e);\n"
+      "  if (a > max)\n"
+      "    diverge cases\n"
+      "  { max = a; } }"));
+}
+
+TEST(RelationalVC, CasesHandleElseBranches) {
+  EXPECT_TRUE(proves(
+      "int x, y;\n"
+      "rensures (y<o> >= 1 && y<r> >= 1 && y<o> <= 2 && y<r> <= 2);\n"
+      "{ relax (x) st (true);\n"
+      "  if (x > 0)\n"
+      "    diverge cases\n"
+      "  { y = 1; } else { y = 2; } }"));
+}
+
+TEST(RelationalVC, CasesRelaxedSideAssertMustHold) {
+  // In a mixed case the relaxed side runs without the original: its assert
+  // needs an unconditional proof.
+  JudgmentReport R = relaxedReport(
+      "int x, y;\n"
+      "{ relax (x) st (true);\n"
+      "  if (x > 0)\n"
+      "    diverge cases\n"
+      "  { assert y == 1; } }");
+  EXPECT_TRUE(failedRuleContains(R, "cases"));
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: VC counts are stable and nontrivial
+//===----------------------------------------------------------------------===//
+
+TEST(RelationalVC, GeneratesDerivationSteps) {
+  ParsedProgram P = parseProgram(
+      "int x; { x = 1; relax (x) st (x > 0); assert x > 0; }");
+  ASSERT_TRUE(P.ok());
+  DiagnosticEngine D;
+  RelationalVCGen Gen(*P.Ctx, *P.Prog, D);
+  Gen.genTriple(P.Ctx->trueExpr(), P.Prog->body(), P.Ctx->trueExpr());
+  VCSet Set = Gen.take();
+  EXPECT_GE(Set.Derivation.size(), 3u);
+  EXPECT_GE(Set.VCs.size(), 2u);
+  for (const DerivationStep &S : Set.Derivation) {
+    EXPECT_NE(S.Pre, nullptr);
+    EXPECT_NE(S.Post, nullptr);
+  }
+}

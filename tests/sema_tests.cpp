@@ -1,0 +1,187 @@
+//===- sema_tests.cpp - Unit tests for semantic analysis ----------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "sema/Sema.h"
+
+using namespace relax;
+using namespace relax::test;
+
+namespace {
+
+/// Runs sema over \p Source; returns the diagnostics text ("" on success).
+std::string semaDiags(const std::string &Source) {
+  ParsedProgram P = parseProgram(Source);
+  EXPECT_TRUE(P.ok()) << "parse failed: " << P.diagnostics();
+  if (!P.ok())
+    return "parse error";
+  Sema S(*P.Prog, P.Diags);
+  auto Info = S.run();
+  if (Info)
+    return "";
+  return P.diagnostics();
+}
+
+std::optional<SemaInfo> semaInfo(const ParsedProgram &P) {
+  DiagnosticEngine D;
+  Sema S(*P.Prog, D);
+  return S.run();
+}
+
+} // namespace
+
+TEST(Sema, AcceptsWellFormedProgram) {
+  EXPECT_EQ(semaDiags("int x; { relax (x) st (x >= 0); "
+                      "relate l : x<o> == x<r>; }"),
+            "");
+}
+
+TEST(Sema, RejectsTaggedVariableInProgramExpression) {
+  EXPECT_NE(semaDiags("int x; { assert x<o> == 1; }"), "");
+}
+
+TEST(Sema, RejectsQuantifierInProgramPredicate) {
+  EXPECT_NE(semaDiags("int x; { assume exists y . y > x; }"), "");
+}
+
+TEST(Sema, AllowsQuantifierInInvariant) {
+  EXPECT_EQ(semaDiags("int x, n; { while (x < n) "
+                      "invariant (exists y . y + y == x || x >= 0) "
+                      "{ x = x + 2; } }"),
+            "");
+}
+
+TEST(Sema, RejectsPlainVariableInRelatePredicate) {
+  EXPECT_NE(semaDiags("int x; { relate l : x == 1; }"), "");
+}
+
+TEST(Sema, RejectsQuantifierInRelatePredicate) {
+  EXPECT_NE(
+      semaDiags("int x; { relate l : exists y<o> . y<o> == x<o>; }"), "");
+}
+
+TEST(Sema, RejectsDuplicateRelateLabels) {
+  EXPECT_NE(semaDiags("int x; { relate l : x<o> == x<r>; "
+                      "relate l : x<o> <= x<r>; }"),
+            "");
+}
+
+TEST(Sema, RejectsPlainVariablesInRelationalInvariant) {
+  EXPECT_NE(semaDiags("int x, n; { while (x < n) rinvariant (x <= n) "
+                      "{ x = x + 1; } }"),
+            "");
+}
+
+TEST(Sema, RejectsTaggedVariablesInUnaryInvariant) {
+  EXPECT_NE(semaDiags("int x, n; { while (x < n) invariant (x<o> <= n<o>) "
+                      "{ x = x + 1; } }"),
+            "");
+}
+
+TEST(Sema, RejectsRelateInsideDivergeRegion) {
+  EXPECT_NE(semaDiags("int x; { if (x > 0) diverge { "
+                      "relate l : x<o> == x<r>; } }"),
+            "");
+}
+
+TEST(Sema, RejectsDivergeCasesWithLoops) {
+  EXPECT_NE(semaDiags("int x, n; { if (x > 0) diverge cases { "
+                      "while (x < n) { x = x + 1; } } }"),
+            "");
+}
+
+TEST(Sema, RejectsDivergeCasesWithPrePostClauses) {
+  EXPECT_NE(semaDiags("int x; { if (x > 0) diverge cases pre_orig (x > 0) "
+                      "{ x = 1; } }"),
+            "");
+}
+
+TEST(Sema, RejectsDivergeCasesOnWhile) {
+  EXPECT_NE(semaDiags("int x, n; { while (x < n) diverge cases "
+                      "{ x = x + 1; } }"),
+            "");
+}
+
+TEST(Sema, RejectsRelationalContractWithPlainVars) {
+  EXPECT_NE(semaDiags("int x; rrequires (x == 0); { skip; }"), "");
+}
+
+TEST(Sema, RejectsUnaryContractWithTags) {
+  EXPECT_NE(semaDiags("int x; requires (x<o> == 0); { skip; }"), "");
+}
+
+TEST(Sema, RejectsMixedTagsInDivergeFrame) {
+  // A frame must be relational (every variable tagged).
+  EXPECT_NE(
+      semaDiags("int x, n; { while (x < n) diverge frame (x<o> == n) "
+                "{ x = x + 1; } }"),
+      "");
+}
+
+TEST(Sema, BuildsRelateMapInProgramOrder) {
+  ParsedProgram P = parseProgram(
+      "int x; { relate a : x<o> == x<r>; relate b : x<o> <= x<r>; }");
+  ASSERT_TRUE(P.ok());
+  auto Info = semaInfo(P);
+  ASSERT_TRUE(Info.has_value());
+  ASSERT_EQ(Info->relateLabels().size(), 2u);
+  EXPECT_EQ(P.Ctx->text(Info->relateLabels()[0]), "a");
+  EXPECT_EQ(P.Ctx->text(Info->relateLabels()[1]), "b");
+  EXPECT_EQ(Info->relateMap().size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Analyses
+//===----------------------------------------------------------------------===//
+
+TEST(SemaAnalysis, ContainsRelate) {
+  ParsedProgram P = parseProgram(
+      "int x, n; { while (x < n) { if (x > 0) { relate l : x<o> == x<r>; } "
+      "x = x + 1; } }");
+  ASSERT_TRUE(P.ok());
+  EXPECT_TRUE(containsRelate(P.Prog->body()));
+
+  ParsedProgram Q = parseProgram("int x; { x = 1; }");
+  ASSERT_TRUE(Q.ok());
+  EXPECT_FALSE(containsRelate(Q.Prog->body()));
+}
+
+TEST(SemaAnalysis, ContainsLoop) {
+  ParsedProgram P =
+      parseProgram("int x, n; { if (x > 0) { while (x < n) { x = x + 1; } } }");
+  ASSERT_TRUE(P.ok());
+  EXPECT_TRUE(containsLoop(P.Prog->body()));
+  ParsedProgram Q = parseProgram("int x; { if (x > 0) { x = 1; } }");
+  ASSERT_TRUE(Q.ok());
+  EXPECT_FALSE(containsLoop(Q.Prog->body()));
+}
+
+TEST(SemaAnalysis, ModifiedVarsCoversAllWriters) {
+  ParsedProgram P = parseProgram(
+      "int x, y, z; array A, B;\n"
+      "{ x = 1; A[0] = 2; havoc (y) st (y > 0); relax (B) st (true); "
+      "if (x > 0) { z = 3; } }");
+  ASSERT_TRUE(P.ok());
+  VarRefSet Mod = modifiedVars(P.Prog->body(), *P.Prog);
+  auto Has = [&](const char *N, VarKind K) {
+    return Mod.count(VarRef{P.Ctx->sym(N), VarTag::Plain, K}) != 0;
+  };
+  EXPECT_TRUE(Has("x", VarKind::Int));
+  EXPECT_TRUE(Has("y", VarKind::Int));
+  EXPECT_TRUE(Has("z", VarKind::Int));
+  EXPECT_TRUE(Has("A", VarKind::Array));
+  EXPECT_TRUE(Has("B", VarKind::Array));
+  EXPECT_EQ(Mod.size(), 5u) << "reads must not count as modifications";
+}
+
+TEST(SemaAnalysis, RelateAndAssumeDoNotModify) {
+  ParsedProgram P = parseProgram(
+      "int x; { assume x > 0; assert x > 0; relate l : x<o> == x<r>; }");
+  ASSERT_TRUE(P.ok());
+  EXPECT_TRUE(modifiedVars(P.Prog->body(), *P.Prog).empty());
+}

@@ -1,0 +1,214 @@
+//===- simplify_tests.cpp - Unit and property tests for the simplifier --------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Printer.h"
+#include "logic/Simplify.h"
+#include "solver/FormulaEval.h"
+#include "support/Casting.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace relax;
+
+namespace {
+
+class SimplifyTest : public ::testing::Test {
+protected:
+  AstContext Ctx;
+  Printer P{Ctx.symbols()};
+
+  std::string simp(const BoolExpr *B) { return P.print(simplify(Ctx, B)); }
+  std::string simp(const Expr *E) { return P.print(simplify(Ctx, E)); }
+};
+
+} // namespace
+
+TEST_F(SimplifyTest, ConstantFoldsArithmetic) {
+  EXPECT_EQ(simp(Ctx.add(Ctx.intLit(2), Ctx.intLit(3))), "5");
+  EXPECT_EQ(simp(Ctx.mul(Ctx.intLit(4), Ctx.intLit(-2))), "-8");
+  EXPECT_EQ(simp(Ctx.binary(BinaryOp::Div, Ctx.intLit(7), Ctx.intLit(2))),
+            "3");
+}
+
+TEST_F(SimplifyTest, FoldsDivisionEuclidean) {
+  // Folding must match the logic/evaluator semantics (Euclidean), not C++
+  // truncation: -7 / 2 is -4 with remainder 1.
+  EXPECT_EQ(simp(Ctx.binary(BinaryOp::Div, Ctx.intLit(-7), Ctx.intLit(2))),
+            "-4");
+  EXPECT_EQ(simp(Ctx.binary(BinaryOp::Mod, Ctx.intLit(-7), Ctx.intLit(2))),
+            "1");
+  EXPECT_EQ(simp(Ctx.binary(BinaryOp::Div, Ctx.intLit(7), Ctx.intLit(-2))),
+            "-3");
+}
+
+TEST_F(SimplifyTest, MemoizedSimplifierIsConsistent) {
+  Simplifier S(Ctx);
+  const BoolExpr *F = Ctx.andExpr(Ctx.lt(Ctx.var("x"), Ctx.intLit(3)),
+                                  Ctx.trueExpr());
+  const BoolExpr *First = S.simplify(F);
+  EXPECT_EQ(S.simplify(F), First) << "cache hit returns the same node";
+  EXPECT_EQ(S.simplify(First), First) << "fixpoint";
+}
+
+TEST_F(SimplifyTest, DoesNotFoldDivisionByZero) {
+  // Folding 1/0 would erase the runtime trap.
+  EXPECT_EQ(simp(Ctx.binary(BinaryOp::Div, Ctx.intLit(1), Ctx.intLit(0))),
+            "1 / 0");
+  EXPECT_EQ(simp(Ctx.binary(BinaryOp::Mod, Ctx.intLit(1), Ctx.intLit(0))),
+            "1 % 0");
+}
+
+TEST_F(SimplifyTest, ArithmeticUnits) {
+  EXPECT_EQ(simp(Ctx.add(Ctx.var("x"), Ctx.intLit(0))), "x");
+  EXPECT_EQ(simp(Ctx.add(Ctx.intLit(0), Ctx.var("x"))), "x");
+  EXPECT_EQ(simp(Ctx.sub(Ctx.var("x"), Ctx.intLit(0))), "x");
+  EXPECT_EQ(simp(Ctx.mul(Ctx.var("x"), Ctx.intLit(1))), "x");
+  EXPECT_EQ(simp(Ctx.mul(Ctx.intLit(1), Ctx.var("x"))), "x");
+}
+
+TEST_F(SimplifyTest, FoldsComparisons) {
+  EXPECT_EQ(simp(Ctx.lt(Ctx.intLit(1), Ctx.intLit(2))), "true");
+  EXPECT_EQ(simp(Ctx.ge(Ctx.intLit(1), Ctx.intLit(2))), "false");
+}
+
+TEST_F(SimplifyTest, ReflexiveComparisons) {
+  const Expr *E = Ctx.add(Ctx.var("x"), Ctx.var("y"));
+  EXPECT_EQ(simp(Ctx.eq(E, E)), "true");
+  EXPECT_EQ(simp(Ctx.le(E, E)), "true");
+  EXPECT_EQ(simp(Ctx.lt(E, E)), "false");
+  EXPECT_EQ(simp(Ctx.ne(E, E)), "false");
+}
+
+TEST_F(SimplifyTest, BooleanIdentities) {
+  const BoolExpr *A = Ctx.lt(Ctx.var("x"), Ctx.intLit(3));
+  EXPECT_EQ(simp(Ctx.andExpr(Ctx.trueExpr(), A)), "x < 3");
+  EXPECT_EQ(simp(Ctx.andExpr(A, Ctx.falseExpr())), "false");
+  EXPECT_EQ(simp(Ctx.orExpr(A, Ctx.trueExpr())), "true");
+  EXPECT_EQ(simp(Ctx.orExpr(Ctx.falseExpr(), A)), "x < 3");
+  EXPECT_EQ(simp(Ctx.implies(Ctx.trueExpr(), A)), "x < 3");
+  EXPECT_EQ(simp(Ctx.implies(Ctx.falseExpr(), A)), "true");
+  EXPECT_EQ(simp(Ctx.implies(A, A)), "true");
+  EXPECT_EQ(simp(Ctx.andExpr(A, A)), "x < 3");
+}
+
+TEST_F(SimplifyTest, NegationPushesIntoComparisons) {
+  EXPECT_EQ(simp(Ctx.notExpr(Ctx.lt(Ctx.var("x"), Ctx.intLit(3)))), "x >= 3");
+  EXPECT_EQ(simp(Ctx.notExpr(Ctx.notExpr(Ctx.lt(Ctx.var("x"),
+                                                Ctx.intLit(3))))),
+            "x < 3");
+  EXPECT_EQ(simp(Ctx.notExpr(Ctx.trueExpr())), "false");
+}
+
+TEST_F(SimplifyTest, VacuousQuantifierElimination) {
+  Symbol X = Ctx.sym("x");
+  const BoolExpr *E = Ctx.exists(X, VarTag::Plain, VarKind::Int,
+                                 Ctx.lt(Ctx.var("y"), Ctx.intLit(3)));
+  EXPECT_EQ(simp(E), "y < 3");
+}
+
+TEST_F(SimplifyTest, QuantifierOverLiteralBody) {
+  Symbol X = Ctx.sym("x");
+  EXPECT_EQ(simp(Ctx.exists(X, VarTag::Plain, VarKind::Int, Ctx.trueExpr())),
+            "true");
+  EXPECT_EQ(simp(Ctx.exists(X, VarTag::Plain, VarKind::Int, Ctx.falseExpr())),
+            "false");
+}
+
+TEST_F(SimplifyTest, ArrayCmpReflexive) {
+  const ArrayExpr *A = Ctx.arrayRef("A");
+  EXPECT_EQ(simp(Ctx.arrayEq(A, Ctx.arrayRef("A"))), "true");
+  EXPECT_EQ(simp(Ctx.arrayCmp(false, A, Ctx.arrayRef("A"))), "false");
+}
+
+//===----------------------------------------------------------------------===//
+// Property: simplification preserves truth under random models
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Generates a random quantifier-free formula over x, y, z and array A.
+class RandomFormulaGen {
+public:
+  RandomFormulaGen(AstContext &Ctx, uint64_t Seed) : Ctx(Ctx), Rng(Seed) {}
+
+  const Expr *genExpr(unsigned Depth) {
+    switch (Rng.nextInRange(0, Depth == 0 ? 1 : 3)) {
+    case 0:
+      return Ctx.intLit(Rng.nextInRange(-4, 4));
+    case 1: {
+      const char *Names[] = {"x", "y", "z"};
+      return Ctx.var(Names[Rng.nextInRange(0, 2)]);
+    }
+    case 2:
+      return Ctx.arrayRead(Ctx.arrayRef("A"), genExpr(Depth - 1));
+    default: {
+      BinaryOp Ops[] = {BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul};
+      return Ctx.binary(Ops[Rng.nextInRange(0, 2)], genExpr(Depth - 1),
+                        genExpr(Depth - 1));
+    }
+    }
+  }
+
+  const BoolExpr *genBool(unsigned Depth) {
+    if (Depth == 0) {
+      CmpOp Ops[] = {CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ne};
+      return Ctx.cmp(Ops[Rng.nextInRange(0, 3)], genExpr(1), genExpr(1));
+    }
+    switch (Rng.nextInRange(0, 3)) {
+    case 0:
+      return Ctx.notExpr(genBool(Depth - 1));
+    case 1:
+      return Ctx.boolLit(Rng.nextBool());
+    default: {
+      LogicalOp Ops[] = {LogicalOp::And, LogicalOp::Or, LogicalOp::Implies,
+                         LogicalOp::Iff};
+      return Ctx.logical(Ops[Rng.nextInRange(0, 3)], genBool(Depth - 1),
+                         genBool(Depth - 1));
+    }
+    }
+  }
+
+  Model genModel() {
+    Model M;
+    for (const char *Name : {"x", "y", "z"})
+      M.Ints[VarRef{Ctx.sym(Name), VarTag::Plain, VarKind::Int}] =
+          Rng.nextInRange(-5, 5);
+    ArrayModelValue A;
+    A.Length = Rng.nextInRange(0, 4);
+    for (int64_t I = 0; I != A.Length; ++I)
+      A.Elems.push_back(Rng.nextInRange(-5, 5));
+    M.Arrays[VarRef{Ctx.sym("A"), VarTag::Plain, VarKind::Array}] = A;
+    return M;
+  }
+
+private:
+  AstContext &Ctx;
+  SplitMix64 Rng;
+};
+
+class SimplifySoundness : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(SimplifySoundness, PreservesTruthUnderRandomModels) {
+  AstContext Ctx;
+  RandomFormulaGen Gen(Ctx, GetParam());
+  Printer P(Ctx.symbols());
+  for (int Iter = 0; Iter < 50; ++Iter) {
+    const BoolExpr *F = Gen.genBool(3);
+    const BoolExpr *S = simplify(Ctx, F);
+    for (int M = 0; M < 8; ++M) {
+      Model Mod = Gen.genModel();
+      EXPECT_EQ(evalFormula(F, Mod), evalFormula(S, Mod))
+          << "formula: " << P.print(F) << "\nsimplified: " << P.print(S);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifySoundness,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));

@@ -1,0 +1,424 @@
+//===- solver_tests.cpp - Tests for both solver backends ----------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Printer.h"
+#include "solver/BoundedSolver.h"
+#include "solver/CachingSolver.h"
+#include "solver/FormulaEval.h"
+#include "solver/Z3Solver.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace relax;
+
+//===----------------------------------------------------------------------===//
+// Euclidean arithmetic
+//===----------------------------------------------------------------------===//
+
+TEST(Euclidean, DivModIdentityAndRange) {
+  for (int64_t L = -20; L <= 20; ++L) {
+    for (int64_t R = -5; R <= 5; ++R) {
+      if (R == 0)
+        continue;
+      int64_t Q = euclideanDiv(L, R);
+      int64_t M = euclideanMod(L, R);
+      EXPECT_EQ(L, Q * R + M) << L << " / " << R;
+      EXPECT_GE(M, 0) << L << " % " << R;
+      EXPECT_LT(M, std::abs(R)) << L << " % " << R;
+    }
+  }
+}
+
+TEST(Euclidean, DivisionByZeroIsZeroInTheLogic) {
+  EXPECT_EQ(euclideanDiv(5, 0), 0);
+  EXPECT_EQ(euclideanMod(5, 0), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// FormulaEval
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class FormulaEvalTest : public ::testing::Test {
+protected:
+  AstContext Ctx;
+
+  Model modelWith(int64_t X) {
+    Model M;
+    M.Ints[VarRef{Ctx.sym("x"), VarTag::Plain, VarKind::Int}] = X;
+    return M;
+  }
+};
+
+} // namespace
+
+TEST_F(FormulaEvalTest, EvaluatesArithmeticAndComparison) {
+  Model M = modelWith(3);
+  const BoolExpr *F =
+      Ctx.lt(Ctx.mul(Ctx.var("x"), Ctx.var("x")), Ctx.intLit(10));
+  EXPECT_TRUE(evalFormula(F, M));
+  EXPECT_FALSE(evalFormula(F, modelWith(4)));
+}
+
+TEST_F(FormulaEvalTest, UnmappedVariablesDefaultToZero) {
+  Model M;
+  EXPECT_TRUE(evalFormula(Ctx.eq(Ctx.var("ghost"), Ctx.intLit(0)), M));
+}
+
+TEST_F(FormulaEvalTest, ArrayReadAndStoreSemantics) {
+  Model M;
+  ArrayModelValue A;
+  A.Length = 3;
+  A.Elems = {10, 20, 30};
+  M.Arrays[VarRef{Ctx.sym("A"), VarTag::Plain, VarKind::Array}] = A;
+  const ArrayExpr *Ref = Ctx.arrayRef("A");
+  EXPECT_EQ(evalExpr(Ctx.arrayRead(Ref, Ctx.intLit(1)), M), 20);
+  EXPECT_EQ(evalExpr(Ctx.arrayLen(Ref), M), 3);
+  // Out of range reads are 0 in the (total) logic semantics.
+  EXPECT_EQ(evalExpr(Ctx.arrayRead(Ref, Ctx.intLit(7)), M), 0);
+  const ArrayExpr *St = Ctx.arrayStore(Ref, Ctx.intLit(1), Ctx.intLit(99));
+  EXPECT_EQ(evalExpr(Ctx.arrayRead(St, Ctx.intLit(1)), M), 99);
+  EXPECT_EQ(evalExpr(Ctx.arrayRead(St, Ctx.intLit(0)), M), 10);
+}
+
+TEST_F(FormulaEvalTest, ArrayEqualityComparesLengthAndContents) {
+  Model M;
+  ArrayModelValue A{2, {1, 2}}, B{2, {1, 2}}, C{3, {1, 2, 0}};
+  M.Arrays[VarRef{Ctx.sym("A"), VarTag::Plain, VarKind::Array}] = A;
+  M.Arrays[VarRef{Ctx.sym("B"), VarTag::Plain, VarKind::Array}] = B;
+  M.Arrays[VarRef{Ctx.sym("C"), VarTag::Plain, VarKind::Array}] = C;
+  EXPECT_TRUE(
+      evalFormula(Ctx.arrayEq(Ctx.arrayRef("A"), Ctx.arrayRef("B")), M));
+  EXPECT_FALSE(
+      evalFormula(Ctx.arrayEq(Ctx.arrayRef("A"), Ctx.arrayRef("C")), M));
+}
+
+TEST_F(FormulaEvalTest, ExistsFindsWitnessInBoundedDomain) {
+  Model M = modelWith(3);
+  Symbol Y = Ctx.sym("y");
+  // exists y . y + y == x  (x = 3 -> no integer witness; x = 4 -> y = 2).
+  const BoolExpr *F = Ctx.exists(
+      Y, VarTag::Plain, VarKind::Int,
+      Ctx.eq(Ctx.add(Ctx.var(Y), Ctx.var(Y)), Ctx.var("x")));
+  EXPECT_FALSE(evalFormula(F, M));
+  EXPECT_TRUE(evalFormula(F, modelWith(4)));
+}
+
+TEST_F(FormulaEvalTest, ExistsOverArrays) {
+  Model M = modelWith(2);
+  Symbol B = Ctx.sym("B");
+  // exists array B . len(B) == x.
+  const BoolExpr *F =
+      Ctx.exists(B, VarTag::Plain, VarKind::Array,
+                 Ctx.eq(Ctx.arrayLen(Ctx.arrayRef(B)), Ctx.var("x")));
+  EXPECT_TRUE(evalFormula(F, M));
+  EXPECT_FALSE(evalFormula(F, modelWith(50))) << "outside bounded domain";
+}
+
+//===----------------------------------------------------------------------===//
+// Backends
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+enum class BackendKind { Z3, Bounded };
+
+class SolverBackendTest : public ::testing::TestWithParam<BackendKind> {
+protected:
+  AstContext Ctx;
+
+  std::unique_ptr<Solver> makeSolver() {
+    if (GetParam() == BackendKind::Z3)
+      return std::make_unique<Z3Solver>(Ctx.symbols());
+    return std::make_unique<BoundedSolver>();
+  }
+};
+
+} // namespace
+
+TEST_P(SolverBackendTest, SatAndUnsat) {
+  auto S = makeSolver();
+  const BoolExpr *Sat = Ctx.lt(Ctx.var("x"), Ctx.intLit(3));
+  const BoolExpr *Unsat = Ctx.andExpr(Ctx.lt(Ctx.var("x"), Ctx.intLit(0)),
+                                      Ctx.gt(Ctx.var("x"), Ctx.intLit(0)));
+  auto R1 = S->checkSat({Sat});
+  ASSERT_TRUE(R1.ok()) << R1.message();
+  EXPECT_EQ(*R1, SatResult::Sat);
+  auto R2 = S->checkSat({Unsat});
+  ASSERT_TRUE(R2.ok());
+  EXPECT_EQ(*R2, SatResult::Unsat);
+}
+
+TEST_P(SolverBackendTest, ConjunctionOfFormulas) {
+  auto S = makeSolver();
+  auto R = S->checkSat({Ctx.gt(Ctx.var("x"), Ctx.intLit(1)),
+                        Ctx.lt(Ctx.var("x"), Ctx.intLit(1))});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(*R, SatResult::Unsat);
+}
+
+TEST_P(SolverBackendTest, ModelSatisfiesFormula) {
+  auto S = makeSolver();
+  const BoolExpr *F = Ctx.andExpr(Ctx.gt(Ctx.var("x"), Ctx.intLit(2)),
+                                  Ctx.lt(Ctx.var("x"), Ctx.intLit(5)));
+  VarRefSet Vars;
+  Vars.insert(VarRef{Ctx.sym("x"), VarTag::Plain, VarKind::Int});
+  Model M;
+  auto R = S->checkSatWithModel({F}, Vars, M);
+  ASSERT_TRUE(R.ok());
+  ASSERT_EQ(*R, SatResult::Sat);
+  int64_t X = M.Ints.at(VarRef{Ctx.sym("x"), VarTag::Plain, VarKind::Int});
+  EXPECT_GT(X, 2);
+  EXPECT_LT(X, 5);
+}
+
+TEST_P(SolverBackendTest, ArrayModelExtraction) {
+  auto S = makeSolver();
+  const ArrayExpr *A = Ctx.arrayRef("A");
+  const BoolExpr *F = Ctx.conj(
+      {Ctx.eq(Ctx.arrayLen(A), Ctx.intLit(2)),
+       Ctx.eq(Ctx.arrayRead(A, Ctx.intLit(0)), Ctx.intLit(1)),
+       Ctx.eq(Ctx.arrayRead(A, Ctx.intLit(1)), Ctx.intLit(2))});
+  VarRefSet Vars;
+  Vars.insert(VarRef{Ctx.sym("A"), VarTag::Plain, VarKind::Array});
+  Model M;
+  auto R = S->checkSatWithModel({F}, Vars, M);
+  ASSERT_TRUE(R.ok());
+  ASSERT_EQ(*R, SatResult::Sat);
+  const ArrayModelValue &AV =
+      M.Arrays.at(VarRef{Ctx.sym("A"), VarTag::Plain, VarKind::Array});
+  ASSERT_EQ(AV.Length, 2);
+  EXPECT_EQ(AV.Elems[0], 1);
+  EXPECT_EQ(AV.Elems[1], 2);
+}
+
+TEST_P(SolverBackendTest, RelationalTagsAreDistinctVariables) {
+  auto S = makeSolver();
+  const BoolExpr *F = Ctx.andExpr(Ctx.eq(Ctx.varO("x"), Ctx.intLit(1)),
+                                  Ctx.eq(Ctx.varR("x"), Ctx.intLit(2)));
+  auto R = S->checkSat({F});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(*R, SatResult::Sat) << "x<o> and x<r> must not alias";
+}
+
+TEST_P(SolverBackendTest, ValidityHelper) {
+  auto S = makeSolver();
+  const BoolExpr *Valid = Ctx.implies(Ctx.gt(Ctx.var("x"), Ctx.intLit(2)),
+                                      Ctx.gt(Ctx.var("x"), Ctx.intLit(1)));
+  auto R1 = S->isValid(Ctx, Valid);
+  ASSERT_TRUE(R1.ok()) << R1.message();
+  EXPECT_TRUE(*R1);
+  const BoolExpr *Invalid = Ctx.implies(Ctx.gt(Ctx.var("x"), Ctx.intLit(1)),
+                                        Ctx.gt(Ctx.var("x"), Ctx.intLit(2)));
+  auto R2 = S->isValid(Ctx, Invalid);
+  ASSERT_TRUE(R2.ok());
+  EXPECT_FALSE(*R2);
+}
+
+TEST_P(SolverBackendTest, EntailmentHelper) {
+  auto S = makeSolver();
+  auto R = S->entails(Ctx, Ctx.eq(Ctx.var("x"), Ctx.intLit(4)),
+                      Ctx.ge(Ctx.var("x"), Ctx.intLit(0)));
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(*R);
+}
+
+TEST_P(SolverBackendTest, ExistentialHypothesis) {
+  auto S = makeSolver();
+  Symbol Y = Ctx.sym("y");
+  // (exists y . x == y + y) => x == 2 is not valid (x could be 4 or odd...).
+  // (exists y . x == y + y) && x == 3 is unsat over the integers.
+  const BoolExpr *EvenX = Ctx.exists(
+      Y, VarTag::Plain, VarKind::Int,
+      Ctx.eq(Ctx.var("x"), Ctx.add(Ctx.var(Y), Ctx.var(Y))));
+  auto R = S->checkSat({EvenX, Ctx.eq(Ctx.var("x"), Ctx.intLit(3))});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(*R, SatResult::Unsat);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, SolverBackendTest,
+                         ::testing::Values(BackendKind::Z3,
+                                           BackendKind::Bounded),
+                         [](const auto &Info) {
+                           return Info.param == BackendKind::Z3 ? "Z3"
+                                                                : "Bounded";
+                         });
+
+//===----------------------------------------------------------------------===//
+// Z3-specific
+//===----------------------------------------------------------------------===//
+
+TEST(Z3Solver, EuclideanDivisionAgreesWithEvaluator) {
+  AstContext Ctx;
+  Z3Solver S(Ctx.symbols());
+  // For a sample of constants, z3's div must equal euclideanDiv.
+  for (int64_t L : {-7, -3, 0, 5, 9}) {
+    for (int64_t R : {-4, -2, 3, 5}) {
+      const BoolExpr *F =
+          Ctx.eq(Ctx.binary(BinaryOp::Div, Ctx.intLit(L), Ctx.intLit(R)),
+                 Ctx.intLit(euclideanDiv(L, R)));
+      auto Res = S.isValid(Ctx, F);
+      ASSERT_TRUE(Res.ok()) << Res.message();
+      EXPECT_TRUE(*Res) << L << " div " << R;
+      const BoolExpr *G =
+          Ctx.eq(Ctx.binary(BinaryOp::Mod, Ctx.intLit(L), Ctx.intLit(R)),
+                 Ctx.intLit(euclideanMod(L, R)));
+      auto ResM = S.isValid(Ctx, G);
+      ASSERT_TRUE(ResM.ok());
+      EXPECT_TRUE(*ResM) << L << " mod " << R;
+    }
+  }
+}
+
+TEST(Z3Solver, ArrayEqualityIncludesLength) {
+  AstContext Ctx;
+  Z3Solver S(Ctx.symbols());
+  // A == B && len(A) != len(B) must be unsat.
+  const BoolExpr *F = Ctx.andExpr(
+      Ctx.arrayEq(Ctx.arrayRef("A"), Ctx.arrayRef("B")),
+      Ctx.ne(Ctx.arrayLen(Ctx.arrayRef("A")),
+             Ctx.arrayLen(Ctx.arrayRef("B"))));
+  auto R = S.checkSat({F});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(*R, SatResult::Unsat);
+}
+
+TEST(Z3Solver, StorePreservesLength) {
+  AstContext Ctx;
+  Z3Solver S(Ctx.symbols());
+  const ArrayExpr *A = Ctx.arrayRef("A");
+  const ArrayExpr *St = Ctx.arrayStore(A, Ctx.var("i"), Ctx.var("v"));
+  const BoolExpr *F = Ctx.eq(Ctx.arrayLen(St), Ctx.arrayLen(A));
+  auto R = S.isValid(Ctx, F);
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(*R);
+}
+
+TEST(Z3Solver, NegativeLengthsAreImpossible) {
+  AstContext Ctx;
+  Z3Solver S(Ctx.symbols());
+  const BoolExpr *F =
+      Ctx.lt(Ctx.arrayLen(Ctx.arrayRef("A")), Ctx.intLit(0));
+  auto R = S.checkSat({F});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(*R, SatResult::Unsat);
+}
+
+TEST(Z3Solver, ExistsOverArrayBindsLength) {
+  AstContext Ctx;
+  Z3Solver S(Ctx.symbols());
+  Symbol B = Ctx.sym("B");
+  // exists array B . len(B) == 3 && B[0] == 7 — satisfiable.
+  const BoolExpr *F = Ctx.exists(
+      B, VarTag::Plain, VarKind::Array,
+      Ctx.andExpr(Ctx.eq(Ctx.arrayLen(Ctx.arrayRef(B)), Ctx.intLit(3)),
+                  Ctx.eq(Ctx.arrayRead(Ctx.arrayRef(B), Ctx.intLit(0)),
+                         Ctx.intLit(7))));
+  auto R = S.checkSat({F});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(*R, SatResult::Sat);
+}
+
+TEST(Z3Solver, SmtLibExportRoundTripsThroughZ3Syntax) {
+  AstContext Ctx;
+  Z3Solver S(Ctx.symbols());
+  const BoolExpr *F = Ctx.andExpr(
+      Ctx.lt(Ctx.varO("x"), Ctx.varR("x")),
+      Ctx.eq(Ctx.arrayRead(Ctx.arrayRef("A"), Ctx.intLit(0)), Ctx.intLit(7)));
+  Result<std::string> Script = S.toSmtLib({F});
+  ASSERT_TRUE(Script.ok()) << Script.message();
+  EXPECT_NE(Script->find("(check-sat)"), std::string::npos);
+  EXPECT_NE(Script->find("x!o"), std::string::npos);
+  EXPECT_NE(Script->find("x!r"), std::string::npos);
+  EXPECT_NE(Script->find("A!arr"), std::string::npos);
+  EXPECT_NE(Script->find("A!len"), std::string::npos) << "length axiom";
+}
+
+TEST(ModelFormatting, RendersScalarsAndArraysWithTags) {
+  AstContext Ctx;
+  Model M;
+  M.Ints[VarRef{Ctx.sym("x"), VarTag::Orig, VarKind::Int}] = 3;
+  ArrayModelValue A;
+  A.Length = 2;
+  A.Elems = {1, 2};
+  M.Arrays[VarRef{Ctx.sym("B"), VarTag::Rel, VarKind::Array}] = A;
+  EXPECT_EQ(formatModel(Ctx.symbols(), M), "x<o> = 3, B<r> = [1, 2]");
+  EXPECT_EQ(formatModel(Ctx.symbols(), Model()), "(empty model)");
+}
+
+//===----------------------------------------------------------------------===//
+// CachingSolver
+//===----------------------------------------------------------------------===//
+
+TEST(CachingSolver, SecondIdenticalQueryHitsCache) {
+  AstContext Ctx;
+  Z3Solver Backend(Ctx.symbols());
+  CachingSolver S(Backend);
+  const BoolExpr *F = Ctx.lt(Ctx.var("x"), Ctx.intLit(3));
+  // Structurally equal but distinct nodes must also hit.
+  const BoolExpr *G = Ctx.lt(Ctx.var("x"), Ctx.intLit(3));
+  ASSERT_TRUE(S.checkSat({F}).ok());
+  ASSERT_TRUE(S.checkSat({G}).ok());
+  EXPECT_EQ(S.hitCount(), 1u);
+  EXPECT_EQ(Backend.queryCount(), 1u);
+}
+
+TEST(CachingSolver, DifferentQueriesMiss) {
+  AstContext Ctx;
+  Z3Solver Backend(Ctx.symbols());
+  CachingSolver S(Backend);
+  ASSERT_TRUE(S.checkSat({Ctx.lt(Ctx.var("x"), Ctx.intLit(3))}).ok());
+  ASSERT_TRUE(S.checkSat({Ctx.lt(Ctx.var("x"), Ctx.intLit(4))}).ok());
+  EXPECT_EQ(S.hitCount(), 0u);
+  EXPECT_EQ(Backend.queryCount(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Differential: Z3 vs bounded backend on random small formulas
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class BackendAgreement : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(BackendAgreement, RandomQuantifierFreeFormulas) {
+  AstContext Ctx;
+  Z3Solver Z3(Ctx.symbols());
+  BoundedSolver Bounded;
+  SplitMix64 Rng(GetParam());
+  Printer P(Ctx.symbols());
+
+  // Small formulas whose models (if any) must lie within the bounded
+  // domain: every atom constrains variables to [-4, 4].
+  for (int Iter = 0; Iter < 25; ++Iter) {
+    const char *Names[] = {"x", "y"};
+    std::vector<const BoolExpr *> Atoms;
+    for (int I = 0; I < 3; ++I) {
+      const Expr *V = Ctx.var(Names[Rng.nextInRange(0, 1)]);
+      int64_t C = Rng.nextInRange(-4, 4);
+      CmpOp Ops[] = {CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ge, CmpOp::Gt};
+      Atoms.push_back(Ctx.cmp(Ops[Rng.nextInRange(0, 4)], V, Ctx.intLit(C)));
+    }
+    // Keep all variables range-bounded so bounded-exhaustion is complete.
+    for (const char *N : Names) {
+      Atoms.push_back(Ctx.ge(Ctx.var(N), Ctx.intLit(-4)));
+      Atoms.push_back(Ctx.le(Ctx.var(N), Ctx.intLit(4)));
+    }
+    const BoolExpr *F = Ctx.conj(Atoms);
+    auto RZ = Z3.checkSat({F});
+    auto RB = Bounded.checkSat({F});
+    ASSERT_TRUE(RZ.ok() && RB.ok());
+    EXPECT_EQ(*RZ, *RB) << P.print(F);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendAgreement,
+                         ::testing::Values(11, 12, 13, 14));

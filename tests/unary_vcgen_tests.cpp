@@ -1,0 +1,290 @@
+//===- unary_vcgen_tests.cpp - Tests for |-o and |-i VC generation -------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+// One test (at least) per rule of Figures 7 and 9, exercised end-to-end by
+// discharging generated VCs with Z3 against programs designed to make one
+// particular obligation succeed or fail.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "vcgen/Safety.h"
+
+using namespace relax;
+using namespace relax::test;
+
+namespace {
+
+/// Generates and discharges only the |-o (or |-i) judgment for a program.
+JudgmentReport runUnary(const std::string &Source, JudgmentKind J,
+                        bool CheckSafety = true) {
+  ParsedProgram P = parseProgram(Source);
+  EXPECT_TRUE(P.ok()) << P.diagnostics();
+  JudgmentReport Report;
+  Report.Judgment = J;
+  if (!P.ok())
+    return Report;
+  Z3Solver Backend(P.Ctx->symbols());
+  CachingSolver Cached(Backend);
+
+  VCGenOptions GO;
+  GO.CheckSafety = CheckSafety;
+  DiagnosticEngine D;
+  UnaryVCGen Gen(*P.Ctx, *P.Prog, J, D, GO);
+  const BoolExpr *Pre = P.Prog->requiresClause() ? P.Prog->requiresClause()
+                                                 : P.Ctx->trueExpr();
+  const BoolExpr *Post = P.Prog->ensuresClause() ? P.Prog->ensuresClause()
+                                                 : P.Ctx->trueExpr();
+  Gen.genTriple(Pre, P.Prog->body(), Post);
+  VCSet Set = Gen.take();
+
+  Verifier V(*P.Ctx, *P.Prog, Cached, D); // reuse its discharge loop
+  (void)V;
+  for (const VC &C : Set.VCs) {
+    VCOutcome Out;
+    Out.Condition = C;
+    if (C.Kind == VCKind::Validity) {
+      auto R = Cached.isValid(*P.Ctx, C.Formula);
+      Out.Status = R.ok() ? (*R ? VCStatus::Proved : VCStatus::Failed)
+                          : VCStatus::SolverError;
+    } else {
+      auto R = Cached.checkSat({C.Formula});
+      Out.Status = !R.ok() ? VCStatus::SolverError
+                   : *R == SatResult::Sat ? VCStatus::Proved
+                                          : VCStatus::Failed;
+    }
+    Report.Outcomes.push_back(Out);
+  }
+  return Report;
+}
+
+bool provesO(const std::string &Source) {
+  return runUnary(Source, JudgmentKind::Original).allProved();
+}
+
+bool provesI(const std::string &Source) {
+  return runUnary(Source, JudgmentKind::Intermediate).allProved();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Figure 7: axiomatic original semantics
+//===----------------------------------------------------------------------===//
+
+TEST(OriginalVC, SkipAndConsequence) {
+  EXPECT_TRUE(provesO("int x; requires (x > 0); ensures (x > 0); { skip; }"));
+  EXPECT_FALSE(provesO("int x; requires (x > 0); ensures (x > 1); { skip; }"));
+}
+
+TEST(OriginalVC, AssignStrongestPost) {
+  EXPECT_TRUE(provesO(
+      "int x; requires (x == 2); ensures (x == 5); { x = x + 3; }"));
+  EXPECT_FALSE(provesO(
+      "int x; requires (x == 2); ensures (x == 6); { x = x + 3; }"));
+}
+
+TEST(OriginalVC, SelfReferencingAssignment) {
+  // x = x * x needs the renamed-old-value treatment to be right.
+  EXPECT_TRUE(provesO(
+      "int x; requires (x == 3); ensures (x == 9); { x = x * x; }"));
+}
+
+TEST(OriginalVC, SequenceComposes) {
+  EXPECT_TRUE(provesO("int x, y; requires (x == 1); ensures (y == 4); "
+                      "{ x = x + 1; y = x * 2; }"));
+}
+
+TEST(OriginalVC, AssertRequiresProof) {
+  EXPECT_TRUE(provesO("int x; requires (x > 3); { assert x > 1; }"));
+  EXPECT_FALSE(provesO("int x; requires (x > 0); { assert x > 1; }"));
+}
+
+TEST(OriginalVC, AssertStrengthensPost) {
+  // After `assert e`, e is available downstream.
+  EXPECT_TRUE(provesO("int x; requires (x > 3); ensures (x > 1); "
+                      "{ assert x > 2; }"));
+}
+
+TEST(OriginalVC, AssumeIsFreeAndStrengthens) {
+  // No obligation even for an unprovable predicate; it lands in the post.
+  EXPECT_TRUE(provesO("int x; ensures (x == 77); { assume x == 77; }"));
+}
+
+TEST(OriginalVC, HavocForgetsAndConstrains) {
+  EXPECT_TRUE(provesO("int x; requires (x == 1); ensures (x > 5); "
+                      "{ havoc (x) st (x > 5); }"));
+  EXPECT_FALSE(provesO("int x; requires (x == 1); ensures (x == 1); "
+                       "{ havoc (x) st (x > 5); }"))
+      << "havoc must forget the old value";
+}
+
+TEST(OriginalVC, HavocPreservesFrameFacts) {
+  EXPECT_TRUE(provesO("int x, y; requires (y == 3); ensures (y == 3); "
+                      "{ havoc (x) st (x > 0); }"));
+}
+
+TEST(OriginalVC, HavocSatisfiabilityPremise) {
+  EXPECT_FALSE(provesO("int x; { havoc (x) st (x > 0 && x < 0); }"))
+      << "Figure 7 havoc premise: the predicate must be satisfiable";
+  // Satisfiability may depend on frame variables pinned by the pre.
+  EXPECT_TRUE(provesO(
+      "int x, y; requires (y > 10); { havoc (x) st (x > y); }"));
+}
+
+TEST(OriginalVC, RelaxIsAssertUnderOriginal) {
+  EXPECT_TRUE(provesO("int x; requires (x > 0); ensures (x > 0); "
+                      "{ relax (x) st (x > 0); }"));
+  EXPECT_FALSE(provesO("int x; { relax (x) st (x > 0); }"))
+      << "the original execution must satisfy the relaxation predicate";
+}
+
+TEST(OriginalVC, RelaxDoesNotForgetUnderOriginal) {
+  // Unlike havoc: in |-o the value survives.
+  EXPECT_TRUE(provesO("int x; requires (x == 7); ensures (x == 7); "
+                      "{ relax (x) st (x > 0); }"));
+}
+
+TEST(OriginalVC, IfJoinsBranches) {
+  EXPECT_TRUE(provesO(
+      "int x, y; { if (x > 0) { y = 1; } else { y = 2; } assert y >= 1; }"));
+  EXPECT_FALSE(provesO(
+      "int x, y; { if (x > 0) { y = 1; } else { y = 2; } assert y == 1; }"));
+}
+
+TEST(OriginalVC, BranchConditionIsAvailableInBranch) {
+  EXPECT_TRUE(provesO(
+      "int x; { if (x > 3) { assert x > 2; } else { assert x <= 3; } }"));
+}
+
+TEST(OriginalVC, WhileEntryObligation) {
+  EXPECT_FALSE(provesO("int i, n; requires (i == 5 && n == 3); "
+                       "{ while (i < n) invariant (i <= n) { i = i + 1; } }"))
+      << "invariant must hold on entry";
+}
+
+TEST(OriginalVC, WhilePreservationObligation) {
+  EXPECT_FALSE(provesO("int i, n; requires (i == 0 && n > 0); "
+                       "{ while (i < n) invariant (i <= n) { i = i + 2; } }"))
+      << "i = i + 2 can overshoot the invariant";
+  EXPECT_TRUE(provesO("int i, n; requires (i == 0 && n > 0); "
+                      "{ while (i < n) invariant (i <= n) { i = i + 1; } }"));
+}
+
+TEST(OriginalVC, WhileExitKnowledge) {
+  EXPECT_TRUE(provesO(
+      "int i, n; requires (i == 0 && n >= 0); ensures (i == n); "
+      "{ while (i < n) invariant (i <= n) { i = i + 1; } }"));
+}
+
+TEST(OriginalVC, RelateIsSkipUnderUnaryJudgments) {
+  EXPECT_TRUE(provesO("int x; requires (x == 1); ensures (x == 1); "
+                      "{ relate l : x<o> == x<r>; }"));
+}
+
+//===----------------------------------------------------------------------===//
+// Safety obligations (trap-freedom extension)
+//===----------------------------------------------------------------------===//
+
+TEST(SafetyVC, DivisionNeedsNonzeroDivisor) {
+  EXPECT_FALSE(provesO("int x, y; { x = 1 / y; }"));
+  EXPECT_TRUE(provesO("int x, y; requires (y > 0); { x = 1 / y; }"));
+  // With safety checking off, the paper's trap-free fragment accepts it.
+  EXPECT_TRUE(runUnary("int x, y; { x = 1 / y; }", JudgmentKind::Original,
+                       /*CheckSafety=*/false)
+                  .allProved());
+}
+
+TEST(SafetyVC, ArrayReadNeedsBounds) {
+  EXPECT_FALSE(provesO("array A; int x, i; { x = A[i]; }"));
+  EXPECT_TRUE(provesO(
+      "array A; int x, i; requires (0 <= i && i < len(A)); { x = A[i]; }"));
+}
+
+TEST(SafetyVC, ArrayStoreNeedsBounds) {
+  EXPECT_FALSE(provesO("array A; { A[3] = 1; }"));
+  EXPECT_TRUE(provesO("array A; requires (len(A) > 3); { A[3] = 1; }"));
+}
+
+TEST(SafetyVC, ConditionSafetyChecked) {
+  EXPECT_FALSE(provesO("int x, y; { if (1 / y > 0) { x = 1; } }"));
+}
+
+TEST(SafetyVC, SafetyConditionBuilder) {
+  AstContext Ctx;
+  Printer P(Ctx.symbols());
+  // No traps -> true.
+  const Expr *Pure = Ctx.add(Ctx.var("x"), Ctx.intLit(1));
+  EXPECT_EQ(P.print(safetyCondition(Ctx, Pure)), "true");
+  // Division contributes a nonzero check; array reads contribute bounds.
+  const Expr *Risky = Ctx.binary(
+      BinaryOp::Div, Ctx.arrayRead(Ctx.arrayRef("A"), Ctx.var("i")),
+      Ctx.var("y"));
+  std::string Out = P.print(safetyCondition(Ctx, Risky));
+  EXPECT_NE(Out.find("i >= 0"), std::string::npos);
+  EXPECT_NE(Out.find("i < len(A)"), std::string::npos);
+  EXPECT_NE(Out.find("y != 0"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Figure 9: axiomatic intermediate semantics
+//===----------------------------------------------------------------------===//
+
+TEST(IntermediateVC, RelaxBehavesAsHavoc) {
+  // Under |-i the relax forgets x, so ensures (x == 7) must fail...
+  EXPECT_FALSE(provesI("int x; requires (x == 7); ensures (x == 7); "
+                       "{ relax (x) st (x > 0); }"));
+  // ...but the relaxation predicate is available.
+  EXPECT_TRUE(provesI("int x; requires (x == 7); ensures (x > 0); "
+                      "{ relax (x) st (x > 0); }"));
+}
+
+TEST(IntermediateVC, RelaxSatisfiabilityPremise) {
+  EXPECT_FALSE(provesI("int x; { relax (x) st (x > 0 && x < 0); }"));
+}
+
+TEST(IntermediateVC, AssumeCarriesObligation) {
+  // Lemma 4: the relaxed execution must not violate assumptions either.
+  EXPECT_FALSE(provesI("int x; ensures (x == 77); { assume x == 77; }"))
+      << "|-i requires proof of assume predicates";
+  EXPECT_TRUE(provesI("int x; requires (x == 77); ensures (x == 77); "
+                      "{ assume x == 77; }"));
+}
+
+TEST(IntermediateVC, IntermediateInvariantPreferred) {
+  // The loop invariant that works for |-o (x stays 0) fails under |-i
+  // (relax may change x); the iinvariant covers the relaxed executions.
+  std::string Source =
+      "int i, n, x;\n"
+      "requires (i == 0 && n >= 0 && x == 0);\n"
+      "{ while (i < n)\n"
+      "    invariant (i <= n && x == 0)\n"
+      "    iinvariant (i <= n && x >= 0)\n"
+      "  { relax (x) st (x >= 0); i = i + 1; } }";
+  EXPECT_TRUE(provesO(Source));
+  EXPECT_TRUE(provesI(Source));
+
+  std::string NoIInv =
+      "int i, n, x;\n"
+      "requires (i == 0 && n >= 0 && x == 0);\n"
+      "{ while (i < n)\n"
+      "    invariant (i <= n && x == 0)\n"
+      "  { relax (x) st (x >= 0); i = i + 1; } }";
+  EXPECT_TRUE(provesO(NoIInv));
+  EXPECT_FALSE(provesI(NoIInv))
+      << "under |-i the relax breaks the x == 0 invariant";
+}
+
+TEST(IntermediateVC, HavocSameInBothJudgments) {
+  std::string Source = "int x; ensures (x > 5); { havoc (x) st (x > 5); }";
+  EXPECT_TRUE(provesO(Source));
+  EXPECT_TRUE(provesI(Source));
+}
+
+TEST(IntermediateVC, AssertSameAsOriginal) {
+  EXPECT_TRUE(provesI("int x; requires (x > 3); { assert x > 1; }"));
+  EXPECT_FALSE(provesI("int x; { assert x > 1; }"));
+}

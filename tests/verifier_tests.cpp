@@ -1,0 +1,228 @@
+//===- verifier_tests.cpp - End-to-end verification tests ----------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+// Verifies the paper's three case studies from their .rlx sources, plus
+// deliberately broken variants (failure injection) to show the verifier
+// rejects them for the right reason.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "solver/BoundedSolver.h"
+
+using namespace relax;
+using namespace relax::test;
+
+namespace {
+
+std::string slurp(const std::string &Path) {
+  SourceManager SM;
+  EXPECT_TRUE(SM.loadFile(Path).ok()) << Path;
+  return std::string(SM.buffer());
+}
+
+/// Applies a textual mutation and expects verification to fail.
+void expectMutationFails(const std::string &Source, const std::string &From,
+                         const std::string &To) {
+  std::string Mutated = Source;
+  size_t Pos = Mutated.find(From);
+  ASSERT_NE(Pos, std::string::npos) << "mutation anchor not found: " << From;
+  Mutated.replace(Pos, From.size(), To);
+  VerifyReport R = verifySource(Mutated);
+  EXPECT_FALSE(R.verified()) << "mutation should break verification: "
+                             << From << " -> " << To;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The paper's case studies (Section 5)
+//===----------------------------------------------------------------------===//
+
+TEST(Examples, SwishVerifies) {
+  VerifyReport R = verifySource(slurp(examplePath("swish.rlx")));
+  EXPECT_TRUE(R.verified());
+  EXPECT_TRUE(R.Original.allProved());
+  EXPECT_TRUE(R.Relaxed.allProved());
+  EXPECT_GE(R.totalVCs(), 10u);
+}
+
+TEST(Examples, WaterVerifies) {
+  VerifyReport R = verifySource(slurp(examplePath("water.rlx")));
+  EXPECT_TRUE(R.verified());
+}
+
+TEST(Examples, LuVerifies) {
+  VerifyReport R = verifySource(slurp(examplePath("lu.rlx")));
+  EXPECT_TRUE(R.verified());
+}
+
+TEST(Examples, TaskSkipVerifies) {
+  VerifyReport R = verifySource(slurp(examplePath("task_skip.rlx")));
+  EXPECT_TRUE(R.verified());
+}
+
+TEST(Examples, SamplingVerifies) {
+  VerifyReport R = verifySource(slurp(examplePath("sampling.rlx")));
+  EXPECT_TRUE(R.verified());
+}
+
+TEST(Examples, MemoizeVerifies) {
+  // Nonlinear arithmetic (x * x): the slowest of the example proofs.
+  VerifyReport R = verifySource(slurp(examplePath("memoize.rlx")));
+  EXPECT_TRUE(R.verified());
+}
+
+//===----------------------------------------------------------------------===//
+// Failure injection on the case studies
+//===----------------------------------------------------------------------===//
+
+TEST(ExamplesMutated, SwishWeakenedRelaxationFails) {
+  // Allowing the threshold to drop below 10 breaks the acceptability
+  // property (this is the annotation bug the verifier caught during
+  // development of this repository).
+  expectMutationFails(slurp(examplePath("swish.rlx")), "10 <= max_r));",
+                      "9 <= max_r));");
+}
+
+TEST(ExamplesMutated, SwishStrongerRelateFails) {
+  expectMutationFails(slurp(examplePath("swish.rlx")),
+                      "10 <= num_r<o> && 10 <= num_r<r>",
+                      "10 <= num_r<o> && 11 <= num_r<r>");
+}
+
+TEST(ExamplesMutated, WaterWithoutAssumeFails) {
+  // Dropping the lockstep assume removes the bridge that lets the bound
+  // transfer into the divergent branch.
+  expectMutationFails(slurp(examplePath("water.rlx")),
+                      "assume (K < len_FF);\n    if", "skip;\n    if");
+}
+
+TEST(ExamplesMutated, WaterWeakerRequiresFails) {
+  expectMutationFails(slurp(examplePath("water.rlx")),
+                      "requires (N >= 0 && N <= len(RS)",
+                      "requires (N >= 0 && N - 1 <= len(RS)");
+}
+
+TEST(ExamplesMutated, LuTighterRelateFails) {
+  expectMutationFails(
+      slurp(examplePath("lu.rlx")),
+      "relate lipschitz : max<o> - max<r> <= e<o>",
+      "relate lipschitz : max<o> - max<r> <= e<o> - 1");
+}
+
+TEST(ExamplesMutated, LuWiderRelaxationFails) {
+  expectMutationFails(
+      slurp(examplePath("lu.rlx")),
+      "relax (a) st (original_a - e <= a && a <= original_a + e)",
+      "relax (a) st (original_a - 2 * e <= a && a <= original_a + 2 * e)");
+}
+
+//===----------------------------------------------------------------------===//
+// Report contents
+//===----------------------------------------------------------------------===//
+
+TEST(Report, RenderNamesJudgmentsAndVerdict) {
+  VerifyReport R = verifySource("int x; requires (x > 0); "
+                                "{ assert x > 0; }");
+  ParsedProgram P = parseProgram("int x; { skip; }");
+  std::string Text = renderReport(R, P.Ctx->symbols());
+  EXPECT_NE(Text.find("|-o"), std::string::npos);
+  EXPECT_NE(Text.find("|-r"), std::string::npos);
+  EXPECT_NE(Text.find("VERIFIED"), std::string::npos);
+}
+
+TEST(Report, FailedVCsIncludeRuleAndFormula) {
+  ParsedProgram P = parseProgram("int x; { assert x > 0; }");
+  ASSERT_TRUE(P.ok());
+  Z3Solver Backend(P.Ctx->symbols());
+  Verifier V(*P.Ctx, *P.Prog, Backend, P.Diags);
+  VerifyReport R = V.run();
+  EXPECT_FALSE(R.verified());
+  std::string Text = renderReport(R, P.Ctx->symbols());
+  EXPECT_NE(Text.find("[failed]"), std::string::npos);
+  EXPECT_NE(Text.find("assert"), std::string::npos);
+  EXPECT_NE(Text.find("NOT VERIFIED"), std::string::npos);
+}
+
+TEST(Report, VerboseListsEverything) {
+  VerifyReport R = verifySource("int x; requires (x > 0); "
+                                "{ assert x > 0; }");
+  ParsedProgram P = parseProgram("int x; { skip; }");
+  std::string Brief = renderReport(R, P.Ctx->symbols(), false);
+  std::string Verbose = renderReport(R, P.Ctx->symbols(), true);
+  EXPECT_GT(Verbose.size(), Brief.size());
+}
+
+TEST(Report, TimingIsPopulated) {
+  VerifyReport R = verifySource("int x; { x = 1; assert x == 1; }");
+  EXPECT_GT(R.Original.TotalMillis, 0.0);
+  EXPECT_GT(R.Relaxed.TotalMillis, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier options
+//===----------------------------------------------------------------------===//
+
+TEST(VerifierOptions, OriginalOnlySkipsRelaxedPass) {
+  ParsedProgram P = parseProgram(
+      "int x; requires (x == 0); { relax (x) st (true); assert x == 0; }");
+  ASSERT_TRUE(P.ok());
+  Z3Solver Backend(P.Ctx->symbols());
+  Verifier V(*P.Ctx, *P.Prog, Backend, P.Diags);
+  Verifier::Options Opts;
+  Opts.RunRelaxed = false;
+  VerifyReport R = V.run(Opts);
+  EXPECT_TRUE(R.Original.allProved()) << "x == 0 holds originally";
+  EXPECT_TRUE(R.Relaxed.Outcomes.empty());
+  EXPECT_TRUE(R.verified()) << "with the relaxed pass disabled";
+}
+
+TEST(VerifierOptions, EffectiveRelRequiresDefaultsToIdentity) {
+  ParsedProgram P = parseProgram("int x; array A; requires (x > 0); "
+                                 "{ skip; }");
+  ASSERT_TRUE(P.ok());
+  Z3Solver Backend(P.Ctx->symbols());
+  Verifier V(*P.Ctx, *P.Prog, Backend, P.Diags);
+  Printer Pr(P.Ctx->symbols());
+  std::string Text = Pr.print(V.effectiveRelRequires());
+  EXPECT_NE(Text.find("x<o> == x<r>"), std::string::npos);
+  EXPECT_NE(Text.find("A<o> == A<r>"), std::string::npos);
+  EXPECT_NE(Text.find("x<o> > 0"), std::string::npos);
+  EXPECT_NE(Text.find("x<r> > 0"), std::string::npos);
+}
+
+TEST(VerifierOptions, ExplicitRelRequiresWins) {
+  ParsedProgram P = parseProgram(
+      "int x; rrequires (x<o> <= x<r>); { skip; }");
+  ASSERT_TRUE(P.ok());
+  Z3Solver Backend(P.Ctx->symbols());
+  Verifier V(*P.Ctx, *P.Prog, Backend, P.Diags);
+  Printer Pr(P.Ctx->symbols());
+  EXPECT_EQ(Pr.print(V.effectiveRelRequires()), "x<o> <= x<r>");
+}
+
+TEST(VerifierOptions, BoundedBackendVerifiesSmallPrograms) {
+  ParsedProgram P = parseProgram(
+      "int x; requires (x >= 0 && x <= 3); ensures (x <= 4); "
+      "{ x = x + 1; }");
+  ASSERT_TRUE(P.ok());
+  BoundedSolver Backend;
+  Verifier V(*P.Ctx, *P.Prog, Backend, P.Diags);
+  VerifyReport R = V.run();
+  EXPECT_TRUE(R.verified()) << renderReport(R, P.Ctx->symbols());
+}
+
+TEST(VerifierOptions, SemaFailureShortCircuits) {
+  ParsedProgram P = parseProgram("int x; { relate l : x == 1; }");
+  ASSERT_TRUE(P.ok()) << "parses fine; sema rejects";
+  Z3Solver Backend(P.Ctx->symbols());
+  Verifier V(*P.Ctx, *P.Prog, Backend, P.Diags);
+  VerifyReport R = V.run();
+  EXPECT_FALSE(R.SemaOk);
+  EXPECT_FALSE(R.verified());
+  EXPECT_EQ(R.totalVCs(), 0u);
+}
