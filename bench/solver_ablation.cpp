@@ -95,6 +95,45 @@ void BM_Solver_Z3_NoSimplify(benchmark::State &State) {
       /*Simplify=*/false);
 }
 
+/// End-to-end verification (generation + cached discharge) of a program
+/// with K independent relax-assert knobs: the workload whose repeated side
+/// conditions and growing formulas the hash-consing layer, the verified
+/// result cache, and the persistent solver context are built for. The
+/// largest configuration is the suite's headline number.
+std::string knobProgram(int64_t K) {
+  std::string Decls, Body, Requires;
+  for (int64_t I = 0; I != K; ++I) {
+    std::string V = "x" + std::to_string(I);
+    Decls += "int " + V + ";\n";
+    Requires += (I ? " && " : "") + V + " == 0";
+    Body += "  " + V + " = " + V + " + 1;\n";
+    Body += "  relax (" + V + ") st (" + V + " >= 0);\n";
+    Body += "  assert " + V + " >= 0;\n";
+  }
+  return Decls + "requires (" + Requires + ");\n{\n" + Body + "}\n";
+}
+
+void BM_Solver_Z3_KnobScaling(benchmark::State &State) {
+  Loaded L = loadSource(knobProgram(State.range(0)));
+  if (!L.Prog) {
+    State.SkipWithError("parse failed");
+    return;
+  }
+  uint64_t Hits = 0, Backend = 0;
+  for (auto _ : State) {
+    Z3Solver Z3(L.Ctx->symbols());
+    CachingSolver Solver(Z3);
+    DiagnosticEngine Diags;
+    Verifier V(*L.Ctx, *L.Prog, Solver, Diags);
+    VerifyReport R = V.run();
+    benchmark::DoNotOptimize(R);
+    Hits = Solver.hitCount();
+    Backend = Z3.queryCount();
+  }
+  State.counters["cache_hits"] = static_cast<double>(Hits);
+  State.counters["backend_queries"] = static_cast<double>(Backend);
+}
+
 /// Cache effectiveness on a real workload: swish's VC set contains
 /// repeated convergence/safety side conditions.
 void BM_Solver_Z3_CacheOnSwish(benchmark::State &State) {
@@ -138,6 +177,11 @@ void BM_Solver_Z3_NoCacheOnSwish(benchmark::State &State) {
 BENCHMARK(BM_Solver_Z3)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Solver_Bounded)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Solver_Z3_NoSimplify)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Solver_Z3_KnobScaling)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Solver_Z3_CacheOnSwish)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Solver_Z3_NoCacheOnSwish)->Unit(benchmark::kMillisecond);
 

@@ -7,7 +7,9 @@
 
 #include "ast/AstContext.h"
 
+#include "ast/Structural.h"
 #include "support/Casting.h"
+#include "support/Hashing.h"
 
 #include <cassert>
 
@@ -110,46 +112,145 @@ const char *relax::logicalOpSpelling(LogicalOp Op) {
 }
 
 AstContext::AstContext() {
-  CachedTrue = Mem.make<BoolLitExpr>(true, SourceLoc());
-  CachedFalse = Mem.make<BoolLitExpr>(false, SourceLoc());
+  CachedTrue = boolLit(true);
+  CachedFalse = boolLit(false);
 }
+
+//===----------------------------------------------------------------------===//
+// Hash-consing core
+//===----------------------------------------------------------------------===//
+//
+// Every factory computes the node's structural hash from its operands'
+// cached hashes (O(1)), probes the per-context table, and only allocates on
+// a miss. The hash formulas must stay in lockstep with the recursive
+// fallback in Structural.cpp.
+
+template <typename NodeT, typename MatchFn, typename MakeFn>
+const NodeT *AstContext::getOrMake(HashConsTable<NodeT> &Table, uint64_t H,
+                                   MatchFn Matches, MakeFn Make) {
+  if (const NodeT *Existing = Table.find(H, Matches)) {
+    ++HashConsHits;
+    return Existing;
+  }
+  NodeT *Node = Make();
+  Node->HashVal = H;
+  Table.insert(H, Node);
+  ++UniqueNodes;
+  return Node;
+}
+
+namespace {
+
+uint64_t exprSeed(Expr::Kind K) {
+  return hashMix(static_cast<uint64_t>(K) + 101);
+}
+uint64_t arraySeed(ArrayExpr::Kind K) {
+  return hashMix(static_cast<uint64_t>(K) + 211);
+}
+uint64_t boolSeed(BoolExpr::Kind K) {
+  return hashMix(static_cast<uint64_t>(K) + 307);
+}
+
+} // namespace
 
 //===----------------------------------------------------------------------===//
 // Integer expressions
 //===----------------------------------------------------------------------===//
 
 const Expr *AstContext::intLit(int64_t Value, SourceLoc Loc) {
-  return Mem.make<IntLitExpr>(Value, Loc);
+  uint64_t H = hashCombine(exprSeed(Expr::Kind::IntLit),
+                           static_cast<uint64_t>(Value));
+  return getOrMake(
+      ExprTable, H,
+      [&](const Expr *N) {
+        const auto *L = dyn_cast<IntLitExpr>(N);
+        return L && L->value() == Value;
+      },
+      [&] { return Mem.make<IntLitExpr>(Value, Loc); });
 }
 
 const Expr *AstContext::var(Symbol Name, VarTag Tag, SourceLoc Loc) {
   assert(Name.isValid() && "variable needs a valid symbol");
-  return Mem.make<VarExpr>(Name, Tag, Loc);
+  uint64_t H = hashCombine(hashCombine(exprSeed(Expr::Kind::Var), Name.id()),
+                           varTagHashSeed(Tag));
+  return getOrMake(
+      ExprTable, H,
+      [&](const Expr *N) {
+        const auto *V = dyn_cast<VarExpr>(N);
+        return V && V->name() == Name && V->tag() == Tag;
+      },
+      [&] { return Mem.make<VarExpr>(Name, Tag, Loc); });
 }
 
 const ArrayExpr *AstContext::arrayRef(Symbol Name, VarTag Tag, SourceLoc Loc) {
   assert(Name.isValid() && "array needs a valid symbol");
-  return Mem.make<ArrayRefExpr>(Name, Tag, Loc);
+  uint64_t H =
+      hashCombine(hashCombine(arraySeed(ArrayExpr::Kind::Ref), Name.id()),
+                  varTagHashSeed(Tag));
+  return getOrMake(
+      ArrayTable, H,
+      [&](const ArrayExpr *N) {
+        const auto *R = dyn_cast<ArrayRefExpr>(N);
+        return R && R->name() == Name && R->tag() == Tag;
+      },
+      [&] { return Mem.make<ArrayRefExpr>(Name, Tag, Loc); });
 }
 
 const ArrayExpr *AstContext::arrayStore(const ArrayExpr *Base,
                                         const Expr *Index, const Expr *Value,
                                         SourceLoc Loc) {
-  return Mem.make<ArrayStoreExpr>(Base, Index, Value, Loc);
+  uint64_t H = arraySeed(ArrayExpr::Kind::Store);
+  H = hashCombine(H, Base->hash());
+  H = hashCombine(H, Index->hash());
+  H = hashCombine(H, Value->hash());
+  return getOrMake(
+      ArrayTable, H,
+      [&](const ArrayExpr *N) {
+        const auto *S = dyn_cast<ArrayStoreExpr>(N);
+        return S && S->base() == Base && S->index() == Index &&
+               S->value() == Value;
+      },
+      [&] { return Mem.make<ArrayStoreExpr>(Base, Index, Value, Loc); });
 }
 
 const Expr *AstContext::arrayRead(const ArrayExpr *Base, const Expr *Index,
                                   SourceLoc Loc) {
-  return Mem.make<ArrayReadExpr>(Base, Index, Loc);
+  uint64_t H = hashCombine(
+      hashCombine(exprSeed(Expr::Kind::ArrayRead), Base->hash()),
+      Index->hash());
+  return getOrMake(
+      ExprTable, H,
+      [&](const Expr *N) {
+        const auto *R = dyn_cast<ArrayReadExpr>(N);
+        return R && R->base() == Base && R->index() == Index;
+      },
+      [&] { return Mem.make<ArrayReadExpr>(Base, Index, Loc); });
 }
 
 const Expr *AstContext::arrayLen(const ArrayExpr *Base, SourceLoc Loc) {
-  return Mem.make<ArrayLenExpr>(Base, Loc);
+  uint64_t H = hashCombine(exprSeed(Expr::Kind::ArrayLen), Base->hash());
+  return getOrMake(
+      ExprTable, H,
+      [&](const Expr *N) {
+        const auto *L = dyn_cast<ArrayLenExpr>(N);
+        return L && L->base() == Base;
+      },
+      [&] { return Mem.make<ArrayLenExpr>(Base, Loc); });
 }
 
 const Expr *AstContext::binary(BinaryOp Op, const Expr *LHS, const Expr *RHS,
                                SourceLoc Loc) {
-  return Mem.make<BinaryExpr>(Op, LHS, RHS, Loc);
+  uint64_t H = exprSeed(Expr::Kind::Binary);
+  H = hashCombine(H, static_cast<uint64_t>(Op));
+  H = hashCombine(H, LHS->hash());
+  H = hashCombine(H, RHS->hash());
+  return getOrMake(
+      ExprTable, H,
+      [&](const Expr *N) {
+        const auto *B = dyn_cast<BinaryExpr>(N);
+        return B && B->op() == Op && B->lhs() == LHS && B->rhs() == RHS;
+      },
+      [&] { return Mem.make<BinaryExpr>(Op, LHS, RHS, Loc); });
 }
 
 //===----------------------------------------------------------------------===//
@@ -157,28 +258,76 @@ const Expr *AstContext::binary(BinaryOp Op, const Expr *LHS, const Expr *RHS,
 //===----------------------------------------------------------------------===//
 
 const BoolExpr *AstContext::boolLit(bool Value, SourceLoc Loc) {
-  if (!Loc.isValid())
-    return Value ? CachedTrue : CachedFalse;
-  return Mem.make<BoolLitExpr>(Value, Loc);
+  // Fast path once the constructor has interned the two literals.
+  if (Value && CachedTrue)
+    return CachedTrue;
+  if (!Value && CachedFalse)
+    return CachedFalse;
+  uint64_t H = hashCombine(boolSeed(BoolExpr::Kind::BoolLit), Value ? 1 : 0);
+  return getOrMake(
+      BoolTable, H,
+      [&](const BoolExpr *N) {
+        const auto *L = dyn_cast<BoolLitExpr>(N);
+        return L && L->value() == Value;
+      },
+      [&] { return Mem.make<BoolLitExpr>(Value, Loc); });
 }
 
 const BoolExpr *AstContext::cmp(CmpOp Op, const Expr *LHS, const Expr *RHS,
                                 SourceLoc Loc) {
-  return Mem.make<CmpExpr>(Op, LHS, RHS, Loc);
+  uint64_t H = boolSeed(BoolExpr::Kind::Cmp);
+  H = hashCombine(H, static_cast<uint64_t>(Op));
+  H = hashCombine(H, LHS->hash());
+  H = hashCombine(H, RHS->hash());
+  return getOrMake(
+      BoolTable, H,
+      [&](const BoolExpr *N) {
+        const auto *C = dyn_cast<CmpExpr>(N);
+        return C && C->op() == Op && C->lhs() == LHS && C->rhs() == RHS;
+      },
+      [&] { return Mem.make<CmpExpr>(Op, LHS, RHS, Loc); });
 }
 
 const BoolExpr *AstContext::arrayCmp(bool Equal, const ArrayExpr *LHS,
                                      const ArrayExpr *RHS, SourceLoc Loc) {
-  return Mem.make<ArrayCmpExpr>(Equal, LHS, RHS, Loc);
+  uint64_t H = boolSeed(BoolExpr::Kind::ArrayCmp);
+  H = hashCombine(H, Equal ? 1 : 0);
+  H = hashCombine(H, LHS->hash());
+  H = hashCombine(H, RHS->hash());
+  return getOrMake(
+      BoolTable, H,
+      [&](const BoolExpr *N) {
+        const auto *C = dyn_cast<ArrayCmpExpr>(N);
+        return C && C->isEquality() == Equal && C->lhs() == LHS &&
+               C->rhs() == RHS;
+      },
+      [&] { return Mem.make<ArrayCmpExpr>(Equal, LHS, RHS, Loc); });
 }
 
 const BoolExpr *AstContext::logical(LogicalOp Op, const BoolExpr *LHS,
                                     const BoolExpr *RHS, SourceLoc Loc) {
-  return Mem.make<LogicalExpr>(Op, LHS, RHS, Loc);
+  uint64_t H = boolSeed(BoolExpr::Kind::Logical);
+  H = hashCombine(H, static_cast<uint64_t>(Op));
+  H = hashCombine(H, LHS->hash());
+  H = hashCombine(H, RHS->hash());
+  return getOrMake(
+      BoolTable, H,
+      [&](const BoolExpr *N) {
+        const auto *L = dyn_cast<LogicalExpr>(N);
+        return L && L->op() == Op && L->lhs() == LHS && L->rhs() == RHS;
+      },
+      [&] { return Mem.make<LogicalExpr>(Op, LHS, RHS, Loc); });
 }
 
 const BoolExpr *AstContext::notExpr(const BoolExpr *Sub, SourceLoc Loc) {
-  return Mem.make<NotExpr>(Sub, Loc);
+  uint64_t H = hashCombine(boolSeed(BoolExpr::Kind::Not), Sub->hash());
+  return getOrMake(
+      BoolTable, H,
+      [&](const BoolExpr *N) {
+        const auto *No = dyn_cast<NotExpr>(N);
+        return No && No->sub() == Sub;
+      },
+      [&] { return Mem.make<NotExpr>(Sub, Loc); });
 }
 
 const BoolExpr *
@@ -217,7 +366,19 @@ const BoolExpr *AstContext::disj(const std::vector<const BoolExpr *> &Parts) {
 
 const BoolExpr *AstContext::exists(Symbol Var, VarTag Tag, VarKind VK,
                                    const BoolExpr *Body, SourceLoc Loc) {
-  return Mem.make<ExistsExpr>(Var, Tag, VK, Body, Loc);
+  uint64_t H = boolSeed(BoolExpr::Kind::Exists);
+  H = hashCombine(H, Var.id());
+  H = hashCombine(H, varTagHashSeed(Tag));
+  H = hashCombine(H, static_cast<uint64_t>(VK));
+  H = hashCombine(H, Body->hash());
+  return getOrMake(
+      BoolTable, H,
+      [&](const BoolExpr *N) {
+        const auto *E = dyn_cast<ExistsExpr>(N);
+        return E && E->var() == Var && E->tag() == Tag && E->varKind() == VK &&
+               E->body() == Body;
+      },
+      [&] { return Mem.make<ExistsExpr>(Var, Tag, VK, Body, Loc); });
 }
 
 //===----------------------------------------------------------------------===//

@@ -17,7 +17,10 @@
 #define RELAXC_AST_ASTCONTEXT_H
 
 #include "ast/Program.h"
+#include "ast/VarRef.h"
 #include "support/Arena.h"
+#include "support/HashConsTable.h"
+#include "support/PtrMap.h"
 
 #include <initializer_list>
 #include <string_view>
@@ -31,6 +34,21 @@ namespace relax {
 /// factories apply *no* simplification (the logic library has an explicit
 /// simplifier) except the `conj`/`disj` list helpers, which fold their
 /// neutral elements to keep generated VCs readable.
+///
+/// Expression and formula factories are *hash-consing*: structurally
+/// identical construction requests (ignoring source locations) return the
+/// same pointer, so within one context structural equality is pointer
+/// equality, `structuralHash` is a cached field read, and identity-keyed
+/// memo tables (simplification, free variables, solver-term translation)
+/// are sound. Statements are not hash-consed — they carry per-occurrence
+/// source locations that diagnostics depend on. Expression-level
+/// diagnostics (sema errors, interpreter traps) consequently report the
+/// location of the *first* structurally identical occurrence — a
+/// deliberate trade of per-occurrence precision for maximal sharing.
+///
+/// The factories and the caches they feed are NOT thread-safe: all node
+/// construction must happen on one thread (the parallel VC discharger
+/// pre-builds its query formulas before fanning out).
 class AstContext {
 public:
   AstContext();
@@ -188,11 +206,58 @@ public:
   /// Arena-allocates a DivergeAnnotation.
   const DivergeAnnotation *divergeAnnotation(DivergeAnnotation A);
 
+  //===--------------------------------------------------------------------===//
+  // Hash-consing statistics and identity-keyed caches
+  //===--------------------------------------------------------------------===//
+
+  /// Number of factory calls answered by an existing node.
+  uint64_t hashConsHits() const { return HashConsHits; }
+  /// Number of distinct expression/formula nodes created.
+  uint64_t uniqueNodeCount() const { return UniqueNodes; }
+
+  /// Identity-keyed memo tables. Sound because hash-consed nodes are
+  /// immutable and identity implies structural identity. Owned here so the
+  /// memo survives across Simplifier instances / freeVars call sites.
+  PtrMap<BoolExpr, const BoolExpr *> &simplifyCacheBool() {
+    return SimpBoolCache;
+  }
+  PtrMap<Expr, const Expr *> &simplifyCacheExpr() { return SimpExprCache; }
+  PtrMap<Expr, SharedVarList> &freeVarsCacheExpr() {
+    return FreeVarsExprCache;
+  }
+  PtrMap<ArrayExpr, SharedVarList> &freeVarsCacheArray() {
+    return FreeVarsArrayCache;
+  }
+  PtrMap<BoolExpr, SharedVarList> &freeVarsCacheBool() {
+    return FreeVarsBoolCache;
+  }
+
 private:
   Arena Mem;
   Interner Syms;
   const BoolExpr *CachedTrue = nullptr;
   const BoolExpr *CachedFalse = nullptr;
+
+  // Hash-cons tables: open-addressed (structural hash -> node) sets.
+  // Full-hash collisions are resolved by a shallow field-and-child-pointer
+  // comparison (children are already consed).
+  HashConsTable<Expr> ExprTable;
+  HashConsTable<ArrayExpr> ArrayTable;
+  HashConsTable<BoolExpr> BoolTable;
+  uint64_t HashConsHits = 0;
+  uint64_t UniqueNodes = 0;
+
+  PtrMap<BoolExpr, const BoolExpr *> SimpBoolCache;
+  PtrMap<Expr, const Expr *> SimpExprCache;
+  PtrMap<Expr, SharedVarList> FreeVarsExprCache;
+  PtrMap<ArrayExpr, SharedVarList> FreeVarsArrayCache;
+  PtrMap<BoolExpr, SharedVarList> FreeVarsBoolCache;
+
+  /// Returns the node in \p Table matching (\p H, \p Matches), or
+  /// constructs one with \p Make, stamps its hash, and interns it.
+  template <typename NodeT, typename MatchFn, typename MakeFn>
+  const NodeT *getOrMake(HashConsTable<NodeT> &Table, uint64_t H,
+                         MatchFn Matches, MakeFn Make);
 };
 
 } // namespace relax

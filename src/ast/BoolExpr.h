@@ -50,6 +50,10 @@ public:
   Kind kind() const { return K; }
   SourceLoc loc() const { return Loc; }
 
+  /// The structural hash, computed once at construction by the hash-consing
+  /// factory (see AstContext). Source-location-insensitive.
+  uint64_t hash() const { return HashVal; }
+
   BoolExpr(const BoolExpr &) = delete;
   BoolExpr &operator=(const BoolExpr &) = delete;
 
@@ -57,8 +61,10 @@ protected:
   BoolExpr(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
 
 private:
+  friend class AstContext;
   Kind K;
   SourceLoc Loc;
+  uint64_t HashVal = 0;
 };
 
 /// `true` or `false`.

@@ -52,6 +52,7 @@ enum class BinaryOp : uint8_t { Add, Sub, Mul, Div, Mod };
 const char *binaryOpSpelling(BinaryOp Op);
 
 class Expr;
+class AstContext;
 
 //===----------------------------------------------------------------------===//
 // Array-valued expressions
@@ -65,6 +66,10 @@ public:
   Kind kind() const { return K; }
   SourceLoc loc() const { return Loc; }
 
+  /// The structural hash, computed once at construction by the hash-consing
+  /// factory (see AstContext). Source-location-insensitive.
+  uint64_t hash() const { return HashVal; }
+
   ArrayExpr(const ArrayExpr &) = delete;
   ArrayExpr &operator=(const ArrayExpr &) = delete;
 
@@ -72,8 +77,10 @@ protected:
   ArrayExpr(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
 
 private:
+  friend class AstContext;
   Kind K;
   SourceLoc Loc;
+  uint64_t HashVal = 0;
 };
 
 /// A named array `a`, `a<o>`, or `a<r>`.
@@ -125,6 +132,10 @@ public:
   Kind kind() const { return K; }
   SourceLoc loc() const { return Loc; }
 
+  /// The structural hash, computed once at construction by the hash-consing
+  /// factory (see AstContext). Source-location-insensitive.
+  uint64_t hash() const { return HashVal; }
+
   Expr(const Expr &) = delete;
   Expr &operator=(const Expr &) = delete;
 
@@ -132,8 +143,10 @@ protected:
   Expr(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
 
 private:
+  friend class AstContext;
   Kind K;
   SourceLoc Loc;
+  uint64_t HashVal = 0;
 };
 
 /// An integer literal `n`.

@@ -14,7 +14,11 @@ using namespace relax;
 
 bool relax::structurallyEqual(const Expr *A, const Expr *B) {
   if (A == B)
-    return true;
+    return true; // hash-consing: same-context structural equality is identity
+  // Different cached hashes decide inequality in O(1); equal or missing
+  // hashes (cross-context nodes) fall through to the deep walk.
+  if (A->hash() && B->hash() && A->hash() != B->hash())
+    return false;
   if (A->kind() != B->kind())
     return false;
   switch (A->kind()) {
@@ -43,7 +47,11 @@ bool relax::structurallyEqual(const Expr *A, const Expr *B) {
 
 bool relax::structurallyEqual(const ArrayExpr *A, const ArrayExpr *B) {
   if (A == B)
-    return true;
+    return true; // hash-consing: same-context structural equality is identity
+  // Different cached hashes decide inequality in O(1); equal or missing
+  // hashes (cross-context nodes) fall through to the deep walk.
+  if (A->hash() && B->hash() && A->hash() != B->hash())
+    return false;
   if (A->kind() != B->kind())
     return false;
   switch (A->kind()) {
@@ -63,7 +71,11 @@ bool relax::structurallyEqual(const ArrayExpr *A, const ArrayExpr *B) {
 
 bool relax::structurallyEqual(const BoolExpr *A, const BoolExpr *B) {
   if (A == B)
-    return true;
+    return true; // hash-consing: same-context structural equality is identity
+  // Different cached hashes decide inequality in O(1); equal or missing
+  // hashes (cross-context nodes) fall through to the deep walk.
+  if (A->hash() && B->hash() && A->hash() != B->hash())
+    return false;
   if (A->kind() != B->kind())
     return false;
   switch (A->kind()) {
@@ -99,20 +111,18 @@ bool relax::structurallyEqual(const BoolExpr *A, const BoolExpr *B) {
   return false;
 }
 
-namespace {
-
-uint64_t tagSeed(VarTag Tag) { return static_cast<uint64_t>(Tag) + 11; }
-
-} // namespace
-
 uint64_t relax::structuralHash(const Expr *E) {
+  // Hash-consed nodes carry their hash inline; the recursion below is the
+  // fallback for nodes built outside an AstContext factory.
+  if (uint64_t Cached = E->hash())
+    return Cached;
   uint64_t H = hashMix(static_cast<uint64_t>(E->kind()) + 101);
   switch (E->kind()) {
   case Expr::Kind::IntLit:
     return hashCombine(H, static_cast<uint64_t>(cast<IntLitExpr>(E)->value()));
   case Expr::Kind::Var: {
     const auto *V = cast<VarExpr>(E);
-    return hashCombine(hashCombine(H, V->name().id()), tagSeed(V->tag()));
+    return hashCombine(hashCombine(H, V->name().id()), varTagHashSeed(V->tag()));
   }
   case Expr::Kind::ArrayRead: {
     const auto *R = cast<ArrayReadExpr>(E);
@@ -132,11 +142,15 @@ uint64_t relax::structuralHash(const Expr *E) {
 }
 
 uint64_t relax::structuralHash(const ArrayExpr *A) {
+  // Hash-consed nodes carry their hash inline; the recursion below is the
+  // fallback for nodes built outside an AstContext factory.
+  if (uint64_t Cached = A->hash())
+    return Cached;
   uint64_t H = hashMix(static_cast<uint64_t>(A->kind()) + 211);
   switch (A->kind()) {
   case ArrayExpr::Kind::Ref: {
     const auto *R = cast<ArrayRefExpr>(A);
-    return hashCombine(hashCombine(H, R->name().id()), tagSeed(R->tag()));
+    return hashCombine(hashCombine(H, R->name().id()), varTagHashSeed(R->tag()));
   }
   case ArrayExpr::Kind::Store: {
     const auto *S = cast<ArrayStoreExpr>(A);
@@ -149,6 +163,10 @@ uint64_t relax::structuralHash(const ArrayExpr *A) {
 }
 
 uint64_t relax::structuralHash(const BoolExpr *B) {
+  // Hash-consed nodes carry their hash inline; the recursion below is the
+  // fallback for nodes built outside an AstContext factory.
+  if (uint64_t Cached = B->hash())
+    return Cached;
   uint64_t H = hashMix(static_cast<uint64_t>(B->kind()) + 307);
   switch (B->kind()) {
   case BoolExpr::Kind::BoolLit:
@@ -176,7 +194,7 @@ uint64_t relax::structuralHash(const BoolExpr *B) {
   case BoolExpr::Kind::Exists: {
     const auto *E = cast<ExistsExpr>(B);
     H = hashCombine(H, E->var().id());
-    H = hashCombine(H, tagSeed(E->tag()));
+    H = hashCombine(H, varTagHashSeed(E->tag()));
     H = hashCombine(H, static_cast<uint64_t>(E->varKind()));
     return hashCombine(H, structuralHash(E->body()));
   }

@@ -22,14 +22,27 @@
 namespace relax {
 
 /// Returns true when the two expressions are structurally identical.
+///
+/// Nodes built by the same AstContext are hash-consed, so for them this is
+/// pointer equality (the O(1) fast path). Cross-context comparison falls
+/// back to a hash-pruned deep walk; it remains nominal on Symbol ids, so it
+/// is only meaningful when both contexts interned identically.
 bool structurallyEqual(const Expr *A, const Expr *B);
 bool structurallyEqual(const ArrayExpr *A, const ArrayExpr *B);
 bool structurallyEqual(const BoolExpr *A, const BoolExpr *B);
 
 /// Deterministic structural hash (stable across runs and platforms).
+/// Hash-consed nodes carry it inline, making this a cached field read.
 uint64_t structuralHash(const Expr *E);
 uint64_t structuralHash(const ArrayExpr *A);
 uint64_t structuralHash(const BoolExpr *B);
+
+/// Seed mixed into variable hashes per execution tag. Shared between the
+/// hash-consing factories (AstContext) and the recursive fallback
+/// (Structural.cpp); the two must agree on every formula.
+inline uint64_t varTagHashSeed(VarTag Tag) {
+  return static_cast<uint64_t>(Tag) + 11;
+}
 
 } // namespace relax
 

@@ -1,0 +1,56 @@
+//===- VarRef.h - Logical variable references ----------------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// VarRef identifies one logical variable as a (name, execution-tag, kind)
+/// triple. It lives in the AST layer (rather than logic/, where its
+/// operations are defined) so that AstContext can own identity-keyed caches
+/// of free-variable sets without depending on the logic library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_AST_VARREF_H
+#define RELAXC_AST_VARREF_H
+
+#include "ast/Expr.h"
+
+#include <memory>
+#include <set>
+#include <vector>
+
+namespace relax {
+
+/// A (name, execution-tag, kind) triple identifying one logical variable.
+struct VarRef {
+  Symbol Name;
+  VarTag Tag = VarTag::Plain;
+  VarKind Kind = VarKind::Int;
+
+  friend bool operator==(const VarRef &A, const VarRef &B) {
+    return A.Name == B.Name && A.Tag == B.Tag && A.Kind == B.Kind;
+  }
+  friend bool operator<(const VarRef &A, const VarRef &B) {
+    if (A.Name != B.Name)
+      return A.Name < B.Name;
+    if (A.Tag != B.Tag)
+      return A.Tag < B.Tag;
+    return A.Kind < B.Kind;
+  }
+};
+
+/// Deterministically ordered variable set.
+using VarRefSet = std::set<VarRef>;
+
+/// A sorted, deduplicated free-variable list, shared structurally between
+/// parent and child nodes by the memoized free-variable computation (a Not
+/// node reuses its operand's list unchanged, a conjunction whose operands
+/// have equal lists reuses one of them, and so on).
+using SharedVarList = std::shared_ptr<const std::vector<VarRef>>;
+
+} // namespace relax
+
+#endif // RELAXC_AST_VARREF_H

@@ -42,6 +42,7 @@ struct CliOptions {
   std::string Semantics = "relaxed";
   uint64_t Seed = 1;
   unsigned Runs = 16;
+  unsigned Jobs = 1;
   size_t ArrayLen = 8;
   bool Verbose = false;
   bool NoSafety = false;
@@ -63,6 +64,8 @@ void printUsage() {
       "  --seed=<n>                oracle randomness seed (default 1)\n"
       "  --runs=<n>                pair runs for `monitor` (default 16)\n"
       "  --array-len=<n>           initial array length (default 8)\n"
+      "  --jobs=<n>                parallel VC discharge workers for "
+      "`verify` (default 1)\n"
       "  --no-safety               skip division/bounds trap obligations\n"
       "  --original-only           verify only the |-o judgment\n"
       "  --smtlib                  dump-vcs: emit SMT-LIB 2 scripts\n"
@@ -92,6 +95,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Runs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
     else if (const char *V = Value("--array-len="))
       Opts.ArrayLen = static_cast<size_t>(std::strtoul(V, nullptr, 10));
+    else if (const char *V = Value("--jobs="))
+      Opts.Jobs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
     else if (A == "--verbose")
       Opts.Verbose = true;
     else if (A == "--no-safety")
@@ -146,6 +151,9 @@ int runVerify(const CliOptions &Opts, AstContext &Ctx, Program &Prog,
   Verifier::Options VO;
   VO.GenOpts.CheckSafety = !Opts.NoSafety;
   VO.RunRelaxed = !Opts.OriginalOnly;
+  VO.Jobs = Opts.Jobs == 0 ? 1 : Opts.Jobs;
+  if (VO.Jobs > 1)
+    VO.SolverFactory = [&Opts, &Ctx] { return makeSolver(Opts, Ctx); };
   VerifyReport Report = V.run(VO);
   if (Diags.hasErrors())
     std::fprintf(stderr, "%s", Diags.render().c_str());

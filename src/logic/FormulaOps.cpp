@@ -9,7 +9,10 @@
 
 #include "support/Casting.h"
 
+#include <algorithm>
 #include <cassert>
+#include <iterator>
+#include <unordered_map>
 
 using namespace relax;
 
@@ -110,6 +113,167 @@ VarRefSet relax::freeVars(const BoolExpr *B) {
 }
 
 //===----------------------------------------------------------------------===//
+// Memoized, structurally-shared free-variable lists
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const SharedVarList &emptyVarList() {
+  static const SharedVarList Empty =
+      std::make_shared<const std::vector<VarRef>>();
+  return Empty;
+}
+
+SharedVarList singletonVarList(VarRef V) {
+  return std::make_shared<const std::vector<VarRef>>(
+      std::vector<VarRef>{V});
+}
+
+/// Merges two sorted lists. Reuses an input when it subsumes the result.
+SharedVarList mergeVarLists(const SharedVarList &A, const SharedVarList &B) {
+  if (A->empty() || A == B)
+    return B;
+  if (B->empty())
+    return A;
+  std::vector<VarRef> Out;
+  Out.reserve(A->size() + B->size());
+  std::set_union(A->begin(), A->end(), B->begin(), B->end(),
+                 std::back_inserter(Out));
+  if (Out.size() == A->size())
+    return A; // B ⊆ A
+  if (Out.size() == B->size())
+    return B; // A ⊆ B
+  return std::make_shared<const std::vector<VarRef>>(std::move(Out));
+}
+
+SharedVarList removeVar(const SharedVarList &L, VarRef V) {
+  if (!std::binary_search(L->begin(), L->end(), V))
+    return L;
+  std::vector<VarRef> Out;
+  Out.reserve(L->size() - 1);
+  for (const VarRef &X : *L)
+    if (!(X == V))
+      Out.push_back(X);
+  return std::make_shared<const std::vector<VarRef>>(std::move(Out));
+}
+
+SharedVarList fvList(AstContext &Ctx, const Expr *E);
+SharedVarList fvList(AstContext &Ctx, const ArrayExpr *A);
+SharedVarList fvList(AstContext &Ctx, const BoolExpr *B);
+
+/// Memo helper: values are returned by shared_ptr copy, never by reference
+/// into the table (PtrMap slots move on growth).
+template <typename NodeT, typename CacheT, typename ComputeFn>
+SharedVarList fvMemo(CacheT &Cache, const NodeT *N, ComputeFn Compute) {
+  if (const SharedVarList *Hit = Cache.find(N))
+    return *Hit;
+  SharedVarList Out = Compute();
+  Cache.insert(N, Out);
+  return Out;
+}
+
+SharedVarList fvList(AstContext &Ctx, const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    return emptyVarList();
+  default:
+    break;
+  }
+  return fvMemo(Ctx.freeVarsCacheExpr(), E, [&]() -> SharedVarList {
+    switch (E->kind()) {
+    case Expr::Kind::IntLit:
+      return emptyVarList();
+    case Expr::Kind::Var: {
+      const auto *V = cast<VarExpr>(E);
+      return singletonVarList(VarRef{V->name(), V->tag(), VarKind::Int});
+    }
+    case Expr::Kind::ArrayRead: {
+      const auto *R = cast<ArrayReadExpr>(E);
+      return mergeVarLists(fvList(Ctx, R->base()), fvList(Ctx, R->index()));
+    }
+    case Expr::Kind::ArrayLen:
+      return fvList(Ctx, cast<ArrayLenExpr>(E)->base());
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      return mergeVarLists(fvList(Ctx, B->lhs()), fvList(Ctx, B->rhs()));
+    }
+    }
+    return emptyVarList();
+  });
+}
+
+SharedVarList fvList(AstContext &Ctx, const ArrayExpr *A) {
+  return fvMemo(Ctx.freeVarsCacheArray(), A, [&]() -> SharedVarList {
+    switch (A->kind()) {
+    case ArrayExpr::Kind::Ref: {
+      const auto *R = cast<ArrayRefExpr>(A);
+      return singletonVarList(VarRef{R->name(), R->tag(), VarKind::Array});
+    }
+    case ArrayExpr::Kind::Store: {
+      const auto *S = cast<ArrayStoreExpr>(A);
+      return mergeVarLists(
+          mergeVarLists(fvList(Ctx, S->base()), fvList(Ctx, S->index())),
+          fvList(Ctx, S->value()));
+    }
+    }
+    return emptyVarList();
+  });
+}
+
+SharedVarList fvList(AstContext &Ctx, const BoolExpr *B) {
+  if (B->kind() == BoolExpr::Kind::BoolLit)
+    return emptyVarList();
+  return fvMemo(Ctx.freeVarsCacheBool(), B, [&]() -> SharedVarList {
+    switch (B->kind()) {
+    case BoolExpr::Kind::BoolLit:
+      return emptyVarList();
+    case BoolExpr::Kind::Cmp: {
+      const auto *C = cast<CmpExpr>(B);
+      return mergeVarLists(fvList(Ctx, C->lhs()), fvList(Ctx, C->rhs()));
+    }
+    case BoolExpr::Kind::ArrayCmp: {
+      const auto *C = cast<ArrayCmpExpr>(B);
+      return mergeVarLists(fvList(Ctx, C->lhs()), fvList(Ctx, C->rhs()));
+    }
+    case BoolExpr::Kind::Logical: {
+      const auto *L = cast<LogicalExpr>(B);
+      return mergeVarLists(fvList(Ctx, L->lhs()), fvList(Ctx, L->rhs()));
+    }
+    case BoolExpr::Kind::Not:
+      return fvList(Ctx, cast<NotExpr>(B)->sub());
+    case BoolExpr::Kind::Exists: {
+      const auto *E = cast<ExistsExpr>(B);
+      return removeVar(fvList(Ctx, E->body()),
+                       VarRef{E->var(), E->tag(), E->varKind()});
+    }
+    }
+    return emptyVarList();
+  });
+}
+
+} // namespace
+
+// Dereferencing the by-value shared_ptr is safe: the context's cache keeps
+// an owning copy alive for the context's lifetime.
+const std::vector<VarRef> &relax::freeVarsList(AstContext &Ctx,
+                                               const Expr *E) {
+  return *fvList(Ctx, E);
+}
+const std::vector<VarRef> &relax::freeVarsList(AstContext &Ctx,
+                                               const ArrayExpr *A) {
+  return *fvList(Ctx, A);
+}
+const std::vector<VarRef> &relax::freeVarsList(AstContext &Ctx,
+                                               const BoolExpr *B) {
+  return *fvList(Ctx, B);
+}
+
+bool relax::occursFree(AstContext &Ctx, const BoolExpr *B, const VarRef &V) {
+  const std::vector<VarRef> &L = freeVarsList(Ctx, B);
+  return std::binary_search(L.begin(), L.end(), V);
+}
+
+//===----------------------------------------------------------------------===//
 // Classification
 //===----------------------------------------------------------------------===//
 
@@ -174,137 +338,214 @@ VarRefSet Subst::replacementFreeVars() const {
   return Out;
 }
 
+std::vector<VarRef> Subst::domain() const {
+  std::vector<VarRef> Out;
+  Out.reserve(Scalars.size() + Arrays.size());
+  for (const auto &[Key, Repl] : Scalars)
+    Out.push_back(VarRef{Key.first, Key.second, VarKind::Int});
+  for (const auto &[Key, Repl] : Arrays)
+    Out.push_back(VarRef{Key.first, Key.second, VarKind::Array});
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+namespace {
+
+/// One substitution pass. The strongest-postcondition generators substitute
+/// into formulas that grow with program size while each pass touches only a
+/// few variables, so the walker prunes every subtree whose (memoized,
+/// shared) free-variable list is disjoint from the substitution domain —
+/// hash-consing pays for itself here: untouched subtrees are returned by
+/// pointer and all their ancestors dedup onto existing nodes.
+class SubstWalker {
+public:
+  SubstWalker(AstContext &Ctx, const Subst &S)
+      : Ctx(Ctx), S(S), Domain(S.domain()) {}
+
+  const Expr *walk(const Expr *E) {
+    if (!hits(freeVarsList(Ctx, E)))
+      return E;
+    switch (E->kind()) {
+    case Expr::Kind::IntLit:
+      return E;
+    case Expr::Kind::Var: {
+      const auto *V = cast<VarExpr>(E);
+      if (const Expr *Repl = S.lookupVar(V->name(), V->tag()))
+        return Repl;
+      return E;
+    }
+    case Expr::Kind::ArrayRead: {
+      const auto *R = cast<ArrayReadExpr>(E);
+      const ArrayExpr *Base = walk(R->base());
+      const Expr *Index = walk(R->index());
+      if (Base == R->base() && Index == R->index())
+        return E;
+      return Ctx.arrayRead(Base, Index, E->loc());
+    }
+    case Expr::Kind::ArrayLen: {
+      const auto *L = cast<ArrayLenExpr>(E);
+      const ArrayExpr *Base = walk(L->base());
+      if (Base == L->base())
+        return E;
+      return Ctx.arrayLen(Base, E->loc());
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      const Expr *L = walk(B->lhs());
+      const Expr *R = walk(B->rhs());
+      if (L == B->lhs() && R == B->rhs())
+        return E;
+      return Ctx.binary(B->op(), L, R, E->loc());
+    }
+    }
+    return E;
+  }
+
+  const ArrayExpr *walk(const ArrayExpr *A) {
+    if (!hits(freeVarsList(Ctx, A)))
+      return A;
+    switch (A->kind()) {
+    case ArrayExpr::Kind::Ref: {
+      const auto *R = cast<ArrayRefExpr>(A);
+      if (const ArrayExpr *Repl = S.lookupArray(R->name(), R->tag()))
+        return Repl;
+      return A;
+    }
+    case ArrayExpr::Kind::Store: {
+      const auto *St = cast<ArrayStoreExpr>(A);
+      const ArrayExpr *Base = walk(St->base());
+      const Expr *Index = walk(St->index());
+      const Expr *Value = walk(St->value());
+      if (Base == St->base() && Index == St->index() &&
+          Value == St->value())
+        return A;
+      return Ctx.arrayStore(Base, Index, Value, A->loc());
+    }
+    }
+    return A;
+  }
+
+  const BoolExpr *walk(const BoolExpr *B) {
+    if (!hits(freeVarsList(Ctx, B)))
+      return B;
+    auto It = Memo.find(B);
+    if (It != Memo.end())
+      return It->second;
+    const BoolExpr *Out = walkUncached(B);
+    Memo.emplace(B, Out);
+    return Out;
+  }
+
+private:
+  bool hits(const std::vector<VarRef> &Free) const {
+    for (const VarRef &D : Domain)
+      if (std::binary_search(Free.begin(), Free.end(), D))
+        return true;
+    return false;
+  }
+
+  const BoolExpr *walkUncached(const BoolExpr *B) {
+    switch (B->kind()) {
+    case BoolExpr::Kind::BoolLit:
+      return B;
+    case BoolExpr::Kind::Cmp: {
+      const auto *C = cast<CmpExpr>(B);
+      const Expr *L = walk(C->lhs());
+      const Expr *R = walk(C->rhs());
+      if (L == C->lhs() && R == C->rhs())
+        return B;
+      return Ctx.cmp(C->op(), L, R, B->loc());
+    }
+    case BoolExpr::Kind::ArrayCmp: {
+      const auto *C = cast<ArrayCmpExpr>(B);
+      const ArrayExpr *L = walk(C->lhs());
+      const ArrayExpr *R = walk(C->rhs());
+      if (L == C->lhs() && R == C->rhs())
+        return B;
+      return Ctx.arrayCmp(C->isEquality(), L, R, B->loc());
+    }
+    case BoolExpr::Kind::Logical: {
+      const auto *Lo = cast<LogicalExpr>(B);
+      const BoolExpr *L = walk(Lo->lhs());
+      const BoolExpr *R = walk(Lo->rhs());
+      if (L == Lo->lhs() && R == Lo->rhs())
+        return B;
+      return Ctx.logical(Lo->op(), L, R, B->loc());
+    }
+    case BoolExpr::Kind::Not: {
+      const auto *N = cast<NotExpr>(B);
+      const BoolExpr *Sub = walk(N->sub());
+      if (Sub == N->sub())
+        return B;
+      return Ctx.notExpr(Sub, B->loc());
+    }
+    case BoolExpr::Kind::Exists: {
+      const auto *E = cast<ExistsExpr>(B);
+      VarRef Bound{E->var(), E->tag(), E->varKind()};
+
+      // Shadowing: remove the bound variable from the substitution.
+      Subst Inner = S;
+      Inner.erase(Bound.Name, Bound.Tag, Bound.Kind);
+
+      // Capture: if the bound variable occurs free in some replacement,
+      // alpha-rename the binder first.
+      VarRefSet ReplFree = Inner.replacementFreeVars();
+      if (ReplFree.count(Bound)) {
+        Symbol Fresh = Ctx.freshSym(Bound.Name);
+        Subst Rename;
+        if (Bound.Kind == VarKind::Int)
+          Rename.mapVar(Bound.Name, Bound.Tag, Ctx.var(Fresh, Bound.Tag));
+        else
+          Rename.mapArray(Bound.Name, Bound.Tag,
+                          Ctx.arrayRef(Fresh, Bound.Tag));
+        const BoolExpr *RenamedBody = substitute(Ctx, E->body(), Rename);
+        return Ctx.exists(Fresh, Bound.Tag, Bound.Kind,
+                          substitute(Ctx, RenamedBody, Inner), B->loc());
+      }
+
+      // No shadowing: Inner maps exactly like S, so this walker (and its
+      // memo) remains valid for the body.
+      const BoolExpr *Body = Bound.Kind == VarKind::Int
+                                 ? (S.lookupVar(Bound.Name, Bound.Tag)
+                                        ? substitute(Ctx, E->body(), Inner)
+                                        : walk(E->body()))
+                                 : (S.lookupArray(Bound.Name, Bound.Tag)
+                                        ? substitute(Ctx, E->body(), Inner)
+                                        : walk(E->body()));
+      if (Body == E->body())
+        return B;
+      return Ctx.exists(Bound.Name, Bound.Tag, Bound.Kind, Body, B->loc());
+    }
+    }
+    return B;
+  }
+
+  AstContext &Ctx;
+  const Subst &S;
+  std::vector<VarRef> Domain;
+  std::unordered_map<const BoolExpr *, const BoolExpr *> Memo;
+};
+
+} // namespace
+
 const Expr *relax::substitute(AstContext &Ctx, const Expr *E, const Subst &S) {
   if (S.empty())
     return E;
-  switch (E->kind()) {
-  case Expr::Kind::IntLit:
-    return E;
-  case Expr::Kind::Var: {
-    const auto *V = cast<VarExpr>(E);
-    if (const Expr *Repl = S.lookupVar(V->name(), V->tag()))
-      return Repl;
-    return E;
-  }
-  case Expr::Kind::ArrayRead: {
-    const auto *R = cast<ArrayReadExpr>(E);
-    const ArrayExpr *Base = substitute(Ctx, R->base(), S);
-    const Expr *Index = substitute(Ctx, R->index(), S);
-    if (Base == R->base() && Index == R->index())
-      return E;
-    return Ctx.arrayRead(Base, Index, E->loc());
-  }
-  case Expr::Kind::ArrayLen: {
-    const auto *L = cast<ArrayLenExpr>(E);
-    const ArrayExpr *Base = substitute(Ctx, L->base(), S);
-    if (Base == L->base())
-      return E;
-    return Ctx.arrayLen(Base, E->loc());
-  }
-  case Expr::Kind::Binary: {
-    const auto *B = cast<BinaryExpr>(E);
-    const Expr *L = substitute(Ctx, B->lhs(), S);
-    const Expr *R = substitute(Ctx, B->rhs(), S);
-    if (L == B->lhs() && R == B->rhs())
-      return E;
-    return Ctx.binary(B->op(), L, R, E->loc());
-  }
-  }
-  return E;
+  return SubstWalker(Ctx, S).walk(E);
 }
 
 const ArrayExpr *relax::substitute(AstContext &Ctx, const ArrayExpr *A,
                                    const Subst &S) {
   if (S.empty())
     return A;
-  switch (A->kind()) {
-  case ArrayExpr::Kind::Ref: {
-    const auto *R = cast<ArrayRefExpr>(A);
-    if (const ArrayExpr *Repl = S.lookupArray(R->name(), R->tag()))
-      return Repl;
-    return A;
-  }
-  case ArrayExpr::Kind::Store: {
-    const auto *St = cast<ArrayStoreExpr>(A);
-    const ArrayExpr *Base = substitute(Ctx, St->base(), S);
-    const Expr *Index = substitute(Ctx, St->index(), S);
-    const Expr *Value = substitute(Ctx, St->value(), S);
-    if (Base == St->base() && Index == St->index() && Value == St->value())
-      return A;
-    return Ctx.arrayStore(Base, Index, Value, A->loc());
-  }
-  }
-  return A;
+  return SubstWalker(Ctx, S).walk(A);
 }
 
 const BoolExpr *relax::substitute(AstContext &Ctx, const BoolExpr *B,
                                   const Subst &S) {
   if (S.empty())
     return B;
-  switch (B->kind()) {
-  case BoolExpr::Kind::BoolLit:
-    return B;
-  case BoolExpr::Kind::Cmp: {
-    const auto *C = cast<CmpExpr>(B);
-    const Expr *L = substitute(Ctx, C->lhs(), S);
-    const Expr *R = substitute(Ctx, C->rhs(), S);
-    if (L == C->lhs() && R == C->rhs())
-      return B;
-    return Ctx.cmp(C->op(), L, R, B->loc());
-  }
-  case BoolExpr::Kind::ArrayCmp: {
-    const auto *C = cast<ArrayCmpExpr>(B);
-    const ArrayExpr *L = substitute(Ctx, C->lhs(), S);
-    const ArrayExpr *R = substitute(Ctx, C->rhs(), S);
-    if (L == C->lhs() && R == C->rhs())
-      return B;
-    return Ctx.arrayCmp(C->isEquality(), L, R, B->loc());
-  }
-  case BoolExpr::Kind::Logical: {
-    const auto *Lo = cast<LogicalExpr>(B);
-    const BoolExpr *L = substitute(Ctx, Lo->lhs(), S);
-    const BoolExpr *R = substitute(Ctx, Lo->rhs(), S);
-    if (L == Lo->lhs() && R == Lo->rhs())
-      return B;
-    return Ctx.logical(Lo->op(), L, R, B->loc());
-  }
-  case BoolExpr::Kind::Not: {
-    const auto *N = cast<NotExpr>(B);
-    const BoolExpr *Sub = substitute(Ctx, N->sub(), S);
-    if (Sub == N->sub())
-      return B;
-    return Ctx.notExpr(Sub, B->loc());
-  }
-  case BoolExpr::Kind::Exists: {
-    const auto *E = cast<ExistsExpr>(B);
-    VarRef Bound{E->var(), E->tag(), E->varKind()};
-
-    // Shadowing: remove the bound variable from the substitution.
-    Subst Inner = S;
-    Inner.erase(Bound.Name, Bound.Tag, Bound.Kind);
-
-    // Capture: if the bound variable occurs free in some replacement,
-    // alpha-rename the binder first.
-    VarRefSet ReplFree = Inner.replacementFreeVars();
-    if (ReplFree.count(Bound)) {
-      Symbol Fresh = Ctx.freshSym(Bound.Name);
-      Subst Rename;
-      if (Bound.Kind == VarKind::Int)
-        Rename.mapVar(Bound.Name, Bound.Tag, Ctx.var(Fresh, Bound.Tag));
-      else
-        Rename.mapArray(Bound.Name, Bound.Tag, Ctx.arrayRef(Fresh, Bound.Tag));
-      const BoolExpr *RenamedBody = substitute(Ctx, E->body(), Rename);
-      return Ctx.exists(Fresh, Bound.Tag, Bound.Kind,
-                        substitute(Ctx, RenamedBody, Inner), B->loc());
-    }
-
-    const BoolExpr *Body = substitute(Ctx, E->body(), Inner);
-    if (Body == E->body())
-      return B;
-    return Ctx.exists(Bound.Name, Bound.Tag, Bound.Kind, Body, B->loc());
-  }
-  }
-  return B;
+  return SubstWalker(Ctx, S).walk(B);
 }
 
 //===----------------------------------------------------------------------===//

@@ -21,30 +21,8 @@
 #include "ast/AstContext.h"
 
 #include <map>
-#include <set>
 
 namespace relax {
-
-/// A (name, execution-tag, kind) triple identifying one logical variable.
-struct VarRef {
-  Symbol Name;
-  VarTag Tag = VarTag::Plain;
-  VarKind Kind = VarKind::Int;
-
-  friend bool operator==(const VarRef &A, const VarRef &B) {
-    return A.Name == B.Name && A.Tag == B.Tag && A.Kind == B.Kind;
-  }
-  friend bool operator<(const VarRef &A, const VarRef &B) {
-    if (A.Name != B.Name)
-      return A.Name < B.Name;
-    if (A.Tag != B.Tag)
-      return A.Tag < B.Tag;
-    return A.Kind < B.Kind;
-  }
-};
-
-/// Deterministically ordered variable set.
-using VarRefSet = std::set<VarRef>;
 
 /// Collects the free variables of a node into \p Out.
 void collectFreeVars(const Expr *E, VarRefSet &Out);
@@ -54,6 +32,18 @@ void collectFreeVars(const BoolExpr *B, VarRefSet &Out);
 /// Convenience wrappers returning a fresh set.
 VarRefSet freeVars(const Expr *E);
 VarRefSet freeVars(const BoolExpr *B);
+
+/// Memoized free-variable lists, keyed by node identity in \p Ctx's caches
+/// (valid because hash-consing makes identity equal structural identity)
+/// and shared structurally between parents and children. Sorted by VarRef
+/// order. Not thread-safe; parallel VC discharge must not call these.
+const std::vector<VarRef> &freeVarsList(AstContext &Ctx, const Expr *E);
+const std::vector<VarRef> &freeVarsList(AstContext &Ctx, const ArrayExpr *A);
+const std::vector<VarRef> &freeVarsList(AstContext &Ctx, const BoolExpr *B);
+
+/// True when \p V occurs free in \p B. O(log |free(B)|) after the memoized
+/// list is built once.
+bool occursFree(AstContext &Ctx, const BoolExpr *B, const VarRef &V);
 
 /// True when \p B contains no quantifier (i.e. is program boolean syntax).
 bool isQuantifierFree(const BoolExpr *B);
@@ -98,6 +88,10 @@ public:
 
   /// The free variables of every replacement (for capture checks).
   VarRefSet replacementFreeVars() const;
+
+  /// The substituted-for variables, as VarRefs (sorted). Substitution uses
+  /// this to skip whole subtrees none of whose free variables are mapped.
+  std::vector<VarRef> domain() const;
 
 private:
   using Key = std::pair<Symbol, VarTag>;

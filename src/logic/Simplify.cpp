@@ -10,6 +10,7 @@
 #include "ast/Structural.h"
 #include "logic/FormulaOps.h"
 #include "support/Casting.h"
+#include "support/IntMath.h"
 
 #include <optional>
 
@@ -29,24 +30,6 @@ std::optional<bool> litValue(const BoolExpr *B) {
   return std::nullopt;
 }
 
-// Euclidean folding matching the logic/evaluator semantics. (The solver
-// library, which exports euclideanDiv/euclideanMod for general use, sits
-// above logic in the layering, so the two-liners are duplicated here; the
-// test suite checks they agree.)
-int64_t euclideanDivFold(int64_t L, int64_t R) {
-  int64_t Rem = L % R;
-  if (Rem < 0)
-    Rem += R > 0 ? R : -R;
-  return (L - Rem) / R;
-}
-
-int64_t euclideanModFold(int64_t L, int64_t R) {
-  int64_t Rem = L % R;
-  if (Rem < 0)
-    Rem += R > 0 ? R : -R;
-  return Rem;
-}
-
 /// Folds `L op R` when safe. Division/modulo by zero stays unfolded: the
 /// evaluator traps it as `wr`, so folding would change program behavior.
 std::optional<int64_t> foldBinary(BinaryOp Op, int64_t L, int64_t R) {
@@ -60,11 +43,11 @@ std::optional<int64_t> foldBinary(BinaryOp Op, int64_t L, int64_t R) {
   case BinaryOp::Div:
     if (R == 0)
       return std::nullopt;
-    return euclideanDivFold(L, R);
+    return euclideanDiv(L, R);
   case BinaryOp::Mod:
     if (R == 0)
       return std::nullopt;
-    return euclideanModFold(L, R);
+    return euclideanMod(L, R);
   }
   return std::nullopt;
 }
@@ -72,9 +55,14 @@ std::optional<int64_t> foldBinary(BinaryOp Op, int64_t L, int64_t R) {
 } // namespace
 
 const Expr *Simplifier::simplify(const Expr *E) {
-  auto It = ExprCache.find(E);
-  if (It != ExprCache.end())
-    return It->second;
+  // Leaves are their own simplest form; keep them out of the memo table.
+  if (E->kind() == Expr::Kind::IntLit || E->kind() == Expr::Kind::Var ||
+      E->kind() == Expr::Kind::ArrayLen)
+    return E;
+
+  auto &ExprCache = Ctx.simplifyCacheExpr();
+  if (const Expr *const *Hit = ExprCache.find(E))
+    return *Hit;
 
   const Expr *Out = E;
   switch (E->kind()) {
@@ -126,16 +114,19 @@ const Expr *Simplifier::simplify(const Expr *E) {
     break;
   }
   }
-  ExprCache.emplace(E, Out);
+  ExprCache.insert(E, Out);
   if (Out != E)
-    ExprCache.emplace(Out, Out); // already in simplest form
+    ExprCache.insert(Out, Out); // already in simplest form
   return Out;
 }
 
 const BoolExpr *Simplifier::simplify(const BoolExpr *B) {
-  auto It = BoolCache.find(B);
-  if (It != BoolCache.end())
-    return It->second;
+  if (B->kind() == BoolExpr::Kind::BoolLit)
+    return B;
+
+  auto &BoolCache = Ctx.simplifyCacheBool();
+  if (const BoolExpr *const *Hit = BoolCache.find(B))
+    return *Hit;
 
   const BoolExpr *Out = B;
   switch (B->kind()) {
@@ -150,10 +141,9 @@ const BoolExpr *Simplifier::simplify(const BoolExpr *B) {
       Out = Ctx.boolLit(evalCmpOp(C->op(), *LV, *RV));
       break;
     }
-    // Identical operands decide reflexive comparisons. Pointer equality
-    // suffices here (the memoized simplifier canonicalizes shared
-    // subterms); structural equality on distinct nodes is only attempted
-    // for cheap shapes via hashing-free shortcuts.
+    // Identical operands decide reflexive comparisons. Hash-consing makes
+    // this pointer equality; the structural fallback only matters for
+    // nodes from a foreign context and is hash-pruned to O(1) rejection.
     if (L == R || structurallyEqual(L, R)) {
       switch (C->op()) {
       case CmpOp::Eq:
@@ -275,8 +265,7 @@ const BoolExpr *Simplifier::simplify(const BoolExpr *B) {
       Out = Ctx.boolLit(*V); // domain Z is nonempty
       break;
     }
-    VarRefSet Free = freeVars(Body);
-    if (!Free.count(VarRef{E->var(), E->tag(), E->varKind()})) {
+    if (!occursFree(Ctx, Body, VarRef{E->var(), E->tag(), E->varKind()})) {
       Out = Body; // vacuous binder
       break;
     }
@@ -286,9 +275,9 @@ const BoolExpr *Simplifier::simplify(const BoolExpr *B) {
   }
   }
 done:
-  BoolCache.emplace(B, Out);
+  BoolCache.insert(B, Out);
   if (Out != B)
-    BoolCache.emplace(Out, Out);
+    BoolCache.insert(Out, Out);
   return Out;
 }
 

@@ -19,8 +19,6 @@
 
 #include "ast/AstContext.h"
 
-#include <unordered_map>
-
 namespace relax {
 
 /// Returns a formula logically equivalent to \p B (under every state /
@@ -30,10 +28,11 @@ const BoolExpr *simplify(AstContext &Ctx, const BoolExpr *B);
 /// Returns an expression that evaluates identically to \p E.
 const Expr *simplify(AstContext &Ctx, const Expr *E);
 
-/// A memoizing simplifier. AST nodes are immutable and arena-allocated, so
-/// results can be cached by node identity; the strongest-postcondition
-/// generators re-simplify ever-growing formulas whose subterms were already
-/// simplified, and the cache turns that from quadratic into linear work.
+/// A memoizing simplifier. Hash-consed nodes are immutable and identity
+/// equals structure, so results are cached by node identity in tables owned
+/// by the AstContext itself: the memo survives across Simplifier instances
+/// and across the strongest-postcondition generators' ever-growing
+/// formulas, turning re-simplification of shared subterms into O(1) hits.
 class Simplifier {
 public:
   explicit Simplifier(AstContext &Ctx) : Ctx(Ctx) {}
@@ -43,8 +42,6 @@ public:
 
 private:
   AstContext &Ctx;
-  std::unordered_map<const BoolExpr *, const BoolExpr *> BoolCache;
-  std::unordered_map<const Expr *, const Expr *> ExprCache;
 };
 
 } // namespace relax

@@ -11,6 +11,12 @@
 /// (convergence checks, repeated invariant obligations), so the cache cuts
 /// solver load substantially (measured in bench/solver_ablation).
 ///
+/// Hash-consing makes the key computation a cached field read per formula,
+/// and every cached entry keeps its query so a hit is verified by
+/// pointer/structural equality — a 64-bit collision can no longer alias two
+/// different queries to one result. Hit/miss/collision counters feed the
+/// ablation benchmark.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RELAXC_SOLVER_CACHINGSOLVER_H
@@ -20,9 +26,80 @@
 #include "solver/Solver.h"
 #include "support/Hashing.h"
 
+#include <optional>
 #include <unordered_map>
+#include <vector>
 
 namespace relax {
+
+/// A verified sat-result memo table, shared by CachingSolver and the
+/// parallel VC discharger (which guards it with a mutex).
+class SolverResultCache {
+public:
+  /// Order-sensitive key over the query's formulas; queries are generated
+  /// deterministically, so order sensitivity costs no hits.
+  static uint64_t keyOf(const std::vector<const BoolExpr *> &Formulas) {
+    uint64_t Key = 0xcafef00dULL;
+    for (const BoolExpr *F : Formulas)
+      Key = hashCombine(Key, structuralHash(F));
+    return Key;
+  }
+
+  std::optional<SatResult>
+  lookup(const std::vector<const BoolExpr *> &Formulas) {
+    uint64_t Key = keyOf(Formulas);
+    auto It = Cache.find(Key);
+    if (It == Cache.end()) {
+      ++Misses;
+      return std::nullopt;
+    }
+    for (const Entry &E : It->second)
+      if (sameQuery(E.Formulas, Formulas)) {
+        ++Hits;
+        return E.R;
+      }
+    // 64-bit key matched a different query: a genuine hash collision.
+    ++Collisions;
+    ++Misses;
+    return std::nullopt;
+  }
+
+  void insert(const std::vector<const BoolExpr *> &Formulas, SatResult R) {
+    uint64_t Key = keyOf(Formulas);
+    std::vector<Entry> &Bucket = Cache[Key];
+    for (const Entry &E : Bucket)
+      if (sameQuery(E.Formulas, Formulas))
+        return; // already present (racing insert in the parallel path)
+    Bucket.push_back(Entry{Formulas, R});
+  }
+
+  uint64_t hitCount() const { return Hits; }
+  uint64_t missCount() const { return Misses; }
+  uint64_t collisionCount() const { return Collisions; }
+
+private:
+  struct Entry {
+    std::vector<const BoolExpr *> Formulas;
+    SatResult R;
+  };
+
+  static bool sameQuery(const std::vector<const BoolExpr *> &A,
+                        const std::vector<const BoolExpr *> &B) {
+    if (A.size() != B.size())
+      return false;
+    for (size_t I = 0; I != A.size(); ++I)
+      // Pointer equality for same-context (hash-consed) formulas; the
+      // structural walk only runs for foreign-context nodes.
+      if (A[I] != B[I] && !structurallyEqual(A[I], B[I]))
+        return false;
+    return true;
+  }
+
+  std::unordered_map<uint64_t, std::vector<Entry>> Cache;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Collisions = 0;
+};
 
 /// Wraps an underlying solver with a sat-result cache. Model-producing
 /// queries always pass through (models are not cached).
@@ -35,18 +112,11 @@ public:
   Result<SatResult>
   checkSat(const std::vector<const BoolExpr *> &Formulas) override {
     ++Queries;
-    uint64_t Key = 0xcafef00dULL;
-    // Order-sensitive combine; queries are generated deterministically.
-    for (const BoolExpr *F : Formulas)
-      Key = hashCombine(Key, structuralHash(F));
-    auto It = Cache.find(Key);
-    if (It != Cache.end()) {
-      ++Hits;
-      return It->second;
-    }
+    if (std::optional<SatResult> Cached = Cache.lookup(Formulas))
+      return *Cached;
     Result<SatResult> R = Underlying.checkSat(Formulas);
     if (R.ok())
-      Cache.emplace(Key, *R);
+      Cache.insert(Formulas, *R);
     return R;
   }
 
@@ -57,12 +127,13 @@ public:
     return Underlying.checkSatWithModel(Formulas, Vars, ModelOut);
   }
 
-  uint64_t hitCount() const { return Hits; }
+  uint64_t hitCount() const { return Cache.hitCount(); }
+  uint64_t missCount() const { return Cache.missCount(); }
+  uint64_t collisionCount() const { return Cache.collisionCount(); }
 
 private:
   Solver &Underlying;
-  std::unordered_map<uint64_t, SatResult> Cache;
-  uint64_t Hits = 0;
+  SolverResultCache Cache;
 };
 
 } // namespace relax

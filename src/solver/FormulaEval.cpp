@@ -11,25 +11,6 @@
 
 using namespace relax;
 
-int64_t relax::euclideanDiv(int64_t L, int64_t R) {
-  if (R == 0)
-    return 0;
-  // The unique q with L = q*R + r and 0 <= r < |R|.
-  int64_t Rem = L % R; // truncated toward zero
-  if (Rem < 0)
-    Rem += R > 0 ? R : -R;
-  return (L - Rem) / R;
-}
-
-int64_t relax::euclideanMod(int64_t L, int64_t R) {
-  if (R == 0)
-    return 0;
-  int64_t Rem = L % R; // truncated
-  if (Rem < 0)
-    Rem += R > 0 ? R : -R;
-  return Rem;
-}
-
 int64_t relax::evalExpr(const Expr *E, const Model &M) {
   switch (E->kind()) {
   case Expr::Kind::IntLit:

@@ -18,6 +18,7 @@
 #define RELAXC_SOLVER_FORMULAEVAL_H
 
 #include "solver/Solver.h"
+#include "support/IntMath.h" // euclideanDiv / euclideanMod
 
 namespace relax {
 
@@ -29,11 +30,6 @@ struct FormulaEvalOptions {
   int64_t ArrayElemLo = -2;   ///< array quantifier element domain
   int64_t ArrayElemHi = 2;
 };
-
-/// Euclidean division/modulo (SMT-LIB semantics): the unique (q, r) with
-/// L = q*R + r and 0 <= r < |R|. Division by zero yields 0 in the logic.
-int64_t euclideanDiv(int64_t L, int64_t R);
-int64_t euclideanMod(int64_t L, int64_t R);
 
 /// Evaluates \p E under \p M. Unmapped variables default to 0 / empty.
 int64_t evalExpr(const Expr *E, const Model &M);

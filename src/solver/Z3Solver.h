@@ -29,6 +29,13 @@
 
 #include <memory>
 
+/// Set by the build system; defaults to "available" for builds that do not
+/// go through CMake. When 0, Z3Solver compiles to a stub whose every query
+/// reports a backend error.
+#ifndef RELAXC_HAVE_Z3
+#define RELAXC_HAVE_Z3 1
+#endif
+
 namespace relax {
 
 /// Options for the Z3 backend.
@@ -43,6 +50,11 @@ struct Z3SolverOptions {
 ///
 /// Holds a reference to the interner that produced the formulas' symbols
 /// (variable names are mangled into Z3 constant names).
+///
+/// One z3::context lives for the solver's lifetime, with translation memos
+/// keyed by hash-consed node identity; consequently an instance must only
+/// be fed formulas from one live AstContext, and is not safe for
+/// concurrent use — the parallel verifier builds one instance per worker.
 class Z3Solver : public Solver {
 public:
   explicit Z3Solver(const Interner &Syms,

@@ -1,0 +1,87 @@
+//===- HashConsTable.h - Open-addressed hash-consing table ---------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The probe table behind AstContext's hash-consing factories. An
+/// open-addressed, linear-probing set of (hash, node) slots tuned for the
+/// factory hot path: a hit costs one mixed index plus a short scan of
+/// inline slots, no per-node heap allocation (unlike a bucketed
+/// unordered_map), and insertion never invalidates the consed nodes
+/// themselves (they live in the AstContext arena). Nodes are never removed:
+/// the table only grows, mirroring the arena's monotonic lifetime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_SUPPORT_HASHCONSTABLE_H
+#define RELAXC_SUPPORT_HASHCONSTABLE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace relax {
+
+/// An open-addressed (hash -> node) set with linear probing.
+template <typename NodeT> class HashConsTable {
+public:
+  /// Returns the interned node with hash \p H accepted by \p Matches, or
+  /// nullptr. \p Matches is only called on candidates whose full 64-bit
+  /// hash equals \p H.
+  template <typename MatchFn>
+  const NodeT *find(uint64_t H, MatchFn Matches) const {
+    if (Slots.empty())
+      return nullptr;
+    size_t Mask = Slots.size() - 1;
+    for (size_t I = static_cast<size_t>(H) & Mask;; I = (I + 1) & Mask) {
+      const Slot &S = Slots[I];
+      if (!S.Node)
+        return nullptr;
+      if (S.Hash == H && Matches(S.Node))
+        return S.Node;
+    }
+  }
+
+  /// Interns \p N under hash \p H. The caller has already established via
+  /// find() that no equivalent node is present.
+  void insert(uint64_t H, const NodeT *N) {
+    if ((Count + 1) * 4 >= Slots.size() * 3) // load factor 3/4
+      grow();
+    place(H, N);
+    ++Count;
+  }
+
+  size_t size() const { return Count; }
+
+private:
+  struct Slot {
+    uint64_t Hash = 0;
+    const NodeT *Node = nullptr;
+  };
+
+  void place(uint64_t H, const NodeT *N) {
+    size_t Mask = Slots.size() - 1;
+    size_t I = static_cast<size_t>(H) & Mask;
+    while (Slots[I].Node)
+      I = (I + 1) & Mask;
+    Slots[I] = Slot{H, N};
+  }
+
+  void grow() {
+    std::vector<Slot> Old = std::move(Slots);
+    Slots.assign(Old.empty() ? 1024 : Old.size() * 2, Slot());
+    for (const Slot &S : Old)
+      if (S.Node)
+        place(S.Hash, S.Node);
+  }
+
+  std::vector<Slot> Slots;
+  size_t Count = 0;
+};
+
+} // namespace relax
+
+#endif // RELAXC_SUPPORT_HASHCONSTABLE_H

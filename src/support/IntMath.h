@@ -1,0 +1,47 @@
+//===- IntMath.h - Shared integer arithmetic helpers ---------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Euclidean division and modulo with SMT-LIB semantics, shared by every
+/// layer that folds or evaluates integer arithmetic (the logic simplifier,
+/// the formula evaluator, the interpreter). Living in support/ keeps the
+/// logic and solver libraries from re-implementing each other's two-liners.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_SUPPORT_INTMATH_H
+#define RELAXC_SUPPORT_INTMATH_H
+
+#include <cstdint>
+
+namespace relax {
+
+/// Euclidean division (SMT-LIB semantics): the unique q in L = q*R + r with
+/// 0 <= r < |R|. Division by zero yields 0 in the logic.
+inline int64_t euclideanDiv(int64_t L, int64_t R) {
+  if (R == 0)
+    return 0;
+  int64_t Rem = L % R; // truncated toward zero
+  if (Rem < 0)
+    Rem += R > 0 ? R : -R;
+  return (L - Rem) / R;
+}
+
+/// Euclidean modulo: the unique r in L = q*R + r with 0 <= r < |R|.
+/// Modulo by zero yields 0 in the logic.
+inline int64_t euclideanMod(int64_t L, int64_t R) {
+  if (R == 0)
+    return 0;
+  int64_t Rem = L % R; // truncated
+  if (Rem < 0)
+    Rem += R > 0 ? R : -R;
+  return Rem;
+}
+
+} // namespace relax
+
+#endif // RELAXC_SUPPORT_INTMATH_H

@@ -1,0 +1,97 @@
+//===- PtrMap.h - Open-addressed pointer-keyed map -----------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The map behind AstContext's identity-keyed memo tables (simplification
+/// results, free-variable lists). Keys are hash-consed node pointers; the
+/// table is open-addressed with linear probing, so a hit costs one mixed
+/// index plus a short inline scan — measurably cheaper on the simplifier
+/// hot path than std::unordered_map's prime-modulo bucket chase. Entries
+/// are never erased (memoized facts about immutable nodes stay true).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_SUPPORT_PTRMAP_H
+#define RELAXC_SUPPORT_PTRMAP_H
+
+#include "support/Hashing.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace relax {
+
+/// An open-addressed (pointer -> value) map with linear probing.
+template <typename KeyT, typename ValueT> class PtrMap {
+public:
+  /// Returns a pointer to K's value, or nullptr. The pointer is
+  /// invalidated by the next insert — copy the value out immediately.
+  const ValueT *find(const KeyT *K) const {
+    if (Slots.empty())
+      return nullptr;
+    size_t Mask = Slots.size() - 1;
+    for (size_t I = indexOf(K, Mask);; I = (I + 1) & Mask) {
+      const Slot &S = Slots[I];
+      if (!S.Key)
+        return nullptr;
+      if (S.Key == K)
+        return &S.Value;
+    }
+  }
+
+  /// Inserts (K, V) if K is absent; keeps the existing value otherwise.
+  void insert(const KeyT *K, ValueT V) {
+    if ((Count + 1) * 4 >= Slots.size() * 3) // load factor 3/4
+      grow();
+    size_t Mask = Slots.size() - 1;
+    size_t I = indexOf(K, Mask);
+    while (Slots[I].Key) {
+      if (Slots[I].Key == K)
+        return;
+      I = (I + 1) & Mask;
+    }
+    Slots[I].Key = K;
+    Slots[I].Value = std::move(V);
+    ++Count;
+  }
+
+  size_t size() const { return Count; }
+
+private:
+  struct Slot {
+    const KeyT *Key = nullptr;
+    ValueT Value{};
+  };
+
+  static size_t indexOf(const KeyT *K, size_t Mask) {
+    return static_cast<size_t>(
+               hashMix(reinterpret_cast<uintptr_t>(K) >> 4)) &
+           Mask;
+  }
+
+  void grow() {
+    std::vector<Slot> Old = std::move(Slots);
+    Slots.assign(Old.empty() ? 1024 : Old.size() * 2, Slot());
+    size_t Mask = Slots.size() - 1;
+    for (Slot &S : Old) {
+      if (!S.Key)
+        continue;
+      size_t I = indexOf(S.Key, Mask);
+      while (Slots[I].Key)
+        I = (I + 1) & Mask;
+      Slots[I] = std::move(S);
+    }
+  }
+
+  std::vector<Slot> Slots;
+  size_t Count = 0;
+};
+
+} // namespace relax
+
+#endif // RELAXC_SUPPORT_PTRMAP_H

@@ -26,6 +26,9 @@
 #include "solver/Solver.h"
 #include "vcgen/RelationalVCGen.h"
 
+#include <functional>
+#include <memory>
+
 namespace relax {
 
 /// Discharge status of one VC.
@@ -84,12 +87,27 @@ struct VerifyReport {
 };
 
 /// Verification pipeline driver.
+///
+/// VC generation is sequential (it builds hash-consed nodes, which is not
+/// thread-safe), but discharging is embarrassingly parallel: with Jobs > 1
+/// and a SolverFactory, independent obligations are distributed over a
+/// small worker pool, each worker owning its own backend, all sharing one
+/// mutex-guarded result cache. Query formulas (including the negations of
+/// validity VCs) are pre-built before the fan-out, so workers never touch
+/// the AstContext. Outcomes are stored in VC order, so verdicts and
+/// diagnostics are identical to the sequential (`Jobs = 1`) path.
 class Verifier {
 public:
   struct Options {
     VCGenOptions GenOpts;
     bool RunOriginal = true;
     bool RunRelaxed = true;
+    /// Number of discharge workers. 1 (or no SolverFactory) means the
+    /// classic sequential path on the constructor-supplied solver.
+    unsigned Jobs = 1;
+    /// Creates one backend per worker for the parallel path (backends are
+    /// not safe for concurrent use).
+    std::function<std::unique_ptr<Solver>()> SolverFactory;
   };
 
   Verifier(AstContext &Ctx, const Program &Prog, Solver &S,
@@ -106,13 +124,22 @@ public:
   /// identity /\ injo(requires) /\ injr(requires).
   const BoolExpr *effectiveRelRequires();
 
+  /// Mutex-guarded result cache shared by all parallel workers across both
+  /// judgment passes of one run() (defined in Verifier.cpp; declared here,
+  /// outside the private section, so the file-local discharge helper can
+  /// name it).
+  class SharedResultCache;
+
 private:
   AstContext &Ctx;
   const Program &Prog;
   Solver &TheSolver;
   DiagnosticEngine &Diags;
 
-  void discharge(VCSet Set, JudgmentReport &Report);
+  void discharge(VCSet Set, JudgmentReport &Report, const Options &Opts,
+                 SharedResultCache &Shared);
+  void dischargeParallel(std::vector<VC> &VCs, JudgmentReport &Report,
+                         const Options &Opts, SharedResultCache &Shared);
 };
 
 /// Renders a human-readable report.

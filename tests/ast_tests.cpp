@@ -105,10 +105,12 @@ TEST_F(AstTest, ProgramDeclarationTracking) {
 // Structural equality and hashing
 //===----------------------------------------------------------------------===//
 
-TEST_F(AstTest, StructuralEqualityIgnoresIdentity) {
+TEST_F(AstTest, StructurallyIdenticalNodesAreHashConsed) {
+  // The factories hash-cons: building the same shape twice yields the same
+  // node, so structural equality within a context is pointer equality.
   const Expr *A = Ctx.add(Ctx.var("x"), Ctx.intLit(1));
   const Expr *B = Ctx.add(Ctx.var("x"), Ctx.intLit(1));
-  EXPECT_NE(A, B);
+  EXPECT_EQ(A, B);
   EXPECT_TRUE(structurallyEqual(A, B));
   EXPECT_EQ(structuralHash(A), structuralHash(B));
 }
