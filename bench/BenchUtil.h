@@ -17,11 +17,18 @@ namespace relax {
 namespace bench {
 
 /// A parsed example program plus everything it needs to stay alive.
+/// When loading fails, `Prog` is empty and `SkipReason` says why — the
+/// benchmarks pass it to SkipWithError so a missing corpus reads as an
+/// explicit skip, not a generic failure.
 struct Loaded {
   std::unique_ptr<AstContext> Ctx;
   SourceManager SM;
   DiagnosticEngine Diags;
   std::optional<Program> Prog;
+  std::string SkipReason;
+
+  /// SkipWithError-ready reason; empty when the program loaded fine.
+  const char *skipReason() const { return SkipReason.c_str(); }
 };
 
 /// Loads one of the repository's example programs by file name.
@@ -29,11 +36,15 @@ inline Loaded loadExample(const std::string &Name) {
   Loaded L;
   L.Ctx = std::make_unique<AstContext>();
   std::string Path = std::string(RELAXC_EXAMPLES_DIR) + "/" + Name;
-  if (!L.SM.loadFile(Path).ok())
+  if (!L.SM.loadFile(Path).ok()) {
+    L.SkipReason = "example program not found: " + Path;
     return L;
+  }
   L.Diags.setFileName(Path);
   Parser P(*L.Ctx, L.SM, L.Diags);
   L.Prog = P.parseProgram();
+  if (!L.Prog)
+    L.SkipReason = "example program failed to parse: " + Path;
   return L;
 }
 
@@ -44,6 +55,8 @@ inline Loaded loadSource(const std::string &Source) {
   L.SM.setBuffer("<bench>", Source);
   Parser P(*L.Ctx, L.SM, L.Diags);
   L.Prog = P.parseProgram();
+  if (!L.Prog)
+    L.SkipReason = "benchmark program failed to parse";
   return L;
 }
 

@@ -41,7 +41,7 @@ void monitorExample(benchmark::State &State, const char *Name,
                     OracleChoice Which) {
   Loaded L = loadExample(Name);
   if (!L.Prog) {
-    State.SkipWithError("failed to load example");
+    State.SkipWithError(L.skipReason());
     return;
   }
   DiagnosticEngine SemaDiags;

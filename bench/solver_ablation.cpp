@@ -54,7 +54,7 @@ void dischargeCorpus(benchmark::State &State, MakeSolver Make,
     for (const char *Source : SmallCorpus) {
       Loaded L = loadSource(Source);
       if (!L.Prog) {
-        State.SkipWithError("parse failed");
+        State.SkipWithError(L.skipReason());
         return;
       }
       auto Solver = Make(*L.Ctx);
@@ -116,7 +116,7 @@ std::string knobProgram(int64_t K) {
 void BM_Solver_Z3_KnobScaling(benchmark::State &State) {
   Loaded L = loadSource(knobProgram(State.range(0)));
   if (!L.Prog) {
-    State.SkipWithError("parse failed");
+    State.SkipWithError(L.skipReason());
     return;
   }
   uint64_t Hits = 0, Backend = 0;
@@ -139,7 +139,7 @@ void BM_Solver_Z3_KnobScaling(benchmark::State &State) {
 void BM_Solver_Z3_CacheOnSwish(benchmark::State &State) {
   Loaded L = loadExample("swish.rlx");
   if (!L.Prog) {
-    State.SkipWithError("failed to load example");
+    State.SkipWithError(L.skipReason());
     return;
   }
   uint64_t Hits = 0, Misses = 0;
@@ -160,7 +160,7 @@ void BM_Solver_Z3_CacheOnSwish(benchmark::State &State) {
 void BM_Solver_Z3_NoCacheOnSwish(benchmark::State &State) {
   Loaded L = loadExample("swish.rlx");
   if (!L.Prog) {
-    State.SkipWithError("failed to load example");
+    State.SkipWithError(L.skipReason());
     return;
   }
   for (auto _ : State) {

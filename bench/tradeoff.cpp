@@ -86,7 +86,7 @@ private:
 void BM_Tradeoff_Perforation(benchmark::State &State) {
   static Loaded L = loadSource(PerforatedSum);
   if (!L.Prog) {
-    State.SkipWithError("parse failed");
+    State.SkipWithError(L.skipReason());
     return;
   }
   // Verify once (outside the timed region); the sweep below exercises the

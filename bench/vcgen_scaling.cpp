@@ -51,7 +51,7 @@ std::string knobProgram(int64_t K) {
 void BM_VcGen_Original(benchmark::State &State) {
   Loaded L = loadSource(knobProgram(State.range(0)));
   if (!L.Prog) {
-    State.SkipWithError("parse failed");
+    State.SkipWithError(L.skipReason());
     return;
   }
   size_t Vcs = 0;
@@ -72,7 +72,7 @@ void BM_VcGen_Original(benchmark::State &State) {
 void BM_VcGen_Relational(benchmark::State &State) {
   Loaded L = loadSource(knobProgram(State.range(0)));
   if (!L.Prog) {
-    State.SkipWithError("parse failed");
+    State.SkipWithError(L.skipReason());
     return;
   }
   size_t Vcs = 0;
@@ -118,7 +118,7 @@ std::string nestedLoopProgram(int64_t Depth) {
 void BM_VcGen_NestedLoops(benchmark::State &State) {
   Loaded L = loadSource(nestedLoopProgram(State.range(0)));
   if (!L.Prog) {
-    State.SkipWithError("parse failed");
+    State.SkipWithError(L.skipReason());
     return;
   }
   size_t Vcs = 0;

@@ -38,7 +38,7 @@ namespace {
 void verifyExample(benchmark::State &State, const char *Name) {
   Loaded L = loadExample(Name);
   if (!L.Prog) {
-    State.SkipWithError("failed to load example");
+    State.SkipWithError(L.skipReason());
     return;
   }
   size_t VcsO = 0, VcsR = 0;
@@ -76,7 +76,7 @@ void BM_Verify_Lu(benchmark::State &State) {
 void BM_Verify_Swish_OriginalOnly(benchmark::State &State) {
   Loaded L = loadExample("swish.rlx");
   if (!L.Prog) {
-    State.SkipWithError("failed to load example");
+    State.SkipWithError(L.skipReason());
     return;
   }
   for (auto _ : State) {

@@ -32,7 +32,8 @@
 using namespace relax;
 
 int main(int Argc, char **Argv) {
-  std::string Path = Argc > 1 ? Argv[1] : "examples/programs/lu.rlx";
+  std::string Path =
+      Argc > 1 ? Argv[1] : std::string(RELAXC_EXAMPLES_DIR) + "/lu.rlx";
 
   SourceManager SM;
   if (Status S = SM.loadFile(Path); !S.ok()) {

@@ -67,7 +67,8 @@ private:
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string Path = Argc > 1 ? Argv[1] : "examples/programs/swish.rlx";
+  std::string Path =
+      Argc > 1 ? Argv[1] : std::string(RELAXC_EXAMPLES_DIR) + "/swish.rlx";
 
   SourceManager SM;
   if (Status S = SM.loadFile(Path); !S.ok()) {

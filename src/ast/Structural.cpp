@@ -111,6 +111,125 @@ bool relax::structurallyEqual(const BoolExpr *A, const BoolExpr *B) {
   return false;
 }
 
+//===----------------------------------------------------------------------===//
+// Statement- and program-level equality
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Null-tolerant formula comparison for annotation components: null only
+/// equals null (absence is structural; the generators diagnose it).
+bool eqOpt(const BoolExpr *A, const BoolExpr *B) {
+  if (!A || !B)
+    return A == B;
+  return structurallyEqual(A, B);
+}
+
+bool eqOpt(const Expr *A, const Expr *B) {
+  if (!A || !B)
+    return A == B;
+  return structurallyEqual(A, B);
+}
+
+} // namespace
+
+bool relax::structurallyEqual(const LoopAnnotations *A,
+                              const LoopAnnotations *B) {
+  if (!A || !B)
+    return A == B;
+  return eqOpt(A->Invariant, B->Invariant) &&
+         eqOpt(A->IntermediateInvariant, B->IntermediateInvariant) &&
+         eqOpt(A->RelInvariant, B->RelInvariant) &&
+         eqOpt(A->Variant, B->Variant);
+}
+
+bool relax::structurallyEqual(const DivergeAnnotation *A,
+                              const DivergeAnnotation *B) {
+  if (!A || !B)
+    return A == B;
+  return A->CaseAnalysis == B->CaseAnalysis &&
+         eqOpt(A->PreOrig, B->PreOrig) && eqOpt(A->PreRel, B->PreRel) &&
+         eqOpt(A->PostOrig, B->PostOrig) && eqOpt(A->PostRel, B->PostRel) &&
+         eqOpt(A->Frame, B->Frame);
+}
+
+bool relax::structurallyEqual(const Stmt *A, const Stmt *B) {
+  if (A == B)
+    return true;
+  if (!A || !B || A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case Stmt::Kind::Skip:
+    return true;
+  case Stmt::Kind::Assign: {
+    const auto *SA = cast<AssignStmt>(A), *SB = cast<AssignStmt>(B);
+    return SA->var() == SB->var() &&
+           structurallyEqual(SA->value(), SB->value());
+  }
+  case Stmt::Kind::ArrayAssign: {
+    const auto *SA = cast<ArrayAssignStmt>(A), *SB = cast<ArrayAssignStmt>(B);
+    return SA->array() == SB->array() &&
+           structurallyEqual(SA->index(), SB->index()) &&
+           structurallyEqual(SA->value(), SB->value());
+  }
+  case Stmt::Kind::Havoc:
+  case Stmt::Kind::Relax: {
+    const auto *CA = cast<ChoiceStmtBase>(A), *CB = cast<ChoiceStmtBase>(B);
+    if (CA->varCount() != CB->varCount())
+      return false;
+    for (size_t I = 0, E = CA->varCount(); I != E; ++I)
+      if (CA->var(I) != CB->var(I))
+        return false;
+    return structurallyEqual(CA->pred(), CB->pred());
+  }
+  case Stmt::Kind::If: {
+    const auto *IA = cast<IfStmt>(A), *IB = cast<IfStmt>(B);
+    return structurallyEqual(IA->cond(), IB->cond()) &&
+           structurallyEqual(IA->thenStmt(), IB->thenStmt()) &&
+           structurallyEqual(IA->elseStmt(), IB->elseStmt()) &&
+           structurallyEqual(IA->diverge(), IB->diverge());
+  }
+  case Stmt::Kind::While: {
+    const auto *WA = cast<WhileStmt>(A), *WB = cast<WhileStmt>(B);
+    return structurallyEqual(WA->cond(), WB->cond()) &&
+           structurallyEqual(WA->body(), WB->body()) &&
+           structurallyEqual(WA->annotations(), WB->annotations()) &&
+           structurallyEqual(WA->diverge(), WB->diverge());
+  }
+  case Stmt::Kind::Assume:
+    return structurallyEqual(cast<AssumeStmt>(A)->pred(),
+                             cast<AssumeStmt>(B)->pred());
+  case Stmt::Kind::Assert:
+    return structurallyEqual(cast<AssertStmt>(A)->pred(),
+                             cast<AssertStmt>(B)->pred());
+  case Stmt::Kind::Relate: {
+    const auto *RA = cast<RelateStmt>(A), *RB = cast<RelateStmt>(B);
+    return RA->label() == RB->label() &&
+           structurallyEqual(RA->pred(), RB->pred());
+  }
+  case Stmt::Kind::Seq: {
+    const auto *QA = cast<SeqStmt>(A), *QB = cast<SeqStmt>(B);
+    return structurallyEqual(QA->first(), QB->first()) &&
+           structurallyEqual(QA->second(), QB->second());
+  }
+  }
+  return false;
+}
+
+bool relax::structurallyEqual(const Program &A, const Program &B) {
+  if (A.decls().size() != B.decls().size())
+    return false;
+  for (size_t I = 0, E = A.decls().size(); I != E; ++I)
+    if (A.decls()[I].Name != B.decls()[I].Name ||
+        A.decls()[I].Kind != B.decls()[I].Kind)
+      return false;
+  return eqOpt(A.requiresClause(), B.requiresClause()) &&
+         eqOpt(A.ensuresClause(), B.ensuresClause()) &&
+         eqOpt(A.relRequiresClause(), B.relRequiresClause()) &&
+         eqOpt(A.relEnsuresClause(), B.relEnsuresClause()) &&
+         structurallyEqual(A.body(), B.body());
+}
+
 uint64_t relax::structuralHash(const Expr *E) {
   // Hash-consed nodes carry their hash inline; the recursion below is the
   // fallback for nodes built outside an AstContext factory.
@@ -200,4 +319,106 @@ uint64_t relax::structuralHash(const BoolExpr *B) {
   }
   }
   return H;
+}
+
+//===----------------------------------------------------------------------===//
+// Statement- and program-level hashing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Null-tolerant annotation-component hash; distinguishes null from any
+/// formula, matching eqOpt.
+uint64_t hashOpt(const BoolExpr *B) { return B ? structuralHash(B) : 5; }
+uint64_t hashOpt(const Expr *E) { return E ? structuralHash(E) : 5; }
+
+uint64_t hashAnnotations(const LoopAnnotations *A) {
+  if (!A)
+    return 3;
+  uint64_t H = hashMix(401);
+  H = hashCombine(H, hashOpt(A->Invariant));
+  H = hashCombine(H, hashOpt(A->IntermediateInvariant));
+  H = hashCombine(H, hashOpt(A->RelInvariant));
+  return hashCombine(H, hashOpt(A->Variant));
+}
+
+uint64_t hashDiverge(const DivergeAnnotation *D) {
+  if (!D)
+    return 3;
+  uint64_t H = hashMix(409 + (D->CaseAnalysis ? 1 : 0));
+  H = hashCombine(H, hashOpt(D->PreOrig));
+  H = hashCombine(H, hashOpt(D->PreRel));
+  H = hashCombine(H, hashOpt(D->PostOrig));
+  H = hashCombine(H, hashOpt(D->PostRel));
+  return hashCombine(H, hashOpt(D->Frame));
+}
+
+} // namespace
+
+uint64_t relax::structuralHash(const Stmt *S) {
+  uint64_t H = hashMix(static_cast<uint64_t>(S->kind()) + 503);
+  switch (S->kind()) {
+  case Stmt::Kind::Skip:
+    return H;
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    H = hashCombine(H, A->var().id());
+    return hashCombine(H, structuralHash(A->value()));
+  }
+  case Stmt::Kind::ArrayAssign: {
+    const auto *A = cast<ArrayAssignStmt>(S);
+    H = hashCombine(H, A->array().id());
+    H = hashCombine(H, structuralHash(A->index()));
+    return hashCombine(H, structuralHash(A->value()));
+  }
+  case Stmt::Kind::Havoc:
+  case Stmt::Kind::Relax: {
+    const auto *C = cast<ChoiceStmtBase>(S);
+    for (size_t I = 0, E = C->varCount(); I != E; ++I)
+      H = hashCombine(H, C->var(I).id());
+    return hashCombine(H, structuralHash(C->pred()));
+  }
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    H = hashCombine(H, structuralHash(I->cond()));
+    H = hashCombine(H, structuralHash(I->thenStmt()));
+    H = hashCombine(H, structuralHash(I->elseStmt()));
+    return hashCombine(H, hashDiverge(I->diverge()));
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    H = hashCombine(H, structuralHash(W->cond()));
+    H = hashCombine(H, structuralHash(W->body()));
+    H = hashCombine(H, hashAnnotations(W->annotations()));
+    return hashCombine(H, hashDiverge(W->diverge()));
+  }
+  case Stmt::Kind::Assume:
+    return hashCombine(H, structuralHash(cast<AssumeStmt>(S)->pred()));
+  case Stmt::Kind::Assert:
+    return hashCombine(H, structuralHash(cast<AssertStmt>(S)->pred()));
+  case Stmt::Kind::Relate: {
+    const auto *R = cast<RelateStmt>(S);
+    H = hashCombine(H, R->label().id());
+    return hashCombine(H, structuralHash(R->pred()));
+  }
+  case Stmt::Kind::Seq: {
+    const auto *Q = cast<SeqStmt>(S);
+    H = hashCombine(H, structuralHash(Q->first()));
+    return hashCombine(H, structuralHash(Q->second()));
+  }
+  }
+  return H;
+}
+
+uint64_t relax::structuralHash(const Program &P) {
+  uint64_t H = hashMix(601);
+  for (const VarDecl &D : P.decls()) {
+    H = hashCombine(H, D.Name.id());
+    H = hashCombine(H, static_cast<uint64_t>(D.Kind));
+  }
+  H = hashCombine(H, hashOpt(P.requiresClause()));
+  H = hashCombine(H, hashOpt(P.ensuresClause()));
+  H = hashCombine(H, hashOpt(P.relRequiresClause()));
+  H = hashCombine(H, hashOpt(P.relEnsuresClause()));
+  return hashCombine(H, P.body() ? structuralHash(P.body()) : 5);
 }

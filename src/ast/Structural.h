@@ -15,7 +15,7 @@
 #ifndef RELAXC_AST_STRUCTURAL_H
 #define RELAXC_AST_STRUCTURAL_H
 
-#include "ast/BoolExpr.h"
+#include "ast/Program.h"
 
 #include <cstdint>
 
@@ -31,11 +31,34 @@ bool structurallyEqual(const Expr *A, const Expr *B);
 bool structurallyEqual(const ArrayExpr *A, const ArrayExpr *B);
 bool structurallyEqual(const BoolExpr *A, const BoolExpr *B);
 
+/// Statement- and program-level structural equality (source-location
+/// insensitive). Statements are not interned, but every formula and
+/// expression they reference is, so within one AstContext the leaf
+/// comparisons are all pointer equality and the walk costs O(statements)
+/// rather than O(AST nodes). Null annotation components compare equal only
+/// to null (the VC generators treat null and `true` differently for
+/// diagnostics, so the distinction is structural).
+bool structurallyEqual(const Stmt *A, const Stmt *B);
+bool structurallyEqual(const LoopAnnotations *A, const LoopAnnotations *B);
+bool structurallyEqual(const DivergeAnnotation *A, const DivergeAnnotation *B);
+
+/// Whole-program structural equality: declarations (names, kinds, order),
+/// all four contract clauses, and the body. This is what "parse, print,
+/// re-parse yields the same program" means for the golden-file round-trip
+/// tests: re-parsing the printed form in the same context must reproduce
+/// every formula pointer and an isomorphic statement tree.
+bool structurallyEqual(const Program &A, const Program &B);
+
 /// Deterministic structural hash (stable across runs and platforms).
 /// Hash-consed nodes carry it inline, making this a cached field read.
 uint64_t structuralHash(const Expr *E);
 uint64_t structuralHash(const ArrayExpr *A);
 uint64_t structuralHash(const BoolExpr *B);
+
+/// Statement/program structural hashes, built on the inline formula hashes.
+/// Agree with the equalities above: equal values hash equally.
+uint64_t structuralHash(const Stmt *S);
+uint64_t structuralHash(const Program &P);
 
 /// Seed mixed into variable hashes per execution tag. Shared between the
 /// hash-consing factories (AstContext) and the recursive fallback

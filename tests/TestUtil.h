@@ -69,7 +69,36 @@ inline std::string examplePath(const std::string &Name) {
   return std::string(RELAXC_EXAMPLES_DIR) + "/" + Name;
 }
 
+/// True when the Z3 decision-procedure backend was compiled in. Tests that
+/// discharge VCs (or that assert a program does NOT verify) are
+/// meaningless against the stub backend: it answers every query with an
+/// error, so "verifies" tests hard-fail and "must not verify" tests pass
+/// vacuously. Both are wrong — such tests must skip instead.
+inline bool haveZ3() { return RELAXC_HAVE_Z3 != 0; }
+
 } // namespace test
 } // namespace relax
+
+/// Skips the current test (with a reason) when the Z3 backend is not
+/// built. Use at the top of any TEST whose verdict depends on a real
+/// solver. Expands in the test body, so GTEST_SKIP returns from the test.
+#define RELAXC_SKIP_WITHOUT_Z3()                                               \
+  do {                                                                         \
+    if (!relax::test::haveZ3())                                                \
+      GTEST_SKIP() << "Z3 backend not built (RELAXC_ENABLE_Z3=OFF)";           \
+  } while (0)
+
+/// Declares `std::string Var` holding the source of the named example
+/// program, skipping the test (with a reason) when the file is missing —
+/// a missing corpus must never surface as a file-not-found hard failure.
+#define RELAXC_SLURP_EXAMPLE_OR_SKIP(Var, Name)                                \
+  std::string Var;                                                             \
+  do {                                                                         \
+    relax::SourceManager SlurpSM_;                                             \
+    if (!SlurpSM_.loadFile(relax::test::examplePath(Name)).ok())               \
+      GTEST_SKIP() << "example program not found: "                            \
+                   << relax::test::examplePath(Name);                          \
+    Var = std::string(SlurpSM_.buffer());                                      \
+  } while (0)
 
 #endif // RELAXC_TESTS_TESTUTIL_H

@@ -123,6 +123,63 @@ TEST_P(DifferentialSemantics, RelaxFreeProgramsCoincide) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSemantics,
                          ::testing::Values(101, 102, 103, 104, 105));
 
+//===----------------------------------------------------------------------===//
+// Sequential vs --jobs=N verification on the shipped case studies
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Per-obligation verdict fingerprint: (rule, status) in VC order.
+std::vector<std::pair<std::string, VCStatus>>
+verdictsOf(const JudgmentReport &J) {
+  std::vector<std::pair<std::string, VCStatus>> Out;
+  Out.reserve(J.Outcomes.size());
+  for (const VCOutcome &O : J.Outcomes)
+    Out.emplace_back(O.Condition.Rule, O.Status);
+  return Out;
+}
+
+class ExampleJobsDifferential : public ::testing::TestWithParam<const char *> {
+};
+
+} // namespace
+
+TEST_P(ExampleJobsDifferential, ParallelVerdictsMatchSequential) {
+  RELAXC_SKIP_WITHOUT_Z3();
+  RELAXC_SLURP_EXAMPLE_OR_SKIP(Source, GetParam());
+  ParsedProgram P = parseProgram(Source);
+  ASSERT_TRUE(P.ok()) << P.diagnostics();
+
+  // Sequential: one cached solver, Jobs = 1 (the default).
+  Z3Solver SeqBackend(P.Ctx->symbols());
+  CachingSolver SeqSolver(SeqBackend);
+  Verifier SeqV(*P.Ctx, *P.Prog, SeqSolver, P.Diags);
+  VerifyReport Seq = SeqV.run();
+
+  // Parallel: four workers, one solver each, shared result cache.
+  Z3Solver Unused(P.Ctx->symbols());
+  Verifier ParV(*P.Ctx, *P.Prog, Unused, P.Diags);
+  Verifier::Options ParOpts;
+  ParOpts.Jobs = 4;
+  ParOpts.SolverFactory = [&P] {
+    return std::make_unique<Z3Solver>(P.Ctx->symbols());
+  };
+  VerifyReport Par = ParV.run(ParOpts);
+
+  EXPECT_EQ(Seq.verified(), Par.verified()) << GetParam();
+  EXPECT_EQ(verdictsOf(Seq.Original), verdictsOf(Par.Original)) << GetParam();
+  EXPECT_EQ(verdictsOf(Seq.Relaxed), verdictsOf(Par.Relaxed)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(CaseStudies, ExampleJobsDifferential,
+                         ::testing::Values("swish.rlx", "water.rlx", "lu.rlx",
+                                           "task_skip.rlx", "sampling.rlx",
+                                           "memoize.rlx"),
+                         [](const auto &Info) {
+                           std::string N = Info.param;
+                           return N.substr(0, N.find('.'));
+                         });
+
 TEST(DifferentialSemantics, IdentityOracleReproducesOriginalExecution) {
   // The original execution is one of the relaxed executions: running ⇓r
   // with the identity choice gives the ⇓o behavior exactly.

@@ -154,6 +154,7 @@ TEST_F(InterpTest, NonterminatingLoopExhaustsFuel) {
 }
 
 TEST_F(InterpTest, HavocSatisfiesPredicate) {
+  RELAXC_SKIP_WITHOUT_Z3();
   load("int x; { havoc (x) st (x > 10 && x < 13); }");
   Outcome O = run(SemanticsMode::Original);
   ASSERT_TRUE(O.ok()) << O.Reason;
@@ -162,12 +163,14 @@ TEST_F(InterpTest, HavocSatisfiesPredicate) {
 }
 
 TEST_F(InterpTest, HavocUnsatisfiableIsWr) {
+  RELAXC_SKIP_WITHOUT_Z3();
   load("int x; { havoc (x) st (x > 0 && x < 0); }");
   Outcome O = run(SemanticsMode::Original);
   EXPECT_EQ(O.Kind, OutcomeKind::Wr) << "havoc-f rule";
 }
 
 TEST_F(InterpTest, HavocPreservesFrame) {
+  RELAXC_SKIP_WITHOUT_Z3();
   load("int x, y; { havoc (x) st (x == 7); }");
   State Init = Interp::zeroState(*P.Prog);
   Init[P.Ctx->sym("y")] = Value(int64_t(99));
@@ -192,6 +195,7 @@ TEST_F(InterpTest, RelaxIsNoOpWhenPredicateHolds) {
 }
 
 TEST_F(InterpTest, RelaxChoosesInRelaxedSemantics) {
+  RELAXC_SKIP_WITHOUT_Z3();
   load("int x; { x = 5; relax (x) st (x == 77); }");
   Outcome O = run(SemanticsMode::Relaxed);
   ASSERT_TRUE(O.ok()) << O.Reason;
@@ -199,6 +203,7 @@ TEST_F(InterpTest, RelaxChoosesInRelaxedSemantics) {
 }
 
 TEST_F(InterpTest, RelaxOverArrayPreservesLength) {
+  RELAXC_SKIP_WITHOUT_Z3();
   load("array A; { relax (A) st (true); }");
   Outcome O = run(SemanticsMode::Relaxed);
   ASSERT_TRUE(O.ok()) << O.Reason;

@@ -1,0 +1,114 @@
+//===- golden_tests.cpp - Golden-file round trips for the case studies --------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+// Pins the pretty-printed form of every shipped case study to a golden
+// file under tests/golden/, and checks that re-parsing the printed form
+// in the same AstContext reproduces the program exactly: every formula is
+// pointer-equal (hash-consing interns structurally identical nodes once)
+// and the statement tree is structurally identical. A printer or parser
+// change that alters the surface form — or loses an annotation on the way
+// through — fails here first, with a byte diff against the golden.
+//
+// Regenerate a golden after an intentional change with:
+//   relaxc print examples/programs/<name>.rlx > tests/golden/<name>.golden
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "ast/Structural.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace relax;
+using namespace relax::test;
+
+namespace {
+
+std::string goldenPath(const std::string &Name) {
+  return std::string(RELAXC_GOLDEN_DIR) + "/" + Name;
+}
+
+class GoldenRoundTrip : public ::testing::TestWithParam<const char *> {};
+
+} // namespace
+
+TEST_P(GoldenRoundTrip, PrintReparsePointerEqualAndMatchesGolden) {
+  RELAXC_SLURP_EXAMPLE_OR_SKIP(Source, std::string(GetParam()) + ".rlx");
+
+  ParsedProgram P1 = parseProgram(Source);
+  ASSERT_TRUE(P1.ok()) << P1.diagnostics();
+  Printer Pr(P1.Ctx->symbols());
+  std::string Printed = Pr.print(*P1.Prog);
+
+  // The printed form is pinned byte-for-byte.
+  std::ifstream In(goldenPath(std::string(GetParam()) + ".golden"));
+  if (!In.good())
+    GTEST_SKIP() << "golden file not found: "
+                 << goldenPath(std::string(GetParam()) + ".golden");
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  EXPECT_EQ(Buf.str(), Printed)
+      << "printer output changed for " << GetParam()
+      << "; if intentional, regenerate with `relaxc print`";
+
+  // Re-parse the printed form in the SAME context: hash-consing must
+  // reproduce every formula as the identical node, so contract clauses
+  // compare pointer-equal, and the statement tree (not interned, but built
+  // over interned formulas) must be structurally identical.
+  SourceManager SM2;
+  SM2.setBuffer("<printed>", Printed);
+  DiagnosticEngine D2;
+  Parser Reparse(*P1.Ctx, SM2, D2);
+  std::optional<Program> P2 = Reparse.parseProgram();
+  ASSERT_TRUE(P2.has_value() && !D2.hasErrors())
+      << "printed form failed to re-parse:\n"
+      << Printed << D2.render();
+
+  EXPECT_EQ(P1.Prog->requiresClause(), P2->requiresClause())
+      << "hash-consing must intern the re-parsed requires clause";
+  EXPECT_EQ(P1.Prog->ensuresClause(), P2->ensuresClause());
+  EXPECT_EQ(P1.Prog->relRequiresClause(), P2->relRequiresClause());
+  EXPECT_EQ(P1.Prog->relEnsuresClause(), P2->relEnsuresClause());
+  EXPECT_TRUE(structurallyEqual(*P1.Prog, *P2));
+  EXPECT_EQ(structuralHash(*P1.Prog), structuralHash(*P2));
+
+  // Printing is a fixpoint: the re-parse prints back to the golden.
+  EXPECT_EQ(Printed, Pr.print(*P2));
+}
+
+INSTANTIATE_TEST_SUITE_P(CaseStudies, GoldenRoundTrip,
+                         ::testing::Values("swish", "water", "lu",
+                                           "task_skip", "sampling",
+                                           "memoize"));
+
+//===----------------------------------------------------------------------===//
+// The program-level comparison is not vacuous
+//===----------------------------------------------------------------------===//
+
+TEST(ProgramStructural, DistinguishesPrograms) {
+  ParsedProgram A = parseProgram("int x; requires (x > 0); { x = x + 1; }");
+  ParsedProgram B = parseProgram("int x; requires (x > 0); { x = x + 2; }");
+  ParsedProgram C = parseProgram("int x; requires (x > 0); { x = x + 1; }");
+  ASSERT_TRUE(A.ok() && B.ok() && C.ok());
+  EXPECT_FALSE(structurallyEqual(*A.Prog, *B.Prog));
+  EXPECT_TRUE(structurallyEqual(*A.Prog, *C.Prog));
+  EXPECT_EQ(structuralHash(*A.Prog), structuralHash(*C.Prog));
+  EXPECT_NE(structuralHash(*A.Prog), structuralHash(*B.Prog));
+}
+
+TEST(ProgramStructural, DistinguishesAnnotations) {
+  const char *WithVariant =
+      "int i, n; { while (i < n) invariant (i <= n) decreases (n - i) "
+      "{ i = i + 1; } }";
+  const char *WithoutVariant =
+      "int i, n; { while (i < n) invariant (i <= n) { i = i + 1; } }";
+  ParsedProgram A = parseProgram(WithVariant);
+  ParsedProgram B = parseProgram(WithoutVariant);
+  ASSERT_TRUE(A.ok() && B.ok());
+  EXPECT_FALSE(structurallyEqual(*A.Prog, *B.Prog))
+      << "a dropped decreases clause must not compare equal";
+}

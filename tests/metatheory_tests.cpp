@@ -113,18 +113,14 @@ void expectTheoremsHold(const std::string &Source, unsigned Pairs,
 
 namespace {
 
-std::string slurp(const std::string &Path) {
-  SourceManager SM;
-  EXPECT_TRUE(SM.loadFile(Path).ok()) << Path;
-  return std::string(SM.buffer());
-}
-
 class ExampleTheorems : public ::testing::TestWithParam<const char *> {};
 
 } // namespace
 
 TEST_P(ExampleTheorems, AllFiveGuaranteesHold) {
-  expectTheoremsHold(slurp(examplePath(GetParam())), 12);
+  RELAXC_SKIP_WITHOUT_Z3();
+  RELAXC_SLURP_EXAMPLE_OR_SKIP(Source, GetParam());
+  expectTheoremsHold(Source, 12);
 }
 
 INSTANTIATE_TEST_SUITE_P(CaseStudies, ExampleTheorems,
@@ -140,6 +136,7 @@ INSTANTIATE_TEST_SUITE_P(CaseStudies, ExampleTheorems,
 //===----------------------------------------------------------------------===//
 
 TEST(Metatheory, VerifiedRelaxWithAssertTransfer) {
+  RELAXC_SKIP_WITHOUT_Z3();
   expectTheoremsHold(
       "int x; requires (x > 0 && x < 100);\n"
       "{ relax (x) st (x > 0); assert x > 0; relate l : x<o> > 0 && x<r> > 0; }",
@@ -147,6 +144,7 @@ TEST(Metatheory, VerifiedRelaxWithAssertTransfer) {
 }
 
 TEST(Metatheory, VerifiedAssumePropagation) {
+  RELAXC_SKIP_WITHOUT_Z3();
   expectTheoremsHold("int x, y;\n"
                      "requires (y >= 0 && y <= 20);\n"
                      "{ assume x > 2; relax (y) st (y >= 0); "
@@ -155,6 +153,7 @@ TEST(Metatheory, VerifiedAssumePropagation) {
 }
 
 TEST(Metatheory, VerifiedDivergentLoop) {
+  RELAXC_SKIP_WITHOUT_Z3();
   expectTheoremsHold(
       "int i, n;\n"
       "requires (n >= 0 && n <= 8 && i == 0);\n"
@@ -169,6 +168,7 @@ TEST(Metatheory, VerifiedDivergentLoop) {
 }
 
 TEST(Metatheory, VerifiedCaseAnalysis) {
+  RELAXC_SKIP_WITHOUT_Z3();
   expectTheoremsHold(
       "int a, max, orig, e;\n"
       "requires (e >= 0 && e <= 4 && a >= -20 && a <= 20 "
@@ -187,6 +187,7 @@ TEST(Metatheory, VerifiedCaseAnalysis) {
 //===----------------------------------------------------------------------===//
 
 TEST(Metatheory, OriginalMayViolateAssumptions) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // The assume fails for some inputs: original executions end in ba — which
   // Lemma 2 permits — and relaxed errors only occur alongside original ba
   // (Corollary 9).
@@ -206,6 +207,7 @@ TEST(Metatheory, OriginalMayViolateAssumptions) {
 //===----------------------------------------------------------------------===//
 
 TEST(MetatheoryNegative, UnverifiedAssertBreaksRelaxedProgress) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // Does NOT verify: the relaxation interferes with the assert.
   std::string Source = "int x;\n"
                        "requires (x >= 0 && x <= 10);\n"
@@ -219,6 +221,7 @@ TEST(MetatheoryNegative, UnverifiedAssertBreaksRelaxedProgress) {
 }
 
 TEST(MetatheoryNegative, UnverifiedRelateBreaksCompatibility) {
+  RELAXC_SKIP_WITHOUT_Z3();
   std::string Source =
       "int x;\n"
       "requires (x >= 0 && x <= 10);\n"
@@ -231,6 +234,7 @@ TEST(MetatheoryNegative, UnverifiedRelateBreaksCompatibility) {
 }
 
 TEST(MetatheoryNegative, UnverifiedAssumeBreaksDebuggability) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // The relaxation invalidates an assumption that holds originally: the
   // relaxed execution fails in a way the original cannot reproduce —
   // exactly the debugging hazard Section 1.4 describes.

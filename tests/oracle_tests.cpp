@@ -104,6 +104,7 @@ TEST_F(OracleTest, RandomSearchRandomizesArrays) {
 //===----------------------------------------------------------------------===//
 
 TEST_F(OracleTest, SolverOracleSolvesNarrowPredicates) {
+  RELAXC_SKIP_WITHOUT_Z3();
   load("int x, y; { havoc (x, y) st (x + y == 100 && x - y == 2); }");
   Z3Solver S(P.Ctx->symbols());
   SolverOracle O(*P.Ctx, S);
@@ -114,6 +115,7 @@ TEST_F(OracleTest, SolverOracleSolvesNarrowPredicates) {
 }
 
 TEST_F(OracleTest, SolverOracleReportsUnsat) {
+  RELAXC_SKIP_WITHOUT_Z3();
   load("int x; { havoc (x) st (x > 0 && x < 0); }");
   Z3Solver S(P.Ctx->symbols());
   SolverOracle O(*P.Ctx, S);
@@ -121,6 +123,7 @@ TEST_F(OracleTest, SolverOracleReportsUnsat) {
 }
 
 TEST_F(OracleTest, SolverOraclePinsFrameVariables) {
+  RELAXC_SKIP_WITHOUT_Z3();
   load("int x, y; { havoc (x) st (x > y); }");
   Current[P.Ctx->sym("y")] = Value(int64_t(41));
   Z3Solver S(P.Ctx->symbols());
@@ -132,6 +135,7 @@ TEST_F(OracleTest, SolverOraclePinsFrameVariables) {
 }
 
 TEST_F(OracleTest, SolverOracleRespectsPredicateOverArrayContents) {
+  RELAXC_SKIP_WITHOUT_Z3();
   load("array A; { relax (A) st (A[0] + A[1] == 9); }");
   Z3Solver S(P.Ctx->symbols());
   SolverOracle O(*P.Ctx, S);
@@ -143,6 +147,7 @@ TEST_F(OracleTest, SolverOracleRespectsPredicateOverArrayContents) {
 }
 
 TEST_F(OracleTest, SolverOracleDiversityAcrossSeeds) {
+  RELAXC_SKIP_WITHOUT_Z3();
   load("int x; { havoc (x) st (x >= 0 && x <= 1000); }");
   Z3Solver S(P.Ctx->symbols());
   std::set<int64_t> Seen;
@@ -173,6 +178,7 @@ TEST_F(OracleTest, ReplayFollowsScriptThenGivesUp) {
 }
 
 TEST_F(OracleTest, ChainFallsThroughOnUnknown) {
+  RELAXC_SKIP_WITHOUT_Z3();
   load("int x; { havoc (x) st (x == 5); }");
   IdentityOracle First; // fails: current x is 0
   Z3Solver S(P.Ctx->symbols());

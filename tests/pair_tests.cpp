@@ -142,6 +142,7 @@ TEST_F(PairTest, DeterministicProgramProducesIdenticalRuns) {
 }
 
 TEST_F(PairTest, RelaxationCanViolateAnUnverifiableRelate) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // The relate requires equality but the relaxation allows drift: some
   // seeds must expose the incompatibility, demonstrating the checker has
   // teeth (this program would NOT verify).
@@ -158,6 +159,7 @@ TEST_F(PairTest, RelaxationCanViolateAnUnverifiableRelate) {
 }
 
 TEST_F(PairTest, RelaxationWithinBoundsStaysCompatible) {
+  RELAXC_SKIP_WITHOUT_Z3();
   load("int x; { relax (x) st (x >= 0 && x <= 50); "
        "relate l : x<r> >= 0 && x<r> <= 50 && x<o> == 0; }");
   for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
@@ -180,6 +182,7 @@ TEST_F(PairTest, OriginalErrorIsReportedSeparately) {
 //===----------------------------------------------------------------------===//
 
 TEST_F(PairTest, RandomInitialStateSatisfiesRequires) {
+  RELAXC_SKIP_WITHOUT_Z3();
   load("int x, y; requires (x > 10 && y < x); { skip; }");
   for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
     Result<State> S =
@@ -191,6 +194,7 @@ TEST_F(PairTest, RandomInitialStateSatisfiesRequires) {
 }
 
 TEST_F(PairTest, RandomInitialStateVariesWithSeed) {
+  RELAXC_SKIP_WITHOUT_Z3();
   load("int x; requires (x >= 0 && x <= 1000); { skip; }");
   std::set<int64_t> Seen;
   for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
@@ -209,6 +213,7 @@ TEST_F(PairTest, RandomInitialStateRejectsUnsatRequires) {
 }
 
 TEST_F(PairTest, RandomInitialStateHonorsArrayConstraints) {
+  RELAXC_SKIP_WITHOUT_Z3();
   load("array A; requires (A[0] > 5 && len(A) >= 2); { skip; }");
   Result<State> S = randomInitialState(*P.Ctx, *P.Prog, *Backend, 3, 4);
   ASSERT_TRUE(S.ok()) << S.message();

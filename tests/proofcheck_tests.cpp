@@ -62,6 +62,7 @@ ProofCheckReport runChecker(CheckedProgram &CP, const VCSet &Set) {
 } // namespace
 
 TEST(ProofCheck, AcceptsSoundUnaryDerivation) {
+  RELAXC_SKIP_WITHOUT_Z3();
   CheckedProgram CP = generate(
       "int x, y; requires (x >= 0 && x <= 5);\n"
       "{ y = x * 2; if (y > 4) { y = y - 1; } assert y >= 0; }");
@@ -74,6 +75,7 @@ TEST(ProofCheck, AcceptsSoundUnaryDerivation) {
 }
 
 TEST(ProofCheck, AcceptsSoundRelationalDerivation) {
+  RELAXC_SKIP_WITHOUT_Z3();
   CheckedProgram CP = generate(
       "int x; requires (x >= 0 && x <= 5);\n"
       "{ relax (x) st (x >= 0 && x <= 9); assert x >= 0; }");
@@ -85,6 +87,7 @@ TEST(ProofCheck, AcceptsSoundRelationalDerivation) {
 }
 
 TEST(ProofCheck, AcceptsLoopDerivations) {
+  RELAXC_SKIP_WITHOUT_Z3();
   CheckedProgram CP = generate(
       "int i, n; requires (i == 0 && n >= 0 && n <= 6);\n"
       "{ while (i < n) invariant (i <= n)\n"
@@ -95,6 +98,7 @@ TEST(ProofCheck, AcceptsLoopDerivations) {
 }
 
 TEST(ProofCheck, AcceptsHavocAndArrays) {
+  RELAXC_SKIP_WITHOUT_Z3();
   CheckedProgram CP = generate(
       "array A; int x;\n"
       "requires (len(A) >= 1 && x >= 0 && x <= 3);\n"
@@ -104,6 +108,7 @@ TEST(ProofCheck, AcceptsHavocAndArrays) {
 }
 
 TEST(ProofCheck, FlagsFabricatedUnsoundPostcondition) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // Hand-build a derivation claiming {true} x = x + 1 {x == 0}: the
   // checker must catch it dynamically even though no generator would
   // produce it.
@@ -126,6 +131,7 @@ TEST(ProofCheck, FlagsFabricatedUnsoundPostcondition) {
 }
 
 TEST(ProofCheck, FlagsFabricatedRelationalPostcondition) {
+  RELAXC_SKIP_WITHOUT_Z3();
   CheckedProgram CP = generate(
       "int x; requires (x >= 0 && x <= 3); "
       "{ relax (x) st (x >= 0 && x <= 9); }");
@@ -146,6 +152,7 @@ TEST(ProofCheck, FlagsFabricatedRelationalPostcondition) {
 }
 
 TEST(ProofCheck, FlagsRejectedVCs) {
+  RELAXC_SKIP_WITHOUT_Z3();
   CheckedProgram CP = generate("int x; { assert x > 0; }");
   ASSERT_TRUE(CP.P.ok());
   ProofCheckReport R = runChecker(CP, CP.Original);
@@ -156,6 +163,7 @@ TEST(ProofCheck, FlagsRejectedVCs) {
 }
 
 TEST(ProofCheck, WrFromUnprovenAssertIsFlagged) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // The derivation's assert step can reach wr dynamically because the
   // predicate does not hold — the checker reports both the rejected VC and
   // the dynamic wr.
@@ -167,10 +175,10 @@ TEST(ProofCheck, WrFromUnprovenAssertIsFlagged) {
 }
 
 TEST(ProofCheck, CaseStudiesPassTheChecker) {
+  RELAXC_SKIP_WITHOUT_Z3();
   for (const char *Name : {"swish.rlx", "lu.rlx"}) {
-    SourceManager SM;
-    ASSERT_TRUE(SM.loadFile(examplePath(Name)).ok());
-    CheckedProgram CP = generate(std::string(SM.buffer()));
+    RELAXC_SLURP_EXAMPLE_OR_SKIP(Source, Name);
+    CheckedProgram CP = generate(Source);
     ASSERT_TRUE(CP.P.ok()) << Name;
     ProofCheckReport RO = runChecker(CP, CP.Original);
     EXPECT_TRUE(RO.ok()) << Name << ": "

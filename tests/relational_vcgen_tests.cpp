@@ -43,10 +43,12 @@ bool failedRuleContains(const JudgmentReport &R, const std::string &Rule) {
 //===----------------------------------------------------------------------===//
 
 TEST(RelationalVC, LockstepAssignPreservesIdentity) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_TRUE(proves("int x; rensures (x<o> == x<r>); { x = x * 2 + 1; }"));
 }
 
 TEST(RelationalVC, RelationalContractsRespected) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_TRUE(proves("int x;\n"
                      "rrequires (x<o> <= x<r>);\n"
                      "rensures (x<o> <= x<r>);\n"
@@ -58,6 +60,7 @@ TEST(RelationalVC, RelationalContractsRespected) {
 }
 
 TEST(RelationalVC, DefaultRelationalPreconditionIsIdentity) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // Without rrequires, both executions start in the same state satisfying
   // the unary requires.
   EXPECT_TRUE(proves(
@@ -66,6 +69,7 @@ TEST(RelationalVC, DefaultRelationalPreconditionIsIdentity) {
 }
 
 TEST(RelationalVC, ArrayAssignLockstep) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_TRUE(proves("array A; int i;\n"
                      "requires (0 <= i && i < len(A));\n"
                      "rensures (A<o> == A<r>);\n"
@@ -77,6 +81,7 @@ TEST(RelationalVC, ArrayAssignLockstep) {
 //===----------------------------------------------------------------------===//
 
 TEST(RelationalVC, RelaxOnlyTouchesRelaxedSide) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // The original side keeps its value; the relaxed side gets the predicate.
   EXPECT_TRUE(proves("int x;\n"
                      "requires (x == 5);\n"
@@ -90,6 +95,7 @@ TEST(RelationalVC, RelaxOnlyTouchesRelaxedSide) {
 }
 
 TEST(RelationalVC, RelaxPredicateAvailableOnBothSides) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_TRUE(proves("int x;\n"
                      "requires (x >= 1);\n"
                      "rensures (x<o> >= 1 && x<r> >= 1);\n"
@@ -97,12 +103,14 @@ TEST(RelationalVC, RelaxPredicateAvailableOnBothSides) {
 }
 
 TEST(RelationalVC, RelaxSatisfiabilityChecked) {
+  RELAXC_SKIP_WITHOUT_Z3();
   JudgmentReport R = relaxedReport(
       "int x; requires (x > 0 && x < 0); { relax (x) st (x > 0 && x < 0); }");
   EXPECT_TRUE(failedRuleContains(R, "relax"));
 }
 
 TEST(RelationalVC, RelaxReferencingFrameVariables) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // The paper's approximate-memory idiom: bounds relative to a saved copy.
   EXPECT_TRUE(proves(
       "int a, orig, e;\n"
@@ -116,6 +124,7 @@ TEST(RelationalVC, RelaxReferencingFrameVariables) {
 //===----------------------------------------------------------------------===//
 
 TEST(RelationalVC, HavocBreaksTheRelationButKeepsThePredicate) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_FALSE(proves("int x; rensures (x<o> == x<r>); "
                       "{ havoc (x) st (x > 0); }"))
       << "both sides choose independently";
@@ -128,11 +137,13 @@ TEST(RelationalVC, HavocBreaksTheRelationButKeepsThePredicate) {
 //===----------------------------------------------------------------------===//
 
 TEST(RelationalVC, AssertTransfersViaNoninterference) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // x<o> == x<r> lets the |-o-proved assert transfer for free.
   EXPECT_TRUE(proves("int x; requires (x > 1); { assert x > 0; }"));
 }
 
 TEST(RelationalVC, AssertTransferFailsWhenRelaxationInterferes) {
+  RELAXC_SKIP_WITHOUT_Z3();
   VerifyReport R = verifySource(
       "int x; requires (x > 0); { relax (x) st (true); assert x > 0; }");
   EXPECT_TRUE(R.Original.allProved()) << "fine in the original semantics";
@@ -140,11 +151,13 @@ TEST(RelationalVC, AssertTransferFailsWhenRelaxationInterferes) {
 }
 
 TEST(RelationalVC, AssertTransferSucceedsWhenRelaxationPreservesIt) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_TRUE(proves(
       "int x; requires (x > 0); { relax (x) st (x > 0); assert x > 0; }"));
 }
 
 TEST(RelationalVC, AssumeTransferMirrorsAssert) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // Assumes are free under |-o but must transfer under |-r.
   VerifyReport R = verifySource(
       "int x; { relax (x) st (true); assume x == 3; }");
@@ -155,6 +168,7 @@ TEST(RelationalVC, AssumeTransferMirrorsAssert) {
 }
 
 TEST(RelationalVC, AssumeStrengthensDownstreamRelation) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_TRUE(proves("int x, y;\n"
                      "rensures (y<o> == y<r> && y<o> > 2);\n"
                      "{ assume x > 2; y = x; }"));
@@ -165,6 +179,7 @@ TEST(RelationalVC, AssumeStrengthensDownstreamRelation) {
 //===----------------------------------------------------------------------===//
 
 TEST(RelationalVC, RelateRequiresTheRelation) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_TRUE(proves("int x; { x = x + 1; relate l : x<o> == x<r>; }"));
   JudgmentReport R = relaxedReport(
       "int x; { relax (x) st (true); relate l : x<o> == x<r>; }");
@@ -172,6 +187,7 @@ TEST(RelationalVC, RelateRequiresTheRelation) {
 }
 
 TEST(RelationalVC, ProvedRelateStrengthensDownstreamRelation) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // The original side keeps x >= 0 too (relax asserts its predicate), but
   // x<o> <= x<r> is not implied: x<o> may exceed the re-chosen x<r>.
   EXPECT_FALSE(proves("int x;\n"
@@ -190,12 +206,14 @@ TEST(RelationalVC, ProvedRelateStrengthensDownstreamRelation) {
 //===----------------------------------------------------------------------===//
 
 TEST(RelationalVC, ConvergentIfVerifies) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_TRUE(proves(
       "int x, y; { if (x > 0) { y = 1; } else { y = 2; } "
       "relate l : y<o> == y<r>; }"));
 }
 
 TEST(RelationalVC, DivergentIfWithoutAnnotationFails) {
+  RELAXC_SKIP_WITHOUT_Z3();
   JudgmentReport R = relaxedReport(
       "int x, y; { relax (x) st (true); "
       "if (x > 0) { y = 1; } else { y = 2; } }");
@@ -204,6 +222,7 @@ TEST(RelationalVC, DivergentIfWithoutAnnotationFails) {
 }
 
 TEST(RelationalVC, ConvergentWhileUsesRelationalInvariant) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_TRUE(proves(
       "int i, n;\n"
       "requires (i == 0 && n >= 0);\n"
@@ -215,6 +234,7 @@ TEST(RelationalVC, ConvergentWhileUsesRelationalInvariant) {
 }
 
 TEST(RelationalVC, WhileRelationalInvariantEntryChecked) {
+  RELAXC_SKIP_WITHOUT_Z3();
   JudgmentReport R = relaxedReport(
       "int i, n;\n"
       "rrequires (i<o> == 0 && i<r> == 1 && n<o> == n<r>);\n"
@@ -226,6 +246,7 @@ TEST(RelationalVC, WhileRelationalInvariantEntryChecked) {
 }
 
 TEST(RelationalVC, WhileConvergenceSideCondition) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // The loop condition diverges because the bound was relaxed.
   JudgmentReport R = relaxedReport(
       "int i, n;\n"
@@ -243,6 +264,7 @@ TEST(RelationalVC, WhileConvergenceSideCondition) {
 //===----------------------------------------------------------------------===//
 
 TEST(RelationalVC, DivergeRuleDropsRelationsButKeepsUnaryPosts) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_TRUE(proves(
       "int x, y;\n"
       "rensures (y<o> >= 0 && y<r> >= 0);\n"
@@ -253,6 +275,7 @@ TEST(RelationalVC, DivergeRuleDropsRelationsButKeepsUnaryPosts) {
 }
 
 TEST(RelationalVC, DivergeRuleCannotConcludeRelations) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_FALSE(proves(
       "int x, y;\n"
       "rensures (y<o> == y<r>);\n"
@@ -264,6 +287,7 @@ TEST(RelationalVC, DivergeRuleCannotConcludeRelations) {
 }
 
 TEST(RelationalVC, DivergeFrameCarriesUnmodifiedRelations) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_TRUE(proves(
       "int x, y, z;\n"
       "requires (z == 4);\n"
@@ -275,6 +299,7 @@ TEST(RelationalVC, DivergeFrameCarriesUnmodifiedRelations) {
 }
 
 TEST(RelationalVC, AutomaticFramePreservesUnmodifiedRelations) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // No explicit frame clause: the automatic semantic frame (P* with the
   // modified variables existentially rebound on both sides) carries the
   // z relation across the divergence by itself.
@@ -298,6 +323,7 @@ TEST(RelationalVC, AutomaticFramePreservesUnmodifiedRelations) {
 }
 
 TEST(RelationalVC, AutomaticFramePreservesArrayLengths) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // FF is modified inside the divergence, but its length is invariant and
   // the auto-frame keeps the length links.
   EXPECT_TRUE(proves(
@@ -311,6 +337,7 @@ TEST(RelationalVC, AutomaticFramePreservesArrayLengths) {
 }
 
 TEST(RelationalVC, DivergeFrameOverModifiedVariableRejected) {
+  RELAXC_SKIP_WITHOUT_Z3();
   ParsedProgram P = parseProgram(
       "int x, y;\n"
       "{ relax (x) st (true);\n"
@@ -327,6 +354,7 @@ TEST(RelationalVC, DivergeFrameOverModifiedVariableRejected) {
 }
 
 TEST(RelationalVC, DivergePreconditionsEntailmentChecked) {
+  RELAXC_SKIP_WITHOUT_Z3();
   JudgmentReport R = relaxedReport(
       "int x, y;\n"
       "{ relax (x) st (true);\n"
@@ -337,6 +365,7 @@ TEST(RelationalVC, DivergePreconditionsEntailmentChecked) {
 }
 
 TEST(RelationalVC, DivergeSubProofsUseIntermediateSemantics) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // Inside the diverged region, the relaxed side must re-prove assumes
   // (|-i), so an unsupported assume fails even though |-o accepts it.
   JudgmentReport R = relaxedReport(
@@ -349,6 +378,7 @@ TEST(RelationalVC, DivergeSubProofsUseIntermediateSemantics) {
 }
 
 TEST(RelationalVC, DivergedWhileWithUnaryInvariants) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // The Swish++ shape in miniature: a loop whose trip count differs. The
   // |-o side proves i <= n from the zero start; the |-i side only knows
   // i >= 0 (the relaxed entry value may already exceed n).
@@ -370,6 +400,7 @@ TEST(RelationalVC, DivergedWhileWithUnaryInvariants) {
 //===----------------------------------------------------------------------===//
 
 TEST(RelationalVC, CasesKeepRelationsAcrossDivergence) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // The LU shape in miniature: |max<o> - max<r>| <= e survives the
   // divergent update. The plain diverge rule cannot prove this.
   EXPECT_TRUE(proves(
@@ -384,6 +415,7 @@ TEST(RelationalVC, CasesKeepRelationsAcrossDivergence) {
 }
 
 TEST(RelationalVC, CasesStillRejectWrongRelations) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_FALSE(proves(
       "int a, max, orig, e;\n"
       "requires (e >= 0);\n"
@@ -396,6 +428,7 @@ TEST(RelationalVC, CasesStillRejectWrongRelations) {
 }
 
 TEST(RelationalVC, CasesHandleElseBranches) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_TRUE(proves(
       "int x, y;\n"
       "rensures (y<o> >= 1 && y<r> >= 1 && y<o> <= 2 && y<r> <= 2);\n"
@@ -406,6 +439,7 @@ TEST(RelationalVC, CasesHandleElseBranches) {
 }
 
 TEST(RelationalVC, CasesRelaxedSideAssertMustHold) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // In a mixed case the relaxed side runs without the original: its assert
   // needs an unconditional proof.
   JudgmentReport R = relaxedReport(
@@ -422,6 +456,7 @@ TEST(RelationalVC, CasesRelaxedSideAssertMustHold) {
 //===----------------------------------------------------------------------===//
 
 TEST(RelationalVC, GeneratesDerivationSteps) {
+  RELAXC_SKIP_WITHOUT_Z3();
   ParsedProgram P = parseProgram(
       "int x; { x = 1; relax (x) st (x > 0); assert x > 0; }");
   ASSERT_TRUE(P.ok());

@@ -5,6 +5,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestUtil.h"
+
 #include "ast/Printer.h"
 #include "solver/BoundedSolver.h"
 #include "solver/CachingSolver.h"
@@ -133,6 +135,11 @@ class SolverBackendTest : public ::testing::TestWithParam<BackendKind> {
 protected:
   AstContext Ctx;
 
+  void SetUp() override {
+    if (GetParam() == BackendKind::Z3 && !relax::test::haveZ3())
+      GTEST_SKIP() << "Z3 backend not built (RELAXC_ENABLE_Z3=OFF)";
+  }
+
   std::unique_ptr<Solver> makeSolver() {
     if (GetParam() == BackendKind::Z3)
       return std::make_unique<Z3Solver>(Ctx.symbols());
@@ -255,6 +262,7 @@ INSTANTIATE_TEST_SUITE_P(Backends, SolverBackendTest,
 //===----------------------------------------------------------------------===//
 
 TEST(Z3Solver, EuclideanDivisionAgreesWithEvaluator) {
+  RELAXC_SKIP_WITHOUT_Z3();
   AstContext Ctx;
   Z3Solver S(Ctx.symbols());
   // For a sample of constants, z3's div must equal euclideanDiv.
@@ -277,6 +285,7 @@ TEST(Z3Solver, EuclideanDivisionAgreesWithEvaluator) {
 }
 
 TEST(Z3Solver, ArrayEqualityIncludesLength) {
+  RELAXC_SKIP_WITHOUT_Z3();
   AstContext Ctx;
   Z3Solver S(Ctx.symbols());
   // A == B && len(A) != len(B) must be unsat.
@@ -290,6 +299,7 @@ TEST(Z3Solver, ArrayEqualityIncludesLength) {
 }
 
 TEST(Z3Solver, StorePreservesLength) {
+  RELAXC_SKIP_WITHOUT_Z3();
   AstContext Ctx;
   Z3Solver S(Ctx.symbols());
   const ArrayExpr *A = Ctx.arrayRef("A");
@@ -301,6 +311,7 @@ TEST(Z3Solver, StorePreservesLength) {
 }
 
 TEST(Z3Solver, NegativeLengthsAreImpossible) {
+  RELAXC_SKIP_WITHOUT_Z3();
   AstContext Ctx;
   Z3Solver S(Ctx.symbols());
   const BoolExpr *F =
@@ -311,6 +322,7 @@ TEST(Z3Solver, NegativeLengthsAreImpossible) {
 }
 
 TEST(Z3Solver, ExistsOverArrayBindsLength) {
+  RELAXC_SKIP_WITHOUT_Z3();
   AstContext Ctx;
   Z3Solver S(Ctx.symbols());
   Symbol B = Ctx.sym("B");
@@ -326,6 +338,7 @@ TEST(Z3Solver, ExistsOverArrayBindsLength) {
 }
 
 TEST(Z3Solver, SmtLibExportRoundTripsThroughZ3Syntax) {
+  RELAXC_SKIP_WITHOUT_Z3();
   AstContext Ctx;
   Z3Solver S(Ctx.symbols());
   const BoolExpr *F = Ctx.andExpr(
@@ -357,6 +370,7 @@ TEST(ModelFormatting, RendersScalarsAndArraysWithTags) {
 //===----------------------------------------------------------------------===//
 
 TEST(CachingSolver, SecondIdenticalQueryHitsCache) {
+  RELAXC_SKIP_WITHOUT_Z3();
   AstContext Ctx;
   Z3Solver Backend(Ctx.symbols());
   CachingSolver S(Backend);
@@ -370,6 +384,7 @@ TEST(CachingSolver, SecondIdenticalQueryHitsCache) {
 }
 
 TEST(CachingSolver, DifferentQueriesMiss) {
+  RELAXC_SKIP_WITHOUT_Z3();
   AstContext Ctx;
   Z3Solver Backend(Ctx.symbols());
   CachingSolver S(Backend);
@@ -377,6 +392,32 @@ TEST(CachingSolver, DifferentQueriesMiss) {
   ASSERT_TRUE(S.checkSat({Ctx.lt(Ctx.var("x"), Ctx.intLit(4))}).ok());
   EXPECT_EQ(S.hitCount(), 0u);
   EXPECT_EQ(Backend.queryCount(), 2u);
+}
+
+TEST(CachingSolver, SwishCacheEffectivenessDoesNotRegress) {
+  RELAXC_SKIP_WITHOUT_Z3();
+  RELAXC_SLURP_EXAMPLE_OR_SKIP(Source, "swish.rlx");
+  // Regression pin for the cache on a real workload: swish's diverge rule
+  // re-proves the presentation loop under |-o and |-i, and with no
+  // iinvariant both sub-proofs generate several formula-identical
+  // obligations (entry, variant-bound, consequence), so a full
+  // verification must see repeated hits, and every obligation must issue
+  // exactly one query through the cache (hits + backend queries == VCs).
+  // Recorded bounds from BM_Solver_Z3_CacheOnSwish
+  // (BENCH_solver_ablation.json): 26 VCs, 5 hits, 21 backend queries.
+  relax::test::ParsedProgram P = relax::test::parseProgram(Source);
+  ASSERT_TRUE(P.ok()) << P.diagnostics();
+  Z3Solver Backend(P.Ctx->symbols());
+  CachingSolver S(Backend);
+  DiagnosticEngine Diags;
+  Verifier V(*P.Ctx, *P.Prog, S, Diags);
+  VerifyReport R = V.run();
+  ASSERT_TRUE(R.verified()) << renderReport(R, P.Ctx->symbols());
+  EXPECT_EQ(S.hitCount() + Backend.queryCount(), R.totalVCs())
+      << "every obligation issues exactly one query through the cache";
+  EXPECT_GE(S.hitCount(), 3u) << "the repeated sub-proof obligations must hit";
+  EXPECT_LE(Backend.queryCount(), R.totalVCs() - 3)
+      << "cache effectiveness regressed below the recorded bound";
 }
 
 //===----------------------------------------------------------------------===//
@@ -390,6 +431,7 @@ class BackendAgreement : public ::testing::TestWithParam<uint64_t> {};
 } // namespace
 
 TEST_P(BackendAgreement, RandomQuantifierFreeFormulas) {
+  RELAXC_SKIP_WITHOUT_Z3();
   AstContext Ctx;
   Z3Solver Z3(Ctx.symbols());
   BoundedSolver Bounded;

@@ -49,6 +49,7 @@ TEST(Termination, TaggedVariantRejectedBySema) {
 }
 
 TEST(Termination, CountingLoopTerminates) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_TRUE(proves(
       "int i, n; requires (i == 0 && n >= 0);\n"
       "{ while (i < n)\n"
@@ -59,6 +60,7 @@ TEST(Termination, CountingLoopTerminates) {
 }
 
 TEST(Termination, NonDecreasingVariantRejected) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_FALSE(proves(
       "int i, n; requires (i == 0 && n >= 0);\n"
       "{ while (i < n)\n"
@@ -69,6 +71,7 @@ TEST(Termination, NonDecreasingVariantRejected) {
 }
 
 TEST(Termination, UnboundedVariantRejected) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // The variant decreases but is not bounded below: n - i can start
   // negative because nothing constrains i <= n here.
   EXPECT_FALSE(proves(
@@ -81,6 +84,7 @@ TEST(Termination, UnboundedVariantRejected) {
 }
 
 TEST(Termination, VariantFailureNamesTheRule) {
+  RELAXC_SKIP_WITHOUT_Z3();
   VerifyReport R = verifySource(
       "int i, n; requires (i == 0 && n >= 0);\n"
       "{ while (i < n)\n"
@@ -98,6 +102,7 @@ TEST(Termination, VariantFailureNamesTheRule) {
 }
 
 TEST(Termination, VariantOverRelaxedKnobUsesIntermediateInvariant) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // The stride knob is relaxed but stays >= 1, so n - i still decreases in
   // the relaxed executions: the |-i judgment needs the iinvariant to know
   // stride >= 1 inside the diverged loop.
@@ -117,6 +122,7 @@ TEST(Termination, VariantOverRelaxedKnobUsesIntermediateInvariant) {
 }
 
 TEST(Termination, RelativeTerminationOnConvergentLoop) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // The relaxed body drifts the accumulator but not the counter: the loop
   // is convergent and the original-side variant carries both executions.
   EXPECT_TRUE(proves(
@@ -131,14 +137,13 @@ TEST(Termination, RelativeTerminationOnConvergentLoop) {
 }
 
 TEST(Termination, CaseStudiesCarryVariants) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // The shipped case studies all carry decreases clauses, so their
   // verification includes termination (and relative termination through
   // the diverge sub-proofs). Removing a variant's VCs must shrink the VC
   // count.
   for (const char *Name : {"swish.rlx", "water.rlx", "lu.rlx"}) {
-    SourceManager SM;
-    ASSERT_TRUE(SM.loadFile(examplePath(Name)).ok());
-    std::string Source(SM.buffer());
+    RELAXC_SLURP_EXAMPLE_OR_SKIP(Source, Name);
     EXPECT_NE(Source.find("decreases ("), std::string::npos) << Name;
     VerifyReport WithVariant = verifySource(Source);
     EXPECT_TRUE(WithVariant.verified()) << Name;

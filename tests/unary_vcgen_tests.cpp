@@ -76,11 +76,13 @@ bool provesI(const std::string &Source) {
 //===----------------------------------------------------------------------===//
 
 TEST(OriginalVC, SkipAndConsequence) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_TRUE(provesO("int x; requires (x > 0); ensures (x > 0); { skip; }"));
   EXPECT_FALSE(provesO("int x; requires (x > 0); ensures (x > 1); { skip; }"));
 }
 
 TEST(OriginalVC, AssignStrongestPost) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_TRUE(provesO(
       "int x; requires (x == 2); ensures (x == 5); { x = x + 3; }"));
   EXPECT_FALSE(provesO(
@@ -88,33 +90,39 @@ TEST(OriginalVC, AssignStrongestPost) {
 }
 
 TEST(OriginalVC, SelfReferencingAssignment) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // x = x * x needs the renamed-old-value treatment to be right.
   EXPECT_TRUE(provesO(
       "int x; requires (x == 3); ensures (x == 9); { x = x * x; }"));
 }
 
 TEST(OriginalVC, SequenceComposes) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_TRUE(provesO("int x, y; requires (x == 1); ensures (y == 4); "
                       "{ x = x + 1; y = x * 2; }"));
 }
 
 TEST(OriginalVC, AssertRequiresProof) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_TRUE(provesO("int x; requires (x > 3); { assert x > 1; }"));
   EXPECT_FALSE(provesO("int x; requires (x > 0); { assert x > 1; }"));
 }
 
 TEST(OriginalVC, AssertStrengthensPost) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // After `assert e`, e is available downstream.
   EXPECT_TRUE(provesO("int x; requires (x > 3); ensures (x > 1); "
                       "{ assert x > 2; }"));
 }
 
 TEST(OriginalVC, AssumeIsFreeAndStrengthens) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // No obligation even for an unprovable predicate; it lands in the post.
   EXPECT_TRUE(provesO("int x; ensures (x == 77); { assume x == 77; }"));
 }
 
 TEST(OriginalVC, HavocForgetsAndConstrains) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_TRUE(provesO("int x; requires (x == 1); ensures (x > 5); "
                       "{ havoc (x) st (x > 5); }"));
   EXPECT_FALSE(provesO("int x; requires (x == 1); ensures (x == 1); "
@@ -123,11 +131,13 @@ TEST(OriginalVC, HavocForgetsAndConstrains) {
 }
 
 TEST(OriginalVC, HavocPreservesFrameFacts) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_TRUE(provesO("int x, y; requires (y == 3); ensures (y == 3); "
                       "{ havoc (x) st (x > 0); }"));
 }
 
 TEST(OriginalVC, HavocSatisfiabilityPremise) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_FALSE(provesO("int x; { havoc (x) st (x > 0 && x < 0); }"))
       << "Figure 7 havoc premise: the predicate must be satisfiable";
   // Satisfiability may depend on frame variables pinned by the pre.
@@ -136,6 +146,7 @@ TEST(OriginalVC, HavocSatisfiabilityPremise) {
 }
 
 TEST(OriginalVC, RelaxIsAssertUnderOriginal) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_TRUE(provesO("int x; requires (x > 0); ensures (x > 0); "
                       "{ relax (x) st (x > 0); }"));
   EXPECT_FALSE(provesO("int x; { relax (x) st (x > 0); }"))
@@ -143,12 +154,14 @@ TEST(OriginalVC, RelaxIsAssertUnderOriginal) {
 }
 
 TEST(OriginalVC, RelaxDoesNotForgetUnderOriginal) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // Unlike havoc: in |-o the value survives.
   EXPECT_TRUE(provesO("int x; requires (x == 7); ensures (x == 7); "
                       "{ relax (x) st (x > 0); }"));
 }
 
 TEST(OriginalVC, IfJoinsBranches) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_TRUE(provesO(
       "int x, y; { if (x > 0) { y = 1; } else { y = 2; } assert y >= 1; }"));
   EXPECT_FALSE(provesO(
@@ -156,17 +169,20 @@ TEST(OriginalVC, IfJoinsBranches) {
 }
 
 TEST(OriginalVC, BranchConditionIsAvailableInBranch) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_TRUE(provesO(
       "int x; { if (x > 3) { assert x > 2; } else { assert x <= 3; } }"));
 }
 
 TEST(OriginalVC, WhileEntryObligation) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_FALSE(provesO("int i, n; requires (i == 5 && n == 3); "
                        "{ while (i < n) invariant (i <= n) { i = i + 1; } }"))
       << "invariant must hold on entry";
 }
 
 TEST(OriginalVC, WhilePreservationObligation) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_FALSE(provesO("int i, n; requires (i == 0 && n > 0); "
                        "{ while (i < n) invariant (i <= n) { i = i + 2; } }"))
       << "i = i + 2 can overshoot the invariant";
@@ -175,12 +191,14 @@ TEST(OriginalVC, WhilePreservationObligation) {
 }
 
 TEST(OriginalVC, WhileExitKnowledge) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_TRUE(provesO(
       "int i, n; requires (i == 0 && n >= 0); ensures (i == n); "
       "{ while (i < n) invariant (i <= n) { i = i + 1; } }"));
 }
 
 TEST(OriginalVC, RelateIsSkipUnderUnaryJudgments) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_TRUE(provesO("int x; requires (x == 1); ensures (x == 1); "
                       "{ relate l : x<o> == x<r>; }"));
 }
@@ -190,6 +208,7 @@ TEST(OriginalVC, RelateIsSkipUnderUnaryJudgments) {
 //===----------------------------------------------------------------------===//
 
 TEST(SafetyVC, DivisionNeedsNonzeroDivisor) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_FALSE(provesO("int x, y; { x = 1 / y; }"));
   EXPECT_TRUE(provesO("int x, y; requires (y > 0); { x = 1 / y; }"));
   // With safety checking off, the paper's trap-free fragment accepts it.
@@ -199,21 +218,25 @@ TEST(SafetyVC, DivisionNeedsNonzeroDivisor) {
 }
 
 TEST(SafetyVC, ArrayReadNeedsBounds) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_FALSE(provesO("array A; int x, i; { x = A[i]; }"));
   EXPECT_TRUE(provesO(
       "array A; int x, i; requires (0 <= i && i < len(A)); { x = A[i]; }"));
 }
 
 TEST(SafetyVC, ArrayStoreNeedsBounds) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_FALSE(provesO("array A; { A[3] = 1; }"));
   EXPECT_TRUE(provesO("array A; requires (len(A) > 3); { A[3] = 1; }"));
 }
 
 TEST(SafetyVC, ConditionSafetyChecked) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_FALSE(provesO("int x, y; { if (1 / y > 0) { x = 1; } }"));
 }
 
 TEST(SafetyVC, SafetyConditionBuilder) {
+  RELAXC_SKIP_WITHOUT_Z3();
   AstContext Ctx;
   Printer P(Ctx.symbols());
   // No traps -> true.
@@ -234,6 +257,7 @@ TEST(SafetyVC, SafetyConditionBuilder) {
 //===----------------------------------------------------------------------===//
 
 TEST(IntermediateVC, RelaxBehavesAsHavoc) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // Under |-i the relax forgets x, so ensures (x == 7) must fail...
   EXPECT_FALSE(provesI("int x; requires (x == 7); ensures (x == 7); "
                        "{ relax (x) st (x > 0); }"));
@@ -243,10 +267,12 @@ TEST(IntermediateVC, RelaxBehavesAsHavoc) {
 }
 
 TEST(IntermediateVC, RelaxSatisfiabilityPremise) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_FALSE(provesI("int x; { relax (x) st (x > 0 && x < 0); }"));
 }
 
 TEST(IntermediateVC, AssumeCarriesObligation) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // Lemma 4: the relaxed execution must not violate assumptions either.
   EXPECT_FALSE(provesI("int x; ensures (x == 77); { assume x == 77; }"))
       << "|-i requires proof of assume predicates";
@@ -255,6 +281,7 @@ TEST(IntermediateVC, AssumeCarriesObligation) {
 }
 
 TEST(IntermediateVC, IntermediateInvariantPreferred) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // The loop invariant that works for |-o (x stays 0) fails under |-i
   // (relax may change x); the iinvariant covers the relaxed executions.
   std::string Source =
@@ -279,12 +306,14 @@ TEST(IntermediateVC, IntermediateInvariantPreferred) {
 }
 
 TEST(IntermediateVC, HavocSameInBothJudgments) {
+  RELAXC_SKIP_WITHOUT_Z3();
   std::string Source = "int x; ensures (x > 5); { havoc (x) st (x > 5); }";
   EXPECT_TRUE(provesO(Source));
   EXPECT_TRUE(provesI(Source));
 }
 
 TEST(IntermediateVC, AssertSameAsOriginal) {
+  RELAXC_SKIP_WITHOUT_Z3();
   EXPECT_TRUE(provesI("int x; requires (x > 3); { assert x > 1; }"));
   EXPECT_FALSE(provesI("int x; { assert x > 1; }"));
 }

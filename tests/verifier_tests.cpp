@@ -18,12 +18,6 @@ using namespace relax::test;
 
 namespace {
 
-std::string slurp(const std::string &Path) {
-  SourceManager SM;
-  EXPECT_TRUE(SM.loadFile(Path).ok()) << Path;
-  return std::string(SM.buffer());
-}
-
 /// Applies a textual mutation and expects verification to fail.
 void expectMutationFails(const std::string &Source, const std::string &From,
                          const std::string &To) {
@@ -43,7 +37,9 @@ void expectMutationFails(const std::string &Source, const std::string &From,
 //===----------------------------------------------------------------------===//
 
 TEST(Examples, SwishVerifies) {
-  VerifyReport R = verifySource(slurp(examplePath("swish.rlx")));
+  RELAXC_SKIP_WITHOUT_Z3();
+  RELAXC_SLURP_EXAMPLE_OR_SKIP(Source, "swish.rlx");
+  VerifyReport R = verifySource(Source);
   EXPECT_TRUE(R.verified());
   EXPECT_TRUE(R.Original.allProved());
   EXPECT_TRUE(R.Relaxed.allProved());
@@ -51,28 +47,38 @@ TEST(Examples, SwishVerifies) {
 }
 
 TEST(Examples, WaterVerifies) {
-  VerifyReport R = verifySource(slurp(examplePath("water.rlx")));
+  RELAXC_SKIP_WITHOUT_Z3();
+  RELAXC_SLURP_EXAMPLE_OR_SKIP(Source, "water.rlx");
+  VerifyReport R = verifySource(Source);
   EXPECT_TRUE(R.verified());
 }
 
 TEST(Examples, LuVerifies) {
-  VerifyReport R = verifySource(slurp(examplePath("lu.rlx")));
+  RELAXC_SKIP_WITHOUT_Z3();
+  RELAXC_SLURP_EXAMPLE_OR_SKIP(Source, "lu.rlx");
+  VerifyReport R = verifySource(Source);
   EXPECT_TRUE(R.verified());
 }
 
 TEST(Examples, TaskSkipVerifies) {
-  VerifyReport R = verifySource(slurp(examplePath("task_skip.rlx")));
+  RELAXC_SKIP_WITHOUT_Z3();
+  RELAXC_SLURP_EXAMPLE_OR_SKIP(Source, "task_skip.rlx");
+  VerifyReport R = verifySource(Source);
   EXPECT_TRUE(R.verified());
 }
 
 TEST(Examples, SamplingVerifies) {
-  VerifyReport R = verifySource(slurp(examplePath("sampling.rlx")));
+  RELAXC_SKIP_WITHOUT_Z3();
+  RELAXC_SLURP_EXAMPLE_OR_SKIP(Source, "sampling.rlx");
+  VerifyReport R = verifySource(Source);
   EXPECT_TRUE(R.verified());
 }
 
 TEST(Examples, MemoizeVerifies) {
+  RELAXC_SKIP_WITHOUT_Z3();
   // Nonlinear arithmetic (x * x): the slowest of the example proofs.
-  VerifyReport R = verifySource(slurp(examplePath("memoize.rlx")));
+  RELAXC_SLURP_EXAMPLE_OR_SKIP(Source, "memoize.rlx");
+  VerifyReport R = verifySource(Source);
   EXPECT_TRUE(R.verified());
 }
 
@@ -81,43 +87,49 @@ TEST(Examples, MemoizeVerifies) {
 //===----------------------------------------------------------------------===//
 
 TEST(ExamplesMutated, SwishWeakenedRelaxationFails) {
+  RELAXC_SKIP_WITHOUT_Z3();
+  RELAXC_SLURP_EXAMPLE_OR_SKIP(Source, "swish.rlx");
   // Allowing the threshold to drop below 10 breaks the acceptability
   // property (this is the annotation bug the verifier caught during
   // development of this repository).
-  expectMutationFails(slurp(examplePath("swish.rlx")), "10 <= max_r));",
-                      "9 <= max_r));");
+  expectMutationFails(Source, "10 <= max_r));", "9 <= max_r));");
 }
 
 TEST(ExamplesMutated, SwishStrongerRelateFails) {
-  expectMutationFails(slurp(examplePath("swish.rlx")),
-                      "10 <= num_r<o> && 10 <= num_r<r>",
+  RELAXC_SKIP_WITHOUT_Z3();
+  RELAXC_SLURP_EXAMPLE_OR_SKIP(Source, "swish.rlx");
+  expectMutationFails(Source, "10 <= num_r<o> && 10 <= num_r<r>",
                       "10 <= num_r<o> && 11 <= num_r<r>");
 }
 
 TEST(ExamplesMutated, WaterWithoutAssumeFails) {
+  RELAXC_SKIP_WITHOUT_Z3();
+  RELAXC_SLURP_EXAMPLE_OR_SKIP(Source, "water.rlx");
   // Dropping the lockstep assume removes the bridge that lets the bound
   // transfer into the divergent branch.
-  expectMutationFails(slurp(examplePath("water.rlx")),
-                      "assume (K < len_FF);\n    if", "skip;\n    if");
+  expectMutationFails(Source, "assume (K < len_FF);\n    if",
+                      "skip;\n    if");
 }
 
 TEST(ExamplesMutated, WaterWeakerRequiresFails) {
-  expectMutationFails(slurp(examplePath("water.rlx")),
-                      "requires (N >= 0 && N <= len(RS)",
+  RELAXC_SKIP_WITHOUT_Z3();
+  RELAXC_SLURP_EXAMPLE_OR_SKIP(Source, "water.rlx");
+  expectMutationFails(Source, "requires (N >= 0 && N <= len(RS)",
                       "requires (N >= 0 && N - 1 <= len(RS)");
 }
 
 TEST(ExamplesMutated, LuTighterRelateFails) {
-  expectMutationFails(
-      slurp(examplePath("lu.rlx")),
-      "relate lipschitz : max<o> - max<r> <= e<o>",
-      "relate lipschitz : max<o> - max<r> <= e<o> - 1");
+  RELAXC_SKIP_WITHOUT_Z3();
+  RELAXC_SLURP_EXAMPLE_OR_SKIP(Source, "lu.rlx");
+  expectMutationFails(Source, "relate lipschitz : max<o> - max<r> <= e<o>",
+                      "relate lipschitz : max<o> - max<r> <= e<o> - 1");
 }
 
 TEST(ExamplesMutated, LuWiderRelaxationFails) {
+  RELAXC_SKIP_WITHOUT_Z3();
+  RELAXC_SLURP_EXAMPLE_OR_SKIP(Source, "lu.rlx");
   expectMutationFails(
-      slurp(examplePath("lu.rlx")),
-      "relax (a) st (original_a - e <= a && a <= original_a + e)",
+      Source, "relax (a) st (original_a - e <= a && a <= original_a + e)",
       "relax (a) st (original_a - 2 * e <= a && a <= original_a + 2 * e)");
 }
 
@@ -126,6 +138,7 @@ TEST(ExamplesMutated, LuWiderRelaxationFails) {
 //===----------------------------------------------------------------------===//
 
 TEST(Report, RenderNamesJudgmentsAndVerdict) {
+  RELAXC_SKIP_WITHOUT_Z3();
   VerifyReport R = verifySource("int x; requires (x > 0); "
                                 "{ assert x > 0; }");
   ParsedProgram P = parseProgram("int x; { skip; }");
@@ -136,6 +149,7 @@ TEST(Report, RenderNamesJudgmentsAndVerdict) {
 }
 
 TEST(Report, FailedVCsIncludeRuleAndFormula) {
+  RELAXC_SKIP_WITHOUT_Z3();
   ParsedProgram P = parseProgram("int x; { assert x > 0; }");
   ASSERT_TRUE(P.ok());
   Z3Solver Backend(P.Ctx->symbols());
@@ -149,6 +163,7 @@ TEST(Report, FailedVCsIncludeRuleAndFormula) {
 }
 
 TEST(Report, VerboseListsEverything) {
+  RELAXC_SKIP_WITHOUT_Z3();
   VerifyReport R = verifySource("int x; requires (x > 0); "
                                 "{ assert x > 0; }");
   ParsedProgram P = parseProgram("int x; { skip; }");
@@ -158,6 +173,7 @@ TEST(Report, VerboseListsEverything) {
 }
 
 TEST(Report, TimingIsPopulated) {
+  RELAXC_SKIP_WITHOUT_Z3();
   VerifyReport R = verifySource("int x; { x = 1; assert x == 1; }");
   EXPECT_GT(R.Original.TotalMillis, 0.0);
   EXPECT_GT(R.Relaxed.TotalMillis, 0.0);
@@ -168,6 +184,7 @@ TEST(Report, TimingIsPopulated) {
 //===----------------------------------------------------------------------===//
 
 TEST(VerifierOptions, OriginalOnlySkipsRelaxedPass) {
+  RELAXC_SKIP_WITHOUT_Z3();
   ParsedProgram P = parseProgram(
       "int x; requires (x == 0); { relax (x) st (true); assert x == 0; }");
   ASSERT_TRUE(P.ok());
