@@ -23,10 +23,40 @@
 #include "support/PtrMap.h"
 
 #include <initializer_list>
+#include <memory>
+#include <mutex>
 #include <string_view>
 #include <vector>
 
 namespace relax {
+
+class FormulaProgram;
+
+/// Identity-keyed memo of compiled formula evaluation programs (see
+/// solver/FormulaProgram.h), owned by the AstContext like the simplify and
+/// free-variable tables so one formula compiles once per context. Unlike
+/// those tables this one is mutex-guarded: the parallel VC discharger hands
+/// each worker its own bounded solver, and the workers compile their query
+/// programs lazily at discharge time — after node construction has
+/// finished, but concurrently with each other. Compilation only *reads*
+/// hash-consed nodes, so guarding the memo itself is sufficient.
+class FormulaProgramCache {
+public:
+  std::shared_ptr<const FormulaProgram> lookup(const BoolExpr *B) const {
+    std::lock_guard<std::mutex> Lock(M);
+    const std::shared_ptr<const FormulaProgram> *P = Map.find(B);
+    return P ? *P : nullptr;
+  }
+
+  void insert(const BoolExpr *B, std::shared_ptr<const FormulaProgram> P) {
+    std::lock_guard<std::mutex> Lock(M);
+    Map.insert(B, std::move(P));
+  }
+
+private:
+  mutable std::mutex M;
+  PtrMap<BoolExpr, std::shared_ptr<const FormulaProgram>> Map;
+};
 
 /// Owns AST nodes and interned symbols; provides node factories.
 ///
@@ -231,6 +261,7 @@ public:
   PtrMap<BoolExpr, SharedVarList> &freeVarsCacheBool() {
     return FreeVarsBoolCache;
   }
+  FormulaProgramCache &formulaProgramCache() { return FormulaProgCache; }
 
 private:
   Arena Mem;
@@ -252,6 +283,7 @@ private:
   PtrMap<Expr, SharedVarList> FreeVarsExprCache;
   PtrMap<ArrayExpr, SharedVarList> FreeVarsArrayCache;
   PtrMap<BoolExpr, SharedVarList> FreeVarsBoolCache;
+  FormulaProgramCache FormulaProgCache;
 
   /// Returns the node in \p Table matching (\p H, \p Matches), or
   /// constructs one with \p Make, stamps its hash, and interns it.

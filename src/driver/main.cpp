@@ -43,6 +43,7 @@ struct CliOptions {
   uint64_t Seed = 1;
   unsigned Runs = 16;
   unsigned Jobs = 1;
+  unsigned SolverJobs = 1;
   size_t ArrayLen = 8;
   bool Verbose = false;
   bool NoSafety = false;
@@ -66,6 +67,8 @@ void printUsage() {
       "  --array-len=<n>           initial array length (default 8)\n"
       "  --jobs=<n>                parallel VC discharge workers for "
       "`verify` (default 1)\n"
+      "  --solver-jobs=<n>         parallel search workers inside the "
+      "bounded backend (default 1)\n"
       "  --no-safety               skip division/bounds trap obligations\n"
       "  --original-only           verify only the |-o judgment\n"
       "  --smtlib                  dump-vcs: emit SMT-LIB 2 scripts\n"
@@ -83,9 +86,16 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       size_t N = std::strlen(Prefix);
       return A.compare(0, N, Prefix) == 0 ? A.c_str() + N : nullptr;
     };
-    if (const char *V = Value("--solver="))
+    if (const char *V = Value("--solver=")) {
+      if (!isKnownSolverName(V)) {
+        std::fprintf(stderr,
+                     "relaxc: error: unknown solver '%s' for --solver= "
+                     "(valid choices: %s)\n",
+                     V, knownSolverNamesForDiagnostics().c_str());
+        return false;
+      }
       Opts.SolverName = V;
-    else if (const char *V = Value("--oracle="))
+    } else if (const char *V = Value("--oracle="))
       Opts.OracleName = V;
     else if (const char *V = Value("--semantics="))
       Opts.Semantics = V;
@@ -97,6 +107,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.ArrayLen = static_cast<size_t>(std::strtoul(V, nullptr, 10));
     else if (const char *V = Value("--jobs="))
       Opts.Jobs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    else if (const char *V = Value("--solver-jobs="))
+      Opts.SolverJobs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
     else if (A == "--verbose")
       Opts.Verbose = true;
     else if (A == "--no-safety")
@@ -114,8 +126,11 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
 }
 
 std::unique_ptr<Solver> makeSolver(const CliOptions &Opts, AstContext &Ctx) {
-  if (Opts.SolverName == "bounded")
-    return std::make_unique<BoundedSolver>();
+  if (Opts.SolverName == "bounded") {
+    BoundedSolverOptions BO;
+    BO.Jobs = Opts.SolverJobs == 0 ? 1 : Opts.SolverJobs;
+    return std::make_unique<BoundedSolver>(BO, &Ctx);
+  }
   return std::make_unique<Z3Solver>(Ctx.symbols());
 }
 

@@ -83,11 +83,11 @@ EvalResult<int64_t> relax::evalDynExpr(const Expr *E, const State &S) {
       return Rr;
     switch (B->op()) {
     case BinaryOp::Add:
-      return R::ok(L.Val + Rr.Val);
+      return R::ok(wrapAdd(L.Val, Rr.Val));
     case BinaryOp::Sub:
-      return R::ok(L.Val - Rr.Val);
+      return R::ok(wrapSub(L.Val, Rr.Val));
     case BinaryOp::Mul:
-      return R::ok(L.Val * Rr.Val);
+      return R::ok(wrapMul(L.Val, Rr.Val));
     case BinaryOp::Div:
       if (Rr.Val == 0)
         return R::trap(E->loc(), "division by zero");

@@ -32,14 +32,24 @@ std::optional<bool> litValue(const BoolExpr *B) {
 
 /// Folds `L op R` when safe. Division/modulo by zero stays unfolded: the
 /// evaluator traps it as `wr`, so folding would change program behavior.
+/// Overflowing add/sub/mul stay unfolded too: the logic's integers are
+/// unbounded, so folding with int64 wrap would hand the Z3 backend a
+/// different formula than the unfolded translation.
 std::optional<int64_t> foldBinary(BinaryOp Op, int64_t L, int64_t R) {
+  int64_t Out;
   switch (Op) {
   case BinaryOp::Add:
-    return L + R;
+    if (__builtin_add_overflow(L, R, &Out))
+      return std::nullopt;
+    return Out;
   case BinaryOp::Sub:
-    return L - R;
+    if (__builtin_sub_overflow(L, R, &Out))
+      return std::nullopt;
+    return Out;
   case BinaryOp::Mul:
-    return L * R;
+    if (__builtin_mul_overflow(L, R, &Out))
+      return std::nullopt;
+    return Out;
   case BinaryOp::Div:
     if (R == 0)
       return std::nullopt;

@@ -1,4 +1,4 @@
-//===- BoundedSolver.cpp - Exhaustive small-domain backend --------------------===//
+//===- BoundedSolver.cpp - Propagating small-domain backend -------------------===//
 //
 // Part of the relaxc project: a verifier for relaxed nondeterministic
 // approximate programs (Carbin et al., PLDI 2012).
@@ -7,20 +7,434 @@
 
 #include "solver/BoundedSolver.h"
 
-#include <cassert>
+#include "solver/FormulaProgram.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <map>
+#include <thread>
 
 using namespace relax;
 
 namespace {
 
-/// Odometer over the assignment space: scalars range over [IntLo, IntHi];
-/// arrays range over lengths 0..MaxArrayLen with elements in
-/// [ArrayElemLo, ArrayElemHi].
+//===----------------------------------------------------------------------===//
+// Domains
+//===----------------------------------------------------------------------===//
+
+/// The bounded array domain (shared with the quantifier evaluators; see
+/// ArrayDomain in FormulaEval.h — one definition of the order).
+ArrayDomain arrayDomain(const BoundedSolverOptions &Opts) {
+  return ArrayDomain(Opts.MaxArrayLen, Opts.ArrayElemLo, Opts.ArrayElemHi);
+}
+
+/// Number of values in one variable's bounded domain.
+uint64_t domainSize(const VarRef &V, const BoundedSolverOptions &Opts) {
+  if (V.Kind == VarKind::Int)
+    return Opts.IntHi >= Opts.IntLo
+               ? static_cast<uint64_t>(Opts.IntHi - Opts.IntLo) + 1
+               : 0;
+  return arrayDomain(Opts).size();
+}
+
+//===----------------------------------------------------------------------===//
+// Conjunct splitting
+//===----------------------------------------------------------------------===//
+
+/// A conjunct is a (formula, negated) pair — negation is tracked as a flag
+/// so ¬(P → Q), ¬(P ∨ Q), and ¬¬P split without building AST nodes (the
+/// factories are not thread-safe, and solver queries may run on discharge
+/// workers).
+struct ConjunctRef {
+  const BoolExpr *F;
+  bool Negated;
+};
+
+/// Splits \p F (under \p Negated) into conjuncts; sets \p False when a
+/// constant-false conjunct appears.
+void splitConjuncts(const BoolExpr *F, bool Negated,
+                    std::vector<ConjunctRef> &Out, bool &False) {
+  switch (F->kind()) {
+  case BoolExpr::Kind::BoolLit:
+    if (cast<BoolLitExpr>(F)->value() == Negated)
+      False = true;
+    return; // constant-true conjuncts fold away
+  case BoolExpr::Kind::Not:
+    splitConjuncts(cast<NotExpr>(F)->sub(), !Negated, Out, False);
+    return;
+  case BoolExpr::Kind::Logical: {
+    const auto *L = cast<LogicalExpr>(F);
+    if (L->op() == LogicalOp::And && !Negated) {
+      splitConjuncts(L->lhs(), false, Out, False);
+      splitConjuncts(L->rhs(), false, Out, False);
+      return;
+    }
+    if (L->op() == LogicalOp::Or && Negated) {
+      splitConjuncts(L->lhs(), true, Out, False);
+      splitConjuncts(L->rhs(), true, Out, False);
+      return;
+    }
+    if (L->op() == LogicalOp::Implies && Negated) {
+      splitConjuncts(L->lhs(), false, Out, False);
+      splitConjuncts(L->rhs(), true, Out, False);
+      return;
+    }
+    break;
+  }
+  default:
+    break;
+  }
+  Out.push_back(ConjunctRef{F, Negated});
+}
+
+//===----------------------------------------------------------------------===//
+// Search plan
+//===----------------------------------------------------------------------===//
+
+/// One compiled conjunct with its support resolved to variable-order
+/// positions.
+struct PlannedConjunct {
+  const BoolExpr *F = nullptr;
+  bool Negated = false;
+  std::shared_ptr<const FormulaProgram> Prog;
+  std::vector<uint32_t> IntArgPos; ///< order position per program int input
+  std::vector<uint32_t> ArrArgPos; ///< order position per array input
+};
+
+/// Everything the search needs, built once per query on the calling
+/// thread. Immutable during the (possibly parallel) search.
+struct SearchPlan {
+  std::vector<PlannedConjunct> Conjuncts;
+  std::vector<VarRef> Order;
+  /// Conjunct indices to check after assigning the variable at each order
+  /// position (each conjunct appears exactly once, at the position of its
+  /// last support variable).
+  std::vector<std::vector<uint32_t>> ChecksAt;
+  /// Conjuncts with no free variables, checked once before the search.
+  std::vector<uint32_t> RootChecks;
+  bool TriviallyFalse = false;
+};
+
+SearchPlan buildPlan(const std::vector<const BoolExpr *> &Formulas,
+                     const VarRefSet &ExtraVars, AstContext *Ctx) {
+  SearchPlan Plan;
+
+  std::vector<ConjunctRef> Refs;
+  for (const BoolExpr *F : Formulas)
+    splitConjuncts(F, /*Negated=*/false, Refs, Plan.TriviallyFalse);
+  if (Plan.TriviallyFalse)
+    return Plan;
+
+  // Dedupe pointer-identical conjuncts (hash-consing makes structural
+  // duplicates pointer-identical), keeping first-occurrence order.
+  std::vector<ConjunctRef> Unique;
+  for (const ConjunctRef &R : Refs) {
+    bool Seen = false;
+    for (const ConjunctRef &U : Unique)
+      if (U.F == R.F && U.Negated == R.Negated) {
+        Seen = true;
+        break;
+      }
+    if (!Seen)
+      Unique.push_back(R);
+  }
+
+  FormulaProgramCache *Cache = Ctx ? &Ctx->formulaProgramCache() : nullptr;
+  for (const ConjunctRef &R : Unique) {
+    PlannedConjunct C;
+    C.F = R.F;
+    C.Negated = R.Negated;
+    C.Prog = FormulaProgram::compile(R.F, Cache);
+    Plan.Conjuncts.push_back(std::move(C));
+  }
+
+  // Variable order: conjuncts sorted by support size (stable, so equal
+  // sizes keep query order) contribute their variables first — small
+  // conjuncts become checkable after few assignments, which is where the
+  // prefix pruning comes from. Extra (unconstrained) variables go last:
+  // the search only reaches them once every conjunct already passed.
+  std::vector<uint32_t> BySupport(Plan.Conjuncts.size());
+  for (uint32_t I = 0; I != BySupport.size(); ++I)
+    BySupport[I] = I;
+  std::stable_sort(BySupport.begin(), BySupport.end(),
+                   [&](uint32_t A, uint32_t B) {
+                     const PlannedConjunct &CA = Plan.Conjuncts[A];
+                     const PlannedConjunct &CB = Plan.Conjuncts[B];
+                     size_t SA = CA.Prog->intInputs().size() +
+                                 CA.Prog->arrayInputs().size();
+                     size_t SB = CB.Prog->intInputs().size() +
+                                 CB.Prog->arrayInputs().size();
+                     return SA < SB;
+                   });
+
+  std::map<VarRef, uint32_t> Pos;
+  auto Place = [&](const VarRef &V) {
+    if (Pos.count(V))
+      return;
+    Pos[V] = static_cast<uint32_t>(Plan.Order.size());
+    Plan.Order.push_back(V);
+  };
+  for (uint32_t CI : BySupport) {
+    for (const VarRef &V : Plan.Conjuncts[CI].Prog->intInputs())
+      Place(V);
+    for (const VarRef &V : Plan.Conjuncts[CI].Prog->arrayInputs())
+      Place(V);
+  }
+  for (const VarRef &V : ExtraVars)
+    Place(V);
+
+  // Resolve conjunct arguments and attach each conjunct to the depth of
+  // its last support variable.
+  Plan.ChecksAt.assign(Plan.Order.size(), {});
+  for (uint32_t CI = 0; CI != Plan.Conjuncts.size(); ++CI) {
+    PlannedConjunct &C = Plan.Conjuncts[CI];
+    uint32_t Depth = 0;
+    bool HasVars = false;
+    for (const VarRef &V : C.Prog->intInputs()) {
+      uint32_t P = Pos.at(V);
+      C.IntArgPos.push_back(P);
+      Depth = std::max(Depth, P);
+      HasVars = true;
+    }
+    for (const VarRef &V : C.Prog->arrayInputs()) {
+      uint32_t P = Pos.at(V);
+      C.ArrArgPos.push_back(P);
+      Depth = std::max(Depth, P);
+      HasVars = true;
+    }
+    if (HasVars)
+      Plan.ChecksAt[Depth].push_back(CI);
+    else
+      Plan.RootChecks.push_back(CI);
+  }
+  return Plan;
+}
+
+//===----------------------------------------------------------------------===//
+// Search worker
+//===----------------------------------------------------------------------===//
+
+/// Per-thread search state: one executor and input scratch per conjunct,
+/// plus the value of every order position. The plan is shared read-only.
+class SearchWorker {
+public:
+  enum class Status : uint8_t { Sat, Exhausted, Budget };
+  struct Outcome {
+    Status St = Status::Exhausted;
+    uint64_t Count = 0; ///< assignments attempted in this chunk
+    Model Witness;      ///< populated when St == Sat
+  };
+
+  SearchWorker(const SearchPlan &Plan, const BoundedSolverOptions &Opts,
+               const FormulaEvalOptions &EvalOpts)
+      : Plan(Plan), Opts(Opts), EvalOpts(EvalOpts), Dom(arrayDomain(Opts)),
+        IntVal(Plan.Order.size()), ArrVal(Plan.Order.size()) {
+    Execs.reserve(Plan.Conjuncts.size());
+    IntScratch.resize(Plan.Conjuncts.size());
+    ArrScratch.resize(Plan.Conjuncts.size());
+    for (size_t I = 0; I != Plan.Conjuncts.size(); ++I) {
+      const PlannedConjunct &C = Plan.Conjuncts[I];
+      Execs.emplace_back(*C.Prog);
+      IntScratch[I].resize(C.IntArgPos.size());
+      // ArrVal never reallocates, so the argument pointers are fixed for
+      // the worker's lifetime — bind them once instead of copying array
+      // values on every conjunct check.
+      for (uint32_t Pos : C.ArrArgPos)
+        ArrScratch[I].push_back(&ArrVal[Pos]);
+    }
+  }
+
+  /// Evaluates the variable-free conjuncts (once, before any search).
+  bool checkRoots() {
+    for (uint32_t CI : Plan.RootChecks)
+      if (!checkConjunct(CI))
+        return false;
+    return true;
+  }
+
+  /// Searches the subtree where the top variable takes domain indices in
+  /// [\p TopLo, \p TopHi). Requires a non-empty order.
+  Outcome run(uint64_t TopLo, uint64_t TopHi) {
+    Outcome Out;
+    Out.St = descend(0, TopLo, TopHi, Out);
+    return Out;
+  }
+
+private:
+  const SearchPlan &Plan;
+  const BoundedSolverOptions &Opts;
+  const FormulaEvalOptions &EvalOpts;
+  ArrayDomain Dom;
+  std::vector<int64_t> IntVal;
+  std::vector<ArrayModelValue> ArrVal;
+  std::vector<FormulaProgram::Executor> Execs;
+  std::vector<std::vector<int64_t>> IntScratch;
+  std::vector<std::vector<const ArrayModelValue *>> ArrScratch;
+  uint64_t Count = 0;
+
+  bool checkConjunct(uint32_t CI) {
+    const PlannedConjunct &C = Plan.Conjuncts[CI];
+    std::vector<int64_t> &IntIn = IntScratch[CI];
+    for (size_t I = 0; I != C.IntArgPos.size(); ++I)
+      IntIn[I] = IntVal[C.IntArgPos[I]];
+    bool R = Execs[CI].run(IntIn.data(), ArrScratch[CI].data(), EvalOpts);
+    return C.Negated ? !R : R;
+  }
+
+  Status descend(uint32_t Depth, uint64_t Lo, uint64_t Hi, Outcome &Out) {
+    const VarRef &V = Plan.Order[Depth];
+    bool Leaf = Depth + 1 == Plan.Order.size();
+    for (uint64_t Index = Lo; Index != Hi; ++Index) {
+      if (++Count > Opts.MaxCandidates) {
+        Out.Count = Count;
+        return Status::Budget;
+      }
+      if (V.Kind == VarKind::Int)
+        IntVal[Depth] = Opts.IntLo + static_cast<int64_t>(Index);
+      else if (Index == Lo)
+        ArrVal[Depth] = Dom.valueAt(Index); // decode once per subtree entry
+      else
+        Dom.advance(ArrVal[Depth]);
+
+      bool Pruned = false;
+      for (uint32_t CI : Plan.ChecksAt[Depth])
+        if (!checkConjunct(CI)) {
+          Pruned = true;
+          break;
+        }
+      if (Pruned)
+        continue; // the entire subtree under this prefix is dead
+
+      if (Leaf) {
+        captureWitness(Out.Witness);
+        Out.Count = Count;
+        return Status::Sat;
+      }
+      Status St =
+          descend(Depth + 1, 0, domainSize(Plan.Order[Depth + 1], Opts), Out);
+      if (St != Status::Exhausted)
+        return St;
+    }
+    Out.Count = Count;
+    return Status::Exhausted;
+  }
+
+  void captureWitness(Model &W) {
+    for (size_t I = 0; I != Plan.Order.size(); ++I) {
+      const VarRef &V = Plan.Order[I];
+      if (V.Kind == VarKind::Int)
+        W.Ints[V] = IntVal[I];
+      else
+        W.Arrays[V] = ArrVal[I];
+    }
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Search engine
+//===----------------------------------------------------------------------===//
+
+SatResult BoundedSolver::search(const std::vector<const BoolExpr *> &Formulas,
+                                const VarRefSet &ExtraVars, Model *ModelOut) {
+  // Clear stale entries from a reused caller Model up front, so non-Sat
+  // verdicts never leave a previous witness behind.
+  if (ModelOut) {
+    ModelOut->Ints.clear();
+    ModelOut->Arrays.clear();
+  }
+
+  FormulaEvalOptions EvalOpts;
+  EvalOpts.IntLo = Opts.IntLo;
+  EvalOpts.IntHi = Opts.IntHi;
+  EvalOpts.MaxArrayLen = Opts.MaxArrayLen;
+  EvalOpts.ArrayElemLo = Opts.ArrayElemLo;
+  EvalOpts.ArrayElemHi = Opts.ArrayElemHi;
+
+  SatResult Exhausted =
+      Opts.ExhaustionMeansUnsat ? SatResult::Unsat : SatResult::Unknown;
+
+  SearchPlan Plan = buildPlan(Formulas, ExtraVars, Ctx);
+  if (Plan.TriviallyFalse)
+    return Exhausted;
+
+  size_t N = Plan.Order.size();
+  if (N == 0) {
+    // One (empty) candidate: the conjuncts are all variable-free.
+    ++Candidates;
+    SearchWorker Root(Plan, Opts, EvalOpts);
+    return Root.checkRoots() ? SatResult::Sat : Exhausted;
+  }
+
+  SearchWorker Main(Plan, Opts, EvalOpts);
+  if (!Main.checkRoots())
+    return Exhausted;
+
+  uint64_t TopDomain = domainSize(Plan.Order[0], Opts);
+  if (TopDomain == 0)
+    return Exhausted;
+
+  // Chunk the top variable's domain contiguously across the workers. Every
+  // chunk searches independently with the full candidate budget; the
+  // replay below reconstructs the sequential verdict exactly, so Jobs
+  // never changes the answer, the witness, or a budget trip.
+  uint64_t Chunks = std::min<uint64_t>(std::max(1u, Opts.Jobs), TopDomain);
+  std::vector<SearchWorker::Outcome> Outcomes(Chunks);
+  auto ChunkLo = [&](uint64_t I) { return TopDomain * I / Chunks; };
+
+  // Chunks 1..C-1 go to spawned workers; chunk 0 runs on this thread,
+  // reusing Main's executors (with Chunks == 1 this is simply the
+  // sequential path, no threads involved).
+  std::vector<std::thread> Pool;
+  Pool.reserve(Chunks - 1);
+  for (uint64_t I = 1; I != Chunks; ++I)
+    Pool.emplace_back([&, I] {
+      SearchWorker W(Plan, Opts, EvalOpts);
+      Outcomes[I] = W.run(ChunkLo(I), ChunkLo(I + 1));
+    });
+  Outcomes[0] = Main.run(0, ChunkLo(1));
+  for (std::thread &T : Pool)
+    T.join();
+
+  for (const SearchWorker::Outcome &O : Outcomes)
+    Candidates += O.Count;
+
+  // Replay the chunks in domain order. Chunk searches are independent, so
+  // each chunk's candidate count is identical to what a sequential run
+  // would spend inside it; accumulating the counts in order therefore
+  // reproduces the sequential budget check, and taking the first Sat
+  // reproduces the sequential first witness.
+  uint64_t Cum = 0;
+  for (const SearchWorker::Outcome &O : Outcomes) {
+    if (O.St == SearchWorker::Status::Budget)
+      return SatResult::Unknown;
+    if (Cum + O.Count > Opts.MaxCandidates)
+      return SatResult::Unknown; // a sequential run trips inside this chunk
+    Cum += O.Count;
+    if (O.St == SearchWorker::Status::Sat) {
+      if (ModelOut)
+        *ModelOut = O.Witness;
+      return SatResult::Sat;
+    }
+  }
+  return Exhausted;
+}
+
+//===----------------------------------------------------------------------===//
+// Legacy enumerate engine (differential partner / ablation baseline)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Odometer over the full assignment space: scalars range over
+/// [IntLo, IntHi]; arrays range over lengths 0..MaxArrayLen with elements
+/// in [ArrayElemLo, ArrayElemHi].
 class AssignmentEnumerator {
 public:
   AssignmentEnumerator(const std::vector<VarRef> &Vars,
                        const BoundedSolverOptions &Opts)
-      : Vars(Vars), Opts(Opts) {
+      : Vars(Vars), Opts(Opts), Dom(arrayDomain(Opts)) {
     for (const VarRef &V : Vars) {
       if (V.Kind == VarKind::Int) {
         Current.Ints[V] = Opts.IntLo;
@@ -44,7 +458,7 @@ public:
         Val = Opts.IntLo; // carry
         continue;
       }
-      if (advanceArray(Current.Arrays[V]))
+      if (Dom.advance(Current.Arrays[V]))
         return true;
       Current.Arrays[V] = ArrayModelValue(); // carry
     }
@@ -54,30 +468,20 @@ public:
 private:
   const std::vector<VarRef> &Vars;
   const BoundedSolverOptions &Opts;
+  ArrayDomain Dom;
   Model Current;
-
-  bool advanceArray(ArrayModelValue &A) {
-    // Advance elements as digits; then grow the length.
-    for (int64_t &E : A.Elems) {
-      if (E < Opts.ArrayElemHi) {
-        ++E;
-        return true;
-      }
-      E = Opts.ArrayElemLo;
-    }
-    if (A.Length < Opts.MaxArrayLen) {
-      ++A.Length;
-      A.Elems.assign(static_cast<size_t>(A.Length), Opts.ArrayElemLo);
-      return true;
-    }
-    return false;
-  }
 };
 
 } // namespace
 
-SatResult BoundedSolver::search(const std::vector<const BoolExpr *> &Formulas,
-                                const VarRefSet &ExtraVars, Model *ModelOut) {
+SatResult
+BoundedSolver::enumerate(const std::vector<const BoolExpr *> &Formulas,
+                         const VarRefSet &ExtraVars, Model *ModelOut) {
+  if (ModelOut) {
+    ModelOut->Ints.clear();
+    ModelOut->Arrays.clear();
+  }
+
   VarRefSet VarSet = ExtraVars;
   for (const BoolExpr *F : Formulas)
     collectFreeVars(F, VarSet);
@@ -91,10 +495,12 @@ SatResult BoundedSolver::search(const std::vector<const BoolExpr *> &Formulas,
   EvalOpts.ArrayElemHi = Opts.ArrayElemHi;
 
   AssignmentEnumerator Enum(Vars, Opts);
-  uint64_t Candidates = 0;
+  uint64_t Evaluated = 0;
   do {
-    if (++Candidates > Opts.MaxCandidates)
+    if (++Evaluated > Opts.MaxCandidates) {
+      Candidates += Evaluated - 1;
       return SatResult::Unknown;
+    }
     const Model &M = Enum.current();
     bool AllHold = true;
     for (const BoolExpr *F : Formulas) {
@@ -104,24 +510,34 @@ SatResult BoundedSolver::search(const std::vector<const BoolExpr *> &Formulas,
       }
     }
     if (AllHold) {
+      Candidates += Evaluated;
       if (ModelOut)
         *ModelOut = M;
       return SatResult::Sat;
     }
   } while (Enum.advance());
 
+  Candidates += Evaluated;
   return Opts.ExhaustionMeansUnsat ? SatResult::Unsat : SatResult::Unknown;
 }
+
+//===----------------------------------------------------------------------===//
+// Solver interface
+//===----------------------------------------------------------------------===//
 
 Result<SatResult>
 BoundedSolver::checkSat(const std::vector<const BoolExpr *> &Formulas) {
   ++Queries;
-  return search(Formulas, VarRefSet(), nullptr);
+  return Opts.Eng == BoundedSolverOptions::Engine::Search
+             ? search(Formulas, VarRefSet(), nullptr)
+             : enumerate(Formulas, VarRefSet(), nullptr);
 }
 
 Result<SatResult>
 BoundedSolver::checkSatWithModel(const std::vector<const BoolExpr *> &Formulas,
                                  const VarRefSet &Vars, Model &ModelOut) {
   ++Queries;
-  return search(Formulas, Vars, &ModelOut);
+  return Opts.Eng == BoundedSolverOptions::Engine::Search
+             ? search(Formulas, Vars, &ModelOut)
+             : enumerate(Formulas, Vars, &ModelOut);
 }

@@ -1,4 +1,4 @@
-//===- BoundedSolver.h - Exhaustive small-domain backend -----------*- C++ -*-===//
+//===- BoundedSolver.h - Propagating small-domain backend ----------*- C++ -*-===//
 //
 // Part of the relaxc project: a verifier for relaxed nondeterministic
 // approximate programs (Carbin et al., PLDI 2012).
@@ -6,15 +6,29 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A pure-C++ decision procedure that enumerates models over small bounded
-/// domains. `Sat` answers are definite (a concrete witness was found);
-/// `Unsat` answers mean "no model in the bounded domain" and are therefore
-/// only approximate — they are exact for formulas whose models, if any,
-/// must lie in the domain (the case for the generated test workloads).
+/// A pure-C++ decision procedure over small bounded domains. `Sat` answers
+/// are definite (a concrete witness was found); `Unsat` answers mean "no
+/// model in the bounded domain" and are therefore only approximate — they
+/// are exact for formulas whose models, if any, must lie in the domain
+/// (the case for the generated test workloads).
 ///
 /// This backend exists (a) as the Z3 ablation baseline (experiment A1),
 /// (b) as a differential-testing partner for the Z3 translation, and
 /// (c) as a fallback when Z3 is unavailable.
+///
+/// The default engine is a backtracking search: the query is split into
+/// conjuncts — through P ∧ Q, and through the negations ¬(P ∨ Q),
+/// ¬(P → Q), ¬¬P, which conjoin under De Morgan; negation is tracked as
+/// a flag so no AST node is built. Each conjunct is compiled once into a flat
+/// `FormulaProgram`, variables are ordered so every conjunct is checked
+/// the moment its last support variable is assigned, and a failing prefix
+/// backtracks immediately — pruning whole subtrees of the assignment
+/// space. With `Jobs > 1` the top variable's domain is chunked across a
+/// worker pool; a replay of the per-chunk outcomes in domain order keeps
+/// verdicts, witnesses, and budget behavior identical to the sequential
+/// path. The pre-refactor generate-and-test odometer survives as
+/// `Engine::Enumerate` for differential testing and candidate-count
+/// ablation.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,17 +47,30 @@ struct BoundedSolverOptions {
   int64_t MaxArrayLen = 3;
   int64_t ArrayElemLo = -2;
   int64_t ArrayElemHi = 2;
-  /// Abort with Unknown after this many candidate models.
+  /// Abort with Unknown after this many candidate assignments. The search
+  /// engine counts every variable-value assignment it attempts (partial
+  /// assignments included); the enumerate engine counts full models.
   uint64_t MaxCandidates = 4'000'000;
   /// When false, domain exhaustion reports Unknown instead of Unsat.
   bool ExhaustionMeansUnsat = true;
+  /// Search = compiled programs + prefix pruning (default);
+  /// Enumerate = the legacy full-space odometer.
+  enum class Engine : uint8_t { Search, Enumerate };
+  Engine Eng = Engine::Search;
+  /// Worker threads for the search engine; the top variable's domain is
+  /// chunked across them. Verdicts and witnesses are independent of Jobs.
+  unsigned Jobs = 1;
 };
 
-/// Exhaustive-enumeration solver.
+/// Bounded-domain solver (backtracking search or exhaustive enumeration).
 class BoundedSolver : public Solver {
 public:
-  explicit BoundedSolver(BoundedSolverOptions Opts = BoundedSolverOptions())
-      : Opts(Opts) {}
+  /// \p Ctx, when given, supplies the context-owned compiled-program memo
+  /// so repeated queries over the same formulas skip recompilation. The
+  /// solver must not outlive the context (programs cache node pointers).
+  explicit BoundedSolver(BoundedSolverOptions Opts = BoundedSolverOptions(),
+                         AstContext *Ctx = nullptr)
+      : Opts(Opts), Ctx(Ctx) {}
 
   const char *name() const override { return "bounded"; }
 
@@ -54,11 +81,19 @@ public:
   checkSatWithModel(const std::vector<const BoolExpr *> &Formulas,
                     const VarRefSet &Vars, Model &ModelOut) override;
 
+  /// Cumulative candidate assignments attempted across all queries — the
+  /// ablation metric the search engine is built to shrink.
+  uint64_t candidatesEvaluated() const { return Candidates; }
+
 private:
   BoundedSolverOptions Opts;
+  AstContext *Ctx;
+  uint64_t Candidates = 0;
 
   SatResult search(const std::vector<const BoolExpr *> &Formulas,
                    const VarRefSet &Vars, Model *ModelOut);
+  SatResult enumerate(const std::vector<const BoolExpr *> &Formulas,
+                      const VarRefSet &Vars, Model *ModelOut);
 };
 
 } // namespace relax

@@ -12,10 +12,12 @@
 /// solver load substantially (measured in bench/solver_ablation).
 ///
 /// Hash-consing makes the key computation a cached field read per formula,
-/// and every cached entry keeps its query so a hit is verified by
-/// pointer/structural equality — a 64-bit collision can no longer alias two
-/// different queries to one result. Hit/miss/collision counters feed the
-/// ablation benchmark.
+/// and every cached entry keeps its (canonicalized) query so a hit is
+/// verified by pointer/structural equality — a 64-bit collision can no
+/// longer alias two different queries to one result. Queries are
+/// canonicalized by sorting on structural hash, so permuted-but-identical
+/// obligation sets hit the same entry. Hit/miss/collision counters feed
+/// the ablation benchmark.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +28,8 @@
 #include "solver/Solver.h"
 #include "support/Hashing.h"
 
+#include <algorithm>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -36,25 +40,53 @@ namespace relax {
 /// parallel VC discharger (which guards it with a mutex).
 class SolverResultCache {
 public:
-  /// Order-sensitive key over the query's formulas; queries are generated
-  /// deterministically, so order sensitivity costs no hits.
-  static uint64_t keyOf(const std::vector<const BoolExpr *> &Formulas) {
+  /// Canonical form of a query: the conjunction is order-insensitive, so
+  /// the formulas are sorted by structural hash (pointer as tie-break —
+  /// stable for the cache's lifetime since hash-consed nodes never move).
+  /// Permuted-but-identical obligation sets thus share one entry. A
+  /// foreign-context duplicate whose hash collides with a sibling may sort
+  /// differently and miss; that only costs a hit, never correctness,
+  /// because every lookup is verified by sameQuery below.
+  static std::vector<const BoolExpr *>
+  canonicalize(const std::vector<const BoolExpr *> &Formulas) {
+    std::vector<const BoolExpr *> C(Formulas);
+    std::sort(C.begin(), C.end(), [](const BoolExpr *A, const BoolExpr *B) {
+      uint64_t HA = structuralHash(A), HB = structuralHash(B);
+      if (HA != HB)
+        return HA < HB;
+      return std::less<const BoolExpr *>()(A, B);
+    });
+    return C;
+  }
+
+  /// Key over the canonicalized query.
+  static uint64_t keyOf(const std::vector<const BoolExpr *> &Canonical) {
     uint64_t Key = 0xcafef00dULL;
-    for (const BoolExpr *F : Formulas)
+    for (const BoolExpr *F : Canonical)
       Key = hashCombine(Key, structuralHash(F));
     return Key;
   }
 
   std::optional<SatResult>
   lookup(const std::vector<const BoolExpr *> &Formulas) {
-    uint64_t Key = keyOf(Formulas);
-    auto It = Cache.find(Key);
+    return lookupCanonical(canonicalize(Formulas));
+  }
+
+  void insert(const std::vector<const BoolExpr *> &Formulas, SatResult R) {
+    insertCanonical(canonicalize(Formulas), R);
+  }
+
+  /// Variants taking an already-canonicalized query, so a miss-then-insert
+  /// caller sorts the query once, not twice.
+  std::optional<SatResult>
+  lookupCanonical(const std::vector<const BoolExpr *> &Canonical) {
+    auto It = Cache.find(keyOf(Canonical));
     if (It == Cache.end()) {
       ++Misses;
       return std::nullopt;
     }
     for (const Entry &E : It->second)
-      if (sameQuery(E.Formulas, Formulas)) {
+      if (sameQuery(E.Formulas, Canonical)) {
         ++Hits;
         return E.R;
       }
@@ -64,13 +96,12 @@ public:
     return std::nullopt;
   }
 
-  void insert(const std::vector<const BoolExpr *> &Formulas, SatResult R) {
-    uint64_t Key = keyOf(Formulas);
-    std::vector<Entry> &Bucket = Cache[Key];
+  void insertCanonical(std::vector<const BoolExpr *> Canonical, SatResult R) {
+    std::vector<Entry> &Bucket = Cache[keyOf(Canonical)];
     for (const Entry &E : Bucket)
-      if (sameQuery(E.Formulas, Formulas))
+      if (sameQuery(E.Formulas, Canonical))
         return; // already present (racing insert in the parallel path)
-    Bucket.push_back(Entry{Formulas, R});
+    Bucket.push_back(Entry{std::move(Canonical), R});
   }
 
   uint64_t hitCount() const { return Hits; }
@@ -112,11 +143,13 @@ public:
   Result<SatResult>
   checkSat(const std::vector<const BoolExpr *> &Formulas) override {
     ++Queries;
-    if (std::optional<SatResult> Cached = Cache.lookup(Formulas))
+    std::vector<const BoolExpr *> Canonical =
+        SolverResultCache::canonicalize(Formulas);
+    if (std::optional<SatResult> Cached = Cache.lookupCanonical(Canonical))
       return *Cached;
     Result<SatResult> R = Underlying.checkSat(Formulas);
     if (R.ok())
-      Cache.insert(Formulas, *R);
+      Cache.insertCanonical(std::move(Canonical), *R);
     return R;
   }
 

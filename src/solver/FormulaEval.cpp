@@ -9,7 +9,61 @@
 
 #include "support/Casting.h"
 
+#include <cassert>
+
 using namespace relax;
+
+uint64_t ArrayDomain::size() const {
+  uint64_t Total = 1; // the empty array
+  if (ElemHi >= ElemLo) {
+    uint64_t Span = static_cast<uint64_t>(ElemHi - ElemLo) + 1;
+    uint64_t Combos = 1;
+    for (int64_t Len = 1; Len <= MaxLen; ++Len) {
+      Combos *= Span;
+      Total += Combos;
+    }
+  }
+  return Total;
+}
+
+ArrayModelValue ArrayDomain::valueAt(uint64_t Index) const {
+  uint64_t Span =
+      ElemHi >= ElemLo ? static_cast<uint64_t>(ElemHi - ElemLo) + 1 : 0;
+  uint64_t Combos = 1; // values of the current length
+  for (int64_t Len = 0; Len <= MaxLen; ++Len) {
+    if (Len > 0)
+      Combos *= Span;
+    if (Index < Combos) {
+      ArrayModelValue A;
+      A.Length = Len;
+      for (int64_t K = 0; K < Len; ++K) {
+        A.Elems.push_back(ElemLo + static_cast<int64_t>(Index % Span));
+        Index /= Span;
+      }
+      return A;
+    }
+    Index -= Combos;
+  }
+  assert(false && "array domain index out of range");
+  return ArrayModelValue();
+}
+
+bool ArrayDomain::advance(ArrayModelValue &A) const {
+  // Advance elements as digits; then grow the length.
+  for (int64_t &E : A.Elems) {
+    if (E < ElemHi) {
+      ++E;
+      return true;
+    }
+    E = ElemLo;
+  }
+  if (A.Length < MaxLen && ElemHi >= ElemLo) {
+    ++A.Length;
+    A.Elems.assign(static_cast<size_t>(A.Length), ElemLo);
+    return true;
+  }
+  return false;
+}
 
 int64_t relax::evalExpr(const Expr *E, const Model &M) {
   switch (E->kind()) {
@@ -36,11 +90,11 @@ int64_t relax::evalExpr(const Expr *E, const Model &M) {
     int64_t R = evalExpr(B->rhs(), M);
     switch (B->op()) {
     case BinaryOp::Add:
-      return L + R;
+      return wrapAdd(L, R);
     case BinaryOp::Sub:
-      return L - R;
+      return wrapSub(L, R);
     case BinaryOp::Mul:
-      return L * R;
+      return wrapMul(L, R);
     case BinaryOp::Div:
       return euclideanDiv(L, R);
     case BinaryOp::Mod:
@@ -88,27 +142,15 @@ bool existsWitness(const ExistsExpr *E, const Model &M,
     }
     return false;
   }
-  // Arrays: enumerate lengths, then element tuples in a small domain.
-  int64_t Span = Opts.ArrayElemHi - Opts.ArrayElemLo + 1;
-  for (int64_t Len = 0; Len <= Opts.MaxArrayLen; ++Len) {
-    uint64_t Combos = 1;
-    for (int64_t I = 0; I < Len; ++I)
-      Combos *= static_cast<uint64_t>(Span);
-    for (uint64_t C = 0; C != Combos; ++C) {
-      ArrayModelValue A;
-      A.Length = Len;
-      uint64_t Rest = C;
-      for (int64_t I = 0; I < Len; ++I) {
-        A.Elems.push_back(Opts.ArrayElemLo +
-                          static_cast<int64_t>(Rest % Span));
-        Rest /= static_cast<uint64_t>(Span);
-      }
-      Model Ext = M;
-      Ext.Arrays[Bound] = A;
-      if (evalFormula(E->body(), Ext, Opts))
-        return true;
-    }
-  }
+  // Arrays: walk the shared bounded array domain.
+  ArrayDomain D(Opts);
+  ArrayModelValue A;
+  do {
+    Model Ext = M;
+    Ext.Arrays[Bound] = A;
+    if (evalFormula(E->body(), Ext, Opts))
+      return true;
+  } while (D.advance(A));
   return false;
 }
 

@@ -31,6 +31,33 @@ struct FormulaEvalOptions {
   int64_t ArrayElemHi = 2;
 };
 
+/// The bounded domain of one array variable: lengths 0..MaxLen ascending,
+/// then element digits least-significant first over [ElemLo, ElemHi].
+/// Every enumerator of array values (the quantifier evaluators, the
+/// compiled Exists instruction, the bounded search and its legacy
+/// odometer) shares this one definition — witness determinism and the
+/// differential suites depend on them agreeing on the order.
+struct ArrayDomain {
+  int64_t MaxLen = 0;
+  int64_t ElemLo = 0;
+  int64_t ElemHi = -1;
+
+  ArrayDomain() = default;
+  ArrayDomain(int64_t MaxLen, int64_t ElemLo, int64_t ElemHi)
+      : MaxLen(MaxLen), ElemLo(ElemLo), ElemHi(ElemHi) {}
+  explicit ArrayDomain(const FormulaEvalOptions &Opts)
+      : MaxLen(Opts.MaxArrayLen), ElemLo(Opts.ArrayElemLo),
+        ElemHi(Opts.ArrayElemHi) {}
+
+  /// Number of values. An empty element range admits only length 0.
+  uint64_t size() const;
+  /// Decodes the \p Index-th value in enumeration order.
+  ArrayModelValue valueAt(uint64_t Index) const;
+  /// Advances \p A to its successor in enumeration order (first value:
+  /// the default-constructed length-0 array); false when exhausted.
+  bool advance(ArrayModelValue &A) const;
+};
+
 /// Evaluates \p E under \p M. Unmapped variables default to 0 / empty.
 int64_t evalExpr(const Expr *E, const Model &M);
 

@@ -1,0 +1,406 @@
+//===- FormulaProgram.cpp - Compiled formula evaluation programs --------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/FormulaProgram.h"
+
+#include "support/Casting.h"
+#include "support/PtrMap.h"
+
+#include <cassert>
+
+using namespace relax;
+
+//===----------------------------------------------------------------------===//
+// Compiler
+//===----------------------------------------------------------------------===//
+
+namespace relax {
+
+/// Single-use compiler for one program. CSE falls out of the identity maps:
+/// hash-consed subterms shared inside the formula map to the same register,
+/// so each unique subterm compiles (and later evaluates) exactly once.
+class FormulaProgramCompiler {
+public:
+  explicit FormulaProgramCompiler(FormulaProgramCache *Cache)
+      : Cache(Cache), P(new FormulaProgram()) {}
+
+  std::shared_ptr<const FormulaProgram> run(const BoolExpr *Root) {
+    P->ResultReg = compileBool(Root);
+    return std::shared_ptr<const FormulaProgram>(P.release());
+  }
+
+private:
+  using Inst = FormulaProgram::Inst;
+  using Op = Inst::Op;
+
+  FormulaProgramCache *Cache;
+  std::unique_ptr<FormulaProgram> P;
+  PtrMap<Expr, uint32_t> IntRegOf;
+  PtrMap<BoolExpr, uint32_t> BoolRegOf;
+  PtrMap<ArrayExpr, uint32_t> ArrRegOf;
+
+  uint32_t emit(Op K, uint8_t Sub, uint32_t Dst, uint32_t A = 0,
+                uint32_t B = 0, uint32_t C = 0, int64_t Imm = 0) {
+    Inst I;
+    I.K = K;
+    I.Sub = Sub;
+    I.Dst = Dst;
+    I.A = A;
+    I.B = B;
+    I.C = C;
+    I.Imm = Imm;
+    P->Code.push_back(I);
+    return Dst;
+  }
+
+  uint32_t intInputSlot(const VarRef &V) {
+    for (uint32_t I = 0; I != P->IntIns.size(); ++I)
+      if (P->IntIns[I] == V)
+        return I;
+    P->IntIns.push_back(V);
+    return static_cast<uint32_t>(P->IntIns.size() - 1);
+  }
+
+  uint32_t arrayInputSlot(const VarRef &V) {
+    for (uint32_t I = 0; I != P->ArrIns.size(); ++I)
+      if (P->ArrIns[I] == V)
+        return I;
+    P->ArrIns.push_back(V);
+    return static_cast<uint32_t>(P->ArrIns.size() - 1);
+  }
+
+  uint32_t compileExpr(const Expr *E) {
+    if (const uint32_t *Reg = IntRegOf.find(E))
+      return *Reg;
+    uint32_t Dst = P->NumIntRegs++;
+    switch (E->kind()) {
+    case Expr::Kind::IntLit:
+      emit(Op::IntConst, 0, Dst, 0, 0, 0, cast<IntLitExpr>(E)->value());
+      break;
+    case Expr::Kind::Var: {
+      const auto *V = cast<VarExpr>(E);
+      uint32_t Slot =
+          intInputSlot(VarRef{V->name(), V->tag(), VarKind::Int});
+      emit(Op::IntInput, 0, Dst, Slot);
+      break;
+    }
+    case Expr::Kind::ArrayRead: {
+      const auto *R = cast<ArrayReadExpr>(E);
+      uint32_t Base = compileArray(R->base());
+      uint32_t Index = compileExpr(R->index());
+      emit(Op::ArrayRead, 0, Dst, Base, Index);
+      break;
+    }
+    case Expr::Kind::ArrayLen: {
+      uint32_t Base = compileArray(cast<ArrayLenExpr>(E)->base());
+      emit(Op::ArrayLen, 0, Dst, Base);
+      break;
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      uint32_t L = compileExpr(B->lhs());
+      uint32_t R = compileExpr(B->rhs());
+      emit(Op::IntBinary, static_cast<uint8_t>(B->op()), Dst, L, R);
+      break;
+    }
+    }
+    IntRegOf.insert(E, Dst);
+    return Dst;
+  }
+
+  uint32_t compileArray(const ArrayExpr *A) {
+    if (const uint32_t *Reg = ArrRegOf.find(A))
+      return *Reg;
+    uint32_t Dst = P->NumArrRegs++;
+    switch (A->kind()) {
+    case ArrayExpr::Kind::Ref: {
+      const auto *R = cast<ArrayRefExpr>(A);
+      uint32_t Slot =
+          arrayInputSlot(VarRef{R->name(), R->tag(), VarKind::Array});
+      emit(Op::ArrayInput, 0, Dst, Slot);
+      break;
+    }
+    case ArrayExpr::Kind::Store: {
+      const auto *S = cast<ArrayStoreExpr>(A);
+      uint32_t Base = compileArray(S->base());
+      uint32_t Index = compileExpr(S->index());
+      uint32_t Value = compileExpr(S->value());
+      emit(Op::ArrayStore, 0, Dst, Base, Index, Value);
+      break;
+    }
+    }
+    ArrRegOf.insert(A, Dst);
+    return Dst;
+  }
+
+  uint32_t compileBool(const BoolExpr *B) {
+    if (const uint32_t *Reg = BoolRegOf.find(B))
+      return *Reg;
+    uint32_t Dst = P->NumBoolRegs++;
+    switch (B->kind()) {
+    case BoolExpr::Kind::BoolLit:
+      emit(Op::BoolConst, 0, Dst, 0, 0, 0, cast<BoolLitExpr>(B)->value());
+      break;
+    case BoolExpr::Kind::Cmp: {
+      const auto *C = cast<CmpExpr>(B);
+      uint32_t L = compileExpr(C->lhs());
+      uint32_t R = compileExpr(C->rhs());
+      emit(Op::Cmp, static_cast<uint8_t>(C->op()), Dst, L, R);
+      break;
+    }
+    case BoolExpr::Kind::ArrayCmp: {
+      const auto *C = cast<ArrayCmpExpr>(B);
+      uint32_t L = compileArray(C->lhs());
+      uint32_t R = compileArray(C->rhs());
+      emit(Op::ArrayCmp, C->isEquality() ? 1 : 0, Dst, L, R);
+      break;
+    }
+    case BoolExpr::Kind::Logical: {
+      const auto *L = cast<LogicalExpr>(B);
+      uint32_t A = compileBool(L->lhs());
+      uint32_t R = compileBool(L->rhs());
+      emit(Op::Logical, static_cast<uint8_t>(L->op()), Dst, A, R);
+      break;
+    }
+    case BoolExpr::Kind::Not: {
+      uint32_t Sub = compileBool(cast<NotExpr>(B)->sub());
+      emit(Op::Not, 0, Dst, Sub);
+      break;
+    }
+    case BoolExpr::Kind::Exists: {
+      uint32_t SubIdx = compileExists(cast<ExistsExpr>(B));
+      emit(Op::Exists, 0, Dst, SubIdx);
+      break;
+    }
+    }
+    BoolRegOf.insert(B, Dst);
+    return Dst;
+  }
+
+  uint32_t compileExists(const ExistsExpr *E) {
+    FormulaProgram::SubProgram SP;
+    SP.Body = FormulaProgram::compile(E->body(), Cache);
+    SP.Bound = VarRef{E->var(), E->tag(), E->varKind()};
+    // Wire every body input: the bound variable reads the enumerated
+    // value; everything else is free in the enclosing formula too (free
+    // variables propagate up past the binder) and reads the parent's
+    // input slot of the same VarRef.
+    for (const VarRef &V : SP.Body->intInputs()) {
+      FormulaProgram::SubInput Src;
+      if (V == SP.Bound)
+        Src.FromBound = true;
+      else
+        Src.ParentSlot = intInputSlot(V);
+      SP.IntSources.push_back(Src);
+    }
+    for (const VarRef &V : SP.Body->arrayInputs()) {
+      FormulaProgram::SubInput Src;
+      if (V == SP.Bound)
+        Src.FromBound = true;
+      else
+        Src.ParentSlot = arrayInputSlot(V);
+      SP.ArrSources.push_back(Src);
+    }
+    P->Subs.push_back(std::move(SP));
+    return static_cast<uint32_t>(P->Subs.size() - 1);
+  }
+};
+
+} // namespace relax
+
+std::shared_ptr<const FormulaProgram>
+FormulaProgram::compile(const BoolExpr *Root, FormulaProgramCache *Cache) {
+  if (Cache)
+    if (std::shared_ptr<const FormulaProgram> Hit = Cache->lookup(Root))
+      return Hit;
+  std::shared_ptr<const FormulaProgram> P =
+      FormulaProgramCompiler(Cache).run(Root);
+  if (Cache)
+    Cache->insert(Root, P);
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Executor
+//===----------------------------------------------------------------------===//
+
+FormulaProgram::Executor::Executor(const FormulaProgram &P)
+    : P(P), Ints(P.NumIntRegs), Bools(P.NumBoolRegs), Arrs(P.NumArrRegs),
+      SubStates(P.Subs.size()) {}
+
+bool FormulaProgram::Executor::run(const int64_t *IntIn,
+                                   const ArrayModelValue *const *ArrIn,
+                                   const FormulaEvalOptions &Opts) {
+  for (const Inst &I : P.Code) {
+    switch (I.K) {
+    case Inst::Op::IntConst:
+      Ints[I.Dst] = I.Imm;
+      break;
+    case Inst::Op::IntInput:
+      Ints[I.Dst] = IntIn[I.A];
+      break;
+    case Inst::Op::ArrayInput:
+      Arrs[I.Dst] = *ArrIn[I.A];
+      break;
+    case Inst::Op::ArrayStore: {
+      // Copy-then-update keeps register banks independent; out-of-range
+      // stores change only unobservable content and are dropped, matching
+      // evalArrayExpr.
+      ArrayModelValue V = Arrs[I.A];
+      int64_t Index = Ints[I.B];
+      if (Index >= 0 && Index < static_cast<int64_t>(V.Elems.size()))
+        V.Elems[static_cast<size_t>(Index)] = Ints[I.C];
+      Arrs[I.Dst] = std::move(V);
+      break;
+    }
+    case Inst::Op::ArrayRead: {
+      const ArrayModelValue &V = Arrs[I.A];
+      int64_t Index = Ints[I.B];
+      Ints[I.Dst] = (Index >= 0 &&
+                     Index < static_cast<int64_t>(V.Elems.size()))
+                        ? V.Elems[static_cast<size_t>(Index)]
+                        : 0;
+      break;
+    }
+    case Inst::Op::ArrayLen:
+      Ints[I.Dst] = Arrs[I.A].Length;
+      break;
+    case Inst::Op::IntBinary: {
+      int64_t L = Ints[I.A], R = Ints[I.B];
+      switch (static_cast<BinaryOp>(I.Sub)) {
+      case BinaryOp::Add:
+        Ints[I.Dst] = wrapAdd(L, R);
+        break;
+      case BinaryOp::Sub:
+        Ints[I.Dst] = wrapSub(L, R);
+        break;
+      case BinaryOp::Mul:
+        Ints[I.Dst] = wrapMul(L, R);
+        break;
+      case BinaryOp::Div:
+        Ints[I.Dst] = euclideanDiv(L, R);
+        break;
+      case BinaryOp::Mod:
+        Ints[I.Dst] = euclideanMod(L, R);
+        break;
+      }
+      break;
+    }
+    case Inst::Op::BoolConst:
+      Bools[I.Dst] = I.Imm != 0;
+      break;
+    case Inst::Op::Cmp:
+      Bools[I.Dst] =
+          evalCmpOp(static_cast<CmpOp>(I.Sub), Ints[I.A], Ints[I.B]);
+      break;
+    case Inst::Op::ArrayCmp:
+      Bools[I.Dst] = (Arrs[I.A] == Arrs[I.B]) == (I.Sub != 0);
+      break;
+    case Inst::Op::Logical: {
+      bool L = Bools[I.A] != 0, R = Bools[I.B] != 0;
+      switch (static_cast<LogicalOp>(I.Sub)) {
+      case LogicalOp::And:
+        Bools[I.Dst] = L && R;
+        break;
+      case LogicalOp::Or:
+        Bools[I.Dst] = L || R;
+        break;
+      case LogicalOp::Implies:
+        Bools[I.Dst] = !L || R;
+        break;
+      case LogicalOp::Iff:
+        Bools[I.Dst] = L == R;
+        break;
+      }
+      break;
+    }
+    case Inst::Op::Not:
+      Bools[I.Dst] = !(Bools[I.A] != 0);
+      break;
+    case Inst::Op::Exists:
+      Bools[I.Dst] = runExists(I, IntIn, ArrIn, Opts);
+      break;
+    }
+  }
+  return Bools[P.ResultReg] != 0;
+}
+
+bool FormulaProgram::Executor::runExists(const Inst &I, const int64_t *IntIn,
+                                         const ArrayModelValue *const *ArrIn,
+                                         const FormulaEvalOptions &Opts) {
+  const SubProgram &SP = P.Subs[I.A];
+  SubState &S = SubStates[I.A];
+  if (!S.Exec) {
+    S.Exec = std::make_unique<Executor>(*SP.Body);
+    S.IntIn.resize(SP.Body->intInputs().size());
+    S.ArrIn.resize(SP.Body->arrayInputs().size());
+  }
+
+  // Feed the non-bound inputs through from the parent's inputs; remember
+  // which slots (if any) the bound variable occupies.
+  size_t BoundInt = SIZE_MAX, BoundArr = SIZE_MAX;
+  for (size_t Slot = 0; Slot != SP.IntSources.size(); ++Slot) {
+    if (SP.IntSources[Slot].FromBound)
+      BoundInt = Slot;
+    else
+      S.IntIn[Slot] = IntIn[SP.IntSources[Slot].ParentSlot];
+  }
+  for (size_t Slot = 0; Slot != SP.ArrSources.size(); ++Slot) {
+    if (SP.ArrSources[Slot].FromBound) {
+      BoundArr = Slot;
+      S.ArrIn[Slot] = &S.BoundArr;
+    } else {
+      S.ArrIn[Slot] = ArrIn[SP.ArrSources[Slot].ParentSlot];
+    }
+  }
+
+  if (SP.Bound.Kind == VarKind::Int) {
+    for (int64_t V = Opts.IntLo; V <= Opts.IntHi; ++V) {
+      if (BoundInt != SIZE_MAX)
+        S.IntIn[BoundInt] = V;
+      if (S.Exec->run(S.IntIn.data(), S.ArrIn.data(), Opts))
+        return true;
+      if (BoundInt == SIZE_MAX)
+        return false; // body ignores the bound variable
+    }
+    return false;
+  }
+
+  // Arrays: walk the shared bounded array domain.
+  ArrayDomain D(Opts);
+  S.BoundArr = ArrayModelValue();
+  do {
+    if (S.Exec->run(S.IntIn.data(), S.ArrIn.data(), Opts))
+      return true;
+    if (BoundArr == SIZE_MAX)
+      return false; // body ignores the bound variable
+  } while (D.advance(S.BoundArr));
+  return false;
+}
+
+bool FormulaProgram::evaluateOnce(const BoolExpr *Root, const Model &M,
+                                  const FormulaEvalOptions &Opts) {
+  std::shared_ptr<const FormulaProgram> P = compile(Root);
+  std::vector<int64_t> IntIn;
+  IntIn.reserve(P->intInputs().size());
+  for (const VarRef &V : P->intInputs()) {
+    auto It = M.Ints.find(V);
+    IntIn.push_back(It == M.Ints.end() ? 0 : It->second);
+  }
+  std::vector<ArrayModelValue> ArrVals;
+  ArrVals.reserve(P->arrayInputs().size());
+  for (const VarRef &V : P->arrayInputs()) {
+    auto It = M.Arrays.find(V);
+    ArrVals.push_back(It == M.Arrays.end() ? ArrayModelValue() : It->second);
+  }
+  std::vector<const ArrayModelValue *> ArrIn;
+  ArrIn.reserve(ArrVals.size());
+  for (const ArrayModelValue &A : ArrVals)
+    ArrIn.push_back(&A);
+  Executor E(*P);
+  return E.run(IntIn.data(), ArrIn.data(), Opts);
+}

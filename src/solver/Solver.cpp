@@ -35,6 +35,28 @@ std::string relax::formatModel(const Interner &Syms, const Model &M) {
   return Out.empty() ? "(empty model)" : Out;
 }
 
+const std::vector<const char *> &relax::knownSolverNames() {
+  static const std::vector<const char *> Names = {"z3", "bounded"};
+  return Names;
+}
+
+bool relax::isKnownSolverName(std::string_view Name) {
+  for (const char *Known : knownSolverNames())
+    if (Name == Known)
+      return true;
+  return false;
+}
+
+std::string relax::knownSolverNamesForDiagnostics() {
+  std::string Out;
+  for (const char *Known : knownSolverNames()) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += Known;
+  }
+  return Out;
+}
+
 const char *relax::satResultName(SatResult R) {
   switch (R) {
   case SatResult::Sat:

@@ -32,6 +32,8 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
+#include <string_view>
 #include <vector>
 
 namespace relax {
@@ -41,6 +43,16 @@ enum class SatResult { Sat, Unsat, Unknown };
 
 /// Returns "sat" / "unsat" / "unknown".
 const char *satResultName(SatResult R);
+
+/// The backend names `--solver=` accepts. The driver validates against
+/// this list instead of silently falling through to a default backend.
+const std::vector<const char *> &knownSolverNames();
+
+/// True when \p Name names a known backend.
+bool isKnownSolverName(std::string_view Name);
+
+/// Renders the known names as "z3, bounded" for diagnostics.
+std::string knownSolverNamesForDiagnostics();
 
 /// A concrete array value in a model.
 struct ArrayModelValue {

@@ -329,6 +329,9 @@ Result<SatResult>
 Z3Solver::checkSatWithModel(const std::vector<const BoolExpr *> &Formulas,
                             const VarRefSet &Vars, Model &ModelOut) {
   ++Queries;
+  // Clear stale entries from a reused caller Model up front, so non-Sat
+  // verdicts never leave a previous witness behind.
+  ModelOut = Model();
   try {
     z3::solver &S = P->solver();
     ScopedPush Scope(S);
@@ -351,7 +354,6 @@ Z3Solver::checkSatWithModel(const std::vector<const BoolExpr *> &Formulas,
     }
 
     z3::model M = S.get_model();
-    ModelOut = Model();
     for (const VarRef &V : Vars) {
       if (V.Kind == VarKind::Int) {
         z3::expr E = P->T.intConst(V.Name, V.Tag);

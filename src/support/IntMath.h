@@ -20,25 +20,54 @@
 
 namespace relax {
 
+/// Two's-complement wrapping add/sub/mul. The logic has unbounded
+/// integers and the verified workloads stay far from the int64 edges, but
+/// the *random* property-test programs do not — evaluating them must be
+/// well-defined (wrap) rather than UB, or the sanitizer configuration
+/// cannot run the differential suites. Routing through uint64 makes the
+/// wrap explicit and defined.
+inline int64_t wrapAdd(int64_t L, int64_t R) {
+  return static_cast<int64_t>(static_cast<uint64_t>(L) +
+                              static_cast<uint64_t>(R));
+}
+inline int64_t wrapSub(int64_t L, int64_t R) {
+  return static_cast<int64_t>(static_cast<uint64_t>(L) -
+                              static_cast<uint64_t>(R));
+}
+inline int64_t wrapMul(int64_t L, int64_t R) {
+  return static_cast<int64_t>(static_cast<uint64_t>(L) *
+                              static_cast<uint64_t>(R));
+}
+
 /// Euclidean division (SMT-LIB semantics): the unique q in L = q*R + r with
-/// 0 <= r < |R|. Division by zero yields 0 in the logic.
+/// 0 <= r < |R|. Division by zero yields 0 in the logic. Defined for the
+/// whole int64 range: the quotient is computed by adjusting truncated
+/// division (never `(L - Rem) / R`, whose subtraction can leave int64),
+/// and the one case whose true quotient is unrepresentable —
+/// INT64_MIN / -1 = 2^63 — wraps to INT64_MIN like the evaluators above.
 inline int64_t euclideanDiv(int64_t L, int64_t R) {
   if (R == 0)
     return 0;
-  int64_t Rem = L % R; // truncated toward zero
-  if (Rem < 0)
-    Rem += R > 0 ? R : -R;
-  return (L - Rem) / R;
+  if (R == -1)
+    return wrapSub(0, L);
+  int64_t Q = L / R; // safe: (INT64_MIN, -1) is handled above
+  if (L % R < 0)
+    Q -= R > 0 ? 1 : -1; // |Q| <= 2^62 whenever |R| >= 2; R == 1 never adjusts
+  return Q;
 }
 
 /// Euclidean modulo: the unique r in L = q*R + r with 0 <= r < |R|.
-/// Modulo by zero yields 0 in the logic.
+/// Modulo by zero yields 0 in the logic. The result is always
+/// representable (0 <= r < 2^63); the adjustment wraps through uint64 so
+/// |R| for R = INT64_MIN needs no signed negation.
 inline int64_t euclideanMod(int64_t L, int64_t R) {
   if (R == 0)
     return 0;
+  if (R == -1)
+    return 0; // every integer is a multiple of -1; avoids INT64_MIN % -1 UB
   int64_t Rem = L % R; // truncated
   if (Rem < 0)
-    Rem += R > 0 ? R : -R;
+    Rem = wrapAdd(Rem, R > 0 ? R : wrapSub(0, R));
   return Rem;
 }
 

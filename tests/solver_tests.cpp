@@ -11,10 +11,13 @@
 #include "solver/BoundedSolver.h"
 #include "solver/CachingSolver.h"
 #include "solver/FormulaEval.h"
+#include "solver/FormulaProgram.h"
 #include "solver/Z3Solver.h"
 #include "support/Random.h"
 
 #include <gtest/gtest.h>
+
+#include <limits>
 
 using namespace relax;
 
@@ -39,6 +42,35 @@ TEST(Euclidean, DivModIdentityAndRange) {
 TEST(Euclidean, DivisionByZeroIsZeroInTheLogic) {
   EXPECT_EQ(euclideanDiv(5, 0), 0);
   EXPECT_EQ(euclideanMod(5, 0), 0);
+}
+
+TEST(Euclidean, Int64EdgesAreDefined) {
+  // The wrapping evaluators can feed INT64 edge values into div/mod, and
+  // the sanitizer CI job aborts on any signed overflow — these must all
+  // be defined and keep 0 <= r < |R| where the quotient is representable.
+  int64_t Min = std::numeric_limits<int64_t>::min();
+  int64_t Max = std::numeric_limits<int64_t>::max();
+  EXPECT_EQ(euclideanDiv(Min, -1), Min) << "2^63 wraps, like wrapMul";
+  EXPECT_EQ(euclideanMod(Min, -1), 0);
+  EXPECT_EQ(euclideanDiv(Min, 3), -3074457345618258603LL);
+  EXPECT_EQ(euclideanMod(Min, 3), 1);
+  EXPECT_EQ(euclideanDiv(Min, -3), 3074457345618258603LL);
+  EXPECT_EQ(euclideanMod(Min, -3), 1);
+  EXPECT_EQ(euclideanDiv(Min, Min), 1);
+  EXPECT_EQ(euclideanMod(Min, Min), 0);
+  EXPECT_EQ(euclideanDiv(-5, Min), 1);
+  EXPECT_EQ(euclideanMod(-5, Min), Max - 4);
+  EXPECT_EQ(euclideanDiv(Max, Min), 0);
+  EXPECT_EQ(euclideanMod(Max, Min), Max);
+  for (int64_t L : {Min, Min + 1, int64_t(-7), int64_t(0), int64_t(7), Max}) {
+    for (int64_t R :
+         {Min, int64_t(-3), int64_t(-1), int64_t(1), int64_t(3), Max}) {
+      int64_t Q = euclideanDiv(L, R);
+      int64_t M = euclideanMod(L, R);
+      EXPECT_EQ(wrapAdd(wrapMul(Q, R), M), L) << L << " / " << R;
+      EXPECT_GE(M, 0) << L << " % " << R;
+    }
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -249,6 +281,39 @@ TEST_P(SolverBackendTest, ExistentialHypothesis) {
   EXPECT_EQ(*R, SatResult::Unsat);
 }
 
+TEST_P(SolverBackendTest, ReusedModelIsClearedBeforeWitnessWrite) {
+  // Regression: checkSatWithModel on a reused Model must not leak stale
+  // entries into the reported witness — neither on Sat (entries for
+  // variables outside the query) nor on Unsat (the whole previous
+  // witness).
+  auto S = makeSolver();
+  VarRef Stale{Ctx.sym("stale"), VarTag::Plain, VarKind::Int};
+  VarRef StaleArr{Ctx.sym("staleArr"), VarTag::Plain, VarKind::Array};
+  VarRef X{Ctx.sym("x"), VarTag::Plain, VarKind::Int};
+
+  Model M;
+  M.Ints[Stale] = 99;
+  M.Arrays[StaleArr] = ArrayModelValue{1, {7}};
+  auto Sat = S->checkSatWithModel({Ctx.eq(Ctx.var("x"), Ctx.intLit(2))},
+                                  VarRefSet{X}, M);
+  ASSERT_TRUE(Sat.ok()) << Sat.message();
+  ASSERT_EQ(*Sat, SatResult::Sat);
+  EXPECT_EQ(M.Ints.count(Stale), 0u) << "stale scalar survived into witness";
+  EXPECT_EQ(M.Arrays.count(StaleArr), 0u) << "stale array survived";
+  EXPECT_EQ(M.Ints.at(X), 2);
+
+  Model M2;
+  M2.Ints[Stale] = 99;
+  auto Unsat = S->checkSatWithModel(
+      {Ctx.andExpr(Ctx.lt(Ctx.var("x"), Ctx.intLit(0)),
+                   Ctx.gt(Ctx.var("x"), Ctx.intLit(0)))},
+      VarRefSet{X}, M2);
+  ASSERT_TRUE(Unsat.ok());
+  ASSERT_EQ(*Unsat, SatResult::Unsat);
+  EXPECT_TRUE(M2.empty()) << "an unsat query must leave the model empty, "
+                             "not holding a previous witness";
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, SolverBackendTest,
                          ::testing::Values(BackendKind::Z3,
                                            BackendKind::Bounded),
@@ -256,6 +321,19 @@ INSTANTIATE_TEST_SUITE_P(Backends, SolverBackendTest,
                            return Info.param == BackendKind::Z3 ? "Z3"
                                                                 : "Bounded";
                          });
+
+//===----------------------------------------------------------------------===//
+// Solver name registry (the driver validates --solver= against it)
+//===----------------------------------------------------------------------===//
+
+TEST(SolverNames, RegistryAcceptsBackendsAndRejectsTypos) {
+  EXPECT_TRUE(isKnownSolverName("z3"));
+  EXPECT_TRUE(isKnownSolverName("bounded"));
+  EXPECT_FALSE(isKnownSolverName("bouned"));
+  EXPECT_FALSE(isKnownSolverName("Z3"));
+  EXPECT_FALSE(isKnownSolverName(""));
+  EXPECT_EQ(knownSolverNamesForDiagnostics(), "z3, bounded");
+}
 
 //===----------------------------------------------------------------------===//
 // Z3-specific
@@ -394,6 +472,26 @@ TEST(CachingSolver, DifferentQueriesMiss) {
   EXPECT_EQ(Backend.queryCount(), 2u);
 }
 
+TEST(CachingSolver, PermutedObligationSetHitsCache) {
+  // The key is canonicalized by structural hash, so a permuted-but-
+  // identical obligation set must hit. Runs on the bounded backend so the
+  // pin holds in Z3-off builds too.
+  AstContext Ctx;
+  BoundedSolver Backend(BoundedSolverOptions(), &Ctx);
+  CachingSolver S(Backend);
+  const BoolExpr *F = Ctx.gt(Ctx.var("x"), Ctx.intLit(1));
+  const BoolExpr *G = Ctx.lt(Ctx.var("x"), Ctx.intLit(5));
+  const BoolExpr *H = Ctx.ge(Ctx.var("y"), Ctx.intLit(0));
+  ASSERT_TRUE(S.checkSat({F, G, H}).ok());
+  ASSERT_TRUE(S.checkSat({H, F, G}).ok());
+  ASSERT_TRUE(S.checkSat({G, H, F}).ok());
+  EXPECT_EQ(S.hitCount(), 2u) << "permuted queries must share one entry";
+  EXPECT_EQ(Backend.queryCount(), 1u);
+  // A genuinely different set still misses.
+  ASSERT_TRUE(S.checkSat({F, G}).ok());
+  EXPECT_EQ(Backend.queryCount(), 2u);
+}
+
 TEST(CachingSolver, SwishCacheEffectivenessDoesNotRegress) {
   RELAXC_SKIP_WITHOUT_Z3();
   RELAXC_SLURP_EXAMPLE_OR_SKIP(Source, "swish.rlx");
@@ -464,3 +562,297 @@ TEST_P(BackendAgreement, RandomQuantifierFreeFormulas) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BackendAgreement,
                          ::testing::Values(11, 12, 13, 14));
+
+//===----------------------------------------------------------------------===//
+// FormulaProgram: compiled evaluation agrees with the tree walker
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds a random model over x, y (ints) and A (array) within the default
+/// bounded domains.
+Model randomModel(AstContext &Ctx, SplitMix64 &Rng) {
+  Model M;
+  M.Ints[VarRef{Ctx.sym("x"), VarTag::Plain, VarKind::Int}] =
+      Rng.nextInRange(-6, 6);
+  M.Ints[VarRef{Ctx.sym("y"), VarTag::Plain, VarKind::Int}] =
+      Rng.nextInRange(-6, 6);
+  ArrayModelValue A;
+  A.Length = Rng.nextInRange(0, 3);
+  for (int64_t I = 0; I != A.Length; ++I)
+    A.Elems.push_back(Rng.nextInRange(-2, 2));
+  M.Arrays[VarRef{Ctx.sym("A"), VarTag::Plain, VarKind::Array}] = A;
+  return M;
+}
+
+/// Random quantifier-free formulas over x, y, A covering every opcode the
+/// compiler emits (arithmetic incl. div/mod, array read/len/store/compare,
+/// every connective).
+const BoolExpr *randomFormula(AstContext &Ctx, SplitMix64 &Rng,
+                              unsigned Depth) {
+  auto IntTerm = [&](auto &&Self, unsigned D) -> const Expr * {
+    if (D == 0 || Rng.nextBool(1, 3)) {
+      switch (Rng.nextInRange(0, 3)) {
+      case 0:
+        return Ctx.intLit(Rng.nextInRange(-4, 4));
+      case 1:
+        return Ctx.var("x");
+      case 2:
+        return Ctx.var("y");
+      default:
+        return Ctx.arrayRead(Ctx.arrayRef("A"),
+                             Ctx.intLit(Rng.nextInRange(-1, 3)));
+      }
+    }
+    if (Rng.nextBool(1, 5))
+      return Ctx.arrayLen(Ctx.arrayStore(Ctx.arrayRef("A"),
+                                         Self(Self, D - 1),
+                                         Self(Self, D - 1)));
+    BinaryOp Ops[] = {BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul,
+                      BinaryOp::Div, BinaryOp::Mod};
+    return Ctx.binary(Ops[Rng.nextInRange(0, 4)], Self(Self, D - 1),
+                      Self(Self, D - 1));
+  };
+  if (Depth == 0 || Rng.nextBool(1, 3)) {
+    if (Rng.nextBool(1, 6))
+      return Ctx.arrayCmp(Rng.nextBool(), Ctx.arrayRef("A"),
+                          Ctx.arrayStore(Ctx.arrayRef("A"),
+                                         IntTerm(IntTerm, 1),
+                                         IntTerm(IntTerm, 1)));
+    CmpOp Ops[] = {CmpOp::Lt, CmpOp::Le, CmpOp::Gt,
+                   CmpOp::Ge, CmpOp::Eq, CmpOp::Ne};
+    return Ctx.cmp(Ops[Rng.nextInRange(0, 5)], IntTerm(IntTerm, 2),
+                   IntTerm(IntTerm, 2));
+  }
+  if (Rng.nextBool(1, 5))
+    return Ctx.notExpr(randomFormula(Ctx, Rng, Depth - 1));
+  LogicalOp Ops[] = {LogicalOp::And, LogicalOp::Or, LogicalOp::Implies,
+                     LogicalOp::Iff};
+  return Ctx.logical(Ops[Rng.nextInRange(0, 3)],
+                     randomFormula(Ctx, Rng, Depth - 1),
+                     randomFormula(Ctx, Rng, Depth - 1));
+}
+
+} // namespace
+
+TEST(FormulaProgram, AgreesWithTreeWalkerOnRandomFormulas) {
+  AstContext Ctx;
+  SplitMix64 Rng(2026);
+  Printer P(Ctx.symbols());
+  FormulaEvalOptions Opts;
+  for (int Iter = 0; Iter < 500; ++Iter) {
+    const BoolExpr *F = randomFormula(Ctx, Rng, 3);
+    Model M = randomModel(Ctx, Rng);
+    EXPECT_EQ(FormulaProgram::evaluateOnce(F, M, Opts),
+              evalFormula(F, M, Opts))
+        << P.print(F);
+  }
+}
+
+TEST(FormulaProgram, AgreesWithTreeWalkerOnQuantifiers) {
+  AstContext Ctx;
+  SplitMix64 Rng(7);
+  FormulaEvalOptions Opts;
+  Symbol YSym = Ctx.sym("y"), BSym = Ctx.sym("B");
+  for (int Iter = 0; Iter < 50; ++Iter) {
+    // exists y . (y * y cmp x + c), exercising an outer input feeding the
+    // subprogram next to the enumerated bound variable.
+    const BoolExpr *Body =
+        Ctx.cmp(Iter % 2 ? CmpOp::Eq : CmpOp::Le,
+                Ctx.mul(Ctx.var(YSym), Ctx.var(YSym)),
+                Ctx.add(Ctx.var("x"), Ctx.intLit(Rng.nextInRange(-3, 3))));
+    const BoolExpr *F = Ctx.exists(YSym, VarTag::Plain, VarKind::Int, Body);
+    // exists array B . len(B) == x && B[0] == A[0].
+    const BoolExpr *G = Ctx.exists(
+        BSym, VarTag::Plain, VarKind::Array,
+        Ctx.andExpr(Ctx.eq(Ctx.arrayLen(Ctx.arrayRef(BSym)), Ctx.var("x")),
+                    Ctx.eq(Ctx.arrayRead(Ctx.arrayRef(BSym), Ctx.intLit(0)),
+                           Ctx.arrayRead(Ctx.arrayRef("A"), Ctx.intLit(0)))));
+    Model M = randomModel(Ctx, Rng);
+    EXPECT_EQ(FormulaProgram::evaluateOnce(F, M, Opts),
+              evalFormula(F, M, Opts));
+    EXPECT_EQ(FormulaProgram::evaluateOnce(G, M, Opts),
+              evalFormula(G, M, Opts));
+    // Nested quantifiers, shadowing x in the inner binder.
+    const BoolExpr *Nested = Ctx.exists(
+        Ctx.sym("x"), VarTag::Plain, VarKind::Int,
+        Ctx.andExpr(Body, Ctx.ge(Ctx.var("x"), Ctx.intLit(0))));
+    EXPECT_EQ(FormulaProgram::evaluateOnce(Nested, M, Opts),
+              evalFormula(Nested, M, Opts));
+  }
+}
+
+TEST(FormulaProgram, PointerSharedSubtermsCompileOnce) {
+  AstContext Ctx;
+  // (x + y > 0 && x + y < 9) || !(x + y > 0): `x + y` appears three times
+  // and `x + y > 0` twice; hash-consing makes them pointer-identical, so
+  // the program carries exactly one IntBinary and one >-comparison.
+  const Expr *Sum = Ctx.add(Ctx.var("x"), Ctx.var("y"));
+  const BoolExpr *Pos = Ctx.gt(Sum, Ctx.intLit(0));
+  const BoolExpr *F = Ctx.orExpr(
+      Ctx.andExpr(Pos, Ctx.lt(Ctx.add(Ctx.var("x"), Ctx.var("y")),
+                              Ctx.intLit(9))),
+      Ctx.notExpr(Ctx.gt(Ctx.add(Ctx.var("x"), Ctx.var("y")),
+                         Ctx.intLit(0))));
+  auto P = FormulaProgram::compile(F);
+  size_t Binaries = 0, Cmps = 0;
+  for (const FormulaProgram::Inst &I : P->instructions()) {
+    Binaries += I.K == FormulaProgram::Inst::Op::IntBinary ? 1 : 0;
+    Cmps += I.K == FormulaProgram::Inst::Op::Cmp ? 1 : 0;
+  }
+  EXPECT_EQ(Binaries, 1u) << "shared x + y must evaluate once per candidate";
+  EXPECT_EQ(Cmps, 2u); // x + y > 0 (shared) and x + y < 9
+  EXPECT_EQ(P->intInputs().size(), 2u);
+}
+
+TEST(FormulaProgram, ContextMemoCompilesEachFormulaOnce) {
+  AstContext Ctx;
+  const BoolExpr *F = Ctx.lt(Ctx.var("x"), Ctx.intLit(3));
+  auto P1 = FormulaProgram::compile(F, &Ctx.formulaProgramCache());
+  auto P2 = FormulaProgram::compile(F, &Ctx.formulaProgramCache());
+  EXPECT_EQ(P1.get(), P2.get()) << "identity-keyed memo must hit";
+  // Quantifier bodies are memoized through the same cache.
+  const BoolExpr *E =
+      Ctx.exists(Ctx.sym("q"), VarTag::Plain, VarKind::Int, F);
+  auto PE = FormulaProgram::compile(E, &Ctx.formulaProgramCache());
+  ASSERT_EQ(PE->subPrograms().size(), 1u);
+  EXPECT_EQ(PE->subPrograms()[0].Body.get(), P1.get());
+}
+
+//===----------------------------------------------------------------------===//
+// Bounded search engine: pruning and parallel determinism
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A contradiction over K variables whose conjuncts each touch one
+/// variable: the search engine refutes it at depth 0 while the odometer
+/// walks the whole 13^K space.
+const BoolExpr *perVarContradiction(AstContext &Ctx, int K) {
+  std::vector<const BoolExpr *> Parts;
+  for (int I = 0; I != K; ++I) {
+    std::string V = "v" + std::to_string(I);
+    Parts.push_back(Ctx.ge(Ctx.var(V), Ctx.intLit(0)));
+  }
+  Parts.push_back(Ctx.eq(Ctx.var("v0"), Ctx.intLit(1)));
+  Parts.push_back(Ctx.eq(Ctx.var("v0"), Ctx.intLit(2)));
+  return Ctx.conj(Parts);
+}
+
+} // namespace
+
+TEST(BoundedSearch, PrefixPruningBeatsEnumerationByOrdersOfMagnitude) {
+  AstContext Ctx;
+  const BoolExpr *F = perVarContradiction(Ctx, 4);
+
+  BoundedSolverOptions SearchOpts;
+  BoundedSolver Search(SearchOpts, &Ctx);
+  auto RS = Search.checkSat({F});
+  ASSERT_TRUE(RS.ok());
+  EXPECT_EQ(*RS, SatResult::Unsat);
+
+  BoundedSolverOptions EnumOpts;
+  EnumOpts.Eng = BoundedSolverOptions::Engine::Enumerate;
+  BoundedSolver Enum(EnumOpts, &Ctx);
+  auto RE = Enum.checkSat({F});
+  ASSERT_TRUE(RE.ok());
+  EXPECT_EQ(*RE, SatResult::Unsat);
+
+  // 13 top-level assignments vs 13^4 = 28561 full models.
+  EXPECT_GE(Enum.candidatesEvaluated(),
+            10 * Search.candidatesEvaluated())
+      << "search evaluated " << Search.candidatesEvaluated()
+      << " candidates, enumerate " << Enum.candidatesEvaluated();
+  EXPECT_LE(Search.candidatesEvaluated(), 13u);
+}
+
+TEST(BoundedSearch, ParallelChunksMatchSequentialVerdictAndWitness) {
+  AstContext Ctx;
+  SplitMix64 Rng(99);
+  Printer P(Ctx.symbols());
+  for (int Iter = 0; Iter < 40; ++Iter) {
+    std::vector<const BoolExpr *> Atoms;
+    for (int I = 0; I < 4; ++I) {
+      const char *Names[] = {"x", "y"};
+      CmpOp Ops[] = {CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ge, CmpOp::Gt};
+      Atoms.push_back(Ctx.cmp(Ops[Rng.nextInRange(0, 4)],
+                              Ctx.var(Names[Rng.nextInRange(0, 1)]),
+                              Ctx.intLit(Rng.nextInRange(-4, 4))));
+    }
+    const BoolExpr *F = Ctx.conj(Atoms);
+
+    BoundedSolverOptions Seq;
+    BoundedSolver S1(Seq, &Ctx);
+    Model M1;
+    VarRefSet Vars = freeVars(F);
+    auto R1 = S1.checkSatWithModel({F}, Vars, M1);
+
+    BoundedSolverOptions Par;
+    Par.Jobs = 4;
+    BoundedSolver S4(Par, &Ctx);
+    Model M4;
+    auto R4 = S4.checkSatWithModel({F}, Vars, M4);
+
+    ASSERT_TRUE(R1.ok() && R4.ok());
+    EXPECT_EQ(*R1, *R4) << P.print(F);
+    EXPECT_TRUE(M1.Ints == M4.Ints && M1.Arrays == M4.Arrays)
+        << "witness diverged on " << P.print(F) << ": "
+        << formatModel(Ctx.symbols(), M1) << " vs "
+        << formatModel(Ctx.symbols(), M4);
+  }
+}
+
+TEST(BoundedSearch, NegatedImplicationQueriesSplitIntoConjuncts) {
+  // The verifier's validity queries arrive as ¬(P → Q); the engine must
+  // split them into P's conjuncts plus ¬Q without AST rewriting. A valid
+  // obligation therefore reports Unsat after pruning, not after a full
+  // sweep.
+  AstContext Ctx;
+  const BoolExpr *P = Ctx.conj({Ctx.ge(Ctx.var("a"), Ctx.intLit(0)),
+                                Ctx.le(Ctx.var("a"), Ctx.intLit(3)),
+                                Ctx.ge(Ctx.var("b"), Ctx.intLit(0)),
+                                Ctx.le(Ctx.var("b"), Ctx.intLit(3))});
+  const BoolExpr *Q =
+      Ctx.le(Ctx.add(Ctx.var("a"), Ctx.var("b")), Ctx.intLit(6));
+  const BoolExpr *Query = Ctx.notExpr(Ctx.implies(P, Q));
+  BoundedSolver Search(BoundedSolverOptions(), &Ctx);
+  auto R = Search.checkSat({Query});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(*R, SatResult::Unsat);
+  // Depth 0 admits 4 of 13 values; depth 1 runs 4 * 13 assignments.
+  EXPECT_LE(Search.candidatesEvaluated(), 13u + 4u * 13u);
+}
+
+TEST(BoundedSearch, QuantifiedFormulasStillDecide) {
+  AstContext Ctx;
+  Symbol Y = Ctx.sym("y");
+  const BoolExpr *EvenX = Ctx.exists(
+      Y, VarTag::Plain, VarKind::Int,
+      Ctx.eq(Ctx.var("x"), Ctx.add(Ctx.var(Y), Ctx.var(Y))));
+  BoundedSolver Search(BoundedSolverOptions(), &Ctx);
+  auto R = Search.checkSat({EvenX, Ctx.eq(Ctx.var("x"), Ctx.intLit(3))});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(*R, SatResult::Unsat);
+  auto R2 = Search.checkSat({EvenX, Ctx.eq(Ctx.var("x"), Ctx.intLit(4))});
+  ASSERT_TRUE(R2.ok());
+  EXPECT_EQ(*R2, SatResult::Sat);
+}
+
+TEST(BoundedSearch, CandidateBudgetStillAborts) {
+  AstContext Ctx;
+  // x + y + z == 100 is unsatisfiable in-domain but unconstrained per
+  // prefix, so the search walks deep; a tiny budget must trip to Unknown
+  // identically with and without chunked workers.
+  const BoolExpr *F =
+      Ctx.eq(Ctx.add(Ctx.add(Ctx.var("x"), Ctx.var("y")), Ctx.var("z")),
+             Ctx.intLit(100));
+  for (unsigned Jobs : {1u, 3u}) {
+    BoundedSolverOptions O;
+    O.MaxCandidates = 20;
+    O.Jobs = Jobs;
+    BoundedSolver S(O, &Ctx);
+    auto R = S.checkSat({F});
+    ASSERT_TRUE(R.ok());
+    EXPECT_EQ(*R, SatResult::Unknown) << "jobs=" << Jobs;
+  }
+}
