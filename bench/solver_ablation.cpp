@@ -22,6 +22,7 @@
 
 #include "solver/BoundedSolver.h"
 #include "solver/CachingSolver.h"
+#include "solver/Portfolio.h"
 #include "solver/Z3Solver.h"
 #include "vcgen/Verifier.h"
 
@@ -164,6 +165,89 @@ void BM_Solver_Bounded_PruningAblation(benchmark::State &State) {
   State.counters["candidates_enumerate"] = static_cast<double>(EnumCands);
 }
 
+/// The tiered portfolio on a VC corpus: per-tier settled / gave-up /
+/// budget-trip counters next to the end-to-end time. \p Sources selects
+/// the corpus; \p BoundedSteps the budgeted tier's quantifier-step
+/// budget. With Z3 built the chain is simplify → budgeted bounded → z3;
+/// without, the Smt tier degrades to bounded-at-full-domain.
+template <typename SourceLoader>
+void dischargePortfolio(benchmark::State &State, SourceLoader Load,
+                        size_t NumSources, uint64_t BoundedSteps) {
+  DischargeStats Stats;
+  size_t Undecided = 0, Total = 0;
+  for (auto _ : State) {
+    Stats = DischargeStats();
+    Undecided = 0;
+    Total = 0;
+    for (size_t S = 0; S != NumSources; ++S) {
+      Loaded L = Load(S);
+      if (!L.Prog) {
+        State.SkipWithError(L.skipReason());
+        return;
+      }
+      PortfolioOptions PO; // simplify,bounded,z3
+      PO.Bounded.MaxQuantSteps = BoundedSteps;
+      BoundedSolver Dummy; // portfolio mode never consults the ctor solver
+      DiagnosticEngine Diags;
+      Verifier V(*L.Ctx, *L.Prog, Dummy, Diags);
+      Verifier::Options Opts;
+      Opts.Portfolio = PO;
+#if RELAXC_HAVE_Z3
+      AstContext *Ctx = L.Ctx.get();
+      Opts.SmtFactory = [Ctx] {
+        return std::make_unique<Z3Solver>(Ctx->symbols());
+      };
+#endif
+      Opts.StatsOut = &Stats;
+      VerifyReport R = V.run(Opts);
+      benchmark::DoNotOptimize(R);
+      Total += R.totalVCs();
+      Undecided += R.Original.count(VCStatus::Unknown) +
+                   R.Original.count(VCStatus::SolverError) +
+                   R.Relaxed.count(VCStatus::Unknown) +
+                   R.Relaxed.count(VCStatus::SolverError);
+    }
+  }
+  State.counters["vcs"] = static_cast<double>(Total);
+  State.counters["undecided"] = static_cast<double>(Undecided);
+  for (size_t T = 0; T != Stats.Portfolio.Tiers.size(); ++T) {
+    std::string Key = "tier" + std::to_string(T);
+    State.counters[Key + "_settled"] =
+        static_cast<double>(Stats.Portfolio.Tiers[T].Settled);
+    State.counters[Key + "_gaveup"] =
+        static_cast<double>(Stats.Portfolio.Tiers[T].GaveUp);
+  }
+  State.counters["budget_trips"] = static_cast<double>(
+      Stats.Portfolio.Tiers.size() > 1
+          ? Stats.Portfolio.Tiers[1].BudgetTrips
+          : 0);
+  State.counters["escalations"] =
+      static_cast<double>(Stats.Portfolio.Escalations);
+  State.counters["cache_hits"] = static_cast<double>(Stats.SharedCacheHits);
+  State.counters["bounded_candidates"] =
+      static_cast<double>(Stats.BoundedCandidates);
+  State.counters["quant_steps"] =
+      static_cast<double>(Stats.BoundedQuantSteps);
+}
+
+void BM_Solver_Portfolio(benchmark::State &State) {
+  dischargePortfolio(
+      State, [](size_t I) { return loadSource(SmallCorpus[I]); },
+      sizeof(SmallCorpus) / sizeof(SmallCorpus[0]),
+      /*BoundedSteps=*/200'000);
+}
+
+/// The quantified corpus that used to be Z3-only: water.rlx's relational
+/// VCs carry existentials from havoc/relax freshening, which unbudgeted
+/// bounded enumeration cannot attempt safely at full domains. The step
+/// budget makes the bounded tier give up deterministically (budget_trips
+/// counts how often) and Z3 settle the escalations.
+void BM_Solver_Portfolio_QuantifiedWater(benchmark::State &State) {
+  dischargePortfolio(
+      State, [](size_t) { return loadExample("water.rlx"); }, 1,
+      /*BoundedSteps=*/10'000);
+}
+
 void BM_Solver_Z3_NoSimplify(benchmark::State &State) {
   dischargeCorpus(
       State,
@@ -257,6 +341,8 @@ BENCHMARK(BM_Solver_Bounded_PruningAblation)
     ->Arg(3)
     ->Arg(5)
     ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Solver_Portfolio)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Solver_Portfolio_QuantifiedWater)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Solver_Z3_NoSimplify)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Solver_Z3_KnobScaling)
     ->Arg(2)

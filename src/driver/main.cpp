@@ -22,6 +22,7 @@
 #include "parser/Parser.h"
 #include "solver/BoundedSolver.h"
 #include "solver/CachingSolver.h"
+#include "solver/Portfolio.h"
 #include "solver/Z3Solver.h"
 #include "vcgen/Verifier.h"
 
@@ -40,6 +41,14 @@ struct CliOptions {
   std::string SolverName = "z3";
   std::string OracleName = "solver";
   std::string Semantics = "relaxed";
+  /// Tier chain for the portfolio discharge pipeline (empty = the
+  /// classic single --solver= backend).
+  std::vector<TierKind> Pipeline;
+  /// Per-query quantifier-step budget of the budgeted bounded tier.
+  uint64_t BoundedSteps = 200'000;
+  /// Obligation id ("o:3" / "r:5") to explain after a verify run.
+  std::string Explain;
+  bool SolverStats = false;
   uint64_t Seed = 1;
   unsigned Runs = 16;
   unsigned Jobs = 1;
@@ -59,6 +68,16 @@ void printUsage() {
       "\n"
       "options:\n"
       "  --solver=<z3|bounded>     VC discharge backend (default z3)\n"
+      "  --pipeline=<tier,...>     tiered portfolio discharge for `verify`\n"
+      "                            (tiers: simplify, bounded, z3; e.g.\n"
+      "                            --pipeline=simplify,bounded,z3)\n"
+      "  --bounded-steps=<n>       per-query quantifier-step budget of the\n"
+      "                            budgeted bounded tier (default 200000)\n"
+      "  --explain=<o:N|r:N>       after `verify`, print obligation N of\n"
+      "                            the |-o / |-r pass: provenance, formula,\n"
+      "                            and which tier settled it\n"
+      "  --solver-stats            print per-tier settled/escalated counts\n"
+      "                            and cache/work counters after `verify`\n"
       "  --oracle=<solver|random|identity>\n"
       "                            havoc/relax resolution strategy\n"
       "  --semantics=<original|relaxed>   for `run` (default relaxed)\n"
@@ -73,6 +92,17 @@ void printUsage() {
       "  --original-only           verify only the |-o judgment\n"
       "  --smtlib                  dump-vcs: emit SMT-LIB 2 scripts\n"
       "  --verbose                 print every VC, not just failures\n");
+}
+
+/// Strict decimal parse: the whole string must be digits. strtoull alone
+/// maps garbage to 0, which for budget flags silently means "unlimited" —
+/// the exact failure the flag exists to prevent.
+bool parseUnsigned(const char *V, uint64_t &Out) {
+  if (*V == '\0')
+    return false;
+  char *End = nullptr;
+  Out = std::strtoull(V, &End, 10);
+  return *End == '\0';
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -95,7 +125,27 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         return false;
       }
       Opts.SolverName = V;
-    } else if (const char *V = Value("--oracle="))
+    } else if (const char *V = Value("--pipeline=")) {
+      Result<std::vector<TierKind>> Tiers = parsePipelineSpec(V);
+      if (!Tiers.ok()) {
+        std::fprintf(stderr, "relaxc: error: %s\n",
+                     Tiers.message().c_str());
+        return false;
+      }
+      Opts.Pipeline = *Tiers;
+    } else if (const char *V = Value("--bounded-steps=")) {
+      if (!parseUnsigned(V, Opts.BoundedSteps)) {
+        std::fprintf(stderr,
+                     "relaxc: error: bad --bounded-steps value '%s' "
+                     "(expected a decimal step count; 0 = unlimited)\n",
+                     V);
+        return false;
+      }
+    } else if (const char *V = Value("--explain="))
+      Opts.Explain = V;
+    else if (A == "--solver-stats")
+      Opts.SolverStats = true;
+    else if (const char *V = Value("--oracle="))
       Opts.OracleName = V;
     else if (const char *V = Value("--semantics="))
       Opts.Semantics = V;
@@ -158,6 +208,111 @@ void printOutcome(const Interner &Syms, const char *Title, const Outcome &O) {
     std::printf(" at line %u: %s\n", O.ErrorLoc.Line, O.Reason.c_str());
 }
 
+/// Prints the `--solver-stats` block: per-tier settled/escalated counts,
+/// cache effectiveness, and the bounded tiers' work counters.
+void printSolverStats(const CliOptions &Opts, const DischargeStats &S,
+                      const CachingSolver &Cached) {
+  auto U = [](uint64_t N) { return static_cast<unsigned long long>(N); };
+  std::printf("solver stats:\n");
+  if (!Opts.Pipeline.empty()) {
+    std::printf("  pipeline: %s\n", formatPipeline(Opts.Pipeline).c_str());
+    for (size_t I = 0; I != Opts.Pipeline.size() &&
+                       I != S.Portfolio.Tiers.size();
+         ++I) {
+      const PortfolioStats::TierStat &T = S.Portfolio.Tiers[I];
+      const char *Name = tierKindName(Opts.Pipeline[I]);
+      bool Degraded = Opts.Pipeline[I] == TierKind::Smt && !RELAXC_HAVE_Z3;
+      std::printf("  tier %zu %s%s: settled %llu, gave up %llu"
+                  " (%llu budget trips)\n",
+                  I, Name, Degraded ? " (bounded-full fallback)" : "",
+                  U(T.Settled), U(T.GaveUp), U(T.BudgetTrips));
+    }
+    std::printf("  queries: %llu, tier escalations: %llu, obligations "
+                "queued past the inline stage: %llu\n",
+                U(S.Portfolio.Queries), U(S.Portfolio.Escalations),
+                U(S.EscalatedObligations));
+    std::printf("  shared result cache: %llu hits, %llu misses\n",
+                U(S.SharedCacheHits), U(S.SharedCacheMisses));
+  } else {
+    // Single-backend mode: the sequential path runs behind CachingSolver;
+    // the parallel path uses the scheduler's shared cache.
+    std::printf("  backend: %s\n", Opts.SolverName.c_str());
+    std::printf("  caching solver: %llu hits, %llu misses\n",
+                U(Cached.hitCount()), U(Cached.missCount()));
+    std::printf("  shared result cache: %llu hits, %llu misses\n",
+                U(S.SharedCacheHits), U(S.SharedCacheMisses));
+  }
+  std::printf("  bounded work: %llu candidate assignments, %llu "
+              "quantifier-body evaluations\n",
+              U(S.BoundedCandidates), U(S.BoundedQuantSteps));
+  std::printf("  scheduler: %llu stolen tasks\n", U(S.StolenTasks));
+}
+
+/// Prints one obligation's provenance and how it was settled
+/// (`--explain=<o:N|r:N>`). Returns false when the id does not parse or
+/// name an obligation of this run.
+bool printExplain(const VerifyReport &Report, const std::string &Id,
+                  const AstContext &Ctx) {
+  const JudgmentReport *Pass = nullptr;
+  const char *PassName = nullptr;
+  uint64_t N = 0;
+  if (Id.size() > 2 && Id[1] == ':' && (Id[0] == 'o' || Id[0] == 'r') &&
+      parseUnsigned(Id.c_str() + 2, N)) {
+    Pass = Id[0] == 'o' ? &Report.Original : &Report.Relaxed;
+    PassName = Id[0] == 'o' ? "|-o" : "|-r";
+  }
+  if (!Pass) {
+    std::fprintf(stderr,
+                 "relaxc: error: bad --explain id '%s' (expected o:<n> "
+                 "or r:<n>)\n",
+                 Id.c_str());
+    return false;
+  }
+  const VCOutcome *Found = nullptr;
+  for (const VCOutcome &O : Pass->Outcomes)
+    if (O.Condition.Id == N) {
+      Found = &O;
+      break;
+    }
+  if (!Found) {
+    std::fprintf(stderr,
+                 "relaxc: error: no obligation %s in the %s pass "
+                 "(%zu obligations)\n",
+                 Id.c_str(), PassName, Pass->Outcomes.size());
+    return false;
+  }
+  const VC &C = Found->Condition;
+  Printer P(Ctx.symbols());
+  std::printf("== obligation %s ==\n", Id.c_str());
+  std::printf("  judgment:    %s (%s pass)\n", judgmentKindName(C.Judgment),
+              PassName);
+  std::printf("  rule:        %s (%s obligation)\n", C.Rule.c_str(),
+              C.Kind == VCKind::Validity ? "validity" : "satisfiability");
+  if (C.Loc.isValid())
+    std::printf("  source:      line %u\n", C.Loc.Line);
+  std::printf("  description: %s\n", C.Description.c_str());
+  if (C.Origin)
+    std::printf("  origin statement:\n%s",
+                P.print(C.Origin, /*Indent=*/4).c_str());
+  else
+    std::printf("  origin statement: (whole-triple obligation)\n");
+  if (C.SimplifyTraceId)
+    std::printf("  simplify trace: rewrite #%u of this generator run\n",
+                C.SimplifyTraceId);
+  else
+    std::printf("  simplify trace: formula emitted verbatim\n");
+  std::printf("  formula:     %s\n", P.print(C.Formula).c_str());
+  std::printf("  status:      %s", vcStatusName(Found->Status));
+  if (!Found->SettledBy.empty())
+    std::printf(" — settled by %s", Found->SettledBy.c_str());
+  std::printf(" (%.2f ms)\n", Found->Millis);
+  if (!Found->Detail.empty())
+    std::printf("  detail:      %s\n", Found->Detail.c_str());
+  if (!Found->Trail.empty())
+    std::printf("  escalation trail: %s\n", Found->Trail.c_str());
+  return true;
+}
+
 int runVerify(const CliOptions &Opts, AstContext &Ctx, Program &Prog,
               DiagnosticEngine &Diags) {
   std::unique_ptr<Solver> Backend = makeSolver(Opts, Ctx);
@@ -167,12 +322,29 @@ int runVerify(const CliOptions &Opts, AstContext &Ctx, Program &Prog,
   VO.GenOpts.CheckSafety = !Opts.NoSafety;
   VO.RunRelaxed = !Opts.OriginalOnly;
   VO.Jobs = Opts.Jobs == 0 ? 1 : Opts.Jobs;
-  if (VO.Jobs > 1)
+  DischargeStats Stats;
+  VO.StatsOut = &Stats;
+  if (!Opts.Pipeline.empty()) {
+    PortfolioOptions PO;
+    PO.Tiers = Opts.Pipeline;
+    PO.Bounded.MaxQuantSteps = Opts.BoundedSteps;
+    PO.Bounded.Jobs = Opts.SolverJobs == 0 ? 1 : Opts.SolverJobs;
+    VO.Portfolio = std::move(PO);
+    if (RELAXC_HAVE_Z3)
+      VO.SmtFactory = [&Ctx] {
+        return std::make_unique<Z3Solver>(Ctx.symbols());
+      };
+  } else if (VO.Jobs > 1) {
     VO.SolverFactory = [&Opts, &Ctx] { return makeSolver(Opts, Ctx); };
+  }
   VerifyReport Report = V.run(VO);
   if (Diags.hasErrors())
     std::fprintf(stderr, "%s", Diags.render().c_str());
   std::printf("%s", renderReport(Report, Ctx.symbols(), Opts.Verbose).c_str());
+  if (Opts.SolverStats)
+    printSolverStats(Opts, Stats, Cached);
+  if (!Opts.Explain.empty() && !printExplain(Report, Opts.Explain, Ctx))
+    return 2;
   return Report.verified() ? 0 : 1;
 }
 

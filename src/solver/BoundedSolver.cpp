@@ -222,6 +222,8 @@ public:
   struct Outcome {
     Status St = Status::Exhausted;
     uint64_t Count = 0; ///< assignments attempted in this chunk
+    uint64_t Steps = 0; ///< quantifier-body evaluations in this chunk
+    bool StepTrip = false; ///< Budget status came from the step budget
     Model Witness;      ///< populated when St == Sat
   };
 
@@ -229,6 +231,7 @@ public:
                const FormulaEvalOptions &EvalOpts)
       : Plan(Plan), Opts(Opts), EvalOpts(EvalOpts), Dom(arrayDomain(Opts)),
         IntVal(Plan.Order.size()), ArrVal(Plan.Order.size()) {
+    Budget.MaxSteps = Opts.MaxQuantSteps;
     Execs.reserve(Plan.Conjuncts.size());
     IntScratch.resize(Plan.Conjuncts.size());
     ArrScratch.resize(Plan.Conjuncts.size());
@@ -245,18 +248,23 @@ public:
   }
 
   /// Evaluates the variable-free conjuncts (once, before any search).
+  /// A step-budget trip during a root check surfaces as `tripped()`.
   bool checkRoots() {
     for (uint32_t CI : Plan.RootChecks)
-      if (!checkConjunct(CI))
+      if (!checkConjunct(CI) || Budget.Tripped)
         return false;
     return true;
   }
+
+  bool tripped() const { return Budget.Tripped; }
+  uint64_t steps() const { return Budget.Steps; }
 
   /// Searches the subtree where the top variable takes domain indices in
   /// [\p TopLo, \p TopHi). Requires a non-empty order.
   Outcome run(uint64_t TopLo, uint64_t TopHi) {
     Outcome Out;
     Out.St = descend(0, TopLo, TopHi, Out);
+    Out.Steps = Budget.Steps;
     return Out;
   }
 
@@ -271,13 +279,15 @@ private:
   std::vector<std::vector<int64_t>> IntScratch;
   std::vector<std::vector<const ArrayModelValue *>> ArrScratch;
   uint64_t Count = 0;
+  EvalBudget Budget;
 
   bool checkConjunct(uint32_t CI) {
     const PlannedConjunct &C = Plan.Conjuncts[CI];
     std::vector<int64_t> &IntIn = IntScratch[CI];
     for (size_t I = 0; I != C.IntArgPos.size(); ++I)
       IntIn[I] = IntVal[C.IntArgPos[I]];
-    bool R = Execs[CI].run(IntIn.data(), ArrScratch[CI].data(), EvalOpts);
+    bool R = Execs[CI].run(IntIn.data(), ArrScratch[CI].data(), EvalOpts,
+                           &Budget);
     return C.Negated ? !R : R;
   }
 
@@ -297,11 +307,20 @@ private:
         Dom.advance(ArrVal[Depth]);
 
       bool Pruned = false;
-      for (uint32_t CI : Plan.ChecksAt[Depth])
-        if (!checkConjunct(CI)) {
+      for (uint32_t CI : Plan.ChecksAt[Depth]) {
+        bool Holds = checkConjunct(CI);
+        if (Budget.Tripped) {
+          // The step budget tripped mid-evaluation; the conjunct's value
+          // is meaningless and the search must give up here.
+          Out.Count = Count;
+          Out.StepTrip = true;
+          return Status::Budget;
+        }
+        if (!Holds) {
           Pruned = true;
           break;
         }
+      }
       if (Pruned)
         continue; // the entire subtree under this prefix is dead
 
@@ -354,6 +373,7 @@ SatResult BoundedSolver::search(const std::vector<const BoolExpr *> &Formulas,
 
   SatResult Exhausted =
       Opts.ExhaustionMeansUnsat ? SatResult::Unsat : SatResult::Unknown;
+  LastStop = StopReason::Decided;
 
   SearchPlan Plan = buildPlan(Formulas, ExtraVars, Ctx);
   if (Plan.TriviallyFalse)
@@ -364,12 +384,27 @@ SatResult BoundedSolver::search(const std::vector<const BoolExpr *> &Formulas,
     // One (empty) candidate: the conjuncts are all variable-free.
     ++Candidates;
     SearchWorker Root(Plan, Opts, EvalOpts);
-    return Root.checkRoots() ? SatResult::Sat : Exhausted;
+    bool Hold = Root.checkRoots();
+    QuantSteps += Root.steps();
+    if (Root.tripped()) {
+      LastStop = StopReason::StepBudget;
+      return SatResult::Unknown;
+    }
+    return Hold ? SatResult::Sat : Exhausted;
   }
 
+  // The root checks run once on this thread; their quantifier steps stay
+  // charged to Main's budget, so chunk 0 (which reuses Main) continues the
+  // exact sequential counter.
   SearchWorker Main(Plan, Opts, EvalOpts);
-  if (!Main.checkRoots())
+  if (!Main.checkRoots()) {
+    QuantSteps += Main.steps();
+    if (Main.tripped()) {
+      LastStop = StopReason::StepBudget;
+      return SatResult::Unknown;
+    }
     return Exhausted;
+  }
 
   uint64_t TopDomain = domainSize(Plan.Order[0], Opts);
   if (TopDomain == 0)
@@ -397,21 +432,39 @@ SatResult BoundedSolver::search(const std::vector<const BoolExpr *> &Formulas,
   for (std::thread &T : Pool)
     T.join();
 
-  for (const SearchWorker::Outcome &O : Outcomes)
+  for (const SearchWorker::Outcome &O : Outcomes) {
     Candidates += O.Count;
+    QuantSteps += O.Steps;
+  }
 
   // Replay the chunks in domain order. Chunk searches are independent, so
-  // each chunk's candidate count is identical to what a sequential run
-  // would spend inside it; accumulating the counts in order therefore
-  // reproduces the sequential budget check, and taking the first Sat
-  // reproduces the sequential first witness.
-  uint64_t Cum = 0;
+  // each chunk's candidate and quantifier-step counts are identical to
+  // what a sequential run would spend inside it; accumulating the counts
+  // in order therefore reproduces the sequential budget checks, and
+  // taking the first Sat reproduces the sequential first witness. (A Sat
+  // chunk's counts stop at its witness, so "the sequential run trips
+  // before reaching this chunk's witness" is decidable from the sums.)
+  uint64_t CumCand = 0, CumSteps = 0;
   for (const SearchWorker::Outcome &O : Outcomes) {
-    if (O.St == SearchWorker::Status::Budget)
+    if (CumCand + O.Count > Opts.MaxCandidates) {
+      // A sequential run trips inside this chunk. When both budgets would
+      // trip in the same chunk the candidate budget is reported; the
+      // verdict (Unknown) never depends on the choice.
+      LastStop = StopReason::CandidateBudget;
       return SatResult::Unknown;
-    if (Cum + O.Count > Opts.MaxCandidates)
-      return SatResult::Unknown; // a sequential run trips inside this chunk
-    Cum += O.Count;
+    }
+    if (Opts.MaxQuantSteps != 0 && CumSteps + O.Steps > Opts.MaxQuantSteps) {
+      LastStop = StopReason::StepBudget;
+      return SatResult::Unknown;
+    }
+    if (O.St == SearchWorker::Status::Budget) {
+      // Defensive: a local trip always exceeds the cumulative budget too.
+      LastStop = O.StepTrip ? StopReason::StepBudget
+                            : StopReason::CandidateBudget;
+      return SatResult::Unknown;
+    }
+    CumCand += O.Count;
+    CumSteps += O.Steps;
     if (O.St == SearchWorker::Status::Sat) {
       if (ModelOut)
         *ModelOut = O.Witness;
@@ -494,11 +547,13 @@ BoundedSolver::enumerate(const std::vector<const BoolExpr *> &Formulas,
   EvalOpts.ArrayElemLo = Opts.ArrayElemLo;
   EvalOpts.ArrayElemHi = Opts.ArrayElemHi;
 
+  LastStop = StopReason::Decided;
   AssignmentEnumerator Enum(Vars, Opts);
   uint64_t Evaluated = 0;
   do {
     if (++Evaluated > Opts.MaxCandidates) {
       Candidates += Evaluated - 1;
+      LastStop = StopReason::CandidateBudget;
       return SatResult::Unknown;
     }
     const Model &M = Enum.current();

@@ -51,6 +51,13 @@ struct BoundedSolverOptions {
   /// engine counts every variable-value assignment it attempts (partial
   /// assignments included); the enumerate engine counts full models.
   uint64_t MaxCandidates = 4'000'000;
+  /// Per-query budget on quantifier-body evaluations inside conjunct
+  /// checks (see EvalBudget in FormulaEval.h); 0 = unlimited. Candidate
+  /// counting does not bound quantifier enumeration — this does, which is
+  /// what makes quantified corpora safely dischargeable at full domains.
+  /// Tripping reports Unknown at a deterministic point (search engine
+  /// only; the legacy enumerate engine ignores it).
+  uint64_t MaxQuantSteps = 0;
   /// When false, domain exhaustion reports Unknown instead of Unsat.
   bool ExhaustionMeansUnsat = true;
   /// Search = compiled programs + prefix pruning (default);
@@ -85,10 +92,25 @@ public:
   /// ablation metric the search engine is built to shrink.
   uint64_t candidatesEvaluated() const { return Candidates; }
 
+  /// Cumulative quantifier-body evaluations across all queries.
+  uint64_t quantStepsEvaluated() const { return QuantSteps; }
+
+  /// Why the most recent query stopped. Budget reasons accompany an
+  /// Unknown verdict and let a portfolio report *which* per-query budget
+  /// (candidates vs quantifier steps) caused the give-up.
+  enum class StopReason : uint8_t {
+    Decided,         ///< Sat witness found or domain exhausted
+    CandidateBudget, ///< MaxCandidates tripped
+    StepBudget,      ///< MaxQuantSteps tripped
+  };
+  StopReason lastStop() const { return LastStop; }
+
 private:
   BoundedSolverOptions Opts;
   AstContext *Ctx;
   uint64_t Candidates = 0;
+  uint64_t QuantSteps = 0;
+  StopReason LastStop = StopReason::Decided;
 
   SatResult search(const std::vector<const BoolExpr *> &Formulas,
                    const VarRefSet &Vars, Model *ModelOut);

@@ -31,6 +31,30 @@ struct FormulaEvalOptions {
   int64_t ArrayElemHi = 2;
 };
 
+/// A per-query budget on quantifier-body evaluations. The compiled
+/// `FormulaProgram::Executor` charges one step for every enumeration of a
+/// quantifier body; once `Steps` exceeds `MaxSteps` the budget is tripped,
+/// every further charge fails fast, and the evaluation's boolean result is
+/// meaningless — callers must check `Tripped` after each run and report
+/// the query as undecided. Evaluation order is deterministic, so the trip
+/// point is a pure function of (query, budget): the same query under the
+/// same budget always gives up at the same step.
+struct EvalBudget {
+  uint64_t MaxSteps = 0; ///< 0 = unlimited (steps still counted for stats)
+  uint64_t Steps = 0;    ///< quantifier-body evaluations consumed so far
+  bool Tripped = false;
+
+  /// Charges one step; returns false once the budget is exhausted.
+  bool charge() {
+    if (Tripped)
+      return false;
+    ++Steps;
+    if (MaxSteps != 0 && Steps > MaxSteps)
+      Tripped = true;
+    return !Tripped;
+  }
+};
+
 /// The bounded domain of one array variable: lengths 0..MaxLen ascending,
 /// then element digits least-significant first over [ElemLo, ElemHi].
 /// Every enumerator of array values (the quantifier evaluators, the

@@ -234,7 +234,10 @@ FormulaProgram::Executor::Executor(const FormulaProgram &P)
 
 bool FormulaProgram::Executor::run(const int64_t *IntIn,
                                    const ArrayModelValue *const *ArrIn,
-                                   const FormulaEvalOptions &Opts) {
+                                   const FormulaEvalOptions &Opts,
+                                   EvalBudget *Budget) {
+  if (Budget && Budget->Tripped)
+    return false; // fast abort; the caller must check Tripped
   for (const Inst &I : P.Code) {
     switch (I.K) {
     case Inst::Op::IntConst:
@@ -322,7 +325,9 @@ bool FormulaProgram::Executor::run(const int64_t *IntIn,
       Bools[I.Dst] = !(Bools[I.A] != 0);
       break;
     case Inst::Op::Exists:
-      Bools[I.Dst] = runExists(I, IntIn, ArrIn, Opts);
+      Bools[I.Dst] = runExists(I, IntIn, ArrIn, Opts, Budget);
+      if (Budget && Budget->Tripped)
+        return false; // result meaningless once the budget tripped
       break;
     }
   }
@@ -331,7 +336,8 @@ bool FormulaProgram::Executor::run(const int64_t *IntIn,
 
 bool FormulaProgram::Executor::runExists(const Inst &I, const int64_t *IntIn,
                                          const ArrayModelValue *const *ArrIn,
-                                         const FormulaEvalOptions &Opts) {
+                                         const FormulaEvalOptions &Opts,
+                                         EvalBudget *Budget) {
   const SubProgram &SP = P.Subs[I.A];
   SubState &S = SubStates[I.A];
   if (!S.Exec) {
@@ -360,10 +366,14 @@ bool FormulaProgram::Executor::runExists(const Inst &I, const int64_t *IntIn,
 
   if (SP.Bound.Kind == VarKind::Int) {
     for (int64_t V = Opts.IntLo; V <= Opts.IntHi; ++V) {
+      if (Budget && !Budget->charge())
+        return false;
       if (BoundInt != SIZE_MAX)
         S.IntIn[BoundInt] = V;
-      if (S.Exec->run(S.IntIn.data(), S.ArrIn.data(), Opts))
+      if (S.Exec->run(S.IntIn.data(), S.ArrIn.data(), Opts, Budget))
         return true;
+      if (Budget && Budget->Tripped)
+        return false;
       if (BoundInt == SIZE_MAX)
         return false; // body ignores the bound variable
     }
@@ -374,8 +384,12 @@ bool FormulaProgram::Executor::runExists(const Inst &I, const int64_t *IntIn,
   ArrayDomain D(Opts);
   S.BoundArr = ArrayModelValue();
   do {
-    if (S.Exec->run(S.IntIn.data(), S.ArrIn.data(), Opts))
+    if (Budget && !Budget->charge())
+      return false;
+    if (S.Exec->run(S.IntIn.data(), S.ArrIn.data(), Opts, Budget))
       return true;
+    if (Budget && Budget->Tripped)
+      return false;
     if (BoundArr == SIZE_MAX)
       return false; // body ignores the bound variable
   } while (D.advance(S.BoundArr));

@@ -108,8 +108,11 @@ public:
     /// pointer per intInputs() / arrayInputs() entry (pointers, so hot
     /// callers bind array variables without copying a value per check);
     /// \p Opts bounds quantifier enumeration (matching evalFormula).
+    /// \p Budget, when non-null, is charged one step per quantifier-body
+    /// evaluation; once it trips the run aborts and the returned boolean
+    /// is meaningless — check `Budget->Tripped` after every run.
     bool run(const int64_t *IntIn, const ArrayModelValue *const *ArrIn,
-             const FormulaEvalOptions &Opts);
+             const FormulaEvalOptions &Opts, EvalBudget *Budget = nullptr);
 
   private:
     const FormulaProgram &P;
@@ -127,7 +130,7 @@ public:
 
     bool runExists(const Inst &I, const int64_t *IntIn,
                    const ArrayModelValue *const *ArrIn,
-                   const FormulaEvalOptions &Opts);
+                   const FormulaEvalOptions &Opts, EvalBudget *Budget);
   };
 
   /// Convenience: compiles (uncached) and evaluates under a Model.

@@ -1,0 +1,302 @@
+//===- Portfolio.cpp - Tiered solver portfolio --------------------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Portfolio.h"
+
+#include "support/Casting.h"
+
+#include <cassert>
+
+using namespace relax;
+
+const char *relax::tierKindName(TierKind K) {
+  switch (K) {
+  case TierKind::Simplify:
+    return "simplify";
+  case TierKind::Bounded:
+    return "bounded";
+  case TierKind::Smt:
+    return "z3";
+  }
+  return "?";
+}
+
+Result<std::vector<TierKind>> relax::parsePipelineSpec(std::string_view Spec) {
+  std::vector<TierKind> Tiers;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    std::string_view Name = Spec.substr(
+        Pos, Comma == std::string_view::npos ? Spec.size() - Pos
+                                             : Comma - Pos);
+    if (Name == "simplify")
+      Tiers.push_back(TierKind::Simplify);
+    else if (Name == "bounded")
+      Tiers.push_back(TierKind::Bounded);
+    else if (Name == "z3")
+      Tiers.push_back(TierKind::Smt);
+    else
+      return Result<std::vector<TierKind>>::error(
+          "unknown pipeline tier '" + std::string(Name) +
+          "' (valid tiers: simplify, bounded, z3)");
+    if (Comma == std::string_view::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  if (Tiers.empty())
+    return Result<std::vector<TierKind>>::error("empty pipeline spec");
+  for (size_t I = 0; I != Tiers.size(); ++I) {
+    if (Tiers[I] == TierKind::Simplify && I != 0)
+      return Result<std::vector<TierKind>>::error(
+          "the simplify tier must come first in the pipeline (it runs on "
+          "the preparing thread, before any escalation)");
+    for (size_t J = I + 1; J != Tiers.size(); ++J)
+      if (Tiers[I] == Tiers[J])
+        return Result<std::vector<TierKind>>::error(
+            std::string("duplicate pipeline tier '") +
+            tierKindName(Tiers[I]) + "'");
+  }
+  return Tiers;
+}
+
+std::string relax::formatPipeline(const std::vector<TierKind> &Tiers) {
+  std::string Out;
+  for (TierKind K : Tiers) {
+    if (!Out.empty())
+      Out += ",";
+    Out += tierKindName(K);
+  }
+  return Out;
+}
+
+void PortfolioStats::merge(const PortfolioStats &O) {
+  if (Tiers.size() < O.Tiers.size())
+    Tiers.resize(O.Tiers.size());
+  for (size_t I = 0; I != O.Tiers.size(); ++I) {
+    Tiers[I].Settled += O.Tiers[I].Settled;
+    Tiers[I].GaveUp += O.Tiers[I].GaveUp;
+    Tiers[I].BudgetTrips += O.Tiers[I].BudgetTrips;
+  }
+  Queries += O.Queries;
+  Escalations += O.Escalations;
+}
+
+PortfolioSolver::PortfolioSolver(AstContext &Ctx, PortfolioOptions Opts,
+                                 BackendFactory SmtFactory)
+    : Ctx(Ctx), Opts(std::move(Opts)), Simp(Ctx) {
+  assert(!this->Opts.Tiers.empty() && "portfolio needs at least one tier");
+  size_t N = this->Opts.Tiers.size();
+  Stats.Tiers.resize(N);
+  Backends.resize(N);
+  BoundedTier.resize(N, nullptr);
+  TierNames.resize(N);
+  for (size_t I = 0; I != N; ++I) {
+    TierKind K = this->Opts.Tiers[I];
+    bool Last = I + 1 == N;
+    switch (K) {
+    case TierKind::Simplify:
+      assert(I == 0 && "simplify tier must come first");
+      TierNames[I] = "simplify";
+      break;
+    case TierKind::Bounded: {
+      BoundedSolverOptions B = this->Opts.Bounded;
+      // As a non-final tier, exhaustion escalates: bounded Unsat only
+      // means "no model in the domain". As the final tier it keeps the
+      // classic authoritative convention.
+      B.ExhaustionMeansUnsat = Last;
+      auto S = std::make_unique<BoundedSolver>(B, &Ctx);
+      BoundedTier[I] = S.get();
+      Backends[I] = std::move(S);
+      TierNames[I] = "bounded";
+      break;
+    }
+    case TierKind::Smt:
+      if (SmtFactory) {
+        Backends[I] = SmtFactory();
+        TierNames[I] = Backends[I]->name();
+      } else {
+        // Degrade to bounded-at-full-domain: same domains, relaxed
+        // budgets, authoritative exhaustion.
+        BoundedSolverOptions B = this->Opts.Bounded;
+        B.ExhaustionMeansUnsat = true;
+        if (B.MaxQuantSteps != 0)
+          B.MaxQuantSteps *= this->Opts.FinalBoundedStepFactor;
+        B.MaxCandidates *= this->Opts.FinalBoundedStepFactor;
+        auto S = std::make_unique<BoundedSolver>(B, &Ctx);
+        BoundedTier[I] = S.get();
+        Backends[I] = std::move(S);
+        TierNames[I] = "bounded-full";
+      }
+      break;
+    }
+  }
+}
+
+size_t PortfolioSolver::firstWorkerTier() const {
+  size_t I = 0;
+  while (I != Opts.Tiers.size() && Opts.Tiers[I] == TierKind::Simplify)
+    ++I;
+  return I;
+}
+
+size_t PortfolioSolver::firstEscalationTier() const {
+  // Inline stage: the simplify prefix's first successor (typically the
+  // budgeted bounded tier); everything after it is queued.
+  size_t I = firstWorkerTier();
+  return I == Opts.Tiers.size() ? I : I + 1;
+}
+
+Result<SatResult>
+PortfolioSolver::runSimplifyTier(size_t I,
+                                 const std::vector<const BoolExpr *> &F,
+                                 Model *ModelOut, bool &Settled) {
+  const BoolExpr *Conj = F.size() == 1 ? F[0] : Ctx.conj(F);
+  const BoolExpr *S = Simp.simplify(Conj);
+  const auto *Lit = dyn_cast<BoolLitExpr>(S);
+  if (!Lit) {
+    Settled = false;
+    return SatResult::Unknown;
+  }
+  Settled = true;
+  if (ModelOut) {
+    // A constant query constrains nothing; on Sat any assignment (the
+    // defaults) is a model.
+    ModelOut->Ints.clear();
+    ModelOut->Arrays.clear();
+  }
+  return Lit->value() ? SatResult::Sat : SatResult::Unsat;
+}
+
+Result<SatResult>
+PortfolioSolver::checkRange(size_t From, size_t To,
+                            const std::vector<const BoolExpr *> &Formulas,
+                            const VarRefSet *Vars, Model *ModelOut) {
+  size_t N = Opts.Tiers.size();
+  assert(From <= To && To <= N);
+  LastSettled = false;
+  LastSettledTier = -1;
+  LastSettledBy = "portfolio";
+  // The trail covers one checkRange call; the scheduler concatenates
+  // stage trails itself. Queries are counted once per logical query.
+  LastTrail.clear();
+  // Model re-queries for counterexample details run with stats paused
+  // (see ScopedStatsPause) so they do not double-count.
+  auto Count = [&](uint64_t &C) {
+    if (!StatsPaused)
+      ++C;
+  };
+  if (From == 0)
+    Count(Stats.Queries);
+
+  auto AppendTrail = [&](size_t I, const std::string &Why) {
+    if (!LastTrail.empty())
+      LastTrail += "; ";
+    LastTrail += std::string(TierNames[I]) + ": " + Why;
+  };
+
+  for (size_t I = From; I != To; ++I) {
+    bool LastTier = I + 1 == N;
+    if (Opts.Tiers[I] == TierKind::Simplify) {
+      bool Settled = false;
+      Result<SatResult> R = runSimplifyTier(I, Formulas, ModelOut, Settled);
+      if (Settled) {
+        Count(Stats.Tiers[I].Settled);
+        LastSettled = true;
+        LastSettledTier = static_cast<int>(I);
+        LastSettledBy = TierNames[I];
+        return R;
+      }
+      Count(Stats.Tiers[I].GaveUp);
+      if (!LastTier)
+        Count(Stats.Escalations);
+      AppendTrail(I, "did not fold to a constant");
+      continue;
+    }
+
+    Solver &B = *Backends[I];
+    Result<SatResult> R = ModelOut && Vars
+                              ? B.checkSatWithModel(Formulas, *Vars, *ModelOut)
+                              : B.checkSat(Formulas);
+    if (!R.ok()) {
+      if (LastTier)
+        return R; // nothing left to escalate to
+      Count(Stats.Tiers[I].GaveUp);
+      Count(Stats.Escalations);
+      AppendTrail(I, "error: " + R.message());
+      continue;
+    }
+    if (*R != SatResult::Unknown) {
+      Count(Stats.Tiers[I].Settled);
+      LastSettled = true;
+      LastSettledTier = static_cast<int>(I);
+      LastSettledBy = TierNames[I];
+      return *R;
+    }
+
+    // Unknown: compose the give-up reason.
+    std::string Why = "returned unknown";
+    bool BudgetTrip = false;
+    if (const BoundedSolver *BS = BoundedTier[I]) {
+      switch (BS->lastStop()) {
+      case BoundedSolver::StopReason::CandidateBudget:
+        Why = "candidate budget (" +
+              std::to_string(Opts.Bounded.MaxCandidates) + ") tripped";
+        BudgetTrip = true;
+        break;
+      case BoundedSolver::StopReason::StepBudget:
+        Why = "quantifier-step budget tripped";
+        BudgetTrip = true;
+        break;
+      case BoundedSolver::StopReason::Decided:
+        Why = "domain exhausted without a model";
+        break;
+      }
+    }
+    Count(Stats.Tiers[I].GaveUp);
+    if (BudgetTrip)
+      Count(Stats.Tiers[I].BudgetTrips);
+    AppendTrail(I, Why);
+    if (LastTier) {
+      // The final tier's Unknown is the portfolio's verdict.
+      LastSettled = true;
+      LastSettledTier = static_cast<int>(I);
+      LastSettledBy = TierNames[I];
+      return SatResult::Unknown;
+    }
+    Count(Stats.Escalations);
+  }
+  return SatResult::Unknown; // unsettled within [From, To)
+}
+
+Result<SatResult>
+PortfolioSolver::checkSat(const std::vector<const BoolExpr *> &Formulas) {
+  ++Queries;
+  return checkRange(0, tierCount(), Formulas, nullptr, nullptr);
+}
+
+Result<SatResult>
+PortfolioSolver::checkSatWithModel(const std::vector<const BoolExpr *> &Formulas,
+                                   const VarRefSet &Vars, Model &ModelOut) {
+  ++Queries;
+  return checkRange(0, tierCount(), Formulas, &Vars, &ModelOut);
+}
+
+uint64_t PortfolioSolver::boundedCandidates() const {
+  uint64_t N = 0;
+  for (const BoundedSolver *B : BoundedTier)
+    if (B)
+      N += B->candidatesEvaluated();
+  return N;
+}
+
+uint64_t PortfolioSolver::boundedQuantSteps() const {
+  uint64_t N = 0;
+  for (const BoundedSolver *B : BoundedTier)
+    if (B)
+      N += B->quantStepsEvaluated();
+  return N;
+}

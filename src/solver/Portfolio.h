@@ -1,0 +1,211 @@
+//===- Portfolio.h - Tiered solver portfolio -----------------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A composable chain of decision-procedure tiers, cheapest first. Each
+/// tier either settles a query (Sat / Unsat, or Unknown from the final
+/// tier) or gives up with a reason, escalating to the next tier:
+///
+///   * `simplify` — the persistent simplifier; settles exactly the
+///     queries it folds to ⊤ (Sat) or ⊥ (Unsat). The simplifier is
+///     equivalence-preserving, so a constant verdict is exact. Builds
+///     nodes through the AstContext and therefore must run on the thread
+///     that owns the context (see firstWorkerTier()).
+///   * `bounded` — the backtracking bounded search under per-query
+///     candidate and quantifier-step budgets. Sat answers carry a real
+///     witness and are exact; as a non-final tier, exhaustion and budget
+///     trips both escalate (bounded Unsat is only "no model in the
+///     domain"). As the final tier it keeps the classic authoritative
+///     exhaustion-means-Unsat convention.
+///   * `z3` — the SMT backend. When Z3 is not built (or no backend
+///     factory is supplied) the tier degrades to `bounded-full`: the
+///     bounded search at the same domains with a relaxed (16x) step
+///     budget and authoritative exhaustion.
+///
+/// Tier ordering invariants (checked at construction): the chain is
+/// non-empty, `simplify` may only appear first, and no tier kind repeats.
+///
+/// A PortfolioSolver is a `Solver`, so everything programmed against the
+/// decision-procedure interface — the verifier's discharge path, the
+/// proof checker's re-discharge and model sampling, the solver oracles —
+/// runs the same tier chain and can never disagree on backend semantics.
+/// Like the concrete backends it is not safe for concurrent use: the
+/// parallel discharger builds one portfolio per worker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_SOLVER_PORTFOLIO_H
+#define RELAXC_SOLVER_PORTFOLIO_H
+
+#include "logic/Simplify.h"
+#include "solver/BoundedSolver.h"
+
+#include <functional>
+#include <memory>
+
+namespace relax {
+
+/// One tier of the portfolio.
+enum class TierKind : uint8_t { Simplify, Bounded, Smt };
+
+/// Returns "simplify" / "bounded" / "z3".
+const char *tierKindName(TierKind K);
+
+/// Parses a `--pipeline=` spec such as "simplify,bounded,z3" and checks
+/// the tier-ordering invariants.
+Result<std::vector<TierKind>> parsePipelineSpec(std::string_view Spec);
+
+/// Renders a tier chain as "simplify,bounded,z3".
+std::string formatPipeline(const std::vector<TierKind> &Tiers);
+
+/// Configuration of a portfolio.
+struct PortfolioOptions {
+  std::vector<TierKind> Tiers = {TierKind::Simplify, TierKind::Bounded,
+                                 TierKind::Smt};
+  /// Domains and per-query budgets of the `bounded` tier. Defaults add a
+  /// quantifier-step budget (unlike a standalone BoundedSolver) so
+  /// quantified queries escalate instead of enumerating unbounded, and
+  /// shrink the candidate budget so a hopeless search escalates quickly —
+  /// as a non-final tier its job is to settle the easy obligations fast,
+  /// not to exhaust huge assignment spaces.
+  BoundedSolverOptions Bounded = []() {
+    BoundedSolverOptions B;
+    B.MaxCandidates = 100'000;
+    B.MaxQuantSteps = 200'000;
+    return B;
+  }();
+  /// Budget multipliers for the `bounded-full` final-tier fallback
+  /// (applied to the corresponding `Bounded` budgets).
+  uint64_t FinalBoundedStepFactor = 16;
+};
+
+/// Per-run portfolio statistics, mergeable across workers.
+struct PortfolioStats {
+  struct TierStat {
+    uint64_t Settled = 0;     ///< queries this tier answered definitively
+    uint64_t GaveUp = 0;      ///< queries it escalated (or ended Unknown)
+    uint64_t BudgetTrips = 0; ///< give-ups caused by a per-query budget
+  };
+  std::vector<TierStat> Tiers; ///< parallel to the pipeline
+  uint64_t Queries = 0;
+  uint64_t Escalations = 0; ///< tier hand-offs (non-final give-ups)
+
+  void merge(const PortfolioStats &O);
+};
+
+/// The tiered portfolio backend.
+class PortfolioSolver : public Solver {
+public:
+  using BackendFactory = std::function<std::unique_ptr<Solver>()>;
+
+  /// \p SmtFactory supplies the `z3` tier's backend; pass nullptr to
+  /// degrade that tier to bounded-at-full-domain. The portfolio must not
+  /// outlive \p Ctx (the bounded tiers cache compiled programs there).
+  PortfolioSolver(AstContext &Ctx, PortfolioOptions Opts,
+                  BackendFactory SmtFactory = nullptr);
+
+  const char *name() const override { return "portfolio"; }
+
+  Result<SatResult>
+  checkSat(const std::vector<const BoolExpr *> &Formulas) override;
+
+  Result<SatResult>
+  checkSatWithModel(const std::vector<const BoolExpr *> &Formulas,
+                    const VarRefSet &Vars, Model &ModelOut) override;
+
+  /// Runs only tiers [\p From, \p To) — the scheduler's staging interface.
+  /// Returns the first settling tier's verdict, or Unknown when every
+  /// tier in the range gave up (query unsettled if To < tierCount()).
+  /// \p Vars/\p ModelOut as in checkSatWithModel; pass nullptr to skip
+  /// model extraction.
+  Result<SatResult> checkRange(size_t From, size_t To,
+                               const std::vector<const BoolExpr *> &Formulas,
+                               const VarRefSet *Vars, Model *ModelOut);
+
+  /// True when the last checkSat/checkRange call settled its query.
+  bool lastSettled() const { return LastSettled; }
+
+  /// Index of the tier that settled the last query, or -1 when nothing
+  /// settled (range exhausted, cache-served, or no query yet). Lets a
+  /// counterexample re-query start at the settling tier instead of
+  /// re-paying every earlier tier's give-up budget.
+  int lastSettledTier() const { return LastSettledTier; }
+
+  size_t tierCount() const { return Opts.Tiers.size(); }
+  TierKind tier(size_t I) const { return Opts.Tiers[I]; }
+
+  /// Index of the first tier that may run on a discharge worker thread.
+  /// Tiers before it (the simplify prefix) build nodes through the
+  /// AstContext and must run on the thread that owns it.
+  size_t firstWorkerTier() const;
+
+  /// Index of the first escalation-stage tier: the parallel scheduler
+  /// runs tiers [firstWorkerTier, firstEscalationTier) inline on the
+  /// submitting worker and queues the rest.
+  size_t firstEscalationTier() const;
+
+  /// Display name of the tier that settled the last query ("simplify",
+  /// "bounded", "z3", "bounded-full"), or the portfolio name when
+  /// nothing settled.
+  const char *settledBy() const override { return LastSettledBy; }
+
+  /// Human-readable give-up trail of the last query, e.g.
+  /// "simplify: not a constant; bounded: quantifier-step budget
+  /// (200000) tripped".
+  std::string giveUpTrail() const override { return LastTrail; }
+
+  const PortfolioStats &stats() const { return Stats; }
+
+  /// Suspends statistics collection while alive. Used for the
+  /// counterexample-model re-query a failed validity obligation
+  /// triggers: it re-runs the tier chain, and counting it again would
+  /// inflate the per-tier settled counts and the query total.
+  class ScopedStatsPause {
+  public:
+    explicit ScopedStatsPause(PortfolioSolver &P) : P(P) {
+      P.StatsPaused = true;
+    }
+    ~ScopedStatsPause() { P.StatsPaused = false; }
+    ScopedStatsPause(const ScopedStatsPause &) = delete;
+    ScopedStatsPause &operator=(const ScopedStatsPause &) = delete;
+
+  private:
+    PortfolioSolver &P;
+  };
+
+  /// Cumulative bounded-tier work counters (all bounded tiers summed).
+  uint64_t boundedCandidates() const;
+  uint64_t boundedQuantSteps() const;
+
+private:
+  AstContext &Ctx;
+  PortfolioOptions Opts;
+  Simplifier Simp;
+  /// Backend per tier; null for the simplify tier.
+  std::vector<std::unique_ptr<Solver>> Backends;
+  /// Non-null where the tier's backend is a BoundedSolver (for counters
+  /// and stop reasons).
+  std::vector<BoundedSolver *> BoundedTier;
+  /// Display name per tier ("z3" vs "bounded-full" depends on what the
+  /// Smt tier degraded to).
+  std::vector<const char *> TierNames;
+  PortfolioStats Stats;
+  bool StatsPaused = false;
+
+  bool LastSettled = false;
+  int LastSettledTier = -1;
+  const char *LastSettledBy = "portfolio";
+  std::string LastTrail;
+
+  Result<SatResult> runSimplifyTier(size_t I,
+                                    const std::vector<const BoolExpr *> &F,
+                                    Model *ModelOut, bool &Settled);
+};
+
+} // namespace relax
+
+#endif // RELAXC_SOLVER_PORTFOLIO_H

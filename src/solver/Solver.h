@@ -98,6 +98,16 @@ public:
   /// only when wrapped in a CachingSolver).
   uint64_t queryCount() const { return Queries; }
 
+  /// Which component answered the most recent query. Plain backends
+  /// settle everything themselves; the tiered portfolio overrides this to
+  /// name the settling tier, and the verifier records it per obligation
+  /// (surfaced by `--explain`).
+  virtual const char *settledBy() const { return name(); }
+
+  /// Give-up trail of the most recent query (empty for plain backends):
+  /// one entry per portfolio tier that escalated, with its reason.
+  virtual std::string giveUpTrail() const { return std::string(); }
+
   //===--------------------------------------------------------------------===//
   // Derived helpers
   //===--------------------------------------------------------------------===//

@@ -1,0 +1,525 @@
+//===- Discharge.cpp - Obligation discharge subsystem -------------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vcgen/Discharge.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <thread>
+
+using namespace relax;
+
+const char *relax::vcStatusName(VCStatus S) {
+  switch (S) {
+  case VCStatus::Proved:
+    return "proved";
+  case VCStatus::Failed:
+    return "failed";
+  case VCStatus::Unknown:
+    return "unknown";
+  case VCStatus::SolverError:
+    return "error";
+  }
+  return "?";
+}
+
+const BoolExpr *relax::vcQuery(AstContext &Ctx, const VC &C) {
+  return C.Kind == VCKind::Validity ? Ctx.notExpr(C.Formula) : C.Formula;
+}
+
+void DischargeStats::merge(const DischargeStats &O) {
+  Portfolio.merge(O.Portfolio);
+  SharedCacheHits += O.SharedCacheHits;
+  SharedCacheMisses += O.SharedCacheMisses;
+  BoundedCandidates += O.BoundedCandidates;
+  BoundedQuantSteps += O.BoundedQuantSteps;
+  EscalatedObligations += O.EscalatedObligations;
+  StolenTasks += O.StolenTasks;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double millisSince(Clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+      .count();
+}
+
+/// Re-queries a solver with model extraction; parameterized so portfolio
+/// workers can skip the simplify prefix (which builds nodes and must not
+/// run on a worker thread).
+using ModelQueryFn = std::function<Result<SatResult>(
+    const std::vector<const BoolExpr *> &, const VarRefSet &, Model &)>;
+
+/// Maps a sat verdict \p R for \p Out's condition onto a discharge
+/// status and detail. Out.Condition must already be set. \p ModelQuery
+/// supplies the counterexample for a failed validity obligation.
+void applyVerdict(VCOutcome &Out, const Result<SatResult> &R,
+                  const Interner &Syms, const ModelQueryFn &ModelQuery,
+                  const std::vector<const BoolExpr *> &Formulas) {
+  if (!R.ok()) {
+    Out.Status = VCStatus::SolverError;
+    Out.Detail = R.message();
+    return;
+  }
+  if (Out.Condition.Kind == VCKind::Validity) {
+    switch (*R) {
+    case SatResult::Unsat:
+      Out.Status = VCStatus::Proved;
+      break;
+    case SatResult::Sat: {
+      Out.Status = VCStatus::Failed;
+      // Re-query with model extraction so the report shows a concrete
+      // witness state (pair) falsifying the obligation.
+      Model Counterexample;
+      Result<SatResult> WithModel =
+          ModelQuery(Formulas, freeVars(Out.Condition.Formula),
+                     Counterexample);
+      if (WithModel.ok() && *WithModel == SatResult::Sat)
+        Out.Detail = "counterexample: " + formatModel(Syms, Counterexample);
+      else
+        Out.Detail = "counterexample exists";
+      break;
+    }
+    case SatResult::Unknown:
+      Out.Status = VCStatus::Unknown;
+      Out.Detail = "solver returned unknown";
+      break;
+    }
+    return;
+  }
+  switch (*R) {
+  case SatResult::Sat:
+    Out.Status = VCStatus::Proved;
+    break;
+  case SatResult::Unsat:
+    Out.Status = VCStatus::Failed;
+    Out.Detail = "the choice predicate admits no assignment";
+    break;
+  case SatResult::Unknown:
+    Out.Status = VCStatus::Unknown;
+    Out.Detail = "solver returned unknown";
+    break;
+  }
+}
+
+ModelQueryFn modelQueryOn(Solver &S) {
+  // A portfolio re-runs its tier chain for the model; pause its stats so
+  // the re-query does not double-count queries / per-tier settlements.
+  if (auto *P = dynamic_cast<PortfolioSolver *>(&S))
+    return [P](const std::vector<const BoolExpr *> &F, const VarRefSet &Vars,
+               Model &M) {
+      PortfolioSolver::ScopedStatsPause Pause(*P);
+      return P->checkSatWithModel(F, Vars, M);
+    };
+  return [&S](const std::vector<const BoolExpr *> &F, const VarRefSet &Vars,
+              Model &M) { return S.checkSatWithModel(F, Vars, M); };
+}
+
+/// Like modelQueryOn, but a portfolio re-query starts at the tier that
+/// settled the original query instead of re-paying every earlier tier's
+/// give-up budget. Only valid right after a settling checkSat/checkRange
+/// on \p S (not after a cache hit, where no tier ran).
+ModelQueryFn modelQueryFromSettledTier(Solver &S) {
+  auto *P = dynamic_cast<PortfolioSolver *>(&S);
+  if (!P || P->lastSettledTier() < 0)
+    return modelQueryOn(S);
+  size_t From = static_cast<size_t>(P->lastSettledTier());
+  return [P, From](const std::vector<const BoolExpr *> &F,
+                   const VarRefSet &Vars, Model &M) {
+    PortfolioSolver::ScopedStatsPause Pause(*P);
+    return P->checkRange(From, P->tierCount(), F, &Vars, &M);
+  };
+}
+
+void appendTrail(std::string &Trail, const std::string &More) {
+  if (More.empty())
+    return;
+  if (!Trail.empty())
+    Trail += "; ";
+  Trail += More;
+}
+
+} // namespace
+
+VCOutcome relax::dischargeVC(const VC &Condition, const BoolExpr *Query,
+                             Solver &S, const Interner &Syms,
+                             SharedSolverCache *Shared) {
+  VCOutcome Out;
+  Out.Condition = Condition;
+
+  auto Start = Clock::now();
+  std::vector<const BoolExpr *> Formulas{Query};
+
+  Result<SatResult> R = SatResult::Unknown;
+  bool FromCache = false;
+  if (Shared) {
+    if (std::optional<SatResult> Cached = Shared->lookup(Formulas)) {
+      R = *Cached;
+      FromCache = true;
+    }
+  }
+  if (!FromCache) {
+    R = S.checkSat(Formulas);
+    if (Shared && R.ok())
+      Shared->insert(Formulas, *R);
+  }
+
+  if (FromCache)
+    Out.SettledBy = "cache";
+  else if (R.ok()) {
+    Out.SettledBy = S.settledBy();
+    Out.Trail = S.giveUpTrail();
+  }
+  applyVerdict(Out, R, Syms,
+               FromCache ? modelQueryOn(S) : modelQueryFromSettledTier(S),
+               Formulas);
+  Out.Millis = millisSince(Start);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// DischargeScheduler
+//===----------------------------------------------------------------------===//
+
+DischargeScheduler::DischargeScheduler(AstContext &Ctx, Config Cfg)
+    : Ctx(Ctx), Cfg(std::move(Cfg)) {
+  if (this->Cfg.Portfolio)
+    MainPortfolio = std::make_unique<PortfolioSolver>(
+        Ctx, *this->Cfg.Portfolio, this->Cfg.SmtFactory);
+}
+
+DischargeScheduler::~DischargeScheduler() = default;
+
+DischargeStats DischargeScheduler::stats() const {
+  DischargeStats S = WorkerAccum;
+  if (MainPortfolio) {
+    S.Portfolio.merge(MainPortfolio->stats());
+    S.BoundedCandidates += MainPortfolio->boundedCandidates();
+    S.BoundedQuantSteps += MainPortfolio->boundedQuantSteps();
+  }
+  S.SharedCacheHits += Shared.hitCount();
+  S.SharedCacheMisses += Shared.missCount();
+  return S;
+}
+
+void DischargeScheduler::discharge(VCSet Set, JudgmentReport &Report,
+                                   Solver &Fallback) {
+  Report.Derivation = std::move(Set.Derivation);
+  std::vector<VC> &VCs = Set.VCs;
+  if (VCs.empty())
+    return;
+
+  // Pre-build every query formula on this thread: node construction goes
+  // through the (single-threaded) hash-consing factories.
+  std::vector<const BoolExpr *> Queries;
+  Queries.reserve(VCs.size());
+  for (const VC &C : VCs)
+    Queries.push_back(vcQuery(Ctx, C));
+
+  std::vector<VCOutcome> Outcomes(VCs.size());
+
+  unsigned Jobs = Cfg.Jobs;
+  if (!portfolioMode() && !Cfg.SolverFactory)
+    Jobs = 1;
+  if (Jobs > VCs.size())
+    Jobs = static_cast<unsigned>(VCs.size());
+
+  if (Jobs > 1) {
+    dischargeParallel(VCs, Queries, Outcomes);
+  } else if (portfolioMode()) {
+    dischargeSequentialPortfolio(VCs, Queries, Outcomes);
+  } else {
+    // The classic single-backend sequential path, kept cache-free so a
+    // driver's CachingSolver wrapper observes every query.
+    for (size_t I = 0; I != VCs.size(); ++I)
+      Outcomes[I] = dischargeVC(VCs[I], Queries[I], Fallback, Ctx.symbols(),
+                                /*Shared=*/nullptr);
+  }
+
+  // VC order, not completion order: reports are deterministic.
+  for (VCOutcome &Out : Outcomes) {
+    Report.TotalMillis += Out.Millis;
+    Report.Outcomes.push_back(std::move(Out));
+  }
+}
+
+void DischargeScheduler::dischargeSequentialPortfolio(
+    std::vector<VC> &VCs, const std::vector<const BoolExpr *> &Qs,
+    std::vector<VCOutcome> &Outcomes) {
+  for (size_t I = 0; I != VCs.size(); ++I)
+    Outcomes[I] =
+        dischargeVC(VCs[I], Qs[I], *MainPortfolio, Ctx.symbols(), &Shared);
+}
+
+void DischargeScheduler::dischargeParallel(
+    std::vector<VC> &VCs, const std::vector<const BoolExpr *> &Qs,
+    std::vector<VCOutcome> &Outcomes) {
+  const Interner &Syms = Ctx.symbols();
+  size_t N = VCs.size();
+
+  // Portfolio stage boundaries: [0, FW) prepare-time simplify prefix,
+  // [FW, FE) inline on the submitting worker, [FE, NT) escalation queue.
+  size_t FW = 0, FE = 0, NT = 0;
+  if (portfolioMode()) {
+    FW = MainPortfolio->firstWorkerTier();
+    FE = MainPortfolio->firstEscalationTier();
+    NT = MainPortfolio->tierCount();
+  }
+
+  std::vector<std::string> Trails(N);
+  std::vector<size_t> Pending;
+  Pending.reserve(N);
+
+  if (portfolioMode() && FW > 0) {
+    // Prepare stage on this thread: the simplify tier builds nodes, so it
+    // cannot run on a worker. Cache first, mirroring the sequential path.
+    for (size_t I = 0; I != N; ++I) {
+      auto Start = Clock::now();
+      std::vector<const BoolExpr *> F{Qs[I]};
+      Outcomes[I].Condition = VCs[I];
+      if (std::optional<SatResult> Cached = Shared.lookup(F)) {
+        Outcomes[I].SettledBy = "cache";
+        applyVerdict(Outcomes[I], Result<SatResult>(*Cached), Syms,
+                     modelQueryOn(*MainPortfolio), F);
+        Outcomes[I].Millis += millisSince(Start);
+        continue;
+      }
+      Result<SatResult> R =
+          MainPortfolio->checkRange(0, FW, F, nullptr, nullptr);
+      if (MainPortfolio->lastSettled() || !R.ok()) {
+        Outcomes[I].SettledBy = MainPortfolio->settledBy();
+        Outcomes[I].Trail = MainPortfolio->giveUpTrail();
+        if (R.ok())
+          Shared.insert(F, *R);
+        applyVerdict(Outcomes[I], R, Syms, modelQueryOn(*MainPortfolio), F);
+        Outcomes[I].Millis += millisSince(Start);
+        continue;
+      }
+      Trails[I] = MainPortfolio->giveUpTrail();
+      Outcomes[I].Millis += millisSince(Start);
+      Pending.push_back(I);
+    }
+  } else {
+    for (size_t I = 0; I != N; ++I)
+      Pending.push_back(I);
+  }
+  if (Pending.empty())
+    return;
+
+  unsigned Jobs =
+      static_cast<unsigned>(std::min<size_t>(Cfg.Jobs, Pending.size()));
+
+  // Per-worker deques, round-robin seeded. Owners pop the front; thieves
+  // pop the back, so a steal grabs the work its owner would reach last.
+  struct WorkerDeque {
+    std::mutex M;
+    std::deque<size_t> Q;
+  };
+  std::vector<WorkerDeque> Deques(Jobs);
+  for (size_t K = 0; K != Pending.size(); ++K)
+    Deques[K % Jobs].Q.push_back(Pending[K]);
+
+  std::atomic<size_t> PrimaryRemaining{Pending.size()};
+  std::mutex EscM;
+  std::condition_variable EscCV; // escalation pushed / primary drained
+  std::vector<size_t> Esc; // guarded by EscM; never shrinks
+  size_t EscNext = 0;      // guarded by EscM
+  std::atomic<uint64_t> Steals{0};
+  std::atomic<uint64_t> Escalated{0};
+  std::mutex StatsM; // guards WorkerAccum merging at worker exit
+
+  auto PopOwn = [&](unsigned W, size_t &I) {
+    std::lock_guard<std::mutex> L(Deques[W].M);
+    if (Deques[W].Q.empty())
+      return false;
+    I = Deques[W].Q.front();
+    Deques[W].Q.pop_front();
+    return true;
+  };
+  auto StealFrom = [&](unsigned W, size_t &I) {
+    for (unsigned D = 1; D != Jobs; ++D) {
+      WorkerDeque &V = Deques[(W + D) % Jobs];
+      std::lock_guard<std::mutex> L(V.M);
+      if (!V.Q.empty()) {
+        I = V.Q.back();
+        V.Q.pop_back();
+        return true;
+      }
+    }
+    return false;
+  };
+  auto PushEsc = [&](size_t I) {
+    {
+      std::lock_guard<std::mutex> L(EscM);
+      Esc.push_back(I);
+    }
+    EscCV.notify_all();
+  };
+  auto PopEsc = [&](size_t &I) {
+    std::lock_guard<std::mutex> L(EscM);
+    if (EscNext == Esc.size())
+      return false;
+    I = Esc[EscNext++];
+    return true;
+  };
+
+  auto WorkerFn = [&](unsigned W) {
+    std::unique_ptr<Solver> Single;
+    std::unique_ptr<PortfolioSolver> Port;
+    if (portfolioMode())
+      Port = std::make_unique<PortfolioSolver>(Ctx, *Cfg.Portfolio,
+                                               Cfg.SmtFactory);
+    else
+      Single = Cfg.SolverFactory();
+
+    // Model re-queries on a worker must skip the simplify prefix (it
+    // builds nodes); the query already failed to fold there anyway.
+    // \p From picks the first tier to re-run: FW for cache-served
+    // verdicts (no tier ran), the settling tier otherwise — so a failed
+    // obligation does not re-pay earlier tiers' give-up budgets.
+    auto WorkerModelAt = [&](size_t From) {
+      return ModelQueryFn([&, From](const std::vector<const BoolExpr *> &F,
+                                    const VarRefSet &Vars, Model &M) {
+        PortfolioSolver::ScopedStatsPause Pause(*Port);
+        return Port->checkRange(From, NT, F, &Vars, &M);
+      });
+    };
+    ModelQueryFn WorkerModelQuery =
+        Port ? WorkerModelAt(FW) : modelQueryOn(*Single);
+    auto SettledTierOr = [&](size_t Fallback) {
+      return Port->lastSettledTier() < 0
+                 ? Fallback
+                 : static_cast<size_t>(Port->lastSettledTier());
+    };
+
+    auto RunInline = [&](size_t I) {
+      if (!portfolioMode()) {
+        Outcomes[I] = dischargeVC(VCs[I], Qs[I], *Single, Syms, &Shared);
+        return;
+      }
+      auto Start = Clock::now();
+      std::vector<const BoolExpr *> F{Qs[I]};
+      Outcomes[I].Condition = VCs[I];
+      if (std::optional<SatResult> Cached = Shared.lookup(F)) {
+        Outcomes[I].SettledBy = "cache";
+        Outcomes[I].Trail = Trails[I];
+        applyVerdict(Outcomes[I], Result<SatResult>(*Cached), Syms,
+                     WorkerModelQuery, F);
+        Outcomes[I].Millis += millisSince(Start);
+        return;
+      }
+      Result<SatResult> R = Port->checkRange(FW, FE, F, nullptr, nullptr);
+      appendTrail(Trails[I], Port->giveUpTrail());
+      if (Port->lastSettled() || !R.ok() || FE == NT) {
+        Outcomes[I].SettledBy = Port->settledBy();
+        Outcomes[I].Trail = Trails[I];
+        if (R.ok())
+          Shared.insert(F, *R);
+        applyVerdict(Outcomes[I], R, Syms, WorkerModelAt(SettledTierOr(FW)),
+                     F);
+        Outcomes[I].Millis += millisSince(Start);
+        return;
+      }
+      Outcomes[I].Millis += millisSince(Start);
+      Escalated.fetch_add(1);
+      PushEsc(I);
+    };
+
+    auto RunEscalated = [&](size_t I) {
+      auto Start = Clock::now();
+      std::vector<const BoolExpr *> F{Qs[I]};
+      if (std::optional<SatResult> Cached = Shared.lookup(F)) {
+        // A duplicate settled elsewhere while this one sat queued.
+        Outcomes[I].SettledBy = "cache";
+        Outcomes[I].Trail = Trails[I];
+        applyVerdict(Outcomes[I], Result<SatResult>(*Cached), Syms,
+                     WorkerModelQuery, F);
+        Outcomes[I].Millis += millisSince(Start);
+        return;
+      }
+      Result<SatResult> R = Port->checkRange(FE, NT, F, nullptr, nullptr);
+      appendTrail(Trails[I], Port->giveUpTrail());
+      if (R.ok())
+        Shared.insert(F, *R);
+      Outcomes[I].SettledBy = Port->settledBy();
+      Outcomes[I].Trail = Trails[I];
+      applyVerdict(Outcomes[I], R, Syms, WorkerModelAt(SettledTierOr(FE)),
+                   F);
+      Outcomes[I].Millis += millisSince(Start);
+    };
+
+    // Escalations are pushed before the primary counter is decremented,
+    // so once PrimaryRemaining reads 0 every escalation is visible.
+    auto FinishPrimary = [&] {
+      if (PrimaryRemaining.fetch_sub(1) == 1) {
+        // Take (and drop) the wait mutex before notifying: a waiter that
+        // evaluated its predicate just before the decrement is ordered
+        // into the condition variable's queue by the time we can acquire
+        // EscM, so this final notification cannot be lost.
+        { std::lock_guard<std::mutex> L(EscM); }
+        EscCV.notify_all();
+      }
+    };
+    while (true) {
+      size_t I;
+      if (PopOwn(W, I)) {
+        RunInline(I);
+        FinishPrimary();
+        continue;
+      }
+      if (StealFrom(W, I)) {
+        Steals.fetch_add(1);
+        RunInline(I);
+        FinishPrimary();
+        continue;
+      }
+      // No inline work anywhere; help drain escalations.
+      if (PopEsc(I)) {
+        RunEscalated(I);
+        continue;
+      }
+      if (PrimaryRemaining.load() == 0) {
+        // All inline work done, so every escalation has been pushed;
+        // re-check once more, then we are finished.
+        if (PopEsc(I)) {
+          RunEscalated(I);
+          continue;
+        }
+        break;
+      }
+      // Primary tasks never appear after seeding, so an idle worker can
+      // only be woken by an escalation push or the last primary task
+      // completing — park on the condition instead of spinning.
+      std::unique_lock<std::mutex> L(EscM);
+      EscCV.wait(L, [&] {
+        return EscNext != Esc.size() || PrimaryRemaining.load() == 0;
+      });
+    }
+
+    if (Port) {
+      std::lock_guard<std::mutex> L(StatsM);
+      WorkerAccum.Portfolio.merge(Port->stats());
+      WorkerAccum.BoundedCandidates += Port->boundedCandidates();
+      WorkerAccum.BoundedQuantSteps += Port->boundedQuantSteps();
+    }
+  };
+
+  std::vector<std::thread> Pool;
+  Pool.reserve(Jobs - 1);
+  for (unsigned W = 1; W != Jobs; ++W)
+    Pool.emplace_back(WorkerFn, W);
+  WorkerFn(0);
+  for (std::thread &T : Pool)
+    T.join();
+
+  WorkerAccum.StolenTasks += Steals.load();
+  WorkerAccum.EscalatedObligations += Escalated.load();
+}

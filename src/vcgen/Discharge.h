@@ -1,0 +1,217 @@
+//===- Discharge.h - Obligation discharge subsystem ----------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared obligation-discharge subsystem: the per-VC verdict mapping
+/// (`dischargeVC`), the mutex-guarded verified result cache shared across
+/// workers and judgment passes, and the work-stealing scheduler that
+/// distributes obligations over a worker pool.
+///
+/// Both the `Verifier` and the `ProofChecker`'s re-discharge path go
+/// through `dischargeVC`, so the checker and the verifier can never
+/// disagree on how a VC maps to a solver query or how a sat verdict maps
+/// to a discharge status — whatever backend (including a tiered
+/// `PortfolioSolver`) either of them runs.
+///
+/// ## Scheduling model
+///
+/// VC generation is sequential (hash-consed node construction is not
+/// thread-safe), so queries — including the negations of validity VCs and
+/// any simplify-tier work — are prepared on the submitting thread before
+/// the fan-out. Workers then pull obligation indices from per-worker
+/// deques, stealing from a victim's deque when their own runs dry. In
+/// portfolio mode each worker runs the cheap tiers (the budgeted bounded
+/// search) inline; obligations every cheap tier gave up on are pushed to
+/// a shared escalation queue, drained — also cooperatively — by whichever
+/// workers go idle first, each owning its expensive final-tier backend.
+///
+/// ## The verdict-identity rule
+///
+/// Scheduling must never change a verdict. This holds by construction:
+/// each obligation's outcome is a pure function of its own query (every
+/// tier is deterministic, and per-query budgets make give-ups
+/// deterministic too), outcomes are stored by obligation index and
+/// emitted in VC order, and the shared cache only ever stores final
+/// verdicts — a hit returns exactly what recomputation would. The only
+/// observable difference between schedules is *who* settled an obligation
+/// (`VCOutcome::SettledBy` may say "cache" on one run and a tier name on
+/// another), which is why that field is informational and excluded from
+/// the differential pins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_VCGEN_DISCHARGE_H
+#define RELAXC_VCGEN_DISCHARGE_H
+
+#include "solver/CachingSolver.h"
+#include "solver/Portfolio.h"
+#include "vcgen/VC.h"
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+namespace relax {
+
+/// Discharge status of one VC.
+enum class VCStatus : uint8_t {
+  Proved,
+  Failed,      ///< solver found a counterexample / found the premise unsat
+  Unknown,     ///< solver gave up
+  SolverError, ///< backend error (timeout conversion, translation, ...)
+};
+
+/// Returns "proved" / "failed" / "unknown" / "error".
+const char *vcStatusName(VCStatus S);
+
+/// One VC with its discharge result.
+struct VCOutcome {
+  VC Condition;
+  VCStatus Status = VCStatus::Unknown;
+  std::string Detail;
+  double Millis = 0;
+  /// Which component settled the query: a backend name, a portfolio tier
+  /// name ("simplify", "bounded", "z3", "bounded-full"), or "cache" for
+  /// shared-cache hits. Informational: which duplicate of a query
+  /// computes vs hits the cache depends on worker timing, so this field
+  /// is excluded from the determinism pins (unlike Status and Detail).
+  std::string SettledBy;
+  /// Give-up trail of the portfolio tiers that escalated (informational,
+  /// empty outside portfolio mode and on cache hits).
+  std::string Trail;
+};
+
+/// All VCs of one judgment pass.
+struct JudgmentReport {
+  JudgmentKind Judgment = JudgmentKind::Original;
+  std::vector<VCOutcome> Outcomes;
+  std::vector<DerivationStep> Derivation;
+  double TotalMillis = 0;
+
+  size_t count(VCStatus S) const {
+    size_t N = 0;
+    for (const VCOutcome &O : Outcomes)
+      N += O.Status == S ? 1 : 0;
+    return N;
+  }
+  bool allProved() const { return count(VCStatus::Proved) == Outcomes.size(); }
+};
+
+/// A mutex-guarded SolverResultCache shared by the discharge workers, so
+/// a side condition settled by one worker is a cache hit for every other.
+/// Owned by the scheduler so duplicates across the |-o and |-r passes hit
+/// too. Only final verdicts are inserted (in portfolio mode: after the
+/// full escalation chain), so a hit always equals recomputation.
+class SharedSolverCache {
+public:
+  std::optional<SatResult>
+  lookup(const std::vector<const BoolExpr *> &Query) {
+    std::lock_guard<std::mutex> Lock(M);
+    return Cache.lookup(Query);
+  }
+  void insert(const std::vector<const BoolExpr *> &Query, SatResult R) {
+    std::lock_guard<std::mutex> Lock(M);
+    Cache.insert(Query, R);
+  }
+  uint64_t hitCount() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Cache.hitCount();
+  }
+  uint64_t missCount() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Cache.missCount();
+  }
+
+private:
+  mutable std::mutex M;
+  SolverResultCache Cache;
+};
+
+/// Builds the solver query for one VC: validity obligations are negated
+/// (`unsat` means proved — the conventional phrasing of a proof
+/// obligation), satisfiability premises pass through. Builds nodes, so it
+/// must run on the thread that owns the AstContext.
+const BoolExpr *vcQuery(AstContext &Ctx, const VC &C);
+
+/// Discharges one VC whose solver query \p Query was pre-built. The one
+/// shared verdict mapping: the sequential verifier path, the scheduler's
+/// workers, and the proof checker's re-discharge all call this, so they
+/// produce identical verdicts and diagnostics. Workers must not touch the
+/// AstContext: \p Syms is only read, and freeVars/formatModel are pure.
+VCOutcome dischargeVC(const VC &Condition, const BoolExpr *Query, Solver &S,
+                      const Interner &Syms, SharedSolverCache *Shared);
+
+/// Aggregated statistics of one scheduler's lifetime (`--solver-stats`).
+struct DischargeStats {
+  PortfolioStats Portfolio; ///< merged across all workers (portfolio mode)
+  uint64_t SharedCacheHits = 0;
+  uint64_t SharedCacheMisses = 0;
+  uint64_t BoundedCandidates = 0; ///< bounded-tier candidate assignments
+  uint64_t BoundedQuantSteps = 0; ///< bounded-tier quantifier-body evals
+  uint64_t EscalatedObligations = 0; ///< queued past the inline stage
+  uint64_t StolenTasks = 0; ///< obligations run by a non-owner worker
+
+  void merge(const DischargeStats &O);
+};
+
+/// The work-stealing obligation scheduler (see the file comment). One
+/// instance serves both judgment passes of a verification run, sharing
+/// its result cache and accumulating its statistics across them.
+class DischargeScheduler {
+public:
+  struct Config {
+    /// Number of discharge workers; <= 1 runs on the submitting thread.
+    unsigned Jobs = 1;
+    /// Tier chain for portfolio mode; nullopt = single-backend mode.
+    std::optional<PortfolioOptions> Portfolio;
+    /// Final-tier SMT backend factory for portfolio mode (null degrades
+    /// the z3 tier to bounded-at-full-domain).
+    PortfolioSolver::BackendFactory SmtFactory;
+    /// Per-worker backend factory for single-backend parallel mode; when
+    /// null, Jobs is forced to 1.
+    std::function<std::unique_ptr<Solver>()> SolverFactory;
+  };
+
+  DischargeScheduler(AstContext &Ctx, Config Cfg);
+  ~DischargeScheduler();
+
+  bool portfolioMode() const { return Cfg.Portfolio.has_value(); }
+
+  /// Discharges \p Set into \p Report, outcomes in VC order. \p Fallback
+  /// is the classic constructor-supplied backend, used for the
+  /// single-backend sequential path (kept cache-free there so a driver's
+  /// CachingSolver wrapper observes every query, exactly as before the
+  /// scheduler existed).
+  void discharge(VCSet Set, JudgmentReport &Report, Solver &Fallback);
+
+  /// Statistics accumulated so far.
+  DischargeStats stats() const;
+
+private:
+  AstContext &Ctx;
+  Config Cfg;
+  SharedSolverCache Shared;
+  /// Runs the simplify prefix at prepare time and the whole chain on the
+  /// sequential portfolio path; also the model backend for cache-hit
+  /// counterexamples settled on the submitting thread.
+  std::unique_ptr<PortfolioSolver> MainPortfolio;
+  /// Stats merged from joined workers (worker solvers die with their
+  /// threads; MainPortfolio and the cache are read live in stats()).
+  DischargeStats WorkerAccum;
+
+  void dischargeSequentialPortfolio(std::vector<VC> &VCs,
+                                    const std::vector<const BoolExpr *> &Qs,
+                                    std::vector<VCOutcome> &Outcomes);
+  void dischargeParallel(std::vector<VC> &VCs,
+                         const std::vector<const BoolExpr *> &Qs,
+                         std::vector<VCOutcome> &Outcomes);
+};
+
+} // namespace relax
+
+#endif // RELAXC_VCGEN_DISCHARGE_H

@@ -8,6 +8,7 @@
 #include "vcgen/ProofChecker.h"
 
 #include "support/Random.h"
+#include "vcgen/Discharge.h"
 
 using namespace relax;
 
@@ -257,23 +258,28 @@ void ProofChecker::checkRelationalStep(const DerivationStep &Step,
 ProofCheckReport ProofChecker::check(const VCSet &Set) {
   ProofCheckReport Report;
 
-  // 1. Re-discharge every VC.
+  // 1. Re-discharge every VC through the shared discharge path
+  // (vcgen/Discharge.h) — the same query construction and verdict
+  // mapping the Verifier uses, on whatever backend this checker holds
+  // (including a tiered PortfolioSolver), so checker and verifier can
+  // never disagree on backend semantics.
   for (size_t I = 0, E = Set.VCs.size(); I != E; ++I) {
     const VC &C = Set.VCs[I];
-    Result<SatResult> R =
-        C.Kind == VCKind::Validity
-            ? TheSolver.checkSat({Ctx.notExpr(C.Formula)})
-            : TheSolver.checkSat({C.Formula});
-    if (!R.ok() || *R == SatResult::Unknown) {
+    VCOutcome Out = dischargeVC(C, vcQuery(Ctx, C), TheSolver,
+                                Ctx.symbols(), /*Shared=*/nullptr);
+    switch (Out.Status) {
+    case VCStatus::Proved:
+      break;
+    case VCStatus::Unknown:
+    case VCStatus::SolverError:
       ++Report.StepsSkipped;
-      continue;
-    }
-    bool Proved = C.Kind == VCKind::Validity ? *R == SatResult::Unsat
-                                             : *R == SatResult::Sat;
-    if (!Proved)
+      break;
+    case VCStatus::Failed:
       Report.Violations.push_back({ProofCheckViolation::Kind::VCRejected, I,
                                    "VC '" + C.Rule + "' rejected: " +
                                        C.Description});
+      break;
+    }
   }
 
   // 2. Differentially test every derivation step against the interpreter.

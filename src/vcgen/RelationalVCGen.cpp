@@ -33,6 +33,9 @@ void RelationalVCGen::emitValidity(const BoolExpr *F, const char *Rule,
   V.Rule = Rule;
   V.Loc = Loc;
   V.Description = std::move(Description);
+  V.Id = static_cast<uint32_t>(Out.VCs.size());
+  V.Origin = CurStmt;
+  V.SimplifyTraceId = V.Formula != F ? ++SimplifyTraces : 0;
   Out.VCs.push_back(std::move(V));
 }
 
@@ -45,6 +48,9 @@ void RelationalVCGen::emitSat(const BoolExpr *F, const char *Rule,
   V.Rule = Rule;
   V.Loc = Loc;
   V.Description = std::move(Description);
+  V.Id = static_cast<uint32_t>(Out.VCs.size());
+  V.Origin = CurStmt;
+  V.SimplifyTraceId = V.Formula != F ? ++SimplifyTraces : 0;
   Out.VCs.push_back(std::move(V));
 }
 
@@ -289,6 +295,7 @@ void RelationalVCGen::emitSafetyOneSided(const BoolExpr *Pre,
 const BoolExpr *RelationalVCGen::genStmtOneSided(const Stmt *S,
                                                  const BoolExpr *Pre,
                                                  VarTag Side) {
+  CurStmt = S; // provenance: one-sided VCs originate from S too
   const char *RulePrefix =
       Side == VarTag::Orig ? "cases/orig" : "cases/rel";
   switch (S->kind()) {
@@ -436,6 +443,7 @@ const BoolExpr *RelationalVCGen::genIfCases(const IfStmt *I,
 }
 
 const BoolExpr *RelationalVCGen::genStmt(const Stmt *S, const BoolExpr *Pre) {
+  CurStmt = S; // provenance: VCs emitted below originate from S
   switch (S->kind()) {
   case Stmt::Kind::Skip:
     record("skip", S, Pre, Pre);
@@ -591,6 +599,7 @@ const BoolExpr *RelationalVCGen::genStmt(const Stmt *S, const BoolExpr *Pre) {
     }
 
     const BoolExpr *BodyPost = genStmt(W->body(), BodyPre);
+    CurStmt = S; // back out of the body: these VCs belong to the loop
     emitValidity(Ctx.implies(BodyPost, Inv), "while", S->loc(),
                  "the relational loop invariant is preserved by the body");
     if (Variant)
@@ -644,6 +653,7 @@ const BoolExpr *RelationalVCGen::genStmt(const Stmt *S, const BoolExpr *Pre) {
 void RelationalVCGen::genTriple(const BoolExpr *Pre, const Stmt *S,
                                 const BoolExpr *Post) {
   const BoolExpr *SP = genStmt(S, Pre);
+  CurStmt = nullptr; // a whole-triple obligation, not tied to one statement
   emitValidity(Ctx.implies(SP, Post), "consequence", S->loc(),
                "the relational postcondition follows from the strongest "
                "postcondition");

@@ -49,6 +49,9 @@ void UnaryVCGen::emitValidity(const BoolExpr *F, const char *Rule,
   V.Rule = Rule;
   V.Loc = Loc;
   V.Description = std::move(Description);
+  V.Id = static_cast<uint32_t>(Out.VCs.size());
+  V.Origin = CurStmt;
+  V.SimplifyTraceId = V.Formula != F ? ++SimplifyTraces : 0;
   Out.VCs.push_back(std::move(V));
 }
 
@@ -61,6 +64,9 @@ void UnaryVCGen::emitSat(const BoolExpr *F, const char *Rule, SourceLoc Loc,
   V.Rule = Rule;
   V.Loc = Loc;
   V.Description = std::move(Description);
+  V.Id = static_cast<uint32_t>(Out.VCs.size());
+  V.Origin = CurStmt;
+  V.SimplifyTraceId = V.Formula != F ? ++SimplifyTraces : 0;
   Out.VCs.push_back(std::move(V));
 }
 
@@ -154,6 +160,7 @@ const BoolExpr *UnaryVCGen::genHavocLike(const ChoiceStmtBase *S,
 }
 
 const BoolExpr *UnaryVCGen::genStmt(const Stmt *S, const BoolExpr *Pre) {
+  CurStmt = S; // provenance: VCs emitted below originate from S
   switch (S->kind()) {
   case Stmt::Kind::Skip:
     record("skip", S, Pre, Pre);
@@ -281,6 +288,7 @@ const BoolExpr *UnaryVCGen::genStmt(const Stmt *S, const BoolExpr *Pre) {
     }
 
     const BoolExpr *BodyPost = genStmt(W->body(), BodyPre);
+    CurStmt = S; // back out of the body: these VCs belong to the loop
     emitValidity(Ctx.implies(BodyPost, Inv), "while", S->loc(),
                  "the loop invariant is preserved by the body");
     if (Variant)
@@ -338,6 +346,7 @@ const BoolExpr *UnaryVCGen::genStmt(const Stmt *S, const BoolExpr *Pre) {
 void UnaryVCGen::genTriple(const BoolExpr *Pre, const Stmt *S,
                            const BoolExpr *Post) {
   const BoolExpr *SP = genStmt(S, Pre);
+  CurStmt = nullptr; // a whole-triple obligation, not tied to one statement
   emitValidity(Ctx.implies(SP, Post), "consequence", S->loc(),
                "the postcondition follows from the strongest postcondition");
 }

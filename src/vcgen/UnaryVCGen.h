@@ -69,6 +69,11 @@ private:
   VCGenOptions Opts;
   Simplifier Simp;
   VCSet Out;
+  /// Provenance state: the statement whose rule is currently being
+  /// applied (stamped on emitted VCs as their origin), and the running
+  /// count of obligation-formula rewrites (the simplify trace).
+  const Stmt *CurStmt = nullptr;
+  uint32_t SimplifyTraces = 0;
 
   const BoolExpr *maybeSimplify(const BoolExpr *B);
   void emitValidity(const BoolExpr *F, const char *Rule, SourceLoc Loc,

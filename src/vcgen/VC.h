@@ -40,7 +40,11 @@ enum class JudgmentKind : uint8_t {
 /// Returns "original" / "intermediate" / "relaxed".
 const char *judgmentKindName(JudgmentKind K);
 
-/// One generated verification condition.
+/// One generated verification condition, tagged with full provenance: the
+/// generating rule and judgment side, the originating statement and its
+/// source location, a stable obligation id, and the simplification trace
+/// id — everything `--explain=<vc-id>` prints and the per-example
+/// proof-effort statistics aggregate over.
 struct VC {
   VCKind Kind = VCKind::Validity;
   JudgmentKind Judgment = JudgmentKind::Original;
@@ -49,6 +53,19 @@ struct VC {
   std::string Rule;
   SourceLoc Loc;
   std::string Description;
+  /// Stable obligation id: the VC's position in its VCSet. Assigned at
+  /// emission and renumbered by VCSet::append, so ids stay dense and
+  /// unique within one generator pass (and one JudgmentReport).
+  uint32_t Id = 0;
+  /// The statement whose proof rule emitted this VC (null for
+  /// whole-triple obligations emitted before any statement is visited).
+  /// Statements are not hash-consed, so this pins the exact occurrence.
+  const Stmt *Origin = nullptr;
+  /// Simplification trace id: the ordinal of the generator's
+  /// obligation-formula rewrite that produced `Formula`, counted per
+  /// generator run; 0 when the formula was emitted verbatim (simplifier
+  /// off, or the rewrite was the identity).
+  uint32_t SimplifyTraceId = 0;
 };
 
 /// One rule application, recorded for the proof checker: the statement, the
@@ -67,8 +84,14 @@ struct VCSet {
   std::vector<VC> VCs;
   std::vector<DerivationStep> Derivation;
 
+  /// Appends \p Other, renumbering its obligation ids so every id equals
+  /// its position in this set (keeps ids dense and unique across the
+  /// sub-derivations the diverge rule splices in).
   void append(VCSet Other) {
-    VCs.insert(VCs.end(), Other.VCs.begin(), Other.VCs.end());
+    for (VC &V : Other.VCs) {
+      V.Id = static_cast<uint32_t>(VCs.size());
+      VCs.push_back(std::move(V));
+    }
     Derivation.insert(Derivation.end(), Other.Derivation.begin(),
                       Other.Derivation.end());
   }

@@ -8,28 +8,10 @@
 #include "vcgen/Verifier.h"
 
 #include "ast/Printer.h"
-#include "solver/CachingSolver.h"
 
-#include <atomic>
-#include <chrono>
-#include <mutex>
-#include <thread>
+#include <cstdio>
 
 using namespace relax;
-
-const char *relax::vcStatusName(VCStatus S) {
-  switch (S) {
-  case VCStatus::Proved:
-    return "proved";
-  case VCStatus::Failed:
-    return "failed";
-  case VCStatus::Unknown:
-    return "unknown";
-  case VCStatus::SolverError:
-    return "error";
-  }
-  return "?";
-}
 
 const BoolExpr *Verifier::effectiveRelRequires() {
   if (Prog.relRequiresClause())
@@ -43,177 +25,18 @@ const BoolExpr *Verifier::effectiveRelRequires() {
   return Ctx.conj(Parts);
 }
 
-/// A mutex-guarded SolverResultCache shared by the discharge workers, so a
-/// side condition proved by one worker is a cache hit for every other.
-/// Owned by run() so duplicates across the |-o and |-r passes hit too.
-class Verifier::SharedResultCache {
-public:
-  std::optional<SatResult>
-  lookup(const std::vector<const BoolExpr *> &Query) {
-    std::lock_guard<std::mutex> Lock(M);
-    return Cache.lookup(Query);
-  }
-  void insert(const std::vector<const BoolExpr *> &Query, SatResult R) {
-    std::lock_guard<std::mutex> Lock(M);
-    Cache.insert(Query, R);
-  }
-
-private:
-  std::mutex M;
-  SolverResultCache Cache;
-};
-
-namespace {
-
-/// Discharges one VC whose solver query \p Query was pre-built (for
-/// validity VCs, the negated formula). Shared by the sequential and
-/// parallel paths so both produce identical verdicts and diagnostics.
-/// Workers must not touch the AstContext: \p Syms is only read, and
-/// freeVars/formatModel are pure.
-VCOutcome dischargeOne(const VC &Condition, const BoolExpr *Query,
-                       Solver &S, const Interner &Syms,
-                       Verifier::SharedResultCache *Shared) {
-  VCOutcome Out;
-  Out.Condition = Condition;
-
-  auto Start = std::chrono::steady_clock::now();
-  std::vector<const BoolExpr *> Formulas{Query};
-
-  Result<SatResult> R = SatResult::Unknown;
-  bool FromCache = false;
-  if (Shared) {
-    if (std::optional<SatResult> Cached = Shared->lookup(Formulas)) {
-      R = *Cached;
-      FromCache = true;
-    }
-  }
-  if (!FromCache) {
-    R = S.checkSat(Formulas);
-    if (Shared && R.ok())
-      Shared->insert(Formulas, *R);
-  }
-
-  if (!R.ok()) {
-    Out.Status = VCStatus::SolverError;
-    Out.Detail = R.message();
-  } else if (Condition.Kind == VCKind::Validity) {
-    switch (*R) {
-    case SatResult::Unsat:
-      Out.Status = VCStatus::Proved;
-      break;
-    case SatResult::Sat: {
-      Out.Status = VCStatus::Failed;
-      // Re-query with model extraction so the report shows a concrete
-      // witness state (pair) falsifying the obligation.
-      Model Counterexample;
-      Result<SatResult> WithModel = S.checkSatWithModel(
-          Formulas, freeVars(Condition.Formula), Counterexample);
-      if (WithModel.ok() && *WithModel == SatResult::Sat)
-        Out.Detail = "counterexample: " + formatModel(Syms, Counterexample);
-      else
-        Out.Detail = "counterexample exists";
-      break;
-    }
-    case SatResult::Unknown:
-      Out.Status = VCStatus::Unknown;
-      Out.Detail = "solver returned unknown";
-      break;
-    }
-  } else {
-    switch (*R) {
-    case SatResult::Sat:
-      Out.Status = VCStatus::Proved;
-      break;
-    case SatResult::Unsat:
-      Out.Status = VCStatus::Failed;
-      Out.Detail = "the choice predicate admits no assignment";
-      break;
-    case SatResult::Unknown:
-      Out.Status = VCStatus::Unknown;
-      Out.Detail = "solver returned unknown";
-      break;
-    }
-  }
-  auto End = std::chrono::steady_clock::now();
-  Out.Millis = std::chrono::duration<double, std::milli>(End - Start).count();
-  return Out;
-}
-
-} // namespace
-
-void Verifier::discharge(VCSet Set, JudgmentReport &Report,
-                         const Options &Opts, SharedResultCache &Shared) {
-  Report.Derivation = std::move(Set.Derivation);
-
-  unsigned Jobs = Opts.Jobs;
-  if (!Opts.SolverFactory)
-    Jobs = 1;
-  if (Jobs > Set.VCs.size())
-    Jobs = static_cast<unsigned>(Set.VCs.size());
-
-  if (Jobs > 1) {
-    dischargeParallel(Set.VCs, Report, Opts, Shared);
-    return;
-  }
-
-  for (VC &Condition : Set.VCs) {
-    const BoolExpr *Query = Condition.Kind == VCKind::Validity
-                                ? Ctx.notExpr(Condition.Formula)
-                                : Condition.Formula;
-    VCOutcome Out = dischargeOne(Condition, Query, TheSolver, Ctx.symbols(),
-                                 /*Shared=*/nullptr);
-    Report.TotalMillis += Out.Millis;
-    Report.Outcomes.push_back(std::move(Out));
-  }
-}
-
-void Verifier::dischargeParallel(std::vector<VC> &VCs,
-                                 JudgmentReport &Report,
-                                 const Options &Opts,
-                                 SharedResultCache &Shared) {
-  // Pre-build every query formula on this thread: node construction goes
-  // through the (single-threaded) hash-consing factories.
-  std::vector<const BoolExpr *> Queries;
-  Queries.reserve(VCs.size());
-  for (const VC &Condition : VCs)
-    Queries.push_back(Condition.Kind == VCKind::Validity
-                          ? Ctx.notExpr(Condition.Formula)
-                          : Condition.Formula);
-
-  unsigned Jobs = std::min<unsigned>(Opts.Jobs,
-                                     static_cast<unsigned>(VCs.size()));
-  std::vector<VCOutcome> Outcomes(VCs.size());
-  std::atomic<size_t> Next{0};
-
-  auto Worker = [&]() {
-    std::unique_ptr<Solver> S = Opts.SolverFactory();
-    for (size_t I = Next.fetch_add(1); I < VCs.size();
-         I = Next.fetch_add(1))
-      Outcomes[I] =
-          dischargeOne(VCs[I], Queries[I], *S, Ctx.symbols(), &Shared);
-  };
-
-  std::vector<std::thread> Pool;
-  Pool.reserve(Jobs);
-  for (unsigned T = 0; T != Jobs; ++T)
-    Pool.emplace_back(Worker);
-  for (std::thread &T : Pool)
-    T.join();
-
-  // VC order, not completion order: reports are deterministic.
-  for (VCOutcome &Out : Outcomes) {
-    Report.TotalMillis += Out.Millis;
-    Report.Outcomes.push_back(std::move(Out));
-  }
-}
-
 VerifyReport Verifier::run(Options Opts) {
   VerifyReport Report;
-  // One result cache for the whole run: obligations duplicated between the
-  // |-o and |-r passes (convergence/safety side conditions) hit across
-  // judgments in the parallel path, mirroring what a CachingSolver wrapper
-  // provides on the sequential path.
-  SharedResultCache Shared;
+
+  // One scheduler for the whole run: obligations duplicated between the
+  // |-o and |-r passes (convergence/safety side conditions) share its
+  // result cache, and its statistics span both passes.
+  DischargeScheduler::Config SchedCfg;
+  SchedCfg.Jobs = Opts.Jobs;
+  SchedCfg.Portfolio = Opts.Portfolio;
+  SchedCfg.SmtFactory = Opts.SmtFactory;
+  SchedCfg.SolverFactory = Opts.SolverFactory;
+  DischargeScheduler Sched(Ctx, std::move(SchedCfg));
 
   Sema SemaPass(Prog, Diags);
   std::optional<SemaInfo> Info = SemaPass.run();
@@ -232,7 +55,7 @@ VerifyReport Verifier::run(Options Opts) {
     UnaryVCGen Gen(Ctx, Prog, JudgmentKind::Original, Diags, Opts.GenOpts);
     Gen.genTriple(Pre, Prog.body(), Post);
     Report.Original.Judgment = JudgmentKind::Original;
-    discharge(Gen.take(), Report.Original, Opts, Shared);
+    Sched.discharge(Gen.take(), Report.Original, TheSolver);
   }
 
   if (Opts.RunRelaxed) {
@@ -243,10 +66,12 @@ VerifyReport Verifier::run(Options Opts) {
     RelationalVCGen Gen(Ctx, Prog, Diags, Opts.GenOpts);
     Gen.genTriple(RelPre, Prog.body(), RelPost);
     Report.Relaxed.Judgment = JudgmentKind::Relaxed;
-    discharge(Gen.take(), Report.Relaxed, Opts, Shared);
+    Sched.discharge(Gen.take(), Report.Relaxed, TheSolver);
   }
 
   Report.GenErrors = Diags.errorCount() > ErrorsBeforeGen;
+  if (Opts.StatsOut)
+    Opts.StatsOut->merge(Sched.stats());
   return Report;
 }
 

@@ -17,54 +17,26 @@
 ///  * Relaxed Progress                     (Theorem 8),
 ///  * Relaxed Progress Modulo Original Assumptions (Corollary 9).
 ///
+/// Discharging goes through the `DischargeScheduler` (vcgen/Discharge.h):
+/// either the classic single-backend path on the constructor-supplied
+/// solver, or — when `Options::Portfolio` is set — the tiered portfolio
+/// pipeline (simplify → budgeted bounded → SMT), optionally fanned out
+/// over a work-stealing worker pool with `Jobs > 1`. Verdicts and report
+/// ordering are independent of the schedule.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RELAXC_VCGEN_VERIFIER_H
 #define RELAXC_VCGEN_VERIFIER_H
 
 #include "sema/Sema.h"
-#include "solver/Solver.h"
+#include "vcgen/Discharge.h"
 #include "vcgen/RelationalVCGen.h"
 
 #include <functional>
 #include <memory>
 
 namespace relax {
-
-/// Discharge status of one VC.
-enum class VCStatus : uint8_t {
-  Proved,
-  Failed,      ///< solver found a counterexample / found the premise unsat
-  Unknown,     ///< solver gave up
-  SolverError, ///< backend error (timeout conversion, translation, ...)
-};
-
-/// Returns "proved" / "failed" / "unknown" / "error".
-const char *vcStatusName(VCStatus S);
-
-/// One VC with its discharge result.
-struct VCOutcome {
-  VC Condition;
-  VCStatus Status = VCStatus::Unknown;
-  std::string Detail;
-  double Millis = 0;
-};
-
-/// All VCs of one judgment pass.
-struct JudgmentReport {
-  JudgmentKind Judgment = JudgmentKind::Original;
-  std::vector<VCOutcome> Outcomes;
-  std::vector<DerivationStep> Derivation;
-  double TotalMillis = 0;
-
-  size_t count(VCStatus S) const {
-    size_t N = 0;
-    for (const VCOutcome &O : Outcomes)
-      N += O.Status == S ? 1 : 0;
-    return N;
-  }
-  bool allProved() const { return count(VCStatus::Proved) == Outcomes.size(); }
-};
 
 /// The full verification report for a program.
 struct VerifyReport {
@@ -89,25 +61,31 @@ struct VerifyReport {
 /// Verification pipeline driver.
 ///
 /// VC generation is sequential (it builds hash-consed nodes, which is not
-/// thread-safe), but discharging is embarrassingly parallel: with Jobs > 1
-/// and a SolverFactory, independent obligations are distributed over a
-/// small worker pool, each worker owning its own backend, all sharing one
-/// mutex-guarded result cache. Query formulas (including the negations of
-/// validity VCs) are pre-built before the fan-out, so workers never touch
-/// the AstContext. Outcomes are stored in VC order, so verdicts and
-/// diagnostics are identical to the sequential (`Jobs = 1`) path.
+/// thread-safe); discharging is delegated to a DischargeScheduler whose
+/// result cache and statistics span both judgment passes of one run().
 class Verifier {
 public:
   struct Options {
     VCGenOptions GenOpts;
     bool RunOriginal = true;
     bool RunRelaxed = true;
-    /// Number of discharge workers. 1 (or no SolverFactory) means the
-    /// classic sequential path on the constructor-supplied solver.
+    /// Number of discharge workers. 1 means the sequential path; > 1
+    /// requires a SolverFactory (single-backend mode) or a Portfolio.
     unsigned Jobs = 1;
-    /// Creates one backend per worker for the parallel path (backends are
-    /// not safe for concurrent use).
+    /// Creates one backend per worker for the single-backend parallel
+    /// path (backends are not safe for concurrent use). In portfolio
+    /// mode this is unused — set SmtFactory instead.
     std::function<std::unique_ptr<Solver>()> SolverFactory;
+    /// Tier chain for the portfolio pipeline. When set, discharging runs
+    /// through per-worker PortfolioSolvers and the constructor-supplied
+    /// solver is not consulted.
+    std::optional<PortfolioOptions> Portfolio;
+    /// Final-tier SMT backend factory for the portfolio; null degrades
+    /// the z3 tier to bounded-at-full-domain.
+    PortfolioSolver::BackendFactory SmtFactory;
+    /// When non-null, the run's discharge statistics (per-tier settled /
+    /// escalated counts, cache hits, work counters) are merged here.
+    DischargeStats *StatsOut = nullptr;
   };
 
   Verifier(AstContext &Ctx, const Program &Prog, Solver &S,
@@ -124,22 +102,11 @@ public:
   /// identity /\ injo(requires) /\ injr(requires).
   const BoolExpr *effectiveRelRequires();
 
-  /// Mutex-guarded result cache shared by all parallel workers across both
-  /// judgment passes of one run() (defined in Verifier.cpp; declared here,
-  /// outside the private section, so the file-local discharge helper can
-  /// name it).
-  class SharedResultCache;
-
 private:
   AstContext &Ctx;
   const Program &Prog;
   Solver &TheSolver;
   DiagnosticEngine &Diags;
-
-  void discharge(VCSet Set, JudgmentReport &Report, const Options &Opts,
-                 SharedResultCache &Shared);
-  void dischargeParallel(std::vector<VC> &VCs, JudgmentReport &Report,
-                         const Options &Opts, SharedResultCache &Shared);
 };
 
 /// Renders a human-readable report.
