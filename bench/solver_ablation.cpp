@@ -23,6 +23,7 @@
 #include "solver/BoundedSolver.h"
 #include "solver/CachingSolver.h"
 #include "solver/Portfolio.h"
+#include "solver/ShardPool.h"
 #include "solver/Z3Solver.h"
 #include "vcgen/Verifier.h"
 
@@ -170,9 +171,13 @@ void BM_Solver_Bounded_PruningAblation(benchmark::State &State) {
 /// the corpus; \p BoundedSteps the budgeted tier's quantifier-step
 /// budget. With Z3 built the chain is simplify → budgeted bounded → z3;
 /// without, the Smt tier degrades to bounded-at-full-domain.
+/// \p Pool, when given, replaces the final tier with the out-of-process
+/// shard tier (workers run the z3 tail) and fans obligations out over
+/// \p Jobs scheduler workers so several shards stay busy at once.
 template <typename SourceLoader>
 void dischargePortfolio(benchmark::State &State, SourceLoader Load,
-                        size_t NumSources, uint64_t BoundedSteps) {
+                        size_t NumSources, uint64_t BoundedSteps,
+                        ShardPool *Pool = nullptr, unsigned Jobs = 1) {
   DischargeStats Stats;
   size_t Undecided = 0, Total = 0;
   for (auto _ : State) {
@@ -187,11 +192,17 @@ void dischargePortfolio(benchmark::State &State, SourceLoader Load,
       }
       PortfolioOptions PO; // simplify,bounded,z3
       PO.Bounded.MaxQuantSteps = BoundedSteps;
+      if (Pool) {
+        PO.Tiers = {TierKind::Simplify, TierKind::Bounded, TierKind::Shard};
+        PO.Pool = Pool;
+        PO.ShardWorkerPipeline = "z3";
+      }
       BoundedSolver Dummy; // portfolio mode never consults the ctor solver
       DiagnosticEngine Diags;
       Verifier V(*L.Ctx, *L.Prog, Dummy, Diags);
       Verifier::Options Opts;
       Opts.Portfolio = PO;
+      Opts.Jobs = Jobs;
 #if RELAXC_HAVE_Z3
       AstContext *Ctx = L.Ctx.get();
       Opts.SmtFactory = [Ctx] {
@@ -246,6 +257,51 @@ void BM_Solver_Portfolio_QuantifiedWater(benchmark::State &State) {
   dischargePortfolio(
       State, [](size_t) { return loadExample("water.rlx"); }, 1,
       /*BoundedSteps=*/10'000);
+}
+
+/// The sharded discharge tier: the same corpora with the final tier moved
+/// to a pool of --discharge-worker subprocesses (each owning its own
+/// AstContext and solver backends) behind the work-stealing scheduler.
+/// On a single-vCPU box this measures the serialization + pipe round-trip
+/// overhead the tier pays for escaping single-process scaling; verdict
+/// identity with the in-process rows is pinned by shard/property tests.
+std::unique_ptr<ShardPool> makeBenchPool(benchmark::State &State,
+                                         unsigned Shards) {
+#ifdef RELAXC_DRIVER_PATH
+  ShardPoolOptions SO;
+  SO.Shards = Shards;
+  SO.WorkerExe = RELAXC_DRIVER_PATH;
+  auto R = ShardPool::create(std::move(SO));
+  if (R.ok())
+    return std::move(*R);
+  State.SkipWithError(R.message().c_str());
+#else
+  State.SkipWithError("RELAXC_DRIVER_PATH not configured");
+#endif
+  return nullptr;
+}
+
+void BM_Solver_Shard(benchmark::State &State) {
+  auto Pool = makeBenchPool(State, 4);
+  if (!Pool)
+    return;
+  dischargePortfolio(
+      State, [](size_t I) { return loadSource(SmallCorpus[I]); },
+      sizeof(SmallCorpus) / sizeof(SmallCorpus[0]),
+      /*BoundedSteps=*/200'000, Pool.get(), /*Jobs=*/4);
+  State.counters["shard_requests"] =
+      static_cast<double>(Pool->stats().Requests);
+}
+
+void BM_Solver_Shard_QuantifiedWater(benchmark::State &State) {
+  auto Pool = makeBenchPool(State, 4);
+  if (!Pool)
+    return;
+  dischargePortfolio(
+      State, [](size_t) { return loadExample("water.rlx"); }, 1,
+      /*BoundedSteps=*/10'000, Pool.get(), /*Jobs=*/4);
+  State.counters["shard_requests"] =
+      static_cast<double>(Pool->stats().Requests);
 }
 
 void BM_Solver_Z3_NoSimplify(benchmark::State &State) {
@@ -343,6 +399,8 @@ BENCHMARK(BM_Solver_Bounded_PruningAblation)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_Solver_Portfolio)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Solver_Portfolio_QuantifiedWater)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Solver_Shard)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Solver_Shard_QuantifiedWater)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Solver_Z3_NoSimplify)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Solver_Z3_KnobScaling)
     ->Arg(2)

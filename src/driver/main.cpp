@@ -23,13 +23,16 @@
 #include "solver/BoundedSolver.h"
 #include "solver/CachingSolver.h"
 #include "solver/Portfolio.h"
+#include "solver/ShardPool.h"
 #include "solver/Z3Solver.h"
+#include "support/Subprocess.h"
 #include "vcgen/Verifier.h"
 
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 using namespace relax;
 
@@ -46,6 +49,7 @@ struct CliOptions {
   std::vector<TierKind> Pipeline;
   /// Per-query quantifier-step budget of the budgeted bounded tier.
   uint64_t BoundedSteps = 200'000;
+  bool BoundedStepsSet = false; ///< --bounded-steps= was passed explicitly
   /// Obligation id ("o:3" / "r:5") to explain after a verify run.
   std::string Explain;
   bool SolverStats = false;
@@ -53,6 +57,10 @@ struct CliOptions {
   unsigned Runs = 16;
   unsigned Jobs = 1;
   unsigned SolverJobs = 1;
+  /// Worker processes of the sharded discharge tier (0 = in-process).
+  unsigned Shards = 0;
+  /// This executable's path — respawned as the shard workers.
+  std::string ExePath;
   size_t ArrayLen = 8;
   bool Verbose = false;
   bool NoSafety = false;
@@ -88,10 +96,23 @@ void printUsage() {
       "`verify` (default 1)\n"
       "  --solver-jobs=<n>         parallel search workers inside the "
       "bounded backend (default 1)\n"
+      "  --shards=<n>              discharge escalated obligations on <n> "
+      "worker\n"
+      "                            processes: the pipeline's final tier "
+      "becomes a\n"
+      "                            `shard` tier backed by a pool of "
+      "subprocesses,\n"
+      "                            each with its own AST and solver "
+      "contexts\n"
+      "                            (verdicts are identical to --shards=0)\n"
       "  --no-safety               skip division/bounds trap obligations\n"
       "  --original-only           verify only the |-o judgment\n"
       "  --smtlib                  dump-vcs: emit SMT-LIB 2 scripts\n"
-      "  --verbose                 print every VC, not just failures\n");
+      "  --verbose                 print every VC, not just failures\n"
+      "\n"
+      "verify exit codes: 0 verified; 1 at least one obligation refuted;\n"
+      "2 usage/parse/static error; 3 not verified but nothing refuted\n"
+      "(solver gave up or errored)\n");
 }
 
 /// Strict decimal parse: the whole string must be digits. strtoull alone
@@ -141,6 +162,7 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
                      V);
         return false;
       }
+      Opts.BoundedStepsSet = true;
     } else if (const char *V = Value("--explain="))
       Opts.Explain = V;
     else if (A == "--solver-stats")
@@ -159,6 +181,17 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Jobs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
     else if (const char *V = Value("--solver-jobs="))
       Opts.SolverJobs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    else if (const char *V = Value("--shards=")) {
+      uint64_t N = 0;
+      if (!parseUnsigned(V, N) || N > 256) {
+        std::fprintf(stderr,
+                     "relaxc: error: bad --shards value '%s' (expected a "
+                     "decimal worker count <= 256; 0 = in-process)\n",
+                     V);
+        return false;
+      }
+      Opts.Shards = static_cast<unsigned>(N);
+    }
     else if (A == "--verbose")
       Opts.Verbose = true;
     else if (A == "--no-safety")
@@ -209,19 +242,20 @@ void printOutcome(const Interner &Syms, const char *Title, const Outcome &O) {
 }
 
 /// Prints the `--solver-stats` block: per-tier settled/escalated counts,
-/// cache effectiveness, and the bounded tiers' work counters.
-void printSolverStats(const CliOptions &Opts, const DischargeStats &S,
-                      const CachingSolver &Cached) {
+/// cache effectiveness, and the bounded tiers' work counters. \p Tiers is
+/// the *effective* chain (after --shards= rewrote the final tier).
+void printSolverStats(const CliOptions &Opts,
+                      const std::vector<TierKind> &Tiers,
+                      const DischargeStats &S, const CachingSolver &Cached) {
   auto U = [](uint64_t N) { return static_cast<unsigned long long>(N); };
   std::printf("solver stats:\n");
-  if (!Opts.Pipeline.empty()) {
-    std::printf("  pipeline: %s\n", formatPipeline(Opts.Pipeline).c_str());
-    for (size_t I = 0; I != Opts.Pipeline.size() &&
-                       I != S.Portfolio.Tiers.size();
+  if (!Tiers.empty()) {
+    std::printf("  pipeline: %s\n", formatPipeline(Tiers).c_str());
+    for (size_t I = 0; I != Tiers.size() && I != S.Portfolio.Tiers.size();
          ++I) {
       const PortfolioStats::TierStat &T = S.Portfolio.Tiers[I];
-      const char *Name = tierKindName(Opts.Pipeline[I]);
-      bool Degraded = Opts.Pipeline[I] == TierKind::Smt && !RELAXC_HAVE_Z3;
+      const char *Name = tierKindName(Tiers[I]);
+      bool Degraded = Tiers[I] == TierKind::Smt && !RELAXC_HAVE_Z3;
       std::printf("  tier %zu %s%s: settled %llu, gave up %llu"
                   " (%llu budget trips)\n",
                   I, Name, Degraded ? " (bounded-full fallback)" : "",
@@ -313,6 +347,140 @@ bool printExplain(const VerifyReport &Report, const std::string &Id,
   return true;
 }
 
+//===----------------------------------------------------------------------===//
+// The hidden --discharge-worker mode: one shard of the out-of-process
+// discharge tier. Reads length-prefixed requests on stdin (wire format in
+// solver/ShardPool.h), rebuilds each query in its own AstContext through
+// the ordinary parser, answers it with an ordinary PortfolioSolver, and
+// writes the verdict frame to stdout. Exits 0 on clean EOF; any framing
+// error is answered with a diagnosed error frame (never a hang or crash)
+// and ends the worker, since the stream position is unrecoverable.
+//===----------------------------------------------------------------------===//
+
+/// Persistent across requests: the context's hash-cons tables, compiled
+/// formula programs, and Z3 term memos amortize over the obligations one
+/// shard serves. Rebuilt when a request changes the solver configuration.
+struct ShardWorkerState {
+  std::string ConfigKey;
+  std::unique_ptr<AstContext> Ctx;
+  std::unique_ptr<PortfolioSolver> Port;
+};
+
+ShardResponse serveShardRequest(ShardWorkerState &W,
+                                std::string_view Payload) {
+  ShardResponse Resp;
+  auto Fail = [&](std::string Msg) {
+    Resp = ShardResponse();
+    Resp.IsError = true;
+    Resp.Error = std::move(Msg);
+    return Resp;
+  };
+
+  Result<ShardRequest> Req = parseShardRequest(Payload);
+  if (!Req.ok())
+    return Fail("bad request: " + Req.message());
+  Result<std::vector<TierKind>> Tiers = parsePipelineSpec(Req->Pipeline);
+  if (!Tiers.ok())
+    return Fail("bad worker pipeline: " + Tiers.message());
+  for (TierKind K : *Tiers)
+    if (K == TierKind::Shard)
+      return Fail("a discharge worker cannot itself run a shard tier");
+
+  // The configuration key is the request's own serialization with the
+  // per-query parts stripped: any future field added to the bounded
+  // wire line automatically participates in config-change detection.
+  ShardRequest KeyReq;
+  KeyReq.Pipeline = Req->Pipeline;
+  KeyReq.Bounded = Req->Bounded;
+  KeyReq.FinalBoundedStepFactor = Req->FinalBoundedStepFactor;
+  std::string Key = serializeShardRequest(KeyReq);
+  if (!W.Ctx || W.ConfigKey != Key) {
+    W.Port.reset();
+    W.Ctx = std::make_unique<AstContext>();
+    PortfolioOptions PO;
+    PO.Tiers = *Tiers;
+    PO.Bounded = Req->Bounded;
+    PO.FinalBoundedStepFactor = Req->FinalBoundedStepFactor;
+    PortfolioSolver::BackendFactory Smt;
+    if (RELAXC_HAVE_Z3) {
+      AstContext *C = W.Ctx.get();
+      Smt = [C] { return std::make_unique<Z3Solver>(C->symbols()); };
+    }
+    W.Port = std::make_unique<PortfolioSolver>(*W.Ctx, PO, Smt);
+    W.ConfigKey = Key;
+  }
+
+  std::unordered_map<Symbol, VarKind> Kinds;
+  for (const auto &[Name, Kind] : Req->Vars)
+    Kinds[W.Ctx->sym(Name)] = Kind;
+
+  std::vector<const BoolExpr *> Formulas;
+  for (const std::string &Text : Req->Formulas) {
+    SourceManager SM;
+    SM.setBuffer("<shard-request>", Text);
+    DiagnosticEngine Diags;
+    Diags.setFileName("<shard-request>");
+    Parser P(*W.Ctx, SM, Diags);
+    const BoolExpr *F = P.parseStandaloneFormula(Kinds);
+    if (!F || Diags.hasErrors())
+      return Fail("formula parse error in '" + Text +
+                  "': " + Diags.render());
+    Formulas.push_back(F);
+  }
+
+  Model Mod;
+  Result<SatResult> R = SatResult::Unknown;
+  if (Req->WantModel) {
+    VarRefSet Vars;
+    for (const WireVar &V : Req->ModelVars)
+      Vars.insert(VarRef{W.Ctx->sym(V.Name), V.Tag, V.Kind});
+    R = W.Port->checkSatWithModel(Formulas, Vars, Mod);
+  } else {
+    R = W.Port->checkSat(Formulas);
+  }
+  if (!R.ok())
+    return Fail(R.message());
+
+  Resp.Verdict = *R;
+  Resp.SettledBy = W.Port->settledBy();
+  Resp.Trail = W.Port->giveUpTrail();
+  if (Req->WantModel && *R == SatResult::Sat) {
+    for (const auto &[V, Val] : Mod.Ints)
+      Resp.Ints.push_back(
+          {{std::string(W.Ctx->text(V.Name)), V.Tag, V.Kind}, Val});
+    for (const auto &[V, Val] : Mod.Arrays)
+      Resp.Arrays.push_back(
+          {{std::string(W.Ctx->text(V.Name)), V.Tag, V.Kind}, Val});
+  }
+  return Resp;
+}
+
+int runDischargeWorker() {
+  ShardWorkerState W;
+  for (;;) {
+    FrameRead F = readFrame(/*Fd=*/0);
+    if (F.eof())
+      return 0; // clean shutdown: the pool closed our stdin
+    if (!F.ok()) {
+      // Truncated or garbage input: answer with a diagnosed error frame
+      // (best effort) and exit — after a framing error the stream
+      // position is unrecoverable, and continuing could mis-pair
+      // requests with responses.
+      ShardResponse Resp;
+      Resp.IsError = true;
+      Resp.Error = "frame error: " + F.Message;
+      (void)writeFrame(/*Fd=*/1, serializeShardResponse(Resp));
+      std::fprintf(stderr, "relaxc: discharge worker: %s\n",
+                   F.Message.c_str());
+      return 2;
+    }
+    ShardResponse Resp = serveShardRequest(W, F.Payload);
+    if (Status S = writeFrame(/*Fd=*/1, serializeShardResponse(Resp));
+        !S.ok())
+      return 2; // the pool went away mid-response
+  }
+}
+
 int runVerify(const CliOptions &Opts, AstContext &Ctx, Program &Prog,
               DiagnosticEngine &Diags) {
   std::unique_ptr<Solver> Backend = makeSolver(Opts, Ctx);
@@ -324,11 +492,55 @@ int runVerify(const CliOptions &Opts, AstContext &Ctx, Program &Prog,
   VO.Jobs = Opts.Jobs == 0 ? 1 : Opts.Jobs;
   DischargeStats Stats;
   VO.StatsOut = &Stats;
-  if (!Opts.Pipeline.empty()) {
+
+  // --shards=N moves the pipeline's final tier out of process: the tier
+  // chain ends in `shard`, and the pool's workers (this same executable
+  // in --discharge-worker mode) run the replaced tier. Verdicts are
+  // identical to the in-process chain by construction — the workers run
+  // the same tiers under the same configuration.
+  std::vector<TierKind> Tiers = Opts.Pipeline;
+  std::unique_ptr<ShardPool> Pool; // must outlive V.run()
+  std::string WorkerPipe = "z3";
+  if (Opts.Shards > 0) {
+    if (Tiers.empty())
+      Tiers = {TierKind::Simplify, TierKind::Bounded, TierKind::Smt};
+    TierKind Final = Tiers.back();
+    if (Final == TierKind::Smt || Final == TierKind::Shard)
+      WorkerPipe = "z3";
+    else if (Final == TierKind::Bounded)
+      WorkerPipe = "bounded";
+    else {
+      std::fprintf(stderr,
+                   "relaxc: error: --shards= needs a final bounded or z3 "
+                   "tier to move out of process (the pipeline ends in "
+                   "'%s')\n",
+                   tierKindName(Final));
+      return 2;
+    }
+    Tiers.back() = TierKind::Shard;
+    ShardPoolOptions SO;
+    SO.Shards = Opts.Shards;
+    SO.WorkerExe = Opts.ExePath;
+    Result<std::unique_ptr<ShardPool>> PR = ShardPool::create(std::move(SO));
+    if (!PR.ok()) {
+      std::fprintf(stderr, "relaxc: error: %s\n", PR.message().c_str());
+      return 2;
+    }
+    Pool = std::move(*PR);
+  }
+
+  if (Tiers.empty() && Opts.BoundedStepsSet)
+    std::fprintf(stderr,
+                 "relaxc: warning: --bounded-steps= only applies to the "
+                 "portfolio pipeline; pass --pipeline= or --shards= for it "
+                 "to take effect\n");
+  if (!Tiers.empty()) {
     PortfolioOptions PO;
-    PO.Tiers = Opts.Pipeline;
+    PO.Tiers = Tiers;
     PO.Bounded.MaxQuantSteps = Opts.BoundedSteps;
     PO.Bounded.Jobs = Opts.SolverJobs == 0 ? 1 : Opts.SolverJobs;
+    PO.Pool = Pool.get();
+    PO.ShardWorkerPipeline = WorkerPipe;
     VO.Portfolio = std::move(PO);
     if (RELAXC_HAVE_Z3)
       VO.SmtFactory = [&Ctx] {
@@ -341,11 +553,34 @@ int runVerify(const CliOptions &Opts, AstContext &Ctx, Program &Prog,
   if (Diags.hasErrors())
     std::fprintf(stderr, "%s", Diags.render().c_str());
   std::printf("%s", renderReport(Report, Ctx.symbols(), Opts.Verbose).c_str());
-  if (Opts.SolverStats)
-    printSolverStats(Opts, Stats, Cached);
+  if (Opts.SolverStats) {
+    printSolverStats(Opts, Tiers, Stats, Cached);
+    if (Pool) {
+      ShardPool::Stats PS = Pool->stats();
+      std::printf("  shard pool: %u workers, %llu requests, %llu respawns;"
+                  " served",
+                  Pool->shardCount(),
+                  static_cast<unsigned long long>(PS.Requests),
+                  static_cast<unsigned long long>(PS.Respawns));
+      for (uint64_t N : PS.PerWorker)
+        std::printf(" %llu", static_cast<unsigned long long>(N));
+      std::printf("\n");
+    }
+  }
   if (!Opts.Explain.empty() && !printExplain(Report, Opts.Explain, Ctx))
     return 2;
-  return Report.verified() ? 0 : 1;
+
+  // Exit codes (pinned by driver_cli_tests): 0 verified; 1 when any
+  // obligation was positively refuted; 3 when the run fell short only
+  // because a solver gave up or errored. Scripts can tell "the program
+  // is wrong" from "the solver was too weak" without parsing output.
+  if (Report.verified())
+    return 0;
+  if (!Report.SemaOk || Report.GenErrors)
+    return 2; // static error, same class as a parse failure
+  size_t Refuted = Report.Original.count(VCStatus::Failed) +
+                   Report.Relaxed.count(VCStatus::Failed);
+  return Refuted > 0 ? 1 : 3;
 }
 
 int runExecute(const CliOptions &Opts, AstContext &Ctx, Program &Prog,
@@ -478,11 +713,17 @@ int runDumpVCs(const CliOptions &Opts, AstContext &Ctx, Program &Prog,
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // The hidden worker mode of the sharded discharge tier: no file, no
+  // command — just the frame loop over stdin/stdout.
+  if (Argc >= 2 && std::strcmp(Argv[1], "--discharge-worker") == 0)
+    return runDischargeWorker();
+
   CliOptions Opts;
   if (!parseArgs(Argc, Argv, Opts)) {
     printUsage();
     return 2;
   }
+  Opts.ExePath = currentExecutablePath(Argv[0]);
 
   SourceManager SM;
   if (Status S = SM.loadFile(Opts.File); !S.ok()) {

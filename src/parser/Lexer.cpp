@@ -186,7 +186,12 @@ bool isIdentStart(char C) {
   return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
 }
 bool isIdentCont(char C) {
-  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+  // The apostrophe admits freshened names (x'1): capture-avoiding
+  // substitution alpha-renames binders with Interner::fresh, those names
+  // reach generated VC formulas, and the shard tier's wire format prints
+  // and re-parses exactly those formulas. Not an identifier *start*, so
+  // program text cannot begin a name with one.
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '\'';
 }
 
 } // namespace

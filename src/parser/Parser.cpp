@@ -508,8 +508,25 @@ const BoolExpr *Parser::parseUnaryFormula() {
 }
 
 bool Parser::atArrayExpr() const {
-  if (at(TokenKind::KwStore))
-    return true;
+  if (at(TokenKind::KwStore)) {
+    // `store(...)` is array-valued, but `store(...)[i]` is an element
+    // read — an integer expression. Scan over the balanced parentheses
+    // to see which shape this is. Generated VCs print element reads
+    // over stores (assignment substitution builds them), so the wire
+    // serialization of obligations depends on both shapes parsing back.
+    if (!tok(1).is(TokenKind::LParen))
+      return true; // malformed; let parseArrayExpr diagnose it
+    size_t Ahead = 2;
+    unsigned Depth = 1;
+    while (Depth != 0 && !tok(Ahead).is(TokenKind::Eof)) {
+      if (tok(Ahead).is(TokenKind::LParen))
+        ++Depth;
+      else if (tok(Ahead).is(TokenKind::RParen))
+        --Depth;
+      ++Ahead;
+    }
+    return !tok(Ahead).is(TokenKind::LBracket);
+  }
   if (!at(TokenKind::Identifier))
     return false;
   // An identifier of array kind NOT followed by '[' is an array value;
@@ -676,6 +693,19 @@ const Expr *Parser::parseFactor() {
     if (!A || !expect(TokenKind::RParen))
       return nullptr;
     return Ctx.arrayLen(A, Loc);
+  }
+  if (at(TokenKind::KwStore)) {
+    // An array-valued `store(...)` in integer position must be an
+    // element read: store(a, i, v)[e].
+    const ArrayExpr *Base = parseArrayExpr();
+    if (!Base)
+      return nullptr;
+    if (!expect(TokenKind::LBracket))
+      return nullptr;
+    const Expr *Index = parseExpr();
+    if (!Index || !expect(TokenKind::RBracket))
+      return nullptr;
+    return Ctx.arrayRead(Base, Index, Loc);
   }
   if (at(TokenKind::Identifier)) {
     Token Name = consume();

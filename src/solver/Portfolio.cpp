@@ -7,6 +7,7 @@
 
 #include "solver/Portfolio.h"
 
+#include "solver/ShardPool.h"
 #include "support/Casting.h"
 
 #include <cassert>
@@ -21,6 +22,8 @@ const char *relax::tierKindName(TierKind K) {
     return "bounded";
   case TierKind::Smt:
     return "z3";
+  case TierKind::Shard:
+    return "shard";
   }
   return "?";
 }
@@ -39,10 +42,12 @@ Result<std::vector<TierKind>> relax::parsePipelineSpec(std::string_view Spec) {
       Tiers.push_back(TierKind::Bounded);
     else if (Name == "z3")
       Tiers.push_back(TierKind::Smt);
+    else if (Name == "shard")
+      Tiers.push_back(TierKind::Shard);
     else
       return Result<std::vector<TierKind>>::error(
           "unknown pipeline tier '" + std::string(Name) +
-          "' (valid tiers: simplify, bounded, z3)");
+          "' (valid tiers: simplify, bounded, z3, shard)");
     if (Comma == std::string_view::npos)
       break;
     Pos = Comma + 1;
@@ -54,6 +59,11 @@ Result<std::vector<TierKind>> relax::parsePipelineSpec(std::string_view Spec) {
       return Result<std::vector<TierKind>>::error(
           "the simplify tier must come first in the pipeline (it runs on "
           "the preparing thread, before any escalation)");
+    if (Tiers[I] == TierKind::Shard && I + 1 != Tiers.size())
+      return Result<std::vector<TierKind>>::error(
+          "the shard tier must come last in the pipeline (it hands the "
+          "final verdict to the worker pool, so no tier after it could "
+          "ever run)");
     for (size_t J = I + 1; J != Tiers.size(); ++J)
       if (Tiers[I] == Tiers[J])
         return Result<std::vector<TierKind>>::error(
@@ -94,6 +104,27 @@ PortfolioSolver::PortfolioSolver(AstContext &Ctx, PortfolioOptions Opts,
   Backends.resize(N);
   BoundedTier.resize(N, nullptr);
   TierNames.resize(N);
+  // The Smt tier's construction, shared with the pool-less shard
+  // degradation: the real backend when a factory exists, otherwise
+  // bounded-at-full-domain (same domains, relaxed budgets, authoritative
+  // exhaustion).
+  auto MakeSmtTier = [&](size_t I) {
+    if (SmtFactory) {
+      Backends[I] = SmtFactory();
+      TierNames[I] = Backends[I]->name();
+      return;
+    }
+    BoundedSolverOptions B = this->Opts.Bounded;
+    B.ExhaustionMeansUnsat = true;
+    if (B.MaxQuantSteps != 0)
+      B.MaxQuantSteps *= this->Opts.FinalBoundedStepFactor;
+    B.MaxCandidates *= this->Opts.FinalBoundedStepFactor;
+    auto S = std::make_unique<BoundedSolver>(B, &Ctx);
+    BoundedTier[I] = S.get();
+    Backends[I] = std::move(S);
+    TierNames[I] = "bounded-full";
+  };
+
   for (size_t I = 0; I != N; ++I) {
     TierKind K = this->Opts.Tiers[I];
     bool Last = I + 1 == N;
@@ -115,21 +146,26 @@ PortfolioSolver::PortfolioSolver(AstContext &Ctx, PortfolioOptions Opts,
       break;
     }
     case TierKind::Smt:
-      if (SmtFactory) {
-        Backends[I] = SmtFactory();
-        TierNames[I] = Backends[I]->name();
-      } else {
-        // Degrade to bounded-at-full-domain: same domains, relaxed
-        // budgets, authoritative exhaustion.
+      MakeSmtTier(I);
+      break;
+    case TierKind::Shard:
+      assert(Last && "shard tier must come last");
+      if (this->Opts.Pool) {
+        Backends[I] = std::make_unique<ShardSolver>(
+            *this->Opts.Pool, Ctx.symbols(), this->Opts.ShardWorkerPipeline,
+            this->Opts.Bounded, this->Opts.FinalBoundedStepFactor);
+        TierNames[I] = "shard";
+      } else if (this->Opts.ShardWorkerPipeline == "bounded") {
+        // Pool-less degradation to the in-process tail the workers would
+        // run: a final bounded tier at the same domains and budgets.
         BoundedSolverOptions B = this->Opts.Bounded;
         B.ExhaustionMeansUnsat = true;
-        if (B.MaxQuantSteps != 0)
-          B.MaxQuantSteps *= this->Opts.FinalBoundedStepFactor;
-        B.MaxCandidates *= this->Opts.FinalBoundedStepFactor;
         auto S = std::make_unique<BoundedSolver>(B, &Ctx);
         BoundedTier[I] = S.get();
         Backends[I] = std::move(S);
-        TierNames[I] = "bounded-full";
+        TierNames[I] = "bounded";
+      } else {
+        MakeSmtTier(I);
       }
       break;
     }
@@ -233,7 +269,17 @@ PortfolioSolver::checkRange(size_t From, size_t To,
       Count(Stats.Tiers[I].Settled);
       LastSettled = true;
       LastSettledTier = static_cast<int>(I);
-      LastSettledBy = TierNames[I];
+      // The shard tier reports which worker-side tier settled
+      // ("shard:z3"); the worker's own give-up trail is appended so
+      // --explain shows the full escalation path across the process
+      // boundary.
+      if (Opts.Tiers[I] == TierKind::Shard && Backends[I]) {
+        LastSettledBy = Backends[I]->settledBy();
+        if (std::string WTrail = Backends[I]->giveUpTrail(); !WTrail.empty())
+          AppendTrail(I, "worker trail: " + WTrail);
+      } else {
+        LastSettledBy = TierNames[I];
+      }
       return *R;
     }
 
@@ -256,6 +302,9 @@ PortfolioSolver::checkRange(size_t From, size_t To,
         break;
       }
     }
+    if (Opts.Tiers[I] == TierKind::Shard && Backends[I])
+      if (std::string WTrail = Backends[I]->giveUpTrail(); !WTrail.empty())
+        Why = "worker trail: " + WTrail;
     Count(Stats.Tiers[I].GaveUp);
     if (BudgetTrip)
       Count(Stats.Tiers[I].BudgetTrips);
@@ -264,7 +313,9 @@ PortfolioSolver::checkRange(size_t From, size_t To,
       // The final tier's Unknown is the portfolio's verdict.
       LastSettled = true;
       LastSettledTier = static_cast<int>(I);
-      LastSettledBy = TierNames[I];
+      LastSettledBy = Opts.Tiers[I] == TierKind::Shard && Backends[I]
+                          ? Backends[I]->settledBy()
+                          : TierNames[I];
       return SatResult::Unknown;
     }
     Count(Stats.Escalations);

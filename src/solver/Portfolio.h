@@ -25,9 +25,20 @@
 ///     factory is supplied) the tier degrades to `bounded-full`: the
 ///     bounded search at the same domains with a relaxed (16x) step
 ///     budget and authoritative exhaustion.
+///   * `shard` — the out-of-process tier: escalated queries are
+///     serialized over the wire to a pool of `--discharge-worker`
+///     subprocesses (solver/ShardPool.h), each owning its own AstContext
+///     and solver backends. The workers run the tail tier chain named by
+///     `PortfolioOptions::ShardWorkerPipeline` under the same bounded
+///     configuration, so a sharded verdict equals the in-process verdict
+///     the replaced tier would have produced. Without a pool the tier
+///     degrades to that in-process tail (so `--shards=0` and a pool-less
+///     test config mean "same pipeline, no processes").
 ///
 /// Tier ordering invariants (checked at construction): the chain is
-/// non-empty, `simplify` may only appear first, and no tier kind repeats.
+/// non-empty, `simplify` may only appear first, no tier kind repeats,
+/// and `shard` may only appear last (it owns the final verdict; any
+/// tier after it could never run).
 ///
 /// A PortfolioSolver is a `Solver`, so everything programmed against the
 /// decision-procedure interface — the verifier's discharge path, the
@@ -49,10 +60,12 @@
 
 namespace relax {
 
-/// One tier of the portfolio.
-enum class TierKind : uint8_t { Simplify, Bounded, Smt };
+class ShardPool;
 
-/// Returns "simplify" / "bounded" / "z3".
+/// One tier of the portfolio.
+enum class TierKind : uint8_t { Simplify, Bounded, Smt, Shard };
+
+/// Returns "simplify" / "bounded" / "z3" / "shard".
 const char *tierKindName(TierKind K);
 
 /// Parses a `--pipeline=` spec such as "simplify,bounded,z3" and checks
@@ -81,6 +94,14 @@ struct PortfolioOptions {
   /// Budget multipliers for the `bounded-full` final-tier fallback
   /// (applied to the corresponding `Bounded` budgets).
   uint64_t FinalBoundedStepFactor = 16;
+  /// Worker-process pool backing the `shard` tier. Not owned; many
+  /// portfolios (one per scheduler worker) share one pool. Null degrades
+  /// the shard tier to the in-process ShardWorkerPipeline tail.
+  ShardPool *Pool = nullptr;
+  /// The tail tier chain shard workers run ("z3" or "bounded"),
+  /// configured per request so every worker — and the pool-less
+  /// degradation — answers from identical solver settings.
+  std::string ShardWorkerPipeline = "z3";
 };
 
 /// Per-run portfolio statistics, mergeable across workers.

@@ -1,0 +1,568 @@
+//===- ShardPool.cpp - Out-of-process discharge shards ------------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/ShardPool.h"
+
+#include "ast/Printer.h"
+#include "logic/FormulaOps.h"
+
+#include <cstdlib>
+#include <map>
+
+using namespace relax;
+
+//===----------------------------------------------------------------------===//
+// Wire codecs
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *RequestMagic = "relax-shard-request 1";
+const char *ResponseMagic = "relax-shard-response 1";
+
+const char *tagWord(VarTag T) {
+  switch (T) {
+  case VarTag::Plain:
+    return "plain";
+  case VarTag::Orig:
+    return "o";
+  case VarTag::Rel:
+    return "r";
+  }
+  return "?";
+}
+
+bool parseTagWord(std::string_view W, VarTag &Out) {
+  if (W == "plain")
+    Out = VarTag::Plain;
+  else if (W == "o")
+    Out = VarTag::Orig;
+  else if (W == "r")
+    Out = VarTag::Rel;
+  else
+    return false;
+  return true;
+}
+
+const char *kindWord(VarKind K) {
+  return K == VarKind::Int ? "int" : "array";
+}
+
+bool parseKindWord(std::string_view W, VarKind &Out) {
+  if (W == "int")
+    Out = VarKind::Int;
+  else if (W == "array")
+    Out = VarKind::Array;
+  else
+    return false;
+  return true;
+}
+
+/// Trails and error messages must stay single-line on the wire.
+std::string oneLine(std::string S) {
+  for (char &C : S)
+    if (C == '\n' || C == '\r')
+      C = ' ';
+  return S;
+}
+
+/// Splits the next whitespace-delimited token off \p Rest.
+std::string_view nextToken(std::string_view &Rest) {
+  size_t B = Rest.find_first_not_of(' ');
+  if (B == std::string_view::npos) {
+    Rest = std::string_view();
+    return std::string_view();
+  }
+  size_t E = Rest.find(' ', B);
+  std::string_view Tok = Rest.substr(B, E == std::string_view::npos
+                                            ? std::string_view::npos
+                                            : E - B);
+  Rest = E == std::string_view::npos ? std::string_view() : Rest.substr(E + 1);
+  return Tok;
+}
+
+bool parseInt64(std::string_view Tok, int64_t &Out) {
+  if (Tok.empty())
+    return false;
+  std::string S(Tok);
+  char *End = nullptr;
+  Out = std::strtoll(S.c_str(), &End, 10);
+  return End && *End == '\0';
+}
+
+bool parseUint64(std::string_view Tok, uint64_t &Out) {
+  if (Tok.empty() || Tok[0] == '-')
+    return false;
+  std::string S(Tok);
+  char *End = nullptr;
+  Out = std::strtoull(S.c_str(), &End, 10);
+  return End && *End == '\0';
+}
+
+/// Iterates \p Payload line by line, calling \p OnLine(directive, rest).
+/// Stops and returns the error on the first diagnosed line.
+template <typename Fn> Status forEachLine(std::string_view Payload, Fn OnLine) {
+  size_t Pos = 0;
+  while (Pos < Payload.size()) {
+    size_t NL = Payload.find('\n', Pos);
+    std::string_view Line = Payload.substr(
+        Pos, NL == std::string_view::npos ? std::string_view::npos : NL - Pos);
+    Pos = NL == std::string_view::npos ? Payload.size() : NL + 1;
+    if (Line.empty())
+      continue;
+    std::string_view Rest = Line;
+    std::string_view Directive = nextToken(Rest);
+    if (Status S = OnLine(Directive, Rest, Line); !S.ok())
+      return S;
+  }
+  return Status::success();
+}
+
+} // namespace
+
+std::string relax::serializeShardRequest(const ShardRequest &R) {
+  std::string Out = RequestMagic;
+  Out += "\npipeline " + R.Pipeline;
+  Out += "\nbounded";
+  for (int64_t V : {R.Bounded.IntLo, R.Bounded.IntHi, R.Bounded.MaxArrayLen,
+                    R.Bounded.ArrayElemLo, R.Bounded.ArrayElemHi})
+    Out += " " + std::to_string(V);
+  Out += " " + std::to_string(R.Bounded.MaxCandidates);
+  Out += " " + std::to_string(R.Bounded.MaxQuantSteps);
+  Out += " " + std::to_string(R.Bounded.Jobs);
+  Out += " " + std::to_string(R.FinalBoundedStepFactor);
+  Out += R.Bounded.Eng == BoundedSolverOptions::Engine::Enumerate
+             ? " enumerate"
+             : " search";
+  Out += std::string("\nwant-model ") + (R.WantModel ? "1" : "0");
+  for (const auto &[Name, Kind] : R.Vars)
+    Out += std::string("\nvar ") + kindWord(Kind) + " " + Name;
+  for (const WireVar &V : R.ModelVars)
+    Out += std::string("\nmodel-var ") + kindWord(V.Kind) + " " +
+           tagWord(V.Tag) + " " + V.Name;
+  for (const std::string &F : R.Formulas)
+    Out += "\nformula " + oneLine(F);
+  Out += "\n";
+  return Out;
+}
+
+Result<ShardRequest> relax::parseShardRequest(std::string_view Payload) {
+  using R = Result<ShardRequest>;
+  ShardRequest Req;
+  Req.Pipeline.clear();
+  bool SawMagic = false;
+
+  Status S = forEachLine(Payload, [&](std::string_view D, std::string_view Rest,
+                                      std::string_view Line) -> Status {
+    if (!SawMagic) {
+      if (Line != RequestMagic)
+        return Status::error("bad request header '" + std::string(Line) +
+                             "' (expected '" + RequestMagic + "')");
+      SawMagic = true;
+      return Status::success();
+    }
+    if (D == "pipeline") {
+      Req.Pipeline = std::string(Rest);
+      return Status::success();
+    }
+    if (D == "bounded") {
+      int64_t I[5];
+      uint64_t U[4];
+      for (int64_t &V : I)
+        if (!parseInt64(nextToken(Rest), V))
+          return Status::error("bad bounded-options line");
+      for (uint64_t &V : U)
+        if (!parseUint64(nextToken(Rest), V))
+          return Status::error("bad bounded-options line");
+      Req.Bounded.IntLo = I[0];
+      Req.Bounded.IntHi = I[1];
+      Req.Bounded.MaxArrayLen = I[2];
+      Req.Bounded.ArrayElemLo = I[3];
+      Req.Bounded.ArrayElemHi = I[4];
+      Req.Bounded.MaxCandidates = U[0];
+      Req.Bounded.MaxQuantSteps = U[1];
+      Req.Bounded.Jobs = static_cast<unsigned>(U[2]);
+      Req.FinalBoundedStepFactor = U[3];
+      std::string_view Eng = nextToken(Rest);
+      if (Eng == "search")
+        Req.Bounded.Eng = BoundedSolverOptions::Engine::Search;
+      else if (Eng == "enumerate")
+        Req.Bounded.Eng = BoundedSolverOptions::Engine::Enumerate;
+      else
+        return Status::error("bad bounded-options line (missing engine)");
+      return Status::success();
+    }
+    if (D == "want-model") {
+      Req.WantModel = nextToken(Rest) == "1";
+      return Status::success();
+    }
+    if (D == "var") {
+      VarKind K;
+      if (!parseKindWord(nextToken(Rest), K))
+        return Status::error("bad var-kind in '" + std::string(Line) + "'");
+      std::string_view Name = nextToken(Rest);
+      if (Name.empty())
+        return Status::error("missing var name in '" + std::string(Line) +
+                             "'");
+      Req.Vars.emplace_back(std::string(Name), K);
+      return Status::success();
+    }
+    if (D == "model-var") {
+      WireVar V;
+      if (!parseKindWord(nextToken(Rest), V.Kind) ||
+          !parseTagWord(nextToken(Rest), V.Tag))
+        return Status::error("bad model-var in '" + std::string(Line) + "'");
+      std::string_view Name = nextToken(Rest);
+      if (Name.empty())
+        return Status::error("missing model-var name in '" +
+                             std::string(Line) + "'");
+      V.Name = std::string(Name);
+      Req.ModelVars.push_back(std::move(V));
+      return Status::success();
+    }
+    if (D == "formula") {
+      Req.Formulas.emplace_back(Rest);
+      return Status::success();
+    }
+    return Status::error("unknown request directive '" + std::string(D) + "'");
+  });
+  if (!S.ok())
+    return R(S);
+  if (!SawMagic)
+    return R::error("empty request payload");
+  if (Req.Pipeline.empty())
+    return R::error("request is missing its pipeline line");
+  if (Req.Formulas.empty())
+    return R::error("request carries no formulas");
+  return Req;
+}
+
+std::string relax::serializeShardResponse(const ShardResponse &R) {
+  std::string Out = ResponseMagic;
+  if (R.IsError) {
+    Out += "\nverdict error\nerror " + oneLine(R.Error) + "\n";
+    return Out;
+  }
+  Out += std::string("\nverdict ") + satResultName(R.Verdict);
+  if (!R.SettledBy.empty())
+    Out += "\nsettled-by " + oneLine(R.SettledBy);
+  if (!R.Trail.empty())
+    Out += "\ntrail " + oneLine(R.Trail);
+  for (const ShardResponse::IntEntry &E : R.Ints)
+    Out += std::string("\nmodel-int ") + tagWord(E.Var.Tag) + " " +
+           E.Var.Name + " " + std::to_string(E.Value);
+  for (const ShardResponse::ArrayEntry &E : R.Arrays) {
+    Out += std::string("\nmodel-array ") + tagWord(E.Var.Tag) + " " +
+           E.Var.Name + " " + std::to_string(E.Value.Length);
+    for (int64_t V : E.Value.Elems)
+      Out += " " + std::to_string(V);
+  }
+  Out += "\n";
+  return Out;
+}
+
+Result<ShardResponse> relax::parseShardResponse(std::string_view Payload) {
+  using R = Result<ShardResponse>;
+  ShardResponse Resp;
+  bool SawMagic = false, SawVerdict = false;
+
+  Status S = forEachLine(Payload, [&](std::string_view D, std::string_view Rest,
+                                      std::string_view Line) -> Status {
+    if (!SawMagic) {
+      if (Line != ResponseMagic)
+        return Status::error("bad response header '" + std::string(Line) +
+                             "' (expected '" + ResponseMagic + "')");
+      SawMagic = true;
+      return Status::success();
+    }
+    if (D == "verdict") {
+      std::string_view V = nextToken(Rest);
+      SawVerdict = true;
+      if (V == "sat")
+        Resp.Verdict = SatResult::Sat;
+      else if (V == "unsat")
+        Resp.Verdict = SatResult::Unsat;
+      else if (V == "unknown")
+        Resp.Verdict = SatResult::Unknown;
+      else if (V == "error")
+        Resp.IsError = true;
+      else
+        return Status::error("unknown verdict '" + std::string(V) + "'");
+      return Status::success();
+    }
+    if (D == "error") {
+      Resp.Error = std::string(Rest);
+      return Status::success();
+    }
+    if (D == "settled-by") {
+      Resp.SettledBy = std::string(Rest);
+      return Status::success();
+    }
+    if (D == "trail") {
+      Resp.Trail = std::string(Rest);
+      return Status::success();
+    }
+    if (D == "model-int") {
+      ShardResponse::IntEntry E;
+      E.Var.Kind = VarKind::Int;
+      if (!parseTagWord(nextToken(Rest), E.Var.Tag))
+        return Status::error("bad model-int tag in '" + std::string(Line) +
+                             "'");
+      E.Var.Name = std::string(nextToken(Rest));
+      if (E.Var.Name.empty() || !parseInt64(nextToken(Rest), E.Value))
+        return Status::error("bad model-int line '" + std::string(Line) + "'");
+      Resp.Ints.push_back(std::move(E));
+      return Status::success();
+    }
+    if (D == "model-array") {
+      ShardResponse::ArrayEntry E;
+      E.Var.Kind = VarKind::Array;
+      if (!parseTagWord(nextToken(Rest), E.Var.Tag))
+        return Status::error("bad model-array tag in '" + std::string(Line) +
+                             "'");
+      E.Var.Name = std::string(nextToken(Rest));
+      int64_t Len = 0;
+      if (E.Var.Name.empty() || !parseInt64(nextToken(Rest), Len) || Len < 0)
+        return Status::error("bad model-array line '" + std::string(Line) +
+                             "'");
+      E.Value.Length = Len;
+      for (int64_t I = 0; I != Len; ++I) {
+        int64_t V = 0;
+        if (!parseInt64(nextToken(Rest), V))
+          return Status::error("model-array '" + E.Var.Name + "' is missing " +
+                               "element " + std::to_string(I));
+        E.Value.Elems.push_back(V);
+      }
+      Resp.Arrays.push_back(std::move(E));
+      return Status::success();
+    }
+    return Status::error("unknown response directive '" + std::string(D) +
+                         "'");
+  });
+  if (!S.ok())
+    return R(S);
+  if (!SawMagic)
+    return R::error("empty response payload");
+  if (!SawVerdict)
+    return R::error("response is missing its verdict");
+  if (Resp.IsError && Resp.Error.empty())
+    Resp.Error = "worker reported an unspecified error";
+  return Resp;
+}
+
+//===----------------------------------------------------------------------===//
+// ShardPool
+//===----------------------------------------------------------------------===//
+
+Result<std::unique_ptr<ShardPool>> ShardPool::create(ShardPoolOptions Opts) {
+  using R = Result<std::unique_ptr<ShardPool>>;
+  if (Opts.Shards == 0)
+    return R::error("a shard pool needs at least one worker");
+  if (Opts.WorkerExe.empty())
+    return R::error("no worker executable configured for the shard pool");
+  std::unique_ptr<ShardPool> P(new ShardPool(std::move(Opts)));
+  for (unsigned I = 0; I != P->Opts.Shards; ++I) {
+    auto Slot = std::make_unique<WorkerSlot>();
+    if (Status S = P->spawnWorker(*Slot); !S.ok())
+      return R::error("failed to start discharge worker " +
+                      std::to_string(I) + ": " + S.message());
+    P->Workers.push_back(std::move(Slot));
+  }
+  return R(std::move(P));
+}
+
+ShardPool::~ShardPool() = default; // Subprocess dtors reap the workers
+
+Status ShardPool::spawnWorker(WorkerSlot &Slot) {
+  return Slot.Proc.spawn(Opts.WorkerExe, Opts.WorkerArgs);
+}
+
+ShardPool::Stats ShardPool::stats() const {
+  std::lock_guard<std::mutex> L(M);
+  Stats S;
+  S.Requests = Requests;
+  S.Respawns = Respawns;
+  for (const auto &W : Workers)
+    S.PerWorker.push_back(W->Served);
+  return S;
+}
+
+Result<ShardResponse> ShardPool::discharge(const ShardRequest &R) {
+  const std::string Payload = serializeShardRequest(R);
+  std::string FailDetail = "no attempt made";
+
+  for (int Attempt = 0; Attempt != 2; ++Attempt) {
+    // Borrow a free *usable* worker slot (alive, or dead with respawn
+    // budget left); Busy grants exclusive use of its pipes. A slot whose
+    // budget is exhausted is skipped — it must not poison requests that
+    // a healthy (possibly busy) sibling could serve. Only when every
+    // slot is dead-and-exhausted is the pool itself done for.
+    // Only inspect a *free* slot's process — a busy slot's Subprocess
+    // belongs to its borrower (and is by definition still in play).
+    auto FreeUsable = [&](const WorkerSlot &W) {
+      return !W.Busy && (W.Proc.running() ||
+                         W.Respawns < Opts.MaxRespawnsPerWorker);
+    };
+    WorkerSlot *Slot = nullptr;
+    {
+      std::unique_lock<std::mutex> L(M);
+      bool PoolDead = false;
+      FreeCV.wait(L, [&] {
+        PoolDead = true;
+        for (const auto &W : Workers)
+          PoolDead = PoolDead && !W->Busy && !FreeUsable(*W);
+        if (PoolDead)
+          return true;
+        for (const auto &W : Workers)
+          if (FreeUsable(*W))
+            return true;
+        return false;
+      });
+      if (PoolDead)
+        return Result<ShardResponse>::error(
+            "shard discharge failed: every worker is dead and the "
+            "respawn budget is exhausted");
+      for (const auto &W : Workers)
+        if (FreeUsable(*W)) {
+          Slot = W.get();
+          break;
+        }
+      Slot->Busy = true;
+      ++Requests;
+    }
+
+    std::string Err;
+    if (!Slot->Proc.running()) {
+      {
+        std::lock_guard<std::mutex> L(M);
+        ++Slot->Respawns;
+        ++Respawns;
+      }
+      if (Status S = spawnWorker(*Slot); !S.ok())
+        Err = "worker respawn failed: " + S.message();
+    }
+    if (Err.empty()) {
+      if (Status S = writeFrame(Slot->Proc.writeFd(), Payload); !S.ok()) {
+        Err = "request write failed: " + S.message();
+      } else {
+        FrameRead F = readFrame(Slot->Proc.readFd(), Opts.RoundTripTimeoutMs);
+        if (F.ok()) {
+          {
+            std::lock_guard<std::mutex> L(M);
+            ++Slot->Served;
+            Slot->Busy = false;
+          }
+          FreeCV.notify_all();
+          return parseShardResponse(F.Payload);
+        }
+        Err = F.eof() ? "worker exited before answering"
+                      : "response read failed: " + F.Message;
+      }
+      // The pipe state is unknown after an I/O failure; kill the worker
+      // so the next borrower respawns a clean one.
+      Slot->Proc.terminate();
+    }
+    {
+      std::lock_guard<std::mutex> L(M);
+      Slot->Busy = false;
+    }
+    FreeCV.notify_all();
+    FailDetail = Err;
+  }
+  return Result<ShardResponse>::error("shard discharge failed: " + FailDetail);
+}
+
+//===----------------------------------------------------------------------===//
+// ShardSolver
+//===----------------------------------------------------------------------===//
+
+Result<SatResult>
+ShardSolver::checkSat(const std::vector<const BoolExpr *> &Formulas) {
+  return roundTrip(Formulas, nullptr, nullptr);
+}
+
+Result<SatResult>
+ShardSolver::checkSatWithModel(const std::vector<const BoolExpr *> &Formulas,
+                               const VarRefSet &Vars, Model &ModelOut) {
+  return roundTrip(Formulas, &Vars, &ModelOut);
+}
+
+Result<SatResult>
+ShardSolver::roundTrip(const std::vector<const BoolExpr *> &Formulas,
+                       const VarRefSet *Vars, Model *ModelOut) {
+  ++Queries;
+  LastSettledBy = "shard";
+  LastTrail.clear();
+  if (ModelOut)
+    // Same convention as the concrete backends: clear a reused caller
+    // Model up front so non-Sat verdicts leave no stale witness behind.
+    *ModelOut = Model();
+
+  ShardRequest Req;
+  Req.Pipeline = WorkerPipeline;
+  Req.Bounded = Bounded;
+  Req.FinalBoundedStepFactor = FinalBoundedStepFactor;
+  Req.WantModel = Vars != nullptr && ModelOut != nullptr;
+
+  // Kind declarations for every free base name (the worker's parser needs
+  // them to resolve array-vs-int syntax); sorted for a canonical payload.
+  VarRefSet Free;
+  for (const BoolExpr *F : Formulas)
+    collectFreeVars(F, Free);
+  std::map<std::string, VarKind> Kinds;
+  for (const VarRef &V : Free) {
+    std::string N(Syms.text(V.Name));
+    auto [It, Inserted] = Kinds.emplace(N, V.Kind);
+    if (!Inserted && It->second != V.Kind)
+      return Result<SatResult>::error(
+          "cannot serialize query: variable '" + N +
+          "' occurs free with both int and array kinds");
+  }
+  for (const auto &KV : Kinds)
+    Req.Vars.emplace_back(KV.first, KV.second);
+
+  Printer P(Syms);
+  Req.Formulas.reserve(Formulas.size());
+  for (const BoolExpr *F : Formulas)
+    Req.Formulas.push_back(P.print(F));
+
+  if (Req.WantModel)
+    for (const VarRef &V : *Vars)
+      Req.ModelVars.push_back({std::string(Syms.text(V.Name)), V.Tag, V.Kind});
+
+  Result<ShardResponse> Resp = Pool.discharge(Req);
+  if (!Resp.ok())
+    return Result<SatResult>::error(Resp.message());
+  if (Resp->IsError)
+    return Result<SatResult>::error(Resp->Error);
+
+  LastSettledBy =
+      "shard:" + (Resp->SettledBy.empty() ? std::string("?") : Resp->SettledBy);
+  LastTrail = Resp->Trail;
+
+  if (Req.WantModel && Resp->Verdict == SatResult::Sat) {
+    // Match wire entries back to the caller's VarRefs by (name, tag).
+    std::map<std::pair<std::string, int>, VarRef> ByName;
+    for (const VarRef &V : *Vars)
+      ByName.emplace(std::make_pair(std::string(Syms.text(V.Name)),
+                                    static_cast<int>(V.Tag)),
+                     V);
+    for (const ShardResponse::IntEntry &E : Resp->Ints) {
+      auto It =
+          ByName.find({E.Var.Name, static_cast<int>(E.Var.Tag)});
+      if (It != ByName.end() && It->second.Kind == VarKind::Int)
+        ModelOut->Ints[It->second] = E.Value;
+    }
+    for (const ShardResponse::ArrayEntry &E : Resp->Arrays) {
+      auto It =
+          ByName.find({E.Var.Name, static_cast<int>(E.Var.Tag)});
+      if (It != ByName.end() && It->second.Kind == VarKind::Array)
+        ModelOut->Arrays[It->second] = E.Value;
+    }
+  }
+  return Resp->Verdict;
+}

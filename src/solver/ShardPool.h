@@ -1,0 +1,204 @@
+//===- ShardPool.h - Out-of-process discharge shards ---------------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sharded discharge tier: a pool of worker *processes* (the driver's
+/// hidden `--discharge-worker` mode), each owning its own AstContext and
+/// solver backends, plus the `Solver` adapter that routes a query to the
+/// pool and the wire structs both ends share.
+///
+/// ## Why processes
+///
+/// Every in-process tier shares the one AstContext and (with Z3) the one
+/// z3 context, so discharge throughput caps out at what a single address
+/// space can do no matter how many scheduler threads run. Relational
+/// acceptability VCs are independent of each other, which makes the
+/// workload embarrassingly shardable: each worker process rebuilds the
+/// obligation from its serialized form in a private context and answers
+/// the verdict.
+///
+/// ## Wire format
+///
+/// One request/response per frame (support/Subprocess.h framing). The
+/// payload is line-based text; formulas ride in the `.rlx` concrete
+/// syntax — the same printer/parser pair the golden round-trip tests pin
+/// — together with the free variables' kind declarations, so the worker
+/// can re-parse them into its own context. Serialization is *total* for
+/// generated VC formulas: element reads over `store(...)` and freshened
+/// names (`x'1`) print and re-parse (pinned by shard_tests).
+///
+/// ## Determinism
+///
+/// A worker's verdict is a pure function of the request: the tail tiers
+/// it runs are the deterministic in-process tiers, configured entirely by
+/// the request (tier spec, domains, budgets). Which worker serves a query
+/// therefore cannot change the answer, and the scheduler's by-index merge
+/// keeps reports bit-identical to in-process discharge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_SOLVER_SHARDPOOL_H
+#define RELAXC_SOLVER_SHARDPOOL_H
+
+#include "solver/BoundedSolver.h"
+#include "support/Subprocess.h"
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+namespace relax {
+
+/// A logical variable on the wire: base name text + execution tag + kind.
+struct WireVar {
+  std::string Name;
+  VarTag Tag = VarTag::Plain;
+  VarKind Kind = VarKind::Int;
+};
+
+/// One discharge request: the tail tier chain the worker should run, its
+/// bounded-tier configuration, the query formulas (printed), the free
+/// variables' kind declarations (for re-parsing), and — when the caller
+/// wants a witness — the variables to extract from the model.
+struct ShardRequest {
+  std::string Pipeline = "z3"; ///< tail tiers, e.g. "z3" or "bounded"
+  BoundedSolverOptions Bounded;
+  uint64_t FinalBoundedStepFactor = 16;
+  bool WantModel = false;
+  /// Kind declarations for every free base name in Formulas.
+  std::vector<std::pair<std::string, VarKind>> Vars;
+  std::vector<std::string> Formulas;
+  std::vector<WireVar> ModelVars; ///< only meaningful with WantModel
+};
+
+/// One verdict: either a diagnosed error or a sat result with the
+/// worker-side settling-tier name, give-up trail, and requested model.
+struct ShardResponse {
+  bool IsError = false;
+  std::string Error;
+  SatResult Verdict = SatResult::Unknown;
+  std::string SettledBy;
+  std::string Trail;
+  struct IntEntry {
+    WireVar Var;
+    int64_t Value = 0;
+  };
+  struct ArrayEntry {
+    WireVar Var;
+    ArrayModelValue Value;
+  };
+  std::vector<IntEntry> Ints;
+  std::vector<ArrayEntry> Arrays;
+};
+
+/// Wire codecs. Parsers return diagnosed errors on any malformed payload
+/// (never crash, never accept silently) — fuzzed in shard_tests.
+std::string serializeShardRequest(const ShardRequest &R);
+Result<ShardRequest> parseShardRequest(std::string_view Payload);
+std::string serializeShardResponse(const ShardResponse &R);
+Result<ShardResponse> parseShardResponse(std::string_view Payload);
+
+/// Pool configuration.
+struct ShardPoolOptions {
+  unsigned Shards = 2;
+  /// The worker executable — normally currentExecutablePath() of the
+  /// relaxc driver itself.
+  std::string WorkerExe;
+  std::vector<std::string> WorkerArgs = {"--discharge-worker"};
+  /// Per-round-trip read timeout; a hung worker is diagnosed, not waited
+  /// on forever.
+  int RoundTripTimeoutMs = 600'000;
+  /// How often a dead worker slot is respawned before its requests fail.
+  unsigned MaxRespawnsPerWorker = 1;
+};
+
+/// A fixed pool of discharge worker processes. Thread-safe: scheduler
+/// workers borrow one subprocess each for the duration of a round trip,
+/// blocking when all are busy.
+class ShardPool {
+public:
+  /// Spawns the workers; fails if any cannot be started.
+  static Result<std::unique_ptr<ShardPool>> create(ShardPoolOptions Opts);
+  ~ShardPool();
+
+  unsigned shardCount() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Serializes \p R, round-trips it on any free worker, and parses the
+  /// response. A dead worker is respawned (bounded by MaxRespawnsPerWorker)
+  /// and the request retried once — the retry cannot change the verdict,
+  /// because worker answers are pure functions of the request.
+  Result<ShardResponse> discharge(const ShardRequest &R);
+
+  struct Stats {
+    uint64_t Requests = 0;
+    uint64_t Respawns = 0;
+    std::vector<uint64_t> PerWorker; ///< requests served per shard
+  };
+  Stats stats() const;
+
+private:
+  explicit ShardPool(ShardPoolOptions Opts) : Opts(std::move(Opts)) {}
+
+  struct WorkerSlot {
+    Subprocess Proc;
+    bool Busy = false;
+    unsigned Respawns = 0;
+    uint64_t Served = 0;
+  };
+
+  ShardPoolOptions Opts;
+  mutable std::mutex M;
+  std::condition_variable FreeCV;
+  std::vector<std::unique_ptr<WorkerSlot>> Workers;
+  uint64_t Requests = 0;
+  uint64_t Respawns = 0;
+
+  Status spawnWorker(WorkerSlot &Slot);
+};
+
+/// The `Solver` face of the pool: serializes each query (formulas, free
+/// variables, tail-tier config), round-trips it, and surfaces the
+/// worker's verdict/trail. One ShardSolver per portfolio instance; many
+/// may share one pool.
+class ShardSolver : public Solver {
+public:
+  ShardSolver(ShardPool &Pool, const Interner &Syms, std::string WorkerPipeline,
+              BoundedSolverOptions Bounded, uint64_t FinalBoundedStepFactor)
+      : Pool(Pool), Syms(Syms), WorkerPipeline(std::move(WorkerPipeline)),
+        Bounded(Bounded), FinalBoundedStepFactor(FinalBoundedStepFactor) {}
+
+  const char *name() const override { return "shard"; }
+
+  Result<SatResult>
+  checkSat(const std::vector<const BoolExpr *> &Formulas) override;
+
+  Result<SatResult>
+  checkSatWithModel(const std::vector<const BoolExpr *> &Formulas,
+                    const VarRefSet &Vars, Model &ModelOut) override;
+
+  /// "shard:<worker settling tier>", e.g. "shard:z3".
+  const char *settledBy() const override { return LastSettledBy.c_str(); }
+
+  /// The worker-side give-up trail of the last query.
+  std::string giveUpTrail() const override { return LastTrail; }
+
+private:
+  ShardPool &Pool;
+  const Interner &Syms;
+  std::string WorkerPipeline;
+  BoundedSolverOptions Bounded;
+  uint64_t FinalBoundedStepFactor;
+  std::string LastSettledBy = "shard";
+  std::string LastTrail;
+
+  Result<SatResult> roundTrip(const std::vector<const BoolExpr *> &Formulas,
+                              const VarRefSet *Vars, Model *ModelOut);
+};
+
+} // namespace relax
+
+#endif // RELAXC_SOLVER_SHARDPOOL_H

@@ -1,0 +1,287 @@
+//===- Subprocess.cpp - Child processes and pipe framing ----------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Subprocess.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace relax;
+
+namespace {
+
+const char FrameMagic[4] = {'R', 'L', 'X', 'F'};
+
+std::string errnoMessage(const char *What) {
+  return std::string(What) + ": " + std::strerror(errno);
+}
+
+/// Reads exactly \p N bytes into \p Buf. Returns the bytes read before a
+/// clean EOF (so the caller can tell "EOF on a boundary" from "EOF
+/// mid-record"), or -1 on error/timeout with \p Err set.
+ssize_t readFull(int Fd, char *Buf, size_t N, int TimeoutMs,
+                 std::string &Err) {
+  size_t Got = 0;
+  while (Got != N) {
+    if (TimeoutMs >= 0) {
+      pollfd P{Fd, POLLIN, 0};
+      int R = ::poll(&P, 1, TimeoutMs);
+      if (R < 0) {
+        if (errno == EINTR)
+          continue;
+        Err = errnoMessage("poll");
+        return -1;
+      }
+      if (R == 0) {
+        Err = "timed out waiting for a frame after " +
+              std::to_string(TimeoutMs) + " ms";
+        return -1;
+      }
+    }
+    ssize_t R = ::read(Fd, Buf + Got, N - Got);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = errnoMessage("read");
+      return -1;
+    }
+    if (R == 0)
+      break; // EOF
+    Got += static_cast<size_t>(R);
+  }
+  return static_cast<ssize_t>(Got);
+}
+
+} // namespace
+
+Status relax::writeFrame(int Fd, std::string_view Payload) {
+  if (Payload.size() > MaxFramePayload)
+    return Status::error("frame payload of " + std::to_string(Payload.size()) +
+                         " bytes exceeds the " +
+                         std::to_string(MaxFramePayload) + "-byte limit");
+  char Header[8];
+  std::memcpy(Header, FrameMagic, 4);
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  Header[4] = static_cast<char>(Len & 0xff);
+  Header[5] = static_cast<char>((Len >> 8) & 0xff);
+  Header[6] = static_cast<char>((Len >> 16) & 0xff);
+  Header[7] = static_cast<char>((Len >> 24) & 0xff);
+
+  auto WriteAll = [&](const char *Buf, size_t N) -> Status {
+    size_t Done = 0;
+    while (Done != N) {
+      ssize_t R = ::write(Fd, Buf + Done, N - Done);
+      if (R < 0) {
+        if (errno == EINTR)
+          continue;
+        return Status::error(errnoMessage("write"));
+      }
+      Done += static_cast<size_t>(R);
+    }
+    return Status::success();
+  };
+  if (Status S = WriteAll(Header, sizeof(Header)); !S.ok())
+    return S;
+  return WriteAll(Payload.data(), Payload.size());
+}
+
+FrameRead relax::readFrame(int Fd, int TimeoutMs) {
+  FrameRead Out;
+  char Header[8];
+  std::string Err;
+  ssize_t Got = readFull(Fd, Header, sizeof(Header), TimeoutMs, Err);
+  if (Got < 0) {
+    Out.Message = Err;
+    return Out;
+  }
+  if (Got == 0) {
+    Out.K = FrameRead::Kind::Eof;
+    return Out;
+  }
+  if (static_cast<size_t>(Got) != sizeof(Header)) {
+    Out.Message = "truncated frame header (got " + std::to_string(Got) +
+                  " of 8 bytes)";
+    return Out;
+  }
+  if (std::memcmp(Header, FrameMagic, 4) != 0) {
+    Out.Message = "bad frame magic (stream is not speaking the shard "
+                  "discharge protocol)";
+    return Out;
+  }
+  uint32_t Len = static_cast<uint8_t>(Header[4]) |
+                 (static_cast<uint32_t>(static_cast<uint8_t>(Header[5])) << 8) |
+                 (static_cast<uint32_t>(static_cast<uint8_t>(Header[6])) << 16) |
+                 (static_cast<uint32_t>(static_cast<uint8_t>(Header[7])) << 24);
+  if (Len > MaxFramePayload) {
+    Out.Message = "frame length " + std::to_string(Len) + " exceeds the " +
+                  std::to_string(MaxFramePayload) + "-byte limit";
+    return Out;
+  }
+  Out.Payload.resize(Len);
+  if (Len != 0) {
+    Got = readFull(Fd, Out.Payload.data(), Len, TimeoutMs, Err);
+    if (Got < 0) {
+      Out.Payload.clear();
+      Out.Message = Err;
+      return Out;
+    }
+    if (static_cast<size_t>(Got) != Len) {
+      Out.Payload.clear();
+      Out.Message = "truncated frame payload (got " + std::to_string(Got) +
+                    " of " + std::to_string(Len) + " bytes)";
+      return Out;
+    }
+  }
+  Out.K = FrameRead::Kind::Ok;
+  return Out;
+}
+
+std::string relax::currentExecutablePath(const char *Argv0) {
+  char Buf[4096];
+  ssize_t N = ::readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (N > 0) {
+    Buf[N] = '\0';
+    return std::string(Buf);
+  }
+  return Argv0 ? std::string(Argv0) : std::string();
+}
+
+//===----------------------------------------------------------------------===//
+// Subprocess
+//===----------------------------------------------------------------------===//
+
+Subprocess::~Subprocess() { terminate(); }
+
+Subprocess &Subprocess::operator=(Subprocess &&O) noexcept {
+  if (this != &O) {
+    terminate();
+    Pid = O.Pid;
+    InFd = O.InFd;
+    OutFd = O.OutFd;
+    O.Pid = -1;
+    O.InFd = -1;
+    O.OutFd = -1;
+  }
+  return *this;
+}
+
+void Subprocess::reset() {
+  if (InFd >= 0)
+    ::close(InFd);
+  if (OutFd >= 0)
+    ::close(OutFd);
+  InFd = -1;
+  OutFd = -1;
+  Pid = -1;
+}
+
+Status Subprocess::spawn(const std::string &Exe,
+                         const std::vector<std::string> &Args,
+                         bool MergeStderr) {
+  terminate();
+
+  int ToChild[2];  // parent writes, child stdin
+  int FromChild[2]; // child stdout, parent reads
+  if (::pipe(ToChild) != 0)
+    return Status::error(errnoMessage("pipe"));
+  if (::pipe(FromChild) != 0) {
+    ::close(ToChild[0]);
+    ::close(ToChild[1]);
+    return Status::error(errnoMessage("pipe"));
+  }
+  // Close-on-exec on every pipe end: a later sibling (e.g. another pool
+  // worker) must not inherit this child's pipes, or closing the parent
+  // write end would never deliver EOF to the child. The child's dup2
+  // onto fds 0/1 clears the flag on the copies it actually uses.
+  for (int Fd : {ToChild[0], ToChild[1], FromChild[0], FromChild[1]})
+    ::fcntl(Fd, F_SETFD, FD_CLOEXEC);
+
+  // Everything the child needs is built BEFORE fork(): the parent may be
+  // multithreaded (pool respawns run on scheduler workers), so between
+  // fork and exec the child may only make async-signal-safe calls — a
+  // malloc there can deadlock on a lock some other parent thread held at
+  // fork time.
+  std::vector<char *> Argv;
+  Argv.reserve(Args.size() + 2);
+  Argv.push_back(const_cast<char *>(Exe.c_str()));
+  for (const std::string &A : Args)
+    Argv.push_back(const_cast<char *>(A.c_str()));
+  Argv.push_back(nullptr);
+
+  pid_t Child = ::fork();
+  if (Child < 0) {
+    ::close(ToChild[0]);
+    ::close(ToChild[1]);
+    ::close(FromChild[0]);
+    ::close(FromChild[1]);
+    return Status::error(errnoMessage("fork"));
+  }
+  if (Child == 0) {
+    // Child: wire the pipe ends onto stdin/stdout and exec.
+    // Async-signal-safe calls only from here to execv/_exit.
+    ::dup2(ToChild[0], STDIN_FILENO);
+    ::dup2(FromChild[1], STDOUT_FILENO);
+    if (MergeStderr)
+      ::dup2(FromChild[1], STDERR_FILENO);
+    ::close(ToChild[0]);
+    ::close(ToChild[1]);
+    ::close(FromChild[0]);
+    ::close(FromChild[1]);
+    ::execv(Exe.c_str(), Argv.data());
+    // exec failed; report on the inherited stderr (static message — no
+    // allocation) and die without running parent-state destructors.
+    static const char Msg[] =
+        "relaxc: error: exec of the subprocess executable failed\n";
+    ssize_t Ignored = ::write(STDERR_FILENO, Msg, sizeof(Msg) - 1);
+    (void)Ignored;
+    ::_exit(127);
+  }
+
+  ::close(ToChild[0]);
+  ::close(FromChild[1]);
+  // A worker death must surface as a read/write error, not a SIGPIPE
+  // kill of the whole verifier.
+  ::signal(SIGPIPE, SIG_IGN);
+  Pid = Child;
+  InFd = ToChild[1];
+  OutFd = FromChild[0];
+  return Status::success();
+}
+
+void Subprocess::closeStdin() {
+  if (InFd >= 0) {
+    ::close(InFd);
+    InFd = -1;
+  }
+}
+
+void Subprocess::terminate() {
+  if (Pid > 0) {
+    ::kill(static_cast<pid_t>(Pid), SIGKILL);
+    int St = 0;
+    ::waitpid(static_cast<pid_t>(Pid), &St, 0);
+  }
+  reset();
+}
+
+int Subprocess::waitForExit() {
+  if (Pid <= 0)
+    return -1;
+  closeStdin();
+  int St = 0;
+  pid_t R = ::waitpid(static_cast<pid_t>(Pid), &St, 0);
+  int Code = (R > 0 && WIFEXITED(St)) ? WEXITSTATUS(St) : -1;
+  Pid = -1;
+  reset();
+  return Code;
+}

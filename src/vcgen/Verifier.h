@@ -20,9 +20,11 @@
 /// Discharging goes through the `DischargeScheduler` (vcgen/Discharge.h):
 /// either the classic single-backend path on the constructor-supplied
 /// solver, or — when `Options::Portfolio` is set — the tiered portfolio
-/// pipeline (simplify → budgeted bounded → SMT), optionally fanned out
-/// over a work-stealing worker pool with `Jobs > 1`. Verdicts and report
-/// ordering are independent of the schedule.
+/// pipeline (simplify → budgeted bounded → SMT, with the final tier
+/// optionally sharded onto a worker-process pool via
+/// `PortfolioOptions::Pool`), optionally fanned out over a work-stealing
+/// worker pool with `Jobs > 1`. Verdicts and report ordering are
+/// independent of the schedule, the process count, and the pool size.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,206 @@
+//===- GenProgram.h - Seeded random .rlx program generator ---------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded generator of small well-typed `.rlx` programs exercising the
+/// relax/havoc/assume/assert/diverge idioms of the paper. The property
+/// suites drive the whole pipeline over this corpus:
+///
+///  * parse → print → parse structural identity,
+///  * discharge-verdict identity across schedules (--jobs, --shards,
+///    shuffled obligation order),
+///  * bounded-vs-Z3 differential agreement on injected falsifiable
+///    mutants.
+///
+/// Programs are emitted as *source text* so every generated case also
+/// exercises the lexer/parser, and kept deliberately small-domained: all
+/// constants lie in [-2, 2] and every variable is bounded by the requires
+/// clause, so the bounded backend's default domains contain every model
+/// (its Unsat answers stay exact on this corpus) and verdict mixes stay
+/// interesting (Proved, Failed, and budget-tripped Unknown all occur).
+///
+/// Determinism: the generator is a pure function of its seed (SplitMix64,
+/// platform-stable), so failures reproduce from the seed printed by the
+/// failing test alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_TESTS_GENPROGRAM_H
+#define RELAXC_TESTS_GENPROGRAM_H
+
+#include "support/Random.h"
+
+#include <string>
+#include <vector>
+
+namespace relax {
+namespace test {
+
+class ProgramGen {
+public:
+  struct Options {
+    unsigned MaxStmts = 5;     ///< top-level statements in the body
+    bool AllowDiverge = true;  ///< emit `diverge cases` ifs
+    bool AllowLoops = true;    ///< emit invariant-annotated whiles
+    /// Append one assertion that is falsifiable under the requires
+    /// clause (the differential-mutant mode).
+    bool InjectFalsifiableAssert = false;
+  };
+
+  explicit ProgramGen(uint64_t Seed) : Rng(Seed) {}
+  ProgramGen(uint64_t Seed, Options Opts) : Rng(Seed), Opts(Opts) {}
+
+  /// One complete program per call; successive calls draw fresh programs
+  /// from the same stream.
+  std::string gen() {
+    // Bounds per variable, fixed for the whole program so the requires
+    // clause, the statements, and the falsifiable mutant agree on them.
+    for (unsigned I = 0; I != NumVars; ++I) {
+      Lo[I] = Rng.nextInRange(-2, 0);
+      Hi[I] = Rng.nextInRange(Lo[I], 2);
+    }
+    std::string Req;
+    for (unsigned I = 0; I != NumVars; ++I) {
+      if (I)
+        Req += " && ";
+      Req += name(I) + " >= " + std::to_string(Lo[I]) + " && " + name(I) +
+             " <= " + std::to_string(Hi[I]);
+    }
+    std::string Body;
+    unsigned N = 1 + static_cast<unsigned>(
+                         Rng.nextInRange(0, Opts.MaxStmts - 1));
+    for (unsigned I = 0; I != N; ++I)
+      Body += genStmt(/*Depth=*/1);
+    // Idiom guarantee: every program carries at least one relax and one
+    // assume/assert, whatever the draws above produced.
+    Body += genRelax();
+    Body += genAssertOrAssume();
+    if (Opts.InjectFalsifiableAssert) {
+      // Falsifiable but reachable: v exceeds its requires upper bound,
+      // which no generated statement raises above Hi + 2.
+      unsigned V = pickVar();
+      Body += "  assert " + name(V) + " >= " + std::to_string(Hi[V] + 3) +
+              ";\n";
+    }
+    std::string Decls = "int ";
+    for (unsigned I = 0; I != NumVars; ++I)
+      Decls += (I ? ", " : "") + name(I);
+    return Decls + ";\nrequires (" + Req + ");\n{\n" + Body + "}\n";
+  }
+
+private:
+  static constexpr unsigned NumVars = 3;
+  SplitMix64 Rng;
+  Options Opts;
+  int64_t Lo[NumVars] = {0, 0, 0};
+  int64_t Hi[NumVars] = {0, 0, 0};
+  unsigned RelateCounter = 0;
+
+  std::string name(unsigned I) {
+    static const char *Names[NumVars] = {"x", "y", "z"};
+    return Names[I];
+  }
+  unsigned pickVar() {
+    return static_cast<unsigned>(Rng.nextInRange(0, NumVars - 1));
+  }
+  std::string lit() { return std::to_string(Rng.nextInRange(-2, 2)); }
+
+  /// A small integer term over the program variables.
+  std::string genTerm(unsigned Depth) {
+    if (Depth == 0 || Rng.nextBool(1, 2))
+      return Rng.nextBool() ? name(pickVar()) : lit();
+    const char *Ops[] = {"+", "-", "*"};
+    return "(" + genTerm(Depth - 1) + " " +
+           Ops[Rng.nextInRange(0, 2)] + " " + genTerm(Depth - 1) + ")";
+  }
+
+  /// A quantifier-free boolean over the program variables (program
+  /// syntax: usable in conditions and havoc/relax predicates).
+  std::string genBool(unsigned Depth) {
+    if (Depth == 0 || Rng.nextBool(1, 2)) {
+      const char *Cmps[] = {"<", "<=", ">", ">=", "==", "!="};
+      return genTerm(1) + " " + Cmps[Rng.nextInRange(0, 5)] + " " +
+             genTerm(1);
+    }
+    if (Rng.nextBool(1, 5))
+      return "!(" + genBool(Depth - 1) + ")";
+    const char *Ops[] = {"&&", "||"};
+    return "(" + genBool(Depth - 1) + " " + Ops[Rng.nextInRange(0, 1)] +
+           " " + genBool(Depth - 1) + ")";
+  }
+
+  /// A relax whose predicate is satisfiable by construction (an interval
+  /// around the variable's declared bounds), so the |-r satisfiability
+  /// premise is dischargeable and the |-o assertion is frequently true.
+  std::string genRelax() {
+    unsigned V = pickVar();
+    return "  relax (" + name(V) + ") st (" + name(V) +
+           " >= " + std::to_string(Lo[V]) + " && " + name(V) +
+           " <= " + std::to_string(Hi[V] + 1) + ");\n";
+  }
+
+  std::string genHavoc() {
+    unsigned V = pickVar();
+    return "  havoc (" + name(V) + ") st (" + name(V) +
+           " >= " + std::to_string(Lo[V] - 1) + " && " + name(V) +
+           " <= " + std::to_string(Hi[V]) + ");\n";
+  }
+
+  std::string genAssertOrAssume() {
+    const char *Kw = Rng.nextBool() ? "assert" : "assume";
+    return std::string("  ") + Kw + " " + genBool(1) + ";\n";
+  }
+
+  std::string genStmt(unsigned Depth) {
+    switch (Rng.nextInRange(0, Depth > 0 ? 7 : 4)) {
+    case 0:
+      return "  skip;\n";
+    case 1:
+      return "  " + name(pickVar()) + " = " + genTerm(2) + ";\n";
+    case 2:
+      return genRelax();
+    case 3:
+      return genHavoc();
+    case 4:
+      return genAssertOrAssume();
+    case 5: {
+      std::string S = "  if (" + genBool(1) + ")";
+      if (Opts.AllowDiverge && Rng.nextBool(1, 2))
+        S += " diverge cases";
+      S += " {\n  " + genStmt(Depth - 1) + "  } else {\n  " +
+           genStmt(Depth - 1) + "  }\n";
+      return S;
+    }
+    case 6: {
+      if (!Opts.AllowLoops)
+        return genAssertOrAssume();
+      // A bounded counting loop with a sound invariant and variant, so
+      // the while rules produce dischargeable obligations.
+      unsigned V = pickVar();
+      int64_t Target = Hi[V] + 2;
+      return "  while (" + name(V) + " < " + std::to_string(Target) +
+             ")\n    invariant (" + name(V) + " <= " +
+             std::to_string(Target) + ")\n    decreases (" +
+             std::to_string(Target) + " - " + name(V) + ")\n  { " +
+             name(V) + " = " + name(V) + " + 1; }\n";
+    }
+    default: {
+      // A relate over the relaxed pair — exercises the relational pass.
+      // Labels must be unique within a program (sema-enforced).
+      unsigned V = pickVar();
+      return "  relate r" + std::to_string(RelateCounter++) + " : " +
+             name(V) + "<o> - " + name(V) + "<r> <= 2 && " + name(V) +
+             "<r> - " + name(V) + "<o> <= 2;\n";
+    }
+    }
+  }
+};
+
+} // namespace test
+} // namespace relax
+
+#endif // RELAXC_TESTS_GENPROGRAM_H

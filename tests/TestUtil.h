@@ -69,6 +69,16 @@ inline std::string examplePath(const std::string &Name) {
   return std::string(RELAXC_EXAMPLES_DIR) + "/" + Name;
 }
 
+/// Path to the built relaxc driver binary (set by CMake; the shard and
+/// CLI suites spawn it as a real subprocess).
+inline std::string driverPath() {
+#ifdef RELAXC_DRIVER_PATH
+  return RELAXC_DRIVER_PATH;
+#else
+  return std::string();
+#endif
+}
+
 /// True when the Z3 decision-procedure backend was compiled in. Tests that
 /// discharge VCs (or that assert a program does NOT verify) are
 /// meaningless against the stub backend: it answers every query with an
@@ -86,6 +96,14 @@ inline bool haveZ3() { return RELAXC_HAVE_Z3 != 0; }
   do {                                                                         \
     if (!relax::test::haveZ3())                                                \
       GTEST_SKIP() << "Z3 backend not built (RELAXC_ENABLE_Z3=OFF)";           \
+  } while (0)
+
+/// Skips the current test when the driver binary is unavailable (it is
+/// always built alongside the tests; this guards stale installs).
+#define RELAXC_SKIP_WITHOUT_DRIVER()                                           \
+  do {                                                                         \
+    if (relax::test::driverPath().empty())                                     \
+      GTEST_SKIP() << "relaxc driver binary not configured";                   \
   } while (0)
 
 /// Declares `std::string Var` holding the source of the named example

@@ -1,0 +1,186 @@
+//===- driver_cli_tests.cpp - Driver exit codes and --explain paths ------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+// Runs the real relaxc binary (built alongside the tests) through the
+// Subprocess layer and pins its observable CLI contract:
+//
+//  * verify exit codes: 0 verified, 1 refuted, 2 usage/parse/static
+//    error, 3 not-verified-but-nothing-refuted (solver gave up);
+//  * --explain= rejection paths: malformed specs and out-of-range ids
+//    are diagnosed on stderr and exit 2;
+//  * --shards= validation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "support/Subprocess.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+
+using namespace relax;
+
+namespace {
+
+struct RunResult {
+  int Exit = -1;
+  std::string Output; ///< stdout + stderr, merged
+};
+
+/// Runs the driver with \p Args, returning its exit code and merged
+/// output. The 60s frame-less read bounds a wedged driver.
+RunResult runDriver(const std::vector<std::string> &Args) {
+  RunResult R;
+  Subprocess P;
+  Status S = P.spawn(relax::test::driverPath(), Args, /*MergeStderr=*/true);
+  EXPECT_TRUE(S.ok()) << (S.ok() ? "" : S.message());
+  if (!S.ok())
+    return R;
+  P.closeStdin();
+  char Buf[4096];
+  for (;;) {
+    ssize_t N = ::read(P.readFd(), Buf, sizeof(Buf));
+    if (N <= 0)
+      break;
+    R.Output.append(Buf, static_cast<size_t>(N));
+  }
+  R.Exit = P.waitForExit();
+  return R;
+}
+
+/// Writes \p Source to a temp .rlx file; unlinked on destruction.
+struct TempProgram {
+  std::string Path;
+  explicit TempProgram(const std::string &Source) {
+    char Name[] = "/tmp/relaxc_cli_XXXXXX";
+    int Fd = ::mkstemp(Name);
+    EXPECT_GE(Fd, 0);
+    if (Fd < 0)
+      return;
+    ssize_t Ignored = ::write(Fd, Source.data(), Source.size());
+    (void)Ignored;
+    ::close(Fd);
+    Path = Name;
+  }
+  ~TempProgram() {
+    if (!Path.empty())
+      ::unlink(Path.c_str());
+  }
+};
+
+// A Z3-free pipeline keeps every pin green in both build configurations.
+const char *BoundedPipeline = "--pipeline=simplify,bounded";
+
+TEST(DriverExitCodes, VerifiedIsZero) {
+  RELAXC_SKIP_WITHOUT_DRIVER();
+  TempProgram P("int x;\nrequires (x >= 0 && x <= 2);\n"
+                "{ x = x + 1; assert x >= 1; }\n");
+  RunResult R = runDriver({"verify", P.Path, BoundedPipeline});
+  EXPECT_EQ(R.Exit, 0) << R.Output;
+  EXPECT_NE(R.Output.find("VERIFIED"), std::string::npos) << R.Output;
+}
+
+TEST(DriverExitCodes, RefutedIsOne) {
+  RELAXC_SKIP_WITHOUT_DRIVER();
+  TempProgram P("int x;\nrequires (x == 0);\n{ assert x == 1; }\n");
+  RunResult R = runDriver({"verify", P.Path, BoundedPipeline});
+  EXPECT_EQ(R.Exit, 1) << R.Output;
+  EXPECT_NE(R.Output.find("failed"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("counterexample"), std::string::npos) << R.Output;
+}
+
+TEST(DriverExitCodes, GaveUpOnlyIsThree) {
+  RELAXC_SKIP_WITHOUT_DRIVER();
+  // The relaxed pass freshens the relax into an existential; a one-step
+  // quantifier budget forces a deterministic give-up, and nothing in the
+  // program is refutable — so the failure class is "solver too weak".
+  TempProgram P("int x;\nrequires (x >= 0);\n"
+                "{ relax (x) st (x >= 0); assert x >= 0; }\n");
+  RunResult R = runDriver(
+      {"verify", P.Path, "--pipeline=bounded", "--bounded-steps=1"});
+  EXPECT_EQ(R.Exit, 3) << R.Output;
+  EXPECT_NE(R.Output.find("undecided"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("NOT VERIFIED"), std::string::npos) << R.Output;
+}
+
+TEST(DriverExitCodes, StaticErrorIsTwo) {
+  RELAXC_SKIP_WITHOUT_DRIVER();
+  { // parse error
+    TempProgram P("int x; { this is not rlx }\n");
+    EXPECT_EQ(runDriver({"verify", P.Path, BoundedPipeline}).Exit, 2);
+  }
+  { // sema error (relate label reuse)
+    TempProgram P("int x;\n{ relate l : x<o> == x<r>; "
+                  "relate l : x<o> == x<r>; }\n");
+    RunResult R = runDriver({"verify", P.Path, BoundedPipeline});
+    EXPECT_EQ(R.Exit, 2) << R.Output;
+    EXPECT_NE(R.Output.find("duplicate relate label"), std::string::npos)
+        << R.Output;
+  }
+}
+
+TEST(DriverExplain, MalformedSpecIsRejected) {
+  RELAXC_SKIP_WITHOUT_DRIVER();
+  TempProgram P("int x;\nrequires (x == 0);\n{ assert x == 0; }\n");
+  for (const char *Bad : {"--explain=q:1", "--explain=o:abc", "--explain=o:",
+                          "--explain=5", "--explain=r5"}) {
+    RunResult R = runDriver({"verify", P.Path, BoundedPipeline, Bad});
+    EXPECT_EQ(R.Exit, 2) << Bad << "\n" << R.Output;
+    EXPECT_NE(R.Output.find("bad --explain id"), std::string::npos)
+        << Bad << "\n" << R.Output;
+    EXPECT_NE(R.Output.find("expected o:<n> or r:<n>"), std::string::npos)
+        << Bad << "\n" << R.Output;
+  }
+}
+
+TEST(DriverExplain, OutOfRangeIdIsRejected) {
+  RELAXC_SKIP_WITHOUT_DRIVER();
+  TempProgram P("int x;\nrequires (x == 0);\n{ assert x == 0; }\n");
+  RunResult R =
+      runDriver({"verify", P.Path, BoundedPipeline, "--explain=o:999"});
+  EXPECT_EQ(R.Exit, 2) << R.Output;
+  EXPECT_NE(R.Output.find("no obligation o:999"), std::string::npos)
+      << R.Output;
+  RunResult R2 =
+      runDriver({"verify", P.Path, BoundedPipeline, "--explain=r:999"});
+  EXPECT_EQ(R2.Exit, 2) << R2.Output;
+  EXPECT_NE(R2.Output.find("no obligation r:999"), std::string::npos)
+      << R2.Output;
+}
+
+TEST(DriverExplain, ValidIdPrintsProvenanceAndKeepsVerifyExitCode) {
+  RELAXC_SKIP_WITHOUT_DRIVER();
+  TempProgram P("int x;\nrequires (x == 0);\n{ assert x == 1; }\n");
+  RunResult R =
+      runDriver({"verify", P.Path, BoundedPipeline, "--explain=o:0"});
+  // The refuted exit code survives a successful --explain.
+  EXPECT_EQ(R.Exit, 1) << R.Output;
+  EXPECT_NE(R.Output.find("== obligation o:0 =="), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("judgment:"), std::string::npos) << R.Output;
+}
+
+TEST(DriverShardsFlag, RejectsBadValues) {
+  RELAXC_SKIP_WITHOUT_DRIVER();
+  TempProgram P("int x;\n{ skip; }\n");
+  for (const char *Bad : {"--shards=abc", "--shards=", "--shards=9999"}) {
+    RunResult R = runDriver({"verify", P.Path, Bad});
+    EXPECT_EQ(R.Exit, 2) << Bad;
+    EXPECT_NE(R.Output.find("bad --shards value"), std::string::npos)
+        << Bad << "\n" << R.Output;
+  }
+  // A simplify-only pipeline has no tier to move out of process.
+  RunResult R = runDriver(
+      {"verify", P.Path, "--pipeline=simplify", "--shards=2"});
+  EXPECT_EQ(R.Exit, 2) << R.Output;
+  EXPECT_NE(R.Output.find("needs a final bounded or z3 tier"),
+            std::string::npos)
+      << R.Output;
+}
+
+} // namespace

@@ -48,6 +48,15 @@ TEST(PipelineSpec, ParsesValidChains) {
   EXPECT_TRUE(parsePipelineSpec("bounded").ok());
   EXPECT_TRUE(parsePipelineSpec("z3").ok());
   EXPECT_TRUE(parsePipelineSpec("simplify,z3").ok());
+
+  // The shard tier composes anywhere a final tier may sit.
+  EXPECT_TRUE(parsePipelineSpec("shard").ok());
+  EXPECT_TRUE(parsePipelineSpec("bounded,shard").ok());
+  EXPECT_TRUE(parsePipelineSpec("simplify,shard").ok());
+  auto WithShard = parsePipelineSpec("simplify,bounded,shard");
+  ASSERT_TRUE(WithShard.ok()) << WithShard.message();
+  EXPECT_EQ(WithShard->back(), TierKind::Shard);
+  EXPECT_EQ(formatPipeline(*WithShard), "simplify,bounded,shard");
 }
 
 TEST(PipelineSpec, RejectsInvalidChains) {
@@ -56,6 +65,21 @@ TEST(PipelineSpec, RejectsInvalidChains) {
   EXPECT_FALSE(parsePipelineSpec("bounded,simplify").ok()); // not first
   EXPECT_FALSE(parsePipelineSpec("bounded,bounded").ok());  // duplicate
   EXPECT_FALSE(parsePipelineSpec("z3,").ok());              // empty tier
+}
+
+TEST(PipelineSpec, RejectsMisorderedShardTier) {
+  // `shard` before any in-process tier is an ordering error with the
+  // same diagnostic style as the simplify-first rule: it names the tier
+  // and explains the constraint.
+  for (const char *Spec :
+       {"shard,bounded", "shard,z3", "shard,simplify", "simplify,shard,z3",
+        "bounded,shard,z3", "shard,shard"}) {
+    auto R = parsePipelineSpec(Spec);
+    ASSERT_FALSE(R.ok()) << Spec;
+    EXPECT_NE(R.message().find("shard tier must come last"),
+              std::string::npos)
+        << Spec << " -> " << R.message();
+  }
 }
 
 //===----------------------------------------------------------------------===//
