@@ -25,14 +25,21 @@
 #include "solver/Portfolio.h"
 #include "solver/ShardPool.h"
 #include "solver/Z3Solver.h"
+#include "support/FaultInjection.h"
 #include "support/Subprocess.h"
 #include "vcgen/Verifier.h"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <unordered_map>
+
+#include <signal.h>
+#include <unistd.h>
 
 using namespace relax;
 
@@ -62,6 +69,15 @@ struct CliOptions {
   /// This executable's path — respawned as the shard workers.
   std::string ExePath;
   size_t ArrayLen = 8;
+  /// Global wall-clock budget for `verify` in milliseconds (< 0 = none).
+  /// Obligations past it settle as gave-ups with reason "deadline", so an
+  /// expired run exits 3, never hangs.
+  int64_t TimeoutMs = -1;
+  /// Per-VC budget in milliseconds (< 0 = none).
+  int64_t VcTimeoutMs = -1;
+  /// Hidden fault-injection spec (see support/FaultInjection.h); also
+  /// exported as RELAXC_FAULTS so shard workers inherit it.
+  std::string Faults;
   bool Verbose = false;
   bool NoSafety = false;
   bool OriginalOnly = false;
@@ -92,6 +108,10 @@ void printUsage() {
       "  --seed=<n>                oracle randomness seed (default 1)\n"
       "  --runs=<n>                pair runs for `monitor` (default 16)\n"
       "  --array-len=<n>           initial array length (default 8)\n"
+      "  --timeout-ms=<n>          global wall-clock budget for `verify`;\n"
+      "                            obligations past it settle as gave-ups\n"
+      "                            with reason 'deadline' (exit code 3)\n"
+      "  --vc-timeout-ms=<n>       per-obligation wall-clock budget\n"
       "  --jobs=<n>                parallel VC discharge workers for "
       "`verify` (default 1)\n"
       "  --solver-jobs=<n>         parallel search workers inside the "
@@ -191,6 +211,29 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         return false;
       }
       Opts.Shards = static_cast<unsigned>(N);
+    } else if (const char *V = Value("--timeout-ms=")) {
+      uint64_t N = 0;
+      if (!parseUnsigned(V, N) || N > uint64_t(INT64_MAX)) {
+        std::fprintf(stderr,
+                     "relaxc: error: bad --timeout-ms value '%s' (expected "
+                     "a decimal millisecond count)\n",
+                     V);
+        return false;
+      }
+      Opts.TimeoutMs = static_cast<int64_t>(N);
+    } else if (const char *V = Value("--vc-timeout-ms=")) {
+      uint64_t N = 0;
+      if (!parseUnsigned(V, N) || N > uint64_t(INT64_MAX)) {
+        std::fprintf(stderr,
+                     "relaxc: error: bad --vc-timeout-ms value '%s' "
+                     "(expected a decimal millisecond count)\n",
+                     V);
+        return false;
+      }
+      Opts.VcTimeoutMs = static_cast<int64_t>(N);
+    } else if (const char *V = Value("--faults=")) {
+      // Hidden: deterministic fault injection for the chaos suite.
+      Opts.Faults = V;
     }
     else if (A == "--verbose")
       Opts.Verbose = true;
@@ -379,6 +422,8 @@ ShardResponse serveShardRequest(ShardWorkerState &W,
   Result<ShardRequest> Req = parseShardRequest(Payload);
   if (!Req.ok())
     return Fail("bad request: " + Req.message());
+  if (FaultRegistry::shouldFail(FaultSite::SolverCall))
+    return Fail("injected solver-call fault");
   Result<std::vector<TierKind>> Tiers = parsePipelineSpec(Req->Pipeline);
   if (!Tiers.ok())
     return Fail("bad worker pipeline: " + Tiers.message());
@@ -474,7 +519,23 @@ int runDischargeWorker() {
                    F.Message.c_str());
       return 2;
     }
+    // Chaos-suite crash site: die instead of answering, alternating
+    // between vanishing silently and dying mid-frame (garbage partial
+    // header bytes on stdout) — the two shapes a real worker crash has
+    // from the pool's point of view.
+    if (FaultRegistry::shouldFail(FaultSite::WorkerExit)) {
+      // Parity of the draw index (how many requests this worker saw)
+      // picks the crash shape; firedCount is always 1 here because a
+      // worker dies on its first fire.
+      FaultRegistry &R = FaultRegistry::instance();
+      if (R.drawCount(FaultSite::WorkerExit) % 2 == 1)
+        (void)!::write(1, "RLXF\xff\xff", 6);
+      ::_exit(3);
+    }
     ShardResponse Resp = serveShardRequest(W, F.Payload);
+    if (FaultRegistry::shouldFail(FaultSite::ResponseDelay))
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          FaultRegistry::instance().delayMs()));
     if (Status S = writeFrame(/*Fd=*/1, serializeShardResponse(Resp));
         !S.ok())
       return 2; // the pool went away mid-response
@@ -490,6 +551,11 @@ int runVerify(const CliOptions &Opts, AstContext &Ctx, Program &Prog,
   VO.GenOpts.CheckSafety = !Opts.NoSafety;
   VO.RunRelaxed = !Opts.OriginalOnly;
   VO.Jobs = Opts.Jobs == 0 ? 1 : Opts.Jobs;
+  // Arm the deadline as late as possible (right before the run) so flag
+  // parsing and pool creation do not eat into the budget.
+  if (Opts.TimeoutMs >= 0)
+    VO.GlobalDeadline = Deadline::inMs(Opts.TimeoutMs);
+  VO.VcTimeoutMs = Opts.VcTimeoutMs;
   DischargeStats Stats;
   VO.StatsOut = &Stats;
 
@@ -565,6 +631,15 @@ int runVerify(const CliOptions &Opts, AstContext &Ctx, Program &Prog,
       for (uint64_t N : PS.PerWorker)
         std::printf(" %llu", static_cast<unsigned long long>(N));
       std::printf("\n");
+      if (PS.Failures > 0 || PS.Quarantines > 0)
+        std::printf("  shard health: %llu failed attempt(s), %llu "
+                    "quarantine(s)\n",
+                    static_cast<unsigned long long>(PS.Failures),
+                    static_cast<unsigned long long>(PS.Quarantines));
+      if (PS.Degraded || PS.DegradedFallbacks > 0)
+        std::printf("  shard pool degraded: %llu request(s) answered by "
+                    "the in-process tail\n",
+                    static_cast<unsigned long long>(PS.DegradedFallbacks));
     }
   }
   if (!Opts.Explain.empty() && !printExplain(Report, Opts.Explain, Ctx))
@@ -713,15 +788,42 @@ int runDumpVCs(const CliOptions &Opts, AstContext &Ctx, Program &Prog,
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // A peer vanishing mid-write (a dead shard worker, a closed pool) must
+  // surface as a diagnosed EPIPE from the framing layer, not kill the
+  // process. The pool ignores SIGPIPE again at creation (belt and
+  // braces); this covers the worker side and every other write path.
+  ::signal(SIGPIPE, SIG_IGN);
+  if (Status S = FaultRegistry::instance().armFromEnvironment(); !S.ok()) {
+    std::fprintf(stderr, "relaxc: error: %s\n", S.message().c_str());
+    return 2;
+  }
+
   // The hidden worker mode of the sharded discharge tier: no file, no
-  // command — just the frame loop over stdin/stdout.
-  if (Argc >= 2 && std::strcmp(Argv[1], "--discharge-worker") == 0)
+  // command — just the frame loop over stdin/stdout. Workers accept
+  // --faults= directly so tests can arm them via pool WorkerArgs without
+  // touching the parent's environment.
+  if (Argc >= 2 && std::strcmp(Argv[1], "--discharge-worker") == 0) {
+    for (int I = 2; I < Argc; ++I)
+      if (std::strncmp(Argv[I], "--faults=", 9) == 0)
+        if (Status S = FaultRegistry::instance().arm(Argv[I] + 9); !S.ok()) {
+          std::fprintf(stderr, "relaxc: error: %s\n", S.message().c_str());
+          return 2;
+        }
     return runDischargeWorker();
+  }
 
   CliOptions Opts;
   if (!parseArgs(Argc, Argv, Opts)) {
     printUsage();
     return 2;
+  }
+  if (!Opts.Faults.empty()) {
+    if (Status S = FaultRegistry::instance().arm(Opts.Faults); !S.ok()) {
+      std::fprintf(stderr, "relaxc: error: %s\n", S.message().c_str());
+      return 2;
+    }
+    // Shard workers (respawns of this executable) inherit the spec.
+    ::setenv("RELAXC_FAULTS", Opts.Faults.c_str(), 1);
   }
   Opts.ExePath = currentExecutablePath(Argv[0]);
 

@@ -218,7 +218,7 @@ SearchPlan buildPlan(const std::vector<const BoolExpr *> &Formulas,
 /// plus the value of every order position. The plan is shared read-only.
 class SearchWorker {
 public:
-  enum class Status : uint8_t { Sat, Exhausted, Budget };
+  enum class Status : uint8_t { Sat, Exhausted, Budget, Deadline };
   struct Outcome {
     Status St = Status::Exhausted;
     uint64_t Count = 0; ///< assignments attempted in this chunk
@@ -228,9 +228,11 @@ public:
   };
 
   SearchWorker(const SearchPlan &Plan, const BoundedSolverOptions &Opts,
-               const FormulaEvalOptions &EvalOpts)
-      : Plan(Plan), Opts(Opts), EvalOpts(EvalOpts), Dom(arrayDomain(Opts)),
-        IntVal(Plan.Order.size()), ArrVal(Plan.Order.size()) {
+               const FormulaEvalOptions &EvalOpts,
+               const Deadline &DL = Deadline())
+      : Plan(Plan), Opts(Opts), EvalOpts(EvalOpts), DL(DL),
+        Dom(arrayDomain(Opts)), IntVal(Plan.Order.size()),
+        ArrVal(Plan.Order.size()) {
     Budget.MaxSteps = Opts.MaxQuantSteps;
     Execs.reserve(Plan.Conjuncts.size());
     IntScratch.resize(Plan.Conjuncts.size());
@@ -272,6 +274,7 @@ private:
   const SearchPlan &Plan;
   const BoundedSolverOptions &Opts;
   const FormulaEvalOptions &EvalOpts;
+  Deadline DL;
   ArrayDomain Dom;
   std::vector<int64_t> IntVal;
   std::vector<ArrayModelValue> ArrVal;
@@ -298,6 +301,13 @@ private:
       if (++Count > Opts.MaxCandidates) {
         Out.Count = Count;
         return Status::Budget;
+      }
+      // A clock read every 4096 candidates keeps deadline latency in the
+      // microsecond-per-check range without measurably slowing the search
+      // (the expired() call is a single branch when no deadline is armed).
+      if ((Count & 0xFFF) == 0 && DL.expired()) {
+        Out.Count = Count;
+        return Status::Deadline;
       }
       if (V.Kind == VarKind::Int)
         IntVal[Depth] = Opts.IntLo + static_cast<int64_t>(Index);
@@ -375,6 +385,11 @@ SatResult BoundedSolver::search(const std::vector<const BoolExpr *> &Formulas,
       Opts.ExhaustionMeansUnsat ? SatResult::Unsat : SatResult::Unknown;
   LastStop = StopReason::Decided;
 
+  if (QueryDeadline.expired()) {
+    LastStop = StopReason::Deadline;
+    return SatResult::Unknown;
+  }
+
   SearchPlan Plan = buildPlan(Formulas, ExtraVars, Ctx);
   if (Plan.TriviallyFalse)
     return Exhausted;
@@ -383,7 +398,7 @@ SatResult BoundedSolver::search(const std::vector<const BoolExpr *> &Formulas,
   if (N == 0) {
     // One (empty) candidate: the conjuncts are all variable-free.
     ++Candidates;
-    SearchWorker Root(Plan, Opts, EvalOpts);
+    SearchWorker Root(Plan, Opts, EvalOpts, QueryDeadline);
     bool Hold = Root.checkRoots();
     QuantSteps += Root.steps();
     if (Root.tripped()) {
@@ -396,7 +411,7 @@ SatResult BoundedSolver::search(const std::vector<const BoolExpr *> &Formulas,
   // The root checks run once on this thread; their quantifier steps stay
   // charged to Main's budget, so chunk 0 (which reuses Main) continues the
   // exact sequential counter.
-  SearchWorker Main(Plan, Opts, EvalOpts);
+  SearchWorker Main(Plan, Opts, EvalOpts, QueryDeadline);
   if (!Main.checkRoots()) {
     QuantSteps += Main.steps();
     if (Main.tripped()) {
@@ -425,7 +440,7 @@ SatResult BoundedSolver::search(const std::vector<const BoolExpr *> &Formulas,
   Pool.reserve(Chunks - 1);
   for (uint64_t I = 1; I != Chunks; ++I)
     Pool.emplace_back([&, I] {
-      SearchWorker W(Plan, Opts, EvalOpts);
+      SearchWorker W(Plan, Opts, EvalOpts, QueryDeadline);
       Outcomes[I] = W.run(ChunkLo(I), ChunkLo(I + 1));
     });
   Outcomes[0] = Main.run(0, ChunkLo(1));
@@ -436,6 +451,16 @@ SatResult BoundedSolver::search(const std::vector<const BoolExpr *> &Formulas,
     Candidates += O.Count;
     QuantSteps += O.Steps;
   }
+
+  // A deadline trip anywhere means the query ran out of time; the verdict
+  // is Unknown regardless of what other chunks found (which chunk trips
+  // first is time-dependent, so no replay can make this deterministic —
+  // that is exactly why deadline verdicts are never cached or pinned).
+  for (const SearchWorker::Outcome &O : Outcomes)
+    if (O.St == SearchWorker::Status::Deadline) {
+      LastStop = StopReason::Deadline;
+      return SatResult::Unknown;
+    }
 
   // Replay the chunks in domain order. Chunk searches are independent, so
   // each chunk's candidate and quantifier-step counts are identical to
@@ -548,12 +573,21 @@ BoundedSolver::enumerate(const std::vector<const BoolExpr *> &Formulas,
   EvalOpts.ArrayElemHi = Opts.ArrayElemHi;
 
   LastStop = StopReason::Decided;
+  if (QueryDeadline.expired()) {
+    LastStop = StopReason::Deadline;
+    return SatResult::Unknown;
+  }
   AssignmentEnumerator Enum(Vars, Opts);
   uint64_t Evaluated = 0;
   do {
     if (++Evaluated > Opts.MaxCandidates) {
       Candidates += Evaluated - 1;
       LastStop = StopReason::CandidateBudget;
+      return SatResult::Unknown;
+    }
+    if ((Evaluated & 0xFFF) == 0 && QueryDeadline.expired()) {
+      Candidates += Evaluated;
+      LastStop = StopReason::Deadline;
       return SatResult::Unknown;
     }
     const Model &M = Enum.current();

@@ -102,8 +102,13 @@ public:
     Decided,         ///< Sat witness found or domain exhausted
     CandidateBudget, ///< MaxCandidates tripped
     StepBudget,      ///< MaxQuantSteps tripped
+    Deadline,        ///< the installed deadline expired mid-search
   };
   StopReason lastStop() const { return LastStop; }
+
+  bool lastQueryDeadlined() const override {
+    return LastStop == StopReason::Deadline;
+  }
 
 private:
   BoundedSolverOptions Opts;

@@ -148,7 +148,9 @@ public:
     if (std::optional<SatResult> Cached = Cache.lookupCanonical(Canonical))
       return *Cached;
     Result<SatResult> R = Underlying.checkSat(Formulas);
-    if (R.ok())
+    // Deadline gave-ups are time-dependent, not verdicts about the query;
+    // caching one would freeze "ran out of time" into "unknowable".
+    if (R.ok() && !Underlying.lastQueryDeadlined())
       Cache.insertCanonical(std::move(Canonical), *R);
     return R;
   }
@@ -158,6 +160,15 @@ public:
                     const VarRefSet &Vars, Model &ModelOut) override {
     ++Queries;
     return Underlying.checkSatWithModel(Formulas, Vars, ModelOut);
+  }
+
+  void setDeadline(const Deadline &D) override {
+    QueryDeadline = D;
+    Underlying.setDeadline(D);
+  }
+
+  bool lastQueryDeadlined() const override {
+    return Underlying.lastQueryDeadlined();
   }
 
   uint64_t hitCount() const { return Cache.hitCount(); }

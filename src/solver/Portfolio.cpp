@@ -125,6 +125,43 @@ PortfolioSolver::PortfolioSolver(AstContext &Ctx, PortfolioOptions Opts,
     TierNames[I] = "bounded-full";
   };
 
+  // The in-process tail the shard workers run: exactly what a worker
+  // process builds from ShardWorkerPipeline and the request's bounded
+  // configuration. Used for the tier itself when there is no pool, and
+  // as the runtime fallback when there is one.
+  struct Tail {
+    std::unique_ptr<Solver> S;
+    BoundedSolver *B = nullptr;
+    const char *Name = nullptr;
+  };
+  auto MakeShardTail = [&]() -> Tail {
+    Tail T;
+    if (this->Opts.ShardWorkerPipeline == "bounded") {
+      BoundedSolverOptions B = this->Opts.Bounded;
+      B.ExhaustionMeansUnsat = true;
+      auto S = std::make_unique<BoundedSolver>(B, &Ctx);
+      T.B = S.get();
+      T.S = std::move(S);
+      T.Name = "bounded";
+      return T;
+    }
+    if (SmtFactory) {
+      T.S = SmtFactory();
+      T.Name = T.S->name();
+      return T;
+    }
+    BoundedSolverOptions B = this->Opts.Bounded;
+    B.ExhaustionMeansUnsat = true;
+    if (B.MaxQuantSteps != 0)
+      B.MaxQuantSteps *= this->Opts.FinalBoundedStepFactor;
+    B.MaxCandidates *= this->Opts.FinalBoundedStepFactor;
+    auto S = std::make_unique<BoundedSolver>(B, &Ctx);
+    T.B = S.get();
+    T.S = std::move(S);
+    T.Name = "bounded-full";
+    return T;
+  };
+
   for (size_t I = 0; I != N; ++I) {
     TierKind K = this->Opts.Tiers[I];
     bool Last = I + 1 == N;
@@ -155,17 +192,21 @@ PortfolioSolver::PortfolioSolver(AstContext &Ctx, PortfolioOptions Opts,
             *this->Opts.Pool, Ctx.symbols(), this->Opts.ShardWorkerPipeline,
             this->Opts.Bounded, this->Opts.FinalBoundedStepFactor);
         TierNames[I] = "shard";
-      } else if (this->Opts.ShardWorkerPipeline == "bounded") {
-        // Pool-less degradation to the in-process tail the workers would
-        // run: a final bounded tier at the same domains and budgets.
-        BoundedSolverOptions B = this->Opts.Bounded;
-        B.ExhaustionMeansUnsat = true;
-        auto S = std::make_unique<BoundedSolver>(B, &Ctx);
-        BoundedTier[I] = S.get();
-        Backends[I] = std::move(S);
-        TierNames[I] = "bounded";
+        // Graceful degradation target: when the pool is unhealthy the
+        // tier answers from this identical in-process tail at runtime.
+        Tail T = MakeShardTail();
+        ShardFallback = std::move(T.S);
+        ShardFallbackBounded = T.B;
+        ShardFallbackName = T.Name;
+        ShardFallbackSettledBy = std::string("shard-degraded:") + T.Name;
       } else {
-        MakeSmtTier(I);
+        // Pool-less degradation to the in-process tail the workers would
+        // run (so `--shards=0` and a pool-less test config mean "same
+        // pipeline, no processes").
+        Tail T = MakeShardTail();
+        BoundedTier[I] = T.B;
+        Backends[I] = std::move(T.S);
+        TierNames[I] = T.Name;
       }
       break;
     }
@@ -216,6 +257,7 @@ PortfolioSolver::checkRange(size_t From, size_t To,
   LastSettled = false;
   LastSettledTier = -1;
   LastSettledBy = "portfolio";
+  LastDeadlined = false;
   // The trail covers one checkRange call; the scheduler concatenates
   // stage trails itself. Queries are counted once per logical query.
   LastTrail.clear();
@@ -236,6 +278,17 @@ PortfolioSolver::checkRange(size_t From, size_t To,
 
   for (size_t I = From; I != To; ++I) {
     bool LastTier = I + 1 == N;
+    // Deadline gate at every tier boundary: an expired deadline settles
+    // the query as a gave-up with reason "deadline" — never a hang, and
+    // never an answer a tier did not actually compute.
+    if (QueryDeadline.expired()) {
+      AppendTrail(I, "deadline expired before this tier ran");
+      LastSettled = true;
+      LastSettledTier = static_cast<int>(I);
+      LastSettledBy = "deadline";
+      LastDeadlined = true;
+      return SatResult::Unknown;
+    }
     if (Opts.Tiers[I] == TierKind::Simplify) {
       bool Settled = false;
       Result<SatResult> R = runSimplifyTier(I, Formulas, ModelOut, Settled);
@@ -253,10 +306,42 @@ PortfolioSolver::checkRange(size_t From, size_t To,
       continue;
     }
 
-    Solver &B = *Backends[I];
-    Result<SatResult> R = ModelOut && Vars
-                              ? B.checkSatWithModel(Formulas, *Vars, *ModelOut)
-                              : B.checkSat(Formulas);
+    // Route the pool-backed shard tier to its in-process fallback tail
+    // when the pool has degraded (every worker dead). Both sides compute
+    // the same pure function of the request, so the switch is invisible
+    // in the verdict — only SettledBy records it.
+    bool IsShard = Opts.Tiers[I] == TierKind::Shard && Opts.Pool != nullptr &&
+                   ShardFallback != nullptr;
+    bool UsedFallback = false;
+    Solver *Active = Backends[I].get();
+    if (IsShard && Opts.Pool->degraded()) {
+      Active = ShardFallback.get();
+      UsedFallback = true;
+      Opts.Pool->noteFallback();
+      AppendTrail(I, std::string("pool degraded; answering with the "
+                                 "in-process ") +
+                         ShardFallbackName + " tail");
+    }
+
+    Active->setDeadline(QueryDeadline);
+    Result<SatResult> R =
+        ModelOut && Vars ? Active->checkSatWithModel(Formulas, *Vars, *ModelOut)
+                         : Active->checkSat(Formulas);
+    if (!R.ok() && IsShard && !UsedFallback) {
+      // The round trip failed past the pool's single sound retry:
+      // degrade this query (and, if the pool is now fully dead, all
+      // later ones) to the in-process tail instead of erroring out.
+      AppendTrail(I, "error: " + R.message() + "; degrading to the "
+                                               "in-process " +
+                         ShardFallbackName + " tail");
+      Opts.Pool->noteFallback();
+      Active = ShardFallback.get();
+      UsedFallback = true;
+      Active->setDeadline(QueryDeadline);
+      R = ModelOut && Vars
+              ? Active->checkSatWithModel(Formulas, *Vars, *ModelOut)
+              : Active->checkSat(Formulas);
+    }
     if (!R.ok()) {
       if (LastTier)
         return R; // nothing left to escalate to
@@ -272,10 +357,12 @@ PortfolioSolver::checkRange(size_t From, size_t To,
       // The shard tier reports which worker-side tier settled
       // ("shard:z3"); the worker's own give-up trail is appended so
       // --explain shows the full escalation path across the process
-      // boundary.
-      if (Opts.Tiers[I] == TierKind::Shard && Backends[I]) {
-        LastSettledBy = Backends[I]->settledBy();
-        if (std::string WTrail = Backends[I]->giveUpTrail(); !WTrail.empty())
+      // boundary. A fallback-settled query reports "shard-degraded:<tail>".
+      if (UsedFallback) {
+        LastSettledBy = ShardFallbackSettledBy.c_str();
+      } else if (Opts.Tiers[I] == TierKind::Shard) {
+        LastSettledBy = Active->settledBy();
+        if (std::string WTrail = Active->giveUpTrail(); !WTrail.empty())
           AppendTrail(I, "worker trail: " + WTrail);
       } else {
         LastSettledBy = TierNames[I];
@@ -284,9 +371,12 @@ PortfolioSolver::checkRange(size_t From, size_t To,
     }
 
     // Unknown: compose the give-up reason.
+    bool TierDeadlined = Active->lastQueryDeadlined();
     std::string Why = "returned unknown";
     bool BudgetTrip = false;
-    if (const BoundedSolver *BS = BoundedTier[I]) {
+    const BoundedSolver *BS = UsedFallback ? ShardFallbackBounded
+                                           : BoundedTier[I];
+    if (BS) {
       switch (BS->lastStop()) {
       case BoundedSolver::StopReason::CandidateBudget:
         Why = "candidate budget (" +
@@ -300,22 +390,35 @@ PortfolioSolver::checkRange(size_t From, size_t To,
       case BoundedSolver::StopReason::Decided:
         Why = "domain exhausted without a model";
         break;
+      case BoundedSolver::StopReason::Deadline:
+        Why = "deadline reached";
+        break;
       }
     }
-    if (Opts.Tiers[I] == TierKind::Shard && Backends[I])
-      if (std::string WTrail = Backends[I]->giveUpTrail(); !WTrail.empty())
+    if (TierDeadlined)
+      Why = "deadline reached";
+    if (Opts.Tiers[I] == TierKind::Shard && !UsedFallback)
+      if (std::string WTrail = Active->giveUpTrail(); !WTrail.empty())
         Why = "worker trail: " + WTrail;
     Count(Stats.Tiers[I].GaveUp);
     if (BudgetTrip)
       Count(Stats.Tiers[I].BudgetTrips);
     AppendTrail(I, Why);
     if (LastTier) {
-      // The final tier's Unknown is the portfolio's verdict.
+      // The final tier's Unknown is the portfolio's verdict. A deadline
+      // gave-up reports "deadline" so it is never cached or pinned.
       LastSettled = true;
       LastSettledTier = static_cast<int>(I);
-      LastSettledBy = Opts.Tiers[I] == TierKind::Shard && Backends[I]
-                          ? Backends[I]->settledBy()
-                          : TierNames[I];
+      if (TierDeadlined) {
+        LastSettledBy = "deadline";
+        LastDeadlined = true;
+      } else if (UsedFallback) {
+        LastSettledBy = ShardFallbackSettledBy.c_str();
+      } else if (Opts.Tiers[I] == TierKind::Shard) {
+        LastSettledBy = Active->settledBy();
+      } else {
+        LastSettledBy = TierNames[I];
+      }
       return SatResult::Unknown;
     }
     Count(Stats.Escalations);
@@ -341,6 +444,8 @@ uint64_t PortfolioSolver::boundedCandidates() const {
   for (const BoundedSolver *B : BoundedTier)
     if (B)
       N += B->candidatesEvaluated();
+  if (ShardFallbackBounded)
+    N += ShardFallbackBounded->candidatesEvaluated();
   return N;
 }
 
@@ -349,5 +454,7 @@ uint64_t PortfolioSolver::boundedQuantSteps() const {
   for (const BoundedSolver *B : BoundedTier)
     if (B)
       N += B->quantStepsEvaluated();
+  if (ShardFallbackBounded)
+    N += ShardFallbackBounded->quantStepsEvaluated();
   return N;
 }

@@ -202,6 +202,10 @@ public:
   uint64_t boundedCandidates() const;
   uint64_t boundedQuantSteps() const;
 
+  /// True when the last query settled as a deadline gave-up (settledBy()
+  /// reports "deadline"); such verdicts are never cached.
+  bool lastQueryDeadlined() const override { return LastDeadlined; }
+
 private:
   AstContext &Ctx;
   PortfolioOptions Opts;
@@ -217,10 +221,25 @@ private:
   PortfolioStats Stats;
   bool StatsPaused = false;
 
+  /// In-process fallback tail for a pool-backed shard tier: the solver
+  /// the workers themselves run (same ShardWorkerPipeline, same bounded
+  /// configuration), built alongside the ShardSolver. When the pool is
+  /// degraded — or one round trip fails past its sound retry — the shard
+  /// tier answers from this tail instead of erroring out. Because worker
+  /// verdicts are pure functions of the request and the tail is the very
+  /// solver the request configures, the fallback verdict is identical to
+  /// what a healthy worker would have said: degradation is invisible in
+  /// the report (only SettledBy, which is excluded from pins, changes).
+  std::unique_ptr<Solver> ShardFallback;
+  BoundedSolver *ShardFallbackBounded = nullptr;
+  const char *ShardFallbackName = nullptr;
+  std::string ShardFallbackSettledBy;
+
   bool LastSettled = false;
   int LastSettledTier = -1;
   const char *LastSettledBy = "portfolio";
   std::string LastTrail;
+  bool LastDeadlined = false;
 
   Result<SatResult> runSimplifyTier(size_t I,
                                     const std::vector<const BoolExpr *> &F,

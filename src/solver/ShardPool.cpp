@@ -9,9 +9,15 @@
 
 #include "ast/Printer.h"
 #include "logic/FormulaOps.h"
+#include "support/FaultInjection.h"
+#include "support/Random.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <map>
+#include <thread>
+
+#include <signal.h>
 
 using namespace relax;
 
@@ -364,12 +370,18 @@ Result<std::unique_ptr<ShardPool>> ShardPool::create(ShardPoolOptions Opts) {
     return R::error("a shard pool needs at least one worker");
   if (Opts.WorkerExe.empty())
     return R::error("no worker executable configured for the shard pool");
+  // Belt and braces next to the per-spawn handler in Subprocess: the pool
+  // outlives individual workers, and a worker dying mid-write must
+  // surface as a frame error on this side, never a SIGPIPE kill.
+  ::signal(SIGPIPE, SIG_IGN);
   std::unique_ptr<ShardPool> P(new ShardPool(std::move(Opts)));
   for (unsigned I = 0; I != P->Opts.Shards; ++I) {
     auto Slot = std::make_unique<WorkerSlot>();
-    if (Status S = P->spawnWorker(*Slot); !S.ok())
-      return R::error("failed to start discharge worker " +
-                      std::to_string(I) + ": " + S.message());
+    // A failed initial spawn is tolerated: the slot stays Healthy with no
+    // process, and the first borrower retries through the respawn path
+    // (spending budget there). Creation only fails on misconfiguration,
+    // checked above — not on transient spawn trouble.
+    (void)P->spawnWorker(*Slot);
     P->Workers.push_back(std::move(Slot));
   }
   return R(std::move(P));
@@ -378,69 +390,170 @@ Result<std::unique_ptr<ShardPool>> ShardPool::create(ShardPoolOptions Opts) {
 ShardPool::~ShardPool() = default; // Subprocess dtors reap the workers
 
 Status ShardPool::spawnWorker(WorkerSlot &Slot) {
+  if (FaultRegistry::shouldFail(FaultSite::WorkerSpawn))
+    return Status::error("injected worker-spawn fault");
   return Slot.Proc.spawn(Opts.WorkerExe, Opts.WorkerArgs);
+}
+
+void ShardPool::noteFailureLocked(WorkerSlot &Slot) {
+  ++Failures;
+  ++Slot.ConsecutiveFailures;
+  if (!Slot.Proc.running() && Slot.Respawns >= Opts.MaxRespawnsPerWorker) {
+    // No process and no budget to make one: terminal.
+    Slot.Health = WorkerHealth::Dead;
+  } else if (Slot.ConsecutiveFailures >= Opts.CircuitBreakerThreshold) {
+    // Trip the breaker: the slot sits out a (growing) quarantine, then
+    // exactly one borrower probes it. One bad worker thus costs each
+    // request at most one failed attempt instead of failing all of them.
+    uint64_t Ms = std::min<uint64_t>(static_cast<uint64_t>(Opts.QuarantineBaseMs)
+                                         << std::min(Slot.Quarantines, 20u),
+                                     Opts.QuarantineMaxMs);
+    Slot.Health = WorkerHealth::Quarantined;
+    Slot.ProbeAt =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(Ms);
+    ++Slot.Quarantines;
+    ++QuarantinesTotal;
+  }
+  bool AllDead = true;
+  for (const auto &W : Workers)
+    AllDead = AllDead && W->Health == WorkerHealth::Dead;
+  if (AllDead)
+    DegradedFlag = true;
+}
+
+bool ShardPool::degraded() const {
+  std::lock_guard<std::mutex> L(M);
+  return DegradedFlag;
+}
+
+void ShardPool::noteFallback() {
+  std::lock_guard<std::mutex> L(M);
+  ++DegradedFallbacks;
+}
+
+void ShardPool::terminateWorker(unsigned I) {
+  std::lock_guard<std::mutex> L(M);
+  if (I < Workers.size())
+    Workers[I]->Proc.terminate();
 }
 
 ShardPool::Stats ShardPool::stats() const {
   std::lock_guard<std::mutex> L(M);
   Stats S;
   S.Requests = Requests;
+  S.Attempts = Attempts;
   S.Respawns = Respawns;
-  for (const auto &W : Workers)
+  S.Failures = Failures;
+  S.Quarantines = QuarantinesTotal;
+  S.DegradedFallbacks = DegradedFallbacks;
+  S.Degraded = DegradedFlag;
+  for (const auto &W : Workers) {
     S.PerWorker.push_back(W->Served);
+    S.PerWorkerHealth.push_back(W->Health);
+  }
   return S;
 }
 
-Result<ShardResponse> ShardPool::discharge(const ShardRequest &R) {
+Result<ShardResponse> ShardPool::discharge(const ShardRequest &R,
+                                           int TimeoutMs) {
   const std::string Payload = serializeShardRequest(R);
   std::string FailDetail = "no attempt made";
+  int ReadTimeoutMs = Opts.RoundTripTimeoutMs;
+  if (TimeoutMs >= 0 && TimeoutMs < ReadTimeoutMs)
+    ReadTimeoutMs = TimeoutMs;
+  {
+    std::lock_guard<std::mutex> L(M);
+    ++Requests; // once per discharge() call; Attempts counts borrows
+  }
 
   for (int Attempt = 0; Attempt != 2; ++Attempt) {
-    // Borrow a free *usable* worker slot (alive, or dead with respawn
-    // budget left); Busy grants exclusive use of its pipes. A slot whose
-    // budget is exhausted is skipped — it must not poison requests that
-    // a healthy (possibly busy) sibling could serve. Only when every
-    // slot is dead-and-exhausted is the pool itself done for.
-    // Only inspect a *free* slot's process — a busy slot's Subprocess
-    // belongs to its borrower (and is by definition still in play).
-    auto FreeUsable = [&](const WorkerSlot &W) {
-      return !W.Busy && (W.Proc.running() ||
-                         W.Respawns < Opts.MaxRespawnsPerWorker);
-    };
+    // Borrow a slot; Busy grants exclusive use of its pipes. Candidates
+    // are non-Busy, non-Dead slots that are Healthy or whose quarantine
+    // has elapsed (the probe), and that either have a live process or
+    // respawn budget left. Only inspect a *free* slot's process — a busy
+    // slot's Subprocess belongs to its borrower.
+    using Clock = std::chrono::steady_clock;
     WorkerSlot *Slot = nullptr;
     {
       std::unique_lock<std::mutex> L(M);
-      bool PoolDead = false;
-      FreeCV.wait(L, [&] {
-        PoolDead = true;
-        for (const auto &W : Workers)
-          PoolDead = PoolDead && !W->Busy && !FreeUsable(*W);
-        if (PoolDead)
-          return true;
-        for (const auto &W : Workers)
-          if (FreeUsable(*W))
-            return true;
-        return false;
-      });
-      if (PoolDead)
-        return Result<ShardResponse>::error(
-            "shard discharge failed: every worker is dead and the "
-            "respawn budget is exhausted");
-      for (const auto &W : Workers)
-        if (FreeUsable(*W)) {
+      for (;;) {
+        Clock::time_point Now = Clock::now();
+        bool AnyBusy = false, AllDead = true, HaveProbe = false;
+        Clock::time_point EarliestProbe = Clock::time_point::max();
+        for (const auto &W : Workers) {
+          if (W->Health != WorkerHealth::Dead)
+            AllDead = false;
+          if (W->Busy) {
+            AnyBusy = true;
+            continue;
+          }
+          if (W->Health == WorkerHealth::Dead)
+            continue;
+          if (W->Health == WorkerHealth::Quarantined && Now < W->ProbeAt) {
+            HaveProbe = true;
+            EarliestProbe = std::min(EarliestProbe, W->ProbeAt);
+            continue;
+          }
+          if (!W->Proc.running() &&
+              W->Respawns >= Opts.MaxRespawnsPerWorker) {
+            // Out of budget with no process; finish the transition here
+            // (failures normally do it, but a terminateWorker() corpse
+            // can reach this state without one).
+            W->Health = WorkerHealth::Dead;
+            continue;
+          }
           Slot = W.get();
           break;
         }
+        if (Slot)
+          break;
+        // Re-evaluate AllDead after the budget check above may have
+        // marked stragglers Dead.
+        AllDead = true;
+        for (const auto &W : Workers)
+          AllDead = AllDead && W->Health == WorkerHealth::Dead;
+        if (AllDead) {
+          DegradedFlag = true;
+          return Result<ShardResponse>::error(
+              "shard discharge failed: every worker is dead and the "
+              "respawn budget is exhausted");
+        }
+        if (HaveProbe && !AnyBusy)
+          FreeCV.wait_until(L, EarliestProbe);
+        else
+          FreeCV.wait(L);
+      }
       Slot->Busy = true;
-      ++Requests;
+      ++Attempts;
     }
 
     std::string Err;
     if (!Slot->Proc.running()) {
+      unsigned RespawnIndex;
       {
         std::lock_guard<std::mutex> L(M);
-        ++Slot->Respawns;
+        RespawnIndex = ++Slot->Respawns;
         ++Respawns;
+      }
+      // Exponential backoff with deterministic jitter, slept while the
+      // slot is Busy (held exclusively) and outside the lock so healthy
+      // siblings keep serving. The jitter subtracts up to half the delay,
+      // hashed from (seed, slot, attempt) — reproducible, yet de-phased
+      // across slots.
+      if (Opts.RespawnBackoffBaseMs > 0) {
+        uint64_t Ms = std::min<uint64_t>(
+            static_cast<uint64_t>(Opts.RespawnBackoffBaseMs)
+                << std::min(RespawnIndex - 1, 20u),
+            Opts.RespawnBackoffMaxMs);
+        size_t SlotIndex = 0;
+        for (size_t I = 0; I != Workers.size(); ++I)
+          if (Workers[I].get() == Slot)
+            SlotIndex = I;
+        uint64_t Jitter =
+            splitMixHash(Opts.JitterSeed ^ (uint64_t(SlotIndex) << 32) ^
+                         RespawnIndex) %
+            (Ms / 2 + 1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(Ms - Jitter));
       }
       if (Status S = spawnWorker(*Slot); !S.ok())
         Err = "worker respawn failed: " + S.message();
@@ -449,11 +562,15 @@ Result<ShardResponse> ShardPool::discharge(const ShardRequest &R) {
       if (Status S = writeFrame(Slot->Proc.writeFd(), Payload); !S.ok()) {
         Err = "request write failed: " + S.message();
       } else {
-        FrameRead F = readFrame(Slot->Proc.readFd(), Opts.RoundTripTimeoutMs);
+        FrameRead F = readFrame(Slot->Proc.readFd(), ReadTimeoutMs);
         if (F.ok()) {
           {
             std::lock_guard<std::mutex> L(M);
             ++Slot->Served;
+            // Any full round trip heals the slot: close the breaker and
+            // return a probed slot to rotation.
+            Slot->ConsecutiveFailures = 0;
+            Slot->Health = WorkerHealth::Healthy;
             Slot->Busy = false;
           }
           FreeCV.notify_all();
@@ -468,6 +585,7 @@ Result<ShardResponse> ShardPool::discharge(const ShardRequest &R) {
     }
     {
       std::lock_guard<std::mutex> L(M);
+      noteFailureLocked(*Slot);
       Slot->Busy = false;
     }
     FreeCV.notify_all();
@@ -502,6 +620,11 @@ ShardSolver::roundTrip(const std::vector<const BoolExpr *> &Formulas,
     // Model up front so non-Sat verdicts leave no stale witness behind.
     *ModelOut = Model();
 
+  if (QueryDeadline.expired()) {
+    LastSettledBy = "deadline";
+    return SatResult::Unknown;
+  }
+
   ShardRequest Req;
   Req.Pipeline = WorkerPipeline;
   Req.Bounded = Bounded;
@@ -534,7 +657,10 @@ ShardSolver::roundTrip(const std::vector<const BoolExpr *> &Formulas,
     for (const VarRef &V : *Vars)
       Req.ModelVars.push_back({std::string(Syms.text(V.Name)), V.Tag, V.Kind});
 
-  Result<ShardResponse> Resp = Pool.discharge(Req);
+  // Cap the response wait by the time the deadline leaves (the worker
+  // itself is uninterruptible, but this side must give up in time).
+  Result<ShardResponse> Resp =
+      Pool.discharge(Req, QueryDeadline.clampTimeoutMs(-1));
   if (!Resp.ok())
     return Result<SatResult>::error(Resp.message());
   if (Resp->IsError)

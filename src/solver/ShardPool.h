@@ -47,6 +47,7 @@
 #include "solver/BoundedSolver.h"
 #include "support/Subprocess.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -112,33 +113,89 @@ struct ShardPoolOptions {
   /// Per-round-trip read timeout; a hung worker is diagnosed, not waited
   /// on forever.
   int RoundTripTimeoutMs = 600'000;
-  /// How often a dead worker slot is respawned before its requests fail.
-  unsigned MaxRespawnsPerWorker = 1;
+  /// Lifetime respawn budget per worker slot; an exhausted slot whose
+  /// process is gone transitions to Dead.
+  unsigned MaxRespawnsPerWorker = 3;
+  /// Exponential respawn backoff: respawn K of a slot sleeps
+  /// min(Base << (K-1), Max) ms minus a deterministic jitter (hashed from
+  /// JitterSeed, the slot index, and K — no wall-clock randomness), so
+  /// all slots crashing at once do not respawn in lockstep. Base 0
+  /// disables the sleep (tests use this to keep chaos runs fast).
+  unsigned RespawnBackoffBaseMs = 25;
+  unsigned RespawnBackoffMaxMs = 1000;
+  uint64_t JitterSeed = 0x5eed;
+  /// Consecutive round-trip failures that trip a slot's circuit breaker
+  /// into Quarantined.
+  unsigned CircuitBreakerThreshold = 2;
+  /// Quarantine length: quarantine K of a slot lasts
+  /// min(Base << (K-1), Max) ms, after which one borrower probes it.
+  unsigned QuarantineBaseMs = 100;
+  unsigned QuarantineMaxMs = 2000;
 };
 
 /// A fixed pool of discharge worker processes. Thread-safe: scheduler
 /// workers borrow one subprocess each for the duration of a round trip,
 /// blocking when all are busy.
+///
+/// ## Health model (per slot)
+///
+///     Healthy --(CircuitBreakerThreshold consecutive failures)--> Quarantined
+///     Quarantined --(quarantine elapses; one probe request)--> Healthy | back
+///     any --(respawn budget exhausted && process gone)--> Dead  (terminal)
+///
+/// A successful round trip resets the consecutive-failure count and
+/// returns the slot to Healthy. When every slot is Dead the pool is
+/// *degraded* (sticky): discharge() fails fast and the portfolio's shard
+/// tier switches to its in-process fallback tail — same verdicts, no pool.
 class ShardPool {
 public:
-  /// Spawns the workers; fails if any cannot be started.
+  /// Creates the pool and spawns the workers. A worker that cannot be
+  /// started at creation is left for on-demand respawn (it costs one unit
+  /// of that slot's respawn budget later) — under fault injection or fork
+  /// pressure a partially-started pool must degrade, not abort the run.
   static Result<std::unique_ptr<ShardPool>> create(ShardPoolOptions Opts);
   ~ShardPool();
 
   unsigned shardCount() const { return static_cast<unsigned>(Workers.size()); }
 
-  /// Serializes \p R, round-trips it on any free worker, and parses the
-  /// response. A dead worker is respawned (bounded by MaxRespawnsPerWorker)
-  /// and the request retried once — the retry cannot change the verdict,
-  /// because worker answers are pure functions of the request.
-  Result<ShardResponse> discharge(const ShardRequest &R);
+  /// Serializes \p R, round-trips it on any free healthy (or probe-due)
+  /// worker, and parses the response. A dead process is respawned with
+  /// backoff (bounded by MaxRespawnsPerWorker) and the request retried on
+  /// failure exactly once — the single sound retry: worker answers are
+  /// pure functions of the request, so a retry cannot change a verdict,
+  /// and a request that failed twice is reported as an error rather than
+  /// guessed at. \p TimeoutMs, when >= 0, caps the response read below
+  /// RoundTripTimeoutMs (the discharge deadline plumbs through here).
+  Result<ShardResponse> discharge(const ShardRequest &R, int TimeoutMs = -1);
+
+  /// Sticky: true once every slot has died for good. The portfolio checks
+  /// this to route shard-tier queries straight to the in-process tail.
+  bool degraded() const;
+
+  /// Called by the portfolio each time a shard-tier query is answered by
+  /// the in-process fallback instead of the pool (shown in --solver-stats).
+  void noteFallback();
+
+  enum class WorkerHealth : uint8_t { Healthy, Quarantined, Dead };
 
   struct Stats {
-    uint64_t Requests = 0;
+    uint64_t Requests = 0; ///< discharge() calls (not per-attempt)
+    uint64_t Attempts = 0; ///< slot borrows, including the sound retries
     uint64_t Respawns = 0;
+    uint64_t Failures = 0;    ///< failed round-trip attempts
+    uint64_t Quarantines = 0; ///< circuit-breaker trips across all slots
+    uint64_t DegradedFallbacks = 0; ///< queries answered by the fallback
+    bool Degraded = false;          ///< every slot is Dead
     std::vector<uint64_t> PerWorker; ///< requests served per shard
+    std::vector<WorkerHealth> PerWorkerHealth;
   };
   Stats stats() const;
+
+  /// Test hook: SIGKILLs worker \p I's process (no state change — the
+  /// next borrower finds the corpse and takes the respawn path). The
+  /// chaos suite uses this to kill workers between requests; it must not
+  /// race an in-flight borrow of the same slot.
+  void terminateWorker(unsigned I);
 
 private:
   explicit ShardPool(ShardPoolOptions Opts) : Opts(std::move(Opts)) {}
@@ -148,6 +205,11 @@ private:
     bool Busy = false;
     unsigned Respawns = 0;
     uint64_t Served = 0;
+    unsigned ConsecutiveFailures = 0;
+    unsigned Quarantines = 0;
+    WorkerHealth Health = WorkerHealth::Healthy;
+    /// When Quarantined: the earliest time a probe may borrow the slot.
+    std::chrono::steady_clock::time_point ProbeAt{};
   };
 
   ShardPoolOptions Opts;
@@ -155,9 +217,17 @@ private:
   std::condition_variable FreeCV;
   std::vector<std::unique_ptr<WorkerSlot>> Workers;
   uint64_t Requests = 0;
+  uint64_t Attempts = 0;
   uint64_t Respawns = 0;
+  uint64_t Failures = 0;
+  uint64_t QuarantinesTotal = 0;
+  uint64_t DegradedFallbacks = 0;
+  bool DegradedFlag = false;
 
   Status spawnWorker(WorkerSlot &Slot);
+  /// Records a failed attempt on \p Slot under the lock: bumps the
+  /// consecutive-failure count and advances the health state machine.
+  void noteFailureLocked(WorkerSlot &Slot);
 };
 
 /// The `Solver` face of the pool: serializes each query (formulas, free
@@ -180,11 +250,16 @@ public:
   checkSatWithModel(const std::vector<const BoolExpr *> &Formulas,
                     const VarRefSet &Vars, Model &ModelOut) override;
 
-  /// "shard:<worker settling tier>", e.g. "shard:z3".
+  /// "shard:<worker settling tier>", e.g. "shard:z3"; "deadline" when the
+  /// query deadline expired before the round trip could run.
   const char *settledBy() const override { return LastSettledBy.c_str(); }
 
   /// The worker-side give-up trail of the last query.
   std::string giveUpTrail() const override { return LastTrail; }
+
+  bool lastQueryDeadlined() const override {
+    return LastSettledBy == "deadline";
+  }
 
 private:
   ShardPool &Pool;

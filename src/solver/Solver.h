@@ -28,6 +28,7 @@
 #define RELAXC_SOLVER_SOLVER_H
 
 #include "logic/FormulaOps.h"
+#include "support/Deadline.h"
 #include "support/Status.h"
 
 #include <cstdint>
@@ -108,6 +109,21 @@ public:
   /// one entry per portfolio tier that escalated, with its reason.
   virtual std::string giveUpTrail() const { return std::string(); }
 
+  /// Installs the deadline subsequent queries must respect. Backends that
+  /// can stop mid-search (the bounded solver) poll it; the portfolio
+  /// checks it between tiers and forwards it to the active backend;
+  /// wrappers (CachingSolver) forward to the wrapped solver. The default
+  /// just stores it, which is sufficient for backends whose queries are
+  /// already bounded by their own timeouts (Z3).
+  virtual void setDeadline(const Deadline &D) { QueryDeadline = D; }
+
+  /// True when the most recent query gave up *because the deadline
+  /// expired*. Such verdicts are time-dependent: callers must never
+  /// insert them into any result cache (a rerun with more budget must be
+  /// free to do better), and the discharge layer reports them with
+  /// reason "deadline".
+  virtual bool lastQueryDeadlined() const { return false; }
+
   //===--------------------------------------------------------------------===//
   // Derived helpers
   //===--------------------------------------------------------------------===//
@@ -123,6 +139,7 @@ public:
 
 protected:
   uint64_t Queries = 0;
+  Deadline QueryDeadline;
 };
 
 } // namespace relax

@@ -332,8 +332,27 @@ Z3Solver::checkSatWithModel(const std::vector<const BoolExpr *> &Formulas,
   // Clear stale entries from a reused caller Model up front, so non-Sat
   // verdicts never leave a previous witness behind.
   ModelOut = Model();
+  LastDeadlined = false;
+  if (QueryDeadline.expired()) {
+    LastDeadlined = true;
+    return SatResult::Unknown;
+  }
   try {
     z3::solver &S = P->solver();
+    // Cap the per-query timeout by the time the deadline leaves, so a
+    // query started just before expiry cannot overrun by a full
+    // Opts.TimeoutMs. Unarmed deadlines restore the configured value.
+    {
+      unsigned EffTimeoutMs = P->Opts.TimeoutMs;
+      if (QueryDeadline.armed()) {
+        int64_t Left = QueryDeadline.remainingMs();
+        if (Left < static_cast<int64_t>(EffTimeoutMs))
+          EffTimeoutMs = static_cast<unsigned>(Left);
+      }
+      z3::params Params(P->C);
+      Params.set("timeout", EffTimeoutMs);
+      S.set(Params);
+    }
     ScopedPush Scope(S);
 
     for (const BoolExpr *F : Formulas)
@@ -348,6 +367,7 @@ Z3Solver::checkSatWithModel(const std::vector<const BoolExpr *> &Formulas,
     case z3::unsat:
       return SatResult::Unsat;
     case z3::unknown:
+      LastDeadlined = QueryDeadline.expired();
       return SatResult::Unknown;
     case z3::sat:
       break;

@@ -76,9 +76,14 @@ public:
   Result<std::string>
   toSmtLib(const std::vector<const BoolExpr *> &Formulas);
 
+  bool lastQueryDeadlined() const override { return LastDeadlined; }
+
 private:
   struct Impl; // hides z3++.h from users of this header
   std::unique_ptr<Impl> P;
+  /// The most recent query gave up on the installed deadline (expired on
+  /// entry, or z3 answered unknown after its capped per-query timeout).
+  bool LastDeadlined = false;
 };
 
 } // namespace relax

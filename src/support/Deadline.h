@@ -1,0 +1,91 @@
+//===- Deadline.h - Monotonic deadlines for bounded discharge ------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A copyable wall-clock deadline on the monotonic clock, threaded from
+/// the driver's `--timeout-ms` / `--vc-timeout-ms` flags through the
+/// discharge scheduler into every solver tier. Built on steady_clock so
+/// NTP adjustments can neither extend nor shorten a verification budget.
+///
+/// Deadline verdicts are *time-dependent* gave-ups: they are reported
+/// with reason "deadline", mapped to exit code 3, and — unlike every
+/// other verdict — never inserted into any result cache (a later run
+/// with more time must be free to do better).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_SUPPORT_DEADLINE_H
+#define RELAXC_SUPPORT_DEADLINE_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace relax {
+
+/// A point on the monotonic clock that work must not run past. The
+/// default-constructed value is unarmed ("never"): it never expires and
+/// imposes no timeout, so unconditional `expired()` checks on hot paths
+/// cost one branch when no deadline was requested.
+class Deadline {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;
+
+  /// The unarmed deadline (same as default construction).
+  static Deadline never() { return Deadline(); }
+
+  /// A deadline \p Ms milliseconds from now. Ms <= 0 is already expired —
+  /// `--timeout-ms=0` deterministically settles every obligation as a
+  /// deadline gave-up, which is what the CLI exit-code pin relies on.
+  static Deadline inMs(int64_t Ms) {
+    Deadline D;
+    D.IsArmed = true;
+    D.When = Clock::now() + std::chrono::milliseconds(Ms < 0 ? 0 : Ms);
+    return D;
+  }
+
+  bool armed() const { return IsArmed; }
+
+  bool expired() const { return IsArmed && Clock::now() >= When; }
+
+  /// Milliseconds until expiry: 0 when expired, INT64_MAX when unarmed.
+  int64_t remainingMs() const {
+    if (!IsArmed)
+      return INT64_MAX;
+    auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        When - Clock::now());
+    return Left.count() < 0 ? 0 : Left.count();
+  }
+
+  /// The tighter of two deadlines (unarmed loses to any armed one).
+  static Deadline earliest(const Deadline &A, const Deadline &B) {
+    if (!A.IsArmed)
+      return B;
+    if (!B.IsArmed)
+      return A;
+    return A.When <= B.When ? A : B;
+  }
+
+  /// Caps a poll-style timeout (-1 = infinite) by the time remaining, so
+  /// blocking I/O under a deadline wakes up in time to give up cleanly.
+  int clampTimeoutMs(int TimeoutMs) const {
+    if (!IsArmed)
+      return TimeoutMs;
+    int64_t Left = remainingMs();
+    int Capped = Left > INT32_MAX ? INT32_MAX : static_cast<int>(Left);
+    return TimeoutMs < 0 || Capped < TimeoutMs ? Capped : TimeoutMs;
+  }
+
+private:
+  bool IsArmed = false;
+  Clock::time_point When{};
+};
+
+} // namespace relax
+
+#endif // RELAXC_SUPPORT_DEADLINE_H

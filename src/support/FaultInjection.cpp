@@ -1,0 +1,194 @@
+//===- FaultInjection.cpp - Deterministic fault-injection registry -----------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include "support/Random.h"
+
+#include <cstdlib>
+
+namespace relax {
+
+namespace {
+
+constexpr uint32_t PpmScale = 1'000'000;
+
+/// Parses a strict decimal u64 from [P, End); advances P past the digits.
+bool parseU64(const char *&P, const char *End, uint64_t &Out) {
+  if (P == End || *P < '0' || *P > '9')
+    return false;
+  uint64_t V = 0;
+  while (P != End && *P >= '0' && *P <= '9') {
+    uint64_t D = static_cast<uint64_t>(*P - '0');
+    if (V > (UINT64_MAX - D) / 10)
+      return false;
+    V = V * 10 + D;
+    ++P;
+  }
+  Out = V;
+  return true;
+}
+
+/// Parses a rate in [0, 1] written as `0`, `1`, `0.3`, `.25`, or `1.0`
+/// (at most six fractional digits) into parts-per-million. Exact — no
+/// floating point, so the armed rate is identical on every platform.
+bool parseRatePpm(std::string_view Text, uint32_t &Out) {
+  const char *P = Text.data(), *End = Text.data() + Text.size();
+  uint64_t Whole = 0;
+  bool HaveWhole = false;
+  if (P != End && *P != '.') {
+    if (!parseU64(P, End, Whole))
+      return false;
+    HaveWhole = true;
+  }
+  uint64_t Frac = 0;
+  if (P != End && *P == '.') {
+    ++P;
+    unsigned Digits = 0;
+    uint64_t Scale = PpmScale / 10;
+    while (P != End && *P >= '0' && *P <= '9') {
+      if (++Digits > 6)
+        return false;
+      Frac += static_cast<uint64_t>(*P - '0') * Scale;
+      Scale /= 10;
+      ++P;
+    }
+    if (Digits == 0)
+      return false;
+  } else if (!HaveWhole) {
+    return false;
+  }
+  if (P != End)
+    return false;
+  uint64_t Ppm = Whole * PpmScale + Frac;
+  if (Ppm > PpmScale)
+    return false;
+  Out = static_cast<uint32_t>(Ppm);
+  return true;
+}
+
+bool lookupSite(std::string_view Key, unsigned &Index) {
+  for (unsigned I = 0; I != NumFaultSites; ++I)
+    if (Key == faultSiteName(static_cast<FaultSite>(I))) {
+      Index = I;
+      return true;
+    }
+  return false;
+}
+
+} // namespace
+
+const char *faultSiteName(FaultSite S) {
+  switch (S) {
+  case FaultSite::FrameRead:
+    return "frame-read";
+  case FaultSite::FrameWrite:
+    return "frame-write";
+  case FaultSite::WorkerSpawn:
+    return "worker-spawn";
+  case FaultSite::WorkerExit:
+    return "worker-exit";
+  case FaultSite::SolverCall:
+    return "solver-call";
+  case FaultSite::ResponseDelay:
+    return "response-delay";
+  }
+  return "?";
+}
+
+FaultRegistry &FaultRegistry::instance() {
+  static FaultRegistry R;
+  return R;
+}
+
+Status FaultRegistry::arm(std::string_view Spec) {
+  // A failed arm must leave the registry disarmed (the header contract),
+  // including one that had been armed before the bad spec arrived.
+  disarm();
+
+  uint64_t NewSeed = 0;
+  int64_t NewDelayMs = 10;
+  uint32_t NewRates[NumFaultSites] = {};
+
+  if (Spec.empty())
+    return Status::error("bad fault spec: empty spec");
+  std::string_view Rest = Spec;
+  for (bool More = true; More;) {
+    size_t Comma = Rest.find(',');
+    std::string_view Pair = Rest.substr(0, Comma);
+    More = Comma != std::string_view::npos;
+    Rest = More ? Rest.substr(Comma + 1) : std::string_view();
+    size_t Eq = Pair.find('=');
+    if (Eq == std::string_view::npos || Eq == 0)
+      return Status::error("bad fault spec: expected key=value, got '" +
+                           std::string(Pair) + "'");
+    std::string_view Key = Pair.substr(0, Eq);
+    std::string_view Value = Pair.substr(Eq + 1);
+    if (Key == "seed" || Key == "delay-ms") {
+      const char *P = Value.data(), *End = Value.data() + Value.size();
+      uint64_t V = 0;
+      if (!parseU64(P, End, V) || P != End)
+        return Status::error("bad fault spec: '" + std::string(Key) +
+                             "' wants an unsigned integer, got '" +
+                             std::string(Value) + "'");
+      if (Key == "seed")
+        NewSeed = V;
+      else
+        NewDelayMs = static_cast<int64_t>(V);
+      continue;
+    }
+    unsigned Index = 0;
+    if (!lookupSite(Key, Index))
+      return Status::error("bad fault spec: unknown key '" + std::string(Key) +
+                           "'");
+    if (!parseRatePpm(Value, NewRates[Index]))
+      return Status::error("bad fault spec: rate for '" + std::string(Key) +
+                           "' must be a decimal in [0, 1] with at most six "
+                           "fractional digits, got '" +
+                           std::string(Value) + "'");
+  }
+
+  Seed = NewSeed;
+  DelayMs = NewDelayMs;
+  for (unsigned I = 0; I != NumFaultSites; ++I) {
+    RatePpm[I] = NewRates[I];
+    Draws[I].store(0, std::memory_order_relaxed);
+    Fired[I].store(0, std::memory_order_relaxed);
+  }
+  SpecText = std::string(Spec);
+  ArmedFlag.store(true, std::memory_order_release);
+  return Status::success();
+}
+
+Status FaultRegistry::armFromEnvironment() {
+  const char *Env = ::getenv("RELAXC_FAULTS");
+  if (!Env || !*Env)
+    return Status::success();
+  return arm(Env);
+}
+
+void FaultRegistry::disarm() {
+  ArmedFlag.store(false, std::memory_order_release);
+  SpecText.clear();
+}
+
+bool FaultRegistry::draw(FaultSite S) {
+  unsigned I = static_cast<unsigned>(S);
+  // The draw index is claimed unconditionally so the (site, index) ->
+  // fired mapping is stable regardless of rate tweaks at *other* sites.
+  uint64_t N = Draws[I].fetch_add(1, std::memory_order_relaxed);
+  uint32_t Rate = RatePpm[I];
+  if (Rate == 0)
+    return false;
+  uint64_t V = splitMixHash(Seed ^ splitMixHash((uint64_t(I) + 1) << 56 | N));
+  if (V % PpmScale >= Rate)
+    return false;
+  Fired[I].fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+} // namespace relax

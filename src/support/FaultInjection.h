@@ -1,0 +1,151 @@
+//===- FaultInjection.h - Deterministic fault-injection registry ---*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide, seed-driven fault registry that lets tests (and the
+/// hidden `--faults=` driver flag) inject failures at the I/O and process
+/// boundaries of the sharded discharge tier: frame reads/writes, worker
+/// spawns, worker exits, solver calls, and response delays.
+///
+/// ## Determinism
+///
+/// Every injection site draws by hashing `(seed, site, draw-index)` with
+/// the pure SplitMix64 permutation, so whether draw N at a site fires is a
+/// function of the spec alone — independent of thread interleaving, wall
+/// time, and which other sites drew in between. A chaos run with a fixed
+/// spec therefore kills the *same* requests on every execution, which is
+/// what makes "reports are bit-identical to the fault-free run" a pinnable
+/// property rather than a flake.
+///
+/// ## Spec grammar
+///
+/// Comma-separated `key=value` pairs:
+///
+///     seed=<u64>          hash seed (default 0)
+///     delay-ms=<u64>      sleep length for response-delay fires (default 10)
+///     <site>=<rate>       firing probability in [0, 1] as a decimal with
+///                         up to six fractional digits (parsed exactly,
+///                         into parts-per-million — no floating point)
+///
+/// Site names: `frame-read`, `frame-write`, `worker-spawn`, `worker-exit`,
+/// `solver-call`, `response-delay`. Example:
+///
+///     RELAXC_FAULTS='seed=7,worker-exit=0.3,frame-write=0.05'
+///
+/// ## Cost when unarmed
+///
+/// `FaultRegistry::shouldFail` is a header-inline relaxed atomic load and
+/// branch — effectively a no-op check — so production paths keep the call
+/// unconditionally and pay nothing until a spec is armed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_SUPPORT_FAULTINJECTION_H
+#define RELAXC_SUPPORT_FAULTINJECTION_H
+
+#include "support/Status.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace relax {
+
+/// The failure boundaries the registry can arm.
+enum class FaultSite : uint8_t {
+  FrameRead,     ///< readFrame reports an injected frame error
+  FrameWrite,    ///< writeFrame reports an injected write error
+  WorkerSpawn,   ///< ShardPool::spawnWorker fails before exec
+  WorkerExit,    ///< a discharge worker dies instead of answering
+  SolverCall,    ///< a worker's solver call answers with an error response
+  ResponseDelay, ///< a worker sleeps `delay-ms` before answering
+};
+constexpr unsigned NumFaultSites = 6;
+
+/// Spec-spelling of a site ("frame-read", ...).
+const char *faultSiteName(FaultSite S);
+
+/// The process-wide registry. Arm it once (from a spec string, the
+/// RELAXC_FAULTS environment variable, or the hidden `--faults=` flag);
+/// injection sites then consult `shouldFail` on their hot paths.
+class FaultRegistry {
+public:
+  static FaultRegistry &instance();
+
+  /// Hot-path draw: false immediately (one relaxed load) when unarmed.
+  static bool shouldFail(FaultSite S) {
+    FaultRegistry &R = instance();
+    if (!R.ArmedFlag.load(std::memory_order_relaxed))
+      return false;
+    return R.draw(S);
+  }
+
+  /// Parses \p Spec (grammar above) and arms the registry, resetting all
+  /// draw counters. Rejects unknown keys, malformed numbers, and rates
+  /// outside [0, 1]; on error the registry is left disarmed.
+  Status arm(std::string_view Spec);
+
+  /// Arms from RELAXC_FAULTS when the variable is set and non-empty;
+  /// success (and a no-op) otherwise.
+  Status armFromEnvironment();
+
+  /// Disarms and clears the spec. Draw counters keep their values so a
+  /// test can still inspect how many faults fired.
+  void disarm();
+
+  bool armed() const { return ArmedFlag.load(std::memory_order_relaxed); }
+
+  /// The spec string the last successful arm() accepted ("" if disarmed).
+  const std::string &spec() const { return SpecText; }
+
+  /// Sleep length, in milliseconds, for response-delay fires.
+  int64_t delayMs() const { return DelayMs; }
+
+  /// Number of draws taken at \p S since the last arm().
+  uint64_t drawCount(FaultSite S) const {
+    return Draws[static_cast<unsigned>(S)].load(std::memory_order_relaxed);
+  }
+  /// Number of those draws that fired.
+  uint64_t firedCount(FaultSite S) const {
+    return Fired[static_cast<unsigned>(S)].load(std::memory_order_relaxed);
+  }
+
+private:
+  FaultRegistry() = default;
+
+  bool draw(FaultSite S);
+
+  std::atomic<bool> ArmedFlag{false};
+  uint64_t Seed = 0;
+  uint32_t RatePpm[NumFaultSites] = {};
+  int64_t DelayMs = 10;
+  std::string SpecText;
+  std::atomic<uint64_t> Draws[NumFaultSites] = {};
+  std::atomic<uint64_t> Fired[NumFaultSites] = {};
+};
+
+/// RAII arming for tests: arms in the constructor, disarms on scope exit
+/// so a failed EXPECT cannot leak an armed registry into later tests.
+class ScopedFaults {
+public:
+  explicit ScopedFaults(std::string_view Spec)
+      : St(FaultRegistry::instance().arm(Spec)) {}
+  ~ScopedFaults() { FaultRegistry::instance().disarm(); }
+  ScopedFaults(const ScopedFaults &) = delete;
+  ScopedFaults &operator=(const ScopedFaults &) = delete;
+
+  /// Whether the spec parsed; tests should assert this.
+  const Status &status() const { return St; }
+
+private:
+  Status St;
+};
+
+} // namespace relax
+
+#endif // RELAXC_SUPPORT_FAULTINJECTION_H

@@ -20,6 +20,16 @@
 
 namespace relax {
 
+/// The SplitMix64 output permutation as a pure function: a statistically
+/// strong 64-bit mix usable for stateless, counter-indexed draws (the fault
+/// injector and the shard pool's respawn jitter hash a seed with a counter
+/// instead of threading generator state through concurrent code paths).
+inline uint64_t splitMixHash(uint64_t Z) {
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
 /// SplitMix64 PRNG (public-domain algorithm by Sebastiano Vigna).
 class SplitMix64 {
 public:
@@ -27,10 +37,7 @@ public:
 
   uint64_t next() {
     State += 0x9e3779b97f4a7c15ULL;
-    uint64_t Z = State;
-    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
-    return Z ^ (Z >> 31);
+    return splitMixHash(State);
   }
 
   /// Uniform integer in [Lo, Hi] (inclusive). Requires Lo <= Hi.

@@ -7,7 +7,10 @@
 
 #include "support/Subprocess.h"
 
+#include "support/FaultInjection.h"
+
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include <fcntl.h>
@@ -29,13 +32,27 @@ std::string errnoMessage(const char *What) {
 /// Reads exactly \p N bytes into \p Buf. Returns the bytes read before a
 /// clean EOF (so the caller can tell "EOF on a boundary" from "EOF
 /// mid-record"), or -1 on error/timeout with \p Err set.
+///
+/// TimeoutMs bounds the WHOLE read, not each poll: the budget is turned
+/// into one monotonic deadline up front and every poll waits only for
+/// what remains, so a peer trickling one byte per poll interval cannot
+/// extend a "timed" read without bound.
 ssize_t readFull(int Fd, char *Buf, size_t N, int TimeoutMs,
                  std::string &Err) {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point End{};
+  if (TimeoutMs >= 0)
+    End = Clock::now() + std::chrono::milliseconds(TimeoutMs);
   size_t Got = 0;
   while (Got != N) {
     if (TimeoutMs >= 0) {
+      auto LeftMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        End - Clock::now())
+                        .count();
+      if (LeftMs < 0)
+        LeftMs = 0;
       pollfd P{Fd, POLLIN, 0};
-      int R = ::poll(&P, 1, TimeoutMs);
+      int R = ::poll(&P, 1, static_cast<int>(LeftMs));
       if (R < 0) {
         if (errno == EINTR)
           continue;
@@ -65,6 +82,8 @@ ssize_t readFull(int Fd, char *Buf, size_t N, int TimeoutMs,
 } // namespace
 
 Status relax::writeFrame(int Fd, std::string_view Payload) {
+  if (FaultRegistry::shouldFail(FaultSite::FrameWrite))
+    return Status::error("injected frame-write fault");
   if (Payload.size() > MaxFramePayload)
     return Status::error("frame payload of " + std::to_string(Payload.size()) +
                          " bytes exceeds the " +
@@ -97,6 +116,10 @@ Status relax::writeFrame(int Fd, std::string_view Payload) {
 
 FrameRead relax::readFrame(int Fd, int TimeoutMs) {
   FrameRead Out;
+  if (FaultRegistry::shouldFail(FaultSite::FrameRead)) {
+    Out.Message = "injected frame-read fault";
+    return Out;
+  }
   char Header[8];
   std::string Err;
   ssize_t Got = readFull(Fd, Header, sizeof(Header), TimeoutMs, Err);

@@ -147,6 +147,15 @@ void appendTrail(std::string &Trail, const std::string &More) {
   Trail += More;
 }
 
+/// Rewrites an Unknown outcome's detail when the solver gave up on the
+/// query deadline, so reports (and the driver's give-up summary) name the
+/// reason. Safe after applyVerdict: Unknown means no counterexample
+/// re-query ran, so the solver's last-query state is still this query's.
+void noteDeadline(VCOutcome &Out, const Solver &S) {
+  if (Out.Status == VCStatus::Unknown && S.lastQueryDeadlined())
+    Out.Detail = "gave up: deadline expired";
+}
+
 } // namespace
 
 VCOutcome relax::dischargeVC(const VC &Condition, const BoolExpr *Query,
@@ -168,7 +177,9 @@ VCOutcome relax::dischargeVC(const VC &Condition, const BoolExpr *Query,
   }
   if (!FromCache) {
     R = S.checkSat(Formulas);
-    if (Shared && R.ok())
+    // Deadline gave-ups are time-dependent, never cacheable: a later run
+    // of the same query with time left must not be served "unknown".
+    if (Shared && R.ok() && !S.lastQueryDeadlined())
       Shared->insert(Formulas, *R);
   }
 
@@ -181,6 +192,8 @@ VCOutcome relax::dischargeVC(const VC &Condition, const BoolExpr *Query,
   applyVerdict(Out, R, Syms,
                FromCache ? modelQueryOn(S) : modelQueryFromSettledTier(S),
                Formulas);
+  if (!FromCache)
+    noteDeadline(Out, S);
   Out.Millis = millisSince(Start);
   return Out;
 }
@@ -197,6 +210,13 @@ DischargeScheduler::DischargeScheduler(AstContext &Ctx, Config Cfg)
 }
 
 DischargeScheduler::~DischargeScheduler() = default;
+
+Deadline DischargeScheduler::perVcDeadline() const {
+  Deadline D = Cfg.Global;
+  if (Cfg.VcTimeoutMs >= 0)
+    D = Deadline::earliest(D, Deadline::inMs(Cfg.VcTimeoutMs));
+  return D;
+}
 
 DischargeStats DischargeScheduler::stats() const {
   DischargeStats S = WorkerAccum;
@@ -239,9 +259,11 @@ void DischargeScheduler::discharge(VCSet Set, JudgmentReport &Report,
   } else {
     // The classic single-backend sequential path, kept cache-free so a
     // driver's CachingSolver wrapper observes every query.
-    for (size_t I = 0; I != VCs.size(); ++I)
+    for (size_t I = 0; I != VCs.size(); ++I) {
+      Fallback.setDeadline(perVcDeadline());
       Outcomes[I] = dischargeVC(VCs[I], Queries[I], Fallback, Ctx.symbols(),
                                 /*Shared=*/nullptr);
+    }
   }
 
   // VC order, not completion order: reports are deterministic.
@@ -254,9 +276,11 @@ void DischargeScheduler::discharge(VCSet Set, JudgmentReport &Report,
 void DischargeScheduler::dischargeSequentialPortfolio(
     std::vector<VC> &VCs, const std::vector<const BoolExpr *> &Qs,
     std::vector<VCOutcome> &Outcomes) {
-  for (size_t I = 0; I != VCs.size(); ++I)
+  for (size_t I = 0; I != VCs.size(); ++I) {
+    MainPortfolio->setDeadline(perVcDeadline());
     Outcomes[I] =
         dischargeVC(VCs[I], Qs[I], *MainPortfolio, Ctx.symbols(), &Shared);
+  }
 }
 
 void DischargeScheduler::dischargeParallel(
@@ -292,14 +316,16 @@ void DischargeScheduler::dischargeParallel(
         Outcomes[I].Millis += millisSince(Start);
         continue;
       }
+      MainPortfolio->setDeadline(perVcDeadline());
       Result<SatResult> R =
           MainPortfolio->checkRange(0, FW, F, nullptr, nullptr);
       if (MainPortfolio->lastSettled() || !R.ok()) {
         Outcomes[I].SettledBy = MainPortfolio->settledBy();
         Outcomes[I].Trail = MainPortfolio->giveUpTrail();
-        if (R.ok())
+        if (R.ok() && !MainPortfolio->lastQueryDeadlined())
           Shared.insert(F, *R);
         applyVerdict(Outcomes[I], R, Syms, modelQueryOn(*MainPortfolio), F);
+        noteDeadline(Outcomes[I], *MainPortfolio);
         Outcomes[I].Millis += millisSince(Start);
         continue;
       }
@@ -402,6 +428,7 @@ void DischargeScheduler::dischargeParallel(
 
     auto RunInline = [&](size_t I) {
       if (!portfolioMode()) {
+        Single->setDeadline(perVcDeadline());
         Outcomes[I] = dischargeVC(VCs[I], Qs[I], *Single, Syms, &Shared);
         return;
       }
@@ -416,15 +443,17 @@ void DischargeScheduler::dischargeParallel(
         Outcomes[I].Millis += millisSince(Start);
         return;
       }
+      Port->setDeadline(perVcDeadline());
       Result<SatResult> R = Port->checkRange(FW, FE, F, nullptr, nullptr);
       appendTrail(Trails[I], Port->giveUpTrail());
       if (Port->lastSettled() || !R.ok() || FE == NT) {
         Outcomes[I].SettledBy = Port->settledBy();
         Outcomes[I].Trail = Trails[I];
-        if (R.ok())
+        if (R.ok() && !Port->lastQueryDeadlined())
           Shared.insert(F, *R);
         applyVerdict(Outcomes[I], R, Syms, WorkerModelAt(SettledTierOr(FW)),
                      F);
+        noteDeadline(Outcomes[I], *Port);
         Outcomes[I].Millis += millisSince(Start);
         return;
       }
@@ -445,14 +474,16 @@ void DischargeScheduler::dischargeParallel(
         Outcomes[I].Millis += millisSince(Start);
         return;
       }
+      Port->setDeadline(perVcDeadline());
       Result<SatResult> R = Port->checkRange(FE, NT, F, nullptr, nullptr);
       appendTrail(Trails[I], Port->giveUpTrail());
-      if (R.ok())
+      if (R.ok() && !Port->lastQueryDeadlined())
         Shared.insert(F, *R);
       Outcomes[I].SettledBy = Port->settledBy();
       Outcomes[I].Trail = Trails[I];
       applyVerdict(Outcomes[I], R, Syms, WorkerModelAt(SettledTierOr(FE)),
                    F);
+      noteDeadline(Outcomes[I], *Port);
       Outcomes[I].Millis += millisSince(Start);
     };
 

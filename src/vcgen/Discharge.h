@@ -175,6 +175,15 @@ public:
     /// Per-worker backend factory for single-backend parallel mode; when
     /// null, Jobs is forced to 1.
     std::function<std::unique_ptr<Solver>()> SolverFactory;
+    /// Global deadline for the whole run (`--timeout-ms`); unarmed means
+    /// none. Obligations reached after expiry settle immediately as
+    /// gave-ups with reason "deadline" — the scheduler drains
+    /// cooperatively, it never abandons outcomes or hangs.
+    Deadline Global;
+    /// Per-VC timeout in milliseconds (`--vc-timeout-ms`); < 0 disables.
+    /// Each obligation (re)arms `earliest(Global, now + VcTimeoutMs)`
+    /// when a discharge stage picks it up.
+    int64_t VcTimeoutMs = -1;
   };
 
   DischargeScheduler(AstContext &Ctx, Config Cfg);
@@ -203,6 +212,10 @@ private:
   /// Stats merged from joined workers (worker solvers die with their
   /// threads; MainPortfolio and the cache are read live in stats()).
   DischargeStats WorkerAccum;
+
+  /// The deadline one obligation runs under right now: the global
+  /// deadline capped by a freshly armed per-VC timeout.
+  Deadline perVcDeadline() const;
 
   void dischargeSequentialPortfolio(std::vector<VC> &VCs,
                                     const std::vector<const BoolExpr *> &Qs,

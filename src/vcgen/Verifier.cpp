@@ -36,6 +36,8 @@ VerifyReport Verifier::run(Options Opts) {
   SchedCfg.Portfolio = Opts.Portfolio;
   SchedCfg.SmtFactory = Opts.SmtFactory;
   SchedCfg.SolverFactory = Opts.SolverFactory;
+  SchedCfg.Global = Opts.GlobalDeadline;
+  SchedCfg.VcTimeoutMs = Opts.VcTimeoutMs;
   DischargeScheduler Sched(Ctx, std::move(SchedCfg));
 
   Sema SemaPass(Prog, Diags);

@@ -88,6 +88,12 @@ public:
     /// When non-null, the run's discharge statistics (per-tier settled /
     /// escalated counts, cache hits, work counters) are merged here.
     DischargeStats *StatsOut = nullptr;
+    /// Global deadline (`--timeout-ms`) for the whole run; unarmed means
+    /// none. Obligations past it settle as gave-ups with reason
+    /// "deadline" — a bounded run always produces a complete report.
+    Deadline GlobalDeadline;
+    /// Per-VC timeout in milliseconds (`--vc-timeout-ms`); < 0 disables.
+    int64_t VcTimeoutMs = -1;
   };
 
   Verifier(AstContext &Ctx, const Program &Prog, Solver &S,

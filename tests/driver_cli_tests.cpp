@@ -10,7 +10,12 @@
 //    error, 3 not-verified-but-nothing-refuted (solver gave up);
 //  * --explain= rejection paths: malformed specs and out-of-range ids
 //    are diagnosed on stderr and exit 2;
-//  * --shards= validation.
+//  * --shards= validation;
+//  * deadlines: an expired --timeout-ms / --vc-timeout-ms budget exits 3
+//    with "deadline" in the report, never hangs;
+//  * fault injection: a fully dead worker pool degrades to the
+//    in-process tail ("shard pool degraded" under --solver-stats) with
+//    the fault-free exit code, and a bad --faults= spec exits 2.
 //
 //===----------------------------------------------------------------------===//
 
@@ -163,6 +168,72 @@ TEST(DriverExplain, ValidIdPrintsProvenanceAndKeepsVerifyExitCode) {
   EXPECT_NE(R.Output.find("== obligation o:0 =="), std::string::npos)
       << R.Output;
   EXPECT_NE(R.Output.find("judgment:"), std::string::npos) << R.Output;
+}
+
+TEST(DriverDeadlines, ExpiredGlobalDeadlineIsExitThree) {
+  RELAXC_SKIP_WITHOUT_DRIVER();
+  // --timeout-ms=0 is already expired: a program that verifies with time
+  // on the clock must instead settle everything as deadline gave-ups —
+  // complete report, "deadline" named, exit code 3, never a hang.
+  TempProgram P("int x;\nrequires (x >= 0 && x <= 2);\n"
+                "{ x = x + 1; assert x >= 1; }\n");
+  RunResult R =
+      runDriver({"verify", P.Path, BoundedPipeline, "--timeout-ms=0"});
+  EXPECT_EQ(R.Exit, 3) << R.Output;
+  EXPECT_NE(R.Output.find("deadline"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("NOT VERIFIED"), std::string::npos) << R.Output;
+
+  // The per-VC flag behaves identically when it can never be met.
+  RunResult R2 =
+      runDriver({"verify", P.Path, BoundedPipeline, "--vc-timeout-ms=0"});
+  EXPECT_EQ(R2.Exit, 3) << R2.Output;
+  EXPECT_NE(R2.Output.find("deadline"), std::string::npos) << R2.Output;
+
+  // And with a generous budget the same program still verifies.
+  RunResult R3 =
+      runDriver({"verify", P.Path, BoundedPipeline, "--timeout-ms=60000"});
+  EXPECT_EQ(R3.Exit, 0) << R3.Output;
+}
+
+TEST(DriverDeadlines, BadTimeoutValuesAreExitTwo) {
+  RELAXC_SKIP_WITHOUT_DRIVER();
+  TempProgram P("int x;\n{ skip; }\n");
+  for (const char *Bad : {"--timeout-ms=abc", "--timeout-ms=",
+                          "--vc-timeout-ms=-5", "--vc-timeout-ms=x"}) {
+    RunResult R = runDriver({"verify", P.Path, Bad});
+    EXPECT_EQ(R.Exit, 2) << Bad << "\n" << R.Output;
+  }
+}
+
+TEST(DriverFaults, DegradedPoolIsReportedAndVerdictUnchanged) {
+  RELAXC_SKIP_WITHOUT_DRIVER();
+  // Workers die on every request (the --faults spec reaches them via the
+  // RELAXC_FAULTS environment the driver exports): the shard tier must
+  // degrade to its in-process tail, say so in --solver-stats, and keep
+  // the fault-free exit code.
+  TempProgram P("int x;\nrequires (x >= 0 && x <= 2);\n"
+                "{ x = x + 1; assert x >= 1; }\n");
+  RunResult Clean = runDriver({"verify", P.Path,
+                               "--pipeline=simplify,bounded,shard",
+                               "--shards=1", "--solver-stats"});
+  RunResult Faulted = runDriver({"verify", P.Path,
+                                 "--pipeline=simplify,bounded,shard",
+                                 "--shards=1", "--solver-stats",
+                                 "--faults=seed=7,worker-exit=1"});
+  EXPECT_EQ(Faulted.Exit, Clean.Exit) << Faulted.Output;
+  EXPECT_NE(Faulted.Output.find("shard pool degraded"), std::string::npos)
+      << Faulted.Output;
+  EXPECT_EQ(Clean.Output.find("shard pool degraded"), std::string::npos)
+      << Clean.Output;
+}
+
+TEST(DriverFaults, BadFaultSpecIsExitTwo) {
+  RELAXC_SKIP_WITHOUT_DRIVER();
+  TempProgram P("int x;\n{ skip; }\n");
+  RunResult R =
+      runDriver({"verify", P.Path, BoundedPipeline, "--faults=bogus"});
+  EXPECT_EQ(R.Exit, 2) << R.Output;
+  EXPECT_NE(R.Output.find("bad fault spec"), std::string::npos) << R.Output;
 }
 
 TEST(DriverShardsFlag, RejectsBadValues) {
