@@ -25,9 +25,12 @@
 #include "solver/Portfolio.h"
 #include "solver/ShardPool.h"
 #include "solver/Z3Solver.h"
+#include "support/PersistentCache.h"
 #include "vcgen/Verifier.h"
 
 #include <benchmark/benchmark.h>
+
+#include <unistd.h>
 
 using namespace relax;
 using namespace relax::bench;
@@ -388,6 +391,104 @@ void BM_Solver_Z3_NoCacheOnSwish(benchmark::State &State) {
   }
 }
 
+/// The persistent verdict cache (--cache-dir=) on swish: one seeding run
+/// fills the on-disk cache, then every timed iteration parses the program
+/// into a fresh AstContext (matching the real scenario — one driver
+/// process per verify, each generating VCs from a fresh Interner so the
+/// freshened primed names, and hence the printed cache keys, are
+/// reproduced exactly), reloads the cache, and re-verifies: the whole
+/// discharge pipeline is replaced by key construction plus map lookups.
+/// The cold twin pays full discharge on the same per-iteration pipeline,
+/// so the pair brackets the win and the overhead.
+struct BenchCacheDir {
+  std::string Path;
+  BenchCacheDir() {
+    char Name[] = "/tmp/relaxc_bench_cache_XXXXXX";
+    if (char *P = ::mkdtemp(Name))
+      Path = P;
+  }
+  ~BenchCacheDir() {
+    if (Path.empty())
+      return;
+    ::unlink((Path + "/verdicts.rlxcache").c_str());
+    ::rmdir(Path.c_str());
+  }
+};
+
+void runWithPersistentCache(Loaded &L, PersistentCache &P) {
+  PortfolioOptions PO;
+  BoundedSolver Dummy; // portfolio mode never consults the ctor solver
+  DiagnosticEngine Diags;
+  Verifier V(*L.Ctx, *L.Prog, Dummy, Diags);
+  Verifier::Options Opts;
+  Opts.Portfolio = PO;
+  Opts.PCache = &P;
+#if RELAXC_HAVE_Z3
+  AstContext *Ctx = L.Ctx.get();
+  Opts.SmtFactory = [Ctx] {
+    return std::make_unique<Z3Solver>(Ctx->symbols());
+  };
+#endif
+  VerifyReport R = V.run(Opts);
+  benchmark::DoNotOptimize(R);
+}
+
+void BM_Solver_PersistentCache_WarmOnSwish(benchmark::State &State) {
+  BenchCacheDir Dir;
+  std::string FP =
+      portfolioConfigFingerprint(PortfolioOptions(), RELAXC_HAVE_Z3 != 0);
+  { // seed: one cold run, flushed to disk
+    Loaded L = loadExample("swish.rlx");
+    if (!L.Prog) {
+      State.SkipWithError(L.skipReason());
+      return;
+    }
+    PersistentCache Seed(Dir.Path, FP);
+    Seed.load();
+    runWithPersistentCache(L, Seed);
+    if (Status S = Seed.flush(); !S.ok()) {
+      State.SkipWithError(S.message().c_str());
+      return;
+    }
+  }
+  uint64_t Hits = 0, Loaded_ = 0, Appended = 0;
+  for (auto _ : State) {
+    Loaded L = loadExample("swish.rlx");
+    if (!L.Prog) {
+      State.SkipWithError(L.skipReason());
+      return;
+    }
+    PersistentCache P(Dir.Path, FP);
+    P.load();
+    runWithPersistentCache(L, P);
+    Hits = P.stats().Hits;
+    Loaded_ = P.stats().Loaded;
+    Appended = P.stats().Appended;
+  }
+  State.counters["cache_hits"] = static_cast<double>(Hits);
+  State.counters["entries_loaded"] = static_cast<double>(Loaded_);
+  State.counters["appended"] = static_cast<double>(Appended);
+}
+
+void BM_Solver_PersistentCache_ColdOnSwish(benchmark::State &State) {
+  BenchCacheDir Dir; // stays empty: every iteration misses and discharges
+  std::string FP =
+      portfolioConfigFingerprint(PortfolioOptions(), RELAXC_HAVE_Z3 != 0);
+  uint64_t Appended = 0;
+  for (auto _ : State) {
+    Loaded L = loadExample("swish.rlx");
+    if (!L.Prog) {
+      State.SkipWithError(L.skipReason());
+      return;
+    }
+    PersistentCache P(Dir.Path, FP);
+    P.load();
+    runWithPersistentCache(L, P);
+    Appended = P.stats().Appended; // never flushed, so the next load is cold
+  }
+  State.counters["verdicts_appended"] = static_cast<double>(Appended);
+}
+
 } // namespace
 
 BENCHMARK(BM_Solver_Z3)->Unit(benchmark::kMillisecond);
@@ -409,5 +510,9 @@ BENCHMARK(BM_Solver_Z3_KnobScaling)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Solver_Z3_CacheOnSwish)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Solver_Z3_NoCacheOnSwish)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Solver_PersistentCache_ColdOnSwish)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Solver_PersistentCache_WarmOnSwish)
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

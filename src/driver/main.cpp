@@ -26,9 +26,11 @@
 #include "solver/ShardPool.h"
 #include "solver/Z3Solver.h"
 #include "support/FaultInjection.h"
+#include "support/PersistentCache.h"
 #include "support/Subprocess.h"
 #include "vcgen/Verifier.h"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -75,6 +77,11 @@ struct CliOptions {
   int64_t TimeoutMs = -1;
   /// Per-VC budget in milliseconds (< 0 = none).
   int64_t VcTimeoutMs = -1;
+  /// Directory of the persistent verdict cache ("" = off).
+  std::string CacheDir;
+  /// Verify-on-hit sampling rate in parts per million (0 = off).
+  uint64_t CacheVerifyPpm = 0;
+  bool CacheVerifySet = false; ///< --cache-verify= was passed explicitly
   /// Hidden fault-injection spec (see support/FaultInjection.h); also
   /// exported as RELAXC_FAULTS so shard workers inherit it.
   std::string Faults;
@@ -125,6 +132,19 @@ void printUsage() {
       "                            each with its own AST and solver "
       "contexts\n"
       "                            (verdicts are identical to --shards=0)\n"
+      "  --cache-dir=<dir>         persistent verdict cache for `verify`: "
+      "settled\n"
+      "                            obligations are reused across runs "
+      "(content-\n"
+      "                            addressed by printed formula, var kinds, "
+      "and\n"
+      "                            pipeline config; deadline and gave-up\n"
+      "                            verdicts are never stored)\n"
+      "  --cache-verify=<ppm>      re-discharge a deterministic sample of "
+      "cache\n"
+      "                            hits (parts per million of lookups) and\n"
+      "                            hard-fail on any divergence; requires\n"
+      "                            --cache-dir=\n"
       "  --no-safety               skip division/bounds trap obligations\n"
       "  --original-only           verify only the |-o judgment\n"
       "  --smtlib                  dump-vcs: emit SMT-LIB 2 scripts\n"
@@ -139,11 +159,15 @@ void printUsage() {
 /// maps garbage to 0, which for budget flags silently means "unlimited" —
 /// the exact failure the flag exists to prevent.
 bool parseUnsigned(const char *V, uint64_t &Out) {
-  if (*V == '\0')
+  // strtoull alone is too forgiving for a flag value: it skips leading
+  // whitespace, accepts (and silently negates) a minus sign, and wraps on
+  // overflow. A decimal flag must be digits from the first character on.
+  if (*V < '0' || *V > '9')
     return false;
   char *End = nullptr;
+  errno = 0;
   Out = std::strtoull(V, &End, 10);
-  return *End == '\0';
+  return *End == '\0' && errno != ERANGE;
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -191,17 +215,76 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.OracleName = V;
     else if (const char *V = Value("--semantics="))
       Opts.Semantics = V;
-    else if (const char *V = Value("--seed="))
-      Opts.Seed = std::strtoull(V, nullptr, 10);
-    else if (const char *V = Value("--runs="))
-      Opts.Runs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
-    else if (const char *V = Value("--array-len="))
-      Opts.ArrayLen = static_cast<size_t>(std::strtoul(V, nullptr, 10));
-    else if (const char *V = Value("--jobs="))
-      Opts.Jobs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
-    else if (const char *V = Value("--solver-jobs="))
-      Opts.SolverJobs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
-    else if (const char *V = Value("--shards=")) {
+    else if (const char *V = Value("--seed=")) {
+      // Strict, like every other numeric flag: bare strtoull mapped
+      // --seed=garbage to 0 and --seed=12abc to 12, silently changing
+      // which runs a reported failure reproduces.
+      if (!parseUnsigned(V, Opts.Seed)) {
+        std::fprintf(stderr,
+                     "relaxc: error: bad --seed value '%s' (expected a "
+                     "decimal seed)\n",
+                     V);
+        return false;
+      }
+    } else if (const char *V = Value("--runs=")) {
+      uint64_t N = 0;
+      if (!parseUnsigned(V, N) || N > UINT32_MAX) {
+        std::fprintf(stderr,
+                     "relaxc: error: bad --runs value '%s' (expected a "
+                     "decimal run count)\n",
+                     V);
+        return false;
+      }
+      Opts.Runs = static_cast<unsigned>(N);
+    } else if (const char *V = Value("--array-len=")) {
+      uint64_t N = 0;
+      if (!parseUnsigned(V, N) || N > UINT32_MAX) {
+        std::fprintf(stderr,
+                     "relaxc: error: bad --array-len value '%s' (expected a "
+                     "decimal length)\n",
+                     V);
+        return false;
+      }
+      Opts.ArrayLen = static_cast<size_t>(N);
+    } else if (const char *V = Value("--jobs=")) {
+      uint64_t N = 0;
+      if (!parseUnsigned(V, N) || N > 1024) {
+        std::fprintf(stderr,
+                     "relaxc: error: bad --jobs value '%s' (expected a "
+                     "decimal worker count <= 1024)\n",
+                     V);
+        return false;
+      }
+      Opts.Jobs = static_cast<unsigned>(N);
+    } else if (const char *V = Value("--solver-jobs=")) {
+      uint64_t N = 0;
+      if (!parseUnsigned(V, N) || N > 1024) {
+        std::fprintf(stderr,
+                     "relaxc: error: bad --solver-jobs value '%s' (expected "
+                     "a decimal worker count <= 1024)\n",
+                     V);
+        return false;
+      }
+      Opts.SolverJobs = static_cast<unsigned>(N);
+    } else if (const char *V = Value("--cache-dir=")) {
+      if (*V == '\0') {
+        std::fprintf(stderr,
+                     "relaxc: error: bad --cache-dir value (expected a "
+                     "directory path)\n");
+        return false;
+      }
+      Opts.CacheDir = V;
+    } else if (const char *V = Value("--cache-verify=")) {
+      if (!parseUnsigned(V, Opts.CacheVerifyPpm) ||
+          Opts.CacheVerifyPpm > 1'000'000) {
+        std::fprintf(stderr,
+                     "relaxc: error: bad --cache-verify value '%s' "
+                     "(expected a parts-per-million rate <= 1000000)\n",
+                     V);
+        return false;
+      }
+      Opts.CacheVerifySet = true;
+    } else if (const char *V = Value("--shards=")) {
       uint64_t N = 0;
       if (!parseUnsigned(V, N) || N > 256) {
         std::fprintf(stderr,
@@ -248,6 +331,12 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       return false;
     }
   }
+  if (Opts.CacheVerifySet && Opts.CacheDir.empty()) {
+    std::fprintf(stderr,
+                 "relaxc: error: --cache-verify= requires --cache-dir= "
+                 "(there is no cache to audit without one)\n");
+    return false;
+  }
   return true;
 }
 
@@ -289,7 +378,8 @@ void printOutcome(const Interner &Syms, const char *Title, const Outcome &O) {
 /// the *effective* chain (after --shards= rewrote the final tier).
 void printSolverStats(const CliOptions &Opts,
                       const std::vector<TierKind> &Tiers,
-                      const DischargeStats &S, const CachingSolver &Cached) {
+                      const DischargeStats &S, const CachingSolver &Cached,
+                      const PersistentCache *PCache) {
   auto U = [](uint64_t N) { return static_cast<unsigned long long>(N); };
   std::printf("solver stats:\n");
   if (!Tiers.empty()) {
@@ -314,10 +404,22 @@ void printSolverStats(const CliOptions &Opts,
     // Single-backend mode: the sequential path runs behind CachingSolver;
     // the parallel path uses the scheduler's shared cache.
     std::printf("  backend: %s\n", Opts.SolverName.c_str());
-    std::printf("  caching solver: %llu hits, %llu misses\n",
-                U(Cached.hitCount()), U(Cached.missCount()));
+    std::printf("  caching solver: %llu hits, %llu misses, %llu model "
+                "pass-throughs\n",
+                U(Cached.hitCount()), U(Cached.missCount()),
+                U(Cached.modelPassThroughCount()));
     std::printf("  shared result cache: %llu hits, %llu misses\n",
                 U(S.SharedCacheHits), U(S.SharedCacheMisses));
+  }
+  if (PCache) {
+    PersistentCacheStats PS = PCache->stats();
+    std::printf("  persistent cache: %llu entries loaded, %llu hits, "
+                "%llu appended, %llu verify-sampled (%llu verified)\n",
+                U(PS.Loaded), U(PS.Hits), U(PS.Appended),
+                U(PS.VerifySampled), U(PS.VerifiedHits));
+    if (PS.LoadCorrupt)
+      std::printf("  persistent cache recovered cold: %s\n",
+                  PS.LoadDetail.c_str());
   }
   std::printf("  bounded work: %llu candidate assignments, %llu "
               "quantifier-body evaluations\n",
@@ -615,12 +717,39 @@ int runVerify(const CliOptions &Opts, AstContext &Ctx, Program &Prog,
   } else if (VO.Jobs > 1) {
     VO.SolverFactory = [&Opts, &Ctx] { return makeSolver(Opts, Ctx); };
   }
+
+  // --cache-dir=: the persistent verdict cache, fronting the scheduler's
+  // shared result cache. Keys embed a fingerprint of every verdict-
+  // relevant knob, so differently configured runs never share entries.
+  std::unique_ptr<PersistentCache> PCache;
+  if (!Opts.CacheDir.empty()) {
+    std::string Fp;
+    if (VO.Portfolio) {
+      Fp = portfolioConfigFingerprint(*VO.Portfolio, RELAXC_HAVE_Z3 != 0);
+    } else if (Opts.SolverName == "bounded") {
+      BoundedSolverOptions BO; // mirror makeSolver: defaults, Jobs excluded
+      Fp = "backend=bounded " + boundedOptionsFingerprint(BO);
+    } else {
+      Fp = "backend=z3";
+    }
+    PCache = std::make_unique<PersistentCache>(Opts.CacheDir, Fp,
+                                               Opts.CacheVerifyPpm);
+    PCache->load();
+    VO.PCache = PCache.get();
+  }
+
   VerifyReport Report = V.run(VO);
+  // A cache that cannot be saved costs the next run solver time, never
+  // this run its verdict.
+  if (PCache)
+    if (Status S = PCache->flush(); !S.ok())
+      std::fprintf(stderr, "relaxc: warning: persistent cache not saved: "
+                   "%s\n", S.message().c_str());
   if (Diags.hasErrors())
     std::fprintf(stderr, "%s", Diags.render().c_str());
   std::printf("%s", renderReport(Report, Ctx.symbols(), Opts.Verbose).c_str());
   if (Opts.SolverStats) {
-    printSolverStats(Opts, Tiers, Stats, Cached);
+    printSolverStats(Opts, Tiers, Stats, Cached, PCache.get());
     if (Pool) {
       ShardPool::Stats PS = Pool->stats();
       std::printf("  shard pool: %u workers, %llu requests, %llu respawns;"

@@ -158,14 +158,14 @@ public:
   Result<SatResult>
   checkSatWithModel(const std::vector<const BoolExpr *> &Formulas,
                     const VarRefSet &Vars, Model &ModelOut) override {
-    ++Queries;
+    // Model queries bypass the cache entirely (models are not cached), so
+    // they are counted apart from Queries: folding them in would deflate
+    // the reported hit rate with queries the cache never saw.
+    ++ModelPassThroughs;
     return Underlying.checkSatWithModel(Formulas, Vars, ModelOut);
   }
 
-  void setDeadline(const Deadline &D) override {
-    QueryDeadline = D;
-    Underlying.setDeadline(D);
-  }
+  void setDeadline(const Deadline &D) override { Underlying.setDeadline(D); }
 
   bool lastQueryDeadlined() const override {
     return Underlying.lastQueryDeadlined();
@@ -174,10 +174,13 @@ public:
   uint64_t hitCount() const { return Cache.hitCount(); }
   uint64_t missCount() const { return Cache.missCount(); }
   uint64_t collisionCount() const { return Cache.collisionCount(); }
+  /// Model queries forwarded uncached (surfaced in `--solver-stats`).
+  uint64_t modelPassThroughCount() const { return ModelPassThroughs; }
 
 private:
   Solver &Underlying;
   SolverResultCache Cache;
+  uint64_t ModelPassThroughs = 0;
 };
 
 } // namespace relax

@@ -83,6 +83,41 @@ std::string relax::formatPipeline(const std::vector<TierKind> &Tiers) {
   return Out;
 }
 
+std::string relax::boundedOptionsFingerprint(const BoundedSolverOptions &O) {
+  std::string Out = "bounded=";
+  for (int64_t V : {O.IntLo, O.IntHi, O.MaxArrayLen, O.ArrayElemLo,
+                    O.ArrayElemHi})
+    Out += std::to_string(V) + ",";
+  Out += std::to_string(O.MaxCandidates) + ",";
+  Out += std::to_string(O.MaxQuantSteps) + ",";
+  Out += O.ExhaustionMeansUnsat ? "exhaust-unsat," : "exhaust-unknown,";
+  Out += O.Eng == BoundedSolverOptions::Engine::Enumerate ? "enumerate"
+                                                          : "search";
+  return Out;
+}
+
+std::string relax::portfolioConfigFingerprint(const PortfolioOptions &Opts,
+                                              bool HaveSmtBackend) {
+  // The effective chain: a trailing shard tier answers with exactly the
+  // verdict its ShardWorkerPipeline tail would produce in process, so
+  // --shards=N and --shards=0 runs of one logical pipeline share keys.
+  std::vector<TierKind> Effective = Opts.Tiers;
+  if (!Effective.empty() && Effective.back() == TierKind::Shard) {
+    Effective.pop_back();
+    if (Result<std::vector<TierKind>> Tail =
+            parsePipelineSpec(Opts.ShardWorkerPipeline))
+      for (TierKind K : *Tail)
+        Effective.push_back(K);
+    else // unparseable tail: keep the literal spelling distinct
+      Effective.push_back(TierKind::Shard);
+  }
+  std::string Out = "pipeline=" + formatPipeline(Effective);
+  Out += " " + boundedOptionsFingerprint(Opts.Bounded);
+  Out += " final-step-factor=" + std::to_string(Opts.FinalBoundedStepFactor);
+  Out += std::string(" smt=") + (HaveSmtBackend ? "z3" : "bounded-full");
+  return Out;
+}
+
 void PortfolioStats::merge(const PortfolioStats &O) {
   if (Tiers.size() < O.Tiers.size())
     Tiers.resize(O.Tiers.size());

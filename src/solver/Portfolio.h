@@ -104,6 +104,24 @@ struct PortfolioOptions {
   std::string ShardWorkerPipeline = "z3";
 };
 
+/// One-line fingerprint of a bounded configuration's verdict-relevant
+/// knobs (domains, budgets, engine, exhaustion authority). `Jobs` is
+/// excluded: the parallel search partitions work but — by the replay
+/// aggregator's construction — never changes a verdict or witness.
+std::string boundedOptionsFingerprint(const BoundedSolverOptions &Opts);
+
+/// One-line fingerprint of every knob that can change a portfolio
+/// verdict, for the persistent verdict cache's on-disk keys: the
+/// effective tier chain (a trailing `shard` tier is replaced by its
+/// ShardWorkerPipeline tail, because sharded and in-process verdicts are
+/// identical by construction), the bounded configuration, the final-tier
+/// budget factor, and whether an SMT backend actually backs the `z3`
+/// tier (\p HaveSmtBackend — the bounded-full degradation is a different
+/// decision procedure, so its verdicts must not be served to a real-Z3
+/// run or vice versa).
+std::string portfolioConfigFingerprint(const PortfolioOptions &Opts,
+                                       bool HaveSmtBackend);
+
 /// Per-run portfolio statistics, mergeable across workers.
 struct PortfolioStats {
   struct TierStat {

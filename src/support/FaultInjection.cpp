@@ -96,6 +96,10 @@ const char *faultSiteName(FaultSite S) {
     return "solver-call";
   case FaultSite::ResponseDelay:
     return "response-delay";
+  case FaultSite::CacheRead:
+    return "cache-read";
+  case FaultSite::CacheWrite:
+    return "cache-write";
   }
   return "?";
 }

@@ -8,8 +8,10 @@
 /// \file
 /// A process-wide, seed-driven fault registry that lets tests (and the
 /// hidden `--faults=` driver flag) inject failures at the I/O and process
-/// boundaries of the sharded discharge tier: frame reads/writes, worker
-/// spawns, worker exits, solver calls, and response delays.
+/// boundaries of the sharded discharge tier — frame reads/writes, worker
+/// spawns, worker exits, solver calls, response delays — and at the
+/// persistent verdict cache's file boundaries (corrupt loads, torn
+/// writes).
 ///
 /// ## Determinism
 ///
@@ -32,7 +34,7 @@
 ///                         into parts-per-million — no floating point)
 ///
 /// Site names: `frame-read`, `frame-write`, `worker-spawn`, `worker-exit`,
-/// `solver-call`, `response-delay`. Example:
+/// `solver-call`, `response-delay`, `cache-read`, `cache-write`. Example:
 ///
 ///     RELAXC_FAULTS='seed=7,worker-exit=0.3,frame-write=0.05'
 ///
@@ -64,8 +66,10 @@ enum class FaultSite : uint8_t {
   WorkerExit,    ///< a discharge worker dies instead of answering
   SolverCall,    ///< a worker's solver call answers with an error response
   ResponseDelay, ///< a worker sleeps `delay-ms` before answering
+  CacheRead,     ///< PersistentCache::load treats the file as corrupt
+  CacheWrite,    ///< PersistentCache::flush writes a torn prefix and errors
 };
-constexpr unsigned NumFaultSites = 6;
+constexpr unsigned NumFaultSites = 8;
 
 /// Spec-spelling of a site ("frame-read", ...).
 const char *faultSiteName(FaultSite S);

@@ -7,6 +7,10 @@
 
 #include "vcgen/Discharge.h"
 
+#include "ast/Printer.h"
+#include "support/PersistentCache.h"
+
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -158,6 +162,95 @@ void noteDeadline(VCOutcome &Out, const Solver &S) {
 
 } // namespace
 
+//===----------------------------------------------------------------------===//
+// SharedSolverCache and the persistent tier
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *cacheTagWord(VarTag T) {
+  switch (T) {
+  case VarTag::Plain:
+    return "plain";
+  case VarTag::Orig:
+    return "o";
+  case VarTag::Rel:
+    return "r";
+  }
+  return "?";
+}
+
+} // namespace
+
+std::string
+relax::persistentCacheKey(const std::string &Fingerprint,
+                          const std::vector<const BoolExpr *> &Query,
+                          const Interner &Syms) {
+  std::string Key = "config " + Fingerprint + "\n";
+  // Kind declarations first (the portable analogue of the shard wire
+  // format's var lines), sorted for canonicity.
+  VarRefSet Free;
+  for (const BoolExpr *F : Query)
+    collectFreeVars(F, Free);
+  std::vector<std::string> VarLines;
+  for (const VarRef &V : Free)
+    VarLines.push_back(std::string("var ") +
+                       (V.Kind == VarKind::Int ? "int" : "array") + " " +
+                       cacheTagWord(V.Tag) + " " +
+                       std::string(Syms.text(V.Name)));
+  std::sort(VarLines.begin(), VarLines.end());
+  for (const std::string &L : VarLines)
+    Key += L + "\n";
+  // Printed formulas, sorted lexicographically: the canonical order must
+  // not depend on structural hashes (nominal) or pointers (per-process).
+  Printer P(Syms);
+  std::vector<std::string> Formulas;
+  for (const BoolExpr *F : Query)
+    Formulas.push_back(P.print(F));
+  std::sort(Formulas.begin(), Formulas.end());
+  for (const std::string &F : Formulas)
+    Key += "formula " + F + "\n";
+  return Key;
+}
+
+std::optional<SatResult>
+SharedSolverCache::lookup(const std::vector<const BoolExpr *> &Query) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::vector<const BoolExpr *> Canonical =
+      SolverResultCache::canonicalize(Query);
+  if (std::optional<SatResult> R = Cache.lookupCanonical(Canonical))
+    return R;
+  if (!Persist)
+    return std::nullopt;
+  std::optional<SatResult> R =
+      Persist->lookup(persistentCacheKey(Persist->fingerprint(), Query,
+                                         *Syms));
+  // Pull a disk hit into the memory tier so this run's duplicates skip
+  // the key build (and so the stats keep counting them as memory hits).
+  if (R)
+    Cache.insertCanonical(std::move(Canonical), *R);
+  return R;
+}
+
+void SharedSolverCache::insert(const std::vector<const BoolExpr *> &Query,
+                               SatResult R) {
+  std::lock_guard<std::mutex> Lock(M);
+  Cache.insert(Query, R);
+  // Callers only insert final non-deadline verdicts (the discipline this
+  // cache documents), so forwarding is safe; the persistent tier drops
+  // Unknown itself and checks verify-sampled recomputations here.
+  if (Persist)
+    Persist->insert(persistentCacheKey(Persist->fingerprint(), Query, *Syms),
+                    R);
+}
+
+void SharedSolverCache::attachPersistent(PersistentCache *P,
+                                         const Interner *S) {
+  std::lock_guard<std::mutex> Lock(M);
+  Persist = P;
+  Syms = S;
+}
+
 VCOutcome relax::dischargeVC(const VC &Condition, const BoolExpr *Query,
                              Solver &S, const Interner &Syms,
                              SharedSolverCache *Shared) {
@@ -207,6 +300,8 @@ DischargeScheduler::DischargeScheduler(AstContext &Ctx, Config Cfg)
   if (this->Cfg.Portfolio)
     MainPortfolio = std::make_unique<PortfolioSolver>(
         Ctx, *this->Cfg.Portfolio, this->Cfg.SmtFactory);
+  if (this->Cfg.PCache)
+    Shared.attachPersistent(this->Cfg.PCache, &Ctx.symbols());
 }
 
 DischargeScheduler::~DischargeScheduler() = default;
@@ -258,11 +353,13 @@ void DischargeScheduler::discharge(VCSet Set, JudgmentReport &Report,
     dischargeSequentialPortfolio(VCs, Queries, Outcomes);
   } else {
     // The classic single-backend sequential path, kept cache-free so a
-    // driver's CachingSolver wrapper observes every query.
+    // driver's CachingSolver wrapper observes every query — unless a
+    // persistent cache is armed, which must front every configuration.
+    SharedSolverCache *SharedOrNull = Cfg.PCache ? &Shared : nullptr;
     for (size_t I = 0; I != VCs.size(); ++I) {
       Fallback.setDeadline(perVcDeadline());
       Outcomes[I] = dischargeVC(VCs[I], Queries[I], Fallback, Ctx.symbols(),
-                                /*Shared=*/nullptr);
+                                SharedOrNull);
     }
   }
 

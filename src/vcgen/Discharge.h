@@ -58,6 +58,8 @@
 
 namespace relax {
 
+class PersistentCache;
+
 /// Discharge status of one VC.
 enum class VCStatus : uint8_t {
   Proved,
@@ -107,17 +109,16 @@ struct JudgmentReport {
 /// Owned by the scheduler so duplicates across the |-o and |-r passes hit
 /// too. Only final verdicts are inserted (in portfolio mode: after the
 /// full escalation chain), so a hit always equals recomputation.
+///
+/// When a PersistentCache is attached it fronts the on-disk store: an
+/// in-memory miss falls through to a portable-key lookup (pulling hits
+/// back into the memory tier), and every final verdict is persisted
+/// alongside the memory insert. Callers are unchanged — the never-cache-
+/// deadline discipline they already apply covers the disk tier too.
 class SharedSolverCache {
 public:
-  std::optional<SatResult>
-  lookup(const std::vector<const BoolExpr *> &Query) {
-    std::lock_guard<std::mutex> Lock(M);
-    return Cache.lookup(Query);
-  }
-  void insert(const std::vector<const BoolExpr *> &Query, SatResult R) {
-    std::lock_guard<std::mutex> Lock(M);
-    Cache.insert(Query, R);
-  }
+  std::optional<SatResult> lookup(const std::vector<const BoolExpr *> &Query);
+  void insert(const std::vector<const BoolExpr *> &Query, SatResult R);
   uint64_t hitCount() const {
     std::lock_guard<std::mutex> Lock(M);
     return Cache.hitCount();
@@ -127,10 +128,27 @@ public:
     return Cache.missCount();
   }
 
+  /// Fronts this cache with \p P (keys built against its fingerprint,
+  /// printed via \p Syms). Call before discharging begins.
+  void attachPersistent(PersistentCache *P, const Interner *Syms);
+
 private:
   mutable std::mutex M;
   SolverResultCache Cache;
+  PersistentCache *Persist = nullptr;
+  const Interner *Syms = nullptr;
 };
+
+/// Builds the process-portable on-disk cache key for \p Query: the
+/// config fingerprint line, the free variables' kind declarations
+/// (sorted), and each formula's printed `.rlx` serialization (sorted) —
+/// the same serialization the shard wire protocol proved total. Symbol
+/// ids and structural hashes are declaration-order nominal and must
+/// never leak into the key. Pure reads of \p Syms, so it is safe on
+/// discharge worker threads.
+std::string persistentCacheKey(const std::string &Fingerprint,
+                               const std::vector<const BoolExpr *> &Query,
+                               const Interner &Syms);
 
 /// Builds the solver query for one VC: validity obligations are negated
 /// (`unsat` means proved — the conventional phrasing of a proof
@@ -184,6 +202,9 @@ public:
     /// Each obligation (re)arms `earliest(Global, now + VcTimeoutMs)`
     /// when a discharge stage picks it up.
     int64_t VcTimeoutMs = -1;
+    /// On-disk verdict cache (`--cache-dir=`) fronting the shared result
+    /// cache; not owned, may be null. The caller loads and flushes it.
+    PersistentCache *PCache = nullptr;
   };
 
   DischargeScheduler(AstContext &Ctx, Config Cfg);

@@ -38,6 +38,7 @@ VerifyReport Verifier::run(Options Opts) {
   SchedCfg.SolverFactory = Opts.SolverFactory;
   SchedCfg.Global = Opts.GlobalDeadline;
   SchedCfg.VcTimeoutMs = Opts.VcTimeoutMs;
+  SchedCfg.PCache = Opts.PCache;
   DischargeScheduler Sched(Ctx, std::move(SchedCfg));
 
   Sema SemaPass(Prog, Diags);

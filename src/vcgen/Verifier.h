@@ -94,6 +94,10 @@ public:
     Deadline GlobalDeadline;
     /// Per-VC timeout in milliseconds (`--vc-timeout-ms`); < 0 disables.
     int64_t VcTimeoutMs = -1;
+    /// On-disk verdict cache (`--cache-dir=`) fronting the scheduler's
+    /// shared result cache; not owned, may be null. The caller loads it
+    /// before run() and flushes it after.
+    PersistentCache *PCache = nullptr;
   };
 
   Verifier(AstContext &Ctx, const Program &Prog, Solver &S,

@@ -236,6 +236,55 @@ TEST(DriverFaults, BadFaultSpecIsExitTwo) {
   EXPECT_NE(R.Output.find("bad fault spec"), std::string::npos) << R.Output;
 }
 
+TEST(DriverSeedFlag, RejectsNonDecimalValues) {
+  RELAXC_SKIP_WITHOUT_DRIVER();
+  // The old bare-strtoull parse mapped --seed=garbage to 0 and
+  // --seed=12abc to 12, silently changing which runs a reported failure
+  // reproduces. Strict now: diagnose and exit 2.
+  TempProgram P("int x;\n{ skip; }\n");
+  for (const char *Bad : {"--seed=12abc", "--seed=garbage", "--seed=",
+                          "--seed=-1", "--seed=1e3"}) {
+    RunResult R = runDriver({"run", P.Path, Bad});
+    EXPECT_EQ(R.Exit, 2) << Bad << "\n" << R.Output;
+    EXPECT_NE(R.Output.find("bad --seed value"), std::string::npos)
+        << Bad << "\n" << R.Output;
+  }
+  for (const char *Bad : {"--runs=abc", "--runs=", "--runs=99999999999"}) {
+    RunResult R = runDriver({"run", P.Path, Bad});
+    EXPECT_EQ(R.Exit, 2) << Bad << "\n" << R.Output;
+    EXPECT_NE(R.Output.find("bad --runs value"), std::string::npos)
+        << Bad << "\n" << R.Output;
+  }
+}
+
+TEST(DriverCacheFlags, RejectsBadValues) {
+  RELAXC_SKIP_WITHOUT_DRIVER();
+  TempProgram P("int x;\n{ skip; }\n");
+  { // an empty directory cannot name a cache
+    RunResult R = runDriver({"verify", P.Path, BoundedPipeline,
+                             "--cache-dir="});
+    EXPECT_EQ(R.Exit, 2) << R.Output;
+    EXPECT_NE(R.Output.find("bad --cache-dir value"), std::string::npos)
+        << R.Output;
+  }
+  for (const char *Bad : {"--cache-verify=abc", "--cache-verify=",
+                          "--cache-verify=1000001"}) {
+    RunResult R = runDriver({"verify", P.Path, BoundedPipeline,
+                             "--cache-dir=/tmp/relaxc_cli_cache", Bad});
+    EXPECT_EQ(R.Exit, 2) << Bad << "\n" << R.Output;
+    EXPECT_NE(R.Output.find("bad --cache-verify value"), std::string::npos)
+        << Bad << "\n" << R.Output;
+  }
+  { // sampling without a cache audits nothing — reject the contradiction
+    RunResult R = runDriver({"verify", P.Path, BoundedPipeline,
+                             "--cache-verify=1000"});
+    EXPECT_EQ(R.Exit, 2) << R.Output;
+    EXPECT_NE(R.Output.find("--cache-verify= requires --cache-dir="),
+              std::string::npos)
+        << R.Output;
+  }
+}
+
 TEST(DriverShardsFlag, RejectsBadValues) {
   RELAXC_SKIP_WITHOUT_DRIVER();
   TempProgram P("int x;\n{ skip; }\n");

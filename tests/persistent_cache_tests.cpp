@@ -1,0 +1,640 @@
+//===- persistent_cache_tests.cpp - On-disk verdict cache -----------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+// Pins the persistent verdict cache (support/PersistentCache.h) at both
+// layers:
+//
+//  * unit: round trips, append-across-processes, the never-persist-
+//    Unknown rule, verify-on-hit sampling and the divergence alarm, and
+//    one test per corruption shape (truncated header, garbage trailer,
+//    partial final append, crc flip, conflicting duplicates) — each must
+//    load as a fully cold cache, never crash, never serve a verdict, and
+//    recover by rewrite on the next flush;
+//  * fault injection: the cache-read / cache-write sites (a valid file
+//    loads cold; a flush tears the file and errors, and the torn file
+//    again loads cold);
+//  * end-to-end: cold vs warm `relaxc verify --cache-dir=` runs must
+//    produce bit-identical reports (timings stripped) on the six case
+//    studies and on generated programs, with the warm run settling every
+//    obligation from the cache (`queries: 0` under --solver-stats).
+//
+// The PersistentCacheChaos suite only compares a cold and a warm run of
+// the same driver against each other — no stats pins — so it stays green
+// when CI arms the cache fault sites via RELAXC_FAULTS (the spawned
+// drivers inherit the environment; this test binary itself never arms
+// from it).
+//
+//===----------------------------------------------------------------------===//
+
+#include "GenProgram.h"
+#include "TestUtil.h"
+
+#include "support/FaultInjection.h"
+#include "support/PersistentCache.h"
+#include "support/Subprocess.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <dirent.h>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <unistd.h>
+
+using namespace relax;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+/// A fresh cache directory, recursively removed on destruction.
+struct TempDir {
+  std::string Path;
+  TempDir() {
+    char Name[] = "/tmp/relaxc_cache_XXXXXX";
+    char *P = ::mkdtemp(Name);
+    EXPECT_NE(P, nullptr);
+    if (P)
+      Path = P;
+  }
+  ~TempDir() {
+    if (Path.empty())
+      return;
+    if (DIR *D = ::opendir(Path.c_str())) {
+      while (dirent *E = ::readdir(D)) {
+        std::string N = E->d_name;
+        if (N != "." && N != "..")
+          ::unlink((Path + "/" + N).c_str());
+      }
+      ::closedir(D);
+    }
+    ::rmdir(Path.c_str());
+  }
+};
+
+std::string cacheFile(const TempDir &D) { return D.Path + "/verdicts.rlxcache"; }
+
+std::string readFileBytes(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+void writeFileBytes(const std::string &Path, const std::string &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+}
+
+/// Drops "(12.3 ms)" timings, the only nondeterminism in a report.
+std::string stripMs(const std::string &S) {
+  static const std::regex MsRe("\\([0-9.]+ ms\\)");
+  return std::regex_replace(S, MsRe, "");
+}
+
+/// Drops "relaxc: warning: ..." lines (a chaos-armed driver may warn that
+/// the cache could not be saved; the report proper must still match).
+std::string stripWarnings(const std::string &S) {
+  std::istringstream In(S);
+  std::string Out, Line;
+  while (std::getline(In, Line))
+    if (Line.find("relaxc: warning:") == std::string::npos)
+      Out += Line + "\n";
+  return Out;
+}
+
+struct RunResult {
+  int Exit = -1;
+  std::string Output; ///< stdout + stderr, merged
+};
+
+RunResult runDriver(const std::vector<std::string> &Args) {
+  RunResult R;
+  Subprocess P;
+  Status S = P.spawn(relax::test::driverPath(), Args, /*MergeStderr=*/true);
+  EXPECT_TRUE(S.ok()) << (S.ok() ? "" : S.message());
+  if (!S.ok())
+    return R;
+  P.closeStdin();
+  char Buf[4096];
+  for (;;) {
+    ssize_t N = ::read(P.readFd(), Buf, sizeof(Buf));
+    if (N <= 0)
+      break;
+    R.Output.append(Buf, static_cast<size_t>(N));
+  }
+  R.Exit = P.waitForExit();
+  return R;
+}
+
+/// Writes \p Source to a temp .rlx file; unlinked on destruction.
+struct TempProgram {
+  std::string Path;
+  explicit TempProgram(const std::string &Source) {
+    char Name[] = "/tmp/relaxc_cache_prog_XXXXXX";
+    int Fd = ::mkstemp(Name);
+    EXPECT_GE(Fd, 0);
+    if (Fd < 0)
+      return;
+    ssize_t Ignored = ::write(Fd, Source.data(), Source.size());
+    (void)Ignored;
+    ::close(Fd);
+    Path = Name;
+  }
+  ~TempProgram() {
+    if (!Path.empty())
+      ::unlink(Path.c_str());
+  }
+};
+
+// A small program that fully verifies under the Z3-free bounded pipeline.
+const char *VerifyingProgram = "int x;\nrequires (x >= 0 && x <= 2);\n"
+                               "{ x = x + 1; assert x >= 1; }\n";
+const char *BoundedPipeline = "--pipeline=simplify,bounded";
+
+//===----------------------------------------------------------------------===//
+// Unit: round trips and the never-persist rule
+//===----------------------------------------------------------------------===//
+
+TEST(PersistentCacheUnit, RoundTripAcrossInstances) {
+  TempDir D;
+  {
+    PersistentCache C(D.Path, "config test");
+    C.load(); // missing file: cold, not corrupt
+    EXPECT_FALSE(C.stats().LoadCorrupt);
+    EXPECT_EQ(C.stats().Loaded, 0u);
+    EXPECT_FALSE(C.lookup("k1").has_value());
+    C.insert("k1", SatResult::Sat);
+    C.insert("k2", SatResult::Unsat);
+    EXPECT_EQ(C.stats().Appended, 2u);
+    Status S = C.flush();
+    ASSERT_TRUE(S.ok()) << S.message();
+  }
+  PersistentCache C2(D.Path, "config test");
+  C2.load();
+  EXPECT_FALSE(C2.stats().LoadCorrupt);
+  EXPECT_EQ(C2.stats().Loaded, 2u);
+  ASSERT_TRUE(C2.lookup("k1").has_value());
+  EXPECT_EQ(*C2.lookup("k1"), SatResult::Sat);
+  ASSERT_TRUE(C2.lookup("k2").has_value());
+  EXPECT_EQ(*C2.lookup("k2"), SatResult::Unsat);
+  EXPECT_FALSE(C2.lookup("k3").has_value());
+  EXPECT_EQ(C2.stats().Hits, 4u);
+  EXPECT_EQ(C2.stats().Misses, 1u);
+}
+
+TEST(PersistentCacheUnit, SecondProcessAppendsToTheSameFile) {
+  TempDir D;
+  {
+    PersistentCache C(D.Path, "cfg");
+    C.load();
+    C.insert("a", SatResult::Sat);
+    ASSERT_TRUE(C.flush().ok());
+  }
+  {
+    PersistentCache C(D.Path, "cfg");
+    C.load();
+    EXPECT_EQ(C.stats().Loaded, 1u);
+    C.insert("b", SatResult::Unsat);
+    ASSERT_TRUE(C.flush().ok()); // append path, not a rewrite
+  }
+  PersistentCache C(D.Path, "cfg");
+  C.load();
+  EXPECT_FALSE(C.stats().LoadCorrupt);
+  EXPECT_EQ(C.stats().Loaded, 2u);
+  EXPECT_TRUE(C.lookup("a").has_value());
+  EXPECT_TRUE(C.lookup("b").has_value());
+}
+
+TEST(PersistentCacheUnit, UnknownIsNeverPersisted) {
+  TempDir D;
+  {
+    PersistentCache C(D.Path, "cfg");
+    C.load();
+    C.insert("gaveup", SatResult::Unknown);
+    EXPECT_EQ(C.stats().Appended, 0u);
+    EXPECT_FALSE(C.lookup("gaveup").has_value());
+    ASSERT_TRUE(C.flush().ok());
+  }
+  PersistentCache C(D.Path, "cfg");
+  C.load();
+  EXPECT_EQ(C.stats().Loaded, 0u);
+}
+
+TEST(PersistentCacheUnit, DuplicateInsertIsIdempotent) {
+  TempDir D;
+  PersistentCache C(D.Path, "cfg");
+  C.load();
+  C.insert("k", SatResult::Sat);
+  C.insert("k", SatResult::Sat);
+  EXPECT_EQ(C.stats().Appended, 1u);
+  ASSERT_TRUE(C.flush().ok());
+  PersistentCache C2(D.Path, "cfg");
+  C2.load();
+  EXPECT_EQ(C2.stats().Loaded, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Unit: verify-on-hit sampling and the divergence alarm
+//===----------------------------------------------------------------------===//
+
+TEST(PersistentCacheVerify, SampleIsDeterministicAndRateShaped) {
+  // Pure function of (key, ppm): edge rates are exact, and a middle rate
+  // must select a nontrivial subset.
+  unsigned Sampled = 0;
+  for (int I = 0; I != 200; ++I) {
+    std::string Key = "key-" + std::to_string(I);
+    EXPECT_FALSE(PersistentCache::sampledForVerify(Key, 0));
+    EXPECT_TRUE(PersistentCache::sampledForVerify(Key, 1'000'000));
+    bool S = PersistentCache::sampledForVerify(Key, 500'000);
+    EXPECT_EQ(S, PersistentCache::sampledForVerify(Key, 500'000));
+    Sampled += S;
+  }
+  EXPECT_GT(Sampled, 0u);
+  EXPECT_LT(Sampled, 200u);
+}
+
+TEST(PersistentCacheVerify, SampledHitIsWithheldAndVerifiedOnReinsert) {
+  TempDir D;
+  {
+    PersistentCache C(D.Path, "cfg");
+    C.load();
+    C.insert("k", SatResult::Sat);
+    ASSERT_TRUE(C.flush().ok());
+  }
+  PersistentCache C(D.Path, "cfg", /*VerifyPpm=*/1'000'000);
+  C.load();
+  // The hit is declined so the caller recomputes...
+  EXPECT_FALSE(C.lookup("k").has_value());
+  EXPECT_EQ(C.stats().VerifySampled, 1u);
+  EXPECT_EQ(C.stats().Hits, 0u);
+  // ...and the matching recomputation closes the audit.
+  C.insert("k", SatResult::Sat);
+  EXPECT_EQ(C.stats().VerifiedHits, 1u);
+  EXPECT_EQ(C.stats().Appended, 0u); // already stored, nothing fresh
+}
+
+TEST(PersistentCacheVerify, DivergenceFiresTheHandler) {
+  TempDir D;
+  {
+    PersistentCache C(D.Path, "cfg");
+    C.load();
+    C.insert("k", SatResult::Sat);
+    ASSERT_TRUE(C.flush().ok());
+  }
+  PersistentCache C(D.Path, "cfg", /*VerifyPpm=*/1'000'000);
+  C.load();
+  EXPECT_FALSE(C.lookup("k").has_value()); // sampled
+  std::string SeenKey;
+  SatResult SeenStored = SatResult::Unknown,
+            SeenRecomputed = SatResult::Unknown;
+  C.setDivergenceHandler(
+      [&](const std::string &Key, SatResult Stored, SatResult Recomputed) {
+        SeenKey = Key;
+        SeenStored = Stored;
+        SeenRecomputed = Recomputed;
+      });
+  C.insert("k", SatResult::Unsat); // contradicts the stored Sat
+  EXPECT_EQ(SeenKey, "k");
+  EXPECT_EQ(SeenStored, SatResult::Sat);
+  EXPECT_EQ(SeenRecomputed, SatResult::Unsat);
+  EXPECT_EQ(C.stats().VerifiedHits, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Unit: corruption shapes — cold, never a crash, never a verdict
+//===----------------------------------------------------------------------===//
+
+/// Writes a two-entry cache and returns its bytes.
+std::string makeValidCache(const TempDir &D) {
+  PersistentCache C(D.Path, "cfg");
+  C.load();
+  C.insert("k1", SatResult::Sat);
+  C.insert("k2", SatResult::Unsat);
+  EXPECT_TRUE(C.flush().ok());
+  return readFileBytes(cacheFile(D));
+}
+
+/// Loads the (damaged) cache and checks the full cold contract, then
+/// checks that the next flush rewrites a clean file.
+void expectColdThenRecovers(const TempDir &D) {
+  PersistentCache C(D.Path, "cfg");
+  C.load();
+  EXPECT_TRUE(C.stats().LoadCorrupt) << C.stats().LoadDetail;
+  EXPECT_EQ(C.stats().Loaded, 0u);
+  EXPECT_FALSE(C.lookup("k1").has_value()); // never serve from damage
+  EXPECT_FALSE(C.lookup("k2").has_value());
+  C.insert("fresh", SatResult::Sat);
+  Status S = C.flush();
+  ASSERT_TRUE(S.ok()) << S.message();
+
+  PersistentCache C2(D.Path, "cfg");
+  C2.load();
+  EXPECT_FALSE(C2.stats().LoadCorrupt) << C2.stats().LoadDetail;
+  EXPECT_EQ(C2.stats().Loaded, 1u);
+  EXPECT_TRUE(C2.lookup("fresh").has_value());
+}
+
+TEST(PersistentCacheCorruption, TruncatedHeaderLoadsCold) {
+  TempDir D;
+  std::string Bytes = makeValidCache(D);
+  writeFileBytes(cacheFile(D), Bytes.substr(0, 5));
+  expectColdThenRecovers(D);
+}
+
+TEST(PersistentCacheCorruption, WrongHeaderLoadsCold) {
+  TempDir D;
+  makeValidCache(D);
+  writeFileBytes(cacheFile(D), "relaxc-verdict-cache 999\njunk");
+  expectColdThenRecovers(D);
+}
+
+TEST(PersistentCacheCorruption, GarbageTrailerLoadsCold) {
+  TempDir D;
+  std::string Bytes = makeValidCache(D);
+  writeFileBytes(cacheFile(D), Bytes + "garbage that is no record");
+  expectColdThenRecovers(D);
+}
+
+TEST(PersistentCacheCorruption, PartialFinalAppendLoadsCold) {
+  TempDir D;
+  std::string Bytes = makeValidCache(D);
+  // A crash mid-append leaves half a record header...
+  writeFileBytes(cacheFile(D), Bytes + std::string("\x40\x00\x00", 3));
+  expectColdThenRecovers(D);
+}
+
+TEST(PersistentCacheCorruption, TruncatedRecordBodyLoadsCold) {
+  TempDir D;
+  std::string Bytes = makeValidCache(D);
+  // ...or a full header whose promised body never made it to disk.
+  std::string Frame("\xF0\x00\x00\x00", 4); // len=240, way past EOF
+  Frame += std::string("\x12\x34\x56\x78", 4);
+  Frame += "short";
+  writeFileBytes(cacheFile(D), Bytes + Frame);
+  expectColdThenRecovers(D);
+}
+
+TEST(PersistentCacheCorruption, CrcFlipLoadsCold) {
+  TempDir D;
+  std::string Bytes = makeValidCache(D);
+  Bytes[Bytes.size() - 1] ^= 0x01; // flip a payload bit in the last record
+  writeFileBytes(cacheFile(D), Bytes);
+  expectColdThenRecovers(D);
+}
+
+TEST(PersistentCacheCorruption, ConflictingDuplicatesLoadCold) {
+  // Two crc-valid records disagreeing about one key: the file as a whole
+  // is untrustworthy, so nothing from it may be served. The conflicting
+  // file is spliced from two separately valid caches (records are
+  // position-independent past the header).
+  TempDir D1, D2;
+  std::string SatBytes, UnsatBytes, Header;
+  {
+    PersistentCache C(D1.Path, "cfg");
+    C.load();
+    C.insert("k1", SatResult::Sat);
+    ASSERT_TRUE(C.flush().ok());
+    SatBytes = readFileBytes(cacheFile(D1));
+  }
+  {
+    PersistentCache C(D2.Path, "cfg");
+    C.load();
+    C.insert("k1", SatResult::Unsat);
+    ASSERT_TRUE(C.flush().ok());
+    UnsatBytes = readFileBytes(cacheFile(D2));
+  }
+  size_t HeaderLen = SatBytes.find('\n') + 1;
+  ASSERT_EQ(SatBytes.substr(0, HeaderLen), UnsatBytes.substr(0, HeaderLen));
+  writeFileBytes(cacheFile(D1), SatBytes + UnsatBytes.substr(HeaderLen));
+  expectColdThenRecovers(D1);
+}
+
+TEST(PersistentCacheCorruption, EmptyFileLoadsCold) {
+  TempDir D;
+  makeValidCache(D);
+  writeFileBytes(cacheFile(D), "");
+  expectColdThenRecovers(D);
+}
+
+//===----------------------------------------------------------------------===//
+// Unit: the cache-read / cache-write fault sites
+//===----------------------------------------------------------------------===//
+
+TEST(PersistentCacheFaults, InjectedReadFaultLoadsColdNotCrashed) {
+  TempDir D;
+  makeValidCache(D);
+  {
+    ScopedFaults F("seed=3,cache-read=1");
+    ASSERT_TRUE(F.status().ok()) << F.status().message();
+    PersistentCache C(D.Path, "cfg");
+    C.load();
+    EXPECT_TRUE(C.stats().LoadCorrupt);
+    EXPECT_NE(C.stats().LoadDetail.find("cache-read"), std::string::npos)
+        << C.stats().LoadDetail;
+    EXPECT_FALSE(C.lookup("k1").has_value());
+  }
+  // The file itself was untouched: a fault-free load is fully warm.
+  PersistentCache C(D.Path, "cfg");
+  C.load();
+  EXPECT_FALSE(C.stats().LoadCorrupt);
+  EXPECT_EQ(C.stats().Loaded, 2u);
+}
+
+TEST(PersistentCacheFaults, InjectedWriteFaultTearsTheFileButStaysSound) {
+  TempDir D;
+  {
+    PersistentCache C(D.Path, "cfg");
+    C.load();
+    C.insert("k1", SatResult::Sat);
+    C.insert("k2", SatResult::Unsat);
+    ScopedFaults F("seed=3,cache-write=1");
+    ASSERT_TRUE(F.status().ok()) << F.status().message();
+    Status S = C.flush();
+    EXPECT_FALSE(S.ok());
+    EXPECT_NE(S.message().find("cache-write"), std::string::npos)
+        << S.message();
+  }
+  // The torn file must load cold (or be absent), and a clean rewrite
+  // recovers — the standard corruption contract.
+  PersistentCache C(D.Path, "cfg");
+  C.load();
+  EXPECT_EQ(C.stats().Loaded, 0u);
+  EXPECT_FALSE(C.lookup("k1").has_value());
+  C.insert("fresh", SatResult::Sat);
+  ASSERT_TRUE(C.flush().ok());
+  PersistentCache C2(D.Path, "cfg");
+  C2.load();
+  EXPECT_FALSE(C2.stats().LoadCorrupt);
+  EXPECT_EQ(C2.stats().Loaded, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: cold vs warm driver runs
+//===----------------------------------------------------------------------===//
+
+TEST(PersistentCacheDriver, CaseStudiesColdWarmBitIdentical) {
+  RELAXC_SKIP_WITHOUT_DRIVER();
+  RELAXC_SKIP_WITHOUT_Z3();
+  for (const char *Ex : {"swish.rlx", "water.rlx", "lu.rlx", "task_skip.rlx",
+                         "sampling.rlx", "memoize.rlx"}) {
+    std::string Path = relax::test::examplePath(Ex);
+    TempDir D;
+    std::vector<std::string> Base = {"verify", Path,
+                                     "--pipeline=simplify,bounded,z3",
+                                     "--cache-dir=" + D.Path, "--verbose"};
+    RunResult Cold = runDriver(Base);
+    RunResult Warm = runDriver(Base);
+    EXPECT_EQ(Cold.Exit, 0) << Ex << "\n" << Cold.Output;
+    EXPECT_EQ(Warm.Exit, Cold.Exit) << Ex;
+    EXPECT_EQ(stripMs(Warm.Output), stripMs(Cold.Output)) << Ex;
+
+    // A third (still warm) run with stats: every obligation settles from
+    // the cache, so the portfolio never runs and nothing new is appended.
+    std::vector<std::string> WithStats = Base;
+    WithStats.push_back("--solver-stats");
+    RunResult Stats = runDriver(WithStats);
+    EXPECT_EQ(Stats.Exit, 0) << Ex << "\n" << Stats.Output;
+    EXPECT_NE(Stats.Output.find("queries: 0,"), std::string::npos)
+        << Ex << "\n" << Stats.Output;
+    EXPECT_TRUE(std::regex_search(
+        Stats.Output,
+        std::regex("persistent cache: [1-9][0-9]* entries loaded, "
+                   "[1-9][0-9]* hits, 0 appended")))
+        << Ex << "\n" << Stats.Output;
+  }
+}
+
+TEST(PersistentCacheDriver, WarmRunSettlesEverythingWithoutZ3) {
+  RELAXC_SKIP_WITHOUT_DRIVER();
+  TempProgram P(VerifyingProgram);
+  TempDir D;
+  std::vector<std::string> Base = {"verify", P.Path, BoundedPipeline,
+                                   "--cache-dir=" + D.Path};
+  RunResult Cold = runDriver(Base);
+  EXPECT_EQ(Cold.Exit, 0) << Cold.Output;
+
+  std::vector<std::string> WithStats = Base;
+  WithStats.push_back("--solver-stats");
+  RunResult Warm = runDriver(WithStats);
+  EXPECT_EQ(Warm.Exit, 0) << Warm.Output;
+  EXPECT_NE(Warm.Output.find("queries: 0,"), std::string::npos) << Warm.Output;
+  EXPECT_TRUE(std::regex_search(
+      Warm.Output, std::regex("persistent cache: [1-9][0-9]* entries loaded, "
+                              "[1-9][0-9]* hits, 0 appended")))
+      << Warm.Output;
+}
+
+TEST(PersistentCacheDriver, GeneratedProgramsColdWarmBitIdentical) {
+  RELAXC_SKIP_WITHOUT_DRIVER();
+  // Mixed-verdict corpus (Proved / Failed / budget-tripped Unknown all
+  // occur): identity must hold for every exit code, and gave-ups must
+  // recompute on the warm run without changing the report.
+  for (uint64_t Seed : {7u, 21u, 99u}) {
+    relax::test::ProgramGen Gen(Seed);
+    TempProgram P(Gen.gen());
+    TempDir D;
+    std::vector<std::string> Base = {"verify", P.Path, BoundedPipeline,
+                                     "--cache-dir=" + D.Path, "--verbose"};
+    RunResult Cold = runDriver(Base);
+    RunResult Warm = runDriver(Base);
+    EXPECT_EQ(Warm.Exit, Cold.Exit) << "seed " << Seed << "\n" << Cold.Output;
+    EXPECT_EQ(stripMs(Warm.Output), stripMs(Cold.Output)) << "seed " << Seed;
+  }
+}
+
+TEST(PersistentCacheDriver, CorruptedCacheDegradesToColdRun) {
+  RELAXC_SKIP_WITHOUT_DRIVER();
+  TempProgram P(VerifyingProgram);
+  TempDir D;
+  std::vector<std::string> Base = {"verify", P.Path, BoundedPipeline,
+                                   "--cache-dir=" + D.Path, "--verbose"};
+  RunResult Cold = runDriver(Base);
+  EXPECT_EQ(Cold.Exit, 0) << Cold.Output;
+
+  // Truncate the cache mid-file: the next run must behave exactly like a
+  // cold one (same report, same exit code, no crash, no error)...
+  std::string Bytes = readFileBytes(cacheFile(D));
+  ASSERT_GT(Bytes.size(), 10u);
+  writeFileBytes(cacheFile(D), Bytes.substr(0, 10));
+  RunResult Recover = runDriver(Base);
+  EXPECT_EQ(Recover.Exit, Cold.Exit) << Recover.Output;
+  EXPECT_EQ(stripMs(Recover.Output), stripMs(Cold.Output));
+
+  // ...and it rewrites the file, so the run after that is warm again.
+  std::vector<std::string> WithStats = Base;
+  WithStats.push_back("--solver-stats");
+  RunResult Warm = runDriver(WithStats);
+  EXPECT_EQ(Warm.Exit, 0) << Warm.Output;
+  EXPECT_TRUE(std::regex_search(
+      Warm.Output, std::regex("persistent cache: [1-9][0-9]* entries loaded, "
+                              "[1-9][0-9]* hits, 0 appended")))
+      << Warm.Output;
+}
+
+TEST(PersistentCacheDriver, CacheVerifySamplingAuditsEveryHit) {
+  RELAXC_SKIP_WITHOUT_DRIVER();
+  TempProgram P(VerifyingProgram);
+  TempDir D;
+  RunResult Cold = runDriver({"verify", P.Path, BoundedPipeline,
+                              "--cache-dir=" + D.Path, "--verbose"});
+  EXPECT_EQ(Cold.Exit, 0) << Cold.Output;
+
+  // ppm=1000000: every hit is withheld, recomputed, and checked. The
+  // report must not change, and every sampled entry must verify.
+  RunResult Audit = runDriver({"verify", P.Path, BoundedPipeline,
+                               "--cache-dir=" + D.Path, "--verbose",
+                               "--cache-verify=1000000", "--solver-stats"});
+  EXPECT_EQ(Audit.Exit, 0) << Audit.Output;
+  std::smatch M;
+  ASSERT_TRUE(std::regex_search(
+      Audit.Output, M,
+      std::regex("([0-9]+) verify-sampled \\(([0-9]+) verified\\)")))
+      << Audit.Output;
+  EXPECT_EQ(M[1].str(), M[2].str()) << Audit.Output; // all sampled verified
+  EXPECT_NE(M[1].str(), "0") << Audit.Output;
+}
+
+//===----------------------------------------------------------------------===//
+// Chaos: safe under RELAXC_FAULTS cache sites in the environment
+//===----------------------------------------------------------------------===//
+
+// These tests assert only that a cold and a warm run agree — whatever the
+// armed fault rates do to the cache (failed loads, torn writes), the
+// report and exit code must be those of a fault-free run. Warnings about
+// an unsaved cache are allowed; crashes and changed verdicts are not.
+
+TEST(PersistentCacheChaos, ColdWarmAgreeOnVerifyingProgram) {
+  RELAXC_SKIP_WITHOUT_DRIVER();
+  TempProgram P(VerifyingProgram);
+  TempDir D;
+  std::vector<std::string> Base = {"verify", P.Path, BoundedPipeline,
+                                   "--cache-dir=" + D.Path, "--verbose"};
+  RunResult Cold = runDriver(Base);
+  RunResult Warm = runDriver(Base);
+  EXPECT_EQ(Cold.Exit, 0) << Cold.Output;
+  EXPECT_EQ(Warm.Exit, Cold.Exit) << Warm.Output;
+  EXPECT_EQ(stripWarnings(stripMs(Warm.Output)),
+            stripWarnings(stripMs(Cold.Output)));
+}
+
+TEST(PersistentCacheChaos, ColdWarmAgreeOnRefutedProgram) {
+  RELAXC_SKIP_WITHOUT_DRIVER();
+  TempProgram P("int x;\nrequires (x == 0);\n{ assert x == 1; }\n");
+  TempDir D;
+  std::vector<std::string> Base = {"verify", P.Path, BoundedPipeline,
+                                   "--cache-dir=" + D.Path};
+  RunResult Cold = runDriver(Base);
+  RunResult Warm = runDriver(Base);
+  EXPECT_EQ(Cold.Exit, 1) << Cold.Output;
+  EXPECT_EQ(Warm.Exit, Cold.Exit) << Warm.Output;
+  EXPECT_EQ(stripWarnings(stripMs(Warm.Output)),
+            stripWarnings(stripMs(Cold.Output)));
+}
+
+} // namespace
