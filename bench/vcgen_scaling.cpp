@@ -134,10 +134,104 @@ void BM_VcGen_NestedLoops(benchmark::State &State) {
   State.counters["vcs"] = static_cast<double>(Vcs);
 }
 
+/// The modular-vs-inlining experiment: a loop-bearing helper used from N
+/// sites, written once as a contracted procedure with N `call`s and once
+/// with the body textually inlined N times. Modular generation visits
+/// the helper's body exactly once (its summary) plus N cheap summary
+/// instantiations, so cost and VC count grow with a small per-call
+/// constant; inlining re-traverses the loop — and re-generates its
+/// invariant obligations — at every site.
+std::string stepBody() {
+  return "  i = 0;\n"
+         "  while (i < n)\n"
+         "    invariant (0 <= i && i <= n && x >= 0 && n >= 0)\n"
+         "    rinvariant (x<o> == x<r> && i<o> == i<r> && n<o> == n<r>)\n"
+         "    decreases (n - i)\n"
+         "  {\n    x = x + 1;\n    i = i + 1;\n  }\n";
+}
+
+std::string modularCallProgram(int64_t N) {
+  std::string S = "int x, i, n;\n\n";
+  S += "proc step()\n"
+       "  modifies (x, i)\n"
+       "  requires (x >= 0 && n >= 0);\n"
+       "  ensures (x >= 0);\n"
+       "  rrequires (x<o> == x<r> && i<o> == i<r> && n<o> == n<r> && "
+       "x<o> >= 0 && n<o> >= 0);\n"
+       "  rensures (x<o> >= 0 && x<r> >= 0);\n"
+       "{\n" +
+       stepBody() + "}\n\n";
+  S += "proc main()\n  requires (x == 0 && n >= 0);\n{\n";
+  for (int64_t I = 0; I != N; ++I)
+    S += "  call step();\n";
+  return S + "}\n";
+}
+
+std::string inlinedCallProgram(int64_t N) {
+  std::string S = "int x, i, n;\nrequires (x == 0 && n >= 0);\n{\n";
+  for (int64_t I = 0; I != N; ++I)
+    S += stepBody();
+  return S + "}\n";
+}
+
+/// Generates both judgments for every procedure, exactly as the Verifier
+/// schedules them (the helper's summary once, call sites instantiate).
+size_t genAllProcedures(Loaded &L) {
+  size_t Vcs = 0;
+  DiagnosticEngine Diags;
+  for (const Procedure &P : L.Prog->procedures()) {
+    UnaryVCGen OG(*L.Ctx, *L.Prog, JudgmentKind::Original, Diags);
+    OG.genTriple(P.requiresClause() ? P.requiresClause() : L.Ctx->trueExpr(),
+                 P.body(),
+                 P.ensuresClause() ? P.ensuresClause() : L.Ctx->trueExpr());
+    Vcs += OG.take().VCs.size();
+    RelationalVCGen RG(*L.Ctx, *L.Prog, Diags);
+    RG.genTriple(effectiveRelRequires(*L.Ctx, *L.Prog, P), P.body(),
+                 P.relEnsuresClause() ? P.relEnsuresClause()
+                                      : L.Ctx->trueExpr());
+    Vcs += RG.take().VCs.size();
+  }
+  return Vcs;
+}
+
+void BM_VcGen_ModularCalls(benchmark::State &State) {
+  Loaded L = loadSource(modularCallProgram(State.range(0)));
+  if (!L.Prog) {
+    State.SkipWithError(L.skipReason());
+    return;
+  }
+  size_t Vcs = 0;
+  for (auto _ : State) {
+    Vcs = genAllProcedures(L);
+    benchmark::DoNotOptimize(Vcs);
+  }
+  State.counters["vcs"] = static_cast<double>(Vcs);
+  State.counters["vcs_per_call"] =
+      static_cast<double>(Vcs) / static_cast<double>(State.range(0));
+}
+
+void BM_VcGen_InlinedCalls(benchmark::State &State) {
+  Loaded L = loadSource(inlinedCallProgram(State.range(0)));
+  if (!L.Prog) {
+    State.SkipWithError(L.skipReason());
+    return;
+  }
+  size_t Vcs = 0;
+  for (auto _ : State) {
+    Vcs = genAllProcedures(L);
+    benchmark::DoNotOptimize(Vcs);
+  }
+  State.counters["vcs"] = static_cast<double>(Vcs);
+  State.counters["vcs_per_call"] =
+      static_cast<double>(Vcs) / static_cast<double>(State.range(0));
+}
+
 } // namespace
 
 BENCHMARK(BM_VcGen_Original)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 BENCHMARK(BM_VcGen_Relational)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 BENCHMARK(BM_VcGen_NestedLoops)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+BENCHMARK(BM_VcGen_ModularCalls)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_VcGen_InlinedCalls)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
 BENCHMARK_MAIN();

@@ -440,6 +440,13 @@ const Stmt *AstContext::relate(Symbol Label, const BoolExpr *Pred,
   return Mem.make<RelateStmt>(Label, Pred, Loc);
 }
 
+const Stmt *AstContext::call(Symbol Callee,
+                             const std::vector<const Expr *> &Args,
+                             SourceLoc Loc) {
+  const Expr **Copy = Mem.copyArray(Args.data(), Args.size());
+  return Mem.make<CallStmt>(Callee, Copy, Args.size(), Loc);
+}
+
 const Stmt *AstContext::seq(const Stmt *First, const Stmt *Second,
                             SourceLoc Loc) {
   return Mem.make<SeqStmt>(First, Second, Loc);

@@ -227,6 +227,12 @@ public:
   const Stmt *relate(std::string_view Label, const BoolExpr *Pred) {
     return relate(sym(Label), Pred);
   }
+  const Stmt *call(Symbol Callee, const std::vector<const Expr *> &Args,
+                   SourceLoc Loc = SourceLoc());
+  const Stmt *call(std::string_view Callee,
+                   const std::vector<const Expr *> &Args = {}) {
+    return call(sym(Callee), Args);
+  }
   const Stmt *seq(const Stmt *First, const Stmt *Second,
                   SourceLoc Loc = SourceLoc());
   /// Right-nested sequence of a statement list; seq({}) == skip.

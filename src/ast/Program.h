@@ -1,4 +1,4 @@
-//===- Program.h - Top-level program container --------------------*- C++ -*-===//
+//===- Program.h - Top-level module container ---------------------*- C++ -*-===//
 //
 // Part of the relaxc project: a verifier for relaxed nondeterministic
 // approximate programs (Carbin et al., PLDI 2012).
@@ -6,10 +6,18 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A Program packages the statement under verification with its variable
-/// declarations and its contracts: the unary pre/postcondition for the
-/// axiomatic original semantics |-o {P} s {Q} and the relational
-/// pre/postcondition for the axiomatic relaxed semantics |-r {P*} s {Q*}.
+/// A Program is a *module*: a set of global variable declarations shared by
+/// a list of named procedures, each carrying its own statement body and its
+/// own contracts — the unary pre/postcondition for the axiomatic original
+/// semantics |-o {P} s {Q} and the relational pre/postcondition for the
+/// axiomatic relaxed semantics |-r {P*} s {Q*} — plus a `modifies` frame
+/// bounding the global state a call to it may change.
+///
+/// One procedure is the *entry* (`main`). The classic single-body form of
+/// the paper is the degenerate module: a bare body with top-level contracts
+/// parses (and prints) as an implicit `main` with no parameters, so the
+/// legacy builder surface (`setBody`, `setRequires`, ...) still works — it
+/// reads and writes the entry procedure.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,12 +39,86 @@ struct VarDecl {
   SourceLoc Loc;
 };
 
-/// A complete annotated program.
+/// One formal parameter of a procedure: integer-valued, bound by value at
+/// the call site, and immutable inside the body (so an `ensures` clause
+/// mentioning it always denotes the argument's value at the call).
+struct ProcParam {
+  Symbol Name;
+  SourceLoc Loc;
+};
+
+/// A named procedure: formal parameters, a `modifies` frame over the
+/// module's globals, the four contract clauses, and a body.
+class Procedure {
+public:
+  /// The procedure's name; invalid for an implicit (legacy) entry, which
+  /// reports as "main".
+  Symbol name() const { return Name; }
+  SourceLoc loc() const { return Loc; }
+
+  const std::vector<ProcParam> &params() const { return Params; }
+  bool hasParam(Symbol S) const {
+    for (const ProcParam &P : Params)
+      if (P.Name == S)
+        return true;
+    return false;
+  }
+  void addParam(Symbol Name, SourceLoc ParamLoc = SourceLoc()) {
+    Params.push_back(ProcParam{Name, ParamLoc});
+  }
+
+  /// Installs an explicit `modifies` frame (may be empty: a pure
+  /// procedure).
+  void setModifiesClause(std::vector<Symbol> Frame) {
+    Modifies = std::move(Frame);
+    HasModifies = true;
+  }
+
+  /// The explicit `modifies` clause, in source order. Only meaningful when
+  /// hasModifiesClause(); without one the effective frame is computed from
+  /// the body (see effectiveModifies in sema/Sema.h).
+  const std::vector<Symbol> &modifiesClause() const { return Modifies; }
+  bool hasModifiesClause() const { return HasModifies; }
+
+  void setBody(const Stmt *S) { Body = S; }
+  const Stmt *body() const { return Body; }
+
+  /// Unary contract {P} s {Q}; null components mean `true`.
+  void setRequires(const BoolExpr *P) { RequiresClause = P; }
+  void setEnsures(const BoolExpr *Q) { EnsuresClause = Q; }
+  const BoolExpr *requiresClause() const { return RequiresClause; }
+  const BoolExpr *ensuresClause() const { return EnsuresClause; }
+
+  /// Relational contract {P*} s {Q*}; null components mean `true` for the
+  /// postcondition. A null relational precondition means "both executions
+  /// agree on every global and every parameter, and both satisfy the unary
+  /// precondition"; the verifier materializes it on demand.
+  void setRelRequires(const BoolExpr *P) { RelRequiresClause = P; }
+  void setRelEnsures(const BoolExpr *Q) { RelEnsuresClause = Q; }
+  const BoolExpr *relRequiresClause() const { return RelRequiresClause; }
+  const BoolExpr *relEnsuresClause() const { return RelEnsuresClause; }
+
+private:
+  friend class Program;
+  Symbol Name; ///< invalid for the implicit legacy entry
+  SourceLoc Loc;
+  std::vector<ProcParam> Params;
+  std::vector<Symbol> Modifies;
+  bool HasModifies = false;
+  const Stmt *Body = nullptr;
+  const BoolExpr *RequiresClause = nullptr;
+  const BoolExpr *EnsuresClause = nullptr;
+  const BoolExpr *RelRequiresClause = nullptr;
+  const BoolExpr *RelEnsuresClause = nullptr;
+};
+
+/// A complete annotated module.
 class Program {
 public:
   Program() = default;
 
-  /// Adds a declaration. Returns false when \p Name was already declared.
+  /// Adds a global declaration. Returns false when \p Name was already
+  /// declared.
   bool declare(Symbol Name, VarKind Kind, SourceLoc Loc = SourceLoc()) {
     if (KindMap.count(Name))
       return false;
@@ -57,34 +139,103 @@ public:
 
   bool isDeclared(Symbol Name) const { return KindMap.count(Name) != 0; }
 
-  void setBody(const Stmt *S) { Body = S; }
-  const Stmt *body() const { return Body; }
+  //===--------------------------------------------------------------------===//
+  // Procedures
+  //===--------------------------------------------------------------------===//
 
-  /// Unary contract {P} s {Q}; null components mean `true`.
-  void setRequires(const BoolExpr *P) { RequiresClause = P; }
-  void setEnsures(const BoolExpr *Q) { EnsuresClause = Q; }
-  const BoolExpr *requiresClause() const { return RequiresClause; }
-  const BoolExpr *ensuresClause() const { return EnsuresClause; }
+  /// Appends a named procedure. Returns null when the name is already
+  /// taken (including by an explicitly named entry).
+  Procedure *addProcedure(Symbol Name, SourceLoc Loc = SourceLoc()) {
+    for (const Procedure &P : Procs)
+      if (P.Name.isValid() && P.Name == Name)
+        return nullptr;
+    Procs.emplace_back();
+    Procs.back().Name = Name;
+    Procs.back().Loc = Loc;
+    return &Procs.back();
+  }
 
-  /// Relational contract {P*} s {Q*}; null components mean `true` for the
-  /// postcondition. A null relational precondition means "all declared
-  /// variables agree between the original and relaxed executions", the
-  /// canonical starting relation (both executions start from the same
-  /// state); the verifier materializes it on demand.
-  void setRelRequires(const BoolExpr *P) { RelRequiresClause = P; }
-  void setRelEnsures(const BoolExpr *Q) { RelEnsuresClause = Q; }
-  const BoolExpr *relRequiresClause() const { return RelRequiresClause; }
-  const BoolExpr *relEnsuresClause() const { return RelEnsuresClause; }
+  /// All procedures in declaration order (the entry included, last when it
+  /// came from the legacy bare-body form).
+  const std::vector<Procedure> &procedures() const { return Procs; }
+  std::vector<Procedure> &procedures() { return Procs; }
+
+  /// Looks up a procedure by name (never finds an implicit unnamed entry).
+  const Procedure *procedure(Symbol Name) const {
+    for (const Procedure &P : Procs)
+      if (P.Name.isValid() && P.Name == Name)
+        return &P;
+    return nullptr;
+  }
+
+  /// Marks \p Index as the entry procedure (`proc main()` syntax).
+  void setEntryIndex(size_t Index) { EntryIndex = Index; }
+
+  /// The entry procedure, or null when no body/entry was ever provided.
+  const Procedure *entry() const {
+    if (EntryIndex < Procs.size())
+      return &Procs[EntryIndex];
+    return nullptr;
+  }
+  bool isEntry(const Procedure &P) const {
+    return EntryIndex < Procs.size() && &Procs[EntryIndex] == &P;
+  }
+
+  /// True when the module used explicit `proc` syntax (or the builder
+  /// added named procedures); false for the legacy single-body form, which
+  /// the printer reproduces byte-for-byte.
+  bool isExplicitModule() const {
+    return Procs.size() > 1 || (entry() && entry()->name().isValid());
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Legacy single-body surface: reads/writes the entry procedure,
+  // materializing an implicit unnamed `main` on first write.
+  //===--------------------------------------------------------------------===//
+
+  void setBody(const Stmt *S) { entryMutable().setBody(S); }
+  const Stmt *body() const { return entry() ? entry()->body() : nullptr; }
+
+  void setRequires(const BoolExpr *P) { entryMutable().setRequires(P); }
+  void setEnsures(const BoolExpr *Q) { entryMutable().setEnsures(Q); }
+  const BoolExpr *requiresClause() const {
+    return entry() ? entry()->requiresClause() : nullptr;
+  }
+  const BoolExpr *ensuresClause() const {
+    return entry() ? entry()->ensuresClause() : nullptr;
+  }
+
+  void setRelRequires(const BoolExpr *P) { entryMutable().setRelRequires(P); }
+  void setRelEnsures(const BoolExpr *Q) { entryMutable().setRelEnsures(Q); }
+  const BoolExpr *relRequiresClause() const {
+    return entry() ? entry()->relRequiresClause() : nullptr;
+  }
+  const BoolExpr *relEnsuresClause() const {
+    return entry() ? entry()->relEnsuresClause() : nullptr;
+  }
 
 private:
+  /// The entry for the legacy mutators, created unnamed on first use.
+  Procedure &entryMutable() {
+    if (EntryIndex >= Procs.size()) {
+      EntryIndex = Procs.size();
+      Procs.emplace_back();
+    }
+    return Procs[EntryIndex];
+  }
+
   std::vector<VarDecl> Decls;
   std::unordered_map<Symbol, VarKind> KindMap;
-  const Stmt *Body = nullptr;
-  const BoolExpr *RequiresClause = nullptr;
-  const BoolExpr *EnsuresClause = nullptr;
-  const BoolExpr *RelRequiresClause = nullptr;
-  const BoolExpr *RelEnsuresClause = nullptr;
+  std::vector<Procedure> Procs;
+  size_t EntryIndex = static_cast<size_t>(-1);
 };
+
+/// The display name of a procedure: its identifier, or "main" for the
+/// implicit legacy entry. \p Syms must be the interner that produced it.
+inline std::string procDisplayName(const Procedure &P, const Interner &Syms) {
+  return P.name().isValid() ? std::string(Syms.text(P.name()))
+                            : std::string("main");
+}
 
 } // namespace relax
 

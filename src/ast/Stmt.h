@@ -97,6 +97,7 @@ public:
     Assume,
     Assert,
     Relate,
+    Call,
     Seq,
   };
 
@@ -300,6 +301,31 @@ public:
 private:
   Symbol Label;
   const BoolExpr *Pred;
+};
+
+/// `call f(e1, ..., en)`: procedure invocation. Arguments are integer
+/// program expressions bound by value to the callee's (immutable) formal
+/// parameters; all other state flows through the module's global variables,
+/// bounded by the callee's `modifies` frame. The VC generators never inline
+/// the callee — they instantiate its contract (assert `requires`, havoc the
+/// frame, assume `ensures` / the relational contract), so a procedure
+/// called N times pays one body verification plus N summary instantiations.
+class CallStmt : public Stmt {
+public:
+  CallStmt(Symbol Callee, const Expr *const *Args, size_t NumArgs,
+           SourceLoc Loc)
+      : Stmt(Kind::Call, Loc), Callee(Callee), Args(Args), NumArgs(NumArgs) {}
+
+  Symbol callee() const { return Callee; }
+  size_t argCount() const { return NumArgs; }
+  const Expr *arg(size_t I) const { return Args[I]; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Call; }
+
+private:
+  Symbol Callee;
+  const Expr *const *Args; ///< arena-owned array
+  size_t NumArgs;
 };
 
 /// Sequential composition `s1 ; s2`.

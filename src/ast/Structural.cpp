@@ -207,6 +207,15 @@ bool relax::structurallyEqual(const Stmt *A, const Stmt *B) {
     return RA->label() == RB->label() &&
            structurallyEqual(RA->pred(), RB->pred());
   }
+  case Stmt::Kind::Call: {
+    const auto *CA = cast<CallStmt>(A), *CB = cast<CallStmt>(B);
+    if (CA->callee() != CB->callee() || CA->argCount() != CB->argCount())
+      return false;
+    for (size_t I = 0, E = CA->argCount(); I != E; ++I)
+      if (!structurallyEqual(CA->arg(I), CB->arg(I)))
+        return false;
+    return true;
+  }
   case Stmt::Kind::Seq: {
     const auto *QA = cast<SeqStmt>(A), *QB = cast<SeqStmt>(B);
     return structurallyEqual(QA->first(), QB->first()) &&
@@ -216,6 +225,24 @@ bool relax::structurallyEqual(const Stmt *A, const Stmt *B) {
   return false;
 }
 
+bool relax::structurallyEqual(const Procedure &A, const Procedure &B) {
+  if (A.name() != B.name())
+    return false;
+  if (A.params().size() != B.params().size())
+    return false;
+  for (size_t I = 0, E = A.params().size(); I != E; ++I)
+    if (A.params()[I].Name != B.params()[I].Name)
+      return false;
+  if (A.hasModifiesClause() != B.hasModifiesClause() ||
+      A.modifiesClause() != B.modifiesClause())
+    return false;
+  return eqOpt(A.requiresClause(), B.requiresClause()) &&
+         eqOpt(A.ensuresClause(), B.ensuresClause()) &&
+         eqOpt(A.relRequiresClause(), B.relRequiresClause()) &&
+         eqOpt(A.relEnsuresClause(), B.relEnsuresClause()) &&
+         structurallyEqual(A.body(), B.body());
+}
+
 bool relax::structurallyEqual(const Program &A, const Program &B) {
   if (A.decls().size() != B.decls().size())
     return false;
@@ -223,11 +250,15 @@ bool relax::structurallyEqual(const Program &A, const Program &B) {
     if (A.decls()[I].Name != B.decls()[I].Name ||
         A.decls()[I].Kind != B.decls()[I].Kind)
       return false;
-  return eqOpt(A.requiresClause(), B.requiresClause()) &&
-         eqOpt(A.ensuresClause(), B.ensuresClause()) &&
-         eqOpt(A.relRequiresClause(), B.relRequiresClause()) &&
-         eqOpt(A.relEnsuresClause(), B.relEnsuresClause()) &&
-         structurallyEqual(A.body(), B.body());
+  if (A.procedures().size() != B.procedures().size())
+    return false;
+  for (size_t I = 0, E = A.procedures().size(); I != E; ++I) {
+    if (A.isEntry(A.procedures()[I]) != B.isEntry(B.procedures()[I]))
+      return false;
+    if (!structurallyEqual(A.procedures()[I], B.procedures()[I]))
+      return false;
+  }
+  return true;
 }
 
 uint64_t relax::structuralHash(const Expr *E) {
@@ -401,6 +432,13 @@ uint64_t relax::structuralHash(const Stmt *S) {
     H = hashCombine(H, R->label().id());
     return hashCombine(H, structuralHash(R->pred()));
   }
+  case Stmt::Kind::Call: {
+    const auto *C = cast<CallStmt>(S);
+    H = hashCombine(H, C->callee().id());
+    for (size_t I = 0, E = C->argCount(); I != E; ++I)
+      H = hashCombine(H, structuralHash(C->arg(I)));
+    return H;
+  }
   case Stmt::Kind::Seq: {
     const auto *Q = cast<SeqStmt>(S);
     H = hashCombine(H, structuralHash(Q->first()));
@@ -410,15 +448,30 @@ uint64_t relax::structuralHash(const Stmt *S) {
   return H;
 }
 
+uint64_t relax::structuralHash(const Procedure &P) {
+  uint64_t H = hashMix(607);
+  H = hashCombine(H, P.name().id());
+  for (const ProcParam &Par : P.params())
+    H = hashCombine(H, Par.Name.id());
+  H = hashCombine(H, P.hasModifiesClause() ? 1 : 0);
+  for (Symbol M : P.modifiesClause())
+    H = hashCombine(H, M.id());
+  H = hashCombine(H, hashOpt(P.requiresClause()));
+  H = hashCombine(H, hashOpt(P.ensuresClause()));
+  H = hashCombine(H, hashOpt(P.relRequiresClause()));
+  H = hashCombine(H, hashOpt(P.relEnsuresClause()));
+  return hashCombine(H, P.body() ? structuralHash(P.body()) : 5);
+}
+
 uint64_t relax::structuralHash(const Program &P) {
   uint64_t H = hashMix(601);
   for (const VarDecl &D : P.decls()) {
     H = hashCombine(H, D.Name.id());
     H = hashCombine(H, static_cast<uint64_t>(D.Kind));
   }
-  H = hashCombine(H, hashOpt(P.requiresClause()));
-  H = hashCombine(H, hashOpt(P.ensuresClause()));
-  H = hashCombine(H, hashOpt(P.relRequiresClause()));
-  H = hashCombine(H, hashOpt(P.relEnsuresClause()));
-  return hashCombine(H, P.body() ? structuralHash(P.body()) : 5);
+  for (const Procedure &Proc : P.procedures()) {
+    H = hashCombine(H, P.isEntry(Proc) ? 2 : 1);
+    H = hashCombine(H, structuralHash(Proc));
+  }
+  return H;
 }

@@ -42,11 +42,13 @@ bool structurallyEqual(const Stmt *A, const Stmt *B);
 bool structurallyEqual(const LoopAnnotations *A, const LoopAnnotations *B);
 bool structurallyEqual(const DivergeAnnotation *A, const DivergeAnnotation *B);
 
-/// Whole-program structural equality: declarations (names, kinds, order),
-/// all four contract clauses, and the body. This is what "parse, print,
-/// re-parse yields the same program" means for the golden-file round-trip
-/// tests: re-parsing the printed form in the same context must reproduce
-/// every formula pointer and an isomorphic statement tree.
+/// Whole-module structural equality: declarations (names, kinds, order)
+/// and every procedure — name, parameters, modifies frame, all four
+/// contract clauses, body, and entry designation. This is what "parse,
+/// print, re-parse yields the same program" means for the golden-file
+/// round-trip tests: re-parsing the printed form in the same context must
+/// reproduce every formula pointer and an isomorphic statement tree.
+bool structurallyEqual(const Procedure &A, const Procedure &B);
 bool structurallyEqual(const Program &A, const Program &B);
 
 /// Deterministic structural hash (stable across runs and platforms).
@@ -55,9 +57,11 @@ uint64_t structuralHash(const Expr *E);
 uint64_t structuralHash(const ArrayExpr *A);
 uint64_t structuralHash(const BoolExpr *B);
 
-/// Statement/program structural hashes, built on the inline formula hashes.
-/// Agree with the equalities above: equal values hash equally.
+/// Statement/procedure/program structural hashes, built on the inline
+/// formula hashes. Agree with the equalities above: equal values hash
+/// equally.
 uint64_t structuralHash(const Stmt *S);
+uint64_t structuralHash(const Procedure &P);
 uint64_t structuralHash(const Program &P);
 
 /// Seed mixed into variable hashes per execution tag. Shared between the

@@ -35,6 +35,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -104,11 +105,14 @@ void printUsage() {
       "                            --pipeline=simplify,bounded,z3)\n"
       "  --bounded-steps=<n>       per-query quantifier-step budget of the\n"
       "                            budgeted bounded tier (default 200000)\n"
-      "  --explain=<o:N|r:N>       after `verify`, print obligation N of\n"
-      "                            the |-o / |-r pass: provenance, formula,\n"
-      "                            and which tier settled it\n"
-      "  --solver-stats            print per-tier settled/escalated counts\n"
-      "                            and cache/work counters after `verify`\n"
+      "  --explain=<o:N|r:N|proc:name>\n"
+      "                            after `verify`, print obligation N of\n"
+      "                            the |-o / |-r pass (provenance, formula,\n"
+      "                            and which tier settled it), or list every\n"
+      "                            obligation of one procedure's summaries\n"
+      "  --solver-stats            print per-tier settled/escalated counts,\n"
+      "                            cache/work counters, and per-procedure\n"
+      "                            obligation counts after `verify`\n"
       "  --oracle=<solver|random|identity>\n"
       "                            havoc/relax resolution strategy\n"
       "  --semantics=<original|relaxed>   for `run` (default relaxed)\n"
@@ -427,11 +431,76 @@ void printSolverStats(const CliOptions &Opts,
   std::printf("  scheduler: %llu stolen tasks\n", U(S.StolenTasks));
 }
 
+/// Prints the `--solver-stats` per-procedure obligation counts: how many
+/// obligations each procedure's summaries contributed to each pass. With
+/// summary-based generation a procedure called N times still shows up
+/// exactly once here; only cheap instantiation VCs accrue to its callers.
+void printProcObligations(const VerifyReport &Report) {
+  std::vector<std::string> Order;
+  std::map<std::string, std::pair<size_t, size_t>> Counts;
+  auto Tally = [&](const JudgmentReport &J, bool Relaxed) {
+    for (const VCOutcome &O : J.Outcomes) {
+      std::string Name =
+          O.Condition.Proc.empty() ? std::string("main") : O.Condition.Proc;
+      auto [It, New] = Counts.try_emplace(Name, 0, 0);
+      if (New)
+        Order.push_back(Name);
+      ++(Relaxed ? It->second.second : It->second.first);
+    }
+  };
+  Tally(Report.Original, false);
+  Tally(Report.Relaxed, true);
+  std::printf("  obligations by procedure:\n");
+  for (const std::string &Name : Order)
+    std::printf("    %s: %zu |-o, %zu |-r\n", Name.c_str(),
+                Counts[Name].first, Counts[Name].second);
+}
+
+/// Lists every obligation of one procedure's summary verifications
+/// (`--explain=proc:<name>`). Returns false (usage-error discipline) when
+/// the name is empty or names no obligation of this run.
+bool printExplainProc(const VerifyReport &Report, const std::string &Name) {
+  if (Name.empty()) {
+    std::fprintf(stderr, "relaxc: error: bad --explain filter: empty "
+                         "procedure name (expected proc:<name>)\n");
+    return false;
+  }
+  size_t Shown = 0;
+  auto DumpPass = [&](const JudgmentReport &Pass, char Prefix) {
+    for (const VCOutcome &O : Pass.Outcomes) {
+      if (O.Condition.Proc != Name)
+        continue;
+      ++Shown;
+      std::printf("  [%s] %c:%u %s (%s)", vcStatusName(O.Status), Prefix,
+                  O.Condition.Id, O.Condition.Rule.c_str(),
+                  judgmentKindName(O.Condition.Judgment));
+      if (O.Condition.Loc.isValid())
+        std::printf(" at line %u", O.Condition.Loc.Line);
+      std::printf(": %s\n", O.Condition.Description.c_str());
+    }
+  };
+  std::printf("== obligations of procedure '%s' ==\n", Name.c_str());
+  DumpPass(Report.Original, 'o');
+  DumpPass(Report.Relaxed, 'r');
+  if (Shown == 0) {
+    std::fprintf(stderr,
+                 "relaxc: error: no obligations for procedure '%s' in "
+                 "this run\n",
+                 Name.c_str());
+    return false;
+  }
+  std::printf("  %zu obligation(s)\n", Shown);
+  return true;
+}
+
 /// Prints one obligation's provenance and how it was settled
-/// (`--explain=<o:N|r:N>`). Returns false when the id does not parse or
+/// (`--explain=<o:N|r:N>`), or a per-procedure listing for
+/// `--explain=proc:<name>`. Returns false when the id does not parse or
 /// name an obligation of this run.
 bool printExplain(const VerifyReport &Report, const std::string &Id,
                   const AstContext &Ctx) {
+  if (Id.rfind("proc:", 0) == 0)
+    return printExplainProc(Report, Id.substr(5));
   const JudgmentReport *Pass = nullptr;
   const char *PassName = nullptr;
   uint64_t N = 0;
@@ -442,8 +511,8 @@ bool printExplain(const VerifyReport &Report, const std::string &Id,
   }
   if (!Pass) {
     std::fprintf(stderr,
-                 "relaxc: error: bad --explain id '%s' (expected o:<n> "
-                 "or r:<n>)\n",
+                 "relaxc: error: bad --explain id '%s' (expected o:<n>, "
+                 "r:<n>, or proc:<name>)\n",
                  Id.c_str());
     return false;
   }
@@ -467,6 +536,8 @@ bool printExplain(const VerifyReport &Report, const std::string &Id,
               PassName);
   std::printf("  rule:        %s (%s obligation)\n", C.Rule.c_str(),
               C.Kind == VCKind::Validity ? "validity" : "satisfiability");
+  if (!C.Proc.empty())
+    std::printf("  procedure:   %s\n", C.Proc.c_str());
   if (C.Loc.isValid())
     std::printf("  source:      line %u\n", C.Loc.Line);
   std::printf("  description: %s\n", C.Description.c_str());
@@ -750,6 +821,7 @@ int runVerify(const CliOptions &Opts, AstContext &Ctx, Program &Prog,
   std::printf("%s", renderReport(Report, Ctx.symbols(), Opts.Verbose).c_str());
   if (Opts.SolverStats) {
     printSolverStats(Opts, Tiers, Stats, Cached, PCache.get());
+    printProcObligations(Report);
     if (Pool) {
       ShardPool::Stats PS = Pool->stats();
       std::printf("  shard pool: %u workers, %llu requests, %llu respawns;"
@@ -862,7 +934,8 @@ int runMonitor(const CliOptions &Opts, AstContext &Ctx, Program &Prog,
 int runDumpVCs(const CliOptions &Opts, AstContext &Ctx, Program &Prog,
                DiagnosticEngine &Diags) {
   Sema SemaPass(Prog, Diags);
-  if (!SemaPass.run()) {
+  auto Info = SemaPass.run();
+  if (!Info) {
     std::fprintf(stderr, "%s", Diags.render().c_str());
     return 1;
   }
@@ -870,32 +943,52 @@ int runDumpVCs(const CliOptions &Opts, AstContext &Ctx, Program &Prog,
   GO.CheckSafety = !Opts.NoSafety;
   Printer P(Ctx.symbols());
 
-  const BoolExpr *Pre =
-      Prog.requiresClause() ? Prog.requiresClause() : Ctx.trueExpr();
-  const BoolExpr *Post =
-      Prog.ensuresClause() ? Prog.ensuresClause() : Ctx.trueExpr();
-  UnaryVCGen OGen(Ctx, Prog, JudgmentKind::Original, Diags, GO);
-  OGen.genTriple(Pre, Prog.body(), Post);
-  VCSet OSet = OGen.take();
+  // Mirror the Verifier's modular passes: one summary verification per
+  // procedure, in declaration order, so dumped ids match `--explain`.
+  VCSet OSet;
+  for (const Procedure &Proc : Prog.procedures()) {
+    UnaryVCGen OGen(Ctx, Prog, JudgmentKind::Original, Diags, GO);
+    OGen.setProcName(procDisplayName(Proc, Ctx.symbols()));
+    OGen.genTriple(Proc.requiresClause() ? Proc.requiresClause()
+                                         : Ctx.trueExpr(),
+                   Proc.body(),
+                   Proc.ensuresClause() ? Proc.ensuresClause()
+                                        : Ctx.trueExpr());
+    OSet.append(OGen.take());
+  }
 
-  std::unique_ptr<Solver> Backend = makeSolver(Opts, Ctx);
-  CachingSolver Cached(*Backend);
-  Verifier V(Ctx, Prog, Cached, Diags);
-  RelationalVCGen RGen(Ctx, Prog, Diags, GO);
-  RGen.genTriple(V.effectiveRelRequires(), Prog.body(),
-                 Prog.relEnsuresClause() ? Prog.relEnsuresClause()
-                                         : Ctx.trueExpr());
-  VCSet RSet = RGen.take();
+  VCSet RSet;
+  for (const Procedure &Proc : Prog.procedures()) {
+    std::string Name = procDisplayName(Proc, Ctx.symbols());
+    if (Info->needsIntermediate(Proc)) {
+      UnaryVCGen IGen(Ctx, Prog, JudgmentKind::Intermediate, Diags, GO);
+      IGen.setProcName(Name);
+      IGen.genTriple(Proc.requiresClause() ? Proc.requiresClause()
+                                           : Ctx.trueExpr(),
+                     Proc.body(),
+                     Proc.ensuresClause() ? Proc.ensuresClause()
+                                          : Ctx.trueExpr());
+      RSet.append(IGen.take());
+    }
+    RelationalVCGen RGen(Ctx, Prog, Diags, GO);
+    RGen.setProcName(Name);
+    RGen.genTriple(effectiveRelRequires(Ctx, Prog, Proc), Proc.body(),
+                   Proc.relEnsuresClause() ? Proc.relEnsuresClause()
+                                           : Ctx.trueExpr());
+    RSet.append(RGen.take());
+  }
 
   Z3Solver SmtPrinter(Ctx.symbols());
   auto Dump = [&](const char *Title, const VCSet &Set) {
     std::printf("== %s: %zu VCs ==\n", Title, Set.VCs.size());
     for (const VC &C : Set.VCs) {
-      std::printf("[%s/%s] %s (line %u): %s\n  %s\n",
+      std::string ProcPrefix =
+          !C.Proc.empty() && C.Proc != "main" ? C.Proc + ": " : "";
+      std::printf("[%s/%s] %s%s (line %u): %s\n  %s\n",
                   judgmentKindName(C.Judgment),
                   C.Kind == VCKind::Validity ? "valid" : "sat",
-                  C.Rule.c_str(), C.Loc.Line, C.Description.c_str(),
-                  P.print(C.Formula).c_str());
+                  ProcPrefix.c_str(), C.Rule.c_str(), C.Loc.Line,
+                  C.Description.c_str(), P.print(C.Formula).c_str());
       if (Opts.SmtLib) {
         // Validity VCs are emitted negated, so `unsat` means proved —
         // the conventional SMT-LIB phrasing of a proof obligation.

@@ -11,6 +11,7 @@
 #include "support/Casting.h"
 
 #include <cassert>
+#include <optional>
 
 using namespace relax;
 
@@ -222,9 +223,20 @@ Outcome Interp::runStmt(SemanticsMode RunMode, const Stmt *S,
                                      std::string(Syms.text(D.Name)) +
                                      "' with the wrong kind");
   }
+  // Beyond the declared globals, tolerate integer bindings for procedure
+  // parameters: the proof checker validates derivation steps from inside
+  // procedure bodies, where parameters occur free.
   if (Initial.size() != Prog.decls().size())
-    return stuckOutcome(SourceLoc(),
-                        "initial state binds undeclared variables");
+    for (const auto &[Name, V] : Initial) {
+      if (Prog.kindOf(Name))
+        continue;
+      bool IsParam = false;
+      for (const Procedure &P : Prog.procedures())
+        IsParam |= P.hasParam(Name);
+      if (!IsParam || !V.isInt())
+        return stuckOutcome(SourceLoc(),
+                            "initial state binds undeclared variables");
+    }
 
   return evalStmt(S, Initial);
 }
@@ -399,6 +411,44 @@ Outcome Interp::evalStmt(const Stmt *S, State Sigma) {
     O.Observations.push_back(Observation{R->label(), Sigma});
     O.FinalState = std::move(Sigma);
     return O;
+  }
+  case Stmt::Kind::Call: {
+    const auto *C = cast<CallStmt>(S);
+    const Procedure *Callee = Prog.procedure(C->callee());
+    if (!Callee || !Callee->body())
+      return stuckOutcome(S->loc(), "call to undefined procedure");
+    if (Callee->params().size() != C->argCount())
+      return stuckOutcome(S->loc(), "wrong number of arguments in call");
+    // All arguments evaluate in the caller's state before any parameter
+    // binds, so a callee parameter sharing a caller parameter's name
+    // cannot capture an argument expression.
+    std::vector<int64_t> ArgVals;
+    ArgVals.reserve(C->argCount());
+    for (size_t I = 0, E = C->argCount(); I != E; ++I) {
+      auto V = evalDynExpr(C->arg(I), Sigma);
+      if (V.Trapped)
+        return wrOutcome(V.TrapLoc, "runtime trap: " + V.TrapReason);
+      ArgVals.push_back(V.Val);
+    }
+    std::vector<std::pair<Symbol, std::optional<Value>>> Saved;
+    Saved.reserve(C->argCount());
+    for (size_t I = 0, E = C->argCount(); I != E; ++I) {
+      Symbol P = Callee->params()[I].Name;
+      auto It = Sigma.find(P);
+      Saved.emplace_back(P, It == Sigma.end()
+                                ? std::nullopt
+                                : std::optional<Value>(It->second));
+      Sigma[P] = Value(ArgVals[I]);
+    }
+    Outcome Body = evalStmt(Callee->body(), std::move(Sigma));
+    if (Body.ok())
+      for (auto It = Saved.rbegin(); It != Saved.rend(); ++It) {
+        if (It->second)
+          Body.FinalState[It->first] = *It->second;
+        else
+          Body.FinalState.erase(It->first);
+      }
+    return Body;
   }
   case Stmt::Kind::Seq: {
     const auto *Q = cast<SeqStmt>(S);

@@ -649,3 +649,19 @@ const BoolExpr *relax::identityRelation(AstContext &Ctx, const Program &P) {
   }
   return Ctx.conj(Parts);
 }
+
+const BoolExpr *relax::effectiveRelRequires(AstContext &Ctx, const Program &P,
+                                            const Procedure &Proc) {
+  if (Proc.relRequiresClause())
+    return Proc.relRequiresClause();
+  std::vector<const BoolExpr *> Parts;
+  Parts.push_back(identityRelation(Ctx, P));
+  for (const ProcParam &Param : Proc.params())
+    Parts.push_back(Ctx.eq(Ctx.var(Param.Name, VarTag::Orig),
+                           Ctx.var(Param.Name, VarTag::Rel)));
+  if (const BoolExpr *Req = Proc.requiresClause()) {
+    Parts.push_back(inject(Ctx, Req, VarTag::Orig));
+    Parts.push_back(inject(Ctx, Req, VarTag::Rel));
+  }
+  return Ctx.conj(Parts);
+}

@@ -123,6 +123,14 @@ const BoolExpr *pairPredicate(AstContext &Ctx, const BoolExpr *P1,
 /// state.
 const BoolExpr *identityRelation(AstContext &Ctx, const Program &P);
 
+/// The effective relational precondition of \p Proc: its explicit
+/// `rrequires`, or the default — both executions agree on every global and
+/// every parameter of \p Proc, and both satisfy the unary `requires`.
+/// Whole-procedure verification and call-site summary instantiation must
+/// agree on this formula, so this is the single source for both.
+const BoolExpr *effectiveRelRequires(AstContext &Ctx, const Program &P,
+                                     const Procedure &Proc);
+
 } // namespace relax
 
 #endif // RELAXC_LOGIC_FORMULAOPS_H

@@ -84,6 +84,12 @@ const char *relax::tokenKindName(TokenKind Kind) {
     return "'true'";
   case TokenKind::KwFalse:
     return "'false'";
+  case TokenKind::KwProc:
+    return "'proc'";
+  case TokenKind::KwCall:
+    return "'call'";
+  case TokenKind::KwModifies:
+    return "'modifies'";
   case TokenKind::LParen:
     return "'('";
   case TokenKind::RParen:
@@ -178,6 +184,9 @@ const std::unordered_map<std::string_view, TokenKind> &keywordTable() {
       {"store", TokenKind::KwStore},
       {"true", TokenKind::KwTrue},
       {"false", TokenKind::KwFalse},
+      {"proc", TokenKind::KwProc},
+      {"call", TokenKind::KwCall},
+      {"modifies", TokenKind::KwModifies},
   };
   return Table;
 }

@@ -67,6 +67,9 @@ enum class TokenKind : uint8_t {
   KwStore,
   KwTrue,
   KwFalse,
+  KwProc,
+  KwCall,
+  KwModifies,
 
   // Punctuation and operators.
   LParen,

@@ -77,6 +77,31 @@ std::optional<Program> Parser::parseProgram() {
   Program P;
   if (!parseDecls(P))
     return std::nullopt;
+
+  // Zero or more named procedure definitions.
+  while (at(TokenKind::KwProc))
+    if (!parseProc(P))
+      return std::nullopt;
+
+  if (at(TokenKind::Eof)) {
+    // Pure-procedure module: the entry must have been `proc main()`.
+    if (!P.entry()) {
+      Diags.error(tok().Loc, "module has no entry: define 'proc main()' or "
+                             "a trailing bare body");
+      return std::nullopt;
+    }
+    if (Diags.hasErrors())
+      return std::nullopt;
+    return P;
+  }
+
+  // Trailing bare contracts + body: the implicit `main` of the legacy
+  // single-body form (also allowed after named procedures).
+  if (P.entry()) {
+    Diags.error(tok().Loc, "module already defines 'proc main()'; a "
+                           "trailing bare body is not allowed");
+    return std::nullopt;
+  }
   if (!parseContracts(P))
     return std::nullopt;
   const Stmt *Body = parseBlock();
@@ -86,6 +111,139 @@ std::optional<Program> Parser::parseProgram() {
     return std::nullopt;
   P.setBody(Body);
   return P;
+}
+
+bool Parser::parseProc(Program &P) {
+  assert(at(TokenKind::KwProc) && "caller checks");
+  SourceLoc Loc = consume().Loc;
+  if (!at(TokenKind::Identifier)) {
+    Diags.error(tok().Loc, "expected procedure name after 'proc'");
+    return false;
+  }
+  Token Name = consume();
+  if (Name.Tag != VarTag::Plain) {
+    Diags.error(Name.Loc, "procedure names are untagged");
+    return false;
+  }
+  Symbol S = Ctx.sym(Name.Text);
+  if (DeclKinds.count(S)) {
+    Diags.error(Name.Loc, "procedure name '" + std::string(Name.Text) +
+                              "' collides with a declared variable");
+    return false;
+  }
+  Procedure *Proc = P.addProcedure(S, Loc);
+  if (!Proc) {
+    Diags.error(Name.Loc,
+                "redefinition of procedure '" + std::string(Name.Text) + "'");
+    return false;
+  }
+  if (Name.Text == "main")
+    P.setEntryIndex(P.procedures().size() - 1);
+
+  // Formal parameters: `(int a, int b)`; integer-valued only, visible in
+  // the procedure's contracts and body.
+  size_t ScopeDepth = BinderScopes.size();
+  bool Ok = parseProcSignatureAndBody(P, *Proc);
+  BinderScopes.resize(ScopeDepth); // params go out of scope
+  return Ok;
+}
+
+bool Parser::parseProcSignatureAndBody(Program &P, Procedure &Proc) {
+  if (!expect(TokenKind::LParen))
+    return false;
+  if (!at(TokenKind::RParen)) {
+    do {
+      if (at(TokenKind::KwArray)) {
+        Diags.error(tok().Loc,
+                    "array parameters are not supported; pass arrays "
+                    "through module globals");
+        return false;
+      }
+      if (!expect(TokenKind::KwInt))
+        return false;
+      if (!at(TokenKind::Identifier)) {
+        Diags.error(tok().Loc, "expected parameter name");
+        return false;
+      }
+      Token Param = consume();
+      if (Param.Tag != VarTag::Plain) {
+        Diags.error(Param.Loc, "parameter names are untagged");
+        return false;
+      }
+      Symbol PS = Ctx.sym(Param.Text);
+      if (DeclKinds.count(PS)) {
+        Diags.error(Param.Loc, "parameter '" + std::string(Param.Text) +
+                                   "' shadows a global variable");
+        return false;
+      }
+      if (Proc.hasParam(PS)) {
+        Diags.error(Param.Loc, "duplicate parameter '" +
+                                   std::string(Param.Text) + "'");
+        return false;
+      }
+      Proc.addParam(PS, Param.Loc);
+      BinderScopes.emplace_back(PS, VarKind::Int);
+    } while (accept(TokenKind::Comma));
+  }
+  if (!expect(TokenKind::RParen))
+    return false;
+
+  // Optional `modifies (x, y)` frame over declared globals.
+  if (accept(TokenKind::KwModifies)) {
+    if (!expect(TokenKind::LParen))
+      return false;
+    std::vector<Symbol> Frame;
+    if (!at(TokenKind::RParen)) {
+      do {
+        if (!at(TokenKind::Identifier)) {
+          Diags.error(tok().Loc, "expected variable name in modifies clause");
+          return false;
+        }
+        Token Var = consume();
+        if (Var.Tag != VarTag::Plain) {
+          Diags.error(Var.Loc, "modifies clauses use untagged names");
+          return false;
+        }
+        Symbol VS = Ctx.sym(Var.Text);
+        if (!DeclKinds.count(VS)) {
+          Diags.error(Var.Loc, "modifies clause names undeclared variable '" +
+                                   std::string(Var.Text) + "'");
+          return false;
+        }
+        for (Symbol Seen : Frame)
+          if (Seen == VS) {
+            Diags.error(Var.Loc, "duplicate variable '" +
+                                     std::string(Var.Text) +
+                                     "' in modifies clause");
+            return false;
+          }
+        Frame.push_back(VS);
+      } while (accept(TokenKind::Comma));
+    }
+    if (!expect(TokenKind::RParen))
+      return false;
+    Proc.setModifiesClause(std::move(Frame));
+  }
+
+  const BoolExpr *Req = nullptr, *Ens = nullptr, *RReq = nullptr,
+                 *REns = nullptr;
+  if (!parseContractClauses(Req, Ens, RReq, REns))
+    return false;
+  if (Req)
+    Proc.setRequires(Req);
+  if (Ens)
+    Proc.setEnsures(Ens);
+  if (RReq)
+    Proc.setRelRequires(RReq);
+  if (REns)
+    Proc.setRelEnsures(REns);
+
+  const Stmt *Body = parseBlock();
+  if (!Body)
+    return false;
+  Proc.setBody(Body);
+  (void)P;
+  return true;
 }
 
 bool Parser::parseDecls(Program &P) {
@@ -116,7 +274,9 @@ bool Parser::parseDecls(Program &P) {
   return true;
 }
 
-bool Parser::parseContracts(Program &P) {
+bool Parser::parseContractClauses(const BoolExpr *&Req, const BoolExpr *&Ens,
+                                  const BoolExpr *&RReq,
+                                  const BoolExpr *&REns) {
   for (;;) {
     TokenKind K = tok().Kind;
     if (K != TokenKind::KwRequires && K != TokenKind::KwEnsures &&
@@ -128,21 +288,37 @@ bool Parser::parseContracts(Program &P) {
       return false;
     switch (Kw.Kind) {
     case TokenKind::KwRequires:
-      P.setRequires(F);
+      Req = F;
       break;
     case TokenKind::KwEnsures:
-      P.setEnsures(F);
+      Ens = F;
       break;
     case TokenKind::KwRRequires:
-      P.setRelRequires(F);
+      RReq = F;
       break;
     case TokenKind::KwREnsures:
-      P.setRelEnsures(F);
+      REns = F;
       break;
     default:
       break;
     }
   }
+}
+
+bool Parser::parseContracts(Program &P) {
+  const BoolExpr *Req = nullptr, *Ens = nullptr, *RReq = nullptr,
+                 *REns = nullptr;
+  if (!parseContractClauses(Req, Ens, RReq, REns))
+    return false;
+  if (Req)
+    P.setRequires(Req);
+  if (Ens)
+    P.setEnsures(Ens);
+  if (RReq)
+    P.setRelRequires(RReq);
+  if (REns)
+    P.setRelEnsures(REns);
+  return true;
 }
 
 //===----------------------------------------------------------------------===//
@@ -210,6 +386,33 @@ const Stmt *Parser::parseStmt() {
     if (!F || !expect(TokenKind::Semi))
       return nullptr;
     return Ctx.relate(Ctx.sym(Label.Text), F, Loc);
+  }
+  case TokenKind::KwCall: {
+    consume();
+    if (!at(TokenKind::Identifier)) {
+      Diags.error(tok().Loc, "expected procedure name after 'call'");
+      return nullptr;
+    }
+    Token Name = consume();
+    if (Name.Tag != VarTag::Plain) {
+      Diags.error(Name.Loc, "procedure names are untagged");
+      return nullptr;
+    }
+    Symbol Callee = Ctx.sym(Name.Text);
+    if (!expect(TokenKind::LParen))
+      return nullptr;
+    std::vector<const Expr *> Args;
+    if (!at(TokenKind::RParen)) {
+      do {
+        const Expr *Arg = parseExpr();
+        if (!Arg)
+          return nullptr;
+        Args.push_back(Arg);
+      } while (accept(TokenKind::Comma));
+    }
+    if (!expect(TokenKind::RParen) || !expect(TokenKind::Semi))
+      return nullptr;
+    return Ctx.call(Callee, Args, Loc);
   }
   case TokenKind::Identifier: {
     Token Name = consume();

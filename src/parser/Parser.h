@@ -84,6 +84,10 @@ private:
   //===--------------------------------------------------------------------===//
 
   bool parseDecls(Program &P);
+  bool parseProc(Program &P);
+  bool parseProcSignatureAndBody(Program &P, Procedure &Proc);
+  bool parseContractClauses(const BoolExpr *&Req, const BoolExpr *&Ens,
+                            const BoolExpr *&RReq, const BoolExpr *&REns);
   bool parseContracts(Program &P);
   const Stmt *parseBlock();
   const Stmt *parseStmt();

@@ -15,45 +15,89 @@ using namespace relax;
 // Free analyses
 //===----------------------------------------------------------------------===//
 
-bool relax::containsRelate(const Stmt *S) {
+namespace {
+
+// The interprocedural traversals guard against call cycles with a visited
+// set so they terminate even on recursive modules (which Sema rejects
+// separately); a revisited procedure conservatively contributes nothing.
+
+bool containsRelateImpl(const Stmt *S, const Program *P,
+                        std::unordered_set<const Procedure *> &Visited) {
   switch (S->kind()) {
   case Stmt::Kind::Relate:
     return true;
   case Stmt::Kind::If: {
     const auto *I = cast<IfStmt>(S);
-    return containsRelate(I->thenStmt()) || containsRelate(I->elseStmt());
+    return containsRelateImpl(I->thenStmt(), P, Visited) ||
+           containsRelateImpl(I->elseStmt(), P, Visited);
   }
   case Stmt::Kind::While:
-    return containsRelate(cast<WhileStmt>(S)->body());
+    return containsRelateImpl(cast<WhileStmt>(S)->body(), P, Visited);
   case Stmt::Kind::Seq: {
     const auto *Q = cast<SeqStmt>(S);
-    return containsRelate(Q->first()) || containsRelate(Q->second());
+    return containsRelateImpl(Q->first(), P, Visited) ||
+           containsRelateImpl(Q->second(), P, Visited);
   }
+  case Stmt::Kind::Call:
+    if (P)
+      if (const Procedure *Callee = P->procedure(cast<CallStmt>(S)->callee()))
+        if (Callee->body() && Visited.insert(Callee).second)
+          return containsRelateImpl(Callee->body(), P, Visited);
+    return false;
   default:
     return false;
   }
 }
 
-bool relax::containsLoop(const Stmt *S) {
+bool containsLoopImpl(const Stmt *S, const Program *P,
+                      std::unordered_set<const Procedure *> &Visited) {
   switch (S->kind()) {
   case Stmt::Kind::While:
     return true;
   case Stmt::Kind::If: {
     const auto *I = cast<IfStmt>(S);
-    return containsLoop(I->thenStmt()) || containsLoop(I->elseStmt());
+    return containsLoopImpl(I->thenStmt(), P, Visited) ||
+           containsLoopImpl(I->elseStmt(), P, Visited);
   }
   case Stmt::Kind::Seq: {
     const auto *Q = cast<SeqStmt>(S);
-    return containsLoop(Q->first()) || containsLoop(Q->second());
+    return containsLoopImpl(Q->first(), P, Visited) ||
+           containsLoopImpl(Q->second(), P, Visited);
+  }
+  case Stmt::Kind::Call:
+    if (P)
+      if (const Procedure *Callee = P->procedure(cast<CallStmt>(S)->callee()))
+        if (Callee->body() && Visited.insert(Callee).second)
+          return containsLoopImpl(Callee->body(), P, Visited);
+    return false;
+  default:
+    return false;
+  }
+}
+
+/// True when \p S syntactically contains a `call` (not through callees).
+bool containsCall(const Stmt *S) {
+  switch (S->kind()) {
+  case Stmt::Kind::Call:
+    return true;
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    return containsCall(I->thenStmt()) || containsCall(I->elseStmt());
+  }
+  case Stmt::Kind::While:
+    return containsCall(cast<WhileStmt>(S)->body());
+  case Stmt::Kind::Seq: {
+    const auto *Q = cast<SeqStmt>(S);
+    return containsCall(Q->first()) || containsCall(Q->second());
   }
   default:
     return false;
   }
 }
 
-namespace {
-
-void collectModified(const Stmt *S, const Program &P, VarRefSet &Out) {
+void collectModified(const Stmt *S, const Program &P,
+                     std::unordered_set<const Procedure *> &Visited,
+                     VarRefSet &Out) {
   switch (S->kind()) {
   case Stmt::Kind::Assign:
     Out.insert(VarRef{cast<AssignStmt>(S)->var(), VarTag::Plain,
@@ -74,17 +118,36 @@ void collectModified(const Stmt *S, const Program &P, VarRefSet &Out) {
   }
   case Stmt::Kind::If: {
     const auto *I = cast<IfStmt>(S);
-    collectModified(I->thenStmt(), P, Out);
-    collectModified(I->elseStmt(), P, Out);
+    collectModified(I->thenStmt(), P, Visited, Out);
+    collectModified(I->elseStmt(), P, Visited, Out);
     return;
   }
   case Stmt::Kind::While:
-    collectModified(cast<WhileStmt>(S)->body(), P, Out);
+    collectModified(cast<WhileStmt>(S)->body(), P, Visited, Out);
     return;
   case Stmt::Kind::Seq: {
     const auto *Q = cast<SeqStmt>(S);
-    collectModified(Q->first(), P, Out);
-    collectModified(Q->second(), P, Out);
+    collectModified(Q->first(), P, Visited, Out);
+    collectModified(Q->second(), P, Visited, Out);
+    return;
+  }
+  case Stmt::Kind::Call: {
+    // A call modifies the callee's effective frame: the explicit
+    // `modifies` clause when one was written (a checked superset of the
+    // body's effects, so sound here), otherwise the body's transitive
+    // modifications. Matching the havoc set of the call summary keeps
+    // auto-computed diverge frames consistent with summary instantiation.
+    const Procedure *Callee = P.procedure(cast<CallStmt>(S)->callee());
+    if (!Callee)
+      return;
+    if (Callee->hasModifiesClause()) {
+      for (Symbol M : Callee->modifiesClause())
+        Out.insert(
+            VarRef{M, VarTag::Plain, P.kindOf(M).value_or(VarKind::Int)});
+      return;
+    }
+    if (Callee->body() && Visited.insert(Callee).second)
+      collectModified(Callee->body(), P, Visited, Out);
     return;
   }
   case Stmt::Kind::Skip:
@@ -97,10 +160,51 @@ void collectModified(const Stmt *S, const Program &P, VarRefSet &Out) {
 
 } // namespace
 
+bool relax::containsRelate(const Stmt *S) {
+  std::unordered_set<const Procedure *> Visited;
+  return containsRelateImpl(S, nullptr, Visited);
+}
+
+bool relax::containsRelate(const Stmt *S, const Program &P) {
+  std::unordered_set<const Procedure *> Visited;
+  return containsRelateImpl(S, &P, Visited);
+}
+
+bool relax::containsLoop(const Stmt *S) {
+  std::unordered_set<const Procedure *> Visited;
+  return containsLoopImpl(S, nullptr, Visited);
+}
+
+bool relax::containsLoop(const Stmt *S, const Program &P) {
+  std::unordered_set<const Procedure *> Visited;
+  return containsLoopImpl(S, &P, Visited);
+}
+
 VarRefSet relax::modifiedVars(const Stmt *S, const Program &P) {
   VarRefSet Out;
-  collectModified(S, P, Out);
+  std::unordered_set<const Procedure *> Visited;
+  collectModified(S, P, Visited, Out);
   return Out;
+}
+
+std::vector<VarRef> relax::effectiveModifies(const Program &P,
+                                             const Procedure &Proc) {
+  std::vector<VarRef> Frame;
+  if (Proc.hasModifiesClause()) {
+    for (const VarDecl &D : P.decls())
+      for (Symbol M : Proc.modifiesClause())
+        if (M == D.Name) {
+          Frame.push_back(VarRef{D.Name, VarTag::Plain, D.Kind});
+          break;
+        }
+    return Frame;
+  }
+  VarRefSet Computed =
+      Proc.body() ? modifiedVars(Proc.body(), P) : VarRefSet{};
+  for (const VarDecl &D : P.decls())
+    if (Computed.count(VarRef{D.Name, VarTag::Plain, D.Kind}))
+      Frame.push_back(VarRef{D.Name, VarTag::Plain, D.Kind});
+  return Frame;
 }
 
 //===----------------------------------------------------------------------===//
@@ -117,6 +221,14 @@ void Sema::checkVarsDeclared(const Expr *E,
       Bound |= B.Name == V.Name && B.Tag == V.Tag && B.Kind == V.Kind;
     if (Bound)
       continue;
+    if (isParam(V.Name)) {
+      // Parameters are integer-valued; tag discipline (Plain in unary
+      // positions, tagged in relational ones) is enforced by the category
+      // checks, so only the kind matters here.
+      if (V.Kind != VarKind::Int)
+        Diags.error(E->loc(), "variable used with the wrong kind");
+      continue;
+    }
     auto Kind = Prog.kindOf(V.Name);
     if (!Kind)
       Diags.error(E->loc(), "use of undeclared variable");
@@ -135,6 +247,11 @@ void Sema::checkVarsDeclared(const ArrayExpr *A,
       Bound |= B.Name == V.Name && B.Tag == V.Tag && B.Kind == V.Kind;
     if (Bound)
       continue;
+    if (isParam(V.Name)) {
+      if (V.Kind != VarKind::Int)
+        Diags.error(A->loc(), "variable used with the wrong kind");
+      continue;
+    }
     auto Kind = Prog.kindOf(V.Name);
     if (!Kind)
       Diags.error(A->loc(), "use of undeclared variable");
@@ -214,11 +331,17 @@ void Sema::checkStmt(const Stmt *S) {
     return;
   case Stmt::Kind::Assign: {
     const auto *A = cast<AssignStmt>(S);
-    auto Kind = Prog.kindOf(A->var());
-    if (!Kind)
-      Diags.error(S->loc(), "assignment to undeclared variable");
-    else if (*Kind != VarKind::Int)
-      Diags.error(S->loc(), "cannot assign an integer to an array variable");
+    if (isParam(A->var()))
+      Diags.error(S->loc(),
+                  "cannot assign to a parameter (parameters are immutable)");
+    else {
+      auto Kind = Prog.kindOf(A->var());
+      if (!Kind)
+        Diags.error(S->loc(), "assignment to undeclared variable");
+      else if (*Kind != VarKind::Int)
+        Diags.error(S->loc(),
+                    "cannot assign an integer to an array variable");
+    }
     // The right-hand side is a program expression: Plain variables only.
     VarRefSet Free = freeVars(A->value());
     for (const VarRef &V : Free)
@@ -250,10 +373,15 @@ void Sema::checkStmt(const Stmt *S) {
   case Stmt::Kind::Relax: {
     const auto *C = cast<ChoiceStmtBase>(S);
     const char *Name = S->kind() == Stmt::Kind::Havoc ? "havoc" : "relax";
-    for (size_t I = 0, E = C->varCount(); I != E; ++I)
-      if (!Prog.kindOf(C->var(I)))
+    for (size_t I = 0, E = C->varCount(); I != E; ++I) {
+      if (isParam(C->var(I)))
+        Diags.error(S->loc(), std::string(Name) +
+                                  " of a parameter (parameters are "
+                                  "immutable)");
+      else if (!Prog.kindOf(C->var(I)))
         Diags.error(S->loc(), std::string(Name) +
                                   " of undeclared variable");
+    }
     requireProgramBool(C->pred(), S->kind() == Stmt::Kind::Havoc
                                       ? "a havoc predicate"
                                       : "a relax predicate");
@@ -263,7 +391,8 @@ void Sema::checkStmt(const Stmt *S) {
     const auto *I = cast<IfStmt>(S);
     requireProgramBool(I->cond(), "a branch condition");
     if (const DivergeAnnotation *D = I->diverge()) {
-      if (containsRelate(I->thenStmt()) || containsRelate(I->elseStmt()))
+      if (containsRelate(I->thenStmt(), Prog) ||
+          containsRelate(I->elseStmt(), Prog))
         Diags.error(S->loc(),
                     "a diverge-annotated statement must not contain relate "
                     "statements (no_rel side condition)");
@@ -271,7 +400,12 @@ void Sema::checkStmt(const Stmt *S) {
         if (D->PreOrig || D->PreRel || D->PostOrig || D->PostRel || D->Frame)
           Diags.error(S->loc(),
                       "'diverge cases' takes no pre/post/frame annotations");
-        if (containsLoop(I->thenStmt()) || containsLoop(I->elseStmt()))
+        if (containsCall(I->thenStmt()) || containsCall(I->elseStmt()))
+          Diags.error(S->loc(),
+                      "'diverge cases' branches must not contain procedure "
+                      "calls");
+        if (containsLoop(I->thenStmt(), Prog) ||
+            containsLoop(I->elseStmt(), Prog))
           Diags.error(S->loc(),
                       "'diverge cases' requires loop-free branches");
       }
@@ -311,7 +445,7 @@ void Sema::checkStmt(const Stmt *S) {
       checkVarsDeclared(Ann->Variant, Bound);
     }
     if (const DivergeAnnotation *D = W->diverge()) {
-      if (containsRelate(W->body()))
+      if (containsRelate(W->body(), Prog))
         Diags.error(S->loc(),
                     "a diverge-annotated statement must not contain relate "
                     "statements (no_rel side condition)");
@@ -353,6 +487,27 @@ void Sema::checkStmt(const Stmt *S) {
     }
     return;
   }
+  case Stmt::Kind::Call: {
+    const auto *C = cast<CallStmt>(S);
+    const Procedure *Callee = Prog.procedure(C->callee());
+    if (!Callee)
+      Diags.error(S->loc(), "call to undefined procedure");
+    else if (Prog.isEntry(*Callee))
+      Diags.error(S->loc(), "the entry procedure cannot be called");
+    else if (Callee->params().size() != C->argCount())
+      Diags.error(S->loc(), "wrong number of arguments in call");
+    // Arguments are program expressions: Plain variables only.
+    for (size_t I = 0, E = C->argCount(); I != E; ++I) {
+      for (const VarRef &V : freeVars(C->arg(I)))
+        if (V.Tag != VarTag::Plain)
+          Diags.error(S->loc(),
+                      "program expressions must not reference tagged "
+                      "variables");
+      std::vector<VarRef> Bound;
+      checkVarsDeclared(C->arg(I), Bound);
+    }
+    return;
+  }
   case Stmt::Kind::Seq: {
     const auto *Q = cast<SeqStmt>(S);
     checkStmt(Q->first());
@@ -362,22 +517,192 @@ void Sema::checkStmt(const Stmt *S) {
   }
 }
 
+namespace {
+
+void collectCalls(const Stmt *S, std::vector<const CallStmt *> &Out) {
+  switch (S->kind()) {
+  case Stmt::Kind::Call:
+    Out.push_back(cast<CallStmt>(S));
+    return;
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    collectCalls(I->thenStmt(), Out);
+    collectCalls(I->elseStmt(), Out);
+    return;
+  }
+  case Stmt::Kind::While:
+    collectCalls(cast<WhileStmt>(S)->body(), Out);
+    return;
+  case Stmt::Kind::Seq: {
+    const auto *Q = cast<SeqStmt>(S);
+    collectCalls(Q->first(), Out);
+    collectCalls(Q->second(), Out);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+/// Collects callee names of calls that sit under a plain (non-cases)
+/// `diverge` annotation within \p S.
+void collectCallsUnderDiverge(const Stmt *S, bool Under,
+                              std::vector<Symbol> &Out) {
+  switch (S->kind()) {
+  case Stmt::Kind::Call:
+    if (Under)
+      Out.push_back(cast<CallStmt>(S)->callee());
+    return;
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    bool U = Under || (I->diverge() && !I->diverge()->CaseAnalysis);
+    collectCallsUnderDiverge(I->thenStmt(), U, Out);
+    collectCallsUnderDiverge(I->elseStmt(), U, Out);
+    return;
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    bool U = Under || (W->diverge() && !W->diverge()->CaseAnalysis);
+    collectCallsUnderDiverge(W->body(), U, Out);
+    return;
+  }
+  case Stmt::Kind::Seq: {
+    const auto *Q = cast<SeqStmt>(S);
+    collectCallsUnderDiverge(Q->first(), Under, Out);
+    collectCallsUnderDiverge(Q->second(), Under, Out);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+} // namespace
+
+void Sema::dfsRecursion(const Procedure *P,
+                        std::unordered_map<const Procedure *, int> &Color) {
+  Color[P] = 1; // on the DFS stack
+  if (P->body()) {
+    std::vector<const CallStmt *> Calls;
+    collectCalls(P->body(), Calls);
+    for (const CallStmt *C : Calls) {
+      const Procedure *Callee = Prog.procedure(C->callee());
+      if (!Callee)
+        continue; // reported by checkStmt
+      auto It = Color.find(Callee);
+      int State = It == Color.end() ? 0 : It->second;
+      if (State == 1)
+        Diags.error(C->loc(), "recursive procedure calls are not supported");
+      else if (State == 0)
+        dfsRecursion(Callee, Color);
+    }
+  }
+  Color[P] = 2;
+}
+
+void Sema::checkCallGraph() {
+  std::unordered_map<const Procedure *, int> Color;
+  for (const Procedure &P : Prog.procedures())
+    if (!Color.count(&P))
+      dfsRecursion(&P, Color);
+}
+
+void Sema::computeFrames() {
+  for (const Procedure &P : Prog.procedures()) {
+    if (P.hasModifiesClause()) {
+      // Frame soundness: the clause must cover everything the body
+      // (transitively) modifies, or havocking only the clause at call
+      // sites would miss effects.
+      VarRefSet Computed =
+          P.body() ? modifiedVars(P.body(), Prog) : VarRefSet{};
+      for (const VarRef &V : Computed) {
+        bool Listed = false;
+        for (Symbol M : P.modifiesClause())
+          Listed |= M == V.Name;
+        if (!Listed)
+          Diags.error(P.loc(), "procedure modifies a variable missing from "
+                               "its modifies clause");
+      }
+    }
+    Info.EffectiveModifies.emplace(&P, effectiveModifies(Prog, P));
+  }
+}
+
+void Sema::computeNeedsIntermediate() {
+  // Seed: procedures called under a plain diverge annotation anywhere in
+  // the module; their bodies get verified under |-i, so every procedure
+  // they (transitively) call needs an |-i summary too.
+  std::vector<const Procedure *> Work;
+  auto Mark = [&](const Procedure *P) {
+    if (P && Info.NeedsIntermediateSet.insert(P).second)
+      Work.push_back(P);
+  };
+  for (const Procedure &P : Prog.procedures()) {
+    if (!P.body())
+      continue;
+    std::vector<Symbol> Seed;
+    collectCallsUnderDiverge(P.body(), false, Seed);
+    for (Symbol S : Seed)
+      Mark(Prog.procedure(S));
+  }
+  while (!Work.empty()) {
+    const Procedure *P = Work.back();
+    Work.pop_back();
+    if (!P->body())
+      continue;
+    std::vector<const CallStmt *> Calls;
+    collectCalls(P->body(), Calls);
+    for (const CallStmt *C : Calls)
+      Mark(Prog.procedure(C->callee()));
+  }
+}
+
+void Sema::checkProcedure(const Procedure &P) {
+  CurrentProc = &P;
+  if (P.requiresClause())
+    requireUnaryFormula(P.requiresClause(), "a requires clause");
+  if (P.ensuresClause())
+    requireUnaryFormula(P.ensuresClause(), "an ensures clause");
+  if (P.relRequiresClause())
+    requireRelationalFormula(P.relRequiresClause(), "a rrequires clause");
+  if (P.relEnsuresClause())
+    requireRelationalFormula(P.relEnsuresClause(), "a rensures clause");
+  // The parser only admits declared globals into modifies clauses;
+  // re-check for builder-constructed modules.
+  if (P.hasModifiesClause())
+    for (Symbol M : P.modifiesClause())
+      if (!Prog.kindOf(M))
+        Diags.error(P.loc(), "modifies clause names undeclared variable");
+  if (P.body())
+    checkStmt(P.body());
+  CurrentProc = nullptr;
+}
+
 std::optional<SemaInfo> Sema::run() {
-  if (!Prog.body()) {
+  const Procedure *Entry = Prog.entry();
+  if (!Entry || !Entry->body()) {
     Diags.error(SourceLoc(), "program has no body");
     return std::nullopt;
   }
+  if (!Entry->params().empty())
+    Diags.error(Entry->loc(), "the entry procedure takes no parameters");
+  for (const Procedure &P : Prog.procedures())
+    if (&P != Entry && !P.body())
+      Diags.error(P.loc(), "procedure has no body");
+  if (Diags.hasErrors())
+    return std::nullopt;
 
-  if (Prog.requiresClause())
-    requireUnaryFormula(Prog.requiresClause(), "a requires clause");
-  if (Prog.ensuresClause())
-    requireUnaryFormula(Prog.ensuresClause(), "an ensures clause");
-  if (Prog.relRequiresClause())
-    requireRelationalFormula(Prog.relRequiresClause(), "a rrequires clause");
-  if (Prog.relEnsuresClause())
-    requireRelationalFormula(Prog.relEnsuresClause(), "a rensures clause");
+  // Reject recursion before anything traverses through calls, so the
+  // interprocedural analyses (no_rel, modified-variable sets) terminate.
+  checkCallGraph();
+  if (Diags.hasErrors())
+    return std::nullopt;
 
-  checkStmt(Prog.body());
+  for (const Procedure &P : Prog.procedures())
+    checkProcedure(P);
+
+  computeFrames();
+  computeNeedsIntermediate();
 
   if (Diags.hasErrors())
     return std::nullopt;

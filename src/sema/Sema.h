@@ -10,20 +10,31 @@
 /// syntactic categories and side conditions:
 ///
 ///  * program expressions (conditions, assignment right-hand sides,
-///    havoc/relax predicates, assert/assume predicates) are quantifier-free
-///    and reference only untagged (Plain) variables — category B;
+///    havoc/relax predicates, assert/assume predicates, call arguments) are
+///    quantifier-free and reference only untagged (Plain) variables —
+///    category B;
 ///  * `relate` predicates are quantifier-free and reference only tagged
-///    variables — category B* — and their labels are unique (required by
-///    the observational-compatibility map Γ);
+///    variables — category B* — and their labels are unique across the
+///    whole module (required by the observational-compatibility map Γ);
 ///  * loop invariants and diverge pre/post annotations are unary formulas;
 ///    relational invariants, frames, and relational contracts are
 ///    relational formulas;
-///  * every referenced variable is declared with the right kind;
-///  * statements carrying a diverge annotation contain no `relate`
-///    (the no_rel(s) side condition of the diverge rule).
+///  * every referenced variable is declared with the right kind (procedure
+///    parameters are integer-valued and in scope inside that procedure's
+///    contracts and body only);
+///  * statements carrying a diverge annotation contain no `relate`, even
+///    transitively through calls (the no_rel(s) side condition);
+///  * calls resolve to defined, non-entry procedures with matching arity,
+///    the call graph is acyclic, parameters are immutable, and a
+///    procedure's explicit `modifies` clause covers every global its body
+///    (transitively) modifies — the frame soundness precondition of the
+///    summary rule.
 ///
-/// Also computes the analyses other stages consume: the Γ label map and
-/// modified-variable sets.
+/// Also computes the analyses other stages consume: the Γ label map,
+/// per-procedure effective `modifies` frames (in global declaration
+/// order), and the set of procedures that additionally need an |-i
+/// (intermediate-semantics) summary because they are reachable from a call
+/// under a plain `diverge` annotation.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,10 +46,12 @@
 #include "support/Diagnostics.h"
 
 #include <unordered_map>
+#include <unordered_set>
 
 namespace relax {
 
-/// Results of semantic analysis over one program.
+/// Results of semantic analysis over one module. Holds pointers into the
+/// analyzed Program, which must outlive it.
 class SemaInfo {
 public:
   /// Γ: relate label -> relational predicate (Theorem 6).
@@ -46,13 +59,34 @@ public:
     return RelateMap;
   }
 
-  /// All relate labels in program order.
+  /// All relate labels in module order (procedures in declaration order,
+  /// statements in program order within each).
   const std::vector<Symbol> &relateLabels() const { return RelateLabels; }
+
+  /// The effective `modifies` frame of \p P — its explicit clause when one
+  /// was written, otherwise the globals its body transitively modifies —
+  /// always in global declaration order. This is exactly the set a call
+  /// summary havocs.
+  const std::vector<VarRef> &effectiveModifies(const Procedure &P) const {
+    static const std::vector<VarRef> Empty;
+    auto It = EffectiveModifies.find(&P);
+    return It == EffectiveModifies.end() ? Empty : It->second;
+  }
+
+  /// True when \p P needs an |-i (intermediate-semantics) summary: it is
+  /// transitively reachable from a call under a plain `diverge`
+  /// annotation, whose |-i sub-derivation instantiates callee summaries
+  /// under the intermediate judgment.
+  bool needsIntermediate(const Procedure &P) const {
+    return NeedsIntermediateSet.count(&P) != 0;
+  }
 
 private:
   friend class Sema;
   std::unordered_map<Symbol, const BoolExpr *> RelateMap;
   std::vector<Symbol> RelateLabels;
+  std::unordered_map<const Procedure *, std::vector<VarRef>> EffectiveModifies;
+  std::unordered_set<const Procedure *> NeedsIntermediateSet;
 };
 
 /// Runs all well-formedness checks.
@@ -67,8 +101,24 @@ private:
   const Program &Prog;
   DiagnosticEngine &Diags;
   SemaInfo Info;
+  /// The procedure whose contracts/body are being checked; its parameters
+  /// are in scope.
+  const Procedure *CurrentProc = nullptr;
 
+  bool isParam(Symbol Name) const {
+    return CurrentProc && CurrentProc->hasParam(Name);
+  }
+
+  void checkProcedure(const Procedure &P);
   void checkStmt(const Stmt *S);
+  /// Rejects recursion and reports unresolved / entry / arity-mismatched
+  /// calls, so the interprocedural traversals below terminate.
+  void checkCallGraph();
+  void dfsRecursion(const Procedure *P,
+                    std::unordered_map<const Procedure *, int> &Color);
+  void computeFrames();
+  void computeNeedsIntermediate();
+
   /// Checks that every variable of \p B is declared with matching kind.
   /// \p BoundVars tracks quantifier binders in scope.
   void checkVarsDeclared(const BoolExpr *B, std::vector<VarRef> &BoundVars);
@@ -84,15 +134,29 @@ private:
 };
 
 /// True when \p S contains a `relate` statement (the paper's ¬no_rel(s)).
+/// The intraprocedural form does not look through calls.
 bool containsRelate(const Stmt *S);
+/// Interprocedural form: also looks through `call` into callee bodies.
+bool containsRelate(const Stmt *S, const Program &P);
 
 /// True when \p S contains a `while` loop (case-analysis divergence
-/// requires loop-free branches).
+/// requires loop-free branches). The intraprocedural form does not look
+/// through calls.
 bool containsLoop(const Stmt *S);
+/// Interprocedural form: also looks through `call` into callee bodies.
+bool containsLoop(const Stmt *S, const Program &P);
 
 /// The set of variables \p S may modify: assignment targets, arrays stored
-/// into, and havoc/relax variable lists. Tags are always Plain.
+/// into, havoc/relax variable lists, and — through `call` — the callee's
+/// effective frame (its explicit `modifies` clause when present, otherwise
+/// its body's transitive modifications). Tags are always Plain.
 VarRefSet modifiedVars(const Stmt *S, const Program &P);
+
+/// The effective `modifies` frame of \p Proc: its explicit clause when one
+/// was written, otherwise its body's transitive modifications — always in
+/// global declaration order, so every generator havocs the same list in
+/// the same order. SemaInfo::effectiveModifies caches this per procedure.
+std::vector<VarRef> effectiveModifies(const Program &P, const Procedure &Proc);
 
 } // namespace relax
 

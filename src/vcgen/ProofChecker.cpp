@@ -81,11 +81,42 @@ State modelToState(const Program &Prog, const Model &M, VarTag Tag,
 
 } // namespace
 
+/// Free integer variables of \p Pre (on side \p Tag) that are procedure
+/// parameters rather than globals. Steps inside a parameterized body have
+/// these free in their pre/postconditions; sampling must bind them or the
+/// interpreter replay gets stuck on the unbound name.
+std::vector<VarRef> ProofChecker::freeParams(const BoolExpr *Pre,
+                                             VarTag Tag) {
+  std::vector<VarRef> Out;
+  for (const VarRef &V : freeVars(Pre)) {
+    if (V.Tag != Tag || V.Kind != VarKind::Int || Prog.isDeclared(V.Name))
+      continue;
+    for (const Procedure &P : Prog.procedures())
+      if (P.hasParam(V.Name)) {
+        Out.push_back(V);
+        break;
+      }
+  }
+  return Out;
+}
+
 std::optional<State> ProofChecker::sampleState(const BoolExpr *Pre,
                                                VarTag Tag, uint64_t Seed) {
   VarRefSet Wanted;
   for (const VarDecl &D : Prog.decls())
     Wanted.insert(VarRef{D.Name, Tag, D.Kind});
+  std::vector<VarRef> Params = freeParams(Pre, Tag);
+  for (const VarRef &V : Params)
+    Wanted.insert(V);
+
+  auto Build = [&](const Model &M) {
+    State S = modelToState(Prog, M, Tag, 4);
+    for (const VarRef &V : Params) {
+      auto It = M.Ints.find(V);
+      S[V.Name] = Value(It == M.Ints.end() ? 0 : It->second);
+    }
+    return S;
+  };
 
   // Diversity: try pinning one scalar to a random small value first.
   SplitMix64 Rng(Seed);
@@ -101,13 +132,13 @@ std::optional<State> ProofChecker::sampleState(const BoolExpr *Pre,
     Model M;
     Result<SatResult> R = TheSolver.checkSatWithModel({Pre, PinEq}, Wanted, M);
     if (R.ok() && *R == SatResult::Sat)
-      return modelToState(Prog, M, Tag, 4);
+      return Build(M);
   }
   Model M;
   Result<SatResult> R = TheSolver.checkSatWithModel({Pre}, Wanted, M);
   if (!R.ok() || *R != SatResult::Sat)
     return std::nullopt;
-  return modelToState(Prog, M, Tag, 4);
+  return Build(M);
 }
 
 std::optional<std::pair<State, State>>
@@ -117,6 +148,12 @@ ProofChecker::samplePair(const BoolExpr *Pre, uint64_t Seed) {
     Wanted.insert(VarRef{D.Name, VarTag::Orig, D.Kind});
     Wanted.insert(VarRef{D.Name, VarTag::Rel, D.Kind});
   }
+  std::vector<VarRef> ParamsO = freeParams(Pre, VarTag::Orig);
+  std::vector<VarRef> ParamsR = freeParams(Pre, VarTag::Rel);
+  for (const VarRef &V : ParamsO)
+    Wanted.insert(V);
+  for (const VarRef &V : ParamsR)
+    Wanted.insert(V);
   SplitMix64 Rng(Seed);
   std::vector<Symbol> Scalars;
   for (const VarDecl &D : Prog.decls())
@@ -138,8 +175,17 @@ ProofChecker::samplePair(const BoolExpr *Pre, uint64_t Seed) {
       return std::nullopt;
     M = M2;
   }
-  return std::make_pair(modelToState(Prog, M, VarTag::Orig, 4),
-                        modelToState(Prog, M, VarTag::Rel, 4));
+  State SO = modelToState(Prog, M, VarTag::Orig, 4);
+  for (const VarRef &V : ParamsO) {
+    auto It = M.Ints.find(V);
+    SO[V.Name] = Value(It == M.Ints.end() ? 0 : It->second);
+  }
+  State SR = modelToState(Prog, M, VarTag::Rel, 4);
+  for (const VarRef &V : ParamsR) {
+    auto It = M.Ints.find(V);
+    SR[V.Name] = Value(It == M.Ints.end() ? 0 : It->second);
+  }
+  return std::make_pair(std::move(SO), std::move(SR));
 }
 
 void ProofChecker::checkUnaryStep(const DerivationStep &Step, size_t Index,

@@ -86,6 +86,11 @@ private:
   std::optional<std::pair<State, State>> samplePair(const BoolExpr *Pre,
                                                     uint64_t Seed);
 
+  /// Free integer variables of \p Pre on side \p Tag that are procedure
+  /// parameters (steps inside a parameterized body mention them free);
+  /// sampling binds them so interpreter replay can evaluate the body.
+  std::vector<VarRef> freeParams(const BoolExpr *Pre, VarTag Tag);
+
   /// Solver-decided state satisfaction: σ (or the pair) ⊨ F.
   Result<bool> holds(const BoolExpr *F, const State &S, VarTag Tag);
   Result<bool> holdsPair(const BoolExpr *F, const State &O, const State &R);

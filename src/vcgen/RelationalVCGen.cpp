@@ -36,6 +36,7 @@ void RelationalVCGen::emitValidity(const BoolExpr *F, const char *Rule,
   V.Id = static_cast<uint32_t>(Out.VCs.size());
   V.Origin = CurStmt;
   V.SimplifyTraceId = V.Formula != F ? ++SimplifyTraces : 0;
+  V.Proc = ProcName;
   Out.VCs.push_back(std::move(V));
 }
 
@@ -51,6 +52,7 @@ void RelationalVCGen::emitSat(const BoolExpr *F, const char *Rule,
   V.Id = static_cast<uint32_t>(Out.VCs.size());
   V.Origin = CurStmt;
   V.SimplifyTraceId = V.Formula != F ? ++SimplifyTraces : 0;
+  V.Proc = ProcName;
   Out.VCs.push_back(std::move(V));
 }
 
@@ -178,8 +180,10 @@ const BoolExpr *RelationalVCGen::genDiverge(const Stmt *S,
   const BoolExpr *Qo = D->PostOrig ? D->PostOrig : Ctx.trueExpr();
   const BoolExpr *Qr = D->PostRel ? D->PostRel : Ctx.trueExpr();
 
-  // no_rel(s): relate statements have no meaning without lockstep.
-  if (containsRelate(S)) {
+  // no_rel(s): relate statements have no meaning without lockstep. The
+  // check looks through calls: a callee running solo under |-o / |-i has
+  // no lockstep partner either.
+  if (containsRelate(S, Prog)) {
     Diags.error(S->loc(), "diverge rule applied to a statement containing "
                           "relate (no_rel violated)");
     return Ctx.falseExpr();
@@ -198,6 +202,7 @@ const BoolExpr *RelationalVCGen::genDiverge(const Stmt *S,
   // |-o {Po} s {Qo}: the original execution runs solo.
   {
     UnaryVCGen Sub(Ctx, Prog, JudgmentKind::Original, Diags, Opts);
+    Sub.setProcName(ProcName);
     Sub.genTriple(Po, S, Qo);
     VCSet SubSet = Sub.take();
     for (VC &V : SubSet.VCs)
@@ -210,6 +215,7 @@ const BoolExpr *RelationalVCGen::genDiverge(const Stmt *S,
   // inherently error free (Lemma 4 powers Theorem 7 here).
   {
     UnaryVCGen Sub(Ctx, Prog, JudgmentKind::Intermediate, Diags, Opts);
+    Sub.setProcName(ProcName);
     Sub.genTriple(Pr, S, Qr);
     VCSet SubSet = Sub.take();
     for (VC &V : SubSet.VCs)
@@ -403,6 +409,13 @@ const BoolExpr *RelationalVCGen::genStmtOneSided(const Stmt *S,
     const BoolExpr *Mid = genStmtOneSided(Q->first(), Pre, Side);
     return genStmtOneSided(Q->second(), Mid, Side);
   }
+
+  case Stmt::Kind::Call:
+    // Sema rejects this first; a one-sided summary instantiation would
+    // need per-side contracts the language does not have.
+    Diags.error(S->loc(),
+                "'diverge cases' branches must not contain procedure calls");
+    return Ctx.falseExpr();
 
   case Stmt::Kind::While:
   case Stmt::Kind::Relate:
@@ -638,6 +651,106 @@ const BoolExpr *RelationalVCGen::genStmt(const Stmt *S, const BoolExpr *Pre) {
                  "reaching this point");
     const BoolExpr *Post = maybeSimplify(Ctx.andExpr(Pre, R->pred()));
     record("relate", S, Pre, Post);
+    return Post;
+  }
+
+  case Stmt::Kind::Call: {
+    // Lockstep summary instantiation: both executions share control flow,
+    // so they call the procedure together. Assert the callee's effective
+    // relational precondition (its rrequires, or the default identity
+    // relation over globals and parameters plus both-side requires), havoc
+    // its effective frame on *both* sides, and assume its rensures. The
+    // callee's body — verified once under its own |-r summary run — is
+    // never re-traversed here.
+    const auto *C = cast<CallStmt>(S);
+    const Procedure *Callee = Prog.procedure(C->callee());
+    if (!Callee) {
+      Diags.error(S->loc(), "call to undefined procedure");
+      return Pre;
+    }
+    // The relational-precondition check instantiates each parameter with
+    // the call's argument expression, per tag — both evaluated in the
+    // pre-call state. Substituting the expressions directly (rather than
+    // going through the fresh snapshots below) keeps this obligation free
+    // of fresh names, so its counterexamples are bit-identical however
+    // many fresh symbols earlier runs drew from the shared interner.
+    Subst ParamToArgExpr;
+    for (size_t I = 0, E = C->argCount(); I != E; ++I) {
+      emitSafetyBoth(Pre, C->arg(I), "call", S->loc());
+      if (I < Callee->params().size()) {
+        Symbol P = Callee->params()[I].Name;
+        ParamToArgExpr.mapVar(P, VarTag::Orig,
+                              inject(Ctx, C->arg(I), VarTag::Orig));
+        ParamToArgExpr.mapVar(P, VarTag::Rel,
+                              inject(Ctx, C->arg(I), VarTag::Rel));
+      }
+    }
+    const BoolExpr *RReq = effectiveRelRequires(Ctx, Prog, *Callee);
+    emitValidity(
+        Ctx.implies(Pre, substitute(Ctx, RReq, ParamToArgExpr)), "call",
+        S->loc(),
+        "the callee's relational precondition holds at the call site");
+
+    // Snapshot the arguments for the havoc/rensures part: one fresh
+    // symbol per parameter, used under both tags (lockstep — each side
+    // passes its own evaluation of the same argument expression). The
+    // snapshots are existentially quantified into the postcondition
+    // below, so no fresh name escapes into later obligations free.
+    Subst ParamToArg;
+    std::vector<Symbol> ArgSyms;
+    std::vector<const BoolExpr *> Binds;
+    for (size_t I = 0, E = C->argCount(); I != E; ++I) {
+      Symbol A = Ctx.freshSym(I < Callee->params().size()
+                                  ? Callee->params()[I].Name
+                                  : Ctx.sym("arg"));
+      ArgSyms.push_back(A);
+      Binds.push_back(Ctx.eq(Ctx.var(A, VarTag::Orig),
+                             inject(Ctx, C->arg(I), VarTag::Orig)));
+      Binds.push_back(Ctx.eq(Ctx.var(A, VarTag::Rel),
+                             inject(Ctx, C->arg(I), VarTag::Rel)));
+      if (I < Callee->params().size()) {
+        Symbol P = Callee->params()[I].Name;
+        ParamToArg.mapVar(P, VarTag::Orig, Ctx.var(A, VarTag::Orig));
+        ParamToArg.mapVar(P, VarTag::Rel, Ctx.var(A, VarTag::Rel));
+      }
+    }
+    const BoolExpr *Bound = maybeSimplify(Ctx.conj({Pre, Ctx.conj(Binds)}));
+
+    // Havoc the callee's effective frame on both sides; array lengths are
+    // execution-invariant, so length links are kept (as in freshenSide).
+    Subst Rename;
+    std::vector<std::tuple<Symbol, VarKind, VarTag>> Old;
+    std::vector<const BoolExpr *> LenLinks;
+    for (const VarRef &V : effectiveModifies(Prog, *Callee)) {
+      for (VarTag Tag : {VarTag::Orig, VarTag::Rel}) {
+        Symbol F = Ctx.freshSym(V.Name);
+        Old.emplace_back(F, V.Kind, Tag);
+        if (V.Kind == VarKind::Int) {
+          Rename.mapVar(V.Name, Tag, Ctx.var(F, Tag));
+        } else {
+          Rename.mapArray(V.Name, Tag, Ctx.arrayRef(F, Tag));
+          LenLinks.push_back(Ctx.eq(Ctx.arrayLen(Ctx.arrayRef(V.Name, Tag)),
+                                    Ctx.arrayLen(Ctx.arrayRef(F, Tag))));
+        }
+      }
+    }
+    const BoolExpr *Havocked =
+        Ctx.conj({substitute(Ctx, Bound, Rename), Ctx.conj(LenLinks)});
+    for (const auto &[F, Kind, Tag] : Old)
+      Havocked = Ctx.exists(F, Tag, Kind, Havocked);
+
+    const BoolExpr *REns =
+        Callee->relEnsuresClause()
+            ? substitute(Ctx, Callee->relEnsuresClause(), ParamToArg)
+            : Ctx.trueExpr();
+    const BoolExpr *Post = Ctx.andExpr(Havocked, REns);
+    // Close the argument snapshots: innermost binder first, both tags.
+    for (auto It = ArgSyms.rbegin(), E = ArgSyms.rend(); It != E; ++It) {
+      Post = Ctx.exists(*It, VarTag::Rel, VarKind::Int, Post);
+      Post = Ctx.exists(*It, VarTag::Orig, VarKind::Int, Post);
+    }
+    Post = maybeSimplify(Post);
+    record("call", S, Pre, Post);
     return Post;
   }
 

@@ -44,6 +44,12 @@ public:
   /// Generates the whole-triple obligations for {Pre*} S {Post*}.
   void genTriple(const BoolExpr *Pre, const Stmt *S, const BoolExpr *Post);
 
+  /// Sets the display name stamped on emitted VCs' Proc field: the
+  /// procedure whose relational summary this generator run verifies
+  /// ("main" by default). Propagated into the |-o and |-i sub-generators
+  /// the diverge rule spawns.
+  void setProcName(std::string Name) { ProcName = std::move(Name); }
+
   /// Takes the accumulated VCs and derivation (includes the |-o and |-i
   /// sub-derivations created by diverge rules).
   VCSet take() { return std::move(Out); }
@@ -55,6 +61,7 @@ private:
   VCGenOptions Opts;
   Simplifier Simp;
   VCSet Out;
+  std::string ProcName = "main";
   /// Provenance state: the statement whose rule is currently being
   /// applied (stamped on emitted VCs as their origin), and the running
   /// count of obligation-formula rewrites (the simplify trace).

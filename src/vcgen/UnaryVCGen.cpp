@@ -9,6 +9,7 @@
 
 #include "logic/FormulaOps.h"
 #include "logic/Simplify.h"
+#include "sema/Sema.h"
 #include "support/Casting.h"
 #include "vcgen/Safety.h"
 
@@ -52,6 +53,7 @@ void UnaryVCGen::emitValidity(const BoolExpr *F, const char *Rule,
   V.Id = static_cast<uint32_t>(Out.VCs.size());
   V.Origin = CurStmt;
   V.SimplifyTraceId = V.Formula != F ? ++SimplifyTraces : 0;
+  V.Proc = ProcName;
   Out.VCs.push_back(std::move(V));
 }
 
@@ -67,6 +69,7 @@ void UnaryVCGen::emitSat(const BoolExpr *F, const char *Rule, SourceLoc Loc,
   V.Id = static_cast<uint32_t>(Out.VCs.size());
   V.Origin = CurStmt;
   V.SimplifyTraceId = V.Formula != F ? ++SimplifyTraces : 0;
+  V.Proc = ProcName;
   Out.VCs.push_back(std::move(V));
 }
 
@@ -333,6 +336,92 @@ const BoolExpr *UnaryVCGen::genStmt(const Stmt *S, const BoolExpr *Pre) {
     // Figure 7: relate is a skip for the unary semantics.
     record("relate(skip)", S, Pre, Pre);
     return Pre;
+
+  case Stmt::Kind::Call: {
+    // Modular summary instantiation: assert the callee's requires, havoc
+    // its effective modifies frame, assume its ensures. The callee's body
+    // is verified once on its own; N call sites cost N instantiations,
+    // not N re-traversals.
+    const auto *C = cast<CallStmt>(S);
+    const Procedure *Callee = Prog.procedure(C->callee());
+    if (!Callee) {
+      Diags.error(S->loc(), "call to undefined procedure");
+      return Pre;
+    }
+
+    // The requires check instantiates parameters with the argument
+    // expressions directly: both are evaluated in the pre-call state, and
+    // keeping this obligation free of fresh symbols keeps its
+    // counterexamples (and hence report bit-identity) independent of how
+    // many fresh names earlier runs drew from the shared interner.
+    Subst ParamToArgExpr;
+    for (size_t I = 0, E = C->argCount(); I != E; ++I) {
+      emitSafety(Pre, C->arg(I), "call", S->loc());
+      if (I < Callee->params().size())
+        ParamToArgExpr.mapVar(Callee->params()[I].Name, VarTag::Plain,
+                              C->arg(I));
+    }
+    if (const BoolExpr *Req = Callee->requiresClause())
+      emitValidity(Ctx.implies(Pre, substitute(Ctx, Req, ParamToArgExpr)),
+                   "call", S->loc(),
+                   "the callee's requires clause holds at the call site");
+
+    // For the havoc/ensures part, snapshot arguments in fresh symbols so
+    // the instantiated ensures refers to the values passed at the call,
+    // not post-havoc globals. The snapshots are existentially quantified
+    // into the postcondition below, so no fresh name escapes into later
+    // obligations free.
+    Subst ParamToArg;
+    std::vector<Symbol> ArgSyms;
+    std::vector<const BoolExpr *> Binds;
+    for (size_t I = 0, E = C->argCount(); I != E; ++I) {
+      Symbol A = Ctx.freshSym(I < Callee->params().size()
+                                  ? Callee->params()[I].Name
+                                  : Ctx.sym("arg"));
+      ArgSyms.push_back(A);
+      Binds.push_back(Ctx.eq(Ctx.var(A, VarTag::Plain), C->arg(I)));
+      if (I < Callee->params().size())
+        ParamToArg.mapVar(Callee->params()[I].Name, VarTag::Plain,
+                          Ctx.var(A, VarTag::Plain));
+    }
+    const BoolExpr *Bound = Ctx.conj({Pre, Ctx.conj(Binds)});
+
+    // Havoc the frame: rename its variables to fresh pre-call names,
+    // existentially quantify those, keep array lengths invariant.
+    std::vector<VarRef> Frame = effectiveModifies(Prog, *Callee);
+    Subst Rename;
+    std::vector<std::pair<Symbol, VarKind>> Old;
+    for (const VarRef &V : Frame) {
+      Symbol F = Ctx.freshSym(V.Name);
+      Old.emplace_back(F, V.Kind);
+      if (V.Kind == VarKind::Int)
+        Rename.mapVar(V.Name, VarTag::Plain, Ctx.var(F, VarTag::Plain));
+      else
+        Rename.mapArray(V.Name, VarTag::Plain,
+                        Ctx.arrayRef(F, VarTag::Plain));
+    }
+    const BoolExpr *Renamed = substitute(Ctx, Bound, Rename);
+    std::vector<const BoolExpr *> LenLinks;
+    for (size_t I = 0, E = Frame.size(); I != E; ++I)
+      if (Frame[I].Kind == VarKind::Array)
+        LenLinks.push_back(Ctx.eq(
+            Ctx.arrayLen(Ctx.arrayRef(Frame[I].Name, VarTag::Plain)),
+            Ctx.arrayLen(Ctx.arrayRef(Old[I].first, VarTag::Plain))));
+    const BoolExpr *Quantified = Ctx.conj({Renamed, Ctx.conj(LenLinks)});
+    for (const auto &[F, Kind] : Old)
+      Quantified = Ctx.exists(F, VarTag::Plain, Kind, Quantified);
+
+    const BoolExpr *Ens =
+        Callee->ensuresClause()
+            ? substitute(Ctx, Callee->ensuresClause(), ParamToArg)
+            : Ctx.trueExpr();
+    const BoolExpr *Post = Ctx.andExpr(Quantified, Ens);
+    for (auto It = ArgSyms.rbegin(); It != ArgSyms.rend(); ++It)
+      Post = Ctx.exists(*It, VarTag::Plain, VarKind::Int, Post);
+    Post = maybeSimplify(Post);
+    record("call", S, Pre, Post);
+    return Post;
+  }
 
   case Stmt::Kind::Seq: {
     const auto *Q = cast<SeqStmt>(S);

@@ -53,10 +53,18 @@ public:
              DiagnosticEngine &Diags, VCGenOptions Opts = VCGenOptions());
 
   /// Computes sp(Pre, S), appending obligations to the internal set.
+  /// `call` statements instantiate the callee's summary: assert its
+  /// requires, havoc its effective modifies frame, assume its ensures —
+  /// the callee's body is never re-traversed here.
   const BoolExpr *genStmt(const Stmt *S, const BoolExpr *Pre);
 
   /// Generates the whole-triple obligations for {Pre} S {Post}.
   void genTriple(const BoolExpr *Pre, const Stmt *S, const BoolExpr *Post);
+
+  /// Sets the display name stamped on emitted VCs' Proc field: the
+  /// procedure whose summary this generator run verifies ("main" by
+  /// default).
+  void setProcName(std::string Name) { ProcName = std::move(Name); }
 
   /// Takes the accumulated VCs and derivation.
   VCSet take() { return std::move(Out); }
@@ -69,6 +77,7 @@ private:
   VCGenOptions Opts;
   Simplifier Simp;
   VCSet Out;
+  std::string ProcName = "main";
   /// Provenance state: the statement whose rule is currently being
   /// applied (stamped on emitted VCs as their origin), and the running
   /// count of obligation-formula rewrites (the simplify trace).

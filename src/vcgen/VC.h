@@ -66,6 +66,10 @@ struct VC {
   /// generator run; 0 when the formula was emitted verbatim (simplifier
   /// off, or the rewrite was the identity).
   uint32_t SimplifyTraceId = 0;
+  /// Display name of the procedure whose summary verification emitted this
+  /// VC ("main" for the entry). Call-site instantiation VCs carry the
+  /// *caller*: they belong to the caller's obligation set.
+  std::string Proc;
 };
 
 /// One rule application, recorded for the proof checker: the statement, the

@@ -14,15 +14,10 @@
 using namespace relax;
 
 const BoolExpr *Verifier::effectiveRelRequires() {
-  if (Prog.relRequiresClause())
-    return Prog.relRequiresClause();
-  std::vector<const BoolExpr *> Parts;
-  Parts.push_back(identityRelation(Ctx, Prog));
-  if (const BoolExpr *Req = Prog.requiresClause()) {
-    Parts.push_back(inject(Ctx, Req, VarTag::Orig));
-    Parts.push_back(inject(Ctx, Req, VarTag::Rel));
-  }
-  return Ctx.conj(Parts);
+  const Procedure *E = Prog.entry();
+  if (!E)
+    return Ctx.trueExpr();
+  return relax::effectiveRelRequires(Ctx, Prog, *E);
 }
 
 VerifyReport Verifier::run(Options Opts) {
@@ -49,27 +44,55 @@ VerifyReport Verifier::run(Options Opts) {
 
   unsigned ErrorsBeforeGen = Diags.errorCount();
 
-  const BoolExpr *Pre =
-      Prog.requiresClause() ? Prog.requiresClause() : Ctx.trueExpr();
-  const BoolExpr *Post =
-      Prog.ensuresClause() ? Prog.ensuresClause() : Ctx.trueExpr();
+  // Modular summary-based verification: every procedure's body is
+  // verified exactly once against its own contracts; call sites
+  // instantiate the callee's summary (assert requires, havoc the frame,
+  // assume ensures) instead of inlining the body. Procedures are visited
+  // in declaration order, so obligation ids are deterministic.
+  auto UnaryPre = [&](const Procedure &P) {
+    return P.requiresClause() ? P.requiresClause() : Ctx.trueExpr();
+  };
+  auto UnaryPost = [&](const Procedure &P) {
+    return P.ensuresClause() ? P.ensuresClause() : Ctx.trueExpr();
+  };
 
   if (Opts.RunOriginal) {
-    UnaryVCGen Gen(Ctx, Prog, JudgmentKind::Original, Diags, Opts.GenOpts);
-    Gen.genTriple(Pre, Prog.body(), Post);
+    VCSet All;
+    for (const Procedure &P : Prog.procedures()) {
+      UnaryVCGen Gen(Ctx, Prog, JudgmentKind::Original, Diags, Opts.GenOpts);
+      Gen.setProcName(procDisplayName(P, Ctx.symbols()));
+      Gen.genTriple(UnaryPre(P), P.body(), UnaryPost(P));
+      All.append(Gen.take());
+    }
     Report.Original.Judgment = JudgmentKind::Original;
-    Sched.discharge(Gen.take(), Report.Original, TheSolver);
+    Sched.discharge(std::move(All), Report.Original, TheSolver);
   }
 
   if (Opts.RunRelaxed) {
-    const BoolExpr *RelPre = effectiveRelRequires();
-    const BoolExpr *RelPost = Prog.relEnsuresClause()
-                                  ? Prog.relEnsuresClause()
-                                  : Ctx.trueExpr();
-    RelationalVCGen Gen(Ctx, Prog, Diags, Opts.GenOpts);
-    Gen.genTriple(RelPre, Prog.body(), RelPost);
+    VCSet All;
+    for (const Procedure &P : Prog.procedures()) {
+      std::string Name = procDisplayName(P, Ctx.symbols());
+      // A procedure reachable from a call under a plain `diverge`
+      // annotation also runs solo in the relaxed execution, so its
+      // summary must additionally hold under the intermediate judgment
+      // |-i (where `relax` havocs and `assume` carries an obligation).
+      if (Info->needsIntermediate(P)) {
+        UnaryVCGen IGen(Ctx, Prog, JudgmentKind::Intermediate, Diags,
+                        Opts.GenOpts);
+        IGen.setProcName(Name);
+        IGen.genTriple(UnaryPre(P), P.body(), UnaryPost(P));
+        All.append(IGen.take());
+      }
+      const BoolExpr *RelPre = relax::effectiveRelRequires(Ctx, Prog, P);
+      const BoolExpr *RelPost = P.relEnsuresClause() ? P.relEnsuresClause()
+                                                     : Ctx.trueExpr();
+      RelationalVCGen Gen(Ctx, Prog, Diags, Opts.GenOpts);
+      Gen.setProcName(Name);
+      Gen.genTriple(RelPre, P.body(), RelPost);
+      All.append(Gen.take());
+    }
     Report.Relaxed.Judgment = JudgmentKind::Relaxed;
-    Sched.discharge(Gen.take(), Report.Relaxed, TheSolver);
+    Sched.discharge(std::move(All), Report.Relaxed, TheSolver);
   }
 
   Report.GenErrors = Diags.errorCount() > ErrorsBeforeGen;
@@ -102,6 +125,10 @@ std::string relax::renderReport(const VerifyReport &Report,
       Out += "  [";
       Out += vcStatusName(O.Status);
       Out += "] ";
+      // Per-procedure attribution; elided for "main" so the legacy
+      // single-body report shape is unchanged.
+      if (!O.Condition.Proc.empty() && O.Condition.Proc != "main")
+        Out += O.Condition.Proc + ": ";
       Out += O.Condition.Rule;
       if (O.Condition.Loc.isValid())
         Out += " at line " + std::to_string(O.Condition.Loc.Line);

@@ -46,8 +46,12 @@ struct VerifyReport {
   /// Structural rule violations found during VC generation (e.g. a diverge
   /// frame over a modified variable); reported via the DiagnosticEngine.
   bool GenErrors = false;
-  JudgmentReport Original; ///< |-o pass over {requires} body {ensures}
-  JudgmentReport Relaxed;  ///< |-r pass over {rrequires} body {rensures}
+  /// |-o pass: every procedure's {requires} body {ensures} summary.
+  JudgmentReport Original;
+  /// |-r pass: every procedure's {rrequires} body {rensures} summary,
+  /// plus |-i summaries for procedures reachable from calls under plain
+  /// `diverge` annotations. Each VC's Proc field names its procedure.
+  JudgmentReport Relaxed;
 
   /// Theorem 8 preconditions: both passes verified.
   bool verified() const {
@@ -108,10 +112,12 @@ public:
   VerifyReport run(Options Opts);
   VerifyReport run() { return run(Options{}); }
 
-  /// The relational precondition actually used: the program's rrequires
-  /// clause, or (by default) "both executions start from the same state
-  /// satisfying the unary precondition":
+  /// The relational precondition actually used for the *entry* procedure:
+  /// its rrequires clause, or (by default) "both executions start from the
+  /// same state satisfying the unary precondition":
   /// identity /\ injo(requires) /\ injr(requires).
+  /// The per-procedure generalization is relax::effectiveRelRequires in
+  /// logic/FormulaOps.h; run() uses that for every procedure.
   const BoolExpr *effectiveRelRequires();
 
 private:

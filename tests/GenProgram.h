@@ -49,6 +49,13 @@ public:
     /// Append one assertion that is falsifiable under the requires
     /// clause (the differential-mutant mode).
     bool InjectFalsifiableAssert = false;
+    /// Emit this many contracted helper procedures, each called 1–2
+    /// times from the (lockstep) top level of main. 0 keeps the legacy
+    /// single-body surface. Helper contracts are sound by construction
+    /// (the body provably meets its ensures), while the call-site
+    /// requires-assertions inherit whatever state main has built up, so
+    /// verdict mixes stay interesting.
+    unsigned Procedures = 0;
   };
 
   explicit ProgramGen(uint64_t Seed) : Rng(Seed) {}
@@ -89,7 +96,45 @@ public:
     std::string Decls = "int ";
     for (unsigned I = 0; I != NumVars; ++I)
       Decls += (I ? ", " : "") + name(I);
-    return Decls + ";\nrequires (" + Req + ");\n{\n" + Body + "}\n";
+    if (Opts.Procedures == 0)
+      return Decls + ";\nrequires (" + Req + ");\n{\n" + Body + "}\n";
+
+    // Modular surface: helper procedures first, then an explicit main
+    // whose body is the legacy draw plus 1–2 calls per helper. Calls sit
+    // at main's top level only — the lockstep region — so every program
+    // is sema-clean (`diverge cases` branches reject calls).
+    std::string Out = Decls + ";\n\n";
+    std::string Calls;
+    for (unsigned K = 0; K != Opts.Procedures; ++K) {
+      unsigned V = pickVar();
+      std::string PName = "h" + std::to_string(K);
+      int64_t L, H;
+      std::string PBody;
+      if (Rng.nextBool()) {
+        // The helper forwards its parameter into the global; its ensures
+        // is exactly the parameter's required range.
+        PBody = "  " + name(V) + " = a;\n";
+        L = -2;
+        H = 2;
+      } else {
+        // The helper havocs the global within a widened window; its
+        // ensures restates the window.
+        L = Lo[V] - 1;
+        H = Hi[V] + 1;
+        PBody = "  havoc (" + name(V) + ") st (" + name(V) +
+                " >= " + std::to_string(L) + " && " + name(V) +
+                " <= " + std::to_string(H) + ");\n";
+      }
+      Out += "proc " + PName + "(int a)\n  modifies (" + name(V) +
+             ")\n  requires (a >= -2 && a <= 2);\n  ensures (" + name(V) +
+             " >= " + std::to_string(L) + " && " + name(V) +
+             " <= " + std::to_string(H) + ");\n{\n" + PBody + "}\n\n";
+      unsigned NCalls = 1 + static_cast<unsigned>(Rng.nextInRange(0, 1));
+      for (unsigned C = 0; C != NCalls; ++C)
+        Calls += "  call " + PName + "(" + lit() + ");\n";
+    }
+    return Out + "proc main()\n  requires (" + Req + ");\n{\n" + Body +
+           Calls + "}\n";
   }
 
 private:

@@ -26,6 +26,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <regex>
 #include <unistd.h>
 
 using namespace relax;
@@ -138,7 +139,8 @@ TEST(DriverExplain, MalformedSpecIsRejected) {
     EXPECT_EQ(R.Exit, 2) << Bad << "\n" << R.Output;
     EXPECT_NE(R.Output.find("bad --explain id"), std::string::npos)
         << Bad << "\n" << R.Output;
-    EXPECT_NE(R.Output.find("expected o:<n> or r:<n>"), std::string::npos)
+    EXPECT_NE(R.Output.find("expected o:<n>, r:<n>, or proc:<name>"),
+              std::string::npos)
         << Bad << "\n" << R.Output;
   }
 }
@@ -168,6 +170,68 @@ TEST(DriverExplain, ValidIdPrintsProvenanceAndKeepsVerifyExitCode) {
   EXPECT_NE(R.Output.find("== obligation o:0 =="), std::string::npos)
       << R.Output;
   EXPECT_NE(R.Output.find("judgment:"), std::string::npos) << R.Output;
+}
+
+// A small module for the per-procedure driver surfaces: f is summarized
+// once, main instantiates it.
+const char *ModularSource = "int x;\n"
+                            "proc f() modifies (x)\n"
+                            "  requires (x >= 0 && x <= 2); ensures (x >= 1);\n"
+                            "{ x = x + 1; }\n"
+                            "proc main() requires (x == 0); { call f(); }\n";
+
+TEST(DriverExplain, ProcFilterListsObligationsAndKeepsExitCode) {
+  RELAXC_SKIP_WITHOUT_DRIVER();
+  TempProgram P(ModularSource);
+  RunResult R =
+      runDriver({"verify", P.Path, BoundedPipeline, "--explain=proc:f"});
+  // The verify exit code survives a successful filter, whatever the
+  // bounded tier settled.
+  EXPECT_TRUE(R.Exit == 0 || R.Exit == 3) << R.Output;
+  EXPECT_NE(R.Output.find("obligations of procedure 'f'"), std::string::npos)
+      << R.Output;
+  // Every listed obligation belongs to f; the consequence rule is f's
+  // summary check.
+  EXPECT_NE(R.Output.find("consequence"), std::string::npos) << R.Output;
+  EXPECT_EQ(R.Output.find("call ("), std::string::npos)
+      << "main's call-site obligation leaked into proc:f\n"
+      << R.Output;
+}
+
+TEST(DriverExplain, UnknownProcFilterIsExitTwo) {
+  RELAXC_SKIP_WITHOUT_DRIVER();
+  TempProgram P(ModularSource);
+  RunResult R =
+      runDriver({"verify", P.Path, BoundedPipeline, "--explain=proc:nope"});
+  EXPECT_EQ(R.Exit, 2) << R.Output;
+  EXPECT_NE(R.Output.find("no obligations for procedure 'nope'"),
+            std::string::npos)
+      << R.Output;
+}
+
+TEST(DriverExplain, EmptyProcFilterIsExitTwo) {
+  RELAXC_SKIP_WITHOUT_DRIVER();
+  TempProgram P(ModularSource);
+  RunResult R =
+      runDriver({"verify", P.Path, BoundedPipeline, "--explain=proc:"});
+  EXPECT_EQ(R.Exit, 2) << R.Output;
+  EXPECT_NE(R.Output.find("bad --explain filter"), std::string::npos)
+      << R.Output;
+}
+
+TEST(DriverSolverStats, ReportsPerProcedureObligationCounts) {
+  RELAXC_SKIP_WITHOUT_DRIVER();
+  TempProgram P(ModularSource);
+  RunResult R =
+      runDriver({"verify", P.Path, BoundedPipeline, "--solver-stats"});
+  EXPECT_NE(R.Output.find("obligations by procedure:"), std::string::npos)
+      << R.Output;
+  EXPECT_TRUE(std::regex_search(
+      R.Output, std::regex("f: [1-9][0-9]* \\|-o, [0-9]+ \\|-r")))
+      << R.Output;
+  EXPECT_TRUE(std::regex_search(
+      R.Output, std::regex("main: [1-9][0-9]* \\|-o, [1-9][0-9]* \\|-r")))
+      << R.Output;
 }
 
 TEST(DriverDeadlines, ExpiredGlobalDeadlineIsExitThree) {

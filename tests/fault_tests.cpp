@@ -465,8 +465,10 @@ TEST(PoolHealth, SpawnFaultsAreToleratedAtCreateAndDiagnosedAfter) {
 // Chaos end-to-end: reports are bit-identical to the fault-free run
 //===----------------------------------------------------------------------===//
 
-const char *CaseStudies[] = {"swish.rlx",     "water.rlx",    "lu.rlx",
-                             "task_skip.rlx", "sampling.rlx", "memoize.rlx"};
+const char *CaseStudies[] = {"swish.rlx",     "water.rlx",
+                             "lu.rlx",        "task_skip.rlx",
+                             "sampling.rlx",  "memoize.rlx",
+                             "water_modular.rlx", "shared_callee.rlx"};
 
 /// The determinism-pinned outcome fields (Status, Detail, identity);
 /// SettledBy/Trail/Millis are schedule- and recovery-dependent by design.

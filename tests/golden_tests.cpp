@@ -83,7 +83,75 @@ TEST_P(GoldenRoundTrip, PrintReparsePointerEqualAndMatchesGolden) {
 INSTANTIATE_TEST_SUITE_P(CaseStudies, GoldenRoundTrip,
                          ::testing::Values("swish", "water", "lu",
                                            "task_skip", "sampling",
-                                           "memoize"));
+                                           "memoize", "water_modular",
+                                           "shared_callee"));
+
+//===----------------------------------------------------------------------===//
+// Module-printing shape
+//===----------------------------------------------------------------------===//
+
+// A bare-body program must keep printing in the legacy single-body shape:
+// no `proc` keyword, contracts at top level. The shard wire format and the
+// persistent-cache key are both derived from the printed form, so any drift
+// here silently invalidates caches and splits shard verdicts.
+TEST(ModulePrinting, LegacySingleBodyShapeIsPreserved) {
+  const char *Legacy = "int x;\n"
+                       "\n"
+                       "requires (x >= 0);\n"
+                       "ensures (x >= 1);\n"
+                       "\n"
+                       "{\n"
+                       "  x = x + 1;\n"
+                       "}";
+  ParsedProgram P = parseProgram(Legacy);
+  ASSERT_TRUE(P.ok()) << P.diagnostics();
+  ASSERT_FALSE(P.Prog->isExplicitModule());
+  Printer Pr(P.Ctx->symbols());
+  std::string Printed = Pr.print(*P.Prog);
+  EXPECT_EQ(Printed.find("proc"), std::string::npos)
+      << "implicit main must not print a proc header:\n"
+      << Printed;
+  EXPECT_NE(Printed.find("requires (x >= 0);"), std::string::npos);
+}
+
+// An explicit module round-trips every per-procedure contract clause and
+// the modifies frame through print → parse.
+TEST(ModulePrinting, ExplicitModuleRoundTripsContracts) {
+  const char *Module = "int x;\n"
+                       "proc f(int a)\n"
+                       "  modifies (x)\n"
+                       "  requires (a >= 0);\n"
+                       "  ensures (x >= a);\n"
+                       "  rrequires (a<o> == a<r>);\n"
+                       "  rensures (x<o> == x<r>);\n"
+                       "{ x = a; }\n"
+                       "proc main() { call f(3); }";
+  ParsedProgram P1 = parseProgram(Module);
+  ASSERT_TRUE(P1.ok()) << P1.diagnostics();
+  ASSERT_TRUE(P1.Prog->isExplicitModule());
+  Printer Pr(P1.Ctx->symbols());
+  std::string Printed = Pr.print(*P1.Prog);
+
+  SourceManager SM2;
+  SM2.setBuffer("<printed>", Printed);
+  DiagnosticEngine D2;
+  Parser Reparse(*P1.Ctx, SM2, D2);
+  std::optional<Program> P2 = Reparse.parseProgram();
+  ASSERT_TRUE(P2.has_value() && !D2.hasErrors())
+      << "printed module failed to re-parse:\n"
+      << Printed << D2.render();
+
+  const Procedure *F1 = P1.Prog->procedure(P1.Ctx->sym("f"));
+  const Procedure *F2 = P2->procedure(P1.Ctx->sym("f"));
+  ASSERT_TRUE(F1 && F2);
+  EXPECT_EQ(F1->requiresClause(), F2->requiresClause());
+  EXPECT_EQ(F1->ensuresClause(), F2->ensuresClause());
+  EXPECT_EQ(F1->relRequiresClause(), F2->relRequiresClause());
+  EXPECT_EQ(F1->relEnsuresClause(), F2->relEnsuresClause());
+  EXPECT_TRUE(F2->hasModifiesClause());
+  EXPECT_TRUE(structurallyEqual(*P1.Prog, *P2));
+  EXPECT_EQ(Printed, Pr.print(*P2));
+}
 
 //===----------------------------------------------------------------------===//
 // The program-level comparison is not vacuous

@@ -16,9 +16,12 @@
 //    loads cold; a flush tears the file and errors, and the torn file
 //    again loads cold);
 //  * end-to-end: cold vs warm `relaxc verify --cache-dir=` runs must
-//    produce bit-identical reports (timings stripped) on the six case
-//    studies and on generated programs, with the warm run settling every
-//    obligation from the cache (`queries: 0` under --solver-stats).
+//    produce bit-identical reports (timings stripped) on the shipped
+//    case studies (including the modular, multi-procedure ones) and on
+//    generated programs, with the warm run settling every obligation
+//    from the cache (`queries: 0` under --solver-stats); and procedure
+//    contracts must feed the cache key — two procedures with identical
+//    bodies but different contracts never share a verdict.
 //
 // The PersistentCacheChaos suite only compares a cold and a warm run of
 // the same driver against each other — no stats pins — so it stays green
@@ -31,11 +34,16 @@
 #include "GenProgram.h"
 #include "TestUtil.h"
 
+#include "sema/Sema.h"
 #include "support/FaultInjection.h"
 #include "support/PersistentCache.h"
 #include "support/Subprocess.h"
+#include "vcgen/Discharge.h"
+#include "vcgen/UnaryVCGen.h"
 
 #include <gtest/gtest.h>
+
+#include <set>
 
 #include <cstdio>
 #include <dirent.h>
@@ -237,6 +245,59 @@ TEST(PersistentCacheUnit, DuplicateInsertIsIdempotent) {
   PersistentCache C2(D.Path, "cfg");
   C2.load();
   EXPECT_EQ(C2.stats().Loaded, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Unit: procedure contracts feed the cache key
+//===----------------------------------------------------------------------===//
+
+// Two procedures with byte-identical bodies but different `ensures`
+// clauses must produce disjoint cache keys: the key is built from the
+// VC query formulas, and the contract appears in every summary
+// (consequence) and call-site (summary instantiation) obligation. A
+// body-only key would let a warm cache serve f's verdicts to g.
+TEST(PersistentCacheUnit, DifferentContractsNeverShareKeys) {
+  // Keys of f's own summary obligations only: main's obligations are
+  // deliberately identical across the two programs (same call site, same
+  // callee requires), and identical queries sharing a key is the cache
+  // working as intended.
+  auto KeysFor = [](const char *Source) {
+    relax::test::ParsedProgram P = relax::test::parseProgram(Source);
+    EXPECT_TRUE(P.ok()) << P.diagnostics();
+    Sema SemaPass(*P.Prog, P.Diags);
+    EXPECT_TRUE(SemaPass.run().has_value());
+    std::set<std::string> Keys;
+    const Procedure *Proc = P.Prog->procedure(P.Ctx->sym("f"));
+    EXPECT_NE(Proc, nullptr);
+    DiagnosticEngine Diags;
+    UnaryVCGen Gen(*P.Ctx, *P.Prog, JudgmentKind::Original, Diags);
+    Gen.genTriple(Proc->requiresClause() ? Proc->requiresClause()
+                                         : P.Ctx->trueExpr(),
+                  Proc->body(),
+                  Proc->ensuresClause() ? Proc->ensuresClause()
+                                        : P.Ctx->trueExpr());
+    for (const VC &C : Gen.take().VCs)
+      Keys.insert(persistentCacheKey("cfg", {vcQuery(*P.Ctx, C)},
+                                     P.Ctx->symbols()));
+    return Keys;
+  };
+  const char *A = "int x;\n"
+                  "proc f() modifies (x) requires (x >= 0); "
+                  "ensures (x >= 0); { x = x + 1; }\n"
+                  "proc main() requires (x >= 0); { call f(); }";
+  // Same bodies everywhere; only f's ensures differs.
+  const char *B = "int x;\n"
+                  "proc f() modifies (x) requires (x >= 0); "
+                  "ensures (x >= 1); { x = x + 1; }\n"
+                  "proc main() requires (x >= 0); { call f(); }";
+  std::set<std::string> KA = KeysFor(A);
+  std::set<std::string> KB = KeysFor(B);
+  ASSERT_FALSE(KA.empty());
+  ASSERT_FALSE(KB.empty());
+  for (const std::string &K : KA)
+    EXPECT_EQ(KB.count(K), 0u)
+        << "shared cache key across different contracts:\n"
+        << K;
 }
 
 //===----------------------------------------------------------------------===//
@@ -481,8 +542,9 @@ TEST(PersistentCacheFaults, InjectedWriteFaultTearsTheFileButStaysSound) {
 TEST(PersistentCacheDriver, CaseStudiesColdWarmBitIdentical) {
   RELAXC_SKIP_WITHOUT_DRIVER();
   RELAXC_SKIP_WITHOUT_Z3();
-  for (const char *Ex : {"swish.rlx", "water.rlx", "lu.rlx", "task_skip.rlx",
-                         "sampling.rlx", "memoize.rlx"}) {
+  for (const char *Ex :
+       {"swish.rlx", "water.rlx", "lu.rlx", "task_skip.rlx", "sampling.rlx",
+        "memoize.rlx", "water_modular.rlx", "shared_callee.rlx"}) {
     std::string Path = relax::test::examplePath(Ex);
     TempDir D;
     std::vector<std::string> Base = {"verify", Path,
@@ -545,6 +607,23 @@ TEST(PersistentCacheDriver, GeneratedProgramsColdWarmBitIdentical) {
     RunResult Warm = runDriver(Base);
     EXPECT_EQ(Warm.Exit, Cold.Exit) << "seed " << Seed << "\n" << Cold.Output;
     EXPECT_EQ(stripMs(Warm.Output), stripMs(Cold.Output)) << "seed " << Seed;
+  }
+  // Same pin over the modular corpus: per-procedure summary obligations
+  // and call-site instantiations round-trip through the cache too.
+  relax::test::ProgramGen::Options GO;
+  GO.Procedures = 2;
+  for (uint64_t Seed : {3u, 17u, 58u}) {
+    relax::test::ProgramGen Gen(Seed, GO);
+    TempProgram P(Gen.gen());
+    TempDir D;
+    std::vector<std::string> Base = {"verify", P.Path, BoundedPipeline,
+                                     "--cache-dir=" + D.Path, "--verbose"};
+    RunResult Cold = runDriver(Base);
+    RunResult Warm = runDriver(Base);
+    EXPECT_EQ(Warm.Exit, Cold.Exit)
+        << "modular seed " << Seed << "\n" << Cold.Output;
+    EXPECT_EQ(stripMs(Warm.Output), stripMs(Cold.Output))
+        << "modular seed " << Seed;
   }
 }
 

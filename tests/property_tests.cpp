@@ -80,6 +80,37 @@ TEST(PropertyRoundTrip, ParsePrintParseIsStructuralIdentity) {
   }
 }
 
+// The same identity over the modular corpus: multi-procedure programs
+// with contracts, frames, and call sites must survive parse → print →
+// parse without losing a clause.
+TEST(PropertyRoundTrip, ModularProgramsRoundTrip) {
+  ProgramGen::Options GO;
+  GO.Procedures = 2;
+  for (uint64_t Seed = 1; Seed <= 120; ++Seed) {
+    ProgramGen Gen(Seed, GO);
+    std::string Source = Gen.gen();
+    relax::test::ParsedProgram P = parseGenerated(Seed, Source);
+    if (!P.ok())
+      continue;
+    ASSERT_TRUE(P.Prog->isExplicitModule()) << "seed " << Seed;
+
+    Printer Pr(P.Ctx->symbols());
+    std::string Printed = Pr.print(*P.Prog);
+    SourceManager SM2;
+    SM2.setBuffer("<reprint>", Printed);
+    DiagnosticEngine D2;
+    Parser Par(*P.Ctx, SM2, D2);
+    std::optional<Program> Prog2 = Par.parseProgram();
+    ASSERT_TRUE(Prog2.has_value() && !D2.hasErrors())
+        << "seed " << Seed << ": printed module did not re-parse:\n"
+        << Printed << D2.render();
+    EXPECT_TRUE(structurallyEqual(*P.Prog, *Prog2))
+        << "seed " << Seed << ": round trip changed the module\n--- source\n"
+        << Source << "--- printed\n"
+        << Printed;
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // (b) verdict identity across schedules
 //===----------------------------------------------------------------------===//
@@ -135,6 +166,24 @@ TEST(PropertySchedules, VerdictsIndependentOfJobs) {
     VerifyReport Seq = runPortfolio(P, boundedPipeline(), 1);
     VerifyReport Par = runPortfolio(P, boundedPipeline(), 4);
     expectIdenticalReports(Seq, Par, Seed, "--jobs=1 vs --jobs=4");
+  }
+}
+
+// Modular corpus: summary obligations from several procedures feed one
+// scheduler, so the schedule-independence pin must hold across the
+// per-procedure VC groups too.
+TEST(PropertySchedules, ModularVerdictsIndependentOfJobs) {
+  ProgramGen::Options GO;
+  GO.Procedures = 2;
+  for (uint64_t Seed = 1; Seed <= 25; ++Seed) {
+    ProgramGen Gen(Seed, GO);
+    std::string Source = Gen.gen();
+    relax::test::ParsedProgram P = parseGenerated(Seed, Source);
+    if (!P.ok())
+      continue;
+    VerifyReport Seq = runPortfolio(P, boundedPipeline(), 1);
+    VerifyReport Par = runPortfolio(P, boundedPipeline(), 4);
+    expectIdenticalReports(Seq, Par, Seed, "modular --jobs=1 vs --jobs=4");
   }
 }
 

@@ -323,30 +323,35 @@ TEST(WireTotality, StoreReadsAndPrimedNamesRoundTrip) {
 }
 
 TEST(WireTotality, EveryCaseStudyVCQueryReparses) {
-  for (const char *Name : {"swish.rlx", "water.rlx", "lu.rlx",
-                           "task_skip.rlx", "sampling.rlx", "memoize.rlx"}) {
+  for (const char *Name :
+       {"swish.rlx", "water.rlx", "lu.rlx", "task_skip.rlx", "sampling.rlx",
+        "memoize.rlx", "water_modular.rlx", "shared_callee.rlx"}) {
     RELAXC_SLURP_EXAMPLE_OR_SKIP(Source, Name);
     relax::test::ParsedProgram P = relax::test::parseProgram(Source);
     ASSERT_TRUE(P.ok()) << Name << ": " << P.diagnostics();
     Sema SemaPass(*P.Prog, P.Diags);
     ASSERT_TRUE(SemaPass.run().has_value()) << Name;
 
+    // Generate per-procedure, exactly as the Verifier does: every
+    // procedure's summary VCs (plus call-site instantiations) go over
+    // the wire, so all of them must reparse.
     DiagnosticEngine Diags;
-    BoundedSolver Dummy;
-    Verifier V(*P.Ctx, *P.Prog, Dummy, Diags);
-    UnaryVCGen OGen(*P.Ctx, *P.Prog, JudgmentKind::Original, Diags);
-    OGen.genTriple(P.Prog->requiresClause() ? P.Prog->requiresClause()
-                                            : P.Ctx->trueExpr(),
-                   P.Prog->body(),
-                   P.Prog->ensuresClause() ? P.Prog->ensuresClause()
-                                           : P.Ctx->trueExpr());
-    RelationalVCGen RGen(*P.Ctx, *P.Prog, Diags);
-    RGen.genTriple(V.effectiveRelRequires(), P.Prog->body(),
-                   P.Prog->relEnsuresClause() ? P.Prog->relEnsuresClause()
-                                              : P.Ctx->trueExpr());
+    VCSet OSet, RSet;
+    for (const Procedure &Proc : P.Prog->procedures()) {
+      UnaryVCGen OGen(*P.Ctx, *P.Prog, JudgmentKind::Original, Diags);
+      OGen.genTriple(Proc.requiresClause() ? Proc.requiresClause()
+                                           : P.Ctx->trueExpr(),
+                     Proc.body(),
+                     Proc.ensuresClause() ? Proc.ensuresClause()
+                                          : P.Ctx->trueExpr());
+      OSet.append(OGen.take());
+      RelationalVCGen RGen(*P.Ctx, *P.Prog, Diags);
+      RGen.genTriple(effectiveRelRequires(*P.Ctx, *P.Prog, Proc), Proc.body(),
+                     Proc.relEnsuresClause() ? Proc.relEnsuresClause()
+                                             : P.Ctx->trueExpr());
+      RSet.append(RGen.take());
+    }
     unsigned Checked = 0;
-    VCSet OSet = OGen.take();
-    VCSet RSet = RGen.take();
     for (const VCSet *Set : {&OSet, &RSet})
       for (const VC &C : Set->VCs) {
         const BoolExpr *Q = vcQuery(*P.Ctx, C);
@@ -518,8 +523,10 @@ TEST(ShardPoolTest, RespawnsDeadWorkerAndVerdictIsUnchanged) {
 // End-to-end: sharded vs in-process discharge identity
 //===----------------------------------------------------------------------===//
 
-const char *CaseStudies[] = {"swish.rlx",     "water.rlx",    "lu.rlx",
-                             "task_skip.rlx", "sampling.rlx", "memoize.rlx"};
+const char *CaseStudies[] = {"swish.rlx",     "water.rlx",
+                             "lu.rlx",        "task_skip.rlx",
+                             "sampling.rlx",  "memoize.rlx",
+                             "water_modular.rlx", "shared_callee.rlx"};
 
 /// The determinism-pinned outcome fields (Status, Detail, identity);
 /// SettledBy/Trail/Millis are schedule-dependent by design.

@@ -183,6 +183,92 @@ TEST(Report, TimingIsPopulated) {
 // Verifier options
 //===----------------------------------------------------------------------===//
 
+//===----------------------------------------------------------------------===//
+// Modular case studies and the summary-reuse pin
+//===----------------------------------------------------------------------===//
+
+TEST(Examples, WaterModularVerifies) {
+  RELAXC_SKIP_WITHOUT_Z3();
+  RELAXC_SLURP_EXAMPLE_OR_SKIP(Source, "water_modular.rlx");
+  VerifyReport R = verifySource(Source);
+  EXPECT_TRUE(R.verified());
+  EXPECT_TRUE(R.Original.allProved());
+  EXPECT_TRUE(R.Relaxed.allProved());
+}
+
+TEST(Examples, SharedCalleeVerifies) {
+  RELAXC_SKIP_WITHOUT_Z3();
+  RELAXC_SLURP_EXAMPLE_OR_SKIP(Source, "shared_callee.rlx");
+  VerifyReport R = verifySource(Source);
+  EXPECT_TRUE(R.verified());
+  EXPECT_TRUE(R.Original.allProved());
+  EXPECT_TRUE(R.Relaxed.allProved());
+}
+
+TEST(ExamplesMutated, SharedCalleeWeakerBumpContractFails) {
+  RELAXC_SKIP_WITHOUT_Z3();
+  RELAXC_SLURP_EXAMPLE_OR_SKIP(Source, "shared_callee.rlx");
+  // Dropping bump's nonnegativity promise starves every call site: the
+  // caller's assert and relate depend on the summary, not the body.
+  expectMutationFails(Source, "rensures (0 <= x<o> && 0 <= x<r>);",
+                      "rensures (true);");
+}
+
+namespace {
+
+/// Counts report obligations attributed to procedure \p Name (the
+/// verifier stamps VC::Proc; "" is the implicit entry).
+size_t procVCs(const JudgmentReport &J, const std::string &Name) {
+  size_t N = 0;
+  for (const VCOutcome &O : J.Outcomes)
+    if (O.Condition.Proc == Name)
+      ++N;
+  return N;
+}
+
+} // namespace
+
+// The heart of modular verification: a callee's body obligations are
+// generated once, no matter how many call sites it has. Tripling the
+// call count must leave f's VC count untouched and grow only main's
+// (one summary instantiation per site).
+TEST(ModularVCs, CalleeBodyVCsAreIndependentOfCallSiteCount) {
+  const char *Header = "int x;\n"
+                       "proc f() modifies (x)\n"
+                       "  requires (x >= 0); ensures (x >= 1);\n"
+                       "  rrequires (x<o> >= 0 && x<r> >= 0);\n"
+                       "  rensures (x<o> >= 1 && x<r> >= 1);\n"
+                       "{ x = x + 1; if (x > 100) { x = 100; } else "
+                       "{ skip; } }\n"
+                       "proc main() requires (x == 0);\n";
+  std::string Once = std::string(Header) + "{ call f(); }";
+  std::string Thrice = std::string(Header) + "{ call f(); call f(); call f(); }";
+
+  auto Gen = [](const std::string &Source) {
+    ParsedProgram P = parseProgram(Source);
+    EXPECT_TRUE(P.ok()) << P.diagnostics();
+    BoundedSolver Backend;
+    Verifier V(*P.Ctx, *P.Prog, Backend, P.Diags);
+    return V.run();
+  };
+  VerifyReport R1 = Gen(Once);
+  VerifyReport R3 = Gen(Thrice);
+
+  size_t FOnce = procVCs(R1.Original, "f") + procVCs(R1.Relaxed, "f");
+  size_t FThrice = procVCs(R3.Original, "f") + procVCs(R3.Relaxed, "f");
+  EXPECT_GT(FOnce, 0u) << "f's summary obligations must be attributed to f";
+  EXPECT_EQ(FOnce, FThrice)
+      << "the callee's body VCs must be generated exactly once, not per call";
+
+  // Each extra call site costs exactly the summary instantiation (the
+  // callee-requires obligation per judgment), charged to the caller.
+  size_t MainOnce = procVCs(R1.Original, "main") + procVCs(R1.Relaxed, "main");
+  size_t MainThrice =
+      procVCs(R3.Original, "main") + procVCs(R3.Relaxed, "main");
+  EXPECT_EQ(MainThrice - MainOnce, 4u)
+      << "two extra calls: one |-o and one |-r requires-check each";
+}
+
 TEST(VerifierOptions, OriginalOnlySkipsRelaxedPass) {
   RELAXC_SKIP_WITHOUT_Z3();
   ParsedProgram P = parseProgram(
