@@ -91,13 +91,15 @@ void BM_Solver_Z3(benchmark::State &State) {
 /// recording the candidate-assignment counter next to the timings — the
 /// metric the search engine exists to shrink.
 void dischargeBoundedCorpus(benchmark::State &State,
-                            BoundedSolverOptions::Engine Eng) {
+                            BoundedSolverOptions::Engine Eng,
+                            bool Learning = true) {
   size_t Undecided = 0, Total = 0;
-  uint64_t Cands = 0;
+  uint64_t Cands = 0, Conflicts = 0;
   for (auto _ : State) {
     Undecided = 0;
     Total = 0;
     Cands = 0;
+    Conflicts = 0;
     for (const char *Source : SmallCorpus) {
       Loaded L = loadSource(Source);
       if (!L.Prog) {
@@ -106,6 +108,8 @@ void dischargeBoundedCorpus(benchmark::State &State,
       }
       BoundedSolverOptions O;
       O.Eng = Eng;
+      O.Learning = Learning;
+      O.Restarts = Learning;
       BoundedSolver Solver(O, L.Ctx.get());
       DiagnosticEngine Diags;
       Verifier V(*L.Ctx, *L.Prog, Solver, Diags);
@@ -119,15 +123,26 @@ void dischargeBoundedCorpus(benchmark::State &State,
                    R.Relaxed.count(VCStatus::Unknown) +
                    R.Relaxed.count(VCStatus::SolverError);
       Cands += Solver.candidatesEvaluated();
+      Conflicts += Solver.searchStats().Conflicts;
     }
   }
   State.counters["vcs"] = static_cast<double>(Total);
   State.counters["undecided"] = static_cast<double>(Undecided);
   State.counters["candidates"] = static_cast<double>(Cands);
+  State.counters["conflicts"] = static_cast<double>(Conflicts);
 }
 
 void BM_Solver_Bounded(benchmark::State &State) {
   dischargeBoundedCorpus(State, BoundedSolverOptions::Engine::Search);
+}
+
+/// The conflict-driven-machinery ablation on the same corpus: learning
+/// and restarts off, everything else identical. Verdict identity with
+/// the learning row is pinned by the differential suites; this row
+/// measures what the machinery costs (or saves) end to end.
+void BM_Solver_Bounded_NoLearning(benchmark::State &State) {
+  dischargeBoundedCorpus(State, BoundedSolverOptions::Engine::Search,
+                         /*Learning=*/false);
 }
 
 void BM_Solver_Bounded_Enumerate(benchmark::State &State) {
@@ -180,7 +195,8 @@ void BM_Solver_Bounded_PruningAblation(benchmark::State &State) {
 template <typename SourceLoader>
 void dischargePortfolio(benchmark::State &State, SourceLoader Load,
                         size_t NumSources, uint64_t BoundedSteps,
-                        ShardPool *Pool = nullptr, unsigned Jobs = 1) {
+                        ShardPool *Pool = nullptr, unsigned Jobs = 1,
+                        bool Learning = true) {
   DischargeStats Stats;
   size_t Undecided = 0, Total = 0;
   for (auto _ : State) {
@@ -195,6 +211,8 @@ void dischargePortfolio(benchmark::State &State, SourceLoader Load,
       }
       PortfolioOptions PO; // simplify,bounded,z3
       PO.Bounded.MaxQuantSteps = BoundedSteps;
+      PO.Bounded.Learning = Learning;
+      PO.Bounded.Restarts = Learning;
       if (Pool) {
         PO.Tiers = {TierKind::Simplify, TierKind::Bounded, TierKind::Shard};
         PO.Pool = Pool;
@@ -242,6 +260,16 @@ void dischargePortfolio(benchmark::State &State, SourceLoader Load,
       static_cast<double>(Stats.BoundedCandidates);
   State.counters["quant_steps"] =
       static_cast<double>(Stats.BoundedQuantSteps);
+  State.counters["conflicts"] =
+      static_cast<double>(Stats.Search.Conflicts);
+  State.counters["learned_nogoods"] =
+      static_cast<double>(Stats.Search.LearnedNogoods);
+  State.counters["unit_propagations"] =
+      static_cast<double>(Stats.Search.UnitPropagations);
+  State.counters["backjumps"] =
+      static_cast<double>(Stats.Search.Backjumps);
+  State.counters["restarts"] =
+      static_cast<double>(Stats.Search.Restarts);
 }
 
 void BM_Solver_Portfolio(benchmark::State &State) {
@@ -260,6 +288,18 @@ void BM_Solver_Portfolio_QuantifiedWater(benchmark::State &State) {
   dischargePortfolio(
       State, [](size_t) { return loadExample("water.rlx"); }, 1,
       /*BoundedSteps=*/10'000);
+}
+
+/// Water with the conflict-driven machinery off: the blind scan burns
+/// an order of magnitude more candidates and trips the budget on twice
+/// as many obligations before escalating (see candidates/budget_trips
+/// vs the learning row).
+void BM_Solver_Portfolio_QuantifiedWater_NoLearning(
+    benchmark::State &State) {
+  dischargePortfolio(
+      State, [](size_t) { return loadExample("water.rlx"); }, 1,
+      /*BoundedSteps=*/10'000, /*Pool=*/nullptr, /*Jobs=*/1,
+      /*Learning=*/false);
 }
 
 /// The sharded discharge tier: the same corpora with the final tier moved
@@ -493,6 +533,7 @@ void BM_Solver_PersistentCache_ColdOnSwish(benchmark::State &State) {
 
 BENCHMARK(BM_Solver_Z3)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Solver_Bounded)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Solver_Bounded_NoLearning)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Solver_Bounded_Enumerate)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Solver_Bounded_PruningAblation)
     ->Arg(3)
@@ -500,6 +541,8 @@ BENCHMARK(BM_Solver_Bounded_PruningAblation)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_Solver_Portfolio)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Solver_Portfolio_QuantifiedWater)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Solver_Portfolio_QuantifiedWater_NoLearning)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Solver_Shard)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Solver_Shard_QuantifiedWater)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Solver_Z3_NoSimplify)->Unit(benchmark::kMillisecond);

@@ -60,6 +60,13 @@ struct CliOptions {
   /// Per-query quantifier-step budget of the budgeted bounded tier.
   uint64_t BoundedSteps = 200'000;
   bool BoundedStepsSet = false; ///< --bounded-steps= was passed explicitly
+  /// Conflict-driven-search knobs of the bounded backend/tier. All three
+  /// are verdict-irrelevant (learning only skips refuted candidates) but
+  /// fingerprint-relevant: runs differing in any of them never share
+  /// persistent-cache entries.
+  bool BoundedLearning = true;
+  bool BoundedRestarts = true;
+  uint64_t BoundedMaxNogoods = 10'000;
   /// Obligation id ("o:3" / "r:5") to explain after a verify run.
   std::string Explain;
   bool SolverStats = false;
@@ -105,6 +112,16 @@ void printUsage() {
       "                            --pipeline=simplify,bounded,z3)\n"
       "  --bounded-steps=<n>       per-query quantifier-step budget of the\n"
       "                            budgeted bounded tier (default 200000)\n"
+      "  --bounded-learning=<on|off>\n"
+      "                            conflict-driven nogood learning in the\n"
+      "                            bounded search (default on; verdicts\n"
+      "                            are identical either way)\n"
+      "  --bounded-restarts=<on|off>\n"
+      "                            Luby restarts with activity-based\n"
+      "                            variable ordering (default on; implies\n"
+      "                            nothing unless learning is on)\n"
+      "  --bounded-max-nogoods=<n> learned-nogood store cap of the bounded\n"
+      "                            search (default 10000; 0 = unlimited)\n"
       "  --explain=<o:N|r:N|proc:name>\n"
       "                            after `verify`, print obligation N of\n"
       "                            the |-o / |-r pass (provenance, formula,\n"
@@ -211,6 +228,33 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         return false;
       }
       Opts.BoundedStepsSet = true;
+    } else if (const char *V = Value("--bounded-learning=")) {
+      if (std::strcmp(V, "on") != 0 && std::strcmp(V, "off") != 0) {
+        std::fprintf(stderr,
+                     "relaxc: error: bad --bounded-learning value '%s' "
+                     "(expected on or off)\n",
+                     V);
+        return false;
+      }
+      Opts.BoundedLearning = std::strcmp(V, "on") == 0;
+    } else if (const char *V = Value("--bounded-restarts=")) {
+      if (std::strcmp(V, "on") != 0 && std::strcmp(V, "off") != 0) {
+        std::fprintf(stderr,
+                     "relaxc: error: bad --bounded-restarts value '%s' "
+                     "(expected on or off)\n",
+                     V);
+        return false;
+      }
+      Opts.BoundedRestarts = std::strcmp(V, "on") == 0;
+    } else if (const char *V = Value("--bounded-max-nogoods=")) {
+      if (!parseUnsigned(V, Opts.BoundedMaxNogoods) ||
+          Opts.BoundedMaxNogoods > UINT32_MAX) {
+        std::fprintf(stderr,
+                     "relaxc: error: bad --bounded-max-nogoods value '%s' "
+                     "(expected a decimal nogood count; 0 = unlimited)\n",
+                     V);
+        return false;
+      }
     } else if (const char *V = Value("--explain="))
       Opts.Explain = V;
     else if (A == "--solver-stats")
@@ -344,10 +388,20 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
   return true;
 }
 
+/// The CLI's conflict-driven-search knobs, applied identically wherever a
+/// BoundedSolverOptions is built (makeSolver, the portfolio config, and
+/// the cache-fingerprint mirror — which must never drift apart).
+void applyBoundedSearchFlags(const CliOptions &Opts, BoundedSolverOptions &BO) {
+  BO.Learning = Opts.BoundedLearning;
+  BO.Restarts = Opts.BoundedRestarts;
+  BO.MaxNogoods = static_cast<uint32_t>(Opts.BoundedMaxNogoods);
+}
+
 std::unique_ptr<Solver> makeSolver(const CliOptions &Opts, AstContext &Ctx) {
   if (Opts.SolverName == "bounded") {
     BoundedSolverOptions BO;
     BO.Jobs = Opts.SolverJobs == 0 ? 1 : Opts.SolverJobs;
+    applyBoundedSearchFlags(Opts, BO);
     return std::make_unique<BoundedSolver>(BO, &Ctx);
   }
   return std::make_unique<Z3Solver>(Ctx.symbols());
@@ -428,6 +482,13 @@ void printSolverStats(const CliOptions &Opts,
   std::printf("  bounded work: %llu candidate assignments, %llu "
               "quantifier-body evaluations\n",
               U(S.BoundedCandidates), U(S.BoundedQuantSteps));
+  std::printf("  bounded search: %llu conflicts, %llu learned nogoods "
+              "(%llu evicted), %llu unit propagations, %llu backjumps, "
+              "%llu restarts, max trail depth %llu\n",
+              U(S.Search.Conflicts), U(S.Search.LearnedNogoods),
+              U(S.Search.EvictedNogoods), U(S.Search.UnitPropagations),
+              U(S.Search.Backjumps), U(S.Search.Restarts),
+              U(S.Search.MaxTrailDepth));
   std::printf("  scheduler: %llu stolen tasks\n", U(S.StolenTasks));
 }
 
@@ -560,6 +621,8 @@ bool printExplain(const VerifyReport &Report, const std::string &Id,
     std::printf("  detail:      %s\n", Found->Detail.c_str());
   if (!Found->Trail.empty())
     std::printf("  escalation trail: %s\n", Found->Trail.c_str());
+  std::printf("  bounded conflicts: %llu\n",
+              static_cast<unsigned long long>(Found->BoundedConflicts));
   return true;
 }
 
@@ -778,6 +841,7 @@ int runVerify(const CliOptions &Opts, AstContext &Ctx, Program &Prog,
     PO.Tiers = Tiers;
     PO.Bounded.MaxQuantSteps = Opts.BoundedSteps;
     PO.Bounded.Jobs = Opts.SolverJobs == 0 ? 1 : Opts.SolverJobs;
+    applyBoundedSearchFlags(Opts, PO.Bounded);
     PO.Pool = Pool.get();
     PO.ShardWorkerPipeline = WorkerPipe;
     VO.Portfolio = std::move(PO);
@@ -799,6 +863,7 @@ int runVerify(const CliOptions &Opts, AstContext &Ctx, Program &Prog,
       Fp = portfolioConfigFingerprint(*VO.Portfolio, RELAXC_HAVE_Z3 != 0);
     } else if (Opts.SolverName == "bounded") {
       BoundedSolverOptions BO; // mirror makeSolver: defaults, Jobs excluded
+      applyBoundedSearchFlags(Opts, BO);
       Fp = "backend=bounded " + boundedOptionsFingerprint(BO);
     } else {
       Fp = "backend=z3";

@@ -30,6 +30,18 @@
 /// `Engine::Enumerate` for differential testing and candidate-count
 /// ablation.
 ///
+/// The search is conflict-driven: a failing conjunct records the assigned
+/// support variables that fed the failing program as a *nogood*, unit
+/// nogoods forbid values before any conjunct program runs (skipped values
+/// are not counted as candidates), variable activity (VSIDS-style decay)
+/// reorders undecided variables at Luby-scheduled restart points, and a
+/// witness found under a restart-permuted order triggers a canonical
+/// re-search so the reported model is always the one the non-learning
+/// search returns. All learned state is local to one top-variable value,
+/// which is what keeps the `Jobs` chunk replay bit-identical to the
+/// sequential path. See the conflict-driven-search section of
+/// `src/support/README.md` for the invariants.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RELAXC_SOLVER_BOUNDEDSOLVER_H
@@ -67,6 +79,48 @@ struct BoundedSolverOptions {
   /// Worker threads for the search engine; the top variable's domain is
   /// chunked across them. Verdicts and witnesses are independent of Jobs.
   unsigned Jobs = 1;
+  /// Nogood learning: record the support of each failing conjunct as a
+  /// forbidden partial assignment and propagate it so the forbidden value
+  /// is skipped (uncounted) before any conjunct program runs. Learned
+  /// state never crosses a top-variable value boundary, so verdicts,
+  /// witnesses, and budget trips are identical to the non-learning search.
+  bool Learning = true;
+  /// Activity-ordered restarts on a Luby schedule of conflict counts
+  /// (search engine, Learning only). A witness found under a permuted
+  /// order is re-derived in canonical order, so the reported model is
+  /// unchanged.
+  bool Restarts = true;
+  /// Cap on stored nogoods per top-variable value; 0 = unlimited. When
+  /// full, new conflicts stop being stored (trail-scoped forbids still
+  /// apply) and restarts compact the store to the most active half.
+  uint32_t MaxNogoods = 10'000;
+};
+
+/// Counters for the conflict-driven search, cumulative across queries.
+/// Sums are independent of `Jobs` for queries that exhaust their domain
+/// or trip a budget; a Sat query counts whatever the chunks explored
+/// (parallel chunks past the witness may have run, exactly as the
+/// pre-learning candidate counter behaves).
+struct BoundedSearchStats {
+  uint64_t Conflicts = 0;        ///< conjunct checks that failed
+  uint64_t LearnedNogoods = 0;   ///< nogoods recorded in the store
+  uint64_t EvictedNogoods = 0;   ///< nogoods dropped by restart compaction
+  uint64_t UnitPropagations = 0; ///< values skipped by a forbidding nogood
+  uint64_t Backjumps = 0; ///< exhausted domains whose conflict cause
+                          ///< excluded the parent variable (rest skipped)
+  uint64_t Restarts = 0;         ///< restart epochs entered
+  uint64_t MaxTrailDepth = 0;    ///< deepest assignment trail reached
+
+  void merge(const BoundedSearchStats &O) {
+    Conflicts += O.Conflicts;
+    LearnedNogoods += O.LearnedNogoods;
+    EvictedNogoods += O.EvictedNogoods;
+    UnitPropagations += O.UnitPropagations;
+    Backjumps += O.Backjumps;
+    Restarts += O.Restarts;
+    if (O.MaxTrailDepth > MaxTrailDepth)
+      MaxTrailDepth = O.MaxTrailDepth;
+  }
 };
 
 /// Bounded-domain solver (backtracking search or exhaustive enumeration).
@@ -95,6 +149,9 @@ public:
   /// Cumulative quantifier-body evaluations across all queries.
   uint64_t quantStepsEvaluated() const { return QuantSteps; }
 
+  /// Cumulative conflict-driven-search counters (search engine only).
+  const BoundedSearchStats &searchStats() const { return SearchStats; }
+
   /// Why the most recent query stopped. Budget reasons accompany an
   /// Unknown verdict and let a portfolio report *which* per-query budget
   /// (candidates vs quantifier steps) caused the give-up.
@@ -110,11 +167,17 @@ public:
     return LastStop == StopReason::Deadline;
   }
 
+  uint64_t lastQueryBoundedConflicts() const override {
+    return LastQueryConflicts;
+  }
+
 private:
   BoundedSolverOptions Opts;
   AstContext *Ctx;
   uint64_t Candidates = 0;
   uint64_t QuantSteps = 0;
+  BoundedSearchStats SearchStats;
+  uint64_t LastQueryConflicts = 0;
   StopReason LastStop = StopReason::Decided;
 
   SatResult search(const std::vector<const BoolExpr *> &Formulas,

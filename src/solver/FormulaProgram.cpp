@@ -224,6 +224,11 @@ FormulaProgram::compile(const BoolExpr *Root, FormulaProgramCache *Cache) {
   return P;
 }
 
+void FormulaProgram::supportVars(std::vector<VarRef> &Out) const {
+  Out.insert(Out.end(), IntIns.begin(), IntIns.end());
+  Out.insert(Out.end(), ArrIns.begin(), ArrIns.end());
+}
+
 //===----------------------------------------------------------------------===//
 // Executor
 //===----------------------------------------------------------------------===//

@@ -94,6 +94,18 @@ public:
   const std::vector<VarRef> &intInputs() const { return IntIns; }
   const std::vector<VarRef> &arrayInputs() const { return ArrIns; }
 
+  /// Number of distinct variables the program reads — the bounded
+  /// planner's support-size ordering key.
+  size_t supportSize() const { return IntIns.size() + ArrIns.size(); }
+
+  /// Appends every variable the program reads (ints, then arrays) to
+  /// \p Out. Input slots are allocated on first reference during
+  /// compilation, so this is the exact evaluated slice — a variable whose
+  /// occurrences all folded away claims no slot — which is what makes the
+  /// set a sound conflict support: when the program returns false, only
+  /// these variables fed the failure.
+  void supportVars(std::vector<VarRef> &Out) const;
+
   const std::vector<Inst> &instructions() const { return Code; }
   const std::vector<SubProgram> &subPrograms() const { return Subs; }
 

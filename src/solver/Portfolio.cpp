@@ -93,6 +93,12 @@ std::string relax::boundedOptionsFingerprint(const BoundedSolverOptions &O) {
   Out += O.ExhaustionMeansUnsat ? "exhaust-unsat," : "exhaust-unknown,";
   Out += O.Eng == BoundedSolverOptions::Engine::Enumerate ? "enumerate"
                                                           : "search";
+  // Learning knobs change which budget an identical query trips (skipped
+  // candidates are uncounted), so configs differing only here must never
+  // share persistent-cache keys.
+  Out += O.Learning ? ",learn" : ",no-learn";
+  Out += O.Restarts ? ",restarts" : ",no-restarts";
+  Out += ",max-nogoods=" + std::to_string(O.MaxNogoods);
   return Out;
 }
 
@@ -287,6 +293,19 @@ Result<SatResult>
 PortfolioSolver::checkRange(size_t From, size_t To,
                             const std::vector<const BoolExpr *> &Formulas,
                             const VarRefSet *Vars, Model *ModelOut) {
+  // Snapshot-delta so --explain can attribute conflicts to the obligation
+  // this call served, whichever bounded tiers it touched. Shard-settled
+  // queries contribute 0 (out-of-process search, counters remote).
+  uint64_t Before = boundedSearchStats().Conflicts;
+  Result<SatResult> R = checkRangeImpl(From, To, Formulas, Vars, ModelOut);
+  LastConflicts = boundedSearchStats().Conflicts - Before;
+  return R;
+}
+
+Result<SatResult>
+PortfolioSolver::checkRangeImpl(size_t From, size_t To,
+                                const std::vector<const BoolExpr *> &Formulas,
+                                const VarRefSet *Vars, Model *ModelOut) {
   size_t N = Opts.Tiers.size();
   assert(From <= To && To <= N);
   LastSettled = false;
@@ -492,4 +511,14 @@ uint64_t PortfolioSolver::boundedQuantSteps() const {
   if (ShardFallbackBounded)
     N += ShardFallbackBounded->quantStepsEvaluated();
   return N;
+}
+
+BoundedSearchStats PortfolioSolver::boundedSearchStats() const {
+  BoundedSearchStats S;
+  for (const BoundedSolver *B : BoundedTier)
+    if (B)
+      S.merge(B->searchStats());
+  if (ShardFallbackBounded)
+    S.merge(ShardFallbackBounded->searchStats());
+  return S;
 }

@@ -220,9 +220,21 @@ public:
   uint64_t boundedCandidates() const;
   uint64_t boundedQuantSteps() const;
 
+  /// Cumulative conflict-driven-search counters, summed across every
+  /// bounded tier (including a shard tier's in-process fallback).
+  BoundedSearchStats boundedSearchStats() const;
+
   /// True when the last query settled as a deadline gave-up (settledBy()
   /// reports "deadline"); such verdicts are never cached.
   bool lastQueryDeadlined() const override { return LastDeadlined; }
+
+  /// Bounded-search conflicts attributable to the last checkSat /
+  /// checkRange call (snapshot delta over boundedSearchStats().Conflicts;
+  /// shard-settled queries report 0 — their conflicts happened out of
+  /// process).
+  uint64_t lastQueryBoundedConflicts() const override {
+    return LastConflicts;
+  }
 
 private:
   AstContext &Ctx;
@@ -258,10 +270,14 @@ private:
   const char *LastSettledBy = "portfolio";
   std::string LastTrail;
   bool LastDeadlined = false;
+  uint64_t LastConflicts = 0;
 
   Result<SatResult> runSimplifyTier(size_t I,
                                     const std::vector<const BoolExpr *> &F,
                                     Model *ModelOut, bool &Settled);
+  Result<SatResult> checkRangeImpl(size_t From, size_t To,
+                                   const std::vector<const BoolExpr *> &F,
+                                   const VarRefSet *Vars, Model *ModelOut);
 };
 
 } // namespace relax

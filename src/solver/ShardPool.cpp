@@ -144,6 +144,12 @@ std::string relax::serializeShardRequest(const ShardRequest &R) {
   Out += R.Bounded.Eng == BoundedSolverOptions::Engine::Enumerate
              ? " enumerate"
              : " search";
+  // Conflict-driven-search knobs ride behind keyword markers after the
+  // engine token, so a pre-learning worker's payload (which simply ends
+  // at the engine) still parses and gets the defaults.
+  Out += std::string(" learn ") + (R.Bounded.Learning ? "1" : "0");
+  Out += std::string(" restarts ") + (R.Bounded.Restarts ? "1" : "0");
+  Out += " max-nogoods " + std::to_string(R.Bounded.MaxNogoods);
   Out += std::string("\nwant-model ") + (R.WantModel ? "1" : "0");
   for (const auto &[Name, Kind] : R.Vars)
     Out += std::string("\nvar ") + kindWord(Kind) + " " + Name;
@@ -200,6 +206,44 @@ Result<ShardRequest> relax::parseShardRequest(std::string_view Payload) {
         Req.Bounded.Eng = BoundedSolverOptions::Engine::Enumerate;
       else
         return Status::error("bad bounded-options line (missing engine)");
+      // Optional conflict-driven-search knobs (absent in pre-learning
+      // payloads, which default). Keyword-tagged so a truncated or
+      // misordered line is diagnosed rather than misassigned.
+      auto ParseBool = [&](std::string_view Key, bool &Out) -> Status {
+        std::string_view V = nextToken(Rest);
+        if (V == "0")
+          Out = false;
+        else if (V == "1")
+          Out = true;
+        else
+          return Status::error("bad bounded-options line (bad " +
+                               std::string(Key) + " value '" + std::string(V) +
+                               "')");
+        return Status::success();
+      };
+      std::string_view Key = nextToken(Rest);
+      if (Key.empty())
+        return Status::success(); // old-format line: defaults stand
+      if (Key != "learn")
+        return Status::error("bad bounded-options line (expected 'learn', "
+                             "got '" +
+                             std::string(Key) + "')");
+      if (Status BS = ParseBool("learn", Req.Bounded.Learning); !BS.ok())
+        return BS;
+      if (nextToken(Rest) != "restarts")
+        return Status::error("bad bounded-options line (expected 'restarts')");
+      if (Status BS = ParseBool("restarts", Req.Bounded.Restarts); !BS.ok())
+        return BS;
+      if (nextToken(Rest) != "max-nogoods")
+        return Status::error(
+            "bad bounded-options line (expected 'max-nogoods')");
+      uint64_t MN;
+      if (!parseUint64(nextToken(Rest), MN) || MN > UINT32_MAX)
+        return Status::error("bad bounded-options line (bad max-nogoods "
+                             "count)");
+      Req.Bounded.MaxNogoods = static_cast<uint32_t>(MN);
+      if (!nextToken(Rest).empty())
+        return Status::error("bad bounded-options line (trailing tokens)");
       return Status::success();
     }
     if (D == "want-model") {

@@ -124,6 +124,13 @@ public:
   /// reason "deadline".
   virtual bool lastQueryDeadlined() const { return false; }
 
+  /// Conflicts (failed conjunct checks) the bounded search hit while
+  /// answering the most recent query. Backends without a bounded search
+  /// report 0; the portfolio reports the sum across whatever bounded
+  /// tiers the query touched. Purely observational — surfaced per
+  /// obligation by `--explain`.
+  virtual uint64_t lastQueryBoundedConflicts() const { return 0; }
+
   //===--------------------------------------------------------------------===//
   // Derived helpers
   //===--------------------------------------------------------------------===//

@@ -100,6 +100,8 @@ const char *faultSiteName(FaultSite S) {
     return "cache-read";
   case FaultSite::CacheWrite:
     return "cache-write";
+  case FaultSite::DeadlinePoll:
+    return "deadline-poll";
   }
   return "?";
 }

@@ -34,7 +34,8 @@
 ///                         into parts-per-million — no floating point)
 ///
 /// Site names: `frame-read`, `frame-write`, `worker-spawn`, `worker-exit`,
-/// `solver-call`, `response-delay`, `cache-read`, `cache-write`. Example:
+/// `solver-call`, `response-delay`, `cache-read`, `cache-write`,
+/// `deadline-poll`. Example:
 ///
 ///     RELAXC_FAULTS='seed=7,worker-exit=0.3,frame-write=0.05'
 ///
@@ -68,8 +69,9 @@ enum class FaultSite : uint8_t {
   ResponseDelay, ///< a worker sleeps `delay-ms` before answering
   CacheRead,     ///< PersistentCache::load treats the file as corrupt
   CacheWrite,    ///< PersistentCache::flush writes a torn prefix and errors
+  DeadlinePoll,  ///< a bounded-search deadline poll observes an expiry
 };
-constexpr unsigned NumFaultSites = 8;
+constexpr unsigned NumFaultSites = 9;
 
 /// Spec-spelling of a site ("frame-read", ...).
 const char *faultSiteName(FaultSite S);

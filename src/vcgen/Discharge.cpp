@@ -43,6 +43,7 @@ void DischargeStats::merge(const DischargeStats &O) {
   SharedCacheMisses += O.SharedCacheMisses;
   BoundedCandidates += O.BoundedCandidates;
   BoundedQuantSteps += O.BoundedQuantSteps;
+  Search.merge(O.Search);
   EscalatedObligations += O.EscalatedObligations;
   StolenTasks += O.StolenTasks;
 }
@@ -282,6 +283,11 @@ VCOutcome relax::dischargeVC(const VC &Condition, const BoolExpr *Query,
     Out.SettledBy = S.settledBy();
     Out.Trail = S.giveUpTrail();
   }
+  // Captured before applyVerdict: a failed validity obligation re-queries
+  // for a counterexample model, which would overwrite the per-query
+  // conflict delta with the re-query's.
+  if (!FromCache)
+    Out.BoundedConflicts = S.lastQueryBoundedConflicts();
   applyVerdict(Out, R, Syms,
                FromCache ? modelQueryOn(S) : modelQueryFromSettledTier(S),
                Formulas);
@@ -319,6 +325,7 @@ DischargeStats DischargeScheduler::stats() const {
     S.Portfolio.merge(MainPortfolio->stats());
     S.BoundedCandidates += MainPortfolio->boundedCandidates();
     S.BoundedQuantSteps += MainPortfolio->boundedQuantSteps();
+    S.Search.merge(MainPortfolio->boundedSearchStats());
   }
   S.SharedCacheHits += Shared.hitCount();
   S.SharedCacheMisses += Shared.missCount();
@@ -416,6 +423,8 @@ void DischargeScheduler::dischargeParallel(
       MainPortfolio->setDeadline(perVcDeadline());
       Result<SatResult> R =
           MainPortfolio->checkRange(0, FW, F, nullptr, nullptr);
+      Outcomes[I].BoundedConflicts +=
+          MainPortfolio->lastQueryBoundedConflicts();
       if (MainPortfolio->lastSettled() || !R.ok()) {
         Outcomes[I].SettledBy = MainPortfolio->settledBy();
         Outcomes[I].Trail = MainPortfolio->giveUpTrail();
@@ -542,6 +551,7 @@ void DischargeScheduler::dischargeParallel(
       }
       Port->setDeadline(perVcDeadline());
       Result<SatResult> R = Port->checkRange(FW, FE, F, nullptr, nullptr);
+      Outcomes[I].BoundedConflicts += Port->lastQueryBoundedConflicts();
       appendTrail(Trails[I], Port->giveUpTrail());
       if (Port->lastSettled() || !R.ok() || FE == NT) {
         Outcomes[I].SettledBy = Port->settledBy();
@@ -573,6 +583,7 @@ void DischargeScheduler::dischargeParallel(
       }
       Port->setDeadline(perVcDeadline());
       Result<SatResult> R = Port->checkRange(FE, NT, F, nullptr, nullptr);
+      Outcomes[I].BoundedConflicts += Port->lastQueryBoundedConflicts();
       appendTrail(Trails[I], Port->giveUpTrail());
       if (R.ok() && !Port->lastQueryDeadlined())
         Shared.insert(F, *R);
@@ -637,6 +648,7 @@ void DischargeScheduler::dischargeParallel(
       WorkerAccum.Portfolio.merge(Port->stats());
       WorkerAccum.BoundedCandidates += Port->boundedCandidates();
       WorkerAccum.BoundedQuantSteps += Port->boundedQuantSteps();
+      WorkerAccum.Search.merge(Port->boundedSearchStats());
     }
   };
 

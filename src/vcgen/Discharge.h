@@ -86,6 +86,10 @@ struct VCOutcome {
   /// Give-up trail of the portfolio tiers that escalated (informational,
   /// empty outside portfolio mode and on cache hits).
   std::string Trail;
+  /// Bounded-search conflicts this obligation's query hit (informational,
+  /// like SettledBy: 0 on cache hits and shard-settled queries, whose
+  /// search ran elsewhere). Shown by --explain.
+  uint64_t BoundedConflicts = 0;
 };
 
 /// All VCs of one judgment pass.
@@ -171,6 +175,7 @@ struct DischargeStats {
   uint64_t SharedCacheMisses = 0;
   uint64_t BoundedCandidates = 0; ///< bounded-tier candidate assignments
   uint64_t BoundedQuantSteps = 0; ///< bounded-tier quantifier-body evals
+  BoundedSearchStats Search; ///< bounded conflict-driven-search counters
   uint64_t EscalatedObligations = 0; ///< queued past the inline stage
   uint64_t StolenTasks = 0; ///< obligations run by a non-owner worker
 

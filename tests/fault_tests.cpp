@@ -190,6 +190,53 @@ TEST(DeadlineTest, ExpiredDeadlineSettlesBoundedQueryAsDeadline) {
   EXPECT_FALSE(S.lastQueryDeadlined());
 }
 
+TEST(DeadlineTest, PollCadenceCoversPropagationSkips) {
+  // The deadline poll charges a *work* counter (candidates + values
+  // skipped by propagation), not a candidate counter. Build a query on
+  // [-30, 30] whose search work is dominated by propagation skips:
+  // under order x, y, w, z, the partially-false `x+y+z >= -25` learns
+  // {y, z} nogoods that forbid most of z's domain for the whole y trail,
+  // while the always-false `x+w+z >= 400` keeps w in z's exhaust cause —
+  // so every w value rescans z, skipping the forbidden bulk uncounted.
+  // Forcing the poll site, the search must observe the expiry within one
+  // poll window (4096 work units) even though far fewer candidates were
+  // attempted; a candidate-counted poll would run the skip-heavy
+  // subtrees far past that point first.
+  AstContext Ctx;
+  const Expr *X = Ctx.var("x"), *Y = Ctx.var("y"), *W = Ctx.var("w"),
+             *Z = Ctx.var("z");
+  std::vector<const BoolExpr *> Q = {
+      Ctx.ge(Ctx.add(X, Y), Ctx.intLit(-100)),            // true: places x, y
+      Ctx.ge(Ctx.add(Y, W), Ctx.intLit(-100)),            // true: places w
+      Ctx.ge(Ctx.add(Ctx.add(X, Y), Z), Ctx.intLit(-25)), // partially false
+      Ctx.ge(Ctx.add(Ctx.add(X, W), Z), Ctx.intLit(400)), // always false
+  };
+
+  BoundedSolverOptions Opts;
+  Opts.IntLo = -30;
+  Opts.IntHi = 30;
+
+  {
+    ScopedFaults F("deadline-poll=1");
+    BoundedSolver S(Opts);
+    auto R = S.checkSat(Q);
+    ASSERT_TRUE(R.ok());
+    EXPECT_EQ(*R, SatResult::Unknown);
+    EXPECT_TRUE(S.lastQueryDeadlined());
+    EXPECT_LT(S.candidatesEvaluated(), 4096u)
+        << "the poll fired late: propagation skips were not charged";
+  }
+
+  // Fault-free control: the same query exhausts, and the skips the poll
+  // charged really happened.
+  BoundedSolver S(Opts);
+  auto R = S.checkSat(Q);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(*R, SatResult::Unsat);
+  EXPECT_FALSE(S.lastQueryDeadlined());
+  EXPECT_GT(S.searchStats().UnitPropagations, 0u);
+}
+
 TEST(DeadlineTest, DeadlineVerdictsAreNeverCached) {
   AstContext Ctx;
   const BoolExpr *F = Ctx.gt(Ctx.var("x"), Ctx.intLit(4));

@@ -301,6 +301,39 @@ TEST(PersistentCacheUnit, DifferentContractsNeverShareKeys) {
 }
 
 //===----------------------------------------------------------------------===//
+// Unit: learning knobs feed the config fingerprint
+//===----------------------------------------------------------------------===//
+
+// Learning changes which budget an identical query trips (propagation-
+// skipped values are uncounted candidates), so configs that differ only
+// in a conflict-driven-search knob must never share persistent-cache
+// keys. Pin each knob separately: a fingerprint that dropped one would
+// let a learning-on verdict satisfy a learning-off run.
+TEST(PersistentCacheUnit, LearningKnobsNeverShareKeys) {
+  PortfolioOptions Base;
+  auto Fp = [&](auto Tweak) {
+    PortfolioOptions O = Base;
+    Tweak(O.Bounded);
+    return portfolioConfigFingerprint(O, /*HaveSmtBackend=*/false);
+  };
+  std::string Ref = Fp([](BoundedSolverOptions &) {});
+  std::string NoLearn = Fp([](BoundedSolverOptions &B) { B.Learning = false; });
+  std::string NoRestart =
+      Fp([](BoundedSolverOptions &B) { B.Restarts = false; });
+  std::string Capped = Fp([](BoundedSolverOptions &B) { B.MaxNogoods = 7; });
+  EXPECT_NE(Ref, NoLearn);
+  EXPECT_NE(Ref, NoRestart);
+  EXPECT_NE(Ref, Capped);
+  EXPECT_NE(NoLearn, NoRestart);
+
+  // And the fingerprint difference carries through to the on-disk key.
+  AstContext Ctx;
+  const BoolExpr *Q = Ctx.cmp(CmpOp::Gt, Ctx.var("x"), Ctx.intLit(0));
+  EXPECT_NE(persistentCacheKey(Ref, {Q}, Ctx.symbols()),
+            persistentCacheKey(NoLearn, {Q}, Ctx.symbols()));
+}
+
+//===----------------------------------------------------------------------===//
 // Unit: verify-on-hit sampling and the divergence alarm
 //===----------------------------------------------------------------------===//
 

@@ -10,6 +10,9 @@
 //  * discharge verdicts are a pure function of the obligations — identical
 //    across --jobs=1/4, across --shards=0/4 (a live worker-process pool),
 //    and across shuffled obligation order;
+//  * conflict-driven learning never loses or flips a verdict the blind
+//    scan had (it may only decide obligations the blind scan's budget
+//    trips on), and the learning-off engine is schedule-independent too;
 //  * the bounded backend and Z3 agree on generated falsifiable mutants
 //    (differential corpus with injected refutable assertions).
 //
@@ -284,6 +287,84 @@ TEST(PropertySchedules, VerdictsIndependentOfSharding) {
   EXPECT_GE(Compared, 200u);
   EXPECT_GT(Pool->stats().Requests, 0u)
       << "the corpus never escalated to the shard tier";
+}
+
+// Nogood learning, restarts, and conflict-directed backjumping only skip
+// assignments that are already known falsified, so wherever the blind
+// scan decides, the learning engine must land on the bit-identical
+// verdict and witness. The one divergence budgets allow is directional:
+// learning reaches further per candidate charged, so it may decide an
+// obligation the blind scan's budget trips on — never the reverse, and
+// never a different decided verdict. (Chasing strict identity by raising
+// the budget just moves the margin to another seed: any budget leaves
+// some obligation the learning leg decides and the blind leg cannot.)
+void expectLearningCompatibleReports(const VerifyReport &On,
+                                     const VerifyReport &Off, uint64_t Seed,
+                                     const char *What) {
+  auto Compare = [&](const JudgmentReport &X, const JudgmentReport &Y,
+                     const char *Pass) {
+    ASSERT_EQ(X.Outcomes.size(), Y.Outcomes.size())
+        << "seed " << Seed << " " << What << " " << Pass;
+    for (size_t I = 0; I != X.Outcomes.size(); ++I) {
+      if (Y.Outcomes[I].Status == VCStatus::Unknown &&
+          X.Outcomes[I].Status != VCStatus::Unknown)
+        continue; // learning decided inside a budget the blind scan tripped
+      EXPECT_EQ(X.Outcomes[I].Status, Y.Outcomes[I].Status)
+          << "seed " << Seed << " " << What << " " << Pass << " VC #" << I
+          << " (" << X.Outcomes[I].Condition.Rule << ")";
+      EXPECT_EQ(X.Outcomes[I].Detail, Y.Outcomes[I].Detail)
+          << "seed " << Seed << " " << What << " " << Pass << " VC #" << I;
+    }
+  };
+  Compare(On.Original, Off.Original, "|-o");
+  Compare(On.Relaxed, Off.Relaxed, "|-r");
+}
+
+TEST(PropertySchedules, VerdictsIndependentOfLearning) {
+  std::unique_ptr<ShardPool> Pool;
+  if (!relax::test::driverPath().empty()) {
+    ShardPoolOptions SO;
+    SO.Shards = 4;
+    SO.WorkerExe = relax::test::driverPath();
+    SO.RoundTripTimeoutMs = 120'000;
+    auto PoolR = ShardPool::create(std::move(SO));
+    ASSERT_TRUE(PoolR.ok()) << PoolR.message();
+    Pool = std::move(*PoolR);
+  }
+
+  unsigned Compared = 0;
+  for (uint64_t Seed = 1; Seed <= 200; ++Seed) {
+    ProgramGen Gen(Seed);
+    std::string Source = Gen.gen();
+    relax::test::ParsedProgram P = parseGenerated(Seed, Source);
+    if (!P.ok())
+      continue;
+
+    PortfolioOptions Learn = boundedPipeline();
+    PortfolioOptions NoLearn = boundedPipeline();
+    NoLearn.Bounded.Learning = false;
+    NoLearn.Bounded.Restarts = false;
+
+    VerifyReport A = runPortfolio(P, Learn, 1);
+    VerifyReport B = runPortfolio(P, NoLearn, 1);
+    expectLearningCompatibleReports(A, B, Seed, "learning on vs off");
+
+    // The learning-off engine must itself be schedule-independent: its
+    // own jobs=4 (and sharded) runs are bit-identical to its jobs=1 run.
+    VerifyReport C = runPortfolio(P, NoLearn, 4);
+    expectIdenticalReports(B, C, Seed, "learning off --jobs=1 vs --jobs=4");
+
+    if (Pool && Seed % 8 == 0) {
+      // The shard wire format carries the learning knobs; a worker that
+      // dropped them would diverge from the in-process learning-off run.
+      PortfolioOptions ShardedOff = NoLearn;
+      ShardedOff.Pool = Pool.get();
+      VerifyReport D = runPortfolio(P, ShardedOff, 4);
+      expectIdenticalReports(B, D, Seed, "learning off --shards=4");
+    }
+    ++Compared;
+  }
+  EXPECT_GE(Compared, 200u);
 }
 
 //===----------------------------------------------------------------------===//

@@ -53,6 +53,9 @@ TEST(ShardWire, RequestRoundTrips) {
   R.Bounded.MaxQuantSteps = 77;
   R.Bounded.Jobs = 3;
   R.Bounded.Eng = BoundedSolverOptions::Engine::Enumerate;
+  R.Bounded.Learning = false;
+  R.Bounded.Restarts = false;
+  R.Bounded.MaxNogoods = 4321;
   R.FinalBoundedStepFactor = 8;
   R.WantModel = true;
   R.Vars = {{"x", VarKind::Int}, {"A", VarKind::Array}};
@@ -69,6 +72,9 @@ TEST(ShardWire, RequestRoundTrips) {
   EXPECT_EQ(P->Bounded.MaxQuantSteps, 77u);
   EXPECT_EQ(P->Bounded.Jobs, 3u);
   EXPECT_EQ(P->Bounded.Eng, BoundedSolverOptions::Engine::Enumerate);
+  EXPECT_FALSE(P->Bounded.Learning);
+  EXPECT_FALSE(P->Bounded.Restarts);
+  EXPECT_EQ(P->Bounded.MaxNogoods, 4321u);
   EXPECT_EQ(P->FinalBoundedStepFactor, 8u);
   EXPECT_TRUE(P->WantModel);
   ASSERT_EQ(P->Vars.size(), 2u);
@@ -113,6 +119,24 @@ TEST(ShardWire, ResponseRoundTrips) {
   EXPECT_NE(PE->Error.find("something broke"), std::string::npos);
 }
 
+TEST(ShardWire, OldFormatBoundedLineKeepsDefaults) {
+  // A payload from a pre-learning worker ends its bounded line at the
+  // engine token; the parser must accept it and leave the
+  // conflict-driven-search knobs at their defaults.
+  const char *Old = "relax-shard-request 1\n"
+                    "pipeline bounded\n"
+                    "bounded -6 6 3 -2 2 4000000 0 1 32 search\n"
+                    "want-model 0\n"
+                    "var int x\n"
+                    "formula x > 0\n";
+  auto P = parseShardRequest(Old);
+  ASSERT_TRUE(P.ok()) << P.message();
+  BoundedSolverOptions Defaults;
+  EXPECT_EQ(P->Bounded.Learning, Defaults.Learning);
+  EXPECT_EQ(P->Bounded.Restarts, Defaults.Restarts);
+  EXPECT_EQ(P->Bounded.MaxNogoods, Defaults.MaxNogoods);
+}
+
 TEST(ShardWire, MalformedPayloadsAreDiagnosed) {
   const char *BadRequests[] = {
       "",
@@ -125,6 +149,23 @@ TEST(ShardWire, MalformedPayloadsAreDiagnosed) {
       "relax-shard-request 1\npipeline z3\nvar notakind x\nformula x > 0",
       "relax-shard-request 1\npipeline z3\nmodel-var int badtag x\n"
       "formula x > 0",
+      // Conflict-driven-search knobs: wrong keyword, bad value,
+      // truncated tail, and trailing garbage must all be diagnosed.
+      "relax-shard-request 1\npipeline bounded\n"
+      "bounded -6 6 3 -2 2 10 0 1 32 search learning 1 restarts 1 "
+      "max-nogoods 5\nformula x > 0",
+      "relax-shard-request 1\npipeline bounded\n"
+      "bounded -6 6 3 -2 2 10 0 1 32 search learn yes restarts 1 "
+      "max-nogoods 5\nformula x > 0",
+      "relax-shard-request 1\npipeline bounded\n"
+      "bounded -6 6 3 -2 2 10 0 1 32 search learn 1 restarts 1\n"
+      "formula x > 0",
+      "relax-shard-request 1\npipeline bounded\n"
+      "bounded -6 6 3 -2 2 10 0 1 32 search learn 1 restarts 1 "
+      "max-nogoods 99999999999\nformula x > 0",
+      "relax-shard-request 1\npipeline bounded\n"
+      "bounded -6 6 3 -2 2 10 0 1 32 search learn 1 restarts 1 "
+      "max-nogoods 5 extra\nformula x > 0",
   };
   for (const char *S : BadRequests)
     EXPECT_FALSE(parseShardRequest(S).ok()) << "accepted: " << S;
