@@ -20,14 +20,17 @@
 #include "ast/Printer.h"
 #include "eval/PairRunner.h"
 #include "parser/Parser.h"
+#include "server/VerifyServer.h"
 #include "solver/BoundedSolver.h"
 #include "solver/CachingSolver.h"
 #include "solver/Portfolio.h"
+#include "solver/RemotePool.h"
 #include "solver/ShardPool.h"
 #include "solver/Z3Solver.h"
 #include "support/FaultInjection.h"
 #include "support/PersistentCache.h"
 #include "support/Subprocess.h"
+#include "support/Transport.h"
 #include "vcgen/Verifier.h"
 
 #include <cerrno>
@@ -76,6 +79,12 @@ struct CliOptions {
   unsigned SolverJobs = 1;
   /// Worker processes of the sharded discharge tier (0 = in-process).
   unsigned Shards = 0;
+  /// Remote discharge worker endpoints (`--remote-workers=host:port,...`);
+  /// empty = none. Mutually exclusive with --shards=.
+  std::string RemoteWorkers;
+  /// Daemon address for client mode (`--connect=<addr>`): ship the file
+  /// to a `--serve` daemon instead of verifying locally.
+  std::string Connect;
   /// This executable's path — respawned as the shard workers.
   std::string ExePath;
   size_t ArrayLen = 8;
@@ -153,6 +162,25 @@ void printUsage() {
       "                            each with its own AST and solver "
       "contexts\n"
       "                            (verdicts are identical to --shards=0)\n"
+      "  --remote-workers=<addr,...>\n"
+      "                            like --shards=, but the workers are "
+      "remote:\n"
+      "                            one socket endpoint (host:port or\n"
+      "                            unix:/path) per worker, each running\n"
+      "                            `relaxc --discharge-worker "
+      "--listen=<addr>`\n"
+      "                            or a `--serve` daemon (verdicts are\n"
+      "                            identical to the in-process chain)\n"
+      "  --connect=<addr>          verify via a `relaxc --serve=<addr>` "
+      "daemon:\n"
+      "                            ship the file, print the served "
+      "report,\n"
+      "                            exit with the served status\n"
+      "  --serve=<addr>            (as the first argument) run the "
+      "verification\n"
+      "                            daemon on unix:/path or host:port; "
+      "serves\n"
+      "                            --connect= clients and shard requests\n"
       "  --cache-dir=<dir>         persistent verdict cache for `verify`: "
       "settled\n"
       "                            obligations are reused across runs "
@@ -342,6 +370,21 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         return false;
       }
       Opts.Shards = static_cast<unsigned>(N);
+    } else if (const char *V = Value("--remote-workers=")) {
+      if (*V == '\0') {
+        std::fprintf(stderr,
+                     "relaxc: error: bad --remote-workers value (expected a "
+                     "comma-separated endpoint list)\n");
+        return false;
+      }
+      Opts.RemoteWorkers = V;
+    } else if (const char *V = Value("--connect=")) {
+      if (*V == '\0') {
+        std::fprintf(stderr, "relaxc: error: bad --connect value (expected "
+                             "unix:<path> or host:port)\n");
+        return false;
+      }
+      Opts.Connect = V;
     } else if (const char *V = Value("--timeout-ms=")) {
       uint64_t N = 0;
       if (!parseUnsigned(V, N) || N > uint64_t(INT64_MAX)) {
@@ -384,6 +427,37 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
                  "relaxc: error: --cache-verify= requires --cache-dir= "
                  "(there is no cache to audit without one)\n");
     return false;
+  }
+  if (Opts.Shards > 0 && !Opts.RemoteWorkers.empty()) {
+    std::fprintf(stderr,
+                 "relaxc: error: --shards= and --remote-workers= are "
+                 "mutually exclusive (one pool per run)\n");
+    return false;
+  }
+  if (!Opts.Connect.empty()) {
+    if (Opts.Command != "verify") {
+      std::fprintf(stderr, "relaxc: error: --connect= only applies to "
+                           "`verify`\n");
+      return false;
+    }
+    if (Opts.Shards > 0 || !Opts.RemoteWorkers.empty()) {
+      std::fprintf(stderr,
+                   "relaxc: error: --connect= ships the whole job to the "
+                   "daemon; pool flags belong to the daemon's side\n");
+      return false;
+    }
+    if (!Opts.CacheDir.empty()) {
+      std::fprintf(stderr,
+                   "relaxc: error: --cache-dir= does not combine with "
+                   "--connect= (the cache lives in the daemon; pass it to "
+                   "--serve=)\n");
+      return false;
+    }
+    if (!Opts.Explain.empty()) {
+      std::fprintf(stderr, "relaxc: error: --explain= is not available "
+                           "over --connect=\n");
+      return false;
+    }
   }
   return true;
 }
@@ -438,58 +512,9 @@ void printSolverStats(const CliOptions &Opts,
                       const std::vector<TierKind> &Tiers,
                       const DischargeStats &S, const CachingSolver &Cached,
                       const PersistentCache *PCache) {
-  auto U = [](uint64_t N) { return static_cast<unsigned long long>(N); };
-  std::printf("solver stats:\n");
-  if (!Tiers.empty()) {
-    std::printf("  pipeline: %s\n", formatPipeline(Tiers).c_str());
-    for (size_t I = 0; I != Tiers.size() && I != S.Portfolio.Tiers.size();
-         ++I) {
-      const PortfolioStats::TierStat &T = S.Portfolio.Tiers[I];
-      const char *Name = tierKindName(Tiers[I]);
-      bool Degraded = Tiers[I] == TierKind::Smt && !RELAXC_HAVE_Z3;
-      std::printf("  tier %zu %s%s: settled %llu, gave up %llu"
-                  " (%llu budget trips)\n",
-                  I, Name, Degraded ? " (bounded-full fallback)" : "",
-                  U(T.Settled), U(T.GaveUp), U(T.BudgetTrips));
-    }
-    std::printf("  queries: %llu, tier escalations: %llu, obligations "
-                "queued past the inline stage: %llu\n",
-                U(S.Portfolio.Queries), U(S.Portfolio.Escalations),
-                U(S.EscalatedObligations));
-    std::printf("  shared result cache: %llu hits, %llu misses\n",
-                U(S.SharedCacheHits), U(S.SharedCacheMisses));
-  } else {
-    // Single-backend mode: the sequential path runs behind CachingSolver;
-    // the parallel path uses the scheduler's shared cache.
-    std::printf("  backend: %s\n", Opts.SolverName.c_str());
-    std::printf("  caching solver: %llu hits, %llu misses, %llu model "
-                "pass-throughs\n",
-                U(Cached.hitCount()), U(Cached.missCount()),
-                U(Cached.modelPassThroughCount()));
-    std::printf("  shared result cache: %llu hits, %llu misses\n",
-                U(S.SharedCacheHits), U(S.SharedCacheMisses));
-  }
-  if (PCache) {
-    PersistentCacheStats PS = PCache->stats();
-    std::printf("  persistent cache: %llu entries loaded, %llu hits, "
-                "%llu appended, %llu verify-sampled (%llu verified)\n",
-                U(PS.Loaded), U(PS.Hits), U(PS.Appended),
-                U(PS.VerifySampled), U(PS.VerifiedHits));
-    if (PS.LoadCorrupt)
-      std::printf("  persistent cache recovered cold: %s\n",
-                  PS.LoadDetail.c_str());
-  }
-  std::printf("  bounded work: %llu candidate assignments, %llu "
-              "quantifier-body evaluations\n",
-              U(S.BoundedCandidates), U(S.BoundedQuantSteps));
-  std::printf("  bounded search: %llu conflicts, %llu learned nogoods "
-              "(%llu evicted), %llu unit propagations, %llu backjumps, "
-              "%llu restarts, max trail depth %llu\n",
-              U(S.Search.Conflicts), U(S.Search.LearnedNogoods),
-              U(S.Search.EvictedNogoods), U(S.Search.UnitPropagations),
-              U(S.Search.Backjumps), U(S.Search.Restarts),
-              U(S.Search.MaxTrailDepth));
-  std::printf("  scheduler: %llu stolen tasks\n", U(S.StolenTasks));
+  std::fputs(
+      renderSolverStats(Opts.SolverName, Tiers, S, &Cached, PCache).c_str(),
+      stdout);
 }
 
 /// Prints the `--solver-stats` per-procedure obligation counts: how many
@@ -497,24 +522,7 @@ void printSolverStats(const CliOptions &Opts,
 /// summary-based generation a procedure called N times still shows up
 /// exactly once here; only cheap instantiation VCs accrue to its callers.
 void printProcObligations(const VerifyReport &Report) {
-  std::vector<std::string> Order;
-  std::map<std::string, std::pair<size_t, size_t>> Counts;
-  auto Tally = [&](const JudgmentReport &J, bool Relaxed) {
-    for (const VCOutcome &O : J.Outcomes) {
-      std::string Name =
-          O.Condition.Proc.empty() ? std::string("main") : O.Condition.Proc;
-      auto [It, New] = Counts.try_emplace(Name, 0, 0);
-      if (New)
-        Order.push_back(Name);
-      ++(Relaxed ? It->second.second : It->second.first);
-    }
-  };
-  Tally(Report.Original, false);
-  Tally(Report.Relaxed, true);
-  std::printf("  obligations by procedure:\n");
-  for (const std::string &Name : Order)
-    std::printf("    %s: %zu |-o, %zu |-r\n", Name.c_str(),
-                Counts[Name].first, Counts[Name].second);
+  std::fputs(renderProcObligations(Report).c_str(), stdout);
 }
 
 /// Lists every obligation of one procedure's summary verifications
@@ -630,111 +638,12 @@ bool printExplain(const VerifyReport &Report, const std::string &Id,
 // The hidden --discharge-worker mode: one shard of the out-of-process
 // discharge tier. Reads length-prefixed requests on stdin (wire format in
 // solver/ShardPool.h), rebuilds each query in its own AstContext through
-// the ordinary parser, answers it with an ordinary PortfolioSolver, and
+// the ordinary parser (serveShardRequest, server/VerifyServer.h), and
 // writes the verdict frame to stdout. Exits 0 on clean EOF; any framing
 // error is answered with a diagnosed error frame (never a hang or crash)
-// and ends the worker, since the stream position is unrecoverable.
+// and ends the worker, since the stream position is unrecoverable. With
+// --listen=<addr> the same loop serves socket connections instead.
 //===----------------------------------------------------------------------===//
-
-/// Persistent across requests: the context's hash-cons tables, compiled
-/// formula programs, and Z3 term memos amortize over the obligations one
-/// shard serves. Rebuilt when a request changes the solver configuration.
-struct ShardWorkerState {
-  std::string ConfigKey;
-  std::unique_ptr<AstContext> Ctx;
-  std::unique_ptr<PortfolioSolver> Port;
-};
-
-ShardResponse serveShardRequest(ShardWorkerState &W,
-                                std::string_view Payload) {
-  ShardResponse Resp;
-  auto Fail = [&](std::string Msg) {
-    Resp = ShardResponse();
-    Resp.IsError = true;
-    Resp.Error = std::move(Msg);
-    return Resp;
-  };
-
-  Result<ShardRequest> Req = parseShardRequest(Payload);
-  if (!Req.ok())
-    return Fail("bad request: " + Req.message());
-  if (FaultRegistry::shouldFail(FaultSite::SolverCall))
-    return Fail("injected solver-call fault");
-  Result<std::vector<TierKind>> Tiers = parsePipelineSpec(Req->Pipeline);
-  if (!Tiers.ok())
-    return Fail("bad worker pipeline: " + Tiers.message());
-  for (TierKind K : *Tiers)
-    if (K == TierKind::Shard)
-      return Fail("a discharge worker cannot itself run a shard tier");
-
-  // The configuration key is the request's own serialization with the
-  // per-query parts stripped: any future field added to the bounded
-  // wire line automatically participates in config-change detection.
-  ShardRequest KeyReq;
-  KeyReq.Pipeline = Req->Pipeline;
-  KeyReq.Bounded = Req->Bounded;
-  KeyReq.FinalBoundedStepFactor = Req->FinalBoundedStepFactor;
-  std::string Key = serializeShardRequest(KeyReq);
-  if (!W.Ctx || W.ConfigKey != Key) {
-    W.Port.reset();
-    W.Ctx = std::make_unique<AstContext>();
-    PortfolioOptions PO;
-    PO.Tiers = *Tiers;
-    PO.Bounded = Req->Bounded;
-    PO.FinalBoundedStepFactor = Req->FinalBoundedStepFactor;
-    PortfolioSolver::BackendFactory Smt;
-    if (RELAXC_HAVE_Z3) {
-      AstContext *C = W.Ctx.get();
-      Smt = [C] { return std::make_unique<Z3Solver>(C->symbols()); };
-    }
-    W.Port = std::make_unique<PortfolioSolver>(*W.Ctx, PO, Smt);
-    W.ConfigKey = Key;
-  }
-
-  std::unordered_map<Symbol, VarKind> Kinds;
-  for (const auto &[Name, Kind] : Req->Vars)
-    Kinds[W.Ctx->sym(Name)] = Kind;
-
-  std::vector<const BoolExpr *> Formulas;
-  for (const std::string &Text : Req->Formulas) {
-    SourceManager SM;
-    SM.setBuffer("<shard-request>", Text);
-    DiagnosticEngine Diags;
-    Diags.setFileName("<shard-request>");
-    Parser P(*W.Ctx, SM, Diags);
-    const BoolExpr *F = P.parseStandaloneFormula(Kinds);
-    if (!F || Diags.hasErrors())
-      return Fail("formula parse error in '" + Text +
-                  "': " + Diags.render());
-    Formulas.push_back(F);
-  }
-
-  Model Mod;
-  Result<SatResult> R = SatResult::Unknown;
-  if (Req->WantModel) {
-    VarRefSet Vars;
-    for (const WireVar &V : Req->ModelVars)
-      Vars.insert(VarRef{W.Ctx->sym(V.Name), V.Tag, V.Kind});
-    R = W.Port->checkSatWithModel(Formulas, Vars, Mod);
-  } else {
-    R = W.Port->checkSat(Formulas);
-  }
-  if (!R.ok())
-    return Fail(R.message());
-
-  Resp.Verdict = *R;
-  Resp.SettledBy = W.Port->settledBy();
-  Resp.Trail = W.Port->giveUpTrail();
-  if (Req->WantModel && *R == SatResult::Sat) {
-    for (const auto &[V, Val] : Mod.Ints)
-      Resp.Ints.push_back(
-          {{std::string(W.Ctx->text(V.Name)), V.Tag, V.Kind}, Val});
-    for (const auto &[V, Val] : Mod.Arrays)
-      Resp.Arrays.push_back(
-          {{std::string(W.Ctx->text(V.Name)), V.Tag, V.Kind}, Val});
-  }
-  return Resp;
-}
 
 int runDischargeWorker() {
   ShardWorkerState W;
@@ -778,6 +687,218 @@ int runDischargeWorker() {
   }
 }
 
+/// `--discharge-worker --listen=<addr>`: the socket twin of the stdin
+/// loop, for `--remote-workers=`. Connections are served sequentially
+/// (one remote-pool slot holds one connection at a time); the solver
+/// context stays warm across connections, so a reconnecting pool keeps
+/// its amortized state. A framing error drops only that connection —
+/// the worker keeps listening.
+int runDischargeWorkerListen(const std::string &Addr) {
+  Result<SocketListener> L = SocketListener::bind(Addr);
+  if (!L.ok()) {
+    std::fprintf(stderr, "relaxc: error: %s\n", L.message().c_str());
+    return 2;
+  }
+  // Readiness line on stdout: scripts poll for it (and, with an
+  // ephemeral TCP port, read the resolved address from it).
+  std::printf("relaxc: discharge worker listening on %s\n",
+              L->address().c_str());
+  std::fflush(stdout);
+  ShardWorkerState W;
+  for (;;) {
+    Result<std::unique_ptr<Transport>> CR = L->accept();
+    if (!CR.ok())
+      continue; // transient accept error
+    Transport &T = **CR;
+    for (;;) {
+      FrameRead F = T.recvMs(-1);
+      if (F.eof())
+        break; // the pool dropped this connection; accept the next
+      if (!F.ok()) {
+        ShardResponse Resp;
+        Resp.IsError = true;
+        Resp.Error = "frame error: " + F.Message;
+        (void)T.send(serializeShardResponse(Resp));
+        std::fprintf(stderr, "relaxc: discharge worker: %s\n",
+                     F.Message.c_str());
+        break;
+      }
+      // Same chaos crash site as the pipe loop: die instead of
+      // answering, alternating silent death with a garbage partial
+      // frame, so the socket path's failure shapes match the pipe
+      // path's exactly.
+      if (FaultRegistry::shouldFail(FaultSite::WorkerExit)) {
+        FaultRegistry &R = FaultRegistry::instance();
+        if (R.drawCount(FaultSite::WorkerExit) % 2 == 1)
+          (void)!::write(T.recvFd(), "RLXF\xff\xff", 6);
+        ::_exit(3);
+      }
+      ShardResponse Resp = serveShardRequest(W, F.Payload);
+      if (FaultRegistry::shouldFail(FaultSite::ResponseDelay))
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(FaultRegistry::instance().delayMs()));
+      if (!T.send(serializeShardResponse(Resp)).ok())
+        break;
+    }
+  }
+}
+
+/// `--serve=<addr>` (as the first argument): the verification daemon.
+/// Remaining arguments are daemon-scoped flags, parsed strictly here —
+/// the regular CLI grammar (command + file) does not apply.
+int runServe(int Argc, char **Argv) {
+  VerifyServerOptions SO;
+  SO.Address = Argv[1] + std::strlen("--serve=");
+  if (SO.Address.empty()) {
+    std::fprintf(stderr, "relaxc: error: bad --serve value (expected "
+                         "unix:<path> or host:port)\n");
+    return 2;
+  }
+  for (int I = 2; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Value = [&](const char *Prefix) -> const char * {
+      size_t N = std::strlen(Prefix);
+      return A.compare(0, N, Prefix) == 0 ? A.c_str() + N : nullptr;
+    };
+    uint64_t N = 0;
+    if (const char *V = Value("--faults=")) {
+      if (Status S = FaultRegistry::instance().arm(V); !S.ok()) {
+        std::fprintf(stderr, "relaxc: error: %s\n", S.message().c_str());
+        return 2;
+      }
+    } else if (const char *V = Value("--cache-dir=")) {
+      SO.CacheDir = V;
+    } else if (const char *V = Value("--serve-threads=")) {
+      if (!parseUnsigned(V, N) || N == 0 || N > 1024) {
+        std::fprintf(stderr, "relaxc: error: bad --serve-threads value "
+                             "'%s' (expected 1..1024)\n", V);
+        return 2;
+      }
+      SO.MaxConnections = static_cast<unsigned>(N);
+    } else if (const char *V = Value("--serve-queue=")) {
+      if (!parseUnsigned(V, N) || N == 0 || N > 4096) {
+        std::fprintf(stderr, "relaxc: error: bad --serve-queue value "
+                             "'%s' (expected 1..4096)\n", V);
+        return 2;
+      }
+      SO.AcceptBacklog = static_cast<int>(N);
+    } else if (const char *V = Value("--serve-frame-timeout-ms=")) {
+      if (!parseUnsigned(V, N) || N > uint64_t(INT32_MAX)) {
+        std::fprintf(stderr, "relaxc: error: bad --serve-frame-timeout-ms "
+                             "value '%s'\n", V);
+        return 2;
+      }
+      SO.FrameReadTimeoutMs = static_cast<int>(N);
+    } else if (const char *V = Value("--serve-max-request-ms=")) {
+      if (!parseUnsigned(V, N) || N > uint64_t(INT64_MAX)) {
+        std::fprintf(stderr, "relaxc: error: bad --serve-max-request-ms "
+                             "value '%s'\n", V);
+        return 2;
+      }
+      SO.MaxRequestTimeoutMs = static_cast<int64_t>(N);
+    } else {
+      std::fprintf(stderr, "relaxc: error: unknown --serve option '%s'\n",
+                   A.c_str());
+      return 2;
+    }
+  }
+  Result<std::unique_ptr<VerifyServer>> S = VerifyServer::create(std::move(SO));
+  if (!S.ok()) {
+    std::fprintf(stderr, "relaxc: error: %s\n", S.message().c_str());
+    return 2;
+  }
+  // Readiness line: scripts poll for it and read the resolved address
+  // (TCP port 0 becomes the real ephemeral port here).
+  std::printf("relaxc: serving on %s\n", (*S)->boundAddress().c_str());
+  std::fflush(stdout);
+  return (*S)->run();
+}
+
+/// `verify <file> --connect=<addr>`: the thin client. Reads the file
+/// locally (so a missing file is diagnosed with local semantics), ships
+/// bytes plus configuration, and mirrors the daemon's streams and exit
+/// status. A capacity refusal (retryable) is retried with backoff.
+int runConnectVerify(const CliOptions &Opts) {
+  SourceManager SM;
+  if (Status S = SM.loadFile(Opts.File); !S.ok()) {
+    std::fprintf(stderr, "relaxc: error: %s\n", S.message().c_str());
+    return 2;
+  }
+  VerifyWireRequest Req;
+  Req.FileName = Opts.File;
+  Req.Source = SM.buffer();
+  Req.SolverName = Opts.SolverName;
+  if (!Opts.Pipeline.empty())
+    Req.Pipeline = formatPipeline(Opts.Pipeline);
+  Req.BoundedSteps = Opts.BoundedSteps;
+  Req.BoundedLearning = Opts.BoundedLearning;
+  Req.BoundedRestarts = Opts.BoundedRestarts;
+  Req.BoundedMaxNogoods = Opts.BoundedMaxNogoods;
+  Req.Jobs = Opts.Jobs;
+  Req.SolverJobs = Opts.SolverJobs;
+  Req.TimeoutMs = Opts.TimeoutMs;
+  Req.VcTimeoutMs = Opts.VcTimeoutMs;
+  Req.NoSafety = Opts.NoSafety;
+  Req.OriginalOnly = Opts.OriginalOnly;
+  Req.Verbose = Opts.Verbose;
+  Req.SolverStats = Opts.SolverStats;
+  const std::string Wire = serializeVerifyRequest(Req);
+
+  for (int Attempt = 0;; ++Attempt) {
+    Result<std::unique_ptr<Transport>> C =
+        connectSocket(Opts.Connect, /*TimeoutMs=*/10'000);
+    if (!C.ok()) {
+      std::fprintf(stderr, "relaxc: error: %s\n", C.message().c_str());
+      return 2;
+    }
+    // A daemon at capacity writes its retryable refusal and closes
+    // without reading the request, so this send can hit EPIPE with the
+    // refusal still buffered on our side. Fall through to the read
+    // instead of bailing on a send failure.
+    std::string SendError;
+    if (Status S = (*C)->send(Wire); !S.ok())
+      SendError = S.message();
+    // The daemon enforces the request deadline; the client waits it out
+    // (plus slack for queueing) rather than racing it with its own.
+    FrameRead F = (*C)->recvMs(-1);
+    if (!F.ok()) {
+      if (!SendError.empty() && Attempt < 40) {
+        // The daemon closed before reading the request, so nothing was
+        // processed and retrying is sound.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      if (!SendError.empty()) {
+        std::fprintf(stderr, "relaxc: error: request to '%s' failed: %s\n",
+                     Opts.Connect.c_str(), SendError.c_str());
+        return 2;
+      }
+      std::fprintf(stderr,
+                   "relaxc: error: no response from '%s': %s\n",
+                   Opts.Connect.c_str(),
+                   F.eof() ? "connection closed" : F.Message.c_str());
+      return 2;
+    }
+    Result<VerifyWireResponse> R = parseVerifyResponse(F.Payload);
+    if (!R.ok()) {
+      std::fprintf(stderr, "relaxc: error: %s\n", R.message().c_str());
+      return 2;
+    }
+    if (R->IsError && R->Retryable && Attempt < 40) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      continue;
+    }
+    if (R->IsError) {
+      std::fprintf(stderr, "relaxc: error: %s: %s\n", Opts.Connect.c_str(),
+                   R->Error.c_str());
+      return R->ExitStatus;
+    }
+    std::fputs(R->Diagnostics.c_str(), stderr);
+    std::fputs(R->Report.c_str(), stdout);
+    return R->ExitStatus;
+  }
+}
+
 int runVerify(const CliOptions &Opts, AstContext &Ctx, Program &Prog,
               DiagnosticEngine &Diags) {
   std::unique_ptr<Solver> Backend = makeSolver(Opts, Ctx);
@@ -801,9 +922,13 @@ int runVerify(const CliOptions &Opts, AstContext &Ctx, Program &Prog,
   // identical to the in-process chain by construction — the workers run
   // the same tiers under the same configuration.
   std::vector<TierKind> Tiers = Opts.Pipeline;
-  std::unique_ptr<ShardPool> Pool; // must outlive V.run()
+  std::unique_ptr<DischargePool> Pool; // must outlive V.run()
+  const char *PoolLabel = "shard pool";
   std::string WorkerPipe = "z3";
-  if (Opts.Shards > 0) {
+  // Shared by --shards= and --remote-workers=: end the chain in a
+  // `shard` tier and name the pipeline the workers run for the replaced
+  // final tier. Returns false after diagnosing an unshardable chain.
+  auto RewriteFinalTier = [&](const char *Flag) {
     if (Tiers.empty())
       Tiers = {TierKind::Simplify, TierKind::Bounded, TierKind::Smt};
     TierKind Final = Tiers.back();
@@ -813,13 +938,18 @@ int runVerify(const CliOptions &Opts, AstContext &Ctx, Program &Prog,
       WorkerPipe = "bounded";
     else {
       std::fprintf(stderr,
-                   "relaxc: error: --shards= needs a final bounded or z3 "
+                   "relaxc: error: %s needs a final bounded or z3 "
                    "tier to move out of process (the pipeline ends in "
                    "'%s')\n",
-                   tierKindName(Final));
-      return 2;
+                   Flag, tierKindName(Final));
+      return false;
     }
     Tiers.back() = TierKind::Shard;
+    return true;
+  };
+  if (Opts.Shards > 0) {
+    if (!RewriteFinalTier("--shards="))
+      return 2;
     ShardPoolOptions SO;
     SO.Shards = Opts.Shards;
     SO.WorkerExe = Opts.ExePath;
@@ -829,6 +959,24 @@ int runVerify(const CliOptions &Opts, AstContext &Ctx, Program &Prog,
       return 2;
     }
     Pool = std::move(*PR);
+  } else if (!Opts.RemoteWorkers.empty()) {
+    if (!RewriteFinalTier("--remote-workers="))
+      return 2;
+    RemotePoolOptions RO;
+    for (size_t Pos = 0; Pos <= Opts.RemoteWorkers.size();) {
+      size_t Comma = Opts.RemoteWorkers.find(',', Pos);
+      if (Comma == std::string::npos)
+        Comma = Opts.RemoteWorkers.size();
+      RO.Endpoints.push_back(Opts.RemoteWorkers.substr(Pos, Comma - Pos));
+      Pos = Comma + 1;
+    }
+    Result<std::unique_ptr<RemotePool>> PR = RemotePool::create(std::move(RO));
+    if (!PR.ok()) {
+      std::fprintf(stderr, "relaxc: error: %s\n", PR.message().c_str());
+      return 2;
+    }
+    Pool = std::move(*PR);
+    PoolLabel = "remote pool";
   }
 
   if (Tiers.empty() && Opts.BoundedStepsSet)
@@ -888,10 +1036,10 @@ int runVerify(const CliOptions &Opts, AstContext &Ctx, Program &Prog,
     printSolverStats(Opts, Tiers, Stats, Cached, PCache.get());
     printProcObligations(Report);
     if (Pool) {
-      ShardPool::Stats PS = Pool->stats();
-      std::printf("  shard pool: %u workers, %llu requests, %llu respawns;"
+      PoolStats PS = Pool->stats();
+      std::printf("  %s: %u workers, %llu requests, %llu respawns;"
                   " served",
-                  Pool->shardCount(),
+                  PoolLabel, Pool->shardCount(),
                   static_cast<unsigned long long>(PS.Requests),
                   static_cast<unsigned long long>(PS.Respawns));
       for (uint64_t N : PS.PerWorker)
@@ -1085,18 +1233,30 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  // The verification daemon: `relaxc --serve=<addr> [daemon flags]`.
+  // Dispatched before the regular grammar — a daemon has no file.
+  if (Argc >= 2 && std::strncmp(Argv[1], "--serve=", 8) == 0)
+    return runServe(Argc, Argv);
+
   // The hidden worker mode of the sharded discharge tier: no file, no
-  // command — just the frame loop over stdin/stdout. Workers accept
+  // command — just the frame loop over stdin/stdout (or, with
+  // --listen=<addr>, over accepted socket connections). Workers accept
   // --faults= directly so tests can arm them via pool WorkerArgs without
   // touching the parent's environment.
   if (Argc >= 2 && std::strcmp(Argv[1], "--discharge-worker") == 0) {
-    for (int I = 2; I < Argc; ++I)
-      if (std::strncmp(Argv[I], "--faults=", 9) == 0)
+    std::string ListenAddr;
+    for (int I = 2; I < Argc; ++I) {
+      if (std::strncmp(Argv[I], "--faults=", 9) == 0) {
         if (Status S = FaultRegistry::instance().arm(Argv[I] + 9); !S.ok()) {
           std::fprintf(stderr, "relaxc: error: %s\n", S.message().c_str());
           return 2;
         }
-    return runDischargeWorker();
+      } else if (std::strncmp(Argv[I], "--listen=", 9) == 0) {
+        ListenAddr = Argv[I] + 9;
+      }
+    }
+    return ListenAddr.empty() ? runDischargeWorker()
+                              : runDischargeWorkerListen(ListenAddr);
   }
 
   CliOptions Opts;
@@ -1113,6 +1273,11 @@ int main(int Argc, char **Argv) {
     ::setenv("RELAXC_FAULTS", Opts.Faults.c_str(), 1);
   }
   Opts.ExePath = currentExecutablePath(Argv[0]);
+
+  // Client mode: the whole job runs in the daemon; nothing below (parse,
+  // contexts, pools) happens locally.
+  if (!Opts.Connect.empty())
+    return runConnectVerify(Opts);
 
   SourceManager SM;
   if (Status S = SM.loadFile(Opts.File); !S.ok()) {

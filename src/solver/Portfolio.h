@@ -60,7 +60,7 @@
 
 namespace relax {
 
-class ShardPool;
+class DischargePool;
 
 /// One tier of the portfolio.
 enum class TierKind : uint8_t { Simplify, Bounded, Smt, Shard };
@@ -97,7 +97,7 @@ struct PortfolioOptions {
   /// Worker-process pool backing the `shard` tier. Not owned; many
   /// portfolios (one per scheduler worker) share one pool. Null degrades
   /// the shard tier to the in-process ShardWorkerPipeline tail.
-  ShardPool *Pool = nullptr;
+  DischargePool *Pool = nullptr;
   /// The tail tier chain shard workers run ("z3" or "bounded"),
   /// configured per request so every worker — and the pool-less
   /// degradation — answers from identical solver settings.

@@ -1,0 +1,52 @@
+//===- RemotePool.cpp - Socket-backed discharge shard tier --------------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/RemotePool.h"
+
+#include "support/FaultInjection.h"
+#include "support/Transport.h"
+
+#include <signal.h>
+
+using namespace relax;
+
+Result<std::unique_ptr<RemotePool>> RemotePool::create(RemotePoolOptions Opts) {
+  using R = Result<std::unique_ptr<RemotePool>>;
+  if (Opts.Endpoints.empty())
+    return R::error("a remote pool needs at least one worker endpoint");
+  for (const std::string &E : Opts.Endpoints)
+    if (E.empty())
+      return R::error("empty endpoint in the remote worker list");
+  // Same rationale as ShardPool::create: a peer vanishing mid-write must
+  // surface as a frame error, never a SIGPIPE kill.
+  ::signal(SIGPIPE, SIG_IGN);
+  std::unique_ptr<RemotePool> P(new RemotePool(std::move(Opts)));
+  unsigned N = static_cast<unsigned>(P->Opts.Endpoints.size());
+  P->initSlots(N);
+  for (unsigned I = 0; I != N; ++I) {
+    P->Chans.push_back(nullptr);
+    // Eager but tolerant: an endpoint that is down right now is retried
+    // by the first borrower through the revive path (spending budget
+    // there), matching ShardPool's initial-spawn discipline.
+    (void)P->reviveWorker(I);
+  }
+  return R(std::move(P));
+}
+
+RemotePool::~RemotePool() = default; // Transport dtors close the sockets
+
+Status RemotePool::reviveWorker(unsigned I) {
+  // A reconnect is this pool's "respawn": draw the same fault site so
+  // chaos specs written against ShardPool exercise this path unchanged.
+  if (FaultRegistry::shouldFail(FaultSite::WorkerSpawn))
+    return Status::error("injected worker-spawn fault");
+  auto C = connectSocket(Opts.Endpoints[I], Opts.ConnectTimeoutMs);
+  if (!C.ok())
+    return Status::error(C.message());
+  Chans[I] = std::move(C.value());
+  return Status::success();
+}

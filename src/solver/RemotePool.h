@@ -1,0 +1,69 @@
+//===- RemotePool.h - Socket-backed discharge shard tier -----------*- C++ -*-===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A ShardPool-shaped client whose workers are *remote*: each slot is a
+/// socket connection to a discharge worker started elsewhere with
+/// `relaxc --discharge-worker --listen=<addr>` (or any process speaking
+/// the shard wire over the frame protocol). Reached from the driver as
+/// `--remote-workers=host:port,unix:/path,...`.
+///
+/// The health machine is byte-identical to the in-process pool's — same
+/// retry-once soundness, circuit breaker, quarantine probes, and sticky
+/// degraded() fallback to the in-process tail — because it *is* the same
+/// code (solver/ShardPool.h, WorkerPoolBase). Only the revive verb
+/// differs: instead of respawning a subprocess, a slot reconnects to its
+/// endpoint.
+///
+/// One observable asymmetry is pinned by tests: a pipe worker's death is
+/// visible eagerly (waitpid at borrow → revive *before* the first write,
+/// costing a respawn but no failure), while a socket peer's death is
+/// lazy — the kernel happily buffers the request write and only the
+/// response read sees EOF. The round trip therefore costs one failure
+/// plus the sound retry, which reconnects and succeeds. Same stats
+/// fields, same verdicts; never a parse error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RELAXC_SOLVER_REMOTEPOOL_H
+#define RELAXC_SOLVER_REMOTEPOOL_H
+
+#include "solver/ShardPool.h"
+
+namespace relax {
+
+struct RemotePoolOptions : PoolHealthOptions {
+  /// One slot per endpoint; duplicates are allowed (N connections to one
+  /// daemon give N concurrent in-flight requests).
+  std::vector<std::string> Endpoints;
+  int ConnectTimeoutMs = 10'000;
+};
+
+class RemotePool final : public WorkerPoolBase {
+public:
+  /// Fails only on misconfiguration (no endpoints / bad grammar); an
+  /// unreachable endpoint is tolerated at create and retried through the
+  /// revive path, exactly like a failed initial spawn in ShardPool.
+  static Result<std::unique_ptr<RemotePool>> create(RemotePoolOptions Opts);
+  ~RemotePool() override;
+
+private:
+  explicit RemotePool(RemotePoolOptions O)
+      : WorkerPoolBase(O), Opts(std::move(O)) {}
+
+  RemotePoolOptions Opts;
+  std::vector<std::unique_ptr<Transport>> Chans; ///< parallel to base slots
+
+  bool workerAlive(unsigned I) override { return Chans[I] != nullptr; }
+  Status reviveWorker(unsigned I) override;
+  void killWorker(unsigned I) override { Chans[I].reset(); }
+  Transport *channel(unsigned I) override { return Chans[I].get(); }
+};
+
+} // namespace relax
+
+#endif // RELAXC_SOLVER_REMOTEPOOL_H

@@ -405,6 +405,220 @@ Result<ShardResponse> relax::parseShardResponse(std::string_view Payload) {
 }
 
 //===----------------------------------------------------------------------===//
+// WorkerPoolBase — the shared borrow/health/retry machinery
+//===----------------------------------------------------------------------===//
+
+void WorkerPoolBase::initSlots(unsigned N) {
+  Slots.clear();
+  for (unsigned I = 0; I != N; ++I)
+    Slots.push_back(std::make_unique<Slot>());
+}
+
+void WorkerPoolBase::noteFailureLocked(unsigned I, Slot &S) {
+  ++Failures;
+  ++S.ConsecutiveFailures;
+  if (!workerAlive(I) && S.Respawns >= HOpts.MaxRespawnsPerWorker) {
+    // No channel and no budget to make one: terminal.
+    S.Health = WorkerHealth::Dead;
+  } else if (S.ConsecutiveFailures >= HOpts.CircuitBreakerThreshold) {
+    // Trip the breaker: the slot sits out a (growing) quarantine, then
+    // exactly one borrower probes it. One bad worker thus costs each
+    // request at most one failed attempt instead of failing all of them.
+    uint64_t Ms =
+        std::min<uint64_t>(static_cast<uint64_t>(HOpts.QuarantineBaseMs)
+                               << std::min(S.Quarantines, 20u),
+                           HOpts.QuarantineMaxMs);
+    S.Health = WorkerHealth::Quarantined;
+    S.ProbeAt =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(Ms);
+    ++S.Quarantines;
+    ++QuarantinesTotal;
+  }
+  bool AllDead = true;
+  for (const auto &W : Slots)
+    AllDead = AllDead && W->Health == WorkerHealth::Dead;
+  if (AllDead)
+    DegradedFlag = true;
+}
+
+bool WorkerPoolBase::degraded() const {
+  std::lock_guard<std::mutex> L(M);
+  return DegradedFlag;
+}
+
+void WorkerPoolBase::noteFallback() {
+  std::lock_guard<std::mutex> L(M);
+  ++DegradedFallbacks;
+}
+
+void WorkerPoolBase::terminateWorker(unsigned I) {
+  std::lock_guard<std::mutex> L(M);
+  if (I < Slots.size())
+    killWorker(I);
+}
+
+PoolStats WorkerPoolBase::stats() const {
+  std::lock_guard<std::mutex> L(M);
+  PoolStats S;
+  S.Requests = Requests;
+  S.Attempts = Attempts;
+  S.Respawns = Respawns;
+  S.Failures = Failures;
+  S.Quarantines = QuarantinesTotal;
+  S.DegradedFallbacks = DegradedFallbacks;
+  S.Degraded = DegradedFlag;
+  for (const auto &W : Slots) {
+    S.PerWorker.push_back(W->Served);
+    S.PerWorkerHealth.push_back(W->Health);
+  }
+  return S;
+}
+
+Result<ShardResponse> WorkerPoolBase::discharge(const ShardRequest &R,
+                                                int TimeoutMs) {
+  const std::string Payload = serializeShardRequest(R);
+  std::string FailDetail = "no attempt made";
+  int ReadTimeoutMs = HOpts.RoundTripTimeoutMs;
+  if (TimeoutMs >= 0 && TimeoutMs < ReadTimeoutMs)
+    ReadTimeoutMs = TimeoutMs;
+  {
+    std::lock_guard<std::mutex> L(M);
+    ++Requests; // once per discharge() call; Attempts counts borrows
+  }
+
+  for (int Attempt = 0; Attempt != 2; ++Attempt) {
+    // Borrow a slot; Busy grants exclusive use of its channel. Candidates
+    // are non-Busy, non-Dead slots that are Healthy or whose quarantine
+    // has elapsed (the probe), and that either have a live channel or
+    // revive budget left. Only inspect a *free* slot's channel — a busy
+    // slot's channel belongs to its borrower.
+    using Clock = std::chrono::steady_clock;
+    unsigned SlotIndex = 0;
+    Slot *S = nullptr;
+    {
+      std::unique_lock<std::mutex> L(M);
+      for (;;) {
+        Clock::time_point Now = Clock::now();
+        bool AnyBusy = false, AllDead = true, HaveProbe = false;
+        Clock::time_point EarliestProbe = Clock::time_point::max();
+        for (unsigned I = 0; I != Slots.size(); ++I) {
+          Slot *W = Slots[I].get();
+          if (W->Health != WorkerHealth::Dead)
+            AllDead = false;
+          if (W->Busy) {
+            AnyBusy = true;
+            continue;
+          }
+          if (W->Health == WorkerHealth::Dead)
+            continue;
+          if (W->Health == WorkerHealth::Quarantined && Now < W->ProbeAt) {
+            HaveProbe = true;
+            EarliestProbe = std::min(EarliestProbe, W->ProbeAt);
+            continue;
+          }
+          if (!workerAlive(I) && W->Respawns >= HOpts.MaxRespawnsPerWorker) {
+            // Out of budget with no channel; finish the transition here
+            // (failures normally do it, but a terminateWorker() corpse
+            // can reach this state without one).
+            W->Health = WorkerHealth::Dead;
+            continue;
+          }
+          S = W;
+          SlotIndex = I;
+          break;
+        }
+        if (S)
+          break;
+        // Re-evaluate AllDead after the budget check above may have
+        // marked stragglers Dead.
+        AllDead = true;
+        for (const auto &W : Slots)
+          AllDead = AllDead && W->Health == WorkerHealth::Dead;
+        if (AllDead) {
+          DegradedFlag = true;
+          return Result<ShardResponse>::error(
+              "shard discharge failed: every worker is dead and the "
+              "respawn budget is exhausted");
+        }
+        if (HaveProbe && !AnyBusy)
+          FreeCV.wait_until(L, EarliestProbe);
+        else
+          FreeCV.wait(L);
+      }
+      S->Busy = true;
+      ++Attempts;
+    }
+
+    std::string Err;
+    if (!workerAlive(SlotIndex)) {
+      unsigned RespawnIndex;
+      {
+        std::lock_guard<std::mutex> L(M);
+        RespawnIndex = ++S->Respawns;
+        ++Respawns;
+      }
+      // Exponential backoff with deterministic jitter, slept while the
+      // slot is Busy (held exclusively) and outside the lock so healthy
+      // siblings keep serving. The jitter subtracts up to half the delay,
+      // hashed from (seed, slot, attempt) — reproducible, yet de-phased
+      // across slots.
+      if (HOpts.RespawnBackoffBaseMs > 0) {
+        uint64_t Ms = std::min<uint64_t>(
+            static_cast<uint64_t>(HOpts.RespawnBackoffBaseMs)
+                << std::min(RespawnIndex - 1, 20u),
+            HOpts.RespawnBackoffMaxMs);
+        uint64_t Jitter =
+            splitMixHash(HOpts.JitterSeed ^ (uint64_t(SlotIndex) << 32) ^
+                         RespawnIndex) %
+            (Ms / 2 + 1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(Ms - Jitter));
+      }
+      if (Status St = reviveWorker(SlotIndex); !St.ok())
+        Err = "worker respawn failed: " + St.message();
+    }
+    if (Err.empty()) {
+      Transport *Chan = channel(SlotIndex);
+      if (!Chan) {
+        Err = "request write failed: worker has no channel";
+      } else if (Status St = Chan->send(Payload); !St.ok()) {
+        Err = "request write failed: " + St.message();
+      } else {
+        FrameRead F = Chan->recvMs(ReadTimeoutMs);
+        if (F.ok()) {
+          {
+            std::lock_guard<std::mutex> L(M);
+            ++S->Served;
+            // Any full round trip heals the slot: close the breaker and
+            // return a probed slot to rotation.
+            S->ConsecutiveFailures = 0;
+            S->Health = WorkerHealth::Healthy;
+            S->Busy = false;
+          }
+          FreeCV.notify_all();
+          return parseShardResponse(F.Payload);
+        }
+        Err = F.eof() ? "worker exited before answering"
+                      : "response read failed: " + F.Message;
+      }
+      // The channel state is unknown after an I/O failure; kill the
+      // worker so the next borrower revives a clean one. This is also
+      // how a socket channel's lazily-detected peer death (EOF at the
+      // read) converges with the pipe channel's eagerly-known corpse:
+      // both leave the slot channel-less for the retry's revive path.
+      killWorker(SlotIndex);
+    }
+    {
+      std::lock_guard<std::mutex> L(M);
+      noteFailureLocked(SlotIndex, *S);
+      S->Busy = false;
+    }
+    FreeCV.notify_all();
+    FailDetail = Err;
+  }
+  return Result<ShardResponse>::error("shard discharge failed: " + FailDetail);
+}
+
+//===----------------------------------------------------------------------===//
 // ShardPool
 //===----------------------------------------------------------------------===//
 
@@ -419,223 +633,36 @@ Result<std::unique_ptr<ShardPool>> ShardPool::create(ShardPoolOptions Opts) {
   // surface as a frame error on this side, never a SIGPIPE kill.
   ::signal(SIGPIPE, SIG_IGN);
   std::unique_ptr<ShardPool> P(new ShardPool(std::move(Opts)));
+  P->initSlots(P->Opts.Shards);
   for (unsigned I = 0; I != P->Opts.Shards; ++I) {
-    auto Slot = std::make_unique<WorkerSlot>();
+    P->Procs.push_back(std::make_unique<Subprocess>());
+    P->Pipes.push_back(nullptr);
     // A failed initial spawn is tolerated: the slot stays Healthy with no
     // process, and the first borrower retries through the respawn path
     // (spending budget there). Creation only fails on misconfiguration,
     // checked above — not on transient spawn trouble.
-    (void)P->spawnWorker(*Slot);
-    P->Workers.push_back(std::move(Slot));
+    (void)P->reviveWorker(I);
   }
   return R(std::move(P));
 }
 
 ShardPool::~ShardPool() = default; // Subprocess dtors reap the workers
 
-Status ShardPool::spawnWorker(WorkerSlot &Slot) {
+Status ShardPool::reviveWorker(unsigned I) {
   if (FaultRegistry::shouldFail(FaultSite::WorkerSpawn))
     return Status::error("injected worker-spawn fault");
-  return Slot.Proc.spawn(Opts.WorkerExe, Opts.WorkerArgs);
+  if (Status S = Procs[I]->spawn(Opts.WorkerExe, Opts.WorkerArgs); !S.ok())
+    return S;
+  // Non-owning view of the subprocess pipes: Subprocess manages the fds'
+  // lifetime (terminate/respawn), the transport only frames over them.
+  Pipes[I] = std::make_unique<PipeTransport>(
+      Procs[I]->readFd(), Procs[I]->writeFd(), /*OwnsFds=*/false);
+  return Status::success();
 }
 
-void ShardPool::noteFailureLocked(WorkerSlot &Slot) {
-  ++Failures;
-  ++Slot.ConsecutiveFailures;
-  if (!Slot.Proc.running() && Slot.Respawns >= Opts.MaxRespawnsPerWorker) {
-    // No process and no budget to make one: terminal.
-    Slot.Health = WorkerHealth::Dead;
-  } else if (Slot.ConsecutiveFailures >= Opts.CircuitBreakerThreshold) {
-    // Trip the breaker: the slot sits out a (growing) quarantine, then
-    // exactly one borrower probes it. One bad worker thus costs each
-    // request at most one failed attempt instead of failing all of them.
-    uint64_t Ms = std::min<uint64_t>(static_cast<uint64_t>(Opts.QuarantineBaseMs)
-                                         << std::min(Slot.Quarantines, 20u),
-                                     Opts.QuarantineMaxMs);
-    Slot.Health = WorkerHealth::Quarantined;
-    Slot.ProbeAt =
-        std::chrono::steady_clock::now() + std::chrono::milliseconds(Ms);
-    ++Slot.Quarantines;
-    ++QuarantinesTotal;
-  }
-  bool AllDead = true;
-  for (const auto &W : Workers)
-    AllDead = AllDead && W->Health == WorkerHealth::Dead;
-  if (AllDead)
-    DegradedFlag = true;
-}
-
-bool ShardPool::degraded() const {
-  std::lock_guard<std::mutex> L(M);
-  return DegradedFlag;
-}
-
-void ShardPool::noteFallback() {
-  std::lock_guard<std::mutex> L(M);
-  ++DegradedFallbacks;
-}
-
-void ShardPool::terminateWorker(unsigned I) {
-  std::lock_guard<std::mutex> L(M);
-  if (I < Workers.size())
-    Workers[I]->Proc.terminate();
-}
-
-ShardPool::Stats ShardPool::stats() const {
-  std::lock_guard<std::mutex> L(M);
-  Stats S;
-  S.Requests = Requests;
-  S.Attempts = Attempts;
-  S.Respawns = Respawns;
-  S.Failures = Failures;
-  S.Quarantines = QuarantinesTotal;
-  S.DegradedFallbacks = DegradedFallbacks;
-  S.Degraded = DegradedFlag;
-  for (const auto &W : Workers) {
-    S.PerWorker.push_back(W->Served);
-    S.PerWorkerHealth.push_back(W->Health);
-  }
-  return S;
-}
-
-Result<ShardResponse> ShardPool::discharge(const ShardRequest &R,
-                                           int TimeoutMs) {
-  const std::string Payload = serializeShardRequest(R);
-  std::string FailDetail = "no attempt made";
-  int ReadTimeoutMs = Opts.RoundTripTimeoutMs;
-  if (TimeoutMs >= 0 && TimeoutMs < ReadTimeoutMs)
-    ReadTimeoutMs = TimeoutMs;
-  {
-    std::lock_guard<std::mutex> L(M);
-    ++Requests; // once per discharge() call; Attempts counts borrows
-  }
-
-  for (int Attempt = 0; Attempt != 2; ++Attempt) {
-    // Borrow a slot; Busy grants exclusive use of its pipes. Candidates
-    // are non-Busy, non-Dead slots that are Healthy or whose quarantine
-    // has elapsed (the probe), and that either have a live process or
-    // respawn budget left. Only inspect a *free* slot's process — a busy
-    // slot's Subprocess belongs to its borrower.
-    using Clock = std::chrono::steady_clock;
-    WorkerSlot *Slot = nullptr;
-    {
-      std::unique_lock<std::mutex> L(M);
-      for (;;) {
-        Clock::time_point Now = Clock::now();
-        bool AnyBusy = false, AllDead = true, HaveProbe = false;
-        Clock::time_point EarliestProbe = Clock::time_point::max();
-        for (const auto &W : Workers) {
-          if (W->Health != WorkerHealth::Dead)
-            AllDead = false;
-          if (W->Busy) {
-            AnyBusy = true;
-            continue;
-          }
-          if (W->Health == WorkerHealth::Dead)
-            continue;
-          if (W->Health == WorkerHealth::Quarantined && Now < W->ProbeAt) {
-            HaveProbe = true;
-            EarliestProbe = std::min(EarliestProbe, W->ProbeAt);
-            continue;
-          }
-          if (!W->Proc.running() &&
-              W->Respawns >= Opts.MaxRespawnsPerWorker) {
-            // Out of budget with no process; finish the transition here
-            // (failures normally do it, but a terminateWorker() corpse
-            // can reach this state without one).
-            W->Health = WorkerHealth::Dead;
-            continue;
-          }
-          Slot = W.get();
-          break;
-        }
-        if (Slot)
-          break;
-        // Re-evaluate AllDead after the budget check above may have
-        // marked stragglers Dead.
-        AllDead = true;
-        for (const auto &W : Workers)
-          AllDead = AllDead && W->Health == WorkerHealth::Dead;
-        if (AllDead) {
-          DegradedFlag = true;
-          return Result<ShardResponse>::error(
-              "shard discharge failed: every worker is dead and the "
-              "respawn budget is exhausted");
-        }
-        if (HaveProbe && !AnyBusy)
-          FreeCV.wait_until(L, EarliestProbe);
-        else
-          FreeCV.wait(L);
-      }
-      Slot->Busy = true;
-      ++Attempts;
-    }
-
-    std::string Err;
-    if (!Slot->Proc.running()) {
-      unsigned RespawnIndex;
-      {
-        std::lock_guard<std::mutex> L(M);
-        RespawnIndex = ++Slot->Respawns;
-        ++Respawns;
-      }
-      // Exponential backoff with deterministic jitter, slept while the
-      // slot is Busy (held exclusively) and outside the lock so healthy
-      // siblings keep serving. The jitter subtracts up to half the delay,
-      // hashed from (seed, slot, attempt) — reproducible, yet de-phased
-      // across slots.
-      if (Opts.RespawnBackoffBaseMs > 0) {
-        uint64_t Ms = std::min<uint64_t>(
-            static_cast<uint64_t>(Opts.RespawnBackoffBaseMs)
-                << std::min(RespawnIndex - 1, 20u),
-            Opts.RespawnBackoffMaxMs);
-        size_t SlotIndex = 0;
-        for (size_t I = 0; I != Workers.size(); ++I)
-          if (Workers[I].get() == Slot)
-            SlotIndex = I;
-        uint64_t Jitter =
-            splitMixHash(Opts.JitterSeed ^ (uint64_t(SlotIndex) << 32) ^
-                         RespawnIndex) %
-            (Ms / 2 + 1);
-        std::this_thread::sleep_for(std::chrono::milliseconds(Ms - Jitter));
-      }
-      if (Status S = spawnWorker(*Slot); !S.ok())
-        Err = "worker respawn failed: " + S.message();
-    }
-    if (Err.empty()) {
-      if (Status S = writeFrame(Slot->Proc.writeFd(), Payload); !S.ok()) {
-        Err = "request write failed: " + S.message();
-      } else {
-        FrameRead F = readFrame(Slot->Proc.readFd(), ReadTimeoutMs);
-        if (F.ok()) {
-          {
-            std::lock_guard<std::mutex> L(M);
-            ++Slot->Served;
-            // Any full round trip heals the slot: close the breaker and
-            // return a probed slot to rotation.
-            Slot->ConsecutiveFailures = 0;
-            Slot->Health = WorkerHealth::Healthy;
-            Slot->Busy = false;
-          }
-          FreeCV.notify_all();
-          return parseShardResponse(F.Payload);
-        }
-        Err = F.eof() ? "worker exited before answering"
-                      : "response read failed: " + F.Message;
-      }
-      // The pipe state is unknown after an I/O failure; kill the worker
-      // so the next borrower respawns a clean one.
-      Slot->Proc.terminate();
-    }
-    {
-      std::lock_guard<std::mutex> L(M);
-      noteFailureLocked(*Slot);
-      Slot->Busy = false;
-    }
-    FreeCV.notify_all();
-    FailDetail = Err;
-  }
-  return Result<ShardResponse>::error("shard discharge failed: " + FailDetail);
+void ShardPool::killWorker(unsigned I) {
+  Procs[I]->terminate();
+  Pipes[I].reset();
 }
 
 //===----------------------------------------------------------------------===//

@@ -46,6 +46,7 @@
 
 #include "solver/BoundedSolver.h"
 #include "support/Subprocess.h"
+#include "support/Transport.h"
 
 #include <chrono>
 #include <condition_variable>
@@ -103,23 +104,71 @@ Result<ShardRequest> parseShardRequest(std::string_view Payload);
 std::string serializeShardResponse(const ShardResponse &R);
 Result<ShardResponse> parseShardResponse(std::string_view Payload);
 
-/// Pool configuration.
-struct ShardPoolOptions {
-  unsigned Shards = 2;
-  /// The worker executable — normally currentExecutablePath() of the
-  /// relaxc driver itself.
-  std::string WorkerExe;
-  std::vector<std::string> WorkerArgs = {"--discharge-worker"};
+/// Health state of one pool worker slot (see the health model below).
+enum class WorkerHealth : uint8_t { Healthy, Quarantined, Dead };
+
+/// Aggregated pool statistics, identical across pool flavors so the
+/// driver and the chaos pins read one shape.
+struct PoolStats {
+  uint64_t Requests = 0; ///< discharge() calls (not per-attempt)
+  uint64_t Attempts = 0; ///< slot borrows, including the sound retries
+  uint64_t Respawns = 0; ///< process respawns / connection re-dials
+  uint64_t Failures = 0;    ///< failed round-trip attempts
+  uint64_t Quarantines = 0; ///< circuit-breaker trips across all slots
+  uint64_t DegradedFallbacks = 0; ///< queries answered by the fallback
+  bool Degraded = false;          ///< every slot is Dead
+  std::vector<uint64_t> PerWorker; ///< requests served per shard
+  std::vector<WorkerHealth> PerWorkerHealth;
+};
+
+/// The abstract pool the portfolio's shard tier dispatches to: a
+/// subprocess pool (ShardPool), a remote socket pool (RemotePool), or a
+/// test double. All flavors share the retry/health/degradation contract
+/// documented on ShardPool.
+class DischargePool {
+public:
+  using WorkerHealth = ::relax::WorkerHealth;
+  using Stats = PoolStats;
+
+  virtual ~DischargePool() = default;
+
+  virtual unsigned shardCount() const = 0;
+
+  /// Serializes \p R, round-trips it on any free healthy (or probe-due)
+  /// worker, and parses the response. A dead worker is revived with
+  /// backoff (bounded by MaxRespawnsPerWorker) and the request retried on
+  /// failure exactly once — the single sound retry: worker answers are
+  /// pure functions of the request, so a retry cannot change a verdict,
+  /// and a request that failed twice is reported as an error rather than
+  /// guessed at. \p TimeoutMs, when >= 0, caps the response read below
+  /// RoundTripTimeoutMs (the discharge deadline plumbs through here).
+  virtual Result<ShardResponse> discharge(const ShardRequest &R,
+                                          int TimeoutMs = -1) = 0;
+
+  /// Sticky: true once every slot has died for good. The portfolio checks
+  /// this to route shard-tier queries straight to the in-process tail.
+  virtual bool degraded() const = 0;
+
+  /// Called by the portfolio each time a shard-tier query is answered by
+  /// the in-process fallback instead of the pool (shown in --solver-stats).
+  virtual void noteFallback() = 0;
+
+  virtual PoolStats stats() const = 0;
+};
+
+/// Health-machine knobs shared by every worker-backed pool flavor.
+struct PoolHealthOptions {
   /// Per-round-trip read timeout; a hung worker is diagnosed, not waited
   /// on forever.
   int RoundTripTimeoutMs = 600'000;
-  /// Lifetime respawn budget per worker slot; an exhausted slot whose
-  /// process is gone transitions to Dead.
+  /// Lifetime revive budget per worker slot (process respawns on the
+  /// pipe flavor, reconnects on the socket flavor); an exhausted slot
+  /// with no live channel transitions to Dead.
   unsigned MaxRespawnsPerWorker = 3;
-  /// Exponential respawn backoff: respawn K of a slot sleeps
+  /// Exponential revive backoff: revive K of a slot sleeps
   /// min(Base << (K-1), Max) ms minus a deterministic jitter (hashed from
   /// JitterSeed, the slot index, and K — no wall-clock randomness), so
-  /// all slots crashing at once do not respawn in lockstep. Base 0
+  /// all slots crashing at once do not revive in lockstep. Base 0
   /// disables the sleep (tests use this to keep chaos runs fast).
   unsigned RespawnBackoffBaseMs = 25;
   unsigned RespawnBackoffMaxMs = 1000;
@@ -131,6 +180,91 @@ struct ShardPoolOptions {
   /// min(Base << (K-1), Max) ms, after which one borrower probes it.
   unsigned QuarantineBaseMs = 100;
   unsigned QuarantineMaxMs = 2000;
+};
+
+/// The shared machinery of a worker-backed pool: slot borrowing, the
+/// per-slot health state machine, the single sound retry, revive
+/// backoff, and statistics. Subclasses provide the channel operations —
+/// a subprocess pipe pair (ShardPool) or a socket connection
+/// (RemotePool) — under the borrow discipline: channel calls on slot I
+/// happen either while its borrower holds it Busy or under the pool
+/// lock for a free slot.
+class WorkerPoolBase : public DischargePool {
+public:
+  unsigned shardCount() const override {
+    return static_cast<unsigned>(Slots.size());
+  }
+  Result<ShardResponse> discharge(const ShardRequest &R,
+                                  int TimeoutMs = -1) override;
+  bool degraded() const override;
+  void noteFallback() override;
+  PoolStats stats() const override;
+
+  /// Test hook: kills worker \p I's channel — SIGKILL of the subprocess
+  /// on the pipe flavor, connection drop on the socket flavor (no state
+  /// change — the next borrower finds the corpse and takes the revive
+  /// path). The chaos suite uses this to kill workers between requests;
+  /// it must not race an in-flight borrow of the same slot.
+  void terminateWorker(unsigned I);
+
+protected:
+  explicit WorkerPoolBase(const PoolHealthOptions &H) : HOpts(H) {}
+
+  /// Sizes the slot table; called once by the subclass factory before
+  /// any discharge().
+  void initSlots(unsigned N);
+
+  /// True when slot \p I has a live channel. The pipe flavor sees a
+  /// kill eagerly (waitpid knows the corpse); the socket flavor only
+  /// lazily (a dead peer surfaces at the next read), which is why the
+  /// two transports report different stats *values* for the same
+  /// kill-between-requests scenario through the same stats *fields*.
+  virtual bool workerAlive(unsigned I) = 0;
+  /// (Re)creates slot \p I's channel: spawn the subprocess / dial the
+  /// endpoint. Implementations draw the WorkerSpawn fault site.
+  virtual Status reviveWorker(unsigned I) = 0;
+  /// Destroys the channel so the next borrower revives a clean one.
+  virtual void killWorker(unsigned I) = 0;
+  /// The framed channel of a live slot (null when none).
+  virtual Transport *channel(unsigned I) = 0;
+
+private:
+  struct Slot {
+    bool Busy = false;
+    unsigned Respawns = 0;
+    uint64_t Served = 0;
+    unsigned ConsecutiveFailures = 0;
+    unsigned Quarantines = 0;
+    WorkerHealth Health = WorkerHealth::Healthy;
+    /// When Quarantined: the earliest time a probe may borrow the slot.
+    std::chrono::steady_clock::time_point ProbeAt{};
+  };
+
+  PoolHealthOptions HOpts;
+  mutable std::mutex M;
+  std::condition_variable FreeCV;
+  std::vector<std::unique_ptr<Slot>> Slots;
+  uint64_t Requests = 0;
+  uint64_t Attempts = 0;
+  uint64_t Respawns = 0;
+  uint64_t Failures = 0;
+  uint64_t QuarantinesTotal = 0;
+  uint64_t DegradedFallbacks = 0;
+  bool DegradedFlag = false;
+
+  /// Records a failed attempt on \p S under the lock: bumps the
+  /// consecutive-failure count and advances the health state machine.
+  void noteFailureLocked(unsigned I, Slot &S);
+};
+
+/// Pool configuration. Inherits the health knobs so existing callers
+/// keep setting them as direct members.
+struct ShardPoolOptions : PoolHealthOptions {
+  unsigned Shards = 2;
+  /// The worker executable — normally currentExecutablePath() of the
+  /// relaxc driver itself.
+  std::string WorkerExe;
+  std::vector<std::string> WorkerArgs = {"--discharge-worker"};
 };
 
 /// A fixed pool of discharge worker processes. Thread-safe: scheduler
@@ -147,97 +281,40 @@ struct ShardPoolOptions {
 /// returns the slot to Healthy. When every slot is Dead the pool is
 /// *degraded* (sticky): discharge() fails fast and the portfolio's shard
 /// tier switches to its in-process fallback tail — same verdicts, no pool.
-class ShardPool {
+class ShardPool final : public WorkerPoolBase {
 public:
   /// Creates the pool and spawns the workers. A worker that cannot be
   /// started at creation is left for on-demand respawn (it costs one unit
   /// of that slot's respawn budget later) — under fault injection or fork
   /// pressure a partially-started pool must degrade, not abort the run.
   static Result<std::unique_ptr<ShardPool>> create(ShardPoolOptions Opts);
-  ~ShardPool();
-
-  unsigned shardCount() const { return static_cast<unsigned>(Workers.size()); }
-
-  /// Serializes \p R, round-trips it on any free healthy (or probe-due)
-  /// worker, and parses the response. A dead process is respawned with
-  /// backoff (bounded by MaxRespawnsPerWorker) and the request retried on
-  /// failure exactly once — the single sound retry: worker answers are
-  /// pure functions of the request, so a retry cannot change a verdict,
-  /// and a request that failed twice is reported as an error rather than
-  /// guessed at. \p TimeoutMs, when >= 0, caps the response read below
-  /// RoundTripTimeoutMs (the discharge deadline plumbs through here).
-  Result<ShardResponse> discharge(const ShardRequest &R, int TimeoutMs = -1);
-
-  /// Sticky: true once every slot has died for good. The portfolio checks
-  /// this to route shard-tier queries straight to the in-process tail.
-  bool degraded() const;
-
-  /// Called by the portfolio each time a shard-tier query is answered by
-  /// the in-process fallback instead of the pool (shown in --solver-stats).
-  void noteFallback();
-
-  enum class WorkerHealth : uint8_t { Healthy, Quarantined, Dead };
-
-  struct Stats {
-    uint64_t Requests = 0; ///< discharge() calls (not per-attempt)
-    uint64_t Attempts = 0; ///< slot borrows, including the sound retries
-    uint64_t Respawns = 0;
-    uint64_t Failures = 0;    ///< failed round-trip attempts
-    uint64_t Quarantines = 0; ///< circuit-breaker trips across all slots
-    uint64_t DegradedFallbacks = 0; ///< queries answered by the fallback
-    bool Degraded = false;          ///< every slot is Dead
-    std::vector<uint64_t> PerWorker; ///< requests served per shard
-    std::vector<WorkerHealth> PerWorkerHealth;
-  };
-  Stats stats() const;
-
-  /// Test hook: SIGKILLs worker \p I's process (no state change — the
-  /// next borrower finds the corpse and takes the respawn path). The
-  /// chaos suite uses this to kill workers between requests; it must not
-  /// race an in-flight borrow of the same slot.
-  void terminateWorker(unsigned I);
+  ~ShardPool() override;
 
 private:
-  explicit ShardPool(ShardPoolOptions Opts) : Opts(std::move(Opts)) {}
-
-  struct WorkerSlot {
-    Subprocess Proc;
-    bool Busy = false;
-    unsigned Respawns = 0;
-    uint64_t Served = 0;
-    unsigned ConsecutiveFailures = 0;
-    unsigned Quarantines = 0;
-    WorkerHealth Health = WorkerHealth::Healthy;
-    /// When Quarantined: the earliest time a probe may borrow the slot.
-    std::chrono::steady_clock::time_point ProbeAt{};
-  };
+  explicit ShardPool(ShardPoolOptions O)
+      : WorkerPoolBase(O), Opts(std::move(O)) {}
 
   ShardPoolOptions Opts;
-  mutable std::mutex M;
-  std::condition_variable FreeCV;
-  std::vector<std::unique_ptr<WorkerSlot>> Workers;
-  uint64_t Requests = 0;
-  uint64_t Attempts = 0;
-  uint64_t Respawns = 0;
-  uint64_t Failures = 0;
-  uint64_t QuarantinesTotal = 0;
-  uint64_t DegradedFallbacks = 0;
-  bool DegradedFlag = false;
+  /// Parallel to the base's slots; entries are only touched under the
+  /// borrow discipline.
+  std::vector<std::unique_ptr<Subprocess>> Procs;
+  std::vector<std::unique_ptr<PipeTransport>> Pipes;
 
-  Status spawnWorker(WorkerSlot &Slot);
-  /// Records a failed attempt on \p Slot under the lock: bumps the
-  /// consecutive-failure count and advances the health state machine.
-  void noteFailureLocked(WorkerSlot &Slot);
+  bool workerAlive(unsigned I) override { return Procs[I]->running(); }
+  Status reviveWorker(unsigned I) override;
+  void killWorker(unsigned I) override;
+  Transport *channel(unsigned I) override { return Pipes[I].get(); }
 };
 
-/// The `Solver` face of the pool: serializes each query (formulas, free
+/// The `Solver` face of a pool: serializes each query (formulas, free
 /// variables, tail-tier config), round-trips it, and surfaces the
 /// worker's verdict/trail. One ShardSolver per portfolio instance; many
-/// may share one pool.
+/// may share one pool — of any DischargePool flavor.
 class ShardSolver : public Solver {
 public:
-  ShardSolver(ShardPool &Pool, const Interner &Syms, std::string WorkerPipeline,
-              BoundedSolverOptions Bounded, uint64_t FinalBoundedStepFactor)
+  ShardSolver(DischargePool &Pool, const Interner &Syms,
+              std::string WorkerPipeline, BoundedSolverOptions Bounded,
+              uint64_t FinalBoundedStepFactor)
       : Pool(Pool), Syms(Syms), WorkerPipeline(std::move(WorkerPipeline)),
         Bounded(Bounded), FinalBoundedStepFactor(FinalBoundedStepFactor) {}
 
@@ -262,7 +339,7 @@ public:
   }
 
 private:
-  ShardPool &Pool;
+  DischargePool &Pool;
   const Interner &Syms;
   std::string WorkerPipeline;
   BoundedSolverOptions Bounded;

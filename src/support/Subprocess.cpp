@@ -33,26 +33,17 @@ std::string errnoMessage(const char *What) {
 /// clean EOF (so the caller can tell "EOF on a boundary" from "EOF
 /// mid-record"), or -1 on error/timeout with \p Err set.
 ///
-/// TimeoutMs bounds the WHOLE read, not each poll: the budget is turned
-/// into one monotonic deadline up front and every poll waits only for
-/// what remains, so a peer trickling one byte per poll interval cannot
-/// extend a "timed" read without bound.
-ssize_t readFull(int Fd, char *Buf, size_t N, int TimeoutMs,
-                 std::string &Err) {
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point End{};
-  if (TimeoutMs >= 0)
-    End = Clock::now() + std::chrono::milliseconds(TimeoutMs);
+/// \p D bounds the WHOLE read, not each poll: every poll waits only for
+/// what remains of the one overall deadline, so a peer trickling one
+/// byte per poll interval cannot extend a "timed" read without bound.
+/// \p BudgetMs is only quoted in the timeout diagnostic.
+ssize_t readFull(int Fd, char *Buf, size_t N, const Deadline &D,
+                 int64_t BudgetMs, std::string &Err) {
   size_t Got = 0;
   while (Got != N) {
-    if (TimeoutMs >= 0) {
-      auto LeftMs = std::chrono::duration_cast<std::chrono::milliseconds>(
-                        End - Clock::now())
-                        .count();
-      if (LeftMs < 0)
-        LeftMs = 0;
+    if (D.armed()) {
       pollfd P{Fd, POLLIN, 0};
-      int R = ::poll(&P, 1, static_cast<int>(LeftMs));
+      int R = ::poll(&P, 1, framePollTimeoutMs(D));
       if (R < 0) {
         if (errno == EINTR)
           continue;
@@ -60,8 +51,12 @@ ssize_t readFull(int Fd, char *Buf, size_t N, int TimeoutMs,
         return -1;
       }
       if (R == 0) {
+        // A huge remainder clamps to INT_MAX per poll; only an elapsed
+        // deadline is a timeout, an elapsed clamp just polls again.
+        if (!D.expired())
+          continue;
         Err = "timed out waiting for a frame after " +
-              std::to_string(TimeoutMs) + " ms";
+              std::to_string(BudgetMs) + " ms";
         return -1;
       }
     }
@@ -79,7 +74,26 @@ ssize_t readFull(int Fd, char *Buf, size_t N, int TimeoutMs,
   return static_cast<ssize_t>(Got);
 }
 
+/// The standard EINTR-proof child reap. A signal delivered during
+/// waitpid (the scheduler's worker threads see profiling and test
+/// signals) must never make a live child look abnormally dead to the
+/// pool health machine.
+pid_t waitpidRetry(pid_t Pid, int *St, int Flags) {
+  pid_t R;
+  while ((R = ::waitpid(Pid, St, Flags)) < 0 && errno == EINTR) {
+  }
+  return R;
+}
+
 } // namespace
+
+int relax::framePollTimeoutMs(const Deadline &D) {
+  // clampTimeoutMs caps the remainder into poll(2)'s int domain; the
+  // naive static_cast<int>(remainingMs()) wrapped a huge remainder
+  // (e.g. an unarmed deadline's INT64_MAX) negative, turning a timed
+  // read into an accidental infinite block.
+  return D.clampTimeoutMs(-1);
+}
 
 Status relax::writeFrame(int Fd, std::string_view Payload) {
   if (FaultRegistry::shouldFail(FaultSite::FrameWrite))
@@ -115,14 +129,22 @@ Status relax::writeFrame(int Fd, std::string_view Payload) {
 }
 
 FrameRead relax::readFrame(int Fd, int TimeoutMs) {
+  return readFrame(Fd, TimeoutMs < 0 ? Deadline::never()
+                                     : Deadline::inMs(TimeoutMs));
+}
+
+FrameRead relax::readFrame(int Fd, const Deadline &D) {
   FrameRead Out;
   if (FaultRegistry::shouldFail(FaultSite::FrameRead)) {
     Out.Message = "injected frame-read fault";
     return Out;
   }
+  // The whole frame — header and payload — runs under the one deadline
+  // passed in; the remaining budget is quoted in timeout diagnostics.
+  int64_t BudgetMs = D.remainingMs();
   char Header[8];
   std::string Err;
-  ssize_t Got = readFull(Fd, Header, sizeof(Header), TimeoutMs, Err);
+  ssize_t Got = readFull(Fd, Header, sizeof(Header), D, BudgetMs, Err);
   if (Got < 0) {
     Out.Message = Err;
     return Out;
@@ -152,7 +174,7 @@ FrameRead relax::readFrame(int Fd, int TimeoutMs) {
   }
   Out.Payload.resize(Len);
   if (Len != 0) {
-    Got = readFull(Fd, Out.Payload.data(), Len, TimeoutMs, Err);
+    Got = readFull(Fd, Out.Payload.data(), Len, D, BudgetMs, Err);
     if (Got < 0) {
       Out.Payload.clear();
       Out.Message = Err;
@@ -292,7 +314,7 @@ void Subprocess::terminate() {
   if (Pid > 0) {
     ::kill(static_cast<pid_t>(Pid), SIGKILL);
     int St = 0;
-    ::waitpid(static_cast<pid_t>(Pid), &St, 0);
+    waitpidRetry(static_cast<pid_t>(Pid), &St, 0);
   }
   reset();
 }
@@ -302,7 +324,7 @@ int Subprocess::waitForExit() {
     return -1;
   closeStdin();
   int St = 0;
-  pid_t R = ::waitpid(static_cast<pid_t>(Pid), &St, 0);
+  pid_t R = waitpidRetry(static_cast<pid_t>(Pid), &St, 0);
   int Code = (R > 0 && WIFEXITED(St)) ? WEXITSTATUS(St) : -1;
   Pid = -1;
   reset();

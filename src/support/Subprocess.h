@@ -27,6 +27,7 @@
 #ifndef RELAXC_SUPPORT_SUBPROCESS_H
 #define RELAXC_SUPPORT_SUBPROCESS_H
 
+#include "support/Deadline.h"
 #include "support/Status.h"
 
 #include <string>
@@ -59,9 +60,21 @@ struct FrameRead {
 Status writeFrame(int Fd, std::string_view Payload);
 
 /// Reads one frame from \p Fd. \p TimeoutMs < 0 blocks indefinitely;
-/// otherwise each read waits at most that long before diagnosing a
-/// timeout (the anti-hang guarantee for garbage or dead peers).
+/// otherwise the WHOLE frame (header and payload) must arrive within
+/// that budget before a timeout is diagnosed (the anti-hang guarantee
+/// for garbage, trickling, or dead peers).
 FrameRead readFrame(int Fd, int TimeoutMs = -1);
+
+/// Deadline-aware variant: the frame must complete before \p D expires.
+/// An unarmed deadline blocks indefinitely.
+FrameRead readFrame(int Fd, const Deadline &D);
+
+/// The per-poll timeout the frame reader uses under \p D: -1 when
+/// unarmed, otherwise the remaining time clamped into poll(2)'s int
+/// domain. Exposed for the overflow regression pin: a huge remainder
+/// (up to an unarmed deadline's INT64_MAX) must clamp to INT_MAX, never
+/// wrap negative into an accidental infinite poll.
+int framePollTimeoutMs(const Deadline &D);
 
 /// Absolute path of the running executable (/proc/self/exe on Linux,
 /// falling back to \p Argv0 when the proc link is unavailable).

@@ -1,0 +1,373 @@
+//===- Transport.cpp - Framed byte transports (pipes and sockets) -------------===//
+//
+// Part of the relaxc project: a verifier for relaxed nondeterministic
+// approximate programs (Carbin et al., PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Transport.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace relax;
+
+namespace {
+
+std::string errnoMessage(const char *What) {
+  return std::string(What) + ": " + std::strerror(errno);
+}
+
+void setCloexec(int Fd) { ::fcntl(Fd, F_SETFD, FD_CLOEXEC); }
+
+/// Splits an endpoint into (IsUnix, host/path, port). Diagnoses the
+/// grammar; `unix:` with an empty path and a TCP address without a port
+/// are rejected here, before any syscall.
+Status parseAddress(const std::string &Addr, bool &IsUnix, std::string &Host,
+                    std::string &Port) {
+  if (Addr.rfind("unix:", 0) == 0) {
+    IsUnix = true;
+    Host = Addr.substr(5);
+    if (Host.empty())
+      return Status::error("bad socket address '" + Addr +
+                           "' (expected unix:<path>)");
+    sockaddr_un SU;
+    if (Host.size() >= sizeof(SU.sun_path))
+      return Status::error("unix socket path '" + Host + "' exceeds the " +
+                           std::to_string(sizeof(SU.sun_path) - 1) +
+                           "-byte limit");
+    return Status::success();
+  }
+  IsUnix = false;
+  size_t Colon = Addr.rfind(':');
+  if (Colon == std::string::npos || Colon == 0 || Colon + 1 == Addr.size())
+    return Status::error("bad socket address '" + Addr +
+                         "' (expected unix:<path> or host:port)");
+  Host = Addr.substr(0, Colon);
+  Port = Addr.substr(Colon + 1);
+  for (char C : Port)
+    if (C < '0' || C > '9')
+      return Status::error("bad port in socket address '" + Addr + "'");
+  return Status::success();
+}
+
+/// Waits until \p Fd is ready for \p Events or \p D expires.
+/// Returns 1 ready, 0 timed out, -1 poll error (errno set).
+int pollUntil(int Fd, short Events, const Deadline &D) {
+  for (;;) {
+    pollfd P{Fd, Events, 0};
+    int R = ::poll(&P, 1, framePollTimeoutMs(D));
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    if (R > 0)
+      return 1;
+    if (!D.armed() || D.expired())
+      return 0;
+    // An INT_MAX-clamped wait elapsed before the deadline: poll again.
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// PipeTransport
+//===----------------------------------------------------------------------===//
+
+Status PipeTransport::send(std::string_view Payload) {
+  if (WFd < 0)
+    return Status::error("transport is closed");
+  return writeFrame(WFd, Payload);
+}
+
+FrameRead PipeTransport::recv(const Deadline &D) {
+  if (RFd < 0) {
+    FrameRead F;
+    F.Message = "transport is closed";
+    return F;
+  }
+  return readFrame(RFd, D);
+}
+
+void PipeTransport::closeSend() {
+  if (WFd >= 0 && Owns)
+    ::close(WFd);
+  WFd = -1;
+}
+
+void PipeTransport::close() {
+  closeSend();
+  if (RFd >= 0 && Owns)
+    ::close(RFd);
+  RFd = -1;
+}
+
+//===----------------------------------------------------------------------===//
+// SocketTransport
+//===----------------------------------------------------------------------===//
+
+Status SocketTransport::send(std::string_view Payload) {
+  if (Fd < 0)
+    return Status::error("transport is closed");
+  return writeFrame(Fd, Payload);
+}
+
+FrameRead SocketTransport::recv(const Deadline &D) {
+  if (Fd < 0) {
+    FrameRead F;
+    F.Message = "transport is closed";
+    return F;
+  }
+  return readFrame(Fd, D);
+}
+
+void SocketTransport::closeSend() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_WR);
+}
+
+void SocketTransport::close() {
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = -1;
+}
+
+//===----------------------------------------------------------------------===//
+// connectSocket
+//===----------------------------------------------------------------------===//
+
+Result<std::unique_ptr<Transport>> relax::connectSocket(const std::string &Addr,
+                                                        int TimeoutMs) {
+  using R = Result<std::unique_ptr<Transport>>;
+  bool IsUnix = false;
+  std::string Host, Port;
+  if (Status S = parseAddress(Addr, IsUnix, Host, Port); !S.ok())
+    return R(S);
+  // Like the pipe side: a peer vanishing mid-write must surface as a
+  // diagnosed EPIPE from the framing layer, never kill the process.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  Deadline D =
+      TimeoutMs < 0 ? Deadline::never() : Deadline::inMs(TimeoutMs);
+
+  auto FinishConnect = [&](int Fd, const sockaddr *SA,
+                           socklen_t Len) -> Status {
+    // Non-blocking connect bounded by the deadline, then back to
+    // blocking mode for the framing layer's poll-gated reads.
+    int Flags = ::fcntl(Fd, F_GETFL, 0);
+    ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+    int C = ::connect(Fd, SA, Len);
+    if (C != 0 && errno != EINPROGRESS)
+      return Status::error(errnoMessage("connect"));
+    if (C != 0) {
+      int P = pollUntil(Fd, POLLOUT, D);
+      if (P < 0)
+        return Status::error(errnoMessage("poll"));
+      if (P == 0)
+        return Status::error("timed out connecting to '" + Addr + "' after " +
+                             std::to_string(TimeoutMs) + " ms");
+      int Err = 0;
+      socklen_t ErrLen = sizeof(Err);
+      if (::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &Err, &ErrLen) != 0)
+        return Status::error(errnoMessage("getsockopt"));
+      if (Err != 0) {
+        errno = Err;
+        return Status::error(errnoMessage("connect"));
+      }
+    }
+    ::fcntl(Fd, F_SETFL, Flags);
+    return Status::success();
+  };
+
+  if (IsUnix) {
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return R::error(errnoMessage("socket"));
+    setCloexec(Fd);
+    sockaddr_un SU;
+    std::memset(&SU, 0, sizeof(SU));
+    SU.sun_family = AF_UNIX;
+    std::memcpy(SU.sun_path, Host.c_str(), Host.size());
+    if (Status S = FinishConnect(Fd, reinterpret_cast<sockaddr *>(&SU),
+                                 sizeof(SU));
+        !S.ok()) {
+      ::close(Fd);
+      return R::error("cannot connect to '" + Addr + "': " + S.message());
+    }
+    return R(std::make_unique<SocketTransport>(Fd));
+  }
+
+  addrinfo Hints;
+  std::memset(&Hints, 0, sizeof(Hints));
+  Hints.ai_family = AF_UNSPEC;
+  Hints.ai_socktype = SOCK_STREAM;
+  addrinfo *Res = nullptr;
+  int G = ::getaddrinfo(Host.c_str(), Port.c_str(), &Hints, &Res);
+  if (G != 0)
+    return R::error("cannot resolve '" + Addr + "': " + ::gai_strerror(G));
+  Status Last = Status::error("no addresses resolved");
+  for (addrinfo *A = Res; A; A = A->ai_next) {
+    int Fd = ::socket(A->ai_family, A->ai_socktype, A->ai_protocol);
+    if (Fd < 0) {
+      Last = Status::error(errnoMessage("socket"));
+      continue;
+    }
+    setCloexec(Fd);
+    if (Status S = FinishConnect(Fd, A->ai_addr, A->ai_addrlen); !S.ok()) {
+      Last = S;
+      ::close(Fd);
+      continue;
+    }
+    // Frames are small request/response units; never batch them behind
+    // Nagle's algorithm.
+    int One = 1;
+    ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    ::freeaddrinfo(Res);
+    return R(std::make_unique<SocketTransport>(Fd));
+  }
+  ::freeaddrinfo(Res);
+  return R::error("cannot connect to '" + Addr + "': " + Last.message());
+}
+
+//===----------------------------------------------------------------------===//
+// SocketListener
+//===----------------------------------------------------------------------===//
+
+SocketListener &SocketListener::operator=(SocketListener &&O) noexcept {
+  if (this != &O) {
+    close();
+    Fd = O.Fd;
+    Addr = std::move(O.Addr);
+    UnixPath = std::move(O.UnixPath);
+    O.Fd = -1;
+    O.UnixPath.clear();
+  }
+  return *this;
+}
+
+void SocketListener::close() {
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = -1;
+  if (!UnixPath.empty())
+    ::unlink(UnixPath.c_str());
+  UnixPath.clear();
+}
+
+Result<SocketListener> SocketListener::bind(const std::string &Addr,
+                                            int Backlog) {
+  using R = Result<SocketListener>;
+  bool IsUnix = false;
+  std::string Host, Port;
+  if (Status S = parseAddress(Addr, IsUnix, Host, Port); !S.ok())
+    return R(S);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  SocketListener L;
+  if (IsUnix) {
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return R::error(errnoMessage("socket"));
+    setCloexec(Fd);
+    sockaddr_un SU;
+    std::memset(&SU, 0, sizeof(SU));
+    SU.sun_family = AF_UNIX;
+    std::memcpy(SU.sun_path, Host.c_str(), Host.size());
+    // Unlink a stale path first: a restarted daemon/worker must rebind
+    // the address its clients already hold (bind fails with EADDRINUSE
+    // on an existing path even when nothing listens on it).
+    ::unlink(Host.c_str());
+    if (::bind(Fd, reinterpret_cast<sockaddr *>(&SU), sizeof(SU)) != 0) {
+      Status S = Status::error(errnoMessage("bind"));
+      ::close(Fd);
+      return R::error("cannot bind '" + Addr + "': " + S.message());
+    }
+    if (::listen(Fd, Backlog) != 0) {
+      Status S = Status::error(errnoMessage("listen"));
+      ::close(Fd);
+      ::unlink(Host.c_str());
+      return R::error("cannot listen on '" + Addr + "': " + S.message());
+    }
+    L.Fd = Fd;
+    L.Addr = Addr;
+    L.UnixPath = Host;
+    return R(std::move(L));
+  }
+
+  addrinfo Hints;
+  std::memset(&Hints, 0, sizeof(Hints));
+  Hints.ai_family = AF_UNSPEC;
+  Hints.ai_socktype = SOCK_STREAM;
+  Hints.ai_flags = AI_PASSIVE;
+  addrinfo *Res = nullptr;
+  int G = ::getaddrinfo(Host.c_str(), Port.c_str(), &Hints, &Res);
+  if (G != 0)
+    return R::error("cannot resolve '" + Addr + "': " + ::gai_strerror(G));
+  Status Last = Status::error("no addresses resolved");
+  for (addrinfo *A = Res; A; A = A->ai_next) {
+    int Fd = ::socket(A->ai_family, A->ai_socktype, A->ai_protocol);
+    if (Fd < 0) {
+      Last = Status::error(errnoMessage("socket"));
+      continue;
+    }
+    setCloexec(Fd);
+    int One = 1;
+    ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    if (::bind(Fd, A->ai_addr, A->ai_addrlen) != 0 ||
+        ::listen(Fd, Backlog) != 0) {
+      Last = Status::error(errnoMessage("bind/listen"));
+      ::close(Fd);
+      continue;
+    }
+    // Report the resolved port (ephemeral when 0 was requested) so
+    // tests and logs hold a connectable address.
+    sockaddr_storage SS;
+    socklen_t SSLen = sizeof(SS);
+    unsigned BoundPort = 0;
+    if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&SS), &SSLen) == 0) {
+      if (SS.ss_family == AF_INET)
+        BoundPort = ntohs(reinterpret_cast<sockaddr_in *>(&SS)->sin_port);
+      else if (SS.ss_family == AF_INET6)
+        BoundPort = ntohs(reinterpret_cast<sockaddr_in6 *>(&SS)->sin6_port);
+    }
+    ::freeaddrinfo(Res);
+    L.Fd = Fd;
+    L.Addr = Host + ":" + std::to_string(BoundPort);
+    return R(std::move(L));
+  }
+  ::freeaddrinfo(Res);
+  return R::error("cannot bind '" + Addr + "': " + Last.message());
+}
+
+Result<std::unique_ptr<Transport>>
+SocketListener::accept(const Deadline &D) {
+  using R = Result<std::unique_ptr<Transport>>;
+  if (Fd < 0)
+    return R::error("listener is closed");
+  int P = pollUntil(Fd, POLLIN, D);
+  if (P < 0)
+    return R::error(errnoMessage("poll"));
+  if (P == 0)
+    return R::error("timed out waiting for a connection");
+  int C;
+  while ((C = ::accept(Fd, nullptr, nullptr)) < 0 && errno == EINTR) {
+  }
+  if (C < 0)
+    return R::error(errnoMessage("accept"));
+  setCloexec(C);
+  int One = 1;
+  ::setsockopt(C, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return R(std::make_unique<SocketTransport>(C));
+}

@@ -35,9 +35,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <csignal>
 #include <cstdlib>
 #include <thread>
 
+#include <sys/time.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 using namespace relax;
@@ -375,6 +379,90 @@ TEST(FrameFaults, TricklingPeerCannotExtendATimedRead) {
   ASSERT_EQ(F.K, FrameRead::Kind::Error);
   EXPECT_NE(F.Message.find("timed out"), std::string::npos) << F.Message;
   EXPECT_LT(Ms, 2000) << "trickled bytes extended the read deadline";
+}
+
+TEST(FrameFaults, HugeDeadlineRemainderClampsIntoPollDomain) {
+  // Regression pin: the frame reader used to static_cast the deadline's
+  // remainingMs() straight to int for poll(2); a remainder past the int
+  // domain (~95 years here, or an unarmed deadline's INT64_MAX) wrapped
+  // to an arbitrary value — negative (accidental infinite poll) or tiny
+  // (spurious instant timeout), depending on the low bits.
+  EXPECT_EQ(framePollTimeoutMs(Deadline::inMs(3'000'000'000'000)), INT32_MAX);
+  EXPECT_EQ(framePollTimeoutMs(Deadline::never()), -1)
+      << "an unarmed deadline still means 'block indefinitely'";
+  int Small = framePollTimeoutMs(Deadline::inMs(50));
+  EXPECT_GE(Small, 0);
+  EXPECT_LE(Small, 50);
+}
+
+TEST(FrameFaults, FrameReadsCompleteUnderAHugeDeadline) {
+  // Behavioral side of the same pin: with a deadline far beyond poll's
+  // int domain, a ready frame and a clean peer EOF must both surface
+  // immediately instead of inheriting a wrapped timeout.
+  Deadline Huge = Deadline::inMs(3'000'000'000'000);
+  PipePair P;
+  ASSERT_TRUE(writeFrame(P.W, "huge-deadline payload").ok());
+  FrameRead F = readFrame(P.R, Huge);
+  ASSERT_TRUE(F.ok()) << F.Message;
+  EXPECT_EQ(F.Payload, "huge-deadline payload");
+  ::close(P.W);
+  P.W = -1;
+  FrameRead E = readFrame(P.R, Huge);
+  EXPECT_TRUE(E.eof()) << E.Message;
+}
+
+//===----------------------------------------------------------------------===//
+// Child reaping under signal storms (the waitpid EINTR regression)
+//===----------------------------------------------------------------------===//
+
+/// Arms a ~5 ms SIGALRM cadence with a no-op handler installed WITHOUT
+/// SA_RESTART, so blocking syscalls in this process keep taking EINTR
+/// until the object goes out of scope.
+struct SignalStorm {
+  struct sigaction OldAction {};
+  itimerval OldTimer{};
+  SignalStorm() {
+    struct sigaction SA {};
+    SA.sa_handler = +[](int) {};
+    sigemptyset(&SA.sa_mask);
+    SA.sa_flags = 0; // deliberately no SA_RESTART
+    EXPECT_EQ(::sigaction(SIGALRM, &SA, &OldAction), 0);
+    itimerval Storm{};
+    Storm.it_interval.tv_usec = 5'000;
+    Storm.it_value.tv_usec = 5'000;
+    EXPECT_EQ(::setitimer(ITIMER_REAL, &Storm, &OldTimer), 0);
+  }
+  ~SignalStorm() {
+    ::setitimer(ITIMER_REAL, &OldTimer, nullptr);
+    ::sigaction(SIGALRM, &OldAction, nullptr);
+  }
+};
+
+TEST(SubprocessReap, WaitForExitSurvivesASignalStorm) {
+  // waitpid without the EINTR retry returned -1 under any mid-wait
+  // signal, making a healthy child's exit read as abnormal termination
+  // — which the pool health machine books as a worker death.
+  Subprocess P;
+  ASSERT_TRUE(P.spawn("/bin/sh", {"-c", "sleep 0.2; exit 7"}).ok());
+  SignalStorm Storm;
+  EXPECT_EQ(P.waitForExit(), 7)
+      << "an EINTR during the reap was misread as abnormal termination";
+}
+
+TEST(SubprocessReap, TerminateReapsUnderASignalStorm) {
+  Subprocess P;
+  ASSERT_TRUE(P.spawn("/bin/sh", {"-c", "sleep 30"}).ok());
+  SignalStorm Storm;
+  P.terminate();
+  EXPECT_FALSE(P.running());
+  // The kill must also have been *reaped*: an interrupted waitpid used
+  // to abandon the corpse as a zombie. WNOHANG never blocks, so the
+  // storm cannot perturb this probe.
+  errno = 0;
+  int St = 0;
+  pid_t Z = ::waitpid(-1, &St, WNOHANG);
+  EXPECT_TRUE(Z == 0 || (Z < 0 && errno == ECHILD))
+      << "terminate() left a zombie (reaped pid " << Z << ")";
 }
 
 //===----------------------------------------------------------------------===//
